@@ -1,0 +1,72 @@
+//! Criterion ablations over *real host compute* for the design choices
+//! DESIGN.md §5 calls out: pre-negation vs direct AND-NOT on the CPU
+//! engine, and sparse vs dense comparison across densities (the paper's
+//! §VII future work). Modeled (simulator-time) ablations live in the
+//! `ablation_report` binary, since Criterion measures wall time, not
+//! virtual time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snp_bitmat::{reference_gamma, CompareOp};
+use snp_cpu::CpuEngine;
+use snp_popgen::generate_independent;
+use snp_sparse::{sparse_gamma, SparseBitMatrix};
+use std::hint::black_box;
+
+fn bench_prenegate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/prenegate_cpu");
+    g.sample_size(10);
+    let refs = generate_independent(128, 8192, 0.3, 1);
+    let mixes = generate_independent(128, 8192, 0.4, 2);
+    let e = CpuEngine::new();
+    g.bench_function("direct_andnot", |bench| {
+        bench.iter(|| black_box(e.mixture_analysis(black_box(&refs), black_box(&mixes), false)))
+    });
+    g.bench_function("pre_negated", |bench| {
+        bench.iter(|| black_box(e.mixture_analysis(black_box(&refs), black_box(&mixes), true)))
+    });
+    g.finish();
+}
+
+fn bench_sparse_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sparse_vs_dense");
+    g.sample_size(10);
+    let (rows, cols) = (96usize, 16_384usize);
+    for density_pct in [1u32, 5, 20] {
+        let maf = density_pct as f64 / 100.0;
+        let a = generate_independent(rows, cols, maf, 3);
+        let b = generate_independent(rows, cols, maf, 4);
+        let sa = SparseBitMatrix::from_dense(&a);
+        let sb = SparseBitMatrix::from_dense(&b);
+        g.throughput(Throughput::Elements((rows * rows) as u64));
+        g.bench_with_input(BenchmarkId::new("dense", density_pct), &(), |bench, _| {
+            bench.iter(|| black_box(reference_gamma(black_box(&a), black_box(&b), CompareOp::And)))
+        });
+        g.bench_with_input(BenchmarkId::new("sparse", density_pct), &(), |bench, _| {
+            bench.iter(|| black_box(sparse_gamma(CompareOp::And, black_box(&sa), black_box(&sb))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocking_ablation(c: &mut Criterion) {
+    // How much the blocked loop nest buys over the naive reference on the
+    // real host: the entire point of carrying the BLIS structure over.
+    let mut g = c.benchmark_group("ablation/blocked_vs_naive_cpu");
+    g.sample_size(10);
+    let a = generate_independent(384, 8192, 0.3, 5);
+    g.bench_function("naive_reference", |bench| {
+        bench.iter(|| black_box(reference_gamma(black_box(&a), black_box(&a), CompareOp::And)))
+    });
+    g.bench_function("blis_sequential", |bench| {
+        let e = CpuEngine::sequential();
+        bench.iter(|| black_box(e.ld_self(black_box(&a))))
+    });
+    g.bench_function("blis_parallel", |bench| {
+        let e = CpuEngine::new();
+        bench.iter(|| black_box(e.ld_self(black_box(&a))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prenegate, bench_sparse_crossover, bench_blocking_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches of the bit-matrix substrate: packing, word-level dot
+//! products, negation, and word-type conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snp_bitmat::{dot, BitMatrix, CompareOp, PackedPanels};
+use snp_popgen::random_dense;
+use std::hint::black_box;
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmat/dot");
+    let bits = 64 * 4096;
+    let a = random_dense(1, bits, 1);
+    let b = random_dense(1, bits, 2);
+    g.throughput(Throughput::Elements(a.words_per_row() as u64));
+    for op in CompareOp::ALL {
+        g.bench_function(BenchmarkId::from_parameter(op), |bench| {
+            bench.iter(|| black_box(dot(op, black_box(a.row(0)), black_box(b.row(0)))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmat/pack");
+    let m = random_dense(512, 64 * 512, 3);
+    g.throughput(Throughput::Bytes(m.payload_bytes() as u64));
+    for panel_rows in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(panel_rows), &panel_rows, |bench, &pr| {
+            bench.iter(|| black_box(PackedPanels::pack_all(black_box(&m), pr)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_negate_and_convert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmat/transform");
+    let m = random_dense(1024, 8192, 4);
+    g.throughput(Throughput::Bytes(m.payload_bytes() as u64));
+    g.bench_function("negated", |bench| bench.iter(|| black_box(black_box(&m).negated())));
+    g.bench_function("convert_u32", |bench| {
+        bench.iter(|| black_box(black_box(&m).convert::<u32>()))
+    });
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmat/construct");
+    g.bench_function("from_fn_256x4096", |bench| {
+        bench.iter(|| black_box(BitMatrix::<u64>::from_fn(256, 4096, |r, c| (r + c) % 3 == 0)))
+    });
+    g.bench_function("random_dense_256x4096", |bench| {
+        bench.iter(|| black_box(random_dense(256, 4096, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_pack, bench_negate_and_convert, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches of the *real* BLIS-style CPU engine (`snp-cpu`) on the
+//! host machine: the runnable counterpart of the paper's \[11\] baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snp_bitmat::{CompareOp, PackedPanels};
+use snp_cpu::blocking::{MR, NR};
+use snp_cpu::microkernel::{microkernel, zero_tile};
+use snp_cpu::CpuEngine;
+use snp_popgen::random_dense;
+use std::hint::black_box;
+
+fn word_ops(m: usize, n: usize, bits: usize) -> u64 {
+    (m * n * bits.div_ceil(64)) as u64
+}
+
+fn bench_microkernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/microkernel");
+    let k_bits = 64 * 512;
+    let a = random_dense(MR, k_bits, 1);
+    let b = random_dense(NR, k_bits, 2);
+    let pa = PackedPanels::pack_all(&a, MR);
+    let pb = PackedPanels::pack_all(&b, NR);
+    g.throughput(Throughput::Elements((MR * NR * pa.k()) as u64));
+    for op in CompareOp::ALL {
+        g.bench_function(BenchmarkId::from_parameter(op), |bench| {
+            bench.iter(|| {
+                let mut acc = zero_tile();
+                microkernel(op, pa.k(), black_box(pa.panel(0)), black_box(pb.panel(0)), &mut acc);
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_square(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/ld_square");
+    g.sample_size(10);
+    for snps in [256usize, 512, 1024] {
+        let samples = 4096;
+        let panel = random_dense(snps, samples, 3);
+        g.throughput(Throughput::Elements(word_ops(snps, snps, samples)));
+        g.bench_with_input(BenchmarkId::new("parallel", snps), &panel, |bench, p| {
+            let e = CpuEngine::new();
+            bench.iter(|| black_box(e.ld_self(black_box(p))))
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", snps), &panel, |bench, p| {
+            let e = CpuEngine::sequential();
+            bench.iter(|| black_box(e.ld_self(black_box(p))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_fastid_shape(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu/fastid_shape");
+    g.sample_size(10);
+    let queries = random_dense(32, 1024, 4);
+    for profiles in [10_000usize, 40_000] {
+        let db = random_dense(profiles, 1024, 5);
+        g.throughput(Throughput::Elements(word_ops(32, profiles, 1024)));
+        g.bench_with_input(BenchmarkId::from_parameter(profiles), &db, |bench, db| {
+            let e = CpuEngine::new();
+            bench.iter(|| black_box(e.identity_search(black_box(&queries), black_box(db))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_microkernel, bench_engine_square, bench_engine_fastid_shape);
+criterion_main!(benches);

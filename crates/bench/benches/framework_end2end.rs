@@ -1,0 +1,73 @@
+//! Criterion benches of the end-to-end framework: full functional runs on
+//! the simulated devices (host wall time — dominated by the functional
+//! `execute_gamma`), and the pure planning/timing path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snp_core::{execute_gamma, Algorithm, EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
+use snp_bitmat::CompareOp;
+use snp_gpu_model::devices;
+use snp_popgen::random_dense;
+use std::hint::black_box;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework/full");
+    g.sample_size(10);
+    let panel = random_dense(512, 4096, 1);
+    g.throughput(Throughput::Elements((512 * 512 * (4096 / 32)) as u64));
+    for dev in devices::all_gpus() {
+        g.bench_with_input(BenchmarkId::from_parameter(&dev.name), &dev, |bench, dev| {
+            let engine = GpuEngine::new(dev.clone());
+            bench.iter(|| black_box(engine.ld_self(black_box(&panel)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_timing_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework/timing_only");
+    // NDIS-scale planning should stay in microseconds: the entire Fig. 8
+    // sweep costs no real compute.
+    let queries = random_dense(32, 1024, 2);
+    let database_shape = snp_bitmat::BitMatrix::<u64>::zeros(2_000_000, 1024);
+    for dev in devices::all_gpus() {
+        g.bench_with_input(BenchmarkId::from_parameter(&dev.name), &dev, |bench, dev| {
+            let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+                mode: ExecMode::TimingOnly,
+                double_buffer: true,
+                mixture: MixtureStrategy::Direct,
+            });
+            bench.iter(|| {
+                black_box(
+                    engine
+                        .compare(black_box(&queries), black_box(&database_shape), Algorithm::IdentitySearch)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_execute_gamma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework/execute_gamma");
+    g.sample_size(10);
+    let m = 256usize;
+    let n = 1024usize;
+    let k = 128usize; // u32 words
+    let a: Vec<u32> = (0..m * k).map(|i| i as u32).collect();
+    let b: Vec<u32> = (0..n * k).map(|i| (i * 7) as u32).collect();
+    g.throughput(Throughput::Elements((m * n * k) as u64));
+    for op in CompareOp::ALL {
+        g.bench_function(BenchmarkId::from_parameter(op), |bench| {
+            let mut out = vec![0u32; m * n];
+            bench.iter(|| {
+                execute_gamma(op, black_box(&a), black_box(&b), &mut out, m, n, k);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_timing_only, bench_execute_gamma);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches of the simulator itself: how fast the detailed engine
+//! retires simulated instructions, how cheap macro-engine estimation and
+//! host-API command processing are. These bound the cost of running the
+//! paper's experiments at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snp_bitmat::CompareOp;
+use snp_core::{config_for, tile_program, Algorithm, KernelPlan};
+use snp_gpu_model::config::ProblemShape;
+use snp_gpu_model::{devices, InstrClass};
+use snp_gpu_sim::host::{Gpu, KernelCost};
+use snp_gpu_sim::macro_engine::{estimate_core_cycles, Traffic};
+use snp_gpu_sim::{simulate_core, Program};
+use std::hint::black_box;
+
+fn bench_detailed_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/detailed");
+    let dev = devices::gtx_980();
+    for groups in [1u32, 24] {
+        let prog = Program::dependent_chain(InstrClass::Popc, 32, 256);
+        let total = prog.dynamic_instrs() * groups as u64;
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(BenchmarkId::new("chain", groups), &prog, |bench, p| {
+            bench.iter(|| black_box(simulate_core(&dev, black_box(p), groups, u64::MAX).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_macro_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/macro");
+    let dev = devices::titan_v();
+    let cfg = config_for(
+        &dev,
+        Algorithm::LinkageDisequilibrium,
+        ProblemShape { m: 10_000, n: 10_000, k_words: 400 },
+    );
+    let prog = tile_program(&dev, &cfg, CompareOp::And, 400);
+    g.bench_function("estimate_core_cycles", |bench| {
+        bench.iter(|| black_box(estimate_core_cycles(&dev, black_box(&prog), 16)))
+    });
+    g.bench_function("kernel_plan", |bench| {
+        bench.iter(|| {
+            black_box(KernelPlan::new(&dev, &cfg, CompareOp::And, 10_000, 10_000, 400))
+        })
+    });
+    g.finish();
+}
+
+fn bench_host_api(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/host");
+    g.bench_function("queue_kernel_roundtrip", |bench| {
+        let gpu = Gpu::new(devices::gtx_980());
+        let q = gpu.create_queue();
+        let buf = gpu.create_buffer(1024).unwrap();
+        let cost =
+            KernelCost::Analytic { core_cycles: 1000.0, active_cores: 16, traffic: Traffic::default() };
+        bench.iter(|| {
+            let ev = gpu
+                .enqueue_kernel(q, &cost, &[], buf, &[], |_, out| out[0] = out[0].wrapping_add(1))
+                .unwrap();
+            black_box(gpu.event_profile(ev).unwrap())
+        })
+    });
+    g.bench_function("virtual_transfer", |bench| {
+        let gpu = Gpu::new(devices::titan_v());
+        let q = gpu.create_queue();
+        bench.iter(|| black_box(gpu.enqueue_virtual_transfer(q, 1 << 20, &[]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detailed_engine, bench_macro_engine, bench_host_api);
+criterion_main!(benches);

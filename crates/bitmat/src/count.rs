@@ -1,0 +1,187 @@
+//! Dense output matrices of comparison counts (the `γ` values).
+
+/// A dense, row-major matrix of `u32` comparison counts.
+///
+/// `γ[i][j]` is the popcount accumulated over the shared dimension for row
+/// `i` of the left operand against row `j` of the right operand. A `u32` can
+/// hold counts for sequences of up to 2³² sites, far beyond any SNP panel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u32>,
+}
+
+impl CountMatrix {
+    /// Creates an all-zeros `rows × cols` count matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CountMatrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer; `data.len()` must be `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows} x {cols}", data.len());
+        CountMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads `γ[r][c]`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds ({} x {})", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes `γ[r][c]`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to `γ[r][c]`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: u32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        &mut self.data
+    }
+
+    /// Copies the top-left `rows × cols` corner — used to strip blocking
+    /// padding from a padded result.
+    pub fn cropped(&self, rows: usize, cols: usize) -> CountMatrix {
+        assert!(rows <= self.rows && cols <= self.cols);
+        let mut out = CountMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[..cols]);
+        }
+        out
+    }
+
+    /// True if `self` equals `other` everywhere; on mismatch returns the
+    /// first differing index for diagnostics.
+    pub fn first_mismatch(&self, other: &CountMatrix) -> Option<(usize, usize, u32, u32)> {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let (a, b) = (self.get(r, c), other.get(r, c));
+                if a != b {
+                    return Some((r, c, a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Maximum entry, or 0 for an empty matrix.
+    pub fn max(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum entry, or 0 for an empty matrix.
+    pub fn min(&self) -> u32 {
+        self.data.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Index of the minimum entry in row `r` — e.g. the best FastID database
+    /// match for query `r` (fewest differences). `None` when there are no
+    /// columns.
+    pub fn argmin_in_row(&self, r: usize) -> Option<usize> {
+        self.row(r)
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = CountMatrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 7);
+        m.add(1, 2, 3);
+        assert_eq!(m.get(1, 2), 10);
+        assert_eq!(m.get(0, 0), 0);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        let ok = CountMatrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(ok.get(1, 0), 3);
+        assert!(std::panic::catch_unwind(|| CountMatrix::from_vec(2, 2, vec![1])).is_err());
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let m = CountMatrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn cropped_strips_padding() {
+        let m = CountMatrix::from_vec(3, 3, vec![1, 2, 0, 3, 4, 0, 0, 0, 0]);
+        let c = m.cropped(2, 2);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn first_mismatch_reports_position() {
+        let a = CountMatrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let mut b = a.clone();
+        assert_eq!(a.first_mismatch(&b), None);
+        b.set(1, 0, 9);
+        assert_eq!(a.first_mismatch(&b), Some((1, 0, 3, 9)));
+    }
+
+    #[test]
+    fn min_max_argmin() {
+        let m = CountMatrix::from_vec(2, 3, vec![5, 1, 9, 4, 4, 2]);
+        assert_eq!(m.max(), 9);
+        assert_eq!(m.min(), 1);
+        assert_eq!(m.argmin_in_row(0), Some(1));
+        assert_eq!(m.argmin_in_row(1), Some(2));
+        assert_eq!(CountMatrix::zeros(1, 0).argmin_in_row(0), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! SNP comparison operators.
+//!
+//! All three algorithms in the paper reduce to the same blocked
+//! popcount-GEMM; they differ only in the word-combining operator applied
+//! before the population count (paper §II):
+//!
+//! * **Linkage disequilibrium** (Eq. 1): `γ = (a & b)ᵀ(a & b)` — logical AND.
+//! * **FastID identity search** (Eq. 2): `γ = (a ⊕ b)ᵀ(a ⊕ b)` — XOR.
+//! * **FastID mixture analysis** (Eq. 3): `γ = ((r ⊕ m) & r)ᵀ((r ⊕ m) & r)`,
+//!   which simplifies to `r & ¬m` — AND-NOT (paper §II-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::word::Word;
+
+/// The word-level combining operator of an SNP comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `a & b`: counts sites where *both* inputs carry the minor allele.
+    /// Used for linkage disequilibrium (the `p_AB` term) and, with a
+    /// pre-negated database, for mixture analysis.
+    And,
+    /// `a ^ b`: counts sites where the inputs *differ*. Used for FastID
+    /// identity search; a count of zero is a positive match.
+    Xor,
+    /// `a & !b`: counts minor alleles present in `a` but absent from `b`.
+    /// Used for FastID mixture analysis (`r & ¬m`); architectures without a
+    /// fused AND-NOT either spend an extra NOT or pre-negate the database.
+    AndNot,
+}
+
+impl CompareOp {
+    /// All supported operators, in presentation order.
+    pub const ALL: [CompareOp; 3] = [CompareOp::And, CompareOp::Xor, CompareOp::AndNot];
+
+    /// Applies the operator to one pair of packed words.
+    #[inline]
+    pub fn combine<W: Word>(self, a: W, b: W) -> W {
+        match self {
+            CompareOp::And => a & b,
+            CompareOp::Xor => a ^ b,
+            CompareOp::AndNot => a & !b,
+        }
+    }
+
+    /// Popcount of the combined word: the per-word contribution to `γ`.
+    #[inline]
+    pub fn combine_count<W: Word>(self, a: W, b: W) -> u32 {
+        self.combine(a, b).count_ones()
+    }
+
+    /// Whether zero padding in *either* operand leaves `γ` unchanged.
+    ///
+    /// This holds for every supported operator: zero bits can never
+    /// contribute to the popcount of `a & b`, `a ^ b` (both operands padded
+    /// with zeros in the same positions) or `a & !b` (zero in `a` masks the
+    /// negated `b`). This property is what lets the framework pad matrices to
+    /// blocking multiples (paper Fig. 2) without affecting results.
+    pub fn padding_safe(self) -> bool {
+        true
+    }
+
+    /// The equivalent operator after pre-negating the second operand, if one
+    /// exists in the supported set.
+    ///
+    /// `AndNot` with a pre-negated database becomes plain `And`, which is the
+    /// paper's §II-C transformation ("mixture analysis reduces down to the
+    /// same computation as linkage disequilibrium"). `And`/`Xor` have no
+    /// useful pre-negated form and return `None`.
+    pub fn pre_negated(self) -> Option<CompareOp> {
+        match self {
+            CompareOp::AndNot => Some(CompareOp::And),
+            CompareOp::And | CompareOp::Xor => None,
+        }
+    }
+
+    /// Short lowercase name used in configuration files and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompareOp::And => "and",
+            CompareOp::Xor => "xor",
+            CompareOp::AndNot => "andnot",
+        }
+    }
+}
+
+impl std::fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Popcount dot product of two packed rows under `op`:
+/// `Σ_k popc(op(a[k], b[k]))`.
+///
+/// This is the innermost computation of every algorithm in the paper
+/// (paper §III): one logical op, one population count, one integer add per
+/// word. Panics if the rows have different lengths.
+#[inline]
+pub fn dot<W: Word>(op: CompareOp, a: &[W], b: &[W]) -> u64 {
+    assert_eq!(a.len(), b.len(), "dot: row length mismatch {} vs {}", a.len(), b.len());
+    let mut acc = 0u64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += op.combine_count(x, y) as u64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_counts_shared_minor_alleles() {
+        assert_eq!(CompareOp::And.combine(0b1100u64, 0b1010), 0b1000);
+        assert_eq!(CompareOp::And.combine_count(0b1100u64, 0b1010), 1);
+    }
+
+    #[test]
+    fn xor_counts_differences() {
+        assert_eq!(CompareOp::Xor.combine(0b1100u64, 0b1010), 0b0110);
+        assert_eq!(CompareOp::Xor.combine_count(0b1100u64, 0b1010), 2);
+        // Identical profiles differ nowhere: a positive FastID match.
+        assert_eq!(CompareOp::Xor.combine_count(0xDEADBEEFu64, 0xDEADBEEF), 0);
+    }
+
+    #[test]
+    fn andnot_counts_alleles_missing_from_mixture() {
+        // r has alleles {3, 2}; m has {1, 3}; r & !m = {2}.
+        let r = 0b1100u64;
+        let m = 0b1010u64;
+        assert_eq!(CompareOp::AndNot.combine(r, m), 0b0100);
+        assert_eq!(CompareOp::AndNot.combine_count(r, m), 1);
+    }
+
+    #[test]
+    fn mixture_simplification_identity() {
+        // (r ^ m) & r == r & !m for arbitrary words (paper §II-C).
+        for r in [0u64, 1, 0xF0F0, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            for m in [0u64, 7, 0xFF00, u64::MAX, 0xFEDC_BA98_7654_3210] {
+                assert_eq!((r ^ m) & r, CompareOp::AndNot.combine(r, m));
+            }
+        }
+    }
+
+    #[test]
+    fn pre_negation_equivalence() {
+        assert_eq!(CompareOp::AndNot.pre_negated(), Some(CompareOp::And));
+        assert_eq!(CompareOp::And.pre_negated(), None);
+        assert_eq!(CompareOp::Xor.pre_negated(), None);
+        // andnot(a, b) == and(a, !b)
+        let (a, b) = (0xCAFEu64, 0xBEEFu64);
+        assert_eq!(
+            CompareOp::AndNot.combine(a, b),
+            CompareOp::And.combine(a, !b)
+        );
+    }
+
+    #[test]
+    fn padding_safety_bitwise() {
+        // Appending zero words to both operands never changes the count.
+        let a = [0xFFu64, 0x0F, 0x00];
+        let b = [0x0Fu64, 0xF0, 0x00];
+        for op in CompareOp::ALL {
+            assert!(op.padding_safe());
+            assert_eq!(dot(op, &a[..2], &b[..2]), dot(op, &a, &b));
+        }
+    }
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        let a = [u64::MAX, 0, 0b1011];
+        let b = [u64::MAX, u64::MAX, 0b0110];
+        assert_eq!(dot(CompareOp::And, &a, &b), 64 + 1);
+        assert_eq!(dot(CompareOp::Xor, &a, &b), 64 + 3);
+        assert_eq!(dot(CompareOp::AndNot, &a, &b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(CompareOp::And, &[0u64; 3], &[0u64; 4]);
+    }
+
+    #[test]
+    fn names_roundtrip_display() {
+        for op in CompareOp::ALL {
+            assert_eq!(op.to_string(), op.name());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! BLIS-style panel packing.
+//!
+//! The blocked popcount-GEMM (paper §III, Fig. 3) copies blocks of the input
+//! matrices into contiguous, microkernel-friendly buffers before the
+//! innermost loops run. A block of `rows` sequences × `k` packed words is
+//! reorganized into ⌈rows / r⌉ *panels* of `r` sequences each, stored
+//! k-major: within a panel, the `r` words of shared-dimension index `p` are
+//! adjacent, so the microkernel streams the panel with unit stride. Edge
+//! panels are zero-padded, which is count-neutral for every comparison
+//! operator.
+
+use crate::matrix::BitMatrix;
+use crate::word::Word;
+
+/// A packed block: `panels` panels of `panel_rows` sequences over `k` words.
+///
+/// Layout of panel `q`: `[m(q·r+0, 0), m(q·r+1, 0), …, m(q·r+r-1, 0),
+/// m(q·r+0, 1), …]` — i.e. word index major, row-in-panel minor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPanels<W: Word = u64> {
+    panel_rows: usize,
+    k: usize,
+    panels: usize,
+    logical_rows: usize,
+    data: Vec<W>,
+}
+
+impl<W: Word> PackedPanels<W> {
+    /// Packs rows `row_lo..row_hi` and words `word_lo..word_hi` of `m` into
+    /// panels of `panel_rows` sequences. Ranges are clamped to the matrix;
+    /// out-of-range tail rows within the final panel are zero-filled.
+    pub fn pack(
+        m: &BitMatrix<W>,
+        row_lo: usize,
+        row_hi: usize,
+        word_lo: usize,
+        word_hi: usize,
+        panel_rows: usize,
+    ) -> Self {
+        assert!(panel_rows > 0, "panel_rows must be positive");
+        assert!(row_lo <= row_hi && row_hi <= m.rows(), "row range {row_lo}..{row_hi} out of bounds");
+        assert!(
+            word_lo <= word_hi && word_hi <= m.words_per_row(),
+            "word range {word_lo}..{word_hi} out of bounds ({} words per row)",
+            m.words_per_row()
+        );
+        let logical_rows = row_hi - row_lo;
+        let k = word_hi - word_lo;
+        let panels = logical_rows.div_ceil(panel_rows).max(if logical_rows == 0 { 0 } else { 1 });
+        let mut data = vec![W::ZERO; panels * panel_rows * k];
+        for q in 0..panels {
+            let base = q * panel_rows * k;
+            for i in 0..panel_rows {
+                let r = row_lo + q * panel_rows + i;
+                if r >= row_hi {
+                    continue; // zero padding
+                }
+                let row = &m.row(r)[word_lo..word_hi];
+                for (p, &w) in row.iter().enumerate() {
+                    data[base + p * panel_rows + i] = w;
+                }
+            }
+        }
+        PackedPanels { panel_rows, k, panels, logical_rows, data }
+    }
+
+    /// Packs an entire matrix (all rows, all words).
+    pub fn pack_all(m: &BitMatrix<W>, panel_rows: usize) -> Self {
+        Self::pack(m, 0, m.rows(), 0, m.words_per_row(), panel_rows)
+    }
+
+    /// Number of rows per panel (the register-blocking factor `m_r`/`n_r`).
+    #[inline]
+    pub fn panel_rows(&self) -> usize {
+        self.panel_rows
+    }
+
+    /// Shared-dimension length in words (`k_c` for a cache block).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of panels.
+    #[inline]
+    pub fn panels(&self) -> usize {
+        self.panels
+    }
+
+    /// Number of logical (unpadded) rows packed.
+    #[inline]
+    pub fn logical_rows(&self) -> usize {
+        self.logical_rows
+    }
+
+    /// The contiguous storage of panel `q` (`panel_rows * k` words).
+    #[inline]
+    pub fn panel(&self, q: usize) -> &[W] {
+        debug_assert!(q < self.panels, "panel {q} out of bounds ({} panels)", self.panels);
+        let len = self.panel_rows * self.k;
+        &self.data[q * len..(q + 1) * len]
+    }
+
+    /// The full packed buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[W] {
+        &self.data
+    }
+
+    /// Reads the packed word for `(logical_row, word_index)`; zero for
+    /// padded rows. Primarily for tests and the reference unpacker.
+    pub fn get(&self, row: usize, word: usize) -> W {
+        assert!(word < self.k);
+        let q = row / self.panel_rows;
+        let i = row % self.panel_rows;
+        assert!(q < self.panels, "row {row} out of packed range");
+        self.panel(q)[word * self.panel_rows + i]
+    }
+
+    /// Reconstructs the packed block as a plain row-major word buffer of
+    /// `logical_rows × k`, dropping panel padding. Inverse of `pack` for
+    /// in-range rows.
+    pub fn unpack(&self) -> Vec<W> {
+        let mut out = vec![W::ZERO; self.logical_rows * self.k];
+        for r in 0..self.logical_rows {
+            for p in 0..self.k {
+                out[r * self.k + p] = self.get(r, p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitMatrix<u64> {
+        BitMatrix::from_fn(7, 130, |r, c| (r * 31 + c * 7) % 3 == 0)
+    }
+
+    #[test]
+    fn pack_all_roundtrips() {
+        let m = sample();
+        for panel_rows in [1, 2, 3, 4, 8] {
+            let p = PackedPanels::pack_all(&m, panel_rows);
+            assert_eq!(p.logical_rows(), 7);
+            assert_eq!(p.k(), m.words_per_row());
+            assert_eq!(p.panels(), 7usize.div_ceil(panel_rows));
+            let flat = p.unpack();
+            for r in 0..7 {
+                assert_eq!(&flat[r * p.k()..(r + 1) * p.k()], m.row(r), "panel_rows={panel_rows} row={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_layout_is_word_major() {
+        let m = sample();
+        let p = PackedPanels::pack_all(&m, 2);
+        let panel0 = p.panel(0);
+        // First two entries are word 0 of rows 0 and 1.
+        assert_eq!(panel0[0], m.row(0)[0]);
+        assert_eq!(panel0[1], m.row(1)[0]);
+        // Next pair is word 1.
+        assert_eq!(panel0[2], m.row(0)[1]);
+        assert_eq!(panel0[3], m.row(1)[1]);
+    }
+
+    #[test]
+    fn edge_panel_is_zero_padded() {
+        let m = sample(); // 7 rows
+        let p = PackedPanels::pack_all(&m, 4);
+        assert_eq!(p.panels(), 2);
+        // Rows 7 within panel 1 (panel-local index 3) must be zero.
+        let panel1 = p.panel(1);
+        for word in 0..p.k() {
+            assert_eq!(panel1[word * 4 + 3], 0, "padded lane must stay zero");
+        }
+    }
+
+    #[test]
+    fn sub_block_pack_matches_matrix() {
+        let m = sample();
+        let p = PackedPanels::pack(&m, 2, 6, 1, 3, 2);
+        assert_eq!(p.logical_rows(), 4);
+        assert_eq!(p.k(), 2);
+        for r in 0..4 {
+            for w in 0..2 {
+                assert_eq!(p.get(r, w), m.row(r + 2)[w + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranges_produce_empty_pack() {
+        let m = sample();
+        let p = PackedPanels::pack(&m, 3, 3, 0, 2, 4);
+        assert_eq!(p.panels(), 0);
+        assert_eq!(p.logical_rows(), 0);
+        assert!(p.as_slice().is_empty());
+        assert!(p.unpack().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_row_range_panics() {
+        let m = sample();
+        let _ = PackedPanels::pack(&m, 0, 100, 0, 1, 2);
+    }
+
+    #[test]
+    fn works_for_u32() {
+        let m: BitMatrix<u32> = sample().convert();
+        let p = PackedPanels::pack_all(&m, 4);
+        let flat = p.unpack();
+        for r in 0..m.rows() {
+            assert_eq!(&flat[r * p.k()..(r + 1) * p.k()], m.row(r));
+        }
+    }
+}

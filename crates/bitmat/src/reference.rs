@@ -1,0 +1,158 @@
+//! Scalar reference implementation of the popcount-GEMM.
+//!
+//! Every optimized engine in the workspace (the BLIS CPU engine, the
+//! simulated GPU kernels, the sparse kernels) is validated against this
+//! triple loop. It is deliberately naive: correctness is its only job.
+
+use crate::count::CountMatrix;
+use crate::matrix::BitMatrix;
+use crate::ops::{dot, CompareOp};
+use crate::word::Word;
+
+/// Computes `γ[i][j] = Σ_k popc(op(a[i][k], b[j][k]))` with a plain triple
+/// loop (paper §III):
+///
+/// * LD (`op = And`, `b = a`): `γ` is the matrix of co-occurring minor
+///   alleles from which `p_AB` is estimated.
+/// * FastID identity search (`op = Xor`): `γ[i][j]` is the number of sites
+///   where query `i` differs from database profile `j`.
+/// * Mixture analysis (`op = AndNot`): `γ[i][j]` counts minor alleles of
+///   reference `i` missing from mixture `j`.
+///
+/// Panics if the operands disagree on `words_per_row` (callers pad first;
+/// padding is count-neutral for every `CompareOp`).
+pub fn reference_gamma<W: Word>(a: &BitMatrix<W>, b: &BitMatrix<W>, op: CompareOp) -> CountMatrix {
+    assert_eq!(
+        a.words_per_row(),
+        b.words_per_row(),
+        "operands must share a packed width: {} vs {} words per row",
+        a.words_per_row(),
+        b.words_per_row()
+    );
+    let mut c = CountMatrix::zeros(a.rows(), b.rows());
+    #[allow(clippy::needless_range_loop)] // index symmetry (i, j) mirrors the math
+    for i in 0..a.rows() {
+        let ai = a.row(i);
+        let ci = c.row_mut(i);
+        for j in 0..b.rows() {
+            ci[j] = dot(op, ai, b.row(j)) as u32;
+        }
+    }
+    c
+}
+
+/// Symmetric self-comparison `reference_gamma(a, a, op)` — the LD case where
+/// the query and database coincide.
+pub fn reference_gamma_self<W: Word>(a: &BitMatrix<W>, op: CompareOp) -> CountMatrix {
+    reference_gamma(a, a, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (BitMatrix<u64>, BitMatrix<u64>) {
+        // a: 2 sequences x 5 sites, b: 3 sequences x 5 sites
+        let a = BitMatrix::from_bool_rows(&[
+            vec![true, false, true, true, false],
+            vec![false, true, true, false, false],
+        ]);
+        let b = BitMatrix::from_bool_rows(&[
+            vec![true, true, false, true, false],
+            vec![false, false, false, false, false],
+            vec![true, false, true, true, true],
+        ]);
+        (a, b)
+    }
+
+    #[test]
+    fn and_counts_by_hand() {
+        let (a, b) = tiny();
+        let c = reference_gamma(&a, &b, CompareOp::And);
+        // a0 = {0,2,3}; b0 = {0,1,3}; intersect = {0,3} -> 2
+        assert_eq!(c.get(0, 0), 2);
+        assert_eq!(c.get(0, 1), 0); // empty b1
+        assert_eq!(c.get(0, 2), 3); // b2 = {0,2,3,4}
+        assert_eq!(c.get(1, 0), 1); // a1 = {1,2} ∩ {0,1,3} = {1}
+        assert_eq!(c.get(1, 2), 1); // {1,2} ∩ {0,2,3,4} = {2}
+    }
+
+    #[test]
+    fn xor_counts_by_hand() {
+        let (a, b) = tiny();
+        let c = reference_gamma(&a, &b, CompareOp::Xor);
+        // a0 = {0,2,3} vs b0 = {0,1,3}: symmetric difference {1,2} -> 2
+        assert_eq!(c.get(0, 0), 2);
+        assert_eq!(c.get(0, 1), 3); // vs empty: |a0| = 3
+        assert_eq!(c.get(0, 2), 1); // {4}
+    }
+
+    #[test]
+    fn andnot_counts_by_hand() {
+        let (a, b) = tiny();
+        let c = reference_gamma(&a, &b, CompareOp::AndNot);
+        // a0 \ b0 = {2} -> 1; a0 \ {} = 3; a0 \ b2 = {} -> 0
+        assert_eq!(c.get(0, 0), 1);
+        assert_eq!(c.get(0, 1), 3);
+        assert_eq!(c.get(0, 2), 0);
+    }
+
+    #[test]
+    fn xor_self_diagonal_is_zero() {
+        let (a, _) = tiny();
+        let c = reference_gamma_self(&a, CompareOp::Xor);
+        for i in 0..a.rows() {
+            assert_eq!(c.get(i, i), 0, "a profile always matches itself");
+        }
+    }
+
+    #[test]
+    fn and_self_is_symmetric_with_popcount_diagonal() {
+        let (a, _) = tiny();
+        let c = reference_gamma_self(&a, CompareOp::And);
+        for i in 0..a.rows() {
+            for j in 0..a.rows() {
+                assert_eq!(c.get(i, j), c.get(j, i));
+            }
+            let ones: u32 = a.row(i).iter().map(|w| w.count_ones()).sum();
+            assert_eq!(c.get(i, i), ones);
+        }
+    }
+
+    #[test]
+    fn andnot_equals_and_with_pre_negated_database() {
+        let (a, b) = tiny();
+        let direct = reference_gamma(&a, &b, CompareOp::AndNot);
+        let pre = reference_gamma(&a, &b.negated(), CompareOp::And);
+        assert_eq!(direct.first_mismatch(&pre), None);
+    }
+
+    #[test]
+    fn padding_is_count_neutral() {
+        let (a, b) = tiny();
+        let base = reference_gamma(&a, &b, CompareOp::Xor);
+        let ap = a.padded_to(4, 3);
+        let bp = b.padded_to(8, 3);
+        let padded = reference_gamma(&ap, &bp, CompareOp::Xor);
+        assert_eq!(padded.cropped(a.rows(), b.rows()).first_mismatch(&base), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed width")]
+    fn mismatched_widths_panic() {
+        let a = BitMatrix::<u64>::zeros(1, 64);
+        let b = BitMatrix::<u64>::zeros(1, 65);
+        let _ = reference_gamma(&a, &b, CompareOp::And);
+    }
+
+    #[test]
+    fn works_for_u32_words() {
+        let a32 = BitMatrix::<u32>::from_fn(3, 70, |r, c| (r * 7 + c * 3) % 5 == 0);
+        let a64: BitMatrix<u64> = a32.convert();
+        for op in CompareOp::ALL {
+            let c32 = reference_gamma_self(&a32, op);
+            let c64 = reference_gamma_self(&a64, op);
+            assert_eq!(c32.first_mismatch(&c64), None, "op {op}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Bit-level matrix transpose.
+//!
+//! LD pipelines move between two layouts of the same data: genotype
+//! matrices arrive as samples × sites (one row per individual, the FastID
+//! layout) while the LD computation wants sites × samples (one row per SNP,
+//! paper Fig. 2). Transposing a packed bit matrix efficiently is a
+//! word-block problem: we lift 8×8 bit tiles through the classic
+//! delta-swap network instead of moving single bits.
+
+use crate::matrix::BitMatrix;
+use crate::word::Word;
+
+/// Transposes an 8×8 bit tile held as 8 bytes (row `i` in byte `i`,
+/// little-endian bit order). Three delta-swap rounds (Hacker's Delight §7-3).
+#[inline]
+fn transpose8x8(b: [u8; 8]) -> [u8; 8] {
+    let mut x: u64 = u64::from_le_bytes(b);
+    // Swap 1x1 sub-blocks across the diagonal within 2x2 blocks, then 2x2
+    // within 4x4, then 4x4 within 8x8.
+    let mut t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x.to_le_bytes()
+}
+
+/// Returns the bit-transpose of `m`: output bit (`r`, `c`) equals input bit
+/// (`c`, `r`). Works for any word type and any (including ragged) shape;
+/// padding in the result is zero.
+pub fn transpose<W: Word>(m: &BitMatrix<W>) -> BitMatrix<W> {
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut out = BitMatrix::<W>::zeros(cols, rows);
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    let wb = W::BITS as usize;
+    let out_wpr = out.words_per_row();
+    // Process 8x8 bit tiles: gather 8 source rows x 8 source columns,
+    // transpose the tile, scatter into 8 destination rows.
+    for r0 in (0..rows).step_by(8) {
+        let r_max = 8.min(rows - r0);
+        for c0 in (0..cols).step_by(8) {
+            let c_max = 8.min(cols - c0);
+            // Gather: byte i = bits (r0+i, c0..c0+8).
+            let mut tile = [0u8; 8];
+            for (i, t) in tile.iter_mut().enumerate().take(r_max) {
+                let r = r0 + i;
+                let row = m.row(r);
+                // The 8 source columns may straddle a word boundary.
+                let w = c0 / wb;
+                let off = (c0 % wb) as u32;
+                let lo = row[w].to_u64() >> off;
+                let hi = if off != 0 && w + 1 < row.len() {
+                    row[w + 1].to_u64() << (wb as u32 - off)
+                } else {
+                    0
+                };
+                *t = ((lo | hi) & 0xFF) as u8;
+            }
+            let tt = transpose8x8(tile);
+            // Scatter: byte j = output bits (c0+j, r0..r0+8).
+            let out_words = out.words_per_row();
+            debug_assert_eq!(out_words, out_wpr);
+            for (j, &byte) in tt.iter().enumerate().take(c_max) {
+                let byte = byte & low_u8(r_max);
+                if byte == 0 {
+                    continue;
+                }
+                let or = c0 + j;
+                let w = r0 / wb;
+                let off = (r0 % wb) as u32;
+                let row = out.row_mut(or);
+                row[w] |= W::from_u64((byte as u64) << off);
+                let spill = off as usize + 8;
+                if spill > wb && w + 1 < row.len() {
+                    row[w + 1] |= W::from_u64((byte as u64) >> (wb as u32 - off));
+                }
+            }
+        }
+    }
+    debug_assert!(out.padding_is_zero());
+    out
+}
+
+#[inline]
+fn low_u8(n: usize) -> u8 {
+    if n >= 8 {
+        0xFF
+    } else {
+        (1u8 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> BitMatrix<u64> {
+        BitMatrix::from_fn(rows, cols, |r, c| {
+            (r.wrapping_mul(0x9E37_79B9) ^ c.wrapping_mul(0x85EB_CA6B)).rotate_left(11) % 3 == 0
+        })
+    }
+
+    #[test]
+    fn tile_transpose_identity_cases() {
+        assert_eq!(transpose8x8([0; 8]), [0; 8]);
+        assert_eq!(transpose8x8([0xFF; 8]), [0xFF; 8]);
+        // Identity matrix is its own transpose.
+        let ident = [1u8, 2, 4, 8, 16, 32, 64, 128];
+        assert_eq!(transpose8x8(ident), ident);
+        // A single bit at (row 2, col 5) moves to (5, 2).
+        let mut t = [0u8; 8];
+        t[2] = 1 << 5;
+        let tt = transpose8x8(t);
+        for (i, &b) in tt.iter().enumerate() {
+            assert_eq!(b, if i == 5 { 1 << 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn transpose_matches_definition() {
+        for (rows, cols) in [(1usize, 1usize), (8, 8), (3, 17), (65, 9), (70, 130), (128, 64)] {
+            let m = sample(rows, cols);
+            let t = transpose(&m);
+            assert_eq!((t.rows(), t.cols()), (cols, rows));
+            assert!(t.padding_is_zero());
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(t.get(c, r), m.get(r, c), "{rows}x{cols} at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = sample(37, 203);
+        assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn works_for_u32_words() {
+        let m64 = sample(20, 75);
+        let m32: BitMatrix<u32> = m64.convert();
+        let t32 = transpose(&m32);
+        let t64 = transpose(&m64);
+        assert_eq!(t32.convert::<u64>(), t64);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let m = BitMatrix::<u64>::zeros(0, 5);
+        let t = transpose(&m);
+        assert_eq!((t.rows(), t.cols()), (5, 0));
+    }
+
+    #[test]
+    fn transpose_preserves_popcount() {
+        let m = sample(50, 333);
+        assert_eq!(transpose(&m).count_ones(), m.count_ones());
+    }
+}

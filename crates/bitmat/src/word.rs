@@ -1,0 +1,172 @@
+//! Machine-word abstraction.
+//!
+//! SNP matrices are stored as packed machine words so that one logical
+//! AND/XOR/ANDNOT plus one population count compares `W::BITS` SNP sites at a
+//! time. The CPU engine prefers `u64` (the paper's CPU popcount operates on
+//! 64-bit words) while the model GPU operates on 32-bit elements (the paper's
+//! kernels use 4-byte elements; see Eq. 6), so the substrate is generic over
+//! the word type.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// An unsigned machine word usable as a packed SNP bit container.
+///
+/// Implemented for `u8`, `u16`, `u32` and `u64`. All bit positions are
+/// little-endian within a word: bit `i` of word `w` holds logical column
+/// `w * W::BITS + i`.
+pub trait Word:
+    Copy
+    + Default
+    + Eq
+    + Ord
+    + Hash
+    + Debug
+    + Send
+    + Sync
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + BitAndAssign
+    + BitOrAssign
+    + BitXorAssign
+    + Not<Output = Self>
+    + 'static
+{
+    /// Number of bits in the word.
+    const BITS: u32;
+    /// The all-zeros word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+
+    /// Population count: number of set bits.
+    fn count_ones(self) -> u32;
+
+    /// Truncating conversion from `u64` (keeps the low `BITS` bits).
+    fn from_u64(v: u64) -> Self;
+
+    /// Zero-extending conversion to `u64`.
+    fn to_u64(self) -> u64;
+
+    /// Returns bit `i` (must be `< BITS`).
+    #[inline]
+    fn bit(self, i: u32) -> bool {
+        debug_assert!(i < Self::BITS);
+        (self.to_u64() >> i) & 1 == 1
+    }
+
+    /// Returns `self` with bit `i` set to `v` (must be `< BITS`).
+    #[inline]
+    fn with_bit(self, i: u32, v: bool) -> Self {
+        debug_assert!(i < Self::BITS);
+        let mask = Self::from_u64(1u64 << i);
+        if v {
+            self | mask
+        } else {
+            self & !mask
+        }
+    }
+
+    /// A word whose low `n` bits are set (`n <= BITS`).
+    #[inline]
+    fn low_mask(n: u32) -> Self {
+        assert!(n <= Self::BITS, "mask width {n} exceeds word width {}", Self::BITS);
+        if n == Self::BITS {
+            Self::ONES
+        } else {
+            Self::from_u64((1u64 << n) - 1)
+        }
+    }
+}
+
+macro_rules! impl_word {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            const ONES: Self = <$t>::MAX;
+
+            #[inline]
+            fn count_ones(self) -> u32 {
+                <$t>::count_ones(self)
+            }
+
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+
+impl_word!(u8, u16, u32, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_constants() {
+        assert_eq!(<u8 as Word>::BITS, 8);
+        assert_eq!(<u16 as Word>::BITS, 16);
+        assert_eq!(<u32 as Word>::BITS, 32);
+        assert_eq!(<u64 as Word>::BITS, 64);
+    }
+
+    #[test]
+    fn zero_and_ones() {
+        assert_eq!(<u32 as Word>::ZERO, 0u32);
+        assert_eq!(<u32 as Word>::ONES, u32::MAX);
+        assert_eq!(<u64 as Word>::ONES.count_ones(), 64);
+        assert_eq!(<u64 as Word>::ZERO.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        assert_eq!(<u8 as Word>::from_u64(0x1FF), 0xFFu8);
+        assert_eq!(<u32 as Word>::from_u64(u64::MAX), u32::MAX);
+        assert_eq!(<u64 as Word>::from_u64(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut w = 0u64;
+        for i in [0u32, 1, 5, 31, 32, 63] {
+            w = w.with_bit(i, true);
+            assert!(w.bit(i), "bit {i} should be set");
+        }
+        assert_eq!(w.count_ones(), 6);
+        w = w.with_bit(31, false);
+        assert!(!w.bit(31));
+        assert_eq!(w.count_ones(), 5);
+    }
+
+    #[test]
+    fn with_bit_idempotent() {
+        let w = 0u32.with_bit(7, true);
+        assert_eq!(w.with_bit(7, true), w);
+        assert_eq!(w.with_bit(7, false).with_bit(7, false), 0);
+    }
+
+    #[test]
+    fn low_mask_widths() {
+        assert_eq!(<u32 as Word>::low_mask(0), 0);
+        assert_eq!(<u32 as Word>::low_mask(1), 1);
+        assert_eq!(<u32 as Word>::low_mask(32), u32::MAX);
+        assert_eq!(<u64 as Word>::low_mask(64), u64::MAX);
+        assert_eq!(<u64 as Word>::low_mask(10).count_ones(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask width")]
+    fn low_mask_too_wide_panics() {
+        let _ = <u32 as Word>::low_mask(33);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the bit-matrix substrate.
+
+use proptest::prelude::*;
+use snp_bitmat::{reference_gamma, reference_gamma_self, BitMatrix, CompareOp, PackedPanels};
+
+/// Strategy: a random bit matrix with the given bounds, as bool rows.
+fn bit_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix<u64>> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(any::<bool>(), c), r)
+            .prop_map(move |rows| BitMatrix::from_bool_rows(&rows))
+    })
+}
+
+fn pair_same_cols(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (BitMatrix<u64>, BitMatrix<u64>)> {
+    (1..=max_rows, 1..=max_rows, 1..=max_cols).prop_flat_map(|(ra, rb, c)| {
+        let a = prop::collection::vec(prop::collection::vec(any::<bool>(), c), ra)
+            .prop_map(move |rows| BitMatrix::from_bool_rows(&rows));
+        let b = prop::collection::vec(prop::collection::vec(any::<bool>(), c), rb)
+            .prop_map(move |rows| BitMatrix::from_bool_rows(&rows));
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// get/set round-trip for arbitrary matrices, plus padding invariant.
+    #[test]
+    fn construction_preserves_bits(m in bit_matrix(12, 200)) {
+        prop_assert!(m.padding_is_zero());
+        let copy = BitMatrix::<u64>::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c));
+        prop_assert_eq!(copy, m);
+    }
+
+    /// Word-type conversion is lossless in both directions.
+    #[test]
+    fn convert_roundtrip(m in bit_matrix(8, 150)) {
+        let v: BitMatrix<u32> = m.convert();
+        prop_assert!(v.padding_is_zero());
+        let back: BitMatrix<u64> = v.convert();
+        prop_assert_eq!(back, m);
+    }
+
+    /// γ is invariant under padding of rows and words, for every operator.
+    #[test]
+    fn gamma_padding_invariance((a, b) in pair_same_cols(8, 150)) {
+        for op in CompareOp::ALL {
+            let base = reference_gamma(&a, &b, op);
+            let ap = a.padded_to(4, 3);
+            let bp = b.padded_to(8, 3);
+            let padded = reference_gamma(&ap, &bp, op);
+            prop_assert_eq!(
+                padded.cropped(a.rows(), b.rows()).first_mismatch(&base), None,
+                "op {}", op
+            );
+        }
+    }
+
+    /// AND and XOR self-comparisons are symmetric.
+    #[test]
+    fn self_gamma_symmetry(a in bit_matrix(10, 120)) {
+        for op in [CompareOp::And, CompareOp::Xor] {
+            let c = reference_gamma_self(&a, op);
+            for i in 0..a.rows() {
+                for j in 0..a.rows() {
+                    prop_assert_eq!(c.get(i, j), c.get(j, i));
+                }
+            }
+        }
+    }
+
+    /// XOR diagonal is zero; AND diagonal equals the row popcount.
+    #[test]
+    fn self_gamma_diagonals(a in bit_matrix(10, 120)) {
+        let x = reference_gamma_self(&a, CompareOp::Xor);
+        let n = reference_gamma_self(&a, CompareOp::And);
+        for i in 0..a.rows() {
+            prop_assert_eq!(x.get(i, i), 0);
+            let ones: u32 = a.row(i).iter().map(|w| w.count_ones()).sum();
+            prop_assert_eq!(n.get(i, i), ones);
+        }
+    }
+
+    /// Inclusion-exclusion ties the three operators together:
+    /// |a ^ b| = |a| + |b| - 2|a & b| and |a & !b| = |a| - |a & b|.
+    #[test]
+    fn operator_inclusion_exclusion((a, b) in pair_same_cols(6, 130)) {
+        let and = reference_gamma(&a, &b, CompareOp::And);
+        let xor = reference_gamma(&a, &b, CompareOp::Xor);
+        let andnot = reference_gamma(&a, &b, CompareOp::AndNot);
+        for i in 0..a.rows() {
+            let pa: u32 = a.row(i).iter().map(|w| w.count_ones()).sum();
+            for j in 0..b.rows() {
+                let pb: u32 = b.row(j).iter().map(|w| w.count_ones()).sum();
+                prop_assert_eq!(xor.get(i, j), pa + pb - 2 * and.get(i, j));
+                prop_assert_eq!(andnot.get(i, j), pa - and.get(i, j));
+            }
+        }
+    }
+
+    /// Mixture pre-negation: AND-NOT(a, b) == AND(a, ¬b) at matrix level.
+    #[test]
+    fn prenegation_matrix_identity((a, b) in pair_same_cols(6, 130)) {
+        let direct = reference_gamma(&a, &b, CompareOp::AndNot);
+        let pre = reference_gamma(&a, &b.negated(), CompareOp::And);
+        prop_assert_eq!(direct.first_mismatch(&pre), None);
+    }
+
+    /// Packing into panels of any width reconstructs the original rows.
+    #[test]
+    fn pack_unpack_roundtrip(m in bit_matrix(12, 200), panel_rows in 1usize..6) {
+        let p = PackedPanels::pack_all(&m, panel_rows);
+        let flat = p.unpack();
+        for r in 0..m.rows() {
+            prop_assert_eq!(&flat[r * p.k()..(r + 1) * p.k()], m.row(r));
+        }
+    }
+
+    /// Negation preserves shape, inverts density, and keeps padding clean.
+    #[test]
+    fn negation_properties(m in bit_matrix(8, 100)) {
+        let n = m.negated();
+        prop_assert!(n.padding_is_zero());
+        prop_assert_eq!(n.rows(), m.rows());
+        prop_assert_eq!(n.cols(), m.cols());
+        prop_assert_eq!(n.count_ones() + m.count_ones(), (m.rows() * m.cols()) as u64);
+        prop_assert_eq!(n.negated(), m);
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Argument errors, with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a token stream: `command --key value --key2 value2 …`.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty option name `--`".into()));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("option --{key} is missing its value")))?;
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("option --{key} given twice")));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("option --{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Errors on unknown option names (catches typos).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(toks("ld --snps 100 --device Titan")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("ld"));
+        assert_eq!(a.get("snps"), Some("100"));
+        assert_eq!(a.get_or("device", "x"), "Titan");
+        assert_eq!(a.get_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn numeric_parsing_with_default() {
+        let a = Args::parse(toks("ld --snps 100")).unwrap();
+        assert_eq!(a.get_parse("snps", 5usize).unwrap(), 100);
+        assert_eq!(a.get_parse("samples", 64usize).unwrap(), 64);
+        let bad = Args::parse(toks("ld --snps abc")).unwrap();
+        assert!(bad.get_parse("snps", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(toks("ld --snps")).is_err(), "missing value");
+        assert!(Args::parse(toks("ld x y")).is_err(), "extra positional");
+        assert!(Args::parse(toks("ld --snps 1 --snps 2")).is_err(), "duplicate");
+        assert!(Args::parse(toks("ld -- 1")).is_err(), "empty name");
+    }
+
+    #[test]
+    fn unknown_options_detected() {
+        let a = Args::parse(toks("ld --snsp 100")).unwrap();
+        let err = a.expect_only(&["snps", "device"]).unwrap_err();
+        assert!(err.to_string().contains("--snsp"));
+        let ok = Args::parse(toks("ld --snps 100")).unwrap();
+        assert!(ok.expect_only(&["snps"]).is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_empty_command() {
+        let a = Args::parse(Vec::new()).unwrap();
+        assert_eq!(a.command, None);
+    }
+}

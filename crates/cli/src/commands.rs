@@ -1,0 +1,372 @@
+//! The `snpgpu` subcommands. Each returns its report as a `String` so the
+//! command layer is directly testable.
+
+use std::fmt::Write as _;
+
+use snp_bitmat::BitMatrix;
+use snp_core::{
+    config_for, Algorithm, CpuModel, EngineOptions, ExecMode, GpuEngine, MixtureStrategy,
+};
+use snp_cpu::CpuEngine;
+use snp_gpu_model::config::ProblemShape;
+use snp_gpu_model::peak::peak;
+use snp_gpu_model::{devices, DeviceSpec, InstrClass, WordOpKind};
+use snp_microbench::recover_parameters;
+use snp_popgen::forensic::{generate_database, generate_mixtures, generate_queries, DatabaseConfig};
+use snp_popgen::ld_stats::ld_pair;
+use snp_popgen::population::{generate_panel, PanelConfig};
+use snp_popgen::IdentityScorer;
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+snpgpu — portable SNP comparisons on simulated GPUs
+
+USAGE: snpgpu <command> [--option value]...
+
+COMMANDS:
+  devices                      list modeled devices (Table I summary)
+  config    --device D --algorithm ld|search|mixture [--m N --n N --snps N]
+                               show the derived kernel configuration
+  microbench --device D        recover hardware parameters (§V-C/§V-D)
+  ld        --device D [--snps N --samples N --seed S]
+                               LD scan on a synthetic panel
+  search    --device D [--profiles N --snps N --queries N --noise F --seed S]
+                               FastID identity search with planted queries
+  mixture   --device D [--profiles N --snps N --contributors K --seed S]
+                               FastID mixture analysis
+  cpu       [--snps N --samples N --seed S]
+                               run the real multithreaded CPU engine (wall time)
+
+Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).";
+
+fn device_arg(args: &Args) -> Result<DeviceSpec, ArgError> {
+    let name = args.get_or("device", "Titan V");
+    devices::by_name(name)
+        .filter(|d| d.shared_mem_bytes > 0)
+        .ok_or_else(|| ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)")))
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_deref() {
+        Some("devices") => cmd_devices(args),
+        Some("config") => cmd_config(args),
+        Some("microbench") => cmd_microbench(args),
+        Some("ld") => cmd_ld(args),
+        Some("search") => cmd_search(args),
+        Some("mixture") => cmd_mixture(args),
+        Some("cpu") => cmd_cpu(args),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
+        None => Ok(USAGE.to_string()),
+    }
+}
+
+fn cmd_devices(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[])?;
+    let mut out = String::new();
+    for d in devices::all_devices() {
+        let pk = peak(&d, WordOpKind::And);
+        let _ = writeln!(
+            out,
+            "{:<18} {:<12} {:>3} cores x {} clusters, {}-thread {}s, popc x{} (L={}), peak {:.0} G word-ops/s",
+            d.name,
+            d.microarchitecture,
+            d.n_cores,
+            d.n_clusters,
+            d.n_t,
+            d.thread_group_term(),
+            d.n_fn(InstrClass::Popc).unwrap(),
+            d.l_fn,
+            pk.word_ops_per_sec / 1e9,
+        );
+    }
+    Ok(out)
+}
+
+fn algorithm_arg(args: &Args) -> Result<Algorithm, ArgError> {
+    match args.get_or("algorithm", "ld") {
+        "ld" => Ok(Algorithm::LinkageDisequilibrium),
+        "search" => Ok(Algorithm::IdentitySearch),
+        "mixture" => Ok(Algorithm::MixtureAnalysis),
+        other => Err(ArgError(format!("unknown algorithm {other:?} (ld|search|mixture)"))),
+    }
+}
+
+fn cmd_config(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "algorithm", "m", "n", "snps"])?;
+    let dev = device_arg(args)?;
+    let alg = algorithm_arg(args)?;
+    let m = args.get_parse("m", 10_000usize)?;
+    let n = args.get_parse("n", 10_000usize)?;
+    let snps = args.get_parse("snps", 10_000usize)?;
+    let shape = ProblemShape { m, n, k_words: snps.div_ceil(32).max(1) };
+    let cfg = config_for(&dev, alg, shape);
+    let mut out = String::new();
+    let _ = writeln!(out, "device:    {} ({})", dev.name, dev.microarchitecture);
+    let _ = writeln!(out, "algorithm: {}", alg.name());
+    let _ = writeln!(out, "problem:   {m} x {n} over {snps} SNP-string bits ({} device words)", shape.k_words);
+    let _ = writeln!(out, "m_c = {:<5} (A tile rows in shared memory)", cfg.m_c);
+    let _ = writeln!(out, "m_r = {:<5} (register rows; Eq. 4: N_vec)", cfg.m_r);
+    let _ = writeln!(out, "k_c = {:<5} (shared-memory depth; Eq. 6)", cfg.k_c);
+    let _ = writeln!(out, "n_r = {:<5} (register columns; Eq. 7 bounds)", cfg.n_r);
+    let _ = writeln!(out, "core grid = {} x {} (third x second loop)", cfg.grid_m, cfg.grid_n);
+    let _ = writeln!(out, "thread groups per cluster = {} (= L_fn)", cfg.groups_per_cluster);
+    Ok(out)
+}
+
+fn cmd_microbench(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device"])?;
+    let dev = device_arg(args)?;
+    let r = recover_parameters(&dev);
+    let mut out = String::new();
+    let _ = writeln!(out, "recovered parameters for {} (dependent chains + group sweeps):", dev.name);
+    for (class, lat) in &r.latency {
+        let units = r.units_for(*class).unwrap();
+        let _ = writeln!(out, "  {class:<6} latency {lat:>5.2} cycles, {units:>2} units/cluster");
+    }
+    let shared: Vec<String> = r.shared_pairs.iter().map(|(a, b)| format!("{a}+{b}")).collect();
+    let _ = writeln!(out, "  shared pipelines: {}", if shared.is_empty() { "none".into() } else { shared.join(", ") });
+    Ok(out)
+}
+
+fn cmd_ld(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "snps", "samples", "seed"])?;
+    let dev = device_arg(args)?;
+    let snps = args.get_parse("snps", 256usize)?;
+    let samples = args.get_parse("samples", 2048usize)?;
+    let seed = args.get_parse("seed", 42u64)?;
+    let panel = generate_panel(&PanelConfig { snps, samples, ..Default::default() }, seed);
+    let engine = GpuEngine::new(dev.clone());
+    let run = engine.ld_self(&panel.matrix).map_err(|e| ArgError(e.to_string()))?;
+    let gamma = run.gamma.expect("full mode");
+    // Strongest off-diagonal pair.
+    let mut best = (0usize, 1usize, -1.0f64);
+    for a in 0..snps {
+        for b in (a + 1)..snps {
+            let r2 = ld_pair(&gamma, samples, a, b).r2;
+            if r2 > best.2 {
+                best = (a, b, r2);
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "LD scan: {snps} SNPs x {samples} haplotypes on {}", dev.name);
+    let _ = writeln!(
+        out,
+        "modeled end-to-end {:.2} ms (kernel {:.3} ms, {} pass(es))",
+        run.timing.end_to_end_ns as f64 / 1e6,
+        run.timing.kernel_ns as f64 / 1e6,
+        run.passes
+    );
+    let _ = writeln!(out, "strongest pair: SNP {} ~ SNP {} with r² = {:.3}", best.0, best.1, best.2);
+    Ok(out)
+}
+
+fn cmd_search(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "profiles", "snps", "queries", "noise", "seed"])?;
+    let dev = device_arg(args)?;
+    let profiles = args.get_parse("profiles", 10_000usize)?;
+    let snps = args.get_parse("snps", 512usize)?;
+    let queries = args.get_parse("queries", 8usize)?;
+    let noise = args.get_parse("noise", 0.01f64)?;
+    let seed = args.get_parse("seed", 42u64)?;
+    let db = generate_database(&DatabaseConfig { profiles, snps, ..Default::default() }, seed);
+    let planted = queries.div_ceil(2);
+    let qs = generate_queries(&db, queries, planted, noise, seed + 1);
+    let engine = GpuEngine::new(dev.clone());
+    let run = engine.identity_search(&qs.queries, &db.profiles).map_err(|e| ArgError(e.to_string()))?;
+    let gamma = run.gamma.expect("full mode");
+    let scorer = IdentityScorer::new(db.site_maf.clone(), noise.max(1e-4));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "identity search: {queries} queries vs {profiles} profiles x {snps} SNPs on {} ({:.2} ms end-to-end, {} pass(es))",
+        dev.name,
+        run.timing.end_to_end_ns as f64 / 1e6,
+        run.passes
+    );
+    for q in 0..queries {
+        let best = gamma.argmin_in_row(q).unwrap();
+        let d = gamma.get(q, best);
+        let lr = scorer.log_lr(d);
+        let verdict = if lr > 0.0 { "MATCH" } else { "no match" };
+        let truth = match qs.truth[q] {
+            Some(t) if t == best => " [planted: correct]",
+            Some(_) => " [planted: WRONG PROFILE]",
+            None => " [non-member]",
+        };
+        let _ = writeln!(
+            out,
+            "  query {q}: profile {best} at {d} differences, log LR {lr:>8.1} -> {verdict}{truth}"
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "profiles", "snps", "contributors", "seed"])?;
+    let dev = device_arg(args)?;
+    let profiles = args.get_parse("profiles", 5_000usize)?;
+    let snps = args.get_parse("snps", 512usize)?;
+    let contributors = args.get_parse("contributors", 3usize)?;
+    let seed = args.get_parse("seed", 42u64)?;
+    let db = generate_database(&DatabaseConfig { profiles, snps, ..Default::default() }, seed);
+    let (mixtures, matrix) = generate_mixtures(&db, 1, contributors, seed + 1);
+    let strategy = if dev.fused_andnot { MixtureStrategy::Direct } else { MixtureStrategy::PreNegate };
+    let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+        mode: ExecMode::Full,
+        double_buffer: true,
+        mixture: strategy,
+    });
+    let run = engine.mixture_analysis(&db.profiles, &matrix).map_err(|e| ArgError(e.to_string()))?;
+    let gamma = run.gamma.expect("full mode");
+    let included: Vec<usize> = (0..profiles).filter(|&r| gamma.get(r, 0) == 0).collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mixture analysis on {} (strategy {:?}, chosen for this microarchitecture):",
+        dev.name, strategy
+    );
+    let _ = writeln!(out, "  planted contributors: {:?}", {
+        let mut c = mixtures[0].contributors.clone();
+        c.sort_unstable();
+        c
+    });
+    let _ = writeln!(out, "  profiles consistent with the mixture (γ = 0): {included:?}");
+    let _ = writeln!(
+        out,
+        "  modeled kernel {:.3} ms at {:.0} G word-ops/s",
+        run.timing.kernel_ns as f64 / 1e6,
+        run.kernel_word_ops_per_sec / 1e9
+    );
+    Ok(out)
+}
+
+fn cmd_cpu(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["snps", "samples", "seed"])?;
+    let snps = args.get_parse("snps", 512usize)?;
+    let samples = args.get_parse("samples", 4096usize)?;
+    let seed = args.get_parse("seed", 42u64)?;
+    let panel = snp_popgen::random_dense(snps, samples, seed);
+    let engine = CpuEngine::new();
+    let t0 = std::time::Instant::now();
+    let gamma = engine.ld_self_symmetric(&panel);
+    let dt = t0.elapsed();
+    let word_ops = snps * snps * panel.words_per_row();
+    let mut out = String::new();
+    let _ = writeln!(out, "real CPU engine (this host): {snps} x {snps} LD over {samples} samples");
+    let _ = writeln!(
+        out,
+        "wall time {:.1} ms, {:.2} G word64-ops/s (symmetric path)",
+        dt.as_secs_f64() * 1e3,
+        word_ops as f64 / dt.as_secs_f64() / 1e9
+    );
+    let model = CpuModel::ivy_bridge_workstation();
+    let _ = writeln!(
+        out,
+        "(the paper's Xeon E5-2620 v2 model would need {:.1} ms)",
+        model.time_ns_for_bits(WordOpKind::And, snps, snps, samples) / 1e6
+    );
+    let _ = writeln!(out, "γ[0][0] = {} (self count)", gamma.get(0, 0));
+    let _ = BitMatrix::<u64>::zeros(0, 0); // keep the type in the public surface
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, ArgError> {
+        run(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap())
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let out = run_line("").unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn devices_lists_all_four() {
+        let out = run_line("devices").unwrap();
+        for name in ["GTX 980", "Titan V", "Vega 64", "Xeon"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn config_reports_table2_values() {
+        let out = run_line("config --device titan-v --algorithm ld").unwrap();
+        assert!(out.contains("n_r = 1024"));
+        assert!(out.contains("k_c = 383"));
+        assert!(out.contains("core grid = 80 x 1"));
+    }
+
+    #[test]
+    fn config_rejects_unknown_algorithm_and_device() {
+        assert!(run_line("config --algorithm nope").is_err());
+        assert!(run_line("config --device GTX9999").is_err());
+        // The CPU row is not a GPU target.
+        assert!(run_line("config --device xeon-e5-2620-v2").is_err());
+    }
+
+    #[test]
+    fn ld_command_runs_and_reports() {
+        let out = run_line("ld --device gtx-980 --snps 48 --samples 512 --seed 7").unwrap();
+        assert!(out.contains("LD scan"));
+        assert!(out.contains("strongest pair"));
+    }
+
+    #[test]
+    fn search_command_identifies_planted_queries() {
+        let out =
+            run_line("search --device vega-64 --profiles 400 --snps 256 --queries 4 --noise 0.0")
+                .unwrap();
+        assert!(out.contains("MATCH"));
+        assert!(out.contains("[planted: correct]"));
+        assert!(!out.contains("WRONG PROFILE"));
+    }
+
+    #[test]
+    fn mixture_command_recovers_contributors() {
+        let out = run_line("mixture --device titan-v --profiles 300 --snps 384 --contributors 2")
+            .unwrap();
+        assert!(out.contains("planted contributors"));
+        // The planted set must appear inside the consistent set line.
+        let planted: Vec<usize> = out
+            .lines()
+            .find(|l| l.contains("planted contributors"))
+            .unwrap()
+            .split(['[', ']'])
+            .nth(1)
+            .unwrap()
+            .split(", ")
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let consistent_line = out.lines().find(|l| l.contains("γ = 0")).unwrap();
+        for c in planted {
+            assert!(consistent_line.contains(&c.to_string()), "{c} missing from {consistent_line}");
+        }
+    }
+
+    #[test]
+    fn cpu_command_runs_for_real() {
+        let out = run_line("cpu --snps 64 --samples 512").unwrap();
+        assert!(out.contains("real CPU engine"));
+        assert!(out.contains("wall time"));
+    }
+
+    #[test]
+    fn typo_in_option_is_caught() {
+        let err = run_line("ld --snsp 100").unwrap_err();
+        assert!(err.to_string().contains("--snsp"));
+    }
+}

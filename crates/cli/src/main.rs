@@ -1,0 +1,23 @@
+//! `snpgpu` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match snp_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snpgpu: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match snp_cli::run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snpgpu: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

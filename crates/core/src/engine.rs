@@ -1,0 +1,489 @@
+//! The end-to-end engine: host orchestration of the portable framework.
+//!
+//! Implements the paper's measured pipeline (§VI-A-1): open the device (the
+//! OpenCL initialization cost lands on the host clock), pack the bit
+//! matrices into transfer buffers, upload, launch the configured kernel
+//! over the pass plan, and read results back — with double buffering so
+//! data transfer and host packing overlap computation.
+//!
+//! Two execution modes:
+//!
+//! * [`ExecMode::Full`] — buffers hold real words, kernels compute bit-exact
+//!   `γ` (validated against the scalar reference), timing is modeled;
+//! * [`ExecMode::TimingOnly`] — identical command stream and timing, but
+//!   virtual buffers and no functional work, enabling NDIS-scale sweeps
+//!   (Fig. 8) without gigabytes of host RAM.
+
+use snp_bitmat::{BitMatrix, CompareOp, CountMatrix};
+use snp_gpu_model::config::{Algorithm, ProblemShape};
+use snp_gpu_model::{DeviceSpec, KernelConfig};
+use snp_gpu_sim::host::{BufferId, EventId, Gpu};
+
+use crate::autoconf::{compare_op, config_for, MixtureStrategy};
+use crate::kernel::{execute_gamma, KernelPlan};
+use crate::tiling::{plan_passes, PlanError, TilePlan};
+
+/// Whether kernels execute functionally or timing-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Compute real results (and model time).
+    Full,
+    /// Model time only; `gamma` is absent from the report.
+    TimingOnly,
+}
+
+/// Engine options.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Overlap transfers with compute using paired buffers (§VI-A-1).
+    pub double_buffer: bool,
+    /// Mixture-analysis strategy (§II-C / Fig. 9).
+    pub mixture: MixtureStrategy,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            mode: ExecMode::Full,
+            double_buffer: true,
+            mixture: MixtureStrategy::Direct,
+        }
+    }
+}
+
+/// Wall-time breakdown of a run, all in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timing {
+    /// One-time runtime initialization (charged at device open).
+    pub init_ns: u64,
+    /// Host-side packing (overlappable with device work).
+    pub pack_ns: u64,
+    /// Sum of kernel execution durations (event profiling).
+    pub kernel_ns: u64,
+    /// Sum of host→device transfer durations.
+    pub transfer_in_ns: u64,
+    /// Sum of device→host transfer durations.
+    pub transfer_out_ns: u64,
+    /// Host clock when everything finished — the paper's end-to-end time
+    /// (inclusive of initialization and all overlap effects).
+    pub end_to_end_ns: u64,
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The `γ` matrix (None in timing-only mode).
+    pub gamma: Option<CountMatrix>,
+    /// Timing breakdown.
+    pub timing: Timing,
+    /// Logical word-ops computed.
+    pub word_ops: u128,
+    /// Kernel launches issued.
+    pub passes: usize,
+    /// The configuration used.
+    pub config: KernelConfig,
+    /// Word-op throughput over kernel time only (the Fig. 5 quantity).
+    pub kernel_word_ops_per_sec: f64,
+}
+
+/// Errors from an engine run.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Pass planning failed.
+    Plan(PlanError),
+    /// The simulated device rejected a command.
+    Device(snp_gpu_sim::SimError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "planning: {e}"),
+            EngineError::Device(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<snp_gpu_sim::SimError> for EngineError {
+    fn from(e: snp_gpu_sim::SimError) -> Self {
+        EngineError::Device(e)
+    }
+}
+
+/// Converts host rows `lo..hi` of a 64-bit-packed matrix into the device's
+/// little-endian 32-bit word stream (two device words per host word).
+pub fn device_words(m: &BitMatrix<u64>, lo: usize, hi: usize) -> Vec<u32> {
+    let wpr = m.words_per_row();
+    let mut out = Vec::with_capacity((hi - lo) * wpr * 2);
+    for r in lo..hi {
+        for &w in m.row(r) {
+            out.push(w as u32);
+            out.push((w >> 32) as u32);
+        }
+    }
+    out
+}
+
+/// The portable SNP-comparison engine over a simulated device.
+#[derive(Debug, Clone)]
+pub struct GpuEngine {
+    spec: DeviceSpec,
+    options: EngineOptions,
+}
+
+impl GpuEngine {
+    /// An engine with default options (full execution, double buffering).
+    pub fn new(spec: DeviceSpec) -> Self {
+        GpuEngine { spec, options: EngineOptions::default() }
+    }
+
+    /// Overrides the options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The device this engine targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Linkage disequilibrium: AND self-comparison (Eq. 1).
+    pub fn ld_self(&self, panel: &BitMatrix<u64>) -> Result<RunReport, EngineError> {
+        self.compare(panel, panel, Algorithm::LinkageDisequilibrium)
+    }
+
+    /// FastID identity search (Eq. 2).
+    pub fn identity_search(
+        &self,
+        queries: &BitMatrix<u64>,
+        database: &BitMatrix<u64>,
+    ) -> Result<RunReport, EngineError> {
+        self.compare(queries, database, Algorithm::IdentitySearch)
+    }
+
+    /// FastID mixture analysis (Eq. 3), honoring the configured
+    /// [`MixtureStrategy`].
+    pub fn mixture_analysis(
+        &self,
+        references: &BitMatrix<u64>,
+        mixtures: &BitMatrix<u64>,
+    ) -> Result<RunReport, EngineError> {
+        self.compare(references, mixtures, Algorithm::MixtureAnalysis)
+    }
+
+    /// Runs `algorithm` on `a × bᵀ` end to end.
+    pub fn compare(
+        &self,
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+        algorithm: Algorithm,
+    ) -> Result<RunReport, EngineError> {
+        assert_eq!(
+            a.words_per_row(),
+            b.words_per_row(),
+            "operands disagree on packed width"
+        );
+        let op = compare_op(algorithm, self.options.mixture);
+        // Pre-negation happens "in advance" on the stored database
+        // (paper §II-C), so it is not charged to the run.
+        let b_owned;
+        let b_eff: &BitMatrix<u64> = if algorithm == Algorithm::MixtureAnalysis
+            && self.options.mixture == MixtureStrategy::PreNegate
+        {
+            b_owned = b.negated();
+            &b_owned
+        } else {
+            b
+        };
+        let k_words = 2 * a.words_per_row();
+        let (m, n) = (a.rows(), b_eff.rows());
+        let shape = ProblemShape { m, n, k_words };
+        let cfg = config_for(&self.spec, algorithm, shape);
+        let plan = plan_passes(&self.spec, &cfg, m, n, k_words, self.options.double_buffer)?;
+        self.run_plan(a, b_eff, op, &cfg, &plan)
+    }
+
+    fn run_plan(
+        &self,
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+        op: CompareOp,
+        cfg: &KernelConfig,
+        plan: &TilePlan,
+    ) -> Result<RunReport, EngineError> {
+        let full = self.options.mode == ExecMode::Full;
+        let gpu = Gpu::new(self.spec.clone());
+        let init_ns = gpu.now_ns();
+        let q_xfer = gpu.create_queue();
+        let q_comp = gpu.create_queue();
+        let copies = if plan.double_buffered { 2 } else { 1 };
+        let k = plan.k_words;
+
+        let mk_buf = |words: usize| -> Result<BufferId, EngineError> {
+            Ok(if full { gpu.create_buffer(words)? } else { gpu.create_virtual_buffer(words)? })
+        };
+        let a_buf = mk_buf(plan.a_buffer_words().max(1))?;
+        let b_bufs: Vec<BufferId> =
+            (0..copies).map(|_| mk_buf(plan.b_buffer_words().max(1))).collect::<Result<_, _>>()?;
+        let c_bufs: Vec<BufferId> =
+            (0..copies).map(|_| mk_buf(plan.c_buffer_words().max(1))).collect::<Result<_, _>>()?;
+
+        let mut gamma = if full { Some(CountMatrix::zeros(a.rows(), b.rows())) } else { None };
+        let mut pack_ns = 0u64;
+        let mut kernel_events: Vec<EventId> = Vec::new();
+        let mut in_events: Vec<EventId> = Vec::new();
+        let mut out_events: Vec<EventId> = Vec::new();
+        let mut last_kernel_on_slot: Vec<Option<EventId>> = vec![None; copies];
+        let mut last_read_on_slot: Vec<Option<EventId>> = vec![None; copies];
+        let mut word_ops: u128 = 0;
+        let mut kernel_cycles_ns = 0f64;
+
+        for mc in &plan.m_chunks {
+            // Stage the A chunk.
+            let a_bytes = (mc.len() * k * 4) as u64;
+            pack_ns += self.spec.transfer.pack_ns(a_bytes);
+            gpu.host_pack(a_bytes);
+            let ev_a = if full {
+                let data = device_words(a, mc.lo, mc.hi);
+                gpu.enqueue_write(q_xfer, a_buf, 0, &data, &[])?
+            } else {
+                gpu.enqueue_virtual_transfer(q_xfer, a_bytes, &[])?
+            };
+            in_events.push(ev_a);
+
+            for (i, nc) in plan.n_chunks.iter().enumerate() {
+                let slot = i % copies;
+                let b_bytes = (nc.len() * k * 4) as u64;
+                pack_ns += self.spec.transfer.pack_ns(b_bytes);
+                gpu.host_pack(b_bytes);
+                // The B buffer may still feed an in-flight kernel.
+                let mut deps: Vec<EventId> = Vec::new();
+                if let Some(ev) = last_kernel_on_slot[slot] {
+                    deps.push(ev);
+                }
+                let ev_b = if full {
+                    let data = device_words(b, nc.lo, nc.hi);
+                    gpu.enqueue_write(q_xfer, b_bufs[slot], 0, &data, &deps)?
+                } else {
+                    gpu.enqueue_virtual_transfer(q_xfer, b_bytes, &deps)?
+                };
+                in_events.push(ev_b);
+
+                let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
+                word_ops += kplan.word_ops;
+                kernel_cycles_ns += kplan.time(&self.spec).total_ns;
+                let mut kdeps = vec![ev_a, ev_b];
+                if let Some(ev) = last_read_on_slot[slot] {
+                    // The C staging buffer must drain before being rewritten.
+                    kdeps.push(ev);
+                }
+                let ev_k = if full {
+                    let (m_len, n_len) = (mc.len(), nc.len());
+                    gpu.enqueue_kernel(
+                        q_comp,
+                        &kplan.cost(),
+                        &[a_buf, b_bufs[slot]],
+                        c_bufs[slot],
+                        &kdeps,
+                        |reads, out| {
+                            execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k);
+                        },
+                    )?
+                } else {
+                    gpu.enqueue_kernel_timed(q_comp, &kplan.cost(), &kdeps)?
+                };
+                kernel_events.push(ev_k);
+                last_kernel_on_slot[slot] = Some(ev_k);
+
+                // Read the C chunk back.
+                let c_bytes = (mc.len() * nc.len() * 4) as u64;
+                let ev_r = if full {
+                    let mut out = vec![0u32; mc.len() * nc.len()];
+                    let ev =
+                        gpu.enqueue_read(q_xfer, c_bufs[slot], 0, &mut out, &[ev_k], false)?;
+                    let g = gamma.as_mut().expect("full mode");
+                    for (ri, row) in out.chunks_exact(nc.len()).enumerate() {
+                        g.row_mut(mc.lo + ri)[nc.lo..nc.hi].copy_from_slice(row);
+                    }
+                    ev
+                } else {
+                    gpu.enqueue_virtual_transfer(q_xfer, c_bytes, &[ev_k])?
+                };
+                out_events.push(ev_r);
+                last_read_on_slot[slot] = Some(ev_r);
+            }
+        }
+        gpu.finish_all();
+
+        let sum = |evs: &[EventId]| -> u64 {
+            evs.iter().map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0)).sum()
+        };
+        let kernel_ns = sum(&kernel_events);
+        let timing = Timing {
+            init_ns,
+            pack_ns,
+            kernel_ns,
+            transfer_in_ns: sum(&in_events),
+            transfer_out_ns: sum(&out_events),
+            end_to_end_ns: gpu.now_ns(),
+        };
+        let _ = kernel_cycles_ns; // retained for future per-pass reporting
+        Ok(RunReport {
+            gamma,
+            timing,
+            word_ops,
+            passes: kernel_events.len(),
+            config: *cfg,
+            kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_bitmat::reference_gamma;
+    use snp_gpu_model::devices;
+
+    fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
+        BitMatrix::from_fn(rows, cols, |r, c| {
+            (r.wrapping_mul(0x9E37_79B9) ^ c.wrapping_mul(salt + 0x85EB_CA6B)) % 7 < 3
+        })
+    }
+
+    #[test]
+    fn device_words_preserve_bits() {
+        let m = matrix(3, 130, 1);
+        let dw = device_words(&m, 0, 3);
+        assert_eq!(dw.len(), 3 * m.words_per_row() * 2);
+        let m32: BitMatrix<u32> = m.convert();
+        // Compare logical bits via the converted matrix: word w of row r is
+        // dw[r*2*wpr + w] for the first min words.
+        for r in 0..3 {
+            for w in 0..m32.words_per_row() {
+                assert_eq!(dw[r * 2 * m.words_per_row() + w], m32.row(r)[w]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_run_matches_reference_all_algorithms() {
+        let a = matrix(70, 500, 1);
+        let b = matrix(130, 500, 2);
+        let want_and = reference_gamma(&a, &b, CompareOp::And);
+        let want_xor = reference_gamma(&a, &b, CompareOp::Xor);
+        let want_andnot = reference_gamma(&a, &b, CompareOp::AndNot);
+        for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
+            let eng = GpuEngine::new(dev.clone());
+            let ld = eng.compare(&a, &b, Algorithm::LinkageDisequilibrium).unwrap();
+            assert_eq!(ld.gamma.unwrap().first_mismatch(&want_and), None, "{} LD", dev.name);
+            let id = eng.identity_search(&a, &b).unwrap();
+            assert_eq!(id.gamma.unwrap().first_mismatch(&want_xor), None, "{} ID", dev.name);
+            let mix = eng.mixture_analysis(&a, &b).unwrap();
+            assert_eq!(mix.gamma.unwrap().first_mismatch(&want_andnot), None, "{} MIX", dev.name);
+        }
+    }
+
+    #[test]
+    fn prenegation_strategy_gives_identical_results() {
+        let refs = matrix(40, 256, 3);
+        let mixes = matrix(24, 256, 4);
+        let dev = devices::vega_64();
+        let direct = GpuEngine::new(dev.clone())
+            .with_options(EngineOptions { mixture: MixtureStrategy::Direct, ..Default::default() })
+            .mixture_analysis(&refs, &mixes)
+            .unwrap();
+        let pre = GpuEngine::new(dev)
+            .with_options(EngineOptions { mixture: MixtureStrategy::PreNegate, ..Default::default() })
+            .mixture_analysis(&refs, &mixes)
+            .unwrap();
+        assert_eq!(direct.gamma.unwrap().first_mismatch(pre.gamma.as_ref().unwrap()), None);
+    }
+
+    #[test]
+    fn timing_only_matches_full_timing() {
+        let a = matrix(64, 2048, 5);
+        let b = matrix(256, 2048, 6);
+        let dev = devices::gtx_980();
+        let full = GpuEngine::new(dev.clone()).identity_search(&a, &b).unwrap();
+        let timed = GpuEngine::new(dev)
+            .with_options(EngineOptions { mode: ExecMode::TimingOnly, ..Default::default() })
+            .identity_search(&a, &b)
+            .unwrap();
+        assert!(timed.gamma.is_none());
+        assert_eq!(full.timing.end_to_end_ns, timed.timing.end_to_end_ns);
+        assert_eq!(full.timing.kernel_ns, timed.timing.kernel_ns);
+        assert_eq!(full.passes, timed.passes);
+    }
+
+    #[test]
+    fn end_to_end_includes_init_and_exceeds_kernel() {
+        let a = matrix(40, 1024, 7);
+        let dev = devices::titan_v();
+        let r = GpuEngine::new(dev.clone()).ld_self(&a).unwrap();
+        assert_eq!(r.timing.init_ns, dev.transfer.runtime_init_ns);
+        assert!(r.timing.end_to_end_ns >= r.timing.init_ns + r.timing.kernel_ns);
+        assert!(r.word_ops > 0 && r.kernel_word_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn multi_pass_problems_assemble_correctly() {
+        // Force chunking with a fake tiny-memory device.
+        let mut dev = devices::gtx_980();
+        dev.name = "GTX tiny".into(); // avoid Table II presets
+        dev.max_alloc_bytes = 1 << 17; // 128 KiB
+        dev.global_mem_bytes = 1 << 20;
+        let a = matrix(48, 700, 8);
+        let b = matrix(900, 700, 9);
+        let eng = GpuEngine::new(dev);
+        let r = eng.identity_search(&a, &b).unwrap();
+        assert!(r.passes > 1, "expected chunked execution, got {} passes", r.passes);
+        let want = reference_gamma(&a, &b, CompareOp::Xor);
+        assert_eq!(r.gamma.unwrap().first_mismatch(&want), None);
+    }
+
+    #[test]
+    fn double_buffer_improves_end_to_end() {
+        let a = matrix(32, 4096, 10);
+        let b = matrix(4096, 4096, 11);
+        let dev = devices::gtx_980();
+        let with = GpuEngine::new(dev.clone())
+            .with_options(EngineOptions {
+                mode: ExecMode::TimingOnly,
+                double_buffer: true,
+                ..Default::default()
+            })
+            .identity_search(&a, &b)
+            .unwrap();
+        let without = GpuEngine::new(dev)
+            .with_options(EngineOptions {
+                mode: ExecMode::TimingOnly,
+                double_buffer: false,
+                ..Default::default()
+            })
+            .identity_search(&a, &b)
+            .unwrap();
+        assert!(
+            with.timing.end_to_end_ns <= without.timing.end_to_end_ns,
+            "double buffering must not slow the run: {} vs {}",
+            with.timing.end_to_end_ns,
+            without.timing.end_to_end_ns
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The parameterized GPU kernel.
+//!
+//! This module is the Rust analogue of the paper's single OpenCL kernel
+//! specialized by a configuration header (§V): it implements the *third BLIS
+//! loop and its content* on the model GPU — load a slab of the A tile into
+//! shared memory, stream B from global memory, accumulate an
+//! `m_c × n_r` tile of `γ` in registers, writing results once at the end.
+//!
+//! Two artifacts are produced from one description:
+//!
+//! * a timing [`Program`] (per thread group, per tile job) consumed by the
+//!   simulator's engines — this is where the Eqs. 4–7 parameters become
+//!   instruction counts, and where fused-AND-NOT vs explicit-NOT vs
+//!   pre-negation change the instruction mix (Fig. 9);
+//! * a functional executor ([`execute_gamma`]) computing bit-exact results
+//!   on the device's `u32` buffers, validated against the scalar reference.
+
+use rayon::prelude::*;
+use snp_bitmat::CompareOp;
+use snp_gpu_model::{DeviceSpec, InstrClass, KernelConfig};
+use snp_gpu_sim::host::KernelCost;
+use snp_gpu_sim::macro_engine::{estimate_core_cycles, kernel_time, KernelTime, Traffic};
+use snp_gpu_sim::{Block, Instr, Program, Reg};
+
+/// Per-thread-group geometry derived from a configuration (DESIGN.md §3;
+/// the quantities of paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupGeometry {
+    /// Resident thread groups per core (`N_cl × groups_per_cluster`).
+    pub groups_per_core: u32,
+    /// Output columns each thread accumulates (`v` = `n_r / (L · N_T)`).
+    pub cols_per_thread: usize,
+    /// Output rows each group covers across its sub-tiles.
+    pub rows_per_group: usize,
+    /// Total `γ` values held in each thread's registers
+    /// (`m_c · n_r / (groups · N_T)`).
+    pub outputs_per_thread: usize,
+    /// Vectorized B loads per thread per k-step.
+    pub b_loads: usize,
+    /// Vectorized A (shared) loads per thread per k-step.
+    pub a_loads: usize,
+}
+
+/// Derives the group geometry, panicking on configurations the device
+/// cannot host (these are also caught by `KernelConfig::violations`).
+pub fn group_geometry(dev: &DeviceSpec, cfg: &KernelConfig) -> GroupGeometry {
+    let groups_per_core = cfg.groups_per_cluster * dev.n_clusters;
+    assert!(
+        groups_per_core <= dev.max_thread_groups * dev.n_clusters,
+        "{} groups exceed the device limit",
+        groups_per_core
+    );
+    let nt = dev.n_t as usize;
+    let cols_per_group = cfg.n_r / cfg.groups_per_cluster as usize;
+    assert!(
+        cols_per_group.is_multiple_of(nt),
+        "group columns {cols_per_group} must be a multiple of N_T {nt}"
+    );
+    let cols_per_thread = cols_per_group / nt;
+    let outputs_per_thread = cfg.m_c * cfg.n_r / (groups_per_core as usize * nt);
+    assert!(
+        outputs_per_thread >= 1 && outputs_per_thread.is_multiple_of(cols_per_thread),
+        "tile {}x{} does not distribute over {groups_per_core} groups of {nt} threads",
+        cfg.m_c,
+        cfg.n_r
+    );
+    let rows_per_group = outputs_per_thread / cols_per_thread;
+    let nv = dev.n_vec as usize;
+    GroupGeometry {
+        groups_per_core,
+        cols_per_thread,
+        rows_per_group,
+        outputs_per_thread,
+        b_loads: cols_per_thread.div_ceil(nv),
+        a_loads: rows_per_group.div_ceil(nv),
+    }
+}
+
+/// Builds the timing program one thread group executes for one
+/// `m_c × n_r` tile job spanning the full shared dimension of `k_words`
+/// (internally sliced into `k_c`-word A slabs, with registers carrying the
+/// accumulators across slabs).
+pub fn tile_program(
+    dev: &DeviceSpec,
+    cfg: &KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+) -> Program {
+    let geo = group_geometry(dev, cfg);
+    // Register map: [accumulators][temps][a vectors][b vectors][scalar]
+    let n_out = geo.outputs_per_thread;
+    let acc0: Reg = 0;
+    let tmp0: Reg = n_out as Reg;
+    let a0: Reg = (2 * n_out) as Reg;
+    let b0: Reg = a0 + geo.a_loads as Reg;
+    let scalar_reg: Reg = b0 + geo.b_loads as Reg;
+
+    // One k-step body: vectorized B loads, vectorized A shared loads, then
+    // the combine/popcount/accumulate triples (plus a NOT per use on devices
+    // without fusion), plus loop bookkeeping.
+    let mut body: Vec<Instr> = Vec::new();
+    for l in 0..geo.b_loads {
+        body.push(Instr::load_global(b0 + l as Reg, &[]));
+    }
+    for l in 0..geo.a_loads {
+        // Conflict-free by construction: m_c = N_b aligns A rows to banks.
+        body.push(Instr::load_shared(a0 + l as Reg, &[], 1));
+    }
+    let nv = dev.n_vec as usize;
+    for r in 0..geo.rows_per_group {
+        let areg = a0 + (r / nv) as Reg;
+        for j in 0..geo.cols_per_thread {
+            let breg = b0 + (j / nv) as Reg;
+            let out = r * geo.cols_per_thread + j;
+            let tmp = tmp0 + out as Reg;
+            let acc = acc0 + out as Reg;
+            match op {
+                CompareOp::And | CompareOp::Xor => {
+                    body.push(Instr::arith(InstrClass::Logic, tmp, &[areg, breg]));
+                }
+                CompareOp::AndNot => {
+                    if dev.fused_andnot {
+                        // LOP3-style single issue.
+                        body.push(Instr::arith(InstrClass::Logic, tmp, &[areg, breg]));
+                    } else {
+                        body.push(Instr::arith(InstrClass::Not, tmp, &[breg]));
+                        body.push(Instr::arith(InstrClass::Logic, tmp, &[areg, tmp]));
+                    }
+                }
+            }
+            body.push(Instr::arith(InstrClass::Popc, tmp, &[tmp]));
+            body.push(Instr::arith(InstrClass::IntAdd, acc, &[acc, tmp]));
+        }
+    }
+    // Loop bookkeeping: induction update + address increment.
+    body.push(Instr::arith(InstrClass::Scalar, scalar_reg, &[scalar_reg]));
+    body.push(Instr::arith(InstrClass::Scalar, scalar_reg + 1, &[scalar_reg + 1]));
+
+    // Prologue per slab: stage the A slab from global into shared memory.
+    let slab_words = cfg.k_c.min(k_words.max(1));
+    let stage_loads = (cfg.m_c * slab_words)
+        .div_ceil(geo.groups_per_core as usize * dev.n_t as usize * nv)
+        .max(1);
+    let mut prologue: Vec<Instr> = Vec::with_capacity(stage_loads * 2);
+    let stage0: Reg = scalar_reg + 2;
+    for s in 0..stage_loads {
+        prologue.push(Instr::load_global(stage0 + s as Reg, &[]));
+        prologue.push(Instr::store_shared(&[stage0 + s as Reg], 1));
+    }
+
+    // Epilogue: write the register tile to global C.
+    let stores = n_out.div_ceil(nv);
+    let mut epilogue: Vec<Instr> = Vec::with_capacity(stores);
+    for s in 0..stores {
+        let first = (s * nv).min(n_out - 1) as Reg;
+        epilogue.push(Instr::store_global(&[acc0 + first]));
+    }
+
+    let mut blocks = Vec::new();
+    let mut remaining = k_words;
+    while remaining > 0 {
+        let slab = cfg.k_c.min(remaining);
+        blocks.push(Block::once(prologue.clone()));
+        blocks.push(Block::looped(slab as u32, body.clone()));
+        remaining -= slab;
+    }
+    blocks.push(Block::once(epilogue));
+    Program::new(blocks)
+}
+
+/// A fully planned kernel launch for one pass of `m_pass × n_pass` outputs
+/// over `k_words` shared words.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    /// The configuration in force.
+    pub config: KernelConfig,
+    /// The word operator.
+    pub op: CompareOp,
+    /// Tile jobs each core executes.
+    pub jobs_per_core: u64,
+    /// Cores with work.
+    pub active_cores: u32,
+    /// Estimated cycles per core.
+    pub core_cycles: f64,
+    /// Global traffic of the pass.
+    pub traffic: Traffic,
+    /// Logical word-ops of the pass (throughput denominator).
+    pub word_ops: u128,
+    /// Resident thread groups per core.
+    pub groups_per_core: u32,
+}
+
+impl KernelPlan {
+    /// Plans a pass: distributes `tiles_m × tiles_n` tile jobs over the
+    /// configured core grid and estimates per-core cycles from the tile
+    /// program via the macro engine.
+    pub fn new(
+        dev: &DeviceSpec,
+        cfg: &KernelConfig,
+        op: CompareOp,
+        m_pass: usize,
+        n_pass: usize,
+        k_words: usize,
+    ) -> KernelPlan {
+        assert!(m_pass > 0 && n_pass > 0 && k_words > 0, "pass must be non-empty");
+        let geo = group_geometry(dev, cfg);
+        let tiles_m = m_pass.div_ceil(cfg.m_c) as u64;
+        let tiles_n = n_pass.div_ceil(cfg.n_r) as u64;
+        let grid_m = (cfg.grid_m as u64).min(tiles_m).max(1);
+        let grid_n = (cfg.grid_n as u64).min(tiles_n).max(1);
+        let jobs_per_core = tiles_m.div_ceil(grid_m) * tiles_n.div_ceil(grid_n);
+        let program = tile_program(dev, cfg, op, k_words);
+        let per_job = estimate_core_cycles(dev, &program, geo.groups_per_core);
+        let kw = k_words as u64;
+        let traffic = Traffic {
+            read_bytes: tiles_m * tiles_n * (cfg.m_c as u64 + cfg.n_r as u64) * kw * 4,
+            write_bytes: (m_pass as u64) * (n_pass as u64) * 4,
+        };
+        KernelPlan {
+            config: *cfg,
+            op,
+            jobs_per_core,
+            active_cores: (grid_m * grid_n) as u32,
+            core_cycles: per_job * jobs_per_core as f64,
+            traffic,
+            word_ops: m_pass as u128 * n_pass as u128 * k_words as u128,
+            groups_per_core: geo.groups_per_core,
+        }
+    }
+
+    /// The host-API cost descriptor for this plan.
+    pub fn cost(&self) -> KernelCost {
+        KernelCost::Analytic {
+            core_cycles: self.core_cycles,
+            active_cores: self.active_cores,
+            traffic: self.traffic,
+        }
+    }
+
+    /// The modeled kernel wall time on `dev`.
+    pub fn time(&self, dev: &DeviceSpec) -> KernelTime {
+        kernel_time(dev, self.core_cycles, self.active_cores, self.traffic)
+    }
+
+    /// Achieved throughput in word-ops per second for a given kernel time.
+    pub fn achieved_word_ops_per_sec(&self, total_ns: f64) -> f64 {
+        self.word_ops as f64 / (total_ns * 1e-9)
+    }
+}
+
+/// Functional execution of one pass on device word buffers: computes
+/// `c[i·n + j] = Σ_k popc(op(a[i·k_words + k], b[j·k_words + k]))` for the
+/// `m × n` output block, in parallel over rows. Overwrites `c`.
+pub fn execute_gamma(
+    op: CompareOp,
+    a: &[u32],
+    b: &[u32],
+    c: &mut [u32],
+    m: usize,
+    n: usize,
+    k_words: usize,
+) {
+    assert!(a.len() >= m * k_words, "A buffer too small: {} < {}", a.len(), m * k_words);
+    assert!(b.len() >= n * k_words, "B buffer too small: {} < {}", b.len(), n * k_words);
+    assert!(c.len() >= m * n, "C buffer too small: {} < {}", c.len(), m * n);
+    c[..m * n]
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            let ar = &a[i * k_words..(i + 1) * k_words];
+            for (j, out) in row.iter_mut().enumerate() {
+                let br = &b[j * k_words..(j + 1) * k_words];
+                *out = dot_u32(op, ar, br);
+            }
+        });
+}
+
+/// Popcount dot product over `u32` words, internally pairing words into
+/// `u64` popcounts (bitwise ops distribute over concatenation).
+#[inline]
+fn dot_u32(op: CompareOp, a: &[u32], b: &[u32]) -> u32 {
+    let mut acc = 0u32;
+    let mut ia = a.chunks_exact(2);
+    let mut ib = b.chunks_exact(2);
+    for (ca, cb) in (&mut ia).zip(&mut ib) {
+        let wa = ca[0] as u64 | (ca[1] as u64) << 32;
+        let wb = cb[0] as u64 | (cb[1] as u64) << 32;
+        acc += op.combine(wa, wb).count_ones();
+    }
+    for (&wa, &wb) in ia.remainder().iter().zip(ib.remainder()) {
+        acc += op.combine(wa, wb).count_ones();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoconf::config_for;
+    use snp_bitmat::{reference_gamma, BitMatrix};
+    use snp_gpu_model::config::{Algorithm, ProblemShape};
+    use snp_gpu_model::peak::peak;
+    use snp_gpu_model::{devices, WordOpKind};
+
+    fn ld_cfg(dev: &DeviceSpec) -> KernelConfig {
+        config_for(
+            dev,
+            Algorithm::LinkageDisequilibrium,
+            ProblemShape { m: 10_000, n: 10_000, k_words: 1000 },
+        )
+    }
+
+    #[test]
+    fn geometry_matches_hand_calculation() {
+        // GTX 980 LD: groups 24, v = 384/(6*32) = 2, outputs 16, R = 8.
+        let dev = devices::gtx_980();
+        let geo = group_geometry(&dev, &ld_cfg(&dev));
+        assert_eq!(geo.groups_per_core, 24);
+        assert_eq!(geo.cols_per_thread, 2);
+        assert_eq!(geo.outputs_per_thread, 16);
+        assert_eq!(geo.rows_per_group, 8);
+        assert_eq!(geo.b_loads, 1);
+        assert_eq!(geo.a_loads, 2);
+        // Titan V: groups 16, v = 1024/(4*32) = 8, outputs 64, R = 8.
+        let t = devices::titan_v();
+        let geo = group_geometry(&t, &ld_cfg(&t));
+        assert_eq!((geo.groups_per_core, geo.cols_per_thread, geo.outputs_per_thread), (16, 8, 64));
+        // Vega: groups 16, v = 1024/(4*64) = 4, outputs 32.
+        let v = devices::vega_64();
+        let geo = group_geometry(&v, &ld_cfg(&v));
+        assert_eq!((geo.groups_per_core, geo.cols_per_thread, geo.outputs_per_thread), (16, 4, 32));
+    }
+
+    #[test]
+    fn tile_program_structure() {
+        let dev = devices::gtx_980();
+        let cfg = ld_cfg(&dev);
+        let prog = tile_program(&dev, &cfg, CompareOp::And, 800);
+        // 800 words -> slabs of 383, 383, 34: three (prologue, body) pairs + epilogue.
+        assert_eq!(prog.blocks.len(), 7);
+        assert_eq!(prog.blocks[1].trips, 383);
+        assert_eq!(prog.blocks[5].trips, 34);
+        // Body instruction mix for AND: 1 B load + 2 A loads + 16*(logic,popc,add) + 2 scalar.
+        let body = &prog.blocks[1].instrs;
+        let count = |c: InstrClass| body.iter().filter(|i| i.class == c).count();
+        assert_eq!(count(InstrClass::LoadGlobal), 1);
+        assert_eq!(count(InstrClass::LoadShared), 2);
+        assert_eq!(count(InstrClass::Logic), 16);
+        assert_eq!(count(InstrClass::Popc), 16);
+        assert_eq!(count(InstrClass::IntAdd), 16);
+        assert_eq!(count(InstrClass::Scalar), 2);
+        assert_eq!(count(InstrClass::Not), 0);
+    }
+
+    #[test]
+    fn andnot_adds_nots_only_without_fusion() {
+        let k = 100;
+        let gtx = devices::gtx_980();
+        let p_and = tile_program(&gtx, &ld_cfg(&gtx), CompareOp::And, k);
+        let p_an = tile_program(&gtx, &ld_cfg(&gtx), CompareOp::AndNot, k);
+        assert_eq!(p_and.dynamic_instrs(), p_an.dynamic_instrs(), "fused AND-NOT is free");
+        let vega = devices::vega_64();
+        let v_and = tile_program(&vega, &ld_cfg(&vega), CompareOp::And, k);
+        let v_an = tile_program(&vega, &ld_cfg(&vega), CompareOp::AndNot, k);
+        assert!(v_an.dynamic_instrs() > v_and.dynamic_instrs(), "explicit NOT costs issues");
+    }
+
+    #[test]
+    fn single_core_tile_approaches_peak() {
+        // The per-tile cycle estimate should put the kernel near the
+        // device's theoretical peak (this is Fig. 5's mechanism before
+        // multi-core scaling effects).
+        for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
+            let cfg = ld_cfg(&dev);
+            let k = 2 * cfg.k_c; // two full slabs
+            let plan = KernelPlan::new(&dev, &cfg, CompareOp::And, cfg.m_c, cfg.n_r, k);
+            assert_eq!(plan.jobs_per_core, 1);
+            assert_eq!(plan.active_cores, 1);
+            let word_ops = (cfg.m_c * cfg.n_r * k) as f64;
+            let rate = word_ops / plan.core_cycles; // word-ops per cycle per core
+            let peak_rate = peak(&dev, WordOpKind::And).word_ops_per_cycle_per_cluster
+                * dev.n_clusters as f64;
+            let frac = rate / peak_rate;
+            assert!(
+                frac > 0.85 && frac <= 1.0,
+                "{}: single-tile efficiency {frac:.3} (rate {rate:.1} vs peak {peak_rate:.1})",
+                dev.name
+            );
+        }
+    }
+
+    #[test]
+    fn plan_distributes_jobs_over_grid() {
+        let dev = devices::titan_v();
+        let cfg = ld_cfg(&dev); // grid 80x1
+        let plan = KernelPlan::new(&dev, &cfg, CompareOp::And, 12_800, 4096, 383);
+        // tiles_m = 400, tiles_n = 4; jobs = ceil(400/80) * 4 = 20.
+        assert_eq!(plan.active_cores, 80);
+        assert_eq!(plan.jobs_per_core, 20);
+        assert!(plan.traffic.write_bytes == 12_800 * 4096 * 4);
+    }
+
+    #[test]
+    fn plan_shrinks_grid_for_small_problems() {
+        let dev = devices::titan_v();
+        let cfg = ld_cfg(&dev);
+        let plan = KernelPlan::new(&dev, &cfg, CompareOp::And, 32, 1024, 64);
+        assert_eq!(plan.active_cores, 1); // 1 m-tile, 1 n-tile
+        assert_eq!(plan.jobs_per_core, 1);
+    }
+
+    #[test]
+    fn execute_gamma_matches_reference() {
+        let a64 = BitMatrix::<u64>::from_fn(13, 300, |r, c| (r * 7 + c * 3) % 5 == 0);
+        let b64 = BitMatrix::<u64>::from_fn(9, 300, |r, c| (r * 11 + c) % 4 == 0);
+        let a32: BitMatrix<u32> = a64.convert();
+        let b32: BitMatrix<u32> = b64.convert();
+        let k = a32.words_per_row();
+        for op in CompareOp::ALL {
+            let mut c = vec![0u32; 13 * 9];
+            execute_gamma(op, a32.words(), b32.words(), &mut c, 13, 9, k);
+            let want = reference_gamma(&a64, &b64, op);
+            for i in 0..13 {
+                for j in 0..9 {
+                    assert_eq!(c[i * 9 + j], want.get(i, j), "op {op} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_u32_odd_lengths() {
+        // Exercise the chunks_exact remainder path.
+        let a = [u32::MAX, 0, 0b1011];
+        let b = [u32::MAX, u32::MAX, 0b0110];
+        assert_eq!(dot_u32(CompareOp::And, &a, &b), 32 + 1);
+        assert_eq!(dot_u32(CompareOp::Xor, &a, &b), 32 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass must be non-empty")]
+    fn empty_pass_rejected() {
+        let dev = devices::gtx_980();
+        let cfg = ld_cfg(&dev);
+        let _ = KernelPlan::new(&dev, &cfg, CompareOp::And, 0, 10, 10);
+    }
+}

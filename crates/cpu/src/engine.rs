@@ -1,0 +1,185 @@
+//! The public CPU engine: algorithm-level entry points over the blocked
+//! popcount-GEMM.
+
+use snp_bitmat::{BitMatrix, CompareOp, CountMatrix};
+
+use crate::blocking::CpuBlocking;
+use crate::gemm::gamma_blocked_into;
+use crate::parallel::gamma_parallel_into;
+
+/// A configured CPU comparison engine.
+///
+/// ```
+/// use snp_cpu::CpuEngine;
+/// use snp_bitmat::{BitMatrix, CompareOp};
+///
+/// let panel = BitMatrix::<u64>::from_fn(16, 200, |r, c| (r + c) % 3 == 0);
+/// let engine = CpuEngine::new();
+/// let gamma = engine.ld_self(&panel);           // AND self-comparison
+/// assert_eq!(gamma.rows(), 16);
+/// let direct = engine.gamma(&panel, &panel, CompareOp::And);
+/// assert_eq!(gamma.first_mismatch(&direct), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuEngine {
+    blocking: CpuBlocking,
+    parallel: bool,
+}
+
+impl Default for CpuEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuEngine {
+    /// Multithreaded engine with cache-derived blocking.
+    pub fn new() -> Self {
+        CpuEngine { blocking: CpuBlocking::default(), parallel: true }
+    }
+
+    /// Single-threaded engine (useful for reproducible profiling and as the
+    /// per-core baseline).
+    pub fn sequential() -> Self {
+        CpuEngine { blocking: CpuBlocking::default(), parallel: false }
+    }
+
+    /// Overrides the blocking parameters.
+    pub fn with_blocking(mut self, blocking: CpuBlocking) -> Self {
+        assert!(blocking.violations().is_empty(), "invalid blocking: {:?}", blocking.violations());
+        self.blocking = blocking;
+        self
+    }
+
+    /// The blocking in effect.
+    pub fn blocking(&self) -> &CpuBlocking {
+        &self.blocking
+    }
+
+    /// Whether the engine uses the rayon-parallel path.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// General comparison: `γ[i][j] = Σ_k popc(op(a[i][k], b[j][k]))`.
+    pub fn gamma(&self, a: &BitMatrix<u64>, b: &BitMatrix<u64>, op: CompareOp) -> CountMatrix {
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        self.gamma_into(a, b, op, &mut c);
+        c
+    }
+
+    /// Like [`gamma`](Self::gamma) but accumulating into an existing output
+    /// (which must be zeroed by the caller if a fresh result is wanted).
+    pub fn gamma_into(
+        &self,
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+        op: CompareOp,
+        c: &mut CountMatrix,
+    ) {
+        if self.parallel {
+            gamma_parallel_into(a, b, op, &self.blocking, c);
+        } else {
+            gamma_blocked_into(a, b, op, &self.blocking, c);
+        }
+    }
+
+    /// Linkage disequilibrium: AND self-comparison of an SNP panel
+    /// (paper Eq. 1). The result feeds `snp_popgen::ld_stats`-style
+    /// post-processing.
+    pub fn ld_self(&self, panel: &BitMatrix<u64>) -> CountMatrix {
+        self.gamma(panel, panel, CompareOp::And)
+    }
+
+    /// Linkage disequilibrium exploiting symmetry: computes only the upper
+    /// triangle of `γ` and mirrors it — identical results to
+    /// [`ld_self`](Self::ld_self) at roughly half the block work for large
+    /// panels (the SYRK-style saving).
+    pub fn ld_self_symmetric(&self, panel: &BitMatrix<u64>) -> CountMatrix {
+        crate::symmetric::gamma_self_symmetric(panel, CompareOp::And, &self.blocking)
+    }
+
+    /// FastID identity search: XOR of queries against a database
+    /// (paper Eq. 2). `γ[q][p] == 0` is a positive match.
+    pub fn identity_search(&self, queries: &BitMatrix<u64>, database: &BitMatrix<u64>) -> CountMatrix {
+        self.gamma(queries, database, CompareOp::Xor)
+    }
+
+    /// FastID mixture analysis (paper Eq. 3): counts reference alleles
+    /// missing from each mixture. With `pre_negate`, the mixture matrix is
+    /// negated up front and the kernel runs plain AND (the §II-C
+    /// transformation — profitable on devices without fused AND-NOT);
+    /// results are identical either way.
+    pub fn mixture_analysis(
+        &self,
+        references: &BitMatrix<u64>,
+        mixtures: &BitMatrix<u64>,
+        pre_negate: bool,
+    ) -> CountMatrix {
+        if pre_negate {
+            let negated = mixtures.negated();
+            self.gamma(references, &negated, CompareOp::And)
+        } else {
+            self.gamma(references, mixtures, CompareOp::AndNot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_bitmat::reference_gamma;
+
+    fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
+        BitMatrix::from_fn(rows, cols, |r, c| (r * 19 + c * 23 + salt) % 6 < 2)
+    }
+
+    #[test]
+    fn engine_paths_agree_with_reference() {
+        let a = matrix(30, 300, 0);
+        let b = matrix(25, 300, 1);
+        for engine in [CpuEngine::new(), CpuEngine::sequential()] {
+            for op in CompareOp::ALL {
+                let got = engine.gamma(&a, &b, op);
+                let want = reference_gamma(&a, &b, op);
+                assert_eq!(got.first_mismatch(&want), None, "op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn ld_self_is_and_self() {
+        let a = matrix(12, 200, 2);
+        let e = CpuEngine::new();
+        assert_eq!(e.ld_self(&a).first_mismatch(&e.gamma(&a, &a, CompareOp::And)), None);
+    }
+
+    #[test]
+    fn identity_search_finds_planted_profile() {
+        // Hash-mixed pattern so that no two database rows coincide.
+        let db = BitMatrix::<u64>::from_fn(50, 256, |r, c| {
+            (r.wrapping_mul(0x9E37_79B9) ^ c.wrapping_mul(0x85EB_CA6B)).rotate_left(7) % 5 == 0
+        });
+        let q = db.row_slice(17, 18);
+        let gamma = CpuEngine::new().identity_search(&q, &db);
+        assert_eq!(gamma.get(0, 17), 0);
+        assert_eq!(gamma.argmin_in_row(0), Some(17));
+    }
+
+    #[test]
+    fn mixture_prenegation_is_equivalent() {
+        let refs = matrix(20, 192, 4);
+        let mixes = matrix(6, 192, 5);
+        let e = CpuEngine::new();
+        let direct = e.mixture_analysis(&refs, &mixes, false);
+        let pre = e.mixture_analysis(&refs, &mixes, true);
+        assert_eq!(direct.first_mismatch(&pre), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid blocking")]
+    fn with_blocking_rejects_bad_params() {
+        let bad = CpuBlocking { m_r: 1, n_r: 1, k_c: 0, m_c: 1, n_c: 1 };
+        let _ = CpuEngine::new().with_blocking(bad);
+    }
+}

@@ -1,0 +1,149 @@
+//! The popcount microkernel.
+//!
+//! The entire architecture-specific part of the CPU engine, exactly as in
+//! \[11\]: an `MR × NR` block of `γ` accumulators updated along the shared
+//! dimension with the three-instruction sequence
+//! `γ += POPC(a ⋄ b)` (paper §III). The operands arrive as packed panels
+//! (word-major, produced by [`snp_bitmat::PackedPanels`]) so every access is
+//! unit-stride. The loop body is fully unrolled over the `MR × NR` tile via
+//! const generics; with `-O` the compiler keeps the 32 accumulators in
+//! registers and vectorizes the popcounts.
+
+use snp_bitmat::CompareOp;
+
+use crate::blocking::{MR, NR};
+
+/// Computes `acc[i][j] += Σ_p popc(op(a_panel[p·MR + i], b_panel[p·NR + j]))`
+/// for `p` in `0..k`.
+///
+/// `a_panel` must hold `k × MR` words, `b_panel` `k × NR` words.
+#[inline]
+pub fn microkernel(
+    op: CompareOp,
+    k: usize,
+    a_panel: &[u64],
+    b_panel: &[u64],
+    acc: &mut [[u32; NR]; MR],
+) {
+    // Monomorphize per operator so the combine compiles to a single
+    // instruction (AND / XOR / ANDN) in the inner loop.
+    match op {
+        CompareOp::And => kernel_impl(k, a_panel, b_panel, acc, |a, b| a & b),
+        CompareOp::Xor => kernel_impl(k, a_panel, b_panel, acc, |a, b| a ^ b),
+        CompareOp::AndNot => kernel_impl(k, a_panel, b_panel, acc, |a, b| a & !b),
+    }
+}
+
+#[inline(always)]
+fn kernel_impl(
+    k: usize,
+    a_panel: &[u64],
+    b_panel: &[u64],
+    acc: &mut [[u32; NR]; MR],
+    combine: impl Fn(u64, u64) -> u64 + Copy,
+) {
+    assert!(a_panel.len() >= k * MR, "A panel too short: {} < {}", a_panel.len(), k * MR);
+    assert!(b_panel.len() >= k * NR, "B panel too short: {} < {}", b_panel.len(), k * NR);
+    let a_panel = &a_panel[..k * MR];
+    let b_panel = &b_panel[..k * NR];
+    #[allow(clippy::needless_range_loop)] // explicit indices keep the unrolled tile obvious
+    for p in 0..k {
+        // Slices of the current shared-dimension step; fixed-size arrays let
+        // the compiler unroll and keep everything in registers.
+        let a: &[u64; MR] = a_panel[p * MR..p * MR + MR].try_into().unwrap();
+        let b: &[u64; NR] = b_panel[p * NR..p * NR + NR].try_into().unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] += combine(a[i], b[j]).count_ones();
+            }
+        }
+    }
+}
+
+/// A fresh zeroed accumulator tile.
+#[inline]
+pub fn zero_tile() -> [[u32; NR]; MR] {
+    [[0u32; NR]; MR]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_bitmat::{reference_gamma, BitMatrix, PackedPanels};
+
+    fn panels_of(
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+    ) -> (PackedPanels<u64>, PackedPanels<u64>) {
+        (PackedPanels::pack_all(a, MR), PackedPanels::pack_all(b, NR))
+    }
+
+    #[test]
+    fn matches_reference_on_full_tile() {
+        let a = BitMatrix::<u64>::from_fn(MR, 130, |r, c| (r * 13 + c) % 3 == 0);
+        let b = BitMatrix::<u64>::from_fn(NR, 130, |r, c| (r * 7 + c) % 5 == 0);
+        let (pa, pb) = panels_of(&a, &b);
+        for op in CompareOp::ALL {
+            let mut acc = zero_tile();
+            microkernel(op, pa.k(), pa.panel(0), pb.panel(0), &mut acc);
+            let expect = reference_gamma(&a, &b, op);
+            for (i, acc_row) in acc.iter().enumerate() {
+                for (j, &got) in acc_row.iter().enumerate() {
+                    assert_eq!(got, expect.get(i, j), "op {op} at ({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        // Splitting the k dimension across two calls must equal one call —
+        // the property the k_c loop relies on.
+        let a = BitMatrix::<u64>::from_fn(MR, 256, |r, c| (r + c) % 2 == 0);
+        let b = BitMatrix::<u64>::from_fn(NR, 256, |r, c| (r * c) % 3 == 1);
+        let k = 4usize; // words per row
+        let pa = PackedPanels::pack_all(&a, MR);
+        let pb = PackedPanels::pack_all(&b, NR);
+        assert_eq!(pa.k(), k);
+        let mut whole = zero_tile();
+        microkernel(CompareOp::And, k, pa.panel(0), pb.panel(0), &mut whole);
+        let pa1 = PackedPanels::pack(&a, 0, MR, 0, 2, MR);
+        let pa2 = PackedPanels::pack(&a, 0, MR, 2, 4, MR);
+        let pb1 = PackedPanels::pack(&b, 0, NR, 0, 2, NR);
+        let pb2 = PackedPanels::pack(&b, 0, NR, 2, 4, NR);
+        let mut split = zero_tile();
+        microkernel(CompareOp::And, 2, pa1.panel(0), pb1.panel(0), &mut split);
+        microkernel(CompareOp::And, 2, pa2.panel(0), pb2.panel(0), &mut split);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn zero_k_is_identity() {
+        let mut acc = zero_tile();
+        acc[1][2] = 77;
+        microkernel(CompareOp::Xor, 0, &[], &[], &mut acc);
+        assert_eq!(acc[1][2], 77);
+    }
+
+    #[test]
+    fn padded_lanes_contribute_nothing() {
+        // Panel with fewer logical rows than MR: padding lanes are zero and
+        // must produce zero counts for AND / AndNot, and |b| for XOR rows.
+        let a = BitMatrix::<u64>::from_fn(3, 64, |_, c| c % 2 == 0);
+        let b = BitMatrix::<u64>::from_fn(NR, 64, |_, c| c % 4 == 0);
+        let pa = PackedPanels::pack_all(&a, MR);
+        let mut acc = zero_tile();
+        microkernel(CompareOp::And, pa.k(), pa.panel(0), PackedPanels::pack_all(&b, NR).panel(0), &mut acc);
+        for (i, lane) in acc.iter().enumerate().skip(3) {
+            assert_eq!(lane, &[0; NR], "padded A lane {i} must stay zero");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A panel too short")]
+    fn short_panel_panics() {
+        let mut acc = zero_tile();
+        microkernel(CompareOp::And, 2, &[0u64; MR], &[0u64; 2 * NR], &mut acc);
+    }
+}

@@ -1,0 +1,122 @@
+//! Multithreaded blocked popcount-GEMM.
+//!
+//! \[11\] parallelizes the second and third loops around the microkernel; we
+//! do the same with rayon: the shared `B̃` block is packed once per
+//! (`jc`, `pc`) iteration, then the third loop's `m_c`-row blocks are
+//! distributed across the thread pool. Each task packs its own `Ã` block
+//! and owns a disjoint row range of `γ`, so no synchronization is needed
+//! beyond the fork/join.
+
+use rayon::prelude::*;
+use snp_bitmat::{BitMatrix, CompareOp, CountMatrix, PackedPanels};
+
+use crate::blocking::{CpuBlocking, MR, NR};
+use crate::gemm::{check_shapes, macro_kernel};
+
+/// Parallel version of [`crate::gemm::gamma_blocked_into`]. Produces results
+/// bit-identical to the sequential path (integer accumulation commutes).
+pub fn gamma_parallel_into(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+    c: &mut CountMatrix,
+) {
+    check_shapes(a, b, c, blocking);
+    let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
+    if m == 0 || n == 0 {
+        return;
+    }
+    let cols = c.cols();
+    for jc in (0..n).step_by(blocking.n_c) {
+        let n_blk = blocking.n_c.min(n - jc);
+        for pc in (0..k_words).step_by(blocking.k_c) {
+            let k_blk = blocking.k_c.min(k_words - pc);
+            let b_pack = PackedPanels::pack(b, jc, jc + n_blk, pc, pc + k_blk, NR);
+            // Third loop in parallel: disjoint m_c-row chunks of γ.
+            c.as_mut_slice()
+                .par_chunks_mut(blocking.m_c * cols)
+                .enumerate()
+                .for_each(|(blk, rows)| {
+                    let ic = blk * blocking.m_c;
+                    let m_blk = blocking.m_c.min(m - ic);
+                    let a_pack = PackedPanels::pack(a, ic, ic + m_blk, pc, pc + k_blk, MR);
+                    macro_kernel(op, &a_pack, &b_pack, rows, m_blk, cols, jc, n_blk);
+                });
+        }
+    }
+}
+
+/// Convenience wrapper allocating a fresh output.
+pub fn gamma_parallel(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+) -> CountMatrix {
+    let mut c = CountMatrix::zeros(a.rows(), b.rows());
+    gamma_parallel_into(a, b, op, blocking, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gamma_blocked;
+    use snp_bitmat::reference_gamma;
+
+    fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
+        BitMatrix::from_fn(rows, cols, |r, c| (r * 41 + c * 13 + salt) % 5 < 2)
+    }
+
+    fn blocking_small() -> CpuBlocking {
+        CpuBlocking { m_r: MR, n_r: NR, k_c: 3, m_c: 2 * MR, n_c: 3 * NR }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_reference() {
+        let a = matrix(3 * MR + 5, 700, 0);
+        let b = matrix(5 * NR + 2, 700, 1);
+        for op in CompareOp::ALL {
+            let par = gamma_parallel(&a, &b, op, &blocking_small());
+            let seq = gamma_blocked(&a, &b, op, &blocking_small());
+            let want = reference_gamma(&a, &b, op);
+            assert_eq!(par.first_mismatch(&seq), None, "op {op}: par vs seq");
+            assert_eq!(par.first_mismatch(&want), None, "op {op}: par vs reference");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let a = matrix(100, 512, 2);
+        let b = matrix(64, 512, 3);
+        let x = gamma_parallel(&a, &b, CompareOp::Xor, &CpuBlocking::default());
+        let y = gamma_parallel(&a, &b, CompareOp::Xor, &CpuBlocking::default());
+        assert_eq!(x.first_mismatch(&y), None);
+    }
+
+    #[test]
+    fn handles_fewer_rows_than_one_block() {
+        let a = matrix(2, 128, 4);
+        let b = matrix(300, 128, 5);
+        let par = gamma_parallel(&a, &b, CompareOp::And, &CpuBlocking::default());
+        let want = reference_gamma(&a, &b, CompareOp::And);
+        assert_eq!(par.first_mismatch(&want), None);
+    }
+
+    #[test]
+    fn accumulates_like_sequential() {
+        let a = matrix(20, 256, 6);
+        let b = matrix(20, 256, 7);
+        let mut c = CountMatrix::zeros(20, 20);
+        gamma_parallel_into(&a, &b, CompareOp::And, &blocking_small(), &mut c);
+        gamma_parallel_into(&a, &b, CompareOp::Xor, &blocking_small(), &mut c);
+        let want_and = reference_gamma(&a, &b, CompareOp::And);
+        let want_xor = reference_gamma(&a, &b, CompareOp::Xor);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(c.get(i, j), want_and.get(i, j) + want_xor.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The analytical software-configuration model (paper §V-A, Eqs. 4–7).
+//!
+//! The framework needs only four values to specialize its parameterized
+//! kernel for a device — `m_c`, `m_r`, `k_c`, `n_r` (the BLIS blocking
+//! parameters) — plus a distribution of the compute cores between the second
+//! and third loops around the microkernel. This module derives them from
+//! [`DeviceSpec`] hardware features exactly as §V-A prescribes, and exposes
+//! the bounds the paper states as inequalities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::instr::WordOpKind;
+
+/// Which SNP-comparison algorithm a kernel instantiates (paper §II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Linkage disequilibrium: square AND self-comparison (Eq. 1).
+    LinkageDisequilibrium,
+    /// FastID identity search: small query × huge database, XOR (Eq. 2).
+    IdentitySearch,
+    /// FastID mixture analysis: AND-NOT, or AND after pre-negation (Eq. 3).
+    MixtureAnalysis,
+}
+
+impl Algorithm {
+    /// The word-op flavor the kernel executes. `pre_negated` selects the
+    /// §II-C database transformation for mixture analysis.
+    pub fn word_op(self, pre_negated: bool) -> WordOpKind {
+        match self {
+            Algorithm::LinkageDisequilibrium => WordOpKind::And,
+            Algorithm::IdentitySearch => WordOpKind::Xor,
+            Algorithm::MixtureAnalysis => {
+                if pre_negated {
+                    WordOpKind::And
+                } else {
+                    WordOpKind::AndNot
+                }
+            }
+        }
+    }
+
+    /// Display name used by the bench binaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::LinkageDisequilibrium => "Linkage disequilibrium",
+            Algorithm::IdentitySearch => "FastID identity search",
+            Algorithm::MixtureAnalysis => "FastID mixture analysis",
+        }
+    }
+}
+
+/// The logical problem: `γ (m × n) = A (m × k) ⋄ Bᵀ (k × n)` with `k`
+/// counted in packed *words*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemShape {
+    /// Rows of A (queries / SNP strings).
+    pub m: usize,
+    /// Rows of B (database profiles / SNP strings).
+    pub n: usize,
+    /// Shared dimension in packed words.
+    pub k_words: usize,
+}
+
+impl ProblemShape {
+    /// Total word-ops of the full computation.
+    pub fn word_ops(&self) -> u128 {
+        self.m as u128 * self.n as u128 * self.k_words as u128
+    }
+}
+
+/// How `m_c` is derived. Table II uses `m_c = N_b` on every device; Eq. 5 as
+/// printed reads `m_c = N_b / N_cl`. See DESIGN.md §6 for the discrepancy
+/// discussion — `Banks` is the default because it is the value the paper's
+/// own configurations use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum McRule {
+    /// `m_c = N_b` (Table II's actual values; the FastID query size of 32
+    /// "was determined by the number of shared memory banks", §VI-D).
+    Banks,
+    /// `m_c = N_b / N_cl` (Eq. 5 as printed).
+    BanksPerCluster,
+}
+
+/// The "configuration header" of the framework (§V): the four BLIS blocking
+/// values plus the core grid and the chosen occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Rows of the A block packed into shared memory.
+    pub m_c: usize,
+    /// Register-block rows per thread group (Eq. 4: `m_r = N_vec`).
+    pub m_r: usize,
+    /// Shared-dimension words of the A block in shared memory (Eq. 6).
+    pub k_c: usize,
+    /// Register-block columns per core tile (Eq. 7 lower bound ≤ `n_r` ≤
+    /// register-file bound).
+    pub n_r: usize,
+    /// Cores assigned to the third loop (the `m` direction).
+    pub grid_m: u32,
+    /// Cores assigned to the second loop (the `n` direction).
+    pub grid_n: u32,
+    /// Thread groups resident per compute cluster (the paper uses `L_fn`).
+    pub groups_per_cluster: u32,
+}
+
+impl KernelConfig {
+    /// Total cores the grid uses.
+    pub fn cores(&self) -> u32 {
+        self.grid_m * self.grid_n
+    }
+
+    /// Columns computed by one thread group: `n_r / L_groups` where
+    /// `L_groups = groups_per_cluster` (the paper's `n_r / L_fn` split,
+    /// §IV-C).
+    pub fn cols_per_group(&self) -> usize {
+        self.n_r / self.groups_per_cluster as usize
+    }
+
+    /// Output values each *thread* accumulates in registers
+    /// (`m_r × n_r / (L_fn × N_T)` — the `v` in DESIGN.md).
+    pub fn values_per_thread(&self, n_t: u32) -> usize {
+        self.m_r * self.cols_per_group() / n_t as usize
+    }
+
+    /// Shared-memory bytes the A block occupies (4-byte elements, Eq. 6).
+    pub fn shared_bytes_used(&self) -> usize {
+        self.m_c * self.k_c * 4
+    }
+
+    /// Validates the configuration against a device and returns a list of
+    /// violated constraints (empty = valid).
+    pub fn violations(&self, dev: &DeviceSpec) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.m_r == 0 || self.n_r == 0 || self.m_c == 0 || self.k_c == 0 {
+            v.push("all blocking parameters must be positive".into());
+            return v;
+        }
+        if !self.m_r.is_multiple_of(dev.n_vec as usize) {
+            v.push(format!("m_r {} must be a multiple of N_vec {}", self.m_r, dev.n_vec));
+        }
+        if self.shared_bytes_used() > dev.usable_shared_bytes() as usize {
+            v.push(format!(
+                "A block of {} B exceeds usable shared memory {} B",
+                self.shared_bytes_used(),
+                dev.usable_shared_bytes()
+            ));
+        }
+        if !self.m_c.is_multiple_of(self.m_r) {
+            v.push(format!("m_c {} must be a multiple of m_r {}", self.m_c, self.m_r));
+        }
+        if !self.n_r.is_multiple_of(self.groups_per_cluster as usize) {
+            v.push(format!(
+                "n_r {} must divide evenly across {} thread groups",
+                self.n_r, self.groups_per_cluster
+            ));
+        }
+        let cols_per_group = self.n_r / self.groups_per_cluster.max(1) as usize;
+        if !cols_per_group.is_multiple_of(dev.n_t as usize) {
+            v.push(format!(
+                "group columns {cols_per_group} must be a multiple of N_T {} (each thread owns whole output columns)",
+                dev.n_t
+            ));
+        }
+        if self.cores() > dev.n_cores {
+            v.push(format!("grid {}x{} exceeds {} cores", self.grid_m, self.grid_n, dev.n_cores));
+        }
+        let groups_per_core = self.groups_per_cluster * dev.n_clusters;
+        if groups_per_core > dev.max_thread_groups * dev.n_clusters {
+            v.push(format!("{groups_per_core} groups/core exceeds the device limit"));
+        }
+        v
+    }
+}
+
+/// Eq. 4: `m_r = N_vec`.
+pub fn derive_m_r(dev: &DeviceSpec) -> usize {
+    dev.n_vec as usize
+}
+
+/// Eq. 5 / Table II: `m_c` per the chosen rule.
+pub fn derive_m_c(dev: &DeviceSpec, rule: McRule) -> usize {
+    match rule {
+        McRule::Banks => dev.shared_banks as usize,
+        McRule::BanksPerCluster => (dev.shared_banks / dev.n_clusters).max(1) as usize,
+    }
+}
+
+/// Eq. 6: `k_c = N_shared / (4 N_b)`, with the runtime's shared-memory
+/// reservation subtracted first (§V-E: NVIDIA's reservation turns 384 into
+/// 383; Vega keeps the full 512).
+pub fn derive_k_c(dev: &DeviceSpec) -> usize {
+    dev.usable_shared_bytes() as usize / (4 * dev.shared_banks as usize)
+}
+
+/// Eq. 7 lower bound: `n_r ≥ (N_T m_r / m_c) · N_vec · L_fn`.
+pub fn n_r_lower_bound(dev: &DeviceSpec, m_r: usize, m_c: usize) -> usize {
+    let subgroup = (dev.n_t as usize * m_r).div_ceil(m_c);
+    subgroup * dev.n_vec as usize * dev.l_fn as usize
+}
+
+/// Register-file upper bound on `n_r` (§V-A: "we set the upper bound of n_r
+/// as the number of registers divided by the total number of threads used in
+/// each core", less a fixed overhead for addressing and operand registers).
+pub fn n_r_upper_bound(dev: &DeviceSpec, m_r: usize) -> usize {
+    const OVERHEAD_REGS: usize = 16;
+    let groups_per_core = dev.chosen_occupancy_groups() as usize;
+    let threads_per_core = groups_per_core * dev.n_t as usize;
+    let regs_per_thread =
+        (dev.registers_per_core as usize / threads_per_core).min(dev.max_regs_per_thread as usize);
+    let accum = regs_per_thread.saturating_sub(OVERHEAD_REGS).max(1);
+    let v_max = (accum / m_r).max(1);
+    dev.l_fn as usize * dev.n_t as usize * v_max
+}
+
+/// Derives a full [`KernelConfig`] from hardware features alone (no Table II
+/// preset), picking `n_r` as the largest power-of-two-per-thread value within
+/// the Eq. 7 / register bounds, and a core grid suited to the problem shape.
+pub fn derive_config(dev: &DeviceSpec, shape: ProblemShape, rule: McRule) -> KernelConfig {
+    let m_r = derive_m_r(dev);
+    let m_c = derive_m_c(dev, rule);
+    let k_c = derive_k_c(dev);
+    let lo = n_r_lower_bound(dev, m_r, m_c);
+    let hi = n_r_upper_bound(dev, m_r);
+    let l = dev.l_fn as usize;
+    let nt = dev.n_t as usize;
+    // n_r = L_fn * N_T * v, with v the per-thread column count; prefer the
+    // largest power-of-two v that keeps n_r within bounds, clamped to the
+    // lower bound if the register file is tight.
+    let mut v = 1usize;
+    while l * nt * (v * 2) <= hi && v < 64 {
+        v *= 2;
+    }
+    let mut n_r = l * nt * v;
+    if n_r < lo {
+        n_r = lo.next_multiple_of(l * nt);
+    }
+    let (grid_m, grid_n) = derive_grid(dev, shape, m_c, n_r);
+    KernelConfig {
+        m_c,
+        m_r,
+        k_c,
+        n_r,
+        grid_m,
+        grid_n,
+        groups_per_cluster: dev.l_fn,
+    }
+}
+
+/// Distributes the cores between the third (m) and second (n) loop
+/// (paper §IV-C: "the distribution of GPU cores between the second and third
+/// loop is left as a parameter since different problems may require
+/// different distribution"). The heuristic assigns cores proportionally to
+/// the available tile-level parallelism in each dimension.
+pub fn derive_grid(dev: &DeviceSpec, shape: ProblemShape, m_c: usize, n_r: usize) -> (u32, u32) {
+    let cores = dev.n_cores;
+    let m_tiles = shape.m.div_ceil(m_c).max(1) as u32;
+    let n_tiles = shape.n.div_ceil(n_r).max(1) as u32;
+    // Start from the factorization of `cores` whose ratio best matches the
+    // tile-count ratio, clamped by the actual parallelism available.
+    let mut best = (1u32, cores);
+    let mut best_score = f64::INFINITY;
+    for gm in 1..=cores {
+        if !cores.is_multiple_of(gm) {
+            continue;
+        }
+        let gn = cores / gm;
+        if gm > m_tiles || gn > n_tiles {
+            continue;
+        }
+        let score = (gm as f64 / gn as f64).ln() - (m_tiles as f64 / n_tiles as f64).ln();
+        let score = score.abs();
+        if score < best_score {
+            best_score = score;
+            best = (gm, gn);
+        }
+    }
+    if best_score.is_infinite() {
+        // Degenerate problems smaller than the core count in both directions:
+        // use whatever fits.
+        best = (m_tiles.min(cores), (cores / m_tiles.min(cores)).min(n_tiles).max(1));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::*;
+
+    fn ld_shape() -> ProblemShape {
+        ProblemShape { m: 12_256, n: 12_256, k_words: 384 }
+    }
+
+    fn fastid_shape() -> ProblemShape {
+        ProblemShape { m: 32, n: 20_971_520, k_words: 32 }
+    }
+
+    #[test]
+    fn eq4_m_r_is_n_vec() {
+        for d in all_gpus() {
+            assert_eq!(derive_m_r(&d), 4, "{}: Table II has m_r = 4 everywhere", d.name);
+        }
+    }
+
+    #[test]
+    fn m_c_rules() {
+        let g = gtx_980();
+        assert_eq!(derive_m_c(&g, McRule::Banks), 32); // Table II value
+        assert_eq!(derive_m_c(&g, McRule::BanksPerCluster), 8); // Eq. 5 as printed
+    }
+
+    #[test]
+    fn eq6_k_c_matches_table2() {
+        // NVIDIA: (48 KiB - reservation) / (4 * 32) = 383; Vega: 64 KiB / 128 = 512.
+        assert_eq!(derive_k_c(&gtx_980()), 383);
+        assert_eq!(derive_k_c(&titan_v()), 383);
+        assert_eq!(derive_k_c(&vega_64()), 512);
+    }
+
+    #[test]
+    fn eq7_lower_bounds() {
+        // GTX 980: (32*4/32) * 4 * 6 = 96; Titan V: 4*4*4 = 64; Vega: (64*4/32)*4*4 = 128.
+        assert_eq!(n_r_lower_bound(&gtx_980(), 4, 32), 96);
+        assert_eq!(n_r_lower_bound(&titan_v(), 4, 32), 64);
+        assert_eq!(n_r_lower_bound(&vega_64(), 4, 32), 128);
+    }
+
+    #[test]
+    fn table2_n_r_within_model_bounds() {
+        // The tuned Table II values must bracket between Eq. 7's lower bound
+        // and the register-file upper bound.
+        for (dev, n_r) in [(gtx_980(), 384), (titan_v(), 1024), (vega_64(), 1024)] {
+            let lo = n_r_lower_bound(&dev, 4, 32);
+            let hi = n_r_upper_bound(&dev, 4);
+            assert!(lo <= n_r && n_r <= hi, "{}: {lo} <= {n_r} <= {hi} violated", dev.name);
+        }
+    }
+
+    #[test]
+    fn derived_configs_are_valid() {
+        for d in all_gpus() {
+            for shape in [ld_shape(), fastid_shape()] {
+                let c = derive_config(&d, shape, McRule::Banks);
+                let viol = c.violations(&d);
+                assert!(viol.is_empty(), "{}: {viol:?} (config {c:?})", d.name);
+                assert!(c.n_r >= n_r_lower_bound(&d, c.m_r, c.m_c));
+            }
+        }
+    }
+
+    #[test]
+    fn fastid_grid_puts_all_cores_on_the_database_dimension() {
+        // Table II FastID rows: 1x16 / 1x80 / 1x64.
+        for d in all_gpus() {
+            let c = derive_config(&d, fastid_shape(), McRule::Banks);
+            assert_eq!(c.grid_m, 1, "{}: queries fit one m tile", d.name);
+            assert_eq!(c.grid_n, d.n_cores, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn ld_grid_uses_all_cores() {
+        for d in all_gpus() {
+            let c = derive_config(&d, ld_shape(), McRule::Banks);
+            assert_eq!(c.cores(), d.n_cores, "{}", d.name);
+            assert!(c.grid_m > 1, "{}: square problems should split m too", d.name);
+        }
+    }
+
+    #[test]
+    fn config_accessors_consistent() {
+        let d = titan_v();
+        let c = derive_config(&d, ld_shape(), McRule::Banks);
+        assert_eq!(c.groups_per_cluster, d.l_fn);
+        assert_eq!(c.cols_per_group() * c.groups_per_cluster as usize, c.n_r);
+        assert!(c.values_per_thread(d.n_t) >= 1);
+        assert!(c.shared_bytes_used() <= d.usable_shared_bytes() as usize);
+    }
+
+    #[test]
+    fn violations_catch_bad_configs() {
+        let d = gtx_980();
+        let mut c = derive_config(&d, ld_shape(), McRule::Banks);
+        c.k_c = 100_000; // overflow shared memory
+        assert!(!c.violations(&d).is_empty());
+        let mut c2 = derive_config(&d, ld_shape(), McRule::Banks);
+        c2.m_r = 3; // not a multiple of N_vec
+        assert!(!c2.violations(&d).is_empty());
+    }
+
+    #[test]
+    fn word_op_selection_per_algorithm() {
+        assert_eq!(Algorithm::LinkageDisequilibrium.word_op(false), WordOpKind::And);
+        assert_eq!(Algorithm::IdentitySearch.word_op(false), WordOpKind::Xor);
+        assert_eq!(Algorithm::MixtureAnalysis.word_op(false), WordOpKind::AndNot);
+        assert_eq!(Algorithm::MixtureAnalysis.word_op(true), WordOpKind::And);
+    }
+
+    #[test]
+    fn problem_word_ops() {
+        let s = ProblemShape { m: 10, n: 20, k_words: 3 };
+        assert_eq!(s.word_ops(), 600);
+    }
+}

@@ -1,0 +1,334 @@
+//! Device specifications for the model GPU architecture (paper §IV-A and
+//! Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::InstrClass;
+
+/// Hardware vendor, used only for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA GPUs (thread groups are warps of 32).
+    Nvidia,
+    /// AMD GPUs (thread groups are wavefronts of 64).
+    Amd,
+    /// A CPU expressed in the same model vocabulary (Table I column 1).
+    Cpu,
+}
+
+/// One execution pipeline inside a compute cluster.
+///
+/// A pipeline owns `lanes` functional units (`N_fn` in the paper) and serves
+/// a set of instruction classes. Instructions of classes that *share* a
+/// pipeline contend for its issue slots — the mechanism behind the paper's
+/// Vega AND/ADD/NOT observation (§V-D, §VI-E-1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Human-readable name ("alu", "popc", "lsu", …).
+    pub name: String,
+    /// Number of functional units (`N_fn`) per compute cluster.
+    pub lanes: u32,
+    /// Instruction classes issued to this pipeline.
+    pub classes: Vec<InstrClass>,
+}
+
+impl PipelineSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, lanes: u32, classes: &[InstrClass]) -> Self {
+        assert!(lanes > 0, "pipeline {name} must have at least one lane");
+        PipelineSpec { name: name.to_string(), lanes, classes: classes.to_vec() }
+    }
+}
+
+/// Modeled memory-system behaviour.
+///
+/// `scaling_knee`/`scaling_exponent` encode the per-core efficiency loss the
+/// paper *observes but does not model* (§VI-C, Fig. 7): per-core throughput
+/// is flat up to `scaling_knee` active cores and decays as
+/// `(knee / n)^exponent` beyond it. NVIDIA devices use exponents near zero
+/// (Titan V ≈ flat, GTX 980 ≈ 90 % at 16 cores); Vega 64's knee of 8 and
+/// larger exponent reproduce its collapse. See DESIGN.md §6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Nominal DRAM bandwidth in GiB/s.
+    pub dram_bandwidth_gib_s: f64,
+    /// Fraction of nominal bandwidth achievable by streaming kernels.
+    pub dram_efficiency: f64,
+    /// Global-memory load latency in cycles (detailed engine only).
+    pub global_latency_cycles: u32,
+    /// Shared-memory load latency in cycles (detailed engine only).
+    pub shared_latency_cycles: u32,
+    /// Active-core count up to which per-core throughput is flat.
+    pub scaling_knee: u32,
+    /// Decay exponent of per-core efficiency beyond the knee (0 = flat).
+    pub scaling_exponent: f64,
+}
+
+impl MemoryModel {
+    /// Per-core efficiency multiplier when `active_cores` cores run the
+    /// kernel concurrently; 1.0 at or below the knee.
+    pub fn core_scaling_efficiency(&self, active_cores: u32) -> f64 {
+        let n = active_cores.max(1);
+        if n <= self.scaling_knee || self.scaling_exponent == 0.0 {
+            1.0
+        } else {
+            (self.scaling_knee as f64 / n as f64).powf(self.scaling_exponent)
+        }
+    }
+
+    /// Achievable streaming bandwidth in bytes/second.
+    pub fn effective_bandwidth_bytes_s(&self) -> f64 {
+        self.dram_bandwidth_gib_s * self.dram_efficiency * (1u64 << 30) as f64
+    }
+}
+
+/// Host↔device link and software-overhead model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Effective host↔device bandwidth in GiB/s (PCIe 3.0 x16 ≈ 12 GiB/s).
+    pub pcie_bandwidth_gib_s: f64,
+    /// Fixed per-transfer latency in nanoseconds.
+    pub transfer_latency_ns: u64,
+    /// Fixed per-kernel-launch overhead in nanoseconds.
+    pub kernel_launch_ns: u64,
+    /// One-time runtime (OpenCL) initialization cost in nanoseconds —
+    /// "on the order of hundreds of milliseconds" (paper §VI-B).
+    pub runtime_init_ns: u64,
+    /// Host-side packing throughput in GiB/s (bit matrix → transfer buffer).
+    pub host_pack_gib_s: f64,
+}
+
+impl TransferModel {
+    /// Nanoseconds to move `bytes` across the host↔device link.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        let bw = self.pcie_bandwidth_gib_s * (1u64 << 30) as f64;
+        self.transfer_latency_ns + (bytes as f64 / bw * 1e9).ceil() as u64
+    }
+
+    /// Nanoseconds for the host to pack `bytes` of matrix payload.
+    pub fn pack_ns(&self, bytes: u64) -> u64 {
+        let bw = self.host_pack_gib_s * (1u64 << 30) as f64;
+        (bytes as f64 / bw * 1e9).ceil() as u64
+    }
+}
+
+/// A complete model-GPU description: everything Table I records, plus the
+/// pipeline map, memory model and transfer model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name ("GTX 980", "Titan V", "Vega 64", …).
+    pub name: String,
+    /// Vendor (determines thread-group terminology only).
+    pub vendor: Vendor,
+    /// Microarchitecture name ("Maxwell", "Volta", "Vega (GCN5)", …).
+    pub microarchitecture: String,
+    /// Clock frequency in GHz (maximum reported, per §VI-A-2).
+    pub frequency_ghz: f64,
+    /// Threads per thread group (`N_T`): warp = 32, wavefront = 64.
+    pub n_t: u32,
+    /// Maximum resident thread groups per compute core (`N_grp`).
+    pub max_thread_groups: u32,
+    /// Compute cores (`N_c`): SMs / compute units.
+    pub n_cores: u32,
+    /// Compute clusters per core (`N_cl`).
+    pub n_clusters: u32,
+    /// Execution pipelines per cluster.
+    pub pipelines: Vec<PipelineSpec>,
+    /// Arithmetic instruction latency in cycles (`L_fn`; the paper assumes
+    /// one latency for all arithmetic classes, keyed on popcount).
+    pub l_fn: u32,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Largest single allocation in bytes (`CL_DEVICE_MAX_MEM_ALLOC_SIZE`).
+    pub max_alloc_bytes: u64,
+    /// Shared memory per core in bytes (`N_shared`).
+    pub shared_mem_bytes: u32,
+    /// Shared memory bytes unavailable to kernels (NVIDIA's OpenCL reserves
+    /// a few bytes — paper §V-E — which is why `k_c` is 383, not 384).
+    pub shared_mem_reserved_bytes: u32,
+    /// Shared-memory banks (`N_b`).
+    pub shared_banks: u32,
+    /// 32-bit registers per core.
+    pub registers_per_core: u32,
+    /// Maximum registers addressable by one thread.
+    pub max_regs_per_thread: u32,
+    /// Elements a thread loads/stores at once (`N_vec`, paper Eq. 4).
+    pub n_vec: u32,
+    /// Bits per packed element the device computes on (32 for the GPUs,
+    /// 64 for the modeled CPU).
+    pub word_bits: u32,
+    /// True when the device fuses AND-NOT into one logic issue (NVIDIA LOP3).
+    pub fused_andnot: bool,
+    /// Memory-system model.
+    pub memory: MemoryModel,
+    /// Host link / overhead model.
+    pub transfer: TransferModel,
+}
+
+impl DeviceSpec {
+    /// The pipeline serving `class`, if any.
+    pub fn pipeline_for(&self, class: InstrClass) -> Option<&PipelineSpec> {
+        self.pipelines.iter().find(|p| p.classes.contains(&class))
+    }
+
+    /// Index of the pipeline serving `class`.
+    pub fn pipeline_index_for(&self, class: InstrClass) -> Option<usize> {
+        self.pipelines.iter().position(|p| p.classes.contains(&class))
+    }
+
+    /// `N_fn` for an instruction class (functional units per cluster), or
+    /// `None` if the device cannot execute it.
+    pub fn n_fn(&self, class: InstrClass) -> Option<u32> {
+        self.pipeline_for(class).map(|p| p.lanes)
+    }
+
+    /// Issue cycles one thread-group instruction of `class` occupies its
+    /// pipeline: `ceil(N_T / N_fn)`.
+    pub fn issue_cycles(&self, class: InstrClass) -> u32 {
+        let lanes = self
+            .n_fn(class)
+            .unwrap_or_else(|| panic!("device {} has no pipeline for {class}", self.name));
+        self.n_t.div_ceil(lanes)
+    }
+
+    /// Result latency in cycles for `class` — `max(T_issue, L_fn)` for
+    /// arithmetic, the memory-model latencies for loads (see DESIGN.md §3).
+    pub fn result_latency(&self, class: InstrClass) -> u32 {
+        match class {
+            InstrClass::LoadGlobal => self.memory.global_latency_cycles,
+            InstrClass::LoadShared => self.memory.shared_latency_cycles,
+            InstrClass::StoreGlobal | InstrClass::StoreShared => self.issue_cycles(class),
+            _ => self.issue_cycles(class).max(self.l_fn),
+        }
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.frequency_ghz
+    }
+
+    /// Converts a cycle count on this device to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles * self.cycle_ns()
+    }
+
+    /// Shared memory usable by kernels after runtime reservation.
+    pub fn usable_shared_bytes(&self) -> u32 {
+        self.shared_mem_bytes - self.shared_mem_reserved_bytes
+    }
+
+    /// Thread groups resident per core at the paper's chosen occupancy
+    /// (`N_cl × L_fn`, §V-E — "we limit the number of thread groups necessary
+    /// to reside on a core to the product of the number of compute clusters
+    /// and the latency of an arithmetic operation").
+    pub fn chosen_occupancy_groups(&self) -> u32 {
+        (self.n_clusters * self.l_fn).min(self.max_thread_groups)
+    }
+
+    /// The vendor's name for a thread group.
+    pub fn thread_group_term(&self) -> &'static str {
+        match self.vendor {
+            Vendor::Nvidia => "warp",
+            Vendor::Amd => "wavefront",
+            Vendor::Cpu => "SIMD instruction",
+        }
+    }
+
+    /// Validates internal consistency; called by the device database tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frequency_ghz <= 0.0 {
+            return Err(format!("{}: non-positive frequency", self.name));
+        }
+        if !self.n_t.is_power_of_two() {
+            return Err(format!("{}: N_T {} must be a power of two", self.name, self.n_t));
+        }
+        for class in [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Popc] {
+            if self.pipeline_for(class).is_none() {
+                return Err(format!("{}: no pipeline for {class}", self.name));
+            }
+        }
+        if self.shared_mem_reserved_bytes >= self.shared_mem_bytes && self.shared_mem_bytes > 0 {
+            return Err(format!("{}: reservation exceeds shared memory", self.name));
+        }
+        if self.max_alloc_bytes > self.global_mem_bytes {
+            return Err(format!("{}: max allocation exceeds global memory", self.name));
+        }
+        if self.word_bits != 32 && self.word_bits != 64 {
+            return Err(format!("{}: unsupported word width {}", self.name, self.word_bits));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    #[test]
+    fn issue_cycles_divides_thread_group_over_lanes() {
+        let dev = devices::gtx_980();
+        // Maxwell: 32 threads over 8 popc lanes -> 4 cycles.
+        assert_eq!(dev.issue_cycles(InstrClass::Popc), 4);
+        // 32 threads over 32 logic lanes -> 1 cycle.
+        assert_eq!(dev.issue_cycles(InstrClass::Logic), 1);
+    }
+
+    #[test]
+    fn result_latency_is_max_of_issue_and_lfn() {
+        let dev = devices::gtx_980(); // L_fn = 6
+        assert_eq!(dev.result_latency(InstrClass::Popc), 6); // max(4, 6)
+        assert_eq!(dev.result_latency(InstrClass::Logic), 6); // max(1, 6)
+        let vega = devices::vega_64(); // L_fn = 4, popc lanes 16, N_T 64 -> issue 4
+        assert_eq!(vega.result_latency(InstrClass::Popc), 4);
+    }
+
+    #[test]
+    fn core_scaling_flat_below_knee() {
+        let m = MemoryModel {
+            dram_bandwidth_gib_s: 100.0,
+            dram_efficiency: 0.8,
+            global_latency_cycles: 400,
+            shared_latency_cycles: 24,
+            scaling_knee: 8,
+            scaling_exponent: 0.3,
+        };
+        assert_eq!(m.core_scaling_efficiency(1), 1.0);
+        assert_eq!(m.core_scaling_efficiency(8), 1.0);
+        let e16 = m.core_scaling_efficiency(16);
+        let e64 = m.core_scaling_efficiency(64);
+        assert!(e16 < 1.0 && e64 < e16, "efficiency must decay past the knee");
+    }
+
+    #[test]
+    fn transfer_model_costs() {
+        let t = TransferModel {
+            pcie_bandwidth_gib_s: 12.0,
+            transfer_latency_ns: 10_000,
+            kernel_launch_ns: 8_000,
+            runtime_init_ns: 200_000_000,
+            host_pack_gib_s: 8.0,
+        };
+        let one_gib = t.transfer_ns(1 << 30);
+        // ~1/12 s plus latency.
+        assert!(one_gib > 80_000_000 && one_gib < 95_000_000, "got {one_gib}");
+        assert_eq!(t.transfer_ns(0), 10_000);
+        assert!(t.pack_ns(1 << 30) > one_gib, "packing is slower than PCIe here");
+    }
+
+    #[test]
+    fn chosen_occupancy_is_clusters_times_latency() {
+        let dev = devices::gtx_980();
+        assert_eq!(dev.chosen_occupancy_groups(), (4 * 6));
+        let vega = devices::vega_64();
+        assert_eq!(vega.chosen_occupancy_groups(), 16); // 4*4 = 16 = cap
+    }
+
+    #[test]
+    fn usable_shared_reflects_reservation() {
+        let dev = devices::gtx_980();
+        assert!(dev.usable_shared_bytes() < dev.shared_mem_bytes);
+        let vega = devices::vega_64();
+        assert_eq!(vega.usable_shared_bytes(), vega.shared_mem_bytes); // §V-E: no Vega reservation
+    }
+}

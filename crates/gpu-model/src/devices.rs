@@ -1,0 +1,370 @@
+//! The device database: Table I of the paper, expressed as [`DeviceSpec`]s.
+//!
+//! Arithmetic-unit counts, latencies, frequencies, memory sizes, bank
+//! counts and register files are taken directly from Table I. Pipeline
+//! *sharing* follows the paper's microbenchmark observations (§V-D,
+//! §VI-E-1): population count sits on its own pipeline everywhere; on Vega
+//! the ADD / AND / NOT instructions share one VALU pipeline, while the
+//! NVIDIA parts issue ADD and logic to separate unit groups and fuse
+//! AND-NOT (LOP3). Memory-bandwidth figures are the public specifications;
+//! the scaling knee/exponent pairs are calibrated to Fig. 7 as described in
+//! DESIGN.md §6.
+
+use crate::device::{DeviceSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
+use crate::instr::InstrClass;
+
+const GIB: u64 = 1 << 30;
+const KIB: u32 = 1 << 10;
+
+/// NVIDIA GTX 980 (Maxwell). Table I column 2.
+pub fn gtx_980() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX 980".to_string(),
+        vendor: Vendor::Nvidia,
+        microarchitecture: "Maxwell".to_string(),
+        frequency_ghz: 1.367,
+        n_t: 32,
+        max_thread_groups: 32,
+        n_cores: 16,
+        n_clusters: 4,
+        pipelines: vec![
+            PipelineSpec::new("add", 32, &[InstrClass::IntAdd, InstrClass::Scalar]),
+            PipelineSpec::new("logic", 32, &[InstrClass::Logic, InstrClass::Not]),
+            PipelineSpec::new("popc", 8, &[InstrClass::Popc]),
+            PipelineSpec::new(
+                "lsu",
+                8,
+                &[
+                    InstrClass::LoadGlobal,
+                    InstrClass::LoadShared,
+                    InstrClass::StoreGlobal,
+                    InstrClass::StoreShared,
+                ],
+            ),
+        ],
+        l_fn: 6,
+        global_mem_bytes: (3.934 * GIB as f64) as u64,
+        max_alloc_bytes: (0.983 * GIB as f64) as u64,
+        shared_mem_bytes: 48 * KIB,
+        shared_mem_reserved_bytes: 32, // NVIDIA OpenCL reservation (§V-E): k_c = 383, not 384
+        shared_banks: 32,
+        registers_per_core: 64 * 1024,
+        max_regs_per_thread: 255,
+        n_vec: 4,
+        word_bits: 32,
+        fused_andnot: true,
+        memory: MemoryModel {
+            dram_bandwidth_gib_s: 224.0,
+            dram_efficiency: 0.75,
+            global_latency_cycles: 28,
+            shared_latency_cycles: 24,
+            scaling_knee: 1,
+            scaling_exponent: 0.0345, // ≈ 90.9 % per-core efficiency at 16 cores (Fig. 7)
+        },
+        transfer: pcie3(180),
+    }
+}
+
+/// NVIDIA Titan V (Volta). Table I column 3.
+pub fn titan_v() -> DeviceSpec {
+    DeviceSpec {
+        name: "Titan V".to_string(),
+        vendor: Vendor::Nvidia,
+        microarchitecture: "Volta".to_string(),
+        frequency_ghz: 1.455,
+        n_t: 32,
+        max_thread_groups: 32,
+        n_cores: 80,
+        n_clusters: 4,
+        pipelines: vec![
+            PipelineSpec::new("add", 16, &[InstrClass::IntAdd, InstrClass::Scalar]),
+            PipelineSpec::new("logic", 16, &[InstrClass::Logic, InstrClass::Not]),
+            PipelineSpec::new("popc", 4, &[InstrClass::Popc]),
+            PipelineSpec::new(
+                "lsu",
+                8,
+                &[
+                    InstrClass::LoadGlobal,
+                    InstrClass::LoadShared,
+                    InstrClass::StoreGlobal,
+                    InstrClass::StoreShared,
+                ],
+            ),
+        ],
+        l_fn: 4,
+        global_mem_bytes: (11.754 * GIB as f64) as u64,
+        max_alloc_bytes: (2.939 * GIB as f64) as u64,
+        shared_mem_bytes: 48 * KIB,
+        shared_mem_reserved_bytes: 32,
+        shared_banks: 32,
+        registers_per_core: 64 * 1024,
+        max_regs_per_thread: 255,
+        n_vec: 4,
+        word_bits: 32,
+        fused_andnot: true,
+        memory: MemoryModel {
+            dram_bandwidth_gib_s: 652.0,
+            dram_efficiency: 0.80,
+            global_latency_cycles: 28,
+            shared_latency_cycles: 24,
+            scaling_knee: 1,
+            scaling_exponent: 0.0065, // ≈ 97 % at 80 cores: "scales almost perfectly" (Fig. 7)
+        },
+        transfer: pcie3(150),
+    }
+}
+
+/// AMD Vega 64 (GCN5). Table I column 4.
+pub fn vega_64() -> DeviceSpec {
+    DeviceSpec {
+        name: "Vega 64".to_string(),
+        vendor: Vendor::Amd,
+        microarchitecture: "Vega (GCN5)".to_string(),
+        frequency_ghz: 1.663,
+        n_t: 64,
+        max_thread_groups: 16,
+        n_cores: 64,
+        n_clusters: 4,
+        pipelines: vec![
+            // §V-D: "on the Vega 64 the addition and logical AND operations
+            // fall on the same pipeline which becomes the bottleneck"; the
+            // standalone NOT also lands here (§VI-E-1, Fig. 9).
+            PipelineSpec::new(
+                "valu",
+                16,
+                &[InstrClass::IntAdd, InstrClass::Logic, InstrClass::Not, InstrClass::Scalar],
+            ),
+            PipelineSpec::new("popc", 16, &[InstrClass::Popc]),
+            PipelineSpec::new(
+                "lsu",
+                16,
+                &[
+                    InstrClass::LoadGlobal,
+                    InstrClass::LoadShared,
+                    InstrClass::StoreGlobal,
+                    InstrClass::StoreShared,
+                ],
+            ),
+        ],
+        l_fn: 4,
+        global_mem_bytes: (7.984 * GIB as f64) as u64,
+        max_alloc_bytes: (6.786 * GIB as f64) as u64,
+        shared_mem_bytes: 64 * KIB,
+        shared_mem_reserved_bytes: 0, // §V-E: "no such limitation on the Vega 64"
+        shared_banks: 32,
+        registers_per_core: 64 * 1024,
+        max_regs_per_thread: 256,
+        n_vec: 4,
+        word_bits: 32,
+        fused_andnot: false, // no LOP3 equivalent: NOT costs a VALU issue
+        memory: MemoryModel {
+            dram_bandwidth_gib_s: 484.0,
+            dram_efficiency: 0.70,
+            global_latency_cycles: 28,
+            shared_latency_cycles: 24,
+            scaling_knee: 8,
+            // (8/64)^0.2733 ≈ 0.567; together with the ~3 % VALU overhead of
+            // the kernel's scalar bookkeeping this reproduces both the Fig. 7
+            // collapse past 8 cores and the 54.9 % of peak of Fig. 5.
+            scaling_exponent: 0.2733,
+        },
+        transfer: pcie3(250),
+    }
+}
+
+/// The paper's CPU reference, expressed in model-GPU vocabulary: a
+/// dual-socket Xeon E5-2620 v2 workstation (Ivy Bridge, 2 × 6 cores at
+/// 2.10 GHz). Table I column 1. One scalar 64-bit POPCNT pipe per core is
+/// the throughput bottleneck (paper §III and \[11\]).
+pub fn xeon_e5_2620_v2() -> DeviceSpec {
+    DeviceSpec {
+        name: "Xeon E5-2620 v2".to_string(),
+        vendor: Vendor::Cpu,
+        microarchitecture: "Ivy Bridge".to_string(),
+        frequency_ghz: 2.1,
+        n_t: 1,
+        max_thread_groups: 2, // 2-way hyperthreading
+        n_cores: 12,          // 2 sockets x 6 cores
+        n_clusters: 1,
+        pipelines: vec![
+            PipelineSpec::new("alu-add", 4, &[InstrClass::IntAdd, InstrClass::Scalar]),
+            PipelineSpec::new("alu-logic", 4, &[InstrClass::Logic, InstrClass::Not]),
+            PipelineSpec::new("popc", 1, &[InstrClass::Popc]),
+            PipelineSpec::new(
+                "lsu",
+                2,
+                &[
+                    InstrClass::LoadGlobal,
+                    InstrClass::LoadShared,
+                    InstrClass::StoreGlobal,
+                    InstrClass::StoreShared,
+                ],
+            ),
+        ],
+        l_fn: 3,
+        global_mem_bytes: 64 * GIB,
+        max_alloc_bytes: 64 * GIB,
+        shared_mem_bytes: 0,
+        shared_mem_reserved_bytes: 0,
+        shared_banks: 1,
+        registers_per_core: 16,
+        max_regs_per_thread: 16,
+        n_vec: 4,
+        word_bits: 64,
+        fused_andnot: true, // BMI1 ANDN
+        memory: MemoryModel {
+            dram_bandwidth_gib_s: 51.2,
+            dram_efficiency: 0.8,
+            global_latency_cycles: 8,
+            shared_latency_cycles: 4,
+            scaling_knee: 12,
+            scaling_exponent: 0.0,
+        },
+        transfer: TransferModel {
+            pcie_bandwidth_gib_s: 1e9, // host data is already resident
+            transfer_latency_ns: 0,
+            kernel_launch_ns: 0,
+            runtime_init_ns: 0,
+            host_pack_gib_s: 8.0,
+        },
+    }
+}
+
+fn pcie3(init_ms: u64) -> TransferModel {
+    TransferModel {
+        pcie_bandwidth_gib_s: 12.0,
+        transfer_latency_ns: 10_000,
+        kernel_launch_ns: 8_000,
+        runtime_init_ns: init_ms * 1_000_000,
+        host_pack_gib_s: 8.0,
+    }
+}
+
+/// The three evaluated GPUs, in the paper's presentation order.
+pub fn all_gpus() -> Vec<DeviceSpec> {
+    vec![gtx_980(), titan_v(), vega_64()]
+}
+
+/// All Table I devices including the CPU column.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    vec![xeon_e5_2620_v2(), gtx_980(), titan_v(), vega_64()]
+}
+
+/// Looks a device up by name, ignoring case and separator characters
+/// ("Titan V", "titan-v" and "TITAN_V" all resolve).
+pub fn by_name(name: &str) -> Option<DeviceSpec> {
+    fn norm(s: &str) -> String {
+        s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+    }
+    let want = norm(name);
+    all_devices().into_iter().find(|d| norm(&d.name) == want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_validate() {
+        for d in all_devices() {
+            d.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn table1_arithmetic_units() {
+        let g = gtx_980();
+        assert_eq!(g.n_fn(InstrClass::IntAdd), Some(32));
+        assert_eq!(g.n_fn(InstrClass::Logic), Some(32));
+        assert_eq!(g.n_fn(InstrClass::Popc), Some(8));
+        let t = titan_v();
+        assert_eq!(t.n_fn(InstrClass::IntAdd), Some(16));
+        assert_eq!(t.n_fn(InstrClass::Popc), Some(4));
+        let v = vega_64();
+        assert_eq!(v.n_fn(InstrClass::IntAdd), Some(16));
+        assert_eq!(v.n_fn(InstrClass::Popc), Some(16));
+        let c = xeon_e5_2620_v2();
+        assert_eq!(c.n_fn(InstrClass::IntAdd), Some(4));
+        assert_eq!(c.n_fn(InstrClass::Popc), Some(1));
+    }
+
+    #[test]
+    fn table1_latency_row() {
+        assert_eq!(xeon_e5_2620_v2().l_fn, 3);
+        assert_eq!(gtx_980().l_fn, 6);
+        assert_eq!(titan_v().l_fn, 4);
+        assert_eq!(vega_64().l_fn, 4);
+    }
+
+    #[test]
+    fn table1_topology() {
+        let g = gtx_980();
+        assert_eq!((g.n_t, g.max_thread_groups, g.n_cores, g.n_clusters), (32, 32, 16, 4));
+        let t = titan_v();
+        assert_eq!((t.n_t, t.n_cores), (32, 80));
+        let v = vega_64();
+        assert_eq!((v.n_t, v.max_thread_groups, v.n_cores), (64, 16, 64));
+        let c = xeon_e5_2620_v2();
+        assert_eq!((c.n_t, c.n_cores, c.n_clusters), (1, 12, 1));
+    }
+
+    #[test]
+    fn table1_memory_rows() {
+        let g = gtx_980();
+        assert_eq!(g.shared_mem_bytes, 48 * 1024);
+        assert_eq!(g.shared_banks, 32);
+        assert_eq!(g.registers_per_core, 65536);
+        let v = vega_64();
+        assert_eq!(v.shared_mem_bytes, 64 * 1024);
+        assert!((v.global_mem_bytes as f64 / (1u64 << 30) as f64 - 7.984).abs() < 1e-3);
+        assert!((g.max_alloc_bytes as f64 / (1u64 << 30) as f64 - 0.983).abs() < 1e-3);
+    }
+
+    #[test]
+    fn vega_shares_add_and_not_on_one_pipe() {
+        let v = vega_64();
+        let add = v.pipeline_index_for(InstrClass::IntAdd).unwrap();
+        let logic = v.pipeline_index_for(InstrClass::Logic).unwrap();
+        let not = v.pipeline_index_for(InstrClass::Not).unwrap();
+        assert_eq!(add, logic);
+        assert_eq!(add, not);
+        let popc = v.pipeline_index_for(InstrClass::Popc).unwrap();
+        assert_ne!(add, popc, "popcount is on its own pipeline (§V-D)");
+        assert!(!v.fused_andnot);
+    }
+
+    #[test]
+    fn nvidia_separates_popc_and_fuses_andnot() {
+        for d in [gtx_980(), titan_v()] {
+            let add = d.pipeline_index_for(InstrClass::IntAdd).unwrap();
+            let logic = d.pipeline_index_for(InstrClass::Logic).unwrap();
+            let popc = d.pipeline_index_for(InstrClass::Popc).unwrap();
+            assert_ne!(add, logic);
+            assert_ne!(popc, add);
+            assert_ne!(popc, logic);
+            assert!(d.fused_andnot);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("vega 64").is_some());
+        assert!(by_name("TITAN V").is_some());
+        assert!(by_name("gtx 1080").is_none());
+    }
+
+    #[test]
+    fn vega_scaling_calibration_matches_fig5_endpoint() {
+        let v = vega_64();
+        let eff = v.memory.core_scaling_efficiency(64);
+        // 0.567 x ~0.97 kernel-tile efficiency = the paper's 54.9 % of peak.
+        assert!((eff - 0.567).abs() < 0.01, "calibration drifted: got {eff}");
+    }
+
+    #[test]
+    fn gtx_scaling_calibration_matches_fig7_endpoint() {
+        let g = gtx_980();
+        let eff = g.memory.core_scaling_efficiency(16);
+        assert!((eff - 0.909).abs() < 0.02, "≈90% at 16 cores, got {eff}");
+    }
+}

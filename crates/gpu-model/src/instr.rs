@@ -1,0 +1,172 @@
+//! Instruction classes of the model GPU.
+//!
+//! The paper's model architecture (§IV-A) distinguishes functional units by
+//! the instruction they execute (`N_fn` carries a superscript per
+//! instruction: `N_fn^+`, `N_fn^&`, `N_fn^popcount`). We mirror that with a
+//! small set of instruction *classes*; each device maps every class onto one
+//! of its pipelines (see [`crate::PipelineSpec`]).
+
+use serde::{Deserialize, Serialize};
+
+/// The classes of instructions the SNP kernels execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// 32-bit integer addition (the `+` accumulating γ).
+    IntAdd,
+    /// Bitwise logic: AND, OR, XOR. On devices with a fused AND-NOT
+    /// (NVIDIA's LOP3), the fused form is also a single `Logic` issue.
+    Logic,
+    /// Bitwise NOT as a standalone instruction — only needed on devices
+    /// without a fused AND-NOT when the database is not pre-negated.
+    Not,
+    /// Population count.
+    Popc,
+    /// Load from global (device) memory.
+    LoadGlobal,
+    /// Load from shared memory (subject to bank conflicts).
+    LoadShared,
+    /// Store to global memory.
+    StoreGlobal,
+    /// Store to shared memory.
+    StoreShared,
+    /// Scalar bookkeeping (loop counters, address arithmetic). Charged to
+    /// the same pipeline as `IntAdd` on every modeled device.
+    Scalar,
+}
+
+impl InstrClass {
+    /// All classes, in a stable order.
+    pub const ALL: [InstrClass; 9] = [
+        InstrClass::IntAdd,
+        InstrClass::Logic,
+        InstrClass::Not,
+        InstrClass::Popc,
+        InstrClass::LoadGlobal,
+        InstrClass::LoadShared,
+        InstrClass::StoreGlobal,
+        InstrClass::StoreShared,
+        InstrClass::Scalar,
+    ];
+
+    /// True for the memory classes handled by the load/store pipeline.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            InstrClass::LoadGlobal
+                | InstrClass::LoadShared
+                | InstrClass::StoreGlobal
+                | InstrClass::StoreShared
+        )
+    }
+
+    /// Short mnemonic for diagnostics.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::IntAdd => "add",
+            InstrClass::Logic => "logic",
+            InstrClass::Not => "not",
+            InstrClass::Popc => "popc",
+            InstrClass::LoadGlobal => "ld.global",
+            InstrClass::LoadShared => "ld.shared",
+            InstrClass::StoreGlobal => "st.global",
+            InstrClass::StoreShared => "st.shared",
+            InstrClass::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The arithmetic instruction mix of one *word-op* (one packed word flowing
+/// through `popc(op(a, b))` and its accumulation) for a given comparison
+/// flavor.
+///
+/// `fused_andnot` reflects the executing device: with fusion, AND-NOT costs
+/// a single `Logic` issue (paper §II-C: "there exist instructions on certain
+/// CPU and GPU architectures that can perform the negation of m as part of
+/// computing the logical AND"); without it, a separate `Not` is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WordOpKind {
+    /// `popc(a & b)` — LD and pre-negated mixture analysis.
+    And,
+    /// `popc(a ^ b)` — FastID identity search.
+    Xor,
+    /// `popc(a & !b)` — mixture analysis without pre-negation.
+    AndNot,
+}
+
+impl WordOpKind {
+    /// Arithmetic classes issued per word-op (excludes loads/stores, which
+    /// depend on blocking factors, not on the operator).
+    pub fn arith_mix(self, fused_andnot: bool) -> Vec<(InstrClass, u32)> {
+        match self {
+            WordOpKind::And | WordOpKind::Xor => vec![
+                (InstrClass::Logic, 1),
+                (InstrClass::Popc, 1),
+                (InstrClass::IntAdd, 1),
+            ],
+            WordOpKind::AndNot => {
+                if fused_andnot {
+                    vec![
+                        (InstrClass::Logic, 1),
+                        (InstrClass::Popc, 1),
+                        (InstrClass::IntAdd, 1),
+                    ]
+                } else {
+                    vec![
+                        (InstrClass::Not, 1),
+                        (InstrClass::Logic, 1),
+                        (InstrClass::Popc, 1),
+                        (InstrClass::IntAdd, 1),
+                    ]
+                }
+            }
+        }
+    }
+
+    /// Total arithmetic instructions per word-op.
+    pub fn arith_instr_count(self, fused_andnot: bool) -> u32 {
+        self.arith_mix(fused_andnot).iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_xor_cost_three_instructions() {
+        for fused in [false, true] {
+            assert_eq!(WordOpKind::And.arith_instr_count(fused), 3);
+            assert_eq!(WordOpKind::Xor.arith_instr_count(fused), 3);
+        }
+    }
+
+    #[test]
+    fn andnot_costs_extra_not_without_fusion() {
+        assert_eq!(WordOpKind::AndNot.arith_instr_count(true), 3);
+        assert_eq!(WordOpKind::AndNot.arith_instr_count(false), 4);
+        let unfused = WordOpKind::AndNot.arith_mix(false);
+        assert!(unfused.contains(&(InstrClass::Not, 1)));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(InstrClass::LoadGlobal.is_memory());
+        assert!(InstrClass::StoreShared.is_memory());
+        assert!(!InstrClass::Popc.is_memory());
+        assert!(!InstrClass::Scalar.is_memory());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = InstrClass::ALL.iter().map(|c| c.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::ALL.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! # snp-gpu-model — the model GPU architecture
+//!
+//! The paper's portability story rests on an abstract *model GPU* (§IV-A)
+//! characterized by a handful of parameters: thread-group size `N_T`,
+//! compute cores `N_c`, compute clusters `N_cl`, per-instruction functional
+//! units `N_fn` with latency `L_fn`, banked shared memory
+//! (`N_shared`, `N_b`), and vector width `N_vec`. This crate provides:
+//!
+//! * [`DeviceSpec`] / [`PipelineSpec`] — the machine-readable form of that
+//!   model, including pipeline sharing (Vega's shared ADD/AND/NOT pipe vs
+//!   NVIDIA's fused AND-NOT), memory and transfer models;
+//! * [`devices`] — Table I as data: GTX 980, Titan V, Vega 64, and the
+//!   Xeon E5-2620 v2 reference expressed in the same vocabulary;
+//! * [`peak`](crate::peak::peak) — theoretical peak calculators (the dotted
+//!   lines of Fig. 5);
+//! * [`config`] — the analytical software-parameter model of §V-A
+//!   (Eqs. 4–7) deriving `m_c`, `m_r`, `k_c`, `n_r` and the core grid;
+//! * [`presets`] — Table II verbatim, cross-checked against the model.
+//!
+//! ```
+//! use snp_gpu_model::{devices, peak::peak, instr::WordOpKind};
+//!
+//! let titan = devices::titan_v();
+//! let p = peak(&titan, WordOpKind::And);
+//! // 4 popc lanes x 4 clusters x 80 cores x 1.455 GHz:
+//! assert!((p.word_ops_per_sec / 1e9 - 1862.4).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod devices;
+pub mod instr;
+pub mod peak;
+pub mod presets;
+
+pub use config::{Algorithm, KernelConfig, McRule, ProblemShape};
+pub use device::{DeviceSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
+pub use instr::{InstrClass, WordOpKind};

@@ -1,0 +1,214 @@
+//! Theoretical peak throughput of SNP comparisons on a modeled device.
+//!
+//! The paper establishes peaks from the per-cluster functional-unit counts
+//! (§V-D): the sustained rate of a kernel is bounded by the most contended
+//! pipeline, i.e. `min_p (N_fn(p) / slots(p))` word-ops per cycle per
+//! cluster, where `slots(p)` is the number of issue slots one word-op places
+//! on pipeline `p`. Scaling by clusters, cores and frequency gives the
+//! device peak the dotted lines of Fig. 5 represent.
+
+use crate::device::DeviceSpec;
+use crate::instr::{InstrClass, WordOpKind};
+
+/// A word-op is one packed word flowing through `γ += popc(op(a, b))`.
+/// This type reports peaks in several convenient units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Word-ops per cycle per compute cluster.
+    pub word_ops_per_cycle_per_cluster: f64,
+    /// Word-ops per second for one compute core.
+    pub word_ops_per_sec_per_core: f64,
+    /// Word-ops per second for the whole device.
+    pub word_ops_per_sec: f64,
+    /// Bit-level comparison throughput (word-ops × word width); the unit in
+    /// which CPU (64-bit words) and GPU (32-bit) peaks are comparable.
+    pub bit_ops_per_sec: f64,
+}
+
+/// Identifies the bottleneck pipeline for an operator on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bottleneck {
+    /// Name of the limiting pipeline.
+    pub pipeline: String,
+    /// Issue slots one word-op places on it.
+    pub slots_per_word_op: u32,
+    /// Its lane count (`N_fn`).
+    pub lanes: u32,
+}
+
+/// Issue slots per word-op on each pipeline of `dev` for operator `kind`.
+///
+/// Only arithmetic classes are charged; loads/stores depend on blocking
+/// factors and are accounted by the timing engines, not the peak.
+pub fn slots_per_pipeline(dev: &DeviceSpec, kind: WordOpKind) -> Vec<(String, u32, u32)> {
+    let mut slots = vec![0u32; dev.pipelines.len()];
+    for (class, n) in kind.arith_mix(dev.fused_andnot) {
+        let idx = dev
+            .pipeline_index_for(class)
+            .unwrap_or_else(|| panic!("device {} lacks a pipeline for {class}", dev.name));
+        slots[idx] += n;
+    }
+    dev.pipelines
+        .iter()
+        .zip(slots)
+        .map(|(p, s)| (p.name.clone(), p.lanes, s))
+        .collect()
+}
+
+/// The per-cluster sustained word-op rate and which pipeline limits it.
+pub fn bottleneck(dev: &DeviceSpec, kind: WordOpKind) -> Bottleneck {
+    slots_per_pipeline(dev, kind)
+        .into_iter()
+        .filter(|&(_, _, s)| s > 0)
+        .min_by(|a, b| {
+            let ra = a.1 as f64 / a.2 as f64;
+            let rb = b.1 as f64 / b.2 as f64;
+            ra.partial_cmp(&rb).unwrap()
+        })
+        .map(|(pipeline, lanes, slots_per_word_op)| Bottleneck { pipeline, slots_per_word_op, lanes })
+        .expect("word-op uses at least one pipeline")
+}
+
+/// Theoretical peak for operator `kind` on `dev`.
+pub fn peak(dev: &DeviceSpec, kind: WordOpKind) -> Peak {
+    let b = bottleneck(dev, kind);
+    let per_cluster = b.lanes as f64 / b.slots_per_word_op as f64;
+    let per_core = per_cluster * dev.n_clusters as f64 * dev.frequency_ghz * 1e9;
+    let device = per_core * dev.n_cores as f64;
+    Peak {
+        word_ops_per_cycle_per_cluster: per_cluster,
+        word_ops_per_sec_per_core: per_core,
+        word_ops_per_sec: device,
+        bit_ops_per_sec: device * dev.word_bits as f64,
+    }
+}
+
+/// Peak restricted to `cores` active compute cores (used by the Fig. 7
+/// scalability study).
+pub fn peak_for_cores(dev: &DeviceSpec, kind: WordOpKind, cores: u32) -> Peak {
+    let full = peak(dev, kind);
+    let cores = cores.min(dev.n_cores) as f64;
+    Peak {
+        word_ops_per_cycle_per_cluster: full.word_ops_per_cycle_per_cluster,
+        word_ops_per_sec_per_core: full.word_ops_per_sec_per_core,
+        word_ops_per_sec: full.word_ops_per_sec_per_core * cores,
+        bit_ops_per_sec: full.word_ops_per_sec_per_core * cores * dev.word_bits as f64,
+    }
+}
+
+/// The popcount-pipe-only peak — the historical "population count is the
+/// bottleneck" figure of merit from \[11\]. Coincides with [`peak`] whenever
+/// popcount is in fact the limiting pipeline (all NVIDIA devices; on Vega
+/// the shared VALU limits instead).
+pub fn popcount_peak_word_ops(dev: &DeviceSpec) -> f64 {
+    let lanes = dev.n_fn(InstrClass::Popc).expect("device must popcount") as f64;
+    lanes * dev.n_clusters as f64 * dev.n_cores as f64 * dev.frequency_ghz * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::*;
+
+    #[test]
+    fn nvidia_ld_peak_is_popc_bound() {
+        // GTX 980: min(add 32/1, logic 32/1, popc 8/1) = 8 word-ops/cycle/cluster.
+        let g = gtx_980();
+        let b = bottleneck(&g, WordOpKind::And);
+        assert_eq!(b.pipeline, "popc");
+        let p = peak(&g, WordOpKind::And);
+        assert!((p.word_ops_per_cycle_per_cluster - 8.0).abs() < 1e-12);
+        // 8 * 4 clusters * 16 cores * 1.367 GHz ≈ 700 G word-ops/s.
+        assert!((p.word_ops_per_sec / 1e9 - 700.0).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+    }
+
+    #[test]
+    fn titan_v_ld_peak() {
+        let t = titan_v();
+        let p = peak(&t, WordOpKind::And);
+        assert_eq!(bottleneck(&t, WordOpKind::And).pipeline, "popc");
+        // 4 * 4 * 80 * 1.455 GHz ≈ 1862 G word-ops/s.
+        assert!((p.word_ops_per_sec / 1e9 - 1862.4).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+    }
+
+    #[test]
+    fn vega_ld_peak_is_valu_bound() {
+        // Vega: ADD and AND share the 16-lane VALU -> 2 slots -> 8/cycle;
+        // popc alone would allow 16/cycle. §V-D: "the addition and logical
+        // AND operations fall on the same pipeline which becomes the
+        // bottleneck".
+        let v = vega_64();
+        let b = bottleneck(&v, WordOpKind::And);
+        assert_eq!(b.pipeline, "valu");
+        assert_eq!(b.slots_per_word_op, 2);
+        let p = peak(&v, WordOpKind::And);
+        assert!((p.word_ops_per_cycle_per_cluster - 8.0).abs() < 1e-12);
+        // 8 * 4 * 64 * 1.663 ≈ 3406 G word-ops/s.
+        assert!((p.word_ops_per_sec / 1e9 - 3405.8).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+    }
+
+    #[test]
+    fn andnot_peak_drops_only_on_vega() {
+        // Fig. 9's mechanism: fused AND-NOT keeps the NVIDIA mixes identical;
+        // Vega's explicit NOT adds a third slot to the shared VALU.
+        for d in [gtx_980(), titan_v()] {
+            let a = peak(&d, WordOpKind::And).word_ops_per_sec;
+            let an = peak(&d, WordOpKind::AndNot).word_ops_per_sec;
+            assert_eq!(a, an, "{}: fused AND-NOT must not change the peak", d.name);
+        }
+        let v = vega_64();
+        let a = peak(&v, WordOpKind::And).word_ops_per_sec;
+        let an = peak(&v, WordOpKind::AndNot).word_ops_per_sec;
+        assert!((an / a - 2.0 / 3.0).abs() < 1e-9, "NOT adds a slot: 16/3 vs 16/2 lanes/slot");
+    }
+
+    #[test]
+    fn xor_peak_equals_and_peak() {
+        for d in all_gpus() {
+            assert_eq!(
+                peak(&d, WordOpKind::And).word_ops_per_sec,
+                peak(&d, WordOpKind::Xor).word_ops_per_sec,
+                "{}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_peak_is_one_popcount_per_cycle_per_core() {
+        let c = xeon_e5_2620_v2();
+        let p = peak(&c, WordOpKind::And);
+        assert_eq!(bottleneck(&c, WordOpKind::And).pipeline, "popc");
+        // 1 * 1 * 12 * 2.1 GHz = 25.2 G word64-ops/s.
+        assert!((p.word_ops_per_sec / 1e9 - 25.2).abs() < 1e-6);
+        assert!((p.bit_ops_per_sec / 1e12 - 1.6128).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gpu_peaks_dwarf_cpu_in_bit_ops() {
+        let cpu = peak(&xeon_e5_2620_v2(), WordOpKind::And).bit_ops_per_sec;
+        for d in all_gpus() {
+            let g = peak(&d, WordOpKind::And).bit_ops_per_sec;
+            assert!(g > 10.0 * cpu, "{} should exceed 10x CPU peak", d.name);
+        }
+    }
+
+    #[test]
+    fn peak_for_cores_scales_linearly() {
+        let t = titan_v();
+        let p1 = peak_for_cores(&t, WordOpKind::And, 1);
+        let p40 = peak_for_cores(&t, WordOpKind::And, 40);
+        assert!((p40.word_ops_per_sec / p1.word_ops_per_sec - 40.0).abs() < 1e-9);
+        // Clamped at the physical core count.
+        let pmax = peak_for_cores(&t, WordOpKind::And, 1000);
+        assert_eq!(pmax.word_ops_per_sec, peak(&t, WordOpKind::And).word_ops_per_sec);
+    }
+
+    #[test]
+    fn popcount_peak_matches_bottleneck_on_nvidia_only() {
+        let g = gtx_980();
+        assert_eq!(popcount_peak_word_ops(&g), peak(&g, WordOpKind::And).word_ops_per_sec);
+        let v = vega_64();
+        assert!(popcount_peak_word_ops(&v) > peak(&v, WordOpKind::And).word_ops_per_sec);
+    }
+}

@@ -1,0 +1,188 @@
+//! Table II of the paper: the software configuration parameters actually
+//! used for each device × algorithm pair. These are the hand-confirmed
+//! values; the analytical model of [`crate::config`] must bracket them
+//! (tested there and here).
+
+use crate::config::{Algorithm, KernelConfig};
+use crate::device::DeviceSpec;
+
+/// One Table II row set: the configuration used for `algorithm` on the
+/// device named `device`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preset {
+    /// Device marketing name (matches [`crate::devices::by_name`]).
+    pub device: &'static str,
+    /// The algorithm family the row configures. The paper gives one column
+    /// for LD and one for FastID (identity search and mixture analysis share
+    /// a configuration).
+    pub algorithm: PresetAlgorithm,
+    /// The configuration itself.
+    pub config: KernelConfig,
+}
+
+/// Table II distinguishes only LD vs FastID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresetAlgorithm {
+    /// Linkage disequilibrium (square problems).
+    Ld,
+    /// FastID identity search / mixture analysis (query × database).
+    FastId,
+}
+
+impl PresetAlgorithm {
+    /// Maps a full [`Algorithm`] onto its Table II column.
+    pub fn of(a: Algorithm) -> Self {
+        match a {
+            Algorithm::LinkageDisequilibrium => PresetAlgorithm::Ld,
+            Algorithm::IdentitySearch | Algorithm::MixtureAnalysis => PresetAlgorithm::FastId,
+        }
+    }
+}
+
+fn cfg(
+    m_c: usize,
+    m_r: usize,
+    k_c: usize,
+    n_r: usize,
+    grid_m: u32,
+    grid_n: u32,
+    groups: u32,
+) -> KernelConfig {
+    KernelConfig { m_c, m_r, k_c, n_r, grid_m, grid_n, groups_per_cluster: groups }
+}
+
+/// All Table II rows. Core configurations are `grid_m × grid_n` (third ×
+/// second loop); `groups_per_cluster` is the device's `L_fn` (the paper's
+/// occupancy choice, §V-E).
+pub fn table2() -> Vec<Preset> {
+    vec![
+        // Linkage disequilibrium.
+        Preset {
+            device: "GTX 980",
+            algorithm: PresetAlgorithm::Ld,
+            config: cfg(32, 4, 383, 384, 4, 4, 6),
+        },
+        Preset {
+            device: "Titan V",
+            algorithm: PresetAlgorithm::Ld,
+            config: cfg(32, 4, 383, 1024, 80, 1, 4),
+        },
+        Preset {
+            device: "Vega 64",
+            algorithm: PresetAlgorithm::Ld,
+            config: cfg(32, 4, 512, 1024, 32, 2, 4),
+        },
+        // FastID.
+        Preset {
+            device: "GTX 980",
+            algorithm: PresetAlgorithm::FastId,
+            config: cfg(32, 4, 383, 768, 1, 16, 6),
+        },
+        Preset {
+            device: "Titan V",
+            algorithm: PresetAlgorithm::FastId,
+            config: cfg(32, 4, 383, 1024, 1, 80, 4),
+        },
+        Preset {
+            device: "Vega 64",
+            algorithm: PresetAlgorithm::FastId,
+            config: cfg(32, 4, 512, 1024, 1, 64, 4),
+        },
+    ]
+}
+
+/// The Table II configuration for a device and algorithm, if one exists.
+pub fn preset_for(dev: &DeviceSpec, algorithm: Algorithm) -> Option<KernelConfig> {
+    let col = PresetAlgorithm::of(algorithm);
+    table2()
+        .into_iter()
+        .find(|p| p.device.eq_ignore_ascii_case(&dev.name) && p.algorithm == col)
+        .map(|p| p.config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{n_r_lower_bound, n_r_upper_bound};
+    use crate::devices;
+
+    #[test]
+    fn every_preset_names_a_known_device() {
+        for p in table2() {
+            assert!(devices::by_name(p.device).is_some(), "{}", p.device);
+        }
+    }
+
+    #[test]
+    fn presets_are_valid_configurations() {
+        for p in table2() {
+            let dev = devices::by_name(p.device).unwrap();
+            let viol = p.config.violations(&dev);
+            assert!(viol.is_empty(), "{} ({:?}): {viol:?}", p.device, p.algorithm);
+        }
+    }
+
+    #[test]
+    fn presets_respect_analytical_bounds() {
+        for p in table2() {
+            let dev = devices::by_name(p.device).unwrap();
+            let lo = n_r_lower_bound(&dev, p.config.m_r, p.config.m_c);
+            let hi = n_r_upper_bound(&dev, p.config.m_r);
+            assert!(
+                lo <= p.config.n_r && p.config.n_r <= hi,
+                "{} ({:?}): n_r {} outside [{lo}, {hi}]",
+                p.device,
+                p.algorithm,
+                p.config.n_r
+            );
+        }
+    }
+
+    #[test]
+    fn table2_tile_is_identical_across_devices() {
+        // "Notice that the tile computed by each core remains the same while
+        // the configuration of the cores are determined by the problem" —
+        // m_c and m_r are constant across Table II.
+        for p in table2() {
+            assert_eq!(p.config.m_c, 32);
+            assert_eq!(p.config.m_r, 4);
+        }
+    }
+
+    #[test]
+    fn fastid_grids_have_one_m_core() {
+        for p in table2().into_iter().filter(|p| p.algorithm == PresetAlgorithm::FastId) {
+            assert_eq!(p.config.grid_m, 1);
+            let dev = devices::by_name(p.device).unwrap();
+            assert_eq!(p.config.grid_n, dev.n_cores);
+        }
+    }
+
+    #[test]
+    fn grids_use_every_core() {
+        for p in table2() {
+            let dev = devices::by_name(p.device).unwrap();
+            assert_eq!(p.config.cores(), dev.n_cores, "{} {:?}", p.device, p.algorithm);
+        }
+    }
+
+    #[test]
+    fn preset_lookup() {
+        use crate::config::Algorithm::*;
+        let dev = devices::titan_v();
+        let ld = preset_for(&dev, LinkageDisequilibrium).unwrap();
+        assert_eq!((ld.grid_m, ld.grid_n, ld.n_r), (80, 1, 1024));
+        let id = preset_for(&dev, IdentitySearch).unwrap();
+        let mix = preset_for(&dev, MixtureAnalysis).unwrap();
+        assert_eq!(id, mix, "FastID rows are shared");
+        assert_eq!((id.grid_m, id.grid_n), (1, 80));
+    }
+
+    #[test]
+    fn k_c_column_matches_eq6_derivation() {
+        for p in table2() {
+            let dev = devices::by_name(p.device).unwrap();
+            assert_eq!(p.config.k_c, crate::config::derive_k_c(&dev), "{}", p.device);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Hierarchical-memory analysis (paper §VII future work).
+//!
+//! "One possibility is that the current GPU model is lacking in detail about
+//! the memory hierarchy of the GPU. A more detailed memory hierarchy model
+//! … may provide insights" — this module takes that step analytically. For
+//! a kernel configuration it computes the per-core streaming demand, the
+//! bandwidth-bound scaling prediction, and the L2 working-set occupancy,
+//! and reports *how much* of the observed Vega collapse pure bandwidth can
+//! explain. The answer (bandwidth alone predicts saturation far later than
+//! the observed 8-core knee; the panels of all cores overflow L2 at just a
+//! few cores) quantifies the paper's open question rather than hiding it in
+//! the calibrated scaling knob.
+
+use snp_gpu_model::peak::peak;
+use snp_gpu_model::{DeviceSpec, KernelConfig, WordOpKind};
+
+/// Last-level-cache sizes of the evaluated devices (public specifications;
+/// not part of the paper's Table I, hence parameters of this analysis
+/// module rather than of the core model).
+pub fn l2_bytes_for(dev: &DeviceSpec) -> u64 {
+    match dev.microarchitecture.as_str() {
+        "Maxwell" => 2 << 20,
+        "Volta" => 4608 << 10,
+        "Vega (GCN5)" => 4 << 20,
+        _ => 2 << 20,
+    }
+}
+
+/// Outcome of the hierarchical-memory analysis for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryAnalysis {
+    /// Bytes each core streams from global memory per word-op (B panel +
+    /// A tile + γ writeback, amortized).
+    pub bytes_per_word_op: f64,
+    /// Per-core DRAM demand at full compute speed, bytes/second.
+    pub demand_per_core: f64,
+    /// Achievable DRAM supply, bytes/second.
+    pub supply: f64,
+    /// Core count at which pure bandwidth saturates (`supply / demand`),
+    /// i.e. the knee a bandwidth-only model would predict.
+    pub bandwidth_knee_cores: f64,
+    /// One core's streamed B panel in bytes.
+    pub b_panel_bytes: u64,
+    /// Cores whose concurrent B panels fit the L2 together.
+    pub cores_fitting_l2: u32,
+}
+
+impl MemoryAnalysis {
+    /// Bandwidth-bound per-core efficiency at `n` active cores: 1 while the
+    /// aggregate demand fits the supply, `supply / (n·demand)` beyond.
+    pub fn bandwidth_scaling(&self, n: u32) -> f64 {
+        let agg = self.demand_per_core * n as f64;
+        (self.supply / agg).min(1.0)
+    }
+}
+
+/// Analyzes `cfg` on `dev` with shared-dimension length `k_words`.
+pub fn analyze(dev: &DeviceSpec, cfg: &KernelConfig, k_words: usize) -> MemoryAnalysis {
+    // Traffic per word-op, as in the kernel plan: B re-streamed per m-tile
+    // (1/m_c per op), A per n-tile (1/n_r), γ written once (1/k).
+    let bytes_per_word_op =
+        4.0 / cfg.m_c as f64 + 4.0 / cfg.n_r as f64 + 4.0 / k_words.max(1) as f64;
+    let per_core_rate = peak(dev, WordOpKind::And).word_ops_per_sec_per_core;
+    let demand_per_core = per_core_rate * bytes_per_word_op;
+    let supply = dev.memory.effective_bandwidth_bytes_s();
+    let b_panel_bytes = (cfg.n_r * cfg.k_c * 4) as u64;
+    let l2 = l2_bytes_for(dev);
+    MemoryAnalysis {
+        bytes_per_word_op,
+        demand_per_core,
+        supply,
+        bandwidth_knee_cores: supply / demand_per_core,
+        b_panel_bytes,
+        cores_fitting_l2: (l2 / b_panel_bytes.max(1)) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::devices;
+    use snp_gpu_model::presets::preset_for;
+    use snp_gpu_model::Algorithm;
+
+    fn ld_analysis(dev: &DeviceSpec) -> MemoryAnalysis {
+        let cfg = preset_for(dev, Algorithm::LinkageDisequilibrium).unwrap();
+        analyze(dev, &cfg, cfg.k_c)
+    }
+
+    #[test]
+    fn nvidia_parts_are_compute_bound_at_full_scale() {
+        for dev in [devices::gtx_980(), devices::titan_v()] {
+            let a = ld_analysis(&dev);
+            assert!(
+                a.bandwidth_knee_cores > dev.n_cores as f64,
+                "{}: bandwidth knee {:.0} cores must exceed N_c {}",
+                dev.name,
+                a.bandwidth_knee_cores,
+                dev.n_cores
+            );
+            assert_eq!(a.bandwidth_scaling(dev.n_cores), 1.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_alone_cannot_explain_the_vega_knee() {
+        // The quantified open question: Vega's pure-bandwidth knee sits far
+        // beyond the observed 8-core collapse, so a bandwidth-only
+        // hierarchical model is insufficient — exactly why the paper calls
+        // for a more detailed memory model and why this reproduction uses a
+        // calibrated scaling knob (DESIGN.md §6).
+        let vega = devices::vega_64();
+        let a = ld_analysis(&vega);
+        assert!(
+            a.bandwidth_knee_cores > 3.0 * vega.memory.scaling_knee as f64,
+            "knee {:.0} vs observed {}",
+            a.bandwidth_knee_cores,
+            vega.memory.scaling_knee
+        );
+    }
+
+    #[test]
+    fn l2_overflows_with_few_cores_everywhere() {
+        // The concurrent B panels of only a handful of cores exceed L2 —
+        // the candidate mechanism for cross-core interference.
+        for dev in devices::all_gpus() {
+            let a = ld_analysis(&dev);
+            assert!(
+                a.cores_fitting_l2 < dev.n_cores / 2,
+                "{}: {} cores' panels fit L2",
+                dev.name,
+                a.cores_fitting_l2
+            );
+            assert!(a.cores_fitting_l2 >= 1);
+        }
+    }
+
+    #[test]
+    fn traffic_ratio_matches_hand_calculation() {
+        let dev = devices::vega_64();
+        let a = ld_analysis(&dev);
+        // 4/32 + 4/1024 + 4/512 = 0.125 + 0.0039 + 0.0078 ≈ 0.137 B/word-op.
+        assert!((a.bytes_per_word_op - 0.1367).abs() < 0.001, "{}", a.bytes_per_word_op);
+    }
+
+    #[test]
+    fn scaling_is_monotone_nonincreasing() {
+        let a = ld_analysis(&devices::vega_64());
+        let mut prev = 1.0;
+        for n in 1..=64 {
+            let e = a.bandwidth_scaling(n);
+            assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+}

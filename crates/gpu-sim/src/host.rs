@@ -1,0 +1,739 @@
+//! The OpenCL-like host API of the simulated GPU.
+//!
+//! Mirrors the host-side object model the paper's framework is written
+//! against (§V): a device is opened (paying the runtime-initialization cost
+//! of "hundreds of milliseconds", §VI-B), buffers are allocated against the
+//! device's global-memory and max-allocation limits (Table I), commands are
+//! enqueued on in-order command queues, and every command yields an event
+//! with OpenCL-style profiling timestamps (the paper uses event profiling
+//! for kernel times and the host clock for end-to-end times, §VI-A-1).
+//!
+//! Timing is fully virtual and deterministic. Two device-side resources
+//! serialize commands across queues — the host↔device link (one transfer at
+//! a time) and the compute engine (one kernel at a time) — which is exactly
+//! what makes double buffering on two queues overlap transfer with compute.
+//!
+//! Functionally, buffers hold real `u32` words and kernels run real Rust
+//! closures, so simulated results are bit-exact and are validated against
+//! the scalar reference throughout the workspace.
+
+use std::cell::RefCell;
+
+use snp_gpu_model::DeviceSpec;
+
+use crate::detailed::simulate_core;
+use crate::isa::Program;
+use crate::macro_engine::{kernel_time, Traffic};
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Handle to an in-order command queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(usize);
+
+/// Handle to a command event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// OpenCL-style event profiling timestamps, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventProfile {
+    /// When the host enqueued the command.
+    pub queued_ns: u64,
+    /// When the command was submitted to the device (== queued here).
+    pub submit_ns: u64,
+    /// When execution began.
+    pub start_ns: u64,
+    /// When execution finished.
+    pub end_ns: u64,
+}
+
+impl EventProfile {
+    /// Execution duration (`end - start`) — what `CL_PROFILING_COMMAND_START/END`
+    /// subtraction gives the paper's kernel measurements.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// How a kernel's duration is modeled.
+#[derive(Debug, Clone)]
+pub enum KernelCost {
+    /// Cycles per core were computed analytically (macro engine).
+    Analytic {
+        /// Cycles one core spends (all active cores do equal work).
+        core_cycles: f64,
+        /// Concurrently active compute cores.
+        active_cores: u32,
+        /// Global-memory traffic for the bandwidth bound.
+        traffic: Traffic,
+    },
+    /// Run the detailed engine on the per-core program (small launches and
+    /// microbenchmarks).
+    Detailed {
+        /// The per-core thread-group program.
+        program: Program,
+        /// Resident thread groups per core.
+        groups_per_core: u32,
+        /// Concurrently active compute cores.
+        active_cores: u32,
+        /// Global-memory traffic for the bandwidth bound.
+        traffic: Traffic,
+    },
+}
+
+/// Errors surfaced by the host API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A single allocation exceeded `CL_DEVICE_MAX_MEM_ALLOC_SIZE`.
+    AllocTooLarge {
+        /// Requested bytes.
+        requested: u64,
+        /// The device limit.
+        limit: u64,
+    },
+    /// The device's global memory is exhausted.
+    OutOfDeviceMemory {
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A handle referred to a released or foreign object.
+    InvalidHandle(&'static str),
+    /// A transfer or kernel argument range fell outside its buffer.
+    OutOfRange {
+        /// Description of the access.
+        what: &'static str,
+    },
+    /// The detailed engine exceeded its cycle budget.
+    DetailedBudget,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::AllocTooLarge { requested, limit } => {
+                write!(f, "allocation of {requested} B exceeds the device max of {limit} B")
+            }
+            SimError::OutOfDeviceMemory { requested, available } => {
+                write!(f, "allocation of {requested} B exceeds remaining device memory ({available} B)")
+            }
+            SimError::InvalidHandle(what) => write!(f, "invalid {what} handle"),
+            SimError::OutOfRange { what } => write!(f, "{what} out of buffer range"),
+            SimError::DetailedBudget => write!(f, "detailed simulation budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug)]
+struct BufferSlot {
+    /// `None` for *virtual* buffers: device capacity is reserved and timed,
+    /// but no host memory backs the words (timing-only runs at NDIS scale
+    /// would otherwise need gigabytes of host RAM).
+    words: Option<Vec<u32>>,
+    len_words: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EventRecord {
+    profile: EventProfile,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    last_end_ns: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    host_now_ns: u64,
+    buffers: Vec<Option<BufferSlot>>,
+    allocated_bytes: u64,
+    queues: Vec<QueueState>,
+    events: Vec<EventRecord>,
+    link_free_ns: u64,
+    compute_free_ns: u64,
+    detailed_cycle_budget: u64,
+}
+
+/// A simulated GPU device instance.
+pub struct Gpu {
+    spec: DeviceSpec,
+    state: RefCell<State>,
+}
+
+impl Gpu {
+    /// Opens the device, paying the runtime-initialization cost on the host
+    /// timeline (kernel *compilation* is excluded, as in the paper's
+    /// end-to-end timing, §VI-B).
+    pub fn new(spec: DeviceSpec) -> Gpu {
+        let init = spec.transfer.runtime_init_ns;
+        Gpu {
+            spec,
+            state: RefCell::new(State {
+                host_now_ns: init,
+                buffers: Vec::new(),
+                allocated_bytes: 0,
+                queues: Vec::new(),
+                events: Vec::new(),
+                link_free_ns: init,
+                compute_free_ns: init,
+                detailed_cycle_budget: 500_000_000,
+            }),
+        }
+    }
+
+    /// The device specification in use.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current host virtual time in nanoseconds (the "CPU realtime clock"
+    /// of §VI-A-1).
+    pub fn now_ns(&self) -> u64 {
+        self.state.borrow().host_now_ns
+    }
+
+    /// Advances the host clock by `ns` — models host-side work (e.g. packing
+    /// bit matrices into transfer buffers) happening on the CPU.
+    pub fn advance_host_ns(&self, ns: u64) {
+        self.state.borrow_mut().host_now_ns += ns;
+    }
+
+    /// Convenience: charges host packing time for `bytes` at the modeled
+    /// host packing rate.
+    pub fn host_pack(&self, bytes: u64) {
+        let ns = self.spec.transfer.pack_ns(bytes);
+        self.advance_host_ns(ns);
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.state.borrow().allocated_bytes
+    }
+
+    /// Creates an in-order command queue.
+    pub fn create_queue(&self) -> QueueId {
+        let mut st = self.state.borrow_mut();
+        let now = st.host_now_ns;
+        st.queues.push(QueueState { last_end_ns: now });
+        QueueId(st.queues.len() - 1)
+    }
+
+    /// Allocates a device buffer of `words` 32-bit words, enforcing the
+    /// Table I max-allocation and global-memory limits.
+    pub fn create_buffer(&self, words: usize) -> Result<BufferId, SimError> {
+        let bytes = words as u64 * 4;
+        if bytes > self.spec.max_alloc_bytes {
+            return Err(SimError::AllocTooLarge { requested: bytes, limit: self.spec.max_alloc_bytes });
+        }
+        let mut st = self.state.borrow_mut();
+        let available = self.spec.global_mem_bytes.saturating_sub(st.allocated_bytes);
+        if bytes > available {
+            return Err(SimError::OutOfDeviceMemory { requested: bytes, available });
+        }
+        st.allocated_bytes += bytes;
+        st.buffers.push(Some(BufferSlot { words: Some(vec![0u32; words]), len_words: words }));
+        Ok(BufferId(st.buffers.len() - 1))
+    }
+
+    /// Allocates a *virtual* buffer: device capacity and limits are
+    /// enforced and all transfers/kernels against it are timed, but no host
+    /// memory backs the contents. Used by timing-only runs at database
+    /// scale (e.g. Fig. 8's >20M-profile sweeps).
+    pub fn create_virtual_buffer(&self, words: usize) -> Result<BufferId, SimError> {
+        let bytes = words as u64 * 4;
+        if bytes > self.spec.max_alloc_bytes {
+            return Err(SimError::AllocTooLarge { requested: bytes, limit: self.spec.max_alloc_bytes });
+        }
+        let mut st = self.state.borrow_mut();
+        let available = self.spec.global_mem_bytes.saturating_sub(st.allocated_bytes);
+        if bytes > available {
+            return Err(SimError::OutOfDeviceMemory { requested: bytes, available });
+        }
+        st.allocated_bytes += bytes;
+        st.buffers.push(Some(BufferSlot { words: None, len_words: words }));
+        Ok(BufferId(st.buffers.len() - 1))
+    }
+
+    /// Releases a buffer, returning its bytes to the pool.
+    pub fn release_buffer(&self, id: BufferId) -> Result<(), SimError> {
+        let mut st = self.state.borrow_mut();
+        let slot = st.buffers.get_mut(id.0).ok_or(SimError::InvalidHandle("buffer"))?;
+        match slot.take() {
+            Some(b) => {
+                st.allocated_bytes -= b.len_words as u64 * 4;
+                Ok(())
+            }
+            None => Err(SimError::InvalidHandle("buffer")),
+        }
+    }
+
+    /// Size of a buffer in words.
+    pub fn buffer_words(&self, id: BufferId) -> Result<usize, SimError> {
+        let st = self.state.borrow();
+        st.buffers
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .map(|b| b.len_words)
+            .ok_or(SimError::InvalidHandle("buffer"))
+    }
+
+    fn resolve_deps(st: &State, deps: &[EventId]) -> Result<u64, SimError> {
+        let mut t = 0u64;
+        for d in deps {
+            let e = st.events.get(d.0).ok_or(SimError::InvalidHandle("event"))?;
+            t = t.max(e.profile.end_ns);
+        }
+        Ok(t)
+    }
+
+    fn record_event(st: &mut State, queue: QueueId, start: u64, end: u64, queued: u64) -> EventId {
+        st.queues[queue.0].last_end_ns = end;
+        st.events.push(EventRecord {
+            profile: EventProfile { queued_ns: queued, submit_ns: queued, start_ns: start, end_ns: end },
+        });
+        EventId(st.events.len() - 1)
+    }
+
+    /// Enqueues a host→device write of `data` into `buf` at `word_offset`.
+    /// Functional copy happens with enqueue-order semantics; timing follows
+    /// queue order, event deps, and link availability.
+    pub fn enqueue_write(
+        &self,
+        queue: QueueId,
+        buf: BufferId,
+        word_offset: usize,
+        data: &[u32],
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let bytes = data.len() as u64 * 4;
+        let end = start + self.spec.transfer.transfer_ns(bytes);
+        st.link_free_ns = end;
+        {
+            let slot = st
+                .buffers
+                .get_mut(buf.0)
+                .and_then(|s| s.as_mut())
+                .ok_or(SimError::InvalidHandle("buffer"))?;
+            let storage = slot.words.as_mut().ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
+            let range = storage
+                .get_mut(word_offset..word_offset + data.len())
+                .ok_or(SimError::OutOfRange { what: "write" })?;
+            range.copy_from_slice(data);
+        }
+        Ok(Self::record_event(&mut st, queue, start, end, queued))
+    }
+
+    /// Enqueues a device→host read from `buf` at `word_offset` into `out`.
+    /// With `blocking`, the host clock advances to the event's end (the
+    /// OpenCL `CL_TRUE` blocking read).
+    pub fn enqueue_read(
+        &self,
+        queue: QueueId,
+        buf: BufferId,
+        word_offset: usize,
+        out: &mut [u32],
+        deps: &[EventId],
+        blocking: bool,
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let bytes = out.len() as u64 * 4;
+        let end = start + self.spec.transfer.transfer_ns(bytes);
+        st.link_free_ns = end;
+        {
+            let slot = st
+                .buffers
+                .get(buf.0)
+                .and_then(|s| s.as_ref())
+                .ok_or(SimError::InvalidHandle("buffer"))?;
+            let storage = slot.words.as_ref().ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
+            let range = storage
+                .get(word_offset..word_offset + out.len())
+                .ok_or(SimError::OutOfRange { what: "read" })?;
+            out.copy_from_slice(range);
+        }
+        if blocking {
+            st.host_now_ns = st.host_now_ns.max(end);
+        }
+        Ok(Self::record_event(&mut st, queue, start, end, queued))
+    }
+
+    /// Enqueues a kernel that reads `reads` buffers and updates `write`.
+    ///
+    /// The functional body `func` receives the read buffers as word slices
+    /// and the write buffer mutably (it may also read it, enabling
+    /// accumulation). Duration comes from `cost`; the device runs one kernel
+    /// at a time.
+    pub fn enqueue_kernel<F>(
+        &self,
+        queue: QueueId,
+        cost: &KernelCost,
+        reads: &[BufferId],
+        write: BufferId,
+        deps: &[EventId],
+        func: F,
+    ) -> Result<EventId, SimError>
+    where
+        F: FnOnce(&[&[u32]], &mut [u32]),
+    {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.compute_free_ns)
+            .max(dep_end);
+
+        let kt = match cost {
+            KernelCost::Analytic { core_cycles, active_cores, traffic } => {
+                kernel_time(&self.spec, *core_cycles, *active_cores, *traffic)
+            }
+            KernelCost::Detailed { program, groups_per_core, active_cores, traffic } => {
+                let budget = st.detailed_cycle_budget;
+                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
+                    .map_err(|_| SimError::DetailedBudget)?;
+                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
+            }
+        };
+        let end = start + kt.total_ns.ceil() as u64;
+        st.compute_free_ns = end;
+
+        // Functional execution: temporarily move the write buffer out so the
+        // read borrows and the mutable borrow cannot alias.
+        for r in reads {
+            if *r == write {
+                return Err(SimError::InvalidHandle("buffer (aliases kernel output)"));
+            }
+        }
+        let mut wbuf = match st.buffers.get_mut(write.0).and_then(|s| s.take()) {
+            Some(b) => b,
+            None => return Err(SimError::InvalidHandle("buffer")),
+        };
+        if wbuf.words.is_none() {
+            st.buffers[write.0] = Some(wbuf);
+            return Err(SimError::InvalidHandle("buffer (virtual)"));
+        }
+        {
+            let mut read_slices: Vec<&[u32]> = Vec::with_capacity(reads.len());
+            for r in reads {
+                match st.buffers.get(r.0).and_then(|s| s.as_ref()).and_then(|b| b.words.as_deref()) {
+                    Some(w) => read_slices.push(w),
+                    None => {
+                        // Restore before erroring.
+                        st.buffers[write.0] = Some(wbuf);
+                        return Err(SimError::InvalidHandle("buffer"));
+                    }
+                }
+            }
+            func(&read_slices, wbuf.words.as_mut().expect("checked above"));
+        }
+        st.buffers[write.0] = Some(wbuf);
+        Ok(Self::record_event(&mut st, queue, start, end, queued))
+    }
+
+    /// Enqueues a *timing-only* host↔device transfer of `bytes` (either
+    /// direction): occupies the link and yields an event, but moves no data.
+    /// Pairs with virtual buffers for database-scale timing runs.
+    pub fn enqueue_virtual_transfer(
+        &self,
+        queue: QueueId,
+        bytes: u64,
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let end = start + self.spec.transfer.transfer_ns(bytes);
+        st.link_free_ns = end;
+        Ok(Self::record_event(&mut st, queue, start, end, queued))
+    }
+
+    /// Enqueues a *timing-only* kernel: occupies the compute engine per
+    /// `cost` but executes no functional body.
+    pub fn enqueue_kernel_timed(
+        &self,
+        queue: QueueId,
+        cost: &KernelCost,
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.compute_free_ns)
+            .max(dep_end);
+        let kt = match cost {
+            KernelCost::Analytic { core_cycles, active_cores, traffic } => {
+                kernel_time(&self.spec, *core_cycles, *active_cores, *traffic)
+            }
+            KernelCost::Detailed { program, groups_per_core, active_cores, traffic } => {
+                let budget = st.detailed_cycle_budget;
+                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
+                    .map_err(|_| SimError::DetailedBudget)?;
+                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
+            }
+        };
+        let end = start + kt.total_ns.ceil() as u64;
+        st.compute_free_ns = end;
+        Ok(Self::record_event(&mut st, queue, start, end, queued))
+    }
+
+    /// Blocks the host until every command on `queue` has finished
+    /// (`clFinish`).
+    pub fn finish(&self, queue: QueueId) -> Result<(), SimError> {
+        let mut st = self.state.borrow_mut();
+        let q = st.queues.get(queue.0).ok_or(SimError::InvalidHandle("queue"))?;
+        let end = q.last_end_ns;
+        st.host_now_ns = st.host_now_ns.max(end);
+        Ok(())
+    }
+
+    /// Blocks the host until every queue is drained.
+    pub fn finish_all(&self) {
+        let mut st = self.state.borrow_mut();
+        let end = st.queues.iter().map(|q| q.last_end_ns).max().unwrap_or(0);
+        st.host_now_ns = st.host_now_ns.max(end);
+    }
+
+    /// Profiling timestamps of an event.
+    pub fn event_profile(&self, ev: EventId) -> Result<EventProfile, SimError> {
+        self.state
+            .borrow()
+            .events
+            .get(ev.0)
+            .map(|e| e.profile)
+            .ok_or(SimError::InvalidHandle("event"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::devices;
+
+    fn small_gpu() -> Gpu {
+        Gpu::new(devices::gtx_980())
+    }
+
+    #[test]
+    fn init_cost_charged_on_open() {
+        let g = small_gpu();
+        assert_eq!(g.now_ns(), g.spec().transfer.runtime_init_ns);
+    }
+
+    #[test]
+    fn buffer_limits_enforced() {
+        let g = small_gpu();
+        let limit = g.spec().max_alloc_bytes;
+        let too_big = (limit / 4 + 1) as usize;
+        assert!(matches!(g.create_buffer(too_big), Err(SimError::AllocTooLarge { .. })));
+        // Fill global memory with max-size allocations until it runs out.
+        let chunk = (limit / 4) as usize;
+        let mut ids = Vec::new();
+        loop {
+            match g.create_buffer(chunk) {
+                Ok(id) => ids.push(id),
+                Err(SimError::OutOfDeviceMemory { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(ids.len() < 100, "global memory should be finite");
+        }
+        // Releasing returns capacity.
+        g.release_buffer(ids[0]).unwrap();
+        assert!(g.create_buffer(chunk).is_ok());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(16).unwrap();
+        let data: Vec<u32> = (0..8).map(|i| i * 3 + 1).collect();
+        g.enqueue_write(q, b, 4, &data, &[]).unwrap();
+        let mut out = vec![0u32; 8];
+        g.enqueue_read(q, b, 4, &mut out, &[], true).unwrap();
+        assert_eq!(out, data);
+        // Unwritten region stays zero.
+        let mut head = vec![1u32; 4];
+        g.enqueue_read(q, b, 0, &mut head, &[], true).unwrap();
+        assert_eq!(head, vec![0; 4]);
+    }
+
+    #[test]
+    fn out_of_range_transfer_rejected() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(4).unwrap();
+        let err = g.enqueue_write(q, b, 2, &[0u32; 4], &[]).unwrap_err();
+        assert!(matches!(err, SimError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn in_order_queue_serializes_commands() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(1024).unwrap();
+        let data = vec![0u32; 1024];
+        let e1 = g.enqueue_write(q, b, 0, &data, &[]).unwrap();
+        let e2 = g.enqueue_write(q, b, 0, &data, &[]).unwrap();
+        let p1 = g.event_profile(e1).unwrap();
+        let p2 = g.event_profile(e2).unwrap();
+        assert!(p2.start_ns >= p1.end_ns, "in-order queue must serialize");
+        assert!(p1.duration_ns() >= g.spec().transfer.transfer_latency_ns);
+    }
+
+    #[test]
+    fn kernel_runs_functionally_and_costs_time() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let a = g.create_buffer(8).unwrap();
+        let c = g.create_buffer(8).unwrap();
+        g.enqueue_write(q, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &[]).unwrap();
+        let cost = KernelCost::Analytic { core_cycles: 1000.0, active_cores: 4, traffic: Traffic::default() };
+        let ev = g
+            .enqueue_kernel(q, &cost, &[a], c, &[], |reads, out| {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = reads[0][i] * 10;
+                }
+            })
+            .unwrap();
+        let mut out = vec![0u32; 8];
+        g.enqueue_read(q, c, 0, &mut out, &[], true).unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+        let p = g.event_profile(ev).unwrap();
+        // 1000 cycles at 1.367 GHz ≈ 732 ns, inflated by the 4-core scaling
+        // efficiency, plus launch overhead.
+        let expect = kernel_time(g.spec(), 1000.0, 4, Traffic::default()).total_ns;
+        assert!((p.duration_ns() as f64 - expect).abs() < 2.0, "got {}", p.duration_ns());
+    }
+
+    #[test]
+    fn aliasing_kernel_output_rejected() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let a = g.create_buffer(4).unwrap();
+        let cost = KernelCost::Analytic { core_cycles: 1.0, active_cores: 1, traffic: Traffic::default() };
+        let err = g.enqueue_kernel(q, &cost, &[a], a, &[], |_, _| {}).unwrap_err();
+        assert!(matches!(err, SimError::InvalidHandle(_)));
+    }
+
+    #[test]
+    fn two_queues_overlap_transfer_and_compute() {
+        // The double-buffering mechanism: a kernel on the compute queue and
+        // a transfer on the copy queue may overlap; two transfers may not.
+        let g = small_gpu();
+        let qt = g.create_queue();
+        let qc = g.create_queue();
+        let a = g.create_buffer(1 << 20).unwrap();
+        let b = g.create_buffer(1 << 20).unwrap();
+        let c = g.create_buffer(4).unwrap();
+        let big = vec![0u32; 1 << 20];
+        let e_w1 = g.enqueue_write(qt, a, 0, &big, &[]).unwrap();
+        let cost = KernelCost::Analytic { core_cycles: 10_000_000.0, active_cores: 16, traffic: Traffic::default() };
+        let e_k = g.enqueue_kernel(qc, &cost, &[a], c, &[e_w1], |_, _| {}).unwrap();
+        let e_w2 = g.enqueue_write(qt, b, 0, &big, &[]).unwrap();
+        let pk = g.event_profile(e_k).unwrap();
+        let pw2 = g.event_profile(e_w2).unwrap();
+        // The second transfer starts while the kernel is still running.
+        assert!(pw2.start_ns < pk.end_ns, "transfer must overlap compute");
+        // And the kernel started only after its dependency.
+        assert!(pk.start_ns >= g.event_profile(e_w1).unwrap().end_ns);
+    }
+
+    #[test]
+    fn kernels_serialize_on_the_compute_engine() {
+        let g = small_gpu();
+        let q1 = g.create_queue();
+        let q2 = g.create_queue();
+        let c1 = g.create_buffer(4).unwrap();
+        let c2 = g.create_buffer(4).unwrap();
+        let cost = KernelCost::Analytic { core_cycles: 1_000_000.0, active_cores: 16, traffic: Traffic::default() };
+        let e1 = g.enqueue_kernel(q1, &cost, &[], c1, &[], |_, _| {}).unwrap();
+        let e2 = g.enqueue_kernel(q2, &cost, &[], c2, &[], |_, _| {}).unwrap();
+        let p1 = g.event_profile(e1).unwrap();
+        let p2 = g.event_profile(e2).unwrap();
+        assert!(p2.start_ns >= p1.end_ns, "one kernel at a time");
+    }
+
+    #[test]
+    fn finish_advances_host_clock() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(1 << 20).unwrap();
+        let data = vec![0u32; 1 << 20];
+        let ev = g.enqueue_write(q, b, 0, &data, &[]).unwrap();
+        let before = g.now_ns();
+        let end = g.event_profile(ev).unwrap().end_ns;
+        assert!(before < end, "enqueue must not block the host");
+        g.finish(q).unwrap();
+        assert_eq!(g.now_ns(), end);
+    }
+
+    #[test]
+    fn detailed_cost_kernels_run_the_engine() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let c = g.create_buffer(4).unwrap();
+        let program = Program::dependent_chain(snp_gpu_model::InstrClass::Popc, 8, 50);
+        let cost = KernelCost::Detailed {
+            program,
+            groups_per_core: 1,
+            active_cores: 1,
+            traffic: Traffic::default(),
+        };
+        let ev = g.enqueue_kernel(q, &cost, &[], c, &[], |_, _| {}).unwrap();
+        let p = g.event_profile(ev).unwrap();
+        // Chain of 400 popc at ~6 cycles each at 1.367 GHz ≈ 1.76 us + launch.
+        let dur = p.duration_ns() as f64;
+        assert!(dur > 1_500.0 + 8_000.0 && dur < 3_000.0 + 8_500.0, "got {dur}");
+    }
+
+    #[test]
+    fn host_pack_charges_pack_rate() {
+        let g = small_gpu();
+        let t0 = g.now_ns();
+        g.host_pack(1 << 30);
+        let dt = g.now_ns() - t0;
+        // 1 GiB at 8 GiB/s = 125 ms.
+        assert!((dt as f64 - 0.125e9).abs() < 1e6, "got {dt}");
+    }
+}

@@ -1,0 +1,228 @@
+//! The timing ISA of the simulated model GPU.
+//!
+//! The detailed engine does not interpret data — functional results are
+//! computed by the (much faster) host-side executors and validated against
+//! the scalar reference. What the engine needs is exactly what determines
+//! *time* on the paper's model architecture: each instruction's class (which
+//! pipeline it issues to), its register dependencies (what it must wait
+//! for), and, for shared-memory accesses, how many bank-conflict ways it
+//! serializes over.
+//!
+//! Programs are loop nests flattened to a sequence of [`Block`]s, each a
+//! straight-line body executed `trips` times — sufficient for both the §V-C
+//! microbenchmark kernels (one dependent-chain block wrapped in a loop) and
+//! the SNP comparison kernel (prologue / k-loop body / epilogue).
+
+use snp_gpu_model::InstrClass;
+
+/// A virtual register index, private to each thread group.
+pub type Reg = u16;
+
+/// One thread-group instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    /// Pipeline class.
+    pub class: InstrClass,
+    /// Destination register (None for stores).
+    pub dst: Option<Reg>,
+    /// Source registers this instruction must wait on.
+    pub srcs: Vec<Reg>,
+    /// For `LoadShared`/`StoreShared`: the number of conflict ways the
+    /// access serializes over (1 = conflict-free). Ignored otherwise.
+    pub conflict_ways: u32,
+}
+
+impl Instr {
+    /// A conflict-free instruction.
+    pub fn new(class: InstrClass, dst: Option<Reg>, srcs: Vec<Reg>) -> Self {
+        Instr { class, dst, srcs, conflict_ways: 1 }
+    }
+
+    /// Arithmetic op `dst <- f(srcs)`.
+    pub fn arith(class: InstrClass, dst: Reg, srcs: &[Reg]) -> Self {
+        assert!(!class.is_memory(), "{class} is not arithmetic");
+        Self::new(class, Some(dst), srcs.to_vec())
+    }
+
+    /// Global load `dst <- mem[...]` (address registers in `srcs`).
+    pub fn load_global(dst: Reg, srcs: &[Reg]) -> Self {
+        Self::new(InstrClass::LoadGlobal, Some(dst), srcs.to_vec())
+    }
+
+    /// Shared load with an explicit conflict degree.
+    pub fn load_shared(dst: Reg, srcs: &[Reg], conflict_ways: u32) -> Self {
+        assert!(conflict_ways >= 1);
+        let mut i = Self::new(InstrClass::LoadShared, Some(dst), srcs.to_vec());
+        i.conflict_ways = conflict_ways;
+        i
+    }
+
+    /// Global store of `srcs`.
+    pub fn store_global(srcs: &[Reg]) -> Self {
+        Self::new(InstrClass::StoreGlobal, None, srcs.to_vec())
+    }
+
+    /// Shared store of `srcs`.
+    pub fn store_shared(srcs: &[Reg], conflict_ways: u32) -> Self {
+        assert!(conflict_ways >= 1);
+        let mut i = Self::new(InstrClass::StoreShared, None, srcs.to_vec());
+        i.conflict_ways = conflict_ways;
+        i
+    }
+}
+
+/// A straight-line body executed `trips` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Number of times the body runs.
+    pub trips: u32,
+    /// The body.
+    pub instrs: Vec<Instr>,
+}
+
+impl Block {
+    /// Single-trip block.
+    pub fn once(instrs: Vec<Instr>) -> Self {
+        Block { trips: 1, instrs }
+    }
+
+    /// Looped block.
+    pub fn looped(trips: u32, instrs: Vec<Instr>) -> Self {
+        Block { trips, instrs }
+    }
+
+    /// Dynamic instruction count of the block.
+    pub fn dynamic_instrs(&self) -> u64 {
+        self.trips as u64 * self.instrs.len() as u64
+    }
+}
+
+/// A program: blocks executed in order by every thread group.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The block sequence.
+    pub blocks: Vec<Block>,
+}
+
+impl Program {
+    /// A program from blocks.
+    pub fn new(blocks: Vec<Block>) -> Self {
+        Program { blocks }
+    }
+
+    /// Dynamic instruction count per thread group.
+    pub fn dynamic_instrs(&self) -> u64 {
+        self.blocks.iter().map(Block::dynamic_instrs).sum()
+    }
+
+    /// Highest register index used (for scoreboard sizing); `None` if the
+    /// program touches no registers.
+    pub fn max_reg(&self) -> Option<Reg> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .flat_map(|i| i.dst.iter().chain(i.srcs.iter()))
+            .copied()
+            .max()
+    }
+
+    /// Builds the §V-C dependent-chain microbenchmark: `iters` repetitions
+    /// of `chain_len` back-to-back `class` instructions, each consuming the
+    /// previous result (`temp = class(temp)`).
+    pub fn dependent_chain(class: InstrClass, chain_len: usize, iters: u32) -> Program {
+        assert!(chain_len >= 1);
+        let body: Vec<Instr> = (0..chain_len).map(|_| Instr::arith(class, 0, &[0])).collect();
+        Program::new(vec![
+            Block::once(vec![Instr::load_global(0, &[])]), // temp = Array[thread_index]
+            Block::looped(iters, body),
+            Block::once(vec![Instr::store_global(&[0])]), // Array[thread_index] = temp
+        ])
+    }
+
+    /// Builds the §V-D throughput microbenchmark: like the chain, but with
+    /// `streams` independent chains interleaved so a single group alone can
+    /// also expose issue throughput.
+    pub fn independent_streams(class: InstrClass, streams: usize, iters: u32) -> Program {
+        assert!((1..=16).contains(&streams));
+        let init: Vec<Instr> = (0..streams).map(|s| Instr::load_global(s as Reg, &[])).collect();
+        let body: Vec<Instr> =
+            (0..streams).map(|s| Instr::arith(class, s as Reg, &[s as Reg])).collect();
+        let fini: Vec<Instr> = (0..streams).map(|s| Instr::store_global(&[s as Reg])).collect();
+        Program::new(vec![Block::once(init), Block::looped(iters, body), Block::once(fini)])
+    }
+
+    /// Builds a mixed-class stream (the §V-D pipeline-sharing probe):
+    /// alternating independent instructions of `a` and `b`.
+    pub fn interleaved_pair(a: InstrClass, b: InstrClass, pairs_per_iter: usize, iters: u32) -> Program {
+        assert!(pairs_per_iter >= 1);
+        let mut body = Vec::with_capacity(pairs_per_iter * 2);
+        for p in 0..pairs_per_iter {
+            let ra = (2 * p) as Reg;
+            let rb = (2 * p + 1) as Reg;
+            body.push(Instr::arith(a, ra, &[ra]));
+            body.push(Instr::arith(b, rb, &[rb]));
+        }
+        let regs = (pairs_per_iter * 2) as Reg;
+        let init: Vec<Instr> = (0..regs).map(|r| Instr::load_global(r, &[])).collect();
+        let fini: Vec<Instr> = (0..regs).map(|r| Instr::store_global(&[r])).collect();
+        Program::new(vec![Block::once(init), Block::looped(iters, body), Block::once(fini)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependent_chain_shape() {
+        let p = Program::dependent_chain(InstrClass::Popc, 8, 100);
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.blocks[1].trips, 100);
+        assert_eq!(p.blocks[1].instrs.len(), 8);
+        assert_eq!(p.dynamic_instrs(), 1 + 800 + 1);
+        // Every chain instruction depends on register 0 and writes it back.
+        for i in &p.blocks[1].instrs {
+            assert_eq!(i.dst, Some(0));
+            assert_eq!(i.srcs, vec![0]);
+        }
+    }
+
+    #[test]
+    fn independent_streams_have_disjoint_registers() {
+        let p = Program::independent_streams(InstrClass::IntAdd, 4, 10);
+        let body = &p.blocks[1].instrs;
+        let dsts: Vec<_> = body.iter().map(|i| i.dst.unwrap()).collect();
+        assert_eq!(dsts, vec![0, 1, 2, 3]);
+        assert_eq!(p.max_reg(), Some(3));
+    }
+
+    #[test]
+    fn interleaved_pair_alternates_classes() {
+        let p = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 3, 5);
+        let body = &p.blocks[1].instrs;
+        assert_eq!(body.len(), 6);
+        assert_eq!(body[0].class, InstrClass::Popc);
+        assert_eq!(body[1].class, InstrClass::IntAdd);
+        assert_eq!(body[4].class, InstrClass::Popc);
+    }
+
+    #[test]
+    fn conflict_ways_validated() {
+        let i = Instr::load_shared(1, &[0], 4);
+        assert_eq!(i.conflict_ways, 4);
+        assert!(std::panic::catch_unwind(|| Instr::load_shared(1, &[0], 0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not arithmetic")]
+    fn arith_rejects_memory_class() {
+        let _ = Instr::arith(InstrClass::LoadGlobal, 0, &[]);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert_eq!(p.dynamic_instrs(), 0);
+        assert_eq!(p.max_reg(), None);
+    }
+}

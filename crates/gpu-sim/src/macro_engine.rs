@@ -1,0 +1,254 @@
+//! The macro (analytic) timing engine.
+//!
+//! Full-size launches (e.g. 32 queries × 20 M profiles) execute trillions of
+//! instructions — far beyond what per-cycle interpretation can cover. The
+//! macro engine instead times a kernel from its *static structure*: per
+//! block, the issue-cycle load each instruction class places on its pipeline
+//! is summed, and the block's cluster-cycles are
+//!
+//! ```text
+//! trips × max( groups_per_cluster × max_p issue_p ,  chain_cycles )
+//! ```
+//!
+//! — the issue-bound / latency-bound maximum of DESIGN.md §3. The detailed
+//! engine and this estimate are cross-validated on small programs (see the
+//! tests and `tests/engine_agreement.rs`).
+//!
+//! Kernel wall time then combines compute cycles (scaled by the device's
+//! core-scaling efficiency, the knob that reproduces Fig. 7), the
+//! DRAM-bandwidth bound on streamed traffic, and the fixed launch overhead.
+
+use snp_gpu_model::DeviceSpec;
+
+use crate::isa::{Block, Program};
+
+/// Estimated cycles for one thread group's critical dependence chain through
+/// one trip of a block: the longest path of result latencies through the
+/// body's registers (intra-trip), plus the loop-carried minimum (the longest
+/// single-instruction latency whose destination feeds the next trip).
+fn chain_cycles(dev: &DeviceSpec, block: &Block) -> u64 {
+    // Longest-path DP over the straight-line body: depth[r] = cycles until
+    // register r is available, relative to trip start.
+    let n_regs = block
+        .instrs
+        .iter()
+        .flat_map(|i| i.dst.iter().chain(i.srcs.iter()))
+        .map(|&r| r as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut depth = vec![0u64; n_regs];
+    let mut max_depth = 0u64;
+    for instr in &block.instrs {
+        let start = instr.srcs.iter().map(|&r| depth[r as usize]).max().unwrap_or(0);
+        let lat = dev.result_latency(instr.class) as u64;
+        let finish = start + lat;
+        if let Some(dst) = instr.dst {
+            depth[dst as usize] = finish;
+        }
+        max_depth = max_depth.max(finish);
+    }
+    max_depth
+}
+
+/// Per-pipeline issue cycles one thread group places on each pipeline during
+/// one trip of a block.
+pub fn issue_cycles_per_trip(dev: &DeviceSpec, block: &Block) -> Vec<u64> {
+    let mut issue = vec![0u64; dev.pipelines.len()];
+    for instr in &block.instrs {
+        let pipe = dev
+            .pipeline_index_for(instr.class)
+            .unwrap_or_else(|| panic!("{} lacks a pipeline for {}", dev.name, instr.class));
+        issue[pipe] += dev.issue_cycles(instr.class) as u64 * instr.conflict_ways as u64;
+    }
+    issue
+}
+
+/// Analytic estimate of the cycles one compute core needs to run `prog` with
+/// `groups` resident thread groups (spread over the device's clusters).
+pub fn estimate_core_cycles(dev: &DeviceSpec, prog: &Program, groups: u32) -> f64 {
+    assert!(groups >= 1);
+    let n_clusters = dev.n_clusters.min(groups) as f64;
+    // Groups per cluster, averaged (round-robin assignment).
+    let gpc = groups as f64 / n_clusters;
+    let mut total = 0.0f64;
+    for block in &prog.blocks {
+        if block.trips == 0 || block.instrs.is_empty() {
+            continue;
+        }
+        let issue = issue_cycles_per_trip(dev, block);
+        let issue_max = issue.iter().copied().max().unwrap_or(0) as f64;
+        let chain = chain_cycles(dev, block) as f64;
+        let per_trip = (gpc * issue_max).max(chain);
+        total += block.trips as f64 * per_trip;
+    }
+    total
+}
+
+/// Identifies the pipeline that bounds a program's steady state, by total
+/// issue cycles (ties broken toward the lower index).
+pub fn bottleneck_pipeline(dev: &DeviceSpec, prog: &Program) -> Option<usize> {
+    let mut totals = vec![0u64; dev.pipelines.len()];
+    for block in &prog.blocks {
+        for (p, c) in issue_cycles_per_trip(dev, block).into_iter().enumerate() {
+            totals[p] += block.trips as u64 * c;
+        }
+    }
+    totals
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, _)| i)
+}
+
+/// Global-memory traffic of a launch, for the bandwidth bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Traffic {
+    /// Bytes read from global memory by the kernel.
+    pub read_bytes: u64,
+    /// Bytes written to global memory by the kernel.
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// Wall-time breakdown of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTime {
+    /// Compute time after applying core-scaling efficiency, in ns.
+    pub compute_ns: f64,
+    /// DRAM-bandwidth bound on the streamed traffic, in ns.
+    pub memory_ns: f64,
+    /// Fixed launch overhead, in ns.
+    pub launch_ns: f64,
+    /// Total modeled duration: `max(compute, memory) + launch`.
+    pub total_ns: f64,
+    /// The core-scaling efficiency that was applied (Fig. 7's knob).
+    pub scaling_efficiency: f64,
+}
+
+/// Times a kernel launch of `core_cycles` per core on `active_cores`
+/// concurrently active cores moving `traffic` bytes of global memory.
+///
+/// `core_cycles` is the per-core cycle count with all cores doing equal
+/// work (the framework divides tiles evenly); the core-scaling efficiency
+/// divides throughput, i.e. multiplies time.
+pub fn kernel_time(
+    dev: &DeviceSpec,
+    core_cycles: f64,
+    active_cores: u32,
+    traffic: Traffic,
+) -> KernelTime {
+    assert!(active_cores >= 1 && active_cores <= dev.n_cores);
+    let eff = dev.memory.core_scaling_efficiency(active_cores);
+    let compute_ns = dev.cycles_to_ns(core_cycles) / eff;
+    let memory_ns = traffic.total() as f64 / dev.memory.effective_bandwidth_bytes_s() * 1e9;
+    let launch_ns = dev.transfer.kernel_launch_ns as f64;
+    KernelTime {
+        compute_ns,
+        memory_ns,
+        launch_ns,
+        total_ns: compute_ns.max(memory_ns) + launch_ns,
+        scaling_efficiency: eff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detailed::simulate_core;
+    use crate::isa::{Instr, Program};
+    use snp_gpu_model::{devices, InstrClass};
+
+    #[test]
+    fn chain_bound_matches_detailed_for_single_group() {
+        let dev = devices::gtx_980();
+        let prog = Program::dependent_chain(InstrClass::Popc, 16, 100);
+        let est = estimate_core_cycles(&dev, &prog, 1);
+        let det = simulate_core(&dev, &prog, 1, 10_000_000).unwrap().cycles as f64;
+        let rel = (est - det).abs() / det;
+        assert!(rel < 0.05, "macro {est} vs detailed {det} ({rel:.2} rel err)");
+    }
+
+    #[test]
+    fn issue_bound_matches_detailed_at_saturation() {
+        let dev = devices::gtx_980();
+        let groups = dev.chosen_occupancy_groups();
+        let prog = Program::dependent_chain(InstrClass::Popc, 16, 100);
+        let est = estimate_core_cycles(&dev, &prog, groups);
+        let det = simulate_core(&dev, &prog, groups, 10_000_000).unwrap().cycles as f64;
+        let rel = (est - det).abs() / det;
+        assert!(rel < 0.05, "macro {est} vs detailed {det} ({rel:.2} rel err)");
+    }
+
+    #[test]
+    fn mixed_pipes_agree_with_detailed() {
+        for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
+            let groups = dev.chosen_occupancy_groups();
+            let prog = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 4, 200);
+            let est = estimate_core_cycles(&dev, &prog, groups);
+            let det = simulate_core(&dev, &prog, groups, 50_000_000).unwrap().cycles as f64;
+            let rel = (est - det).abs() / det;
+            assert!(rel < 0.10, "{}: macro {est} vs detailed {det}", dev.name);
+        }
+    }
+
+    #[test]
+    fn bottleneck_identification() {
+        let dev = devices::gtx_980();
+        let prog = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 4, 10);
+        let b = bottleneck_pipeline(&dev, &prog).unwrap();
+        assert_eq!(dev.pipelines[b].name, "popc");
+        assert_eq!(bottleneck_pipeline(&dev, &Program::default()), None);
+    }
+
+    #[test]
+    fn empty_and_zero_trip_blocks_cost_nothing() {
+        let dev = devices::gtx_980();
+        let prog = Program::new(vec![
+            Block::looped(0, vec![Instr::arith(InstrClass::IntAdd, 0, &[0])]),
+            Block::once(vec![]),
+        ]);
+        assert_eq!(estimate_core_cycles(&dev, &prog, 4), 0.0);
+    }
+
+    #[test]
+    fn kernel_time_compute_bound_vs_memory_bound() {
+        let dev = devices::titan_v();
+        // Tiny traffic: compute-bound.
+        let kt = kernel_time(&dev, 1_000_000.0, 80, Traffic { read_bytes: 1, write_bytes: 0 });
+        assert!(kt.compute_ns > kt.memory_ns);
+        assert_eq!(kt.total_ns, kt.compute_ns + kt.launch_ns);
+        // Huge traffic: memory-bound.
+        let kt2 = kernel_time(
+            &dev,
+            1_000.0,
+            80,
+            Traffic { read_bytes: 10 << 30, write_bytes: 0 },
+        );
+        assert!(kt2.memory_ns > kt2.compute_ns);
+        assert_eq!(kt2.total_ns, kt2.memory_ns + kt2.launch_ns);
+    }
+
+    #[test]
+    fn vega_scaling_inflates_compute_time() {
+        let dev = devices::vega_64();
+        let t8 = kernel_time(&dev, 1e6, 8, Traffic::default());
+        let t64 = kernel_time(&dev, 1e6, 64, Traffic::default());
+        assert_eq!(t8.scaling_efficiency, 1.0);
+        assert!(t64.scaling_efficiency < 0.58);
+        assert!(t64.compute_ns > t8.compute_ns * 1.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "active_cores")]
+    fn kernel_time_rejects_zero_cores() {
+        let dev = devices::gtx_980();
+        let _ = kernel_time(&dev, 1.0, 0, Traffic::default());
+    }
+}

@@ -1,0 +1,107 @@
+//! Instruction latency via dependent chains (paper §V-C).
+//!
+//! "To measure the latency of a given instruction, we write a simple program
+//! that consists of a long chain of dependent operations using the
+//! instruction… Executing the kernel with one thread group is sufficient."
+//! Latency is `clock_frequency × execution_time / #instructions`; we report
+//! it directly in cycles per instruction.
+
+use snp_gpu_model::{DeviceSpec, InstrClass};
+use snp_gpu_sim::detailed::simulate_core_width;
+use snp_gpu_sim::isa::Program;
+
+/// One latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyMeasurement {
+    /// Instruction class measured.
+    pub class: InstrClass,
+    /// Raw cycles / chain instructions — the §V-C quotient. Loop and
+    /// load/store bookkeeping is amortized by the long chain, exactly as
+    /// the paper prescribes ("increasing the number of instructions in the
+    /// loop body will diminish the effects of managing the loop").
+    pub cycles_per_instr: f64,
+    /// Execution time in nanoseconds on the device's clock.
+    pub time_ns: f64,
+    /// Dynamic chain instructions executed.
+    pub chain_instrs: u64,
+}
+
+/// Default chain shape: long enough that the ±2-instruction prologue and
+/// epilogue perturb the quotient by well under 1 %.
+pub const CHAIN_LEN: usize = 32;
+/// Default loop trip count.
+pub const CHAIN_ITERS: u32 = 256;
+
+/// Measures the dependent-chain latency of `class` on one thread group with
+/// a single active work-item — launching one thread keeps the measurement
+/// latency-bound even on pipelines narrower than the thread group (on the
+/// Titan V, a full 32-thread warp would be issue-bound at 8 cycles on the
+/// 4-lane popcount pipe and hide the 4-cycle latency).
+pub fn measure_latency_cycles(dev: &DeviceSpec, class: InstrClass) -> LatencyMeasurement {
+    let prog = Program::dependent_chain(class, CHAIN_LEN, CHAIN_ITERS);
+    let r = simulate_core_width(dev, &prog, 1, 1, 1_000_000_000)
+        .expect("latency chain within budget");
+    let chain_instrs = CHAIN_LEN as u64 * CHAIN_ITERS as u64;
+    let cycles_per_instr = r.cycles as f64 / chain_instrs as f64;
+    LatencyMeasurement {
+        class,
+        cycles_per_instr,
+        time_ns: dev.cycles_to_ns(r.cycles as f64),
+        chain_instrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::devices;
+
+    #[test]
+    fn popcount_latency_matches_table1() {
+        for (dev, expect) in [
+            (devices::gtx_980(), 6.0),
+            (devices::titan_v(), 4.0),
+            (devices::vega_64(), 4.0),
+            (devices::xeon_e5_2620_v2(), 3.0),
+        ] {
+            let m = measure_latency_cycles(&dev, InstrClass::Popc);
+            assert!(
+                (m.cycles_per_instr - expect).abs() < 0.1,
+                "{}: measured {} expected {expect}",
+                dev.name,
+                m.cycles_per_instr
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_classes_share_the_modeled_latency() {
+        // The paper's simplifying assumption: L_fn is the same for all
+        // arithmetic instructions — the chain must recover it for each.
+        let dev = devices::gtx_980();
+        for class in [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Popc] {
+            let m = measure_latency_cycles(&dev, class);
+            assert!(
+                (m.cycles_per_instr - dev.l_fn as f64).abs() < 0.1,
+                "{class}: {}",
+                m.cycles_per_instr
+            );
+        }
+    }
+
+    #[test]
+    fn time_is_cycles_over_frequency() {
+        let dev = devices::titan_v();
+        let m = measure_latency_cycles(&dev, InstrClass::Popc);
+        let cycles = m.cycles_per_instr * m.chain_instrs as f64;
+        assert!((m.time_ns - cycles / dev.frequency_ghz).abs() / m.time_ns < 1e-6);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let dev = devices::vega_64();
+        let a = measure_latency_cycles(&dev, InstrClass::Logic);
+        let b = measure_latency_cycles(&dev, InstrClass::Logic);
+        assert_eq!(a, b);
+    }
+}

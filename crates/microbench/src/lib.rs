@@ -1,0 +1,22 @@
+//! # snp-microbench — instruction microbenchmarking on the model GPU
+//!
+//! Implements the paper's §V-B–§V-D methodology for determining the hardware
+//! parameters that "we had to manually benchmark the GPUs to identify":
+//! instruction latency (`L_fn`) via single-group dependent chains,
+//! instruction throughput (`N_fn`) via thread-group sweeps, and
+//! pipeline-sharing detection via mixed instruction streams. The recovered
+//! values are validated against the Table I database — closing the loop
+//! between the simulator's parameterization and the measurement procedure a
+//! user would run on real hardware.
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod recover;
+pub mod sharing;
+pub mod throughput;
+
+pub use latency::{measure_latency_cycles, LatencyMeasurement};
+pub use recover::{recover_parameters, RecoveredParams};
+pub use sharing::{classify_sharing, PipelineSharing};
+pub use throughput::{measure_throughput, sweep_thread_groups, ThroughputMeasurement};

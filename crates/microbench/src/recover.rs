@@ -1,0 +1,115 @@
+//! Hardware-parameter recovery: the user-facing workflow of §V-B.
+//!
+//! "Users of the framework are expected to only identify the hardware
+//! features of the GPU" — and where spec sheets are silent (AMD's popcount
+//! throughput, footnote 1), the parameters are measured. This module runs
+//! the full measurement suite against a device and reconstructs the Table I
+//! quantities `L_fn` and `N_fn` per instruction class, plus the pipeline
+//! sharing map; tests assert the round trip recovers the database values.
+
+use snp_gpu_model::{DeviceSpec, InstrClass};
+
+use crate::latency::measure_latency_cycles;
+use crate::sharing::classify_sharing;
+use crate::throughput::measure_throughput;
+
+/// Parameters recovered by microbenchmarking alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredParams {
+    /// Device name, for reporting.
+    pub device: String,
+    /// Measured arithmetic latency in cycles, per class
+    /// (class, cycles-per-instruction from the dependent chain).
+    pub latency: Vec<(InstrClass, f64)>,
+    /// Recovered `N_fn` per class (functional units per cluster), from the
+    /// saturated throughput divided by `N_cl`.
+    pub n_fn: Vec<(InstrClass, u32)>,
+    /// Pairs of classes found to share a pipeline.
+    pub shared_pairs: Vec<(InstrClass, InstrClass)>,
+}
+
+/// The arithmetic classes the SNP kernels care about.
+pub const PROBE_CLASSES: [InstrClass; 4] =
+    [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Not, InstrClass::Popc];
+
+/// Runs the §V-C/§V-D suite against `dev` and reconstructs its parameters.
+pub fn recover_parameters(dev: &DeviceSpec) -> RecoveredParams {
+    let mut latency = Vec::new();
+    let mut n_fn = Vec::new();
+    for class in PROBE_CLASSES {
+        latency.push((class, measure_latency_cycles(dev, class).cycles_per_instr));
+        let sat = dev.chosen_occupancy_groups();
+        let m = measure_throughput(dev, class, sat);
+        let units = (m.instrs_per_cycle / dev.n_clusters as f64).round() as u32;
+        n_fn.push((class, units));
+    }
+    let mut shared_pairs = Vec::new();
+    for (i, &a) in PROBE_CLASSES.iter().enumerate() {
+        for &b in &PROBE_CLASSES[i + 1..] {
+            if classify_sharing(dev, a, b).shared {
+                shared_pairs.push((a, b));
+            }
+        }
+    }
+    RecoveredParams { device: dev.name.clone(), latency, n_fn, shared_pairs }
+}
+
+impl RecoveredParams {
+    /// The recovered `N_fn` for a class, if probed.
+    pub fn units_for(&self, class: InstrClass) -> Option<u32> {
+        self.n_fn.iter().find(|&&(c, _)| c == class).map(|&(_, u)| u)
+    }
+
+    /// The recovered latency for a class, if probed.
+    pub fn latency_for(&self, class: InstrClass) -> Option<f64> {
+        self.latency.iter().find(|&&(c, _)| c == class).map(|&(_, l)| l)
+    }
+
+    /// Whether two classes were found to share a pipeline.
+    pub fn is_shared(&self, a: InstrClass, b: InstrClass) -> bool {
+        self.shared_pairs.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::devices;
+
+    #[test]
+    fn recovery_round_trips_table1() {
+        for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
+            let r = recover_parameters(&dev);
+            for class in [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Popc] {
+                assert_eq!(
+                    r.units_for(class),
+                    dev.n_fn(class),
+                    "{} {class}: N_fn mismatch",
+                    dev.name
+                );
+            }
+            // Latency round-trips where L_fn >= issue width (true for the
+            // popcount pipes of all three GPUs).
+            let l = r.latency_for(InstrClass::Popc).unwrap();
+            assert!((l - dev.l_fn as f64).abs() < 0.1, "{}: {l}", dev.name);
+        }
+    }
+
+    #[test]
+    fn sharing_map_matches_pipeline_tables() {
+        let vega = recover_parameters(&devices::vega_64());
+        assert!(vega.is_shared(InstrClass::IntAdd, InstrClass::Logic));
+        assert!(vega.is_shared(InstrClass::IntAdd, InstrClass::Not));
+        assert!(!vega.is_shared(InstrClass::Popc, InstrClass::IntAdd));
+        let titan = recover_parameters(&devices::titan_v());
+        assert!(!titan.is_shared(InstrClass::IntAdd, InstrClass::Logic));
+        assert!(titan.is_shared(InstrClass::Logic, InstrClass::Not), "NOT issues on the logic pipe");
+    }
+
+    #[test]
+    fn accessors_return_none_for_unprobed() {
+        let r = recover_parameters(&devices::gtx_980());
+        assert_eq!(r.units_for(InstrClass::LoadGlobal), None);
+        assert_eq!(r.latency_for(InstrClass::StoreShared), None);
+    }
+}

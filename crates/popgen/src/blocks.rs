@@ -1,0 +1,197 @@
+//! Haplotype-block detection from LD output.
+//!
+//! The standard downstream use of an all-pairs LD computation: partition
+//! consecutive SNPs into blocks of strong linkage. The detector here is a
+//! greedy contiguous partition — extend the current block while the mean r²
+//! between the candidate SNP and the block's recent members stays above a
+//! threshold — which is exactly recoverable on the synthetic block panels
+//! of [`crate::population`], giving an end-to-end accuracy test for the
+//! whole LD pipeline.
+
+use snp_bitmat::CountMatrix;
+
+use crate::ld_stats::ld_pair;
+
+/// A detected block: SNP indices `start..end` (half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// First SNP of the block.
+    pub start: usize,
+    /// One past the last SNP.
+    pub end: usize,
+}
+
+impl Block {
+    /// SNPs in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockDetector {
+    /// Minimum mean r² against the recent block members to extend a block.
+    pub r2_threshold: f64,
+    /// How many trailing members of the current block the candidate is
+    /// compared against (robustness to single noisy SNPs).
+    pub lookback: usize,
+}
+
+impl Default for BlockDetector {
+    fn default() -> Self {
+        BlockDetector { r2_threshold: 0.4, lookback: 3 }
+    }
+}
+
+impl BlockDetector {
+    /// Partitions `0..snps` into blocks using the self-comparison counts
+    /// `gamma` (AND-popcount of the panel against itself) over `samples`
+    /// haplotypes. Every SNP belongs to exactly one block; blocks are
+    /// contiguous and ordered.
+    pub fn detect(&self, gamma: &CountMatrix, samples: usize) -> Vec<Block> {
+        assert_eq!(gamma.rows(), gamma.cols(), "need a self-comparison matrix");
+        assert!(samples > 0);
+        assert!(self.lookback >= 1, "lookback must be at least 1");
+        let snps = gamma.rows();
+        let mut blocks = Vec::new();
+        if snps == 0 {
+            return blocks;
+        }
+        let mut start = 0usize;
+        for s in 1..snps {
+            let lo = s.saturating_sub(self.lookback).max(start);
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for t in lo..s {
+                sum += ld_pair(gamma, samples, t, s).r2;
+                n += 1;
+            }
+            let mean = if n == 0 { 1.0 } else { sum / n as f64 };
+            if mean < self.r2_threshold {
+                blocks.push(Block { start, end: s });
+                start = s;
+            }
+        }
+        blocks.push(Block { start, end: snps });
+        blocks
+    }
+}
+
+/// Mean within-block r² over adjacent pairs, for reporting block quality.
+pub fn mean_adjacent_r2(gamma: &CountMatrix, samples: usize, block: Block) -> f64 {
+    if block.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for s in block.start..block.end - 1 {
+        sum += ld_pair(gamma, samples, s, s + 1).r2;
+    }
+    sum / (block.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{generate_panel, PanelConfig};
+    use crate::FrequencySpectrum;
+    use snp_bitmat::{reference_gamma_self, CompareOp};
+
+    fn panel_gamma(
+        snps: usize,
+        block_len: usize,
+        flip: f64,
+        seed: u64,
+    ) -> (CountMatrix, Vec<usize>, usize) {
+        let samples = 3000;
+        let p = generate_panel(
+            &PanelConfig {
+                snps,
+                samples,
+                spectrum: FrequencySpectrum::Fixed(0.35),
+                block_len,
+                within_block_flip: flip,
+            },
+            seed,
+        );
+        (reference_gamma_self(&p.matrix, CompareOp::And), p.block_of, samples)
+    }
+
+    #[test]
+    fn recovers_planted_block_boundaries() {
+        let (gamma, truth, samples) = panel_gamma(96, 12, 0.01, 5);
+        let blocks = BlockDetector::default().detect(&gamma, samples);
+        // Planted: boundaries at multiples of 12.
+        let detected: Vec<usize> = blocks.iter().map(|b| b.start).collect();
+        let planted: Vec<usize> = (0..96).step_by(12).collect();
+        assert_eq!(detected, planted, "blocks {blocks:?} vs truth {truth:?}");
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_total() {
+        let (gamma, _, samples) = panel_gamma(70, 9, 0.05, 6);
+        let blocks = BlockDetector::default().detect(&gamma, samples);
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks.last().unwrap().end, 70);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "no gaps or overlaps");
+        }
+        assert!(blocks.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn within_block_quality_exceeds_threshold() {
+        let (gamma, _, samples) = panel_gamma(60, 10, 0.02, 7);
+        let det = BlockDetector::default();
+        for b in det.detect(&gamma, samples) {
+            if b.len() >= 3 {
+                assert!(
+                    mean_adjacent_r2(&gamma, samples, b) > det.r2_threshold,
+                    "block {b:?} too weak"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn independent_snps_become_singleton_blocks() {
+        let (gamma, _, samples) = panel_gamma(40, 1, 0.0, 8);
+        let blocks = BlockDetector::default().detect(&gamma, samples);
+        let singletons = blocks.iter().filter(|b| b.len() == 1).count();
+        assert!(
+            singletons as f64 > 0.8 * blocks.len() as f64,
+            "independent SNPs should not merge: {blocks:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let det = BlockDetector::default();
+        let empty = CountMatrix::zeros(0, 0);
+        assert!(det.detect(&empty, 10).is_empty());
+        let one = CountMatrix::from_vec(1, 1, vec![50]);
+        let blocks = det.detect(&one, 100);
+        assert_eq!(blocks, vec![Block { start: 0, end: 1 }]);
+        assert_eq!(mean_adjacent_r2(&one, 100, blocks[0]), 1.0);
+    }
+
+    #[test]
+    fn lookback_bridges_single_noisy_snps() {
+        // With lookback 3 a single weak SNP inside a strong block does not
+        // split it; with lookback 1 it does.
+        let (gamma, _, samples) = panel_gamma(48, 16, 0.08, 11);
+        let strict = BlockDetector { r2_threshold: 0.4, lookback: 1 }.detect(&gamma, samples);
+        let robust = BlockDetector { r2_threshold: 0.4, lookback: 3 }.detect(&gamma, samples);
+        assert!(
+            robust.len() <= strict.len(),
+            "lookback should only merge: {} vs {}",
+            robust.len(),
+            strict.len()
+        );
+    }
+}

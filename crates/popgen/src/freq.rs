@@ -1,0 +1,194 @@
+//! Minor-allele frequency (MAF) spectra.
+//!
+//! SNP panels are characterized by the distribution of minor-allele
+//! frequencies across sites. The generators here provide the spectra used
+//! by the workload builders: a neutral (`∝ 1/x`) site-frequency spectrum,
+//! a Beta-shaped ascertained-panel spectrum (forensic marker panels are
+//! chosen for intermediate frequencies), and degenerate fixed/uniform
+//! spectra for controlled benchmarks.
+
+use rand::{Rng, RngExt};
+
+/// A distribution over per-site minor-allele frequencies in `(0, 0.5]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencySpectrum {
+    /// Every site has the same MAF.
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (exclusive of 0).
+        lo: f64,
+        /// Upper bound (≤ 0.5).
+        hi: f64,
+    },
+    /// Neutral site-frequency spectrum: density `∝ 1/x` on `[lo, 0.5]`.
+    /// Most sites are rare — the regime that motivates the paper's sparse
+    /// future work (§VII).
+    Neutral {
+        /// Lower truncation of the spectrum (e.g. `1/(2N)` for sample size N).
+        lo: f64,
+    },
+    /// `Beta(α, β)` rescaled onto `(0, 0.5]` — models ascertained panels
+    /// (e.g. forensic SNP sets selected for high heterozygosity).
+    Beta {
+        /// Alpha shape parameter.
+        alpha: f64,
+        /// Beta shape parameter.
+        beta: f64,
+    },
+}
+
+impl FrequencySpectrum {
+    /// Draws one MAF from the spectrum.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            FrequencySpectrum::Fixed(p) => {
+                assert!(p > 0.0 && p <= 0.5, "fixed MAF {p} outside (0, 0.5]");
+                p
+            }
+            FrequencySpectrum::Uniform { lo, hi } => {
+                assert!(lo > 0.0 && hi <= 0.5 && lo <= hi, "bad uniform range [{lo}, {hi}]");
+                rng.random_range(lo..=hi)
+            }
+            FrequencySpectrum::Neutral { lo } => {
+                assert!(lo > 0.0 && lo < 0.5, "bad neutral truncation {lo}");
+                // Inverse-CDF sampling of density 1/x on [lo, 0.5]:
+                // F(x) = ln(x/lo) / ln(0.5/lo).
+                let u: f64 = rng.random();
+                lo * (0.5f64 / lo).powf(u)
+            }
+            FrequencySpectrum::Beta { alpha, beta } => {
+                assert!(alpha > 0.0 && beta > 0.0);
+                0.5 * sample_beta(rng, alpha, beta).clamp(1e-6, 1.0)
+            }
+        }
+    }
+
+    /// Draws `n` MAFs.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The spectrum's mean MAF, estimated analytically where closed-form
+    /// and by construction otherwise. Used by tests and by the sparse
+    /// crossover analysis.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            FrequencySpectrum::Fixed(p) => p,
+            FrequencySpectrum::Uniform { lo, hi } => (lo + hi) / 2.0,
+            FrequencySpectrum::Neutral { lo } => {
+                // E[X] for density c/x on [lo, 0.5] = (0.5 - lo) / ln(0.5/lo).
+                (0.5 - lo) / (0.5f64 / lo).ln()
+            }
+            FrequencySpectrum::Beta { alpha, beta } => 0.5 * alpha / (alpha + beta),
+        }
+    }
+}
+
+/// Samples `Beta(α, β)` via two Gamma draws (Marsaglia–Tsang squeeze for
+/// shape ≥ 1, boosted for shape < 1). Avoids an extra dependency.
+fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    let x = sample_gamma(rng, alpha);
+    let y = sample_gamma(rng, beta);
+    x / (x + y)
+}
+
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_returns_constant() {
+        let mut r = rng();
+        let s = FrequencySpectrum::Fixed(0.2);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r), 0.2);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        let s = FrequencySpectrum::Uniform { lo: 0.1, hi: 0.4 };
+        for _ in 0..1000 {
+            let p = s.sample(&mut r);
+            assert!((0.1..=0.4).contains(&p));
+        }
+    }
+
+    #[test]
+    fn neutral_is_rare_skewed() {
+        let mut r = rng();
+        let s = FrequencySpectrum::Neutral { lo: 0.001 };
+        let draws = s.sample_n(&mut r, 20_000);
+        assert!(draws.iter().all(|&p| (0.001..=0.5).contains(&p)));
+        let below_01: usize = draws.iter().filter(|&&p| p < 0.1).count();
+        assert!(
+            below_01 as f64 / draws.len() as f64 > 0.6,
+            "neutral spectrum should be dominated by rare alleles"
+        );
+        let emp_mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((emp_mean - s.mean()).abs() < 0.01, "empirical {emp_mean} vs analytic {}", s.mean());
+    }
+
+    #[test]
+    fn beta_mean_matches_analytic() {
+        let mut r = rng();
+        let s = FrequencySpectrum::Beta { alpha: 2.0, beta: 2.0 };
+        let draws = s.sample_n(&mut r, 20_000);
+        assert!(draws.iter().all(|&p| (0.0..=0.5).contains(&p)));
+        let emp = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((emp - 0.25).abs() < 0.01, "Beta(2,2)/2 mean should be 0.25, got {emp}");
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let s = FrequencySpectrum::Uniform { lo: 0.2, hi: 0.4 };
+        assert!((s.mean() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn fixed_out_of_range_panics() {
+        let mut r = rng();
+        let _ = FrequencySpectrum::Fixed(0.7).sample(&mut r);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = FrequencySpectrum::Neutral { lo: 0.01 };
+        let a = s.sample_n(&mut StdRng::seed_from_u64(7), 50);
+        let b = s.sample_n(&mut StdRng::seed_from_u64(7), 50);
+        assert_eq!(a, b);
+    }
+}

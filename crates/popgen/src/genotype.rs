@@ -1,0 +1,359 @@
+//! Diploid genotypes and their binary encodings.
+//!
+//! Real SNP data arrives as diploid genotype calls (0, 1 or 2 copies of the
+//! alternate allele, possibly missing). The comparison engines consume
+//! *binary* matrices — "major alleles are encoded as 0s while minor alleles
+//! (mutations) are captured as 1s" (paper §III, Fig. 2) — so this module
+//! provides the encoding step: minor-allele determination (the alternate
+//! allele is not always the minor one), missing-data policy, and the three
+//! standard binarizations (dominant presence, recessive homozygote,
+//! haplotype expansion).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use snp_bitmat::BitMatrix;
+
+/// One diploid genotype call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Genotype {
+    /// Homozygous reference (0 alternate alleles).
+    HomRef,
+    /// Heterozygous (1 alternate allele).
+    Het,
+    /// Homozygous alternate (2 alternate alleles).
+    HomAlt,
+    /// No call.
+    Missing,
+}
+
+impl Genotype {
+    /// Number of alternate alleles, or `None` when missing.
+    pub fn alt_count(self) -> Option<u8> {
+        match self {
+            Genotype::HomRef => Some(0),
+            Genotype::Het => Some(1),
+            Genotype::HomAlt => Some(2),
+            Genotype::Missing => None,
+        }
+    }
+
+    /// Parses the conventional 0/1/2 dosage encoding (`.` or anything else
+    /// maps to missing via [`None`]).
+    pub fn from_dosage(d: u8) -> Option<Genotype> {
+        match d {
+            0 => Some(Genotype::HomRef),
+            1 => Some(Genotype::Het),
+            2 => Some(Genotype::HomAlt),
+            _ => None,
+        }
+    }
+}
+
+/// How missing calls are binarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Treat a missing call as homozygous major (contributes no minor
+    /// alleles) — the conservative default, and count-neutral for AND /
+    /// AND-NOT comparisons.
+    AsMajor,
+    /// Treat a missing call as carrying the minor allele.
+    AsMinor,
+}
+
+/// A samples × sites diploid genotype matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenotypeMatrix {
+    samples: usize,
+    sites: usize,
+    // Row-major alt-allele dosage; 255 = missing.
+    data: Vec<u8>,
+}
+
+const MISSING: u8 = 255;
+
+impl GenotypeMatrix {
+    /// Builds from a closure over (sample, site).
+    pub fn from_fn(samples: usize, sites: usize, mut f: impl FnMut(usize, usize) -> Genotype) -> Self {
+        let mut data = Vec::with_capacity(samples * sites);
+        for s in 0..samples {
+            for v in 0..sites {
+                data.push(match f(s, v) {
+                    Genotype::Missing => MISSING,
+                    g => g.alt_count().unwrap(),
+                });
+            }
+        }
+        GenotypeMatrix { samples, sites, data }
+    }
+
+    /// Number of samples (rows).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of SNP sites (columns).
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// The genotype at (sample, site).
+    pub fn get(&self, sample: usize, site: usize) -> Genotype {
+        assert!(sample < self.samples && site < self.sites, "index out of bounds");
+        match self.data[sample * self.sites + site] {
+            0 => Genotype::HomRef,
+            1 => Genotype::Het,
+            2 => Genotype::HomAlt,
+            _ => Genotype::Missing,
+        }
+    }
+
+    /// Fraction of non-missing calls at `site`.
+    pub fn call_rate(&self, site: usize) -> f64 {
+        let called = (0..self.samples)
+            .filter(|&s| self.data[s * self.sites + site] != MISSING)
+            .count();
+        if self.samples == 0 {
+            0.0
+        } else {
+            called as f64 / self.samples as f64
+        }
+    }
+
+    /// Alternate-allele frequency at `site` among called genotypes
+    /// (`None` if every call is missing).
+    pub fn alt_frequency(&self, site: usize) -> Option<f64> {
+        let mut alt = 0u64;
+        let mut called = 0u64;
+        for s in 0..self.samples {
+            let d = self.data[s * self.sites + site];
+            if d != MISSING {
+                alt += d as u64;
+                called += 1;
+            }
+        }
+        if called == 0 {
+            None
+        } else {
+            Some(alt as f64 / (2 * called) as f64)
+        }
+    }
+
+    /// Per-site flag: is the *alternate* allele the minor one? (`false`
+    /// means the reference allele is rarer and becomes the encoded "minor"
+    /// allele — paper Fig. 2 encodes minor-allele presence, not alt-allele
+    /// presence). Sites with no calls default to `true`.
+    pub fn alt_is_minor(&self) -> Vec<bool> {
+        (0..self.sites)
+            .map(|v| self.alt_frequency(v).is_none_or(|f| f <= 0.5))
+            .collect()
+    }
+
+    /// Dominant binarization: bit = sample carries ≥ 1 *minor* allele.
+    /// This is the encoding the comparison algorithms consume (Fig. 2).
+    pub fn to_presence_bits(&self, policy: MissingPolicy) -> BitMatrix<u64> {
+        let minor_is_alt = self.alt_is_minor();
+        BitMatrix::from_fn(self.samples, self.sites, |s, v| {
+            match self.get(s, v).alt_count() {
+                None => policy == MissingPolicy::AsMinor,
+                Some(alt) => {
+                    let minor_copies = if minor_is_alt[v] { alt } else { 2 - alt };
+                    minor_copies >= 1
+                }
+            }
+        })
+    }
+
+    /// Recessive binarization: bit = sample is homozygous for the minor
+    /// allele.
+    pub fn to_recessive_bits(&self, policy: MissingPolicy) -> BitMatrix<u64> {
+        let minor_is_alt = self.alt_is_minor();
+        BitMatrix::from_fn(self.samples, self.sites, |s, v| {
+            match self.get(s, v).alt_count() {
+                None => policy == MissingPolicy::AsMinor,
+                Some(alt) => {
+                    let minor_copies = if minor_is_alt[v] { alt } else { 2 - alt };
+                    minor_copies == 2
+                }
+            }
+        })
+    }
+
+    /// Haplotype expansion: each sample becomes two rows; a heterozygote
+    /// sets the minor bit on exactly one of them. (Phase is not modeled —
+    /// the first haplotype carries the het minor allele — which leaves all
+    /// per-site allele counts exact.)
+    pub fn to_haplotype_bits(&self, policy: MissingPolicy) -> BitMatrix<u64> {
+        let minor_is_alt = self.alt_is_minor();
+        BitMatrix::from_fn(self.samples * 2, self.sites, |row, v| {
+            let (s, hap) = (row / 2, row % 2);
+            match self.get(s, v).alt_count() {
+                None => policy == MissingPolicy::AsMinor,
+                Some(alt) => {
+                    let minor_copies = if minor_is_alt[v] { alt } else { 2 - alt };
+                    match minor_copies {
+                        0 => false,
+                        1 => hap == 0,
+                        _ => true,
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Generates diploid genotypes under Hardy–Weinberg equilibrium from
+/// per-site alternate-allele frequencies, with a uniform missing rate.
+pub fn generate_hwe(
+    samples: usize,
+    alt_freq: &[f64],
+    missing_rate: f64,
+    seed: u64,
+) -> GenotypeMatrix {
+    assert!((0.0..1.0).contains(&missing_rate));
+    for (i, &p) in alt_freq.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&p), "site {i}: bad frequency {p}");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    GenotypeMatrix::from_fn(samples, alt_freq.len(), |_, v| {
+        if missing_rate > 0.0 && rng.random_bool(missing_rate) {
+            return Genotype::Missing;
+        }
+        let p = alt_freq[v];
+        let u: f64 = rng.random();
+        // HWE: P(HomAlt) = p², P(Het) = 2p(1-p), P(HomRef) = (1-p)².
+        if u < p * p {
+            Genotype::HomAlt
+        } else if u < p * p + 2.0 * p * (1.0 - p) {
+            Genotype::Het
+        } else {
+            Genotype::HomRef
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GenotypeMatrix {
+        // 3 samples x 4 sites.
+        let calls = [
+            [Genotype::HomRef, Genotype::Het, Genotype::HomAlt, Genotype::Missing],
+            [Genotype::Het, Genotype::HomAlt, Genotype::HomAlt, Genotype::HomRef],
+            [Genotype::HomRef, Genotype::HomAlt, Genotype::HomAlt, Genotype::Het],
+        ];
+        GenotypeMatrix::from_fn(3, 4, |s, v| calls[s][v])
+    }
+
+    #[test]
+    fn accessors_and_frequencies() {
+        let g = tiny();
+        assert_eq!(g.samples(), 3);
+        assert_eq!(g.sites(), 4);
+        assert_eq!(g.get(0, 3), Genotype::Missing);
+        assert_eq!(g.get(1, 1), Genotype::HomAlt);
+        // Site 0: dosages 0,1,0 over 3 samples -> alt freq 1/6.
+        assert!((g.alt_frequency(0).unwrap() - 1.0 / 6.0).abs() < 1e-12);
+        // Site 3: dosages missing,0,1 over 2 called -> 1/4; call rate 2/3.
+        assert!((g.alt_frequency(3).unwrap() - 0.25).abs() < 1e-12);
+        assert!((g.call_rate(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.call_rate(0), 1.0);
+    }
+
+    #[test]
+    fn minor_allele_flips_when_alt_is_common() {
+        let g = tiny();
+        let flags = g.alt_is_minor();
+        assert!(flags[0], "site 0: alt rare");
+        // Site 2: all HomAlt -> alt freq 1.0 -> REF is the minor allele.
+        assert!(!flags[2]);
+    }
+
+    #[test]
+    fn dominant_encoding_counts_minor_presence() {
+        let g = tiny();
+        let bits = g.to_presence_bits(MissingPolicy::AsMajor);
+        assert_eq!(bits.rows(), 3);
+        // Site 0 (alt minor): Het sample 1 only.
+        assert!(!bits.get(0, 0) && bits.get(1, 0) && !bits.get(2, 0));
+        // Site 2 (REF minor, everyone HomAlt = 0 minor copies): all zero.
+        assert!(!bits.get(0, 2) && !bits.get(1, 2) && !bits.get(2, 2));
+        // Missing as major: sample 0 site 3 cleared.
+        assert!(!bits.get(0, 3));
+        let bits_minor = g.to_presence_bits(MissingPolicy::AsMinor);
+        assert!(bits_minor.get(0, 3));
+    }
+
+    #[test]
+    fn recessive_encoding_requires_two_copies() {
+        let g = tiny();
+        let bits = g.to_recessive_bits(MissingPolicy::AsMajor);
+        // Site 1 (alt freq 5/6 -> REF minor): HomAlt = 0 REF copies -> false;
+        // Het = 1 -> false; so nothing set at site 1.
+        assert!(!bits.get(1, 1) && !bits.get(0, 1));
+        // Site 0: only a Het; recessive needs 2 copies.
+        assert!(!bits.get(1, 0));
+    }
+
+    #[test]
+    fn haplotype_expansion_preserves_allele_counts() {
+        let g = tiny();
+        let hap = g.to_haplotype_bits(MissingPolicy::AsMajor);
+        assert_eq!(hap.rows(), 6);
+        let minor_is_alt = g.alt_is_minor();
+        for (v, &alt_minor) in minor_is_alt.iter().enumerate() {
+            let hap_count: u32 = (0..6).map(|r| hap.get(r, v) as u32).sum();
+            let expect: u32 = (0..3)
+                .filter_map(|s| g.get(s, v).alt_count())
+                .map(|alt| if alt_minor { alt as u32 } else { 2 - alt as u32 })
+                .sum();
+            assert_eq!(hap_count, expect, "site {v}");
+        }
+    }
+
+    #[test]
+    fn hwe_generator_matches_expected_frequencies() {
+        let freqs = vec![0.1, 0.3, 0.5];
+        let g = generate_hwe(20_000, &freqs, 0.0, 33);
+        for (v, &p) in freqs.iter().enumerate() {
+            let got = g.alt_frequency(v).unwrap();
+            assert!((got - p).abs() < 0.01, "site {v}: {got} vs {p}");
+            // Het fraction ≈ 2p(1-p).
+            let hets = (0..20_000).filter(|&s| g.get(s, v) == Genotype::Het).count();
+            let expect = 2.0 * p * (1.0 - p);
+            assert!((hets as f64 / 20_000.0 - expect).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn hwe_missing_rate_respected() {
+        let g = generate_hwe(5_000, &[0.2, 0.4], 0.1, 7);
+        for v in 0..2 {
+            assert!((g.call_rate(v) - 0.9).abs() < 0.02);
+        }
+        assert_eq!(generate_hwe(10, &[0.2], 0.0, 1).call_rate(0), 1.0);
+    }
+
+    #[test]
+    fn dosage_parsing() {
+        assert_eq!(Genotype::from_dosage(0), Some(Genotype::HomRef));
+        assert_eq!(Genotype::from_dosage(2), Some(Genotype::HomAlt));
+        assert_eq!(Genotype::from_dosage(3), None);
+        assert_eq!(Genotype::Missing.alt_count(), None);
+    }
+
+    #[test]
+    fn encodings_feed_the_comparison_stack() {
+        // The encoded matrix goes straight into a popcount comparison.
+        use snp_bitmat::{reference_gamma_self, CompareOp};
+        let g = generate_hwe(64, &vec![0.25; 128], 0.02, 9);
+        let bits = g.to_presence_bits(MissingPolicy::AsMajor);
+        let gamma = reference_gamma_self(&bits, CompareOp::And);
+        assert_eq!(gamma.rows(), 64);
+        // Diagonal equals each sample's minor-allele site count.
+        for s in 0..64 {
+            let ones: u32 = bits.row(s).iter().map(|w| w.count_ones()).sum();
+            assert_eq!(gamma.get(s, s), ones);
+        }
+    }
+}

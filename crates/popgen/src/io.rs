@@ -1,0 +1,138 @@
+//! Minimal text serialization of SNP matrices.
+//!
+//! A deliberately simple interchange format for the examples and for
+//! inspecting generated workloads: one profile per line, `0`/`1` per site,
+//! `#`-prefixed comment lines ignored. (Real deployments would parse
+//! VCF/PLINK; the computation only ever sees packed bits, so the format is
+//! orthogonal to everything else in the workspace.)
+
+use std::io::{BufRead, Write};
+
+use snp_bitmat::BitMatrix;
+
+/// Errors from parsing the text format.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line contained a character other than `0`/`1`.
+    BadCharacter {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A line's length differed from the first line's.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Its length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadCharacter { line, ch } => {
+                write!(f, "line {line}: unexpected character {ch:?} (expected '0' or '1')")
+            }
+            ParseError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} sites but previous rows had {expected}")
+            }
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Writes `m` as text: one `0`/`1` row per line.
+pub fn write_matrix<W: Write>(out: &mut W, m: &BitMatrix<u64>) -> std::io::Result<()> {
+    let mut line = String::with_capacity(m.cols() + 1);
+    for r in 0..m.rows() {
+        line.clear();
+        for c in 0..m.cols() {
+            line.push(if m.get(r, c) { '1' } else { '0' });
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Parses the text format back into a matrix. Blank and `#` lines are
+/// skipped; an empty input produces a `0 × 0` matrix.
+pub fn read_matrix<R: BufRead>(input: R) -> Result<BitMatrix<u64>, ParseError> {
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    let mut expected = None;
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| ParseError::Io(e.to_string()))?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::with_capacity(trimmed.len());
+        for ch in trimmed.chars() {
+            match ch {
+                '0' => row.push(false),
+                '1' => row.push(true),
+                other => return Err(ParseError::BadCharacter { line: line_no, ch: other }),
+            }
+        }
+        if let Some(e) = expected {
+            if row.len() != e {
+                return Err(ParseError::RaggedRow { line: line_no, got: row.len(), expected: e });
+            }
+        } else {
+            expected = Some(row.len());
+        }
+        rows.push(row);
+    }
+    Ok(BitMatrix::from_bool_rows(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::random_dense;
+
+    #[test]
+    fn roundtrip() {
+        let m = random_dense(9, 75, 4);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let back = read_matrix(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n101\n# mid\n010\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert!(m.get(0, 0) && !m.get(1, 0) && m.get(1, 1));
+    }
+
+    #[test]
+    fn bad_character_reported_with_line() {
+        let err = read_matrix("101\n1x1\n".as_bytes()).unwrap_err();
+        assert_eq!(err, ParseError::BadCharacter { line: 2, ch: 'x' });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = read_matrix("101\n10\n".as_bytes()).unwrap_err();
+        assert_eq!(err, ParseError::RaggedRow { line: 2, got: 2, expected: 3 });
+    }
+
+    #[test]
+    fn empty_input_is_empty_matrix() {
+        let m = read_matrix("".as_bytes()).unwrap();
+        assert_eq!((m.rows(), m.cols()), (0, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Dense-vs-sparse cost model and density crossover.
+//!
+//! Per output element, the dense kernel spends one word-op per packed word
+//! (`k_bits / w` word-ops regardless of content), while the sparse merge
+//! visits every stored index of both rows (`≈ 2·d·k_bits` comparisons at
+//! density `d`). Equating the two predicts a crossover density of roughly
+//! `w⁻¹ · (cost ratio)` — below it, sparse wins; above it, dense does. The
+//! `ablation_sparse` bench measures the empirical crossover on the host.
+
+/// Cost-model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Bits per dense word (64 on the CPU engine).
+    pub word_bits: u32,
+    /// Relative cost of one sparse merge step vs one dense word-op
+    /// (branchy merges are several times slower than AND+POPCNT).
+    pub merge_step_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { word_bits: 64, merge_step_cost: 4.0 }
+    }
+}
+
+/// Dense cost of one output element, in word-op units, for `k_bits` sites.
+pub fn dense_cost_words(k_bits: usize, word_bits: u32) -> f64 {
+    k_bits.div_ceil(word_bits as usize) as f64
+}
+
+/// Sparse cost of one output element at density `d`, in word-op units.
+pub fn sparse_cost_entries(k_bits: usize, density: f64, model: &CostModel) -> f64 {
+    2.0 * density * k_bits as f64 * model.merge_step_cost
+}
+
+/// The density below which the sparse representation is predicted cheaper.
+pub fn crossover_density(model: &CostModel) -> f64 {
+    // dense = k/w; sparse = 2·d·k·c  =>  d* = 1 / (2·c·w)
+    1.0 / (2.0 * model.merge_step_cost * model.word_bits as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cost_rounds_words_up() {
+        assert_eq!(dense_cost_words(64, 64), 1.0);
+        assert_eq!(dense_cost_words(65, 64), 2.0);
+        assert_eq!(dense_cost_words(1024, 32), 32.0);
+    }
+
+    #[test]
+    fn crossover_is_consistent() {
+        let m = CostModel::default();
+        let d = crossover_density(&m);
+        let k = 64 * 100;
+        let dense = dense_cost_words(k, m.word_bits);
+        let sparse_at = sparse_cost_entries(k, d, &m);
+        assert!((dense - sparse_at).abs() / dense < 1e-9, "costs equal at the crossover");
+        assert!(sparse_cost_entries(k, d / 2.0, &m) < dense);
+        assert!(sparse_cost_entries(k, d * 2.0, &m) > dense);
+    }
+
+    #[test]
+    fn default_crossover_is_rare_allele_regime() {
+        // 1/(2·4·64) ≈ 0.002: sparse pays off only for very rare minor
+        // alleles — consistent with the paper listing it as future work
+        // rather than the default representation.
+        let d = crossover_density(&CostModel::default());
+        assert!(d > 0.0005 && d < 0.01, "got {d}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # snp-sparse — sparse SNP representations (the paper's future work)
+//!
+//! "This approach represents SNP strings as dense bitvectors, but a typical
+//! DNA sample is expected to contain mostly major alleles. This suggests
+//! that sparse representations of the SNP strings may be beneficial."
+//! (paper §VII.)
+//!
+//! This crate implements that extension: a coordinate (index-list) matrix,
+//! exact sparse comparison kernels for all three operators, and a cost model
+//! locating the density crossover against the dense popcount-GEMM. The
+//! `ablation_sparse` bench regenerates the crossover empirically.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod matrix;
+pub mod ops;
+
+pub use cost::{crossover_density, dense_cost_words, sparse_cost_entries, CostModel};
+pub use matrix::SparseBitMatrix;
+pub use ops::{sparse_gamma, sparse_row_count};

@@ -1,0 +1,138 @@
+//! Coordinate-format sparse SNP matrices.
+
+use snp_bitmat::{BitMatrix, Word};
+
+/// A sparse binary matrix: per row, the sorted positions of set bits
+/// (minor-allele sites).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBitMatrix {
+    rows: Vec<Vec<u32>>,
+    cols: usize,
+}
+
+impl SparseBitMatrix {
+    /// Builds from explicit index lists; each list is sorted and deduplicated.
+    pub fn from_indices(mut rows: Vec<Vec<u32>>, cols: usize) -> Self {
+        for (i, r) in rows.iter_mut().enumerate() {
+            r.sort_unstable();
+            r.dedup();
+            if let Some(&last) = r.last() {
+                assert!((last as usize) < cols, "row {i}: index {last} out of {cols} columns");
+            }
+        }
+        SparseBitMatrix { rows, cols }
+    }
+
+    /// Converts a packed dense matrix to sparse form.
+    pub fn from_dense<W: Word>(m: &BitMatrix<W>) -> Self {
+        let mut rows = Vec::with_capacity(m.rows());
+        for r in 0..m.rows() {
+            let mut idx = Vec::new();
+            for (w, &word) in m.row(r).iter().enumerate() {
+                let mut bits = word.to_u64();
+                // u64 conversion holds all bits for W in {u8,...,u64}.
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    idx.push((w * W::BITS as usize) as u32 + b);
+                    bits &= bits - 1;
+                }
+            }
+            rows.push(idx);
+        }
+        SparseBitMatrix { rows, cols: m.cols() }
+    }
+
+    /// Converts back to a packed dense matrix.
+    pub fn to_dense(&self) -> BitMatrix<u64> {
+        let mut m = BitMatrix::zeros(self.rows.len(), self.cols);
+        for (r, idx) in self.rows.iter().enumerate() {
+            for &c in idx {
+                m.set(r, c as usize, true);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of logical bit columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sorted set-bit positions of row `r`.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.rows[r]
+    }
+
+    /// Total stored entries (set bits).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of bits set.
+    pub fn density(&self) -> f64 {
+        let total = self.rows.len() * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Bytes of index storage (4 bytes per entry) — the transfer payload a
+    /// sparse device pipeline would move.
+    pub fn payload_bytes(&self) -> usize {
+        self.nnz() * 4 + self.rows.len() * 8 // entries + per-row offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_sample() -> BitMatrix<u64> {
+        BitMatrix::from_fn(6, 200, |r, c| (r * 17 + c * 5) % 13 == 0)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = dense_sample();
+        let s = SparseBitMatrix::from_dense(&d);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.cols(), 200);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz() as u64, d.count_ones());
+        assert!((s.density() - d.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_unique() {
+        let s = SparseBitMatrix::from_indices(vec![vec![5, 1, 5, 3]], 10);
+        assert_eq!(s.row(0), &[1, 3, 5]);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_index_rejected() {
+        let _ = SparseBitMatrix::from_indices(vec![vec![10]], 10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = SparseBitMatrix::from_indices(vec![], 0);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn payload_counts_entries_and_offsets() {
+        let s = SparseBitMatrix::from_indices(vec![vec![1, 2], vec![3]], 10);
+        assert_eq!(s.payload_bytes(), 3 * 4 + 2 * 8);
+    }
+}

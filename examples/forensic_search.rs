@@ -1,0 +1,87 @@
+//! Forensic identity search at scale: build an NDIS-like database slice,
+//! search planted suspects with FastID (XOR + popcount), and compare the
+//! portable framework across all three simulated GPUs — including the pass
+//! planner chunking the database on the memory-constrained GTX 980.
+//!
+//! ```text
+//! cargo run --release --example forensic_search
+//! ```
+
+use snp_repro::core::{EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
+use snp_repro::gpu_model::devices;
+use snp_repro::popgen::forensic::{generate_database, generate_queries, DatabaseConfig};
+
+fn main() {
+    // A functional-scale database (the timing-only NDIS-scale sweep lives in
+    // `cargo run -p snp-bench --bin fig8_fastid`).
+    let db = generate_database(
+        &DatabaseConfig { profiles: 50_000, snps: 512, ..Default::default() },
+        1234,
+    );
+    let queries = generate_queries(&db, 32, 24, 0.01, 99);
+    println!(
+        "database: {} profiles x {} SNPs; queries: 32 (24 planted with 1% genotyping noise)",
+        db.profiles.rows(),
+        db.profiles.cols()
+    );
+
+    for dev in devices::all_gpus() {
+        let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+            mode: ExecMode::Full,
+            double_buffer: true,
+            mixture: MixtureStrategy::Direct,
+        });
+        let run = engine.identity_search(&queries.queries, &db.profiles).expect("search");
+        let gamma = run.gamma.as_ref().unwrap();
+
+        // Score the search: every planted query must rank its source first.
+        let mut hits = 0;
+        let mut separations = Vec::new();
+        for (q, truth) in queries.truth.iter().enumerate() {
+            let best = gamma.argmin_in_row(q).unwrap();
+            if let Some(t) = truth {
+                if best == *t {
+                    hits += 1;
+                }
+                // Separation between the true match and the best impostor.
+                let true_score = gamma.get(q, *t);
+                let impostor = (0..db.profiles.rows())
+                    .filter(|&j| j != *t)
+                    .map(|j| gamma.get(q, j))
+                    .min()
+                    .unwrap();
+                separations.push(impostor as i64 - true_score as i64);
+            }
+        }
+        let min_sep = separations.iter().min().unwrap();
+        println!(
+            "\n{:<8} [{}]: {}/{} planted queries identified; min match-vs-impostor margin {} sites",
+            dev.name,
+            dev.microarchitecture,
+            hits,
+            24,
+            min_sep
+        );
+        println!(
+            "  config: m_c={} m_r={} k_c={} n_r={} grid={}x{}; {} pass(es)",
+            run.config.m_c,
+            run.config.m_r,
+            run.config.k_c,
+            run.config.n_r,
+            run.config.grid_m,
+            run.config.grid_n,
+            run.passes
+        );
+        println!(
+            "  modeled time: end-to-end {:.1} ms (kernel {:.2} ms, in {:.2} ms, out {:.2} ms); kernel rate {:.0} G word-ops/s",
+            run.timing.end_to_end_ns as f64 / 1e6,
+            run.timing.kernel_ns as f64 / 1e6,
+            run.timing.transfer_in_ns as f64 / 1e6,
+            run.timing.transfer_out_ns as f64 / 1e6,
+            run.kernel_word_ops_per_sec / 1e9
+        );
+        assert_eq!(hits, 24, "{}: all planted queries must be identified", dev.name);
+    }
+    println!("\nAll three devices produced identical, correct match tables — the point of a");
+    println!("portable framework: one algorithm, per-device configuration headers.");
+}

@@ -1,0 +1,88 @@
+//! Quickstart: run all three SNP comparisons on a simulated GPU and verify
+//! them against the scalar reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snp_repro::bitmat::{reference_gamma, CompareOp};
+use snp_repro::core::{Algorithm, GpuEngine};
+use snp_repro::gpu_model::devices;
+use snp_repro::popgen::forensic::{generate_database, generate_mixtures, generate_queries, DatabaseConfig};
+
+fn main() {
+    // 1. Generate a small forensic panel: 2 000 reference profiles over 512
+    //    SNP sites, with an ascertained allele-frequency spectrum.
+    let db = generate_database(
+        &DatabaseConfig { profiles: 2_000, snps: 512, ..Default::default() },
+        42,
+    );
+    println!(
+        "database: {} profiles x {} SNPs, minor-allele density {:.3}",
+        db.profiles.rows(),
+        db.profiles.cols(),
+        db.profiles.density()
+    );
+
+    // 2. Open a simulated Titan V through the portable framework. The same
+    //    code runs on any modeled device — only the configuration header
+    //    changes (see the `gpu_portability` example).
+    let engine = GpuEngine::new(devices::titan_v());
+    println!("device:   {} ({})", engine.spec().name, engine.spec().microarchitecture);
+
+    // 3. Identity search: 8 queries, 6 of them noisy copies of database
+    //    profiles (ground truth known), 2 random non-members.
+    let queries = generate_queries(&db, 8, 6, 0.01, 7);
+    let run = engine.identity_search(&queries.queries, &db.profiles).expect("identity search");
+    let gamma = run.gamma.as_ref().expect("full mode");
+    println!("\nidentity search (γ = popcount(query XOR profile); 0 = exact match):");
+    for (q, truth) in queries.truth.iter().enumerate() {
+        let best = gamma.argmin_in_row(q).unwrap();
+        let score = gamma.get(q, best);
+        match truth {
+            Some(t) => println!(
+                "  query {q}: best match profile {best} with {score} differing sites (planted: {t}) {}",
+                if best == *t { "[correct]" } else { "[MISS]" }
+            ),
+            None => println!("  query {q}: best match {best} at {score} differences (non-member)"),
+        }
+    }
+    println!(
+        "timing: end-to-end {:.2} ms (init {:.0} ms, kernels {:.3} ms, {} pass(es))",
+        run.timing.end_to_end_ns as f64 / 1e6,
+        run.timing.init_ns as f64 / 1e6,
+        run.timing.kernel_ns as f64 / 1e6,
+        run.passes
+    );
+
+    // 4. Mixture analysis: which database profiles contributed to a 3-person
+    //    DNA mixture? γ = popcount(r AND NOT m) == 0 for true contributors.
+    let (mixtures, mixture_matrix) = generate_mixtures(&db, 1, 3, 11);
+    let run = engine.mixture_analysis(&db.profiles, &mixture_matrix).expect("mixture analysis");
+    let gamma = run.gamma.as_ref().unwrap();
+    let mut included: Vec<usize> =
+        (0..db.profiles.rows()).filter(|&r| gamma.get(r, 0) == 0).collect();
+    included.sort_unstable();
+    let mut expected = mixtures[0].contributors.clone();
+    expected.sort_unstable();
+    println!("\nmixture analysis: contributors found {included:?}, planted {expected:?}");
+    assert!(
+        expected.iter().all(|c| included.contains(c)),
+        "every planted contributor must be recovered"
+    );
+
+    // 5. Linkage disequilibrium on a slice of the panel (transposed view of
+    //    the problem: rows = SNPs would be the usual LD layout; here we
+    //    simply self-compare profiles to exercise the AND kernel) — and
+    //    verify every γ value against the scalar reference implementation.
+    let slice = db.profiles.row_slice(0, 128);
+    let run = engine.ld_self(&slice).expect("LD");
+    let want = reference_gamma(&slice, &slice, CompareOp::And);
+    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None, "bit-exact vs reference");
+    println!("\nLD self-comparison of 128 profiles verified bit-exact against the reference.");
+    println!("algorithms exercised: {:?}", [
+        Algorithm::IdentitySearch,
+        Algorithm::MixtureAnalysis,
+        Algorithm::LinkageDisequilibrium
+    ]);
+}

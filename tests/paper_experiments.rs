@@ -1,0 +1,193 @@
+//! Executable assertions of the paper's headline results: each test runs a
+//! reduced version of the corresponding bench binary's sweep and checks the
+//! reported *shape* (who wins, by what factor, where crossovers fall).
+//! EXPERIMENTS.md records the full-size paper-vs-measured numbers.
+
+use snp_repro::bitmat::{BitMatrix, CompareOp};
+use snp_repro::core::{
+    config_for, Algorithm, CpuModel, EngineOptions, ExecMode, GpuEngine, KernelPlan,
+    MixtureStrategy,
+};
+use snp_repro::gpu_model::config::ProblemShape;
+use snp_repro::gpu_model::peak::peak;
+use snp_repro::gpu_model::{devices, WordOpKind};
+
+fn timing_only() -> EngineOptions {
+    EngineOptions {
+        mode: ExecMode::TimingOnly,
+        double_buffer: true,
+        mixture: MixtureStrategy::Direct,
+    }
+}
+
+fn ld_kernel_fraction_of_peak(dev: &snp_repro::gpu_model::DeviceSpec, snps: usize, strings: usize) -> f64 {
+    let k_words = strings.div_ceil(32);
+    let cfg = config_for(dev, Algorithm::LinkageDisequilibrium, ProblemShape { m: snps, n: snps, k_words });
+    let plan = KernelPlan::new(dev, &cfg, CompareOp::And, snps, snps, k_words);
+    let tput = plan.achieved_word_ops_per_sec(plan.time(dev).total_ns);
+    tput / peak(dev, WordOpKind::And).word_ops_per_sec
+}
+
+/// Fig. 5: achieved fraction of peak at the maximum tile, per device.
+#[test]
+fn fig5_achieved_fractions_match_paper() {
+    let cases = [
+        (devices::gtx_980(), 15_360usize, 12_256usize, 0.907),
+        (devices::titan_v(), 25_600, 12_256, 0.971),
+        (devices::vega_64(), 40_960, 16_384, 0.549),
+    ];
+    for (dev, snps, strings, paper) in cases {
+        let got = ld_kernel_fraction_of_peak(&dev, snps, strings);
+        assert!(
+            (got - paper).abs() < 0.02,
+            "{}: achieved {got:.3} of peak, paper reports {paper}",
+            dev.name
+        );
+    }
+}
+
+/// Fig. 5: throughput grows with the number of SNP strings.
+#[test]
+fn fig5_throughput_rises_with_strings() {
+    for dev in devices::all_gpus() {
+        let lo = ld_kernel_fraction_of_peak(&dev, 8_192, 256);
+        let hi = ld_kernel_fraction_of_peak(&dev, 8_192, 8_192);
+        assert!(hi > lo, "{}: more strings must mean more reuse ({lo:.3} -> {hi:.3})", dev.name);
+    }
+}
+
+/// Fig. 6: end-to-end crossover against the modeled CPU — GPUs lose small,
+/// win big, within the paper's 1.47x–7.77x envelope at the top end.
+#[test]
+fn fig6_crossover_and_speedup_band() {
+    let cpu = CpuModel::ivy_bridge_workstation();
+    let snps = 10_000usize;
+    let speedup = |dev: &snp_repro::gpu_model::DeviceSpec, sequences: usize| -> f64 {
+        let panel = BitMatrix::<u64>::zeros(snps, sequences);
+        let run = GpuEngine::new(dev.clone())
+            .with_options(timing_only())
+            .ld_self(&panel)
+            .unwrap();
+        cpu.time_ns_for_bits(WordOpKind::And, snps, snps, sequences)
+            / run.timing.end_to_end_ns as f64
+    };
+    for dev in devices::all_gpus() {
+        assert!(
+            speedup(&dev, 1_000) < 1.0,
+            "{}: initialization must dominate small problems",
+            dev.name
+        );
+    }
+    let titan_max = speedup(&devices::titan_v(), 25_000);
+    assert!(
+        (5.0..=7.77).contains(&titan_max),
+        "Titan V top-end speedup {titan_max:.2} outside the paper's band"
+    );
+    let gtx_cross = speedup(&devices::gtx_980(), 5_000);
+    assert!(
+        (1.0..=2.5).contains(&gtx_cross),
+        "GTX 980 just past crossover should be modestly faster, got {gtx_cross:.2}"
+    );
+}
+
+/// Fig. 7: scalability shapes per device.
+#[test]
+fn fig7_scalability_shapes() {
+    let per_core_rel = |dev: &snp_repro::gpu_model::DeviceSpec, cores: u32| -> f64 {
+        let k_words = config_for(
+            dev,
+            Algorithm::LinkageDisequilibrium,
+            ProblemShape { m: 4096, n: 4096, k_words: 512 },
+        )
+        .k_c;
+        let mut cfg = config_for(
+            dev,
+            Algorithm::LinkageDisequilibrium,
+            ProblemShape { m: 32, n: cores as usize * 16 * 1024, k_words },
+        );
+        cfg.grid_m = 1;
+        cfg.grid_n = cores;
+        let n_total = cores as usize * 16 * cfg.n_r;
+        let plan = KernelPlan::new(dev, &cfg, CompareOp::And, cfg.m_c, n_total, k_words);
+        plan.achieved_word_ops_per_sec(plan.time(dev).total_ns) / cores as f64
+    };
+    let rel = |dev: &snp_repro::gpu_model::DeviceSpec, cores: u32| {
+        per_core_rel(dev, cores) / per_core_rel(dev, 1)
+    };
+    // Titan V: "scales almost perfectly".
+    assert!(rel(&devices::titan_v(), 80) > 0.95);
+    // GTX 980: "about 90% efficiency when using all 16 cores".
+    let g = rel(&devices::gtx_980(), 16);
+    assert!((0.85..=0.95).contains(&g), "GTX 980 at 16 cores: {g:.3}");
+    // Vega 64: flat to 8 cores, collapsing beyond.
+    let vega = devices::vega_64();
+    assert!(rel(&vega, 8) > 0.99);
+    assert!(rel(&vega, 16) < 0.90, "the drop must begin past 8 cores");
+    let v64 = rel(&vega, 64);
+    assert!((0.45..=0.65).contains(&v64), "Vega at 64 cores: {v64:.3}");
+}
+
+/// Fig. 8: NDIS-scale FastID finishes in ~seconds; time grows with SNP
+/// count; memory-constrained devices need more passes.
+#[test]
+fn fig8_fastid_shape() {
+    let queries = BitMatrix::<u64>::zeros(32, 1024);
+    let database = BitMatrix::<u64>::zeros(20_971_520, 1024);
+    let mut times = Vec::new();
+    for dev in devices::all_gpus() {
+        let run = GpuEngine::new(dev.clone())
+            .with_options(timing_only())
+            .identity_search(&queries, &database)
+            .unwrap();
+        assert!(
+            run.timing.end_to_end_ns < 5_000_000_000,
+            "{}: >20M-profile search should take seconds, got {} ns",
+            dev.name,
+            run.timing.end_to_end_ns
+        );
+        times.push((dev.name.clone(), run.passes));
+    }
+    let gtx_passes = times.iter().find(|(n, _)| n == "GTX 980").unwrap().1;
+    let titan_passes = times.iter().find(|(n, _)| n == "Titan V").unwrap().1;
+    assert!(
+        gtx_passes > titan_passes,
+        "the 0.983 GiB allocation limit must force more passes on the GTX 980"
+    );
+    // SNP growth.
+    let small = BitMatrix::<u64>::zeros(20_971_520, 128);
+    let dev = devices::titan_v();
+    let t_small = GpuEngine::new(dev.clone())
+        .with_options(timing_only())
+        .identity_search(&BitMatrix::<u64>::zeros(32, 128), &small)
+        .unwrap()
+        .timing
+        .end_to_end_ns;
+    let t_big = GpuEngine::new(dev)
+        .with_options(timing_only())
+        .identity_search(&queries, &database)
+        .unwrap()
+        .timing
+        .end_to_end_ns;
+    assert!(t_big > t_small, "8x the SNPs must cost more end to end");
+}
+
+/// Fig. 9: AND vs AND-NOT on one core.
+#[test]
+fn fig9_andnot_ratios() {
+    for dev in devices::all_gpus() {
+        let k = 512usize;
+        let mut cfg = config_for(&dev, Algorithm::MixtureAnalysis, ProblemShape { m: 32, n: 16_384, k_words: k });
+        cfg.grid_m = 1;
+        cfg.grid_n = 1;
+        let tput = |op: CompareOp| {
+            let plan = KernelPlan::new(&dev, &cfg, op, cfg.m_c, 16 * cfg.n_r, k);
+            plan.achieved_word_ops_per_sec(plan.time(&dev).total_ns)
+        };
+        let ratio = tput(CompareOp::AndNot) / tput(CompareOp::And);
+        if dev.fused_andnot {
+            assert!((ratio - 1.0).abs() < 1e-9, "{}: fused must be free, ratio {ratio}", dev.name);
+        } else {
+            assert!((0.6..0.75).contains(&ratio), "{}: explicit NOT ratio {ratio:.3}", dev.name);
+        }
+    }
+}
