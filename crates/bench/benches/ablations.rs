@@ -39,7 +39,13 @@ fn bench_sparse_crossover(c: &mut Criterion) {
         let sb = SparseBitMatrix::from_dense(&b);
         g.throughput(Throughput::Elements((rows * rows) as u64));
         g.bench_with_input(BenchmarkId::new("dense", density_pct), &(), |bench, _| {
-            bench.iter(|| black_box(reference_gamma(black_box(&a), black_box(&b), CompareOp::And)))
+            bench.iter(|| {
+                black_box(reference_gamma(
+                    black_box(&a),
+                    black_box(&b),
+                    CompareOp::And,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("sparse", density_pct), &(), |bench, _| {
             bench.iter(|| black_box(sparse_gamma(CompareOp::And, black_box(&sa), black_box(&sb))))
@@ -55,7 +61,13 @@ fn bench_blocking_ablation(c: &mut Criterion) {
     g.sample_size(10);
     let a = generate_independent(384, 8192, 0.3, 5);
     g.bench_function("naive_reference", |bench| {
-        bench.iter(|| black_box(reference_gamma(black_box(&a), black_box(&a), CompareOp::And)))
+        bench.iter(|| {
+            black_box(reference_gamma(
+                black_box(&a),
+                black_box(&a),
+                CompareOp::And,
+            ))
+        })
     });
     g.bench_function("blis_sequential", |bench| {
         let e = CpuEngine::sequential();
@@ -68,5 +80,10 @@ fn bench_blocking_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prenegate, bench_sparse_crossover, bench_blocking_ablation);
+criterion_group!(
+    benches,
+    bench_prenegate,
+    bench_sparse_crossover,
+    bench_blocking_ablation
+);
 criterion_main!(benches);

@@ -25,9 +25,11 @@ fn bench_pack(c: &mut Criterion) {
     let m = random_dense(512, 64 * 512, 3);
     g.throughput(Throughput::Bytes(m.payload_bytes() as u64));
     for panel_rows in [4usize, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(panel_rows), &panel_rows, |bench, &pr| {
-            bench.iter(|| black_box(PackedPanels::pack_all(black_box(&m), pr)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(panel_rows),
+            &panel_rows,
+            |bench, &pr| bench.iter(|| black_box(PackedPanels::pack_all(black_box(&m), pr))),
+        );
     }
     g.finish();
 }
@@ -36,7 +38,9 @@ fn bench_negate_and_convert(c: &mut Criterion) {
     let mut g = c.benchmark_group("bitmat/transform");
     let m = random_dense(1024, 8192, 4);
     g.throughput(Throughput::Bytes(m.payload_bytes() as u64));
-    g.bench_function("negated", |bench| bench.iter(|| black_box(black_box(&m).negated())));
+    g.bench_function("negated", |bench| {
+        bench.iter(|| black_box(black_box(&m).negated()))
+    });
     g.bench_function("convert_u32", |bench| {
         bench.iter(|| black_box(black_box(&m).convert::<u32>()))
     });
@@ -46,7 +50,11 @@ fn bench_negate_and_convert(c: &mut Criterion) {
 fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("bitmat/construct");
     g.bench_function("from_fn_256x4096", |bench| {
-        bench.iter(|| black_box(BitMatrix::<u64>::from_fn(256, 4096, |r, c| (r + c) % 3 == 0)))
+        bench.iter(|| {
+            black_box(BitMatrix::<u64>::from_fn(256, 4096, |r, c| {
+                (r + c) % 3 == 0
+            }))
+        })
     });
     g.bench_function("random_dense_256x4096", |bench| {
         bench.iter(|| black_box(random_dense(256, 4096, 5)))
@@ -54,5 +62,11 @@ fn bench_construction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dot, bench_pack, bench_negate_and_convert, bench_construction);
+criterion_group!(
+    benches,
+    bench_dot,
+    bench_pack,
+    bench_negate_and_convert,
+    bench_construction
+);
 criterion_main!(benches);

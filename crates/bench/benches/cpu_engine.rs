@@ -2,10 +2,11 @@
 //! host machine: the runnable counterpart of the paper's \[11\] baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snp_bitmat::{CompareOp, PackedPanels};
+use snp_bitmat::{CompareOp, CountMatrix, PackedPanels};
 use snp_cpu::blocking::{MR, NR};
-use snp_cpu::microkernel::{microkernel, zero_tile};
-use snp_cpu::CpuEngine;
+use snp_cpu::microkernel::{microkernel, microkernel_scalar, zero_tile};
+use snp_cpu::parallel::gamma_parallel_into_scheduled;
+use snp_cpu::{CpuBlocking, CpuEngine, ParallelSchedule};
 use snp_popgen::random_dense;
 use std::hint::black_box;
 
@@ -21,14 +22,74 @@ fn bench_microkernel(c: &mut Criterion) {
     let pa = PackedPanels::pack_all(&a, MR);
     let pb = PackedPanels::pack_all(&b, NR);
     g.throughput(Throughput::Elements((MR * NR * pa.k()) as u64));
+    // Old (scalar, one popcount per word) vs new (Harley–Seal CSA) paths on
+    // identical panels — the PR's headline microkernel comparison.
     for op in CompareOp::ALL {
-        g.bench_function(BenchmarkId::from_parameter(op), |bench| {
+        g.bench_function(BenchmarkId::new("csa", op), |bench| {
             bench.iter(|| {
                 let mut acc = zero_tile();
-                microkernel(op, pa.k(), black_box(pa.panel(0)), black_box(pb.panel(0)), &mut acc);
+                microkernel(
+                    op,
+                    pa.k(),
+                    black_box(pa.panel(0)),
+                    black_box(pb.panel(0)),
+                    &mut acc,
+                );
                 black_box(acc)
             })
         });
+        g.bench_function(BenchmarkId::new("scalar", op), |bench| {
+            bench.iter(|| {
+                let mut acc = zero_tile();
+                microkernel_scalar(
+                    op,
+                    pa.k(),
+                    black_box(pa.panel(0)),
+                    black_box(pb.panel(0)),
+                    &mut acc,
+                );
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    // Row-block vs column-strip scheduling on the shape each was built for.
+    let mut g = c.benchmark_group("cpu/schedule");
+    g.sample_size(10);
+    let blocking = CpuBlocking::default_params();
+    let cases = [
+        (
+            "fastid_32xwide",
+            random_dense(32, 1024, 6),
+            random_dense(8192, 1024, 7),
+        ),
+        (
+            "ld_square",
+            random_dense(512, 1024, 8),
+            random_dense(512, 1024, 9),
+        ),
+    ];
+    for (name, a, b) in &cases {
+        g.throughput(Throughput::Elements(word_ops(a.rows(), b.rows(), 1024)));
+        for schedule in [ParallelSchedule::RowBlocks, ParallelSchedule::ColumnStrips] {
+            g.bench_function(BenchmarkId::new(*name, format!("{schedule:?}")), |bench| {
+                bench.iter(|| {
+                    let mut cmat = CountMatrix::zeros(a.rows(), b.rows());
+                    let stats = gamma_parallel_into_scheduled(
+                        black_box(a),
+                        black_box(b),
+                        CompareOp::Xor,
+                        &blocking,
+                        &mut cmat,
+                        schedule,
+                    );
+                    black_box((cmat, stats))
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -67,5 +128,11 @@ fn bench_engine_fastid_shape(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_microkernel, bench_engine_square, bench_engine_fastid_shape);
+criterion_group!(
+    benches,
+    bench_microkernel,
+    bench_schedules,
+    bench_engine_square,
+    bench_engine_fastid_shape
+);
 criterion_main!(benches);

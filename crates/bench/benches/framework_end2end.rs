@@ -3,8 +3,8 @@
 //! `execute_gamma`), and the pure planning/timing path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snp_core::{execute_gamma, Algorithm, EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
 use snp_bitmat::CompareOp;
+use snp_core::{execute_gamma, Algorithm, EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
 use snp_gpu_model::devices;
 use snp_popgen::random_dense;
 use std::hint::black_box;
@@ -15,10 +15,14 @@ fn bench_full_runs(c: &mut Criterion) {
     let panel = random_dense(512, 4096, 1);
     g.throughput(Throughput::Elements((512 * 512 * (4096 / 32)) as u64));
     for dev in devices::all_gpus() {
-        g.bench_with_input(BenchmarkId::from_parameter(&dev.name), &dev, |bench, dev| {
-            let engine = GpuEngine::new(dev.clone());
-            bench.iter(|| black_box(engine.ld_self(black_box(&panel)).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&dev.name),
+            &dev,
+            |bench, dev| {
+                let engine = GpuEngine::new(dev.clone());
+                bench.iter(|| black_box(engine.ld_self(black_box(&panel)).unwrap()))
+            },
+        );
     }
     g.finish();
 }
@@ -30,20 +34,28 @@ fn bench_timing_only(c: &mut Criterion) {
     let queries = random_dense(32, 1024, 2);
     let database_shape = snp_bitmat::BitMatrix::<u64>::zeros(2_000_000, 1024);
     for dev in devices::all_gpus() {
-        g.bench_with_input(BenchmarkId::from_parameter(&dev.name), &dev, |bench, dev| {
-            let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
-                mode: ExecMode::TimingOnly,
-                double_buffer: true,
-                mixture: MixtureStrategy::Direct,
-            });
-            bench.iter(|| {
-                black_box(
-                    engine
-                        .compare(black_box(&queries), black_box(&database_shape), Algorithm::IdentitySearch)
-                        .unwrap(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&dev.name),
+            &dev,
+            |bench, dev| {
+                let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+                    mode: ExecMode::TimingOnly,
+                    double_buffer: true,
+                    mixture: MixtureStrategy::Direct,
+                });
+                bench.iter(|| {
+                    black_box(
+                        engine
+                            .compare(
+                                black_box(&queries),
+                                black_box(&database_shape),
+                                Algorithm::IdentitySearch,
+                            )
+                            .unwrap(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -69,5 +81,10 @@ fn bench_execute_gamma(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_full_runs, bench_timing_only, bench_execute_gamma);
+criterion_group!(
+    benches,
+    bench_full_runs,
+    bench_timing_only,
+    bench_execute_gamma
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@ use snp_core::{config_for, tile_program, Algorithm, KernelPlan};
 use snp_gpu_model::config::ProblemShape;
 use snp_gpu_model::{devices, InstrClass};
 use snp_gpu_sim::host::{Gpu, KernelCost};
-use snp_gpu_sim::macro_engine::{estimate_core_cycles, Traffic};
+use snp_gpu_sim::macro_engine::{estimate_core_cycles, estimate_core_cycles_memo, Traffic};
 use snp_gpu_sim::{simulate_core, Program};
 use std::hint::black_box;
 
@@ -33,15 +33,34 @@ fn bench_macro_engine(c: &mut Criterion) {
     let cfg = config_for(
         &dev,
         Algorithm::LinkageDisequilibrium,
-        ProblemShape { m: 10_000, n: 10_000, k_words: 400 },
+        ProblemShape {
+            m: 10_000,
+            n: 10_000,
+            k_words: 400,
+        },
     );
     let prog = tile_program(&dev, &cfg, CompareOp::And, 400);
     g.bench_function("estimate_core_cycles", |bench| {
         bench.iter(|| black_box(estimate_core_cycles(&dev, black_box(&prog), 16)))
     });
+    // Warm-cache memoized estimate (every iteration after the first hits);
+    // compare against the unmemoized line above.
+    g.bench_function("estimate_core_cycles_memo", |bench| {
+        bench.iter(|| black_box(estimate_core_cycles_memo(&dev, black_box(&prog), 16)))
+    });
+    // KernelPlan::new is memoized internally: after the first plan for a
+    // (device, config, op, k) tuple, tile-program construction and the
+    // analytic estimate are both skipped.
     g.bench_function("kernel_plan", |bench| {
         bench.iter(|| {
-            black_box(KernelPlan::new(&dev, &cfg, CompareOp::And, 10_000, 10_000, 400))
+            black_box(KernelPlan::new(
+                &dev,
+                &cfg,
+                CompareOp::And,
+                10_000,
+                10_000,
+                400,
+            ))
         })
     });
     g.finish();
@@ -53,11 +72,16 @@ fn bench_host_api(c: &mut Criterion) {
         let gpu = Gpu::new(devices::gtx_980());
         let q = gpu.create_queue();
         let buf = gpu.create_buffer(1024).unwrap();
-        let cost =
-            KernelCost::Analytic { core_cycles: 1000.0, active_cores: 16, traffic: Traffic::default() };
+        let cost = KernelCost::Analytic {
+            core_cycles: 1000.0,
+            active_cores: 16,
+            traffic: Traffic::default(),
+        };
         bench.iter(|| {
             let ev = gpu
-                .enqueue_kernel(q, &cost, &[], buf, &[], |_, out| out[0] = out[0].wrapping_add(1))
+                .enqueue_kernel(q, &cost, &[], buf, &[], |_, out| {
+                    out[0] = out[0].wrapping_add(1)
+                })
                 .unwrap();
             black_box(gpu.event_profile(ev).unwrap())
         })
@@ -70,5 +94,10 @@ fn bench_host_api(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detailed_engine, bench_macro_engine, bench_host_api);
+criterion_group!(
+    benches,
+    bench_detailed_engine,
+    bench_macro_engine,
+    bench_host_api
+);
 criterion_main!(benches);

@@ -10,7 +10,12 @@ use snp_core::{
 use snp_gpu_model::config::ProblemShape;
 use snp_gpu_model::devices;
 
-fn one_core_throughput(dev: &snp_gpu_model::DeviceSpec, cfg: &snp_gpu_model::KernelConfig, op: CompareOp, k_words: usize) -> f64 {
+fn one_core_throughput(
+    dev: &snp_gpu_model::DeviceSpec,
+    cfg: &snp_gpu_model::KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+) -> f64 {
     let plan = KernelPlan::new(dev, cfg, op, cfg.m_c, 16 * cfg.n_r, k_words);
     plan.achieved_word_ops_per_sec(plan.time(dev).total_ns)
 }
@@ -28,7 +33,15 @@ fn ablation_prenegate() {
     let mut rows = Vec::new();
     for dev in devices::all_gpus() {
         let k = 512;
-        let mut cfg = config_for(&dev, Algorithm::MixtureAnalysis, ProblemShape { m: 32, n: 16_384, k_words: k });
+        let mut cfg = config_for(
+            &dev,
+            Algorithm::MixtureAnalysis,
+            ProblemShape {
+                m: 32,
+                n: 16_384,
+                k_words: k,
+            },
+        );
         cfg.grid_m = 1;
         cfg.grid_n = 1;
         let direct = one_core_throughput(&dev, &cfg, CompareOp::AndNot, k);
@@ -42,14 +55,24 @@ fn ablation_prenegate() {
     }
     print!(
         "{}",
-        render_table(&["device", "direct G w-ops/s", "pre-negated G w-ops/s", "gain"], &rows)
+        render_table(
+            &[
+                "device",
+                "direct G w-ops/s",
+                "pre-negated G w-ops/s",
+                "gain"
+            ],
+            &rows
+        )
     );
     println!("  Expected: ~0% on NVIDIA (fused LOP3), ~+50% on Vega (drops the VALU NOT).\n");
 }
 
 /// §VI-A-1 / §VI-E-2: double buffering on vs off, end to end.
 fn ablation_double_buffer() {
-    banner("Ablation: double buffering — end-to-end FastID, 32 queries x 20.97M profiles x 1024 SNPs");
+    banner(
+        "Ablation: double buffering — end-to-end FastID, 32 queries x 20.97M profiles x 1024 SNPs",
+    );
     let queries = BitMatrix::<u64>::zeros(32, 1024);
     let database = BitMatrix::<u64>::zeros(20_971_520, 1024);
     let mut rows = Vec::new();
@@ -70,13 +93,25 @@ fn ablation_double_buffer() {
             dev.name.clone(),
             fmt_ns(on.timing.end_to_end_ns as f64),
             fmt_ns(off.timing.end_to_end_ns as f64),
-            format!("{:.2}x", off.timing.end_to_end_ns as f64 / on.timing.end_to_end_ns as f64),
+            format!(
+                "{:.2}x",
+                off.timing.end_to_end_ns as f64 / on.timing.end_to_end_ns as f64
+            ),
             format!("{} / {}", on.passes, off.passes),
         ]);
     }
     print!(
         "{}",
-        render_table(&["device", "double-buffered", "single-buffered", "speedup", "passes on/off"], &rows)
+        render_table(
+            &[
+                "device",
+                "double-buffered",
+                "single-buffered",
+                "speedup",
+                "passes on/off"
+            ],
+            &rows
+        )
     );
     println!("  Expected: >=1x everywhere; largest where transfers rival compute.\n");
 }
@@ -87,7 +122,15 @@ fn ablation_occupancy() {
     let mut rows = Vec::new();
     for dev in devices::all_gpus() {
         let k = 512;
-        let cfg = config_for(&dev, Algorithm::LinkageDisequilibrium, ProblemShape { m: 4096, n: 46_080, k_words: k });
+        let cfg = config_for(
+            &dev,
+            Algorithm::LinkageDisequilibrium,
+            ProblemShape {
+                m: 4096,
+                n: 46_080,
+                k_words: k,
+            },
+        );
         let tput = |groups: u32| {
             let mut c = cfg;
             c.groups_per_cluster = groups;
@@ -105,11 +148,21 @@ fn ablation_occupancy() {
         rows.push(vec![
             dev.name.clone(),
             format!("{} grp/cluster: {} G/s", dev.l_fn, eng(paper / 1e9)),
-            format!("{} grp/cluster: {} G/s", max_g.max(dev.l_fn), eng(max_occ / 1e9)),
+            format!(
+                "{} grp/cluster: {} G/s",
+                max_g.max(dev.l_fn),
+                eng(max_occ / 1e9)
+            ),
             format!("{:+.1}%", 100.0 * (max_occ / paper - 1.0)),
         ]);
     }
-    print!("{}", render_table(&["device", "paper occupancy", "max occupancy", "delta"], &rows));
+    print!(
+        "{}",
+        render_table(
+            &["device", "paper occupancy", "max occupancy", "delta"],
+            &rows
+        )
+    );
     println!("  Expected: near-zero gain from extra occupancy (Volkov: lower occupancy with");
     println!("  more registers per thread is enough once pipelines are covered).\n");
 }
@@ -119,7 +172,15 @@ fn ablation_nr() {
     banner("Ablation: register blocking n_r sweep (Titan V, 1 core)");
     let dev = devices::titan_v();
     let k = 383;
-    let base = config_for(&dev, Algorithm::LinkageDisequilibrium, ProblemShape { m: 32, n: 65_536, k_words: k });
+    let base = config_for(
+        &dev,
+        Algorithm::LinkageDisequilibrium,
+        ProblemShape {
+            m: 32,
+            n: 65_536,
+            k_words: k,
+        },
+    );
     let lo = snp_gpu_model::config::n_r_lower_bound(&dev, base.m_r, base.m_c);
     let mut rows = Vec::new();
     let mut n_r = lo;
@@ -134,12 +195,19 @@ fn ablation_nr() {
             rows.push(vec![
                 n_r.to_string(),
                 eng(t / 1e9),
-                if n_r == base.n_r { "<- Table II".to_string() } else { String::new() },
+                if n_r == base.n_r {
+                    "<- Table II".to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
         n_r *= 2;
     }
-    print!("{}", render_table(&["n_r", "G word-ops/s (1 core)", ""], &rows));
+    print!(
+        "{}",
+        render_table(&["n_r", "G word-ops/s (1 core)", ""], &rows)
+    );
     println!("  Expected: throughput rises toward the Eq. 7 bound then flattens — larger");
     println!("  register tiles amortize A/B loads until the popcount pipe saturates.");
 }

@@ -35,7 +35,9 @@ fn topk_section() {
     for dev in devices::all_gpus() {
         let engine = GpuEngine::new(dev.clone()).with_options(timing_only());
         let full = engine.identity_search(&queries, &database).unwrap();
-        let topk = engine.identity_search_topk(&queries, &database, 10).unwrap();
+        let topk = engine
+            .identity_search_topk(&queries, &database, 10)
+            .unwrap();
         rows.push(vec![
             dev.name.clone(),
             fmt_ns(full.timing.end_to_end_ns as f64),
@@ -54,7 +56,13 @@ fn topk_section() {
     print!(
         "{}",
         render_table(
-            &["device", "full-γ end-to-end", "top-k end-to-end", "speedup", "readback"],
+            &[
+                "device",
+                "full-γ end-to-end",
+                "top-k end-to-end",
+                "speedup",
+                "readback"
+            ],
             &rows
         )
     );
@@ -81,13 +89,20 @@ fn multi_gpu_section() {
             n_dev.to_string(),
             fmt_ns(run.end_to_end_ns as f64),
             fmt_ns(busy as f64),
-            run.shard_rows.iter().map(|r| (r / 1000).to_string()).collect::<Vec<_>>().join("k/")
+            run.shard_rows
+                .iter()
+                .map(|r| (r / 1000).to_string())
+                .collect::<Vec<_>>()
+                .join("k/")
                 + "k",
         ]);
     }
     print!(
         "{}",
-        render_table(&["devices", "end-to-end", "max device busy", "shard sizes"], &rows)
+        render_table(
+            &["devices", "end-to-end", "max device busy", "shard sizes"],
+            &rows
+        )
     );
     println!("  Device-side work scales ~linearly; end-to-end floors at the unsharded");
     println!("  per-device runtime-initialization cost.\n");
@@ -115,7 +130,11 @@ fn memory_analysis_section() {
             format!("{:.0}", a.supply / 1e9),
             format!("{:.0}", a.bandwidth_knee_cores),
             dev.memory.scaling_knee.to_string(),
-            format!("{:.1} MB / {}", l2_bytes_for(&dev) as f64 / 1e6, a.cores_fitting_l2),
+            format!(
+                "{:.1} MB / {}",
+                l2_bytes_for(&dev) as f64 / 1e6,
+                a.cores_fitting_l2
+            ),
         ]);
     }
     print!(

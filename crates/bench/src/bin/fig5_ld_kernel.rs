@@ -43,7 +43,11 @@ fn main() {
         loop {
             let strings_now = strings.min(max_strings);
             let k_words = strings_now.div_ceil(32);
-            let shape = ProblemShape { m: snps, n: snps, k_words };
+            let shape = ProblemShape {
+                m: snps,
+                n: snps,
+                k_words,
+            };
             let cfg = config_for(&dev, Algorithm::LinkageDisequilibrium, shape);
             let plan = KernelPlan::new(&dev, &cfg, CompareOp::And, snps, snps, k_words);
             let kt = plan.time(&dev);
@@ -55,7 +59,12 @@ fn main() {
                 fmt_ns(kt.total_ns),
                 eng(tput / 1e9),
                 format!("{pct:.1}%"),
-                if kt.memory_ns > kt.compute_ns { "memory" } else { "compute" }.to_string(),
+                if kt.memory_ns > kt.compute_ns {
+                    "memory"
+                } else {
+                    "compute"
+                }
+                .to_string(),
             ]);
             if strings_now == max_strings {
                 break;
@@ -65,13 +74,17 @@ fn main() {
         print!(
             "{}",
             render_table(
-                &["SNP strings", "kernel time", "G word-ops/s", "% of peak", "bound"],
+                &[
+                    "SNP strings",
+                    "kernel time",
+                    "G word-ops/s",
+                    "% of peak",
+                    "bound"
+                ],
                 &rows
             )
         );
-        println!(
-            "  at maximum strings: {final_pct:.1}% of peak (paper: {paper_pct}%)\n"
-        );
+        println!("  at maximum strings: {final_pct:.1}% of peak (paper: {paper_pct}%)\n");
     }
     println!("Shape check: throughput must rise monotonically with string count and the");
     println!("final percentages must rank Titan V > GTX 980 >> Vega 64, as in the paper.");

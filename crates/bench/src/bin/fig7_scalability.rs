@@ -23,7 +23,11 @@ fn main() {
         let k_words = config_for(
             &dev,
             Algorithm::LinkageDisequilibrium,
-            ProblemShape { m: 4096, n: 4096, k_words: 512 },
+            ProblemShape {
+                m: 4096,
+                n: 4096,
+                k_words: 512,
+            },
         )
         .k_c;
         println!("{} (shared-dimension words per tile: {k_words})", dev.name);
@@ -37,7 +41,11 @@ fn main() {
             let mut cfg = config_for(
                 &dev,
                 Algorithm::LinkageDisequilibrium,
-                ProblemShape { m: 32, n: cores_now as usize * JOBS_PER_CORE * 1024, k_words },
+                ProblemShape {
+                    m: 32,
+                    n: cores_now as usize * JOBS_PER_CORE * 1024,
+                    k_words,
+                },
             );
             cfg.grid_m = 1;
             cfg.grid_n = cores_now;
@@ -63,7 +71,10 @@ fn main() {
         }
         print!(
             "{}",
-            render_table(&["cores", "G word-ops/s per core", "relative to 1 core"], &rows)
+            render_table(
+                &["cores", "G word-ops/s per core", "relative to 1 core"],
+                &rows
+            )
         );
         println!();
     }

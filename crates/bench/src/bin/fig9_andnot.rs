@@ -21,7 +21,11 @@ fn main() {
         let mut cfg = config_for(
             &dev,
             Algorithm::MixtureAnalysis,
-            ProblemShape { m: 32, n: 16 * 1024, k_words },
+            ProblemShape {
+                m: 32,
+                n: 16 * 1024,
+                k_words,
+            },
         );
         cfg.grid_m = 1;
         cfg.grid_n = 1;
@@ -36,7 +40,12 @@ fn main() {
         let andnot = tput(CompareOp::AndNot);
         rows.push(vec![
             dev.name.clone(),
-            if dev.fused_andnot { "fused (LOP3)" } else { "separate NOT" }.to_string(),
+            if dev.fused_andnot {
+                "fused (LOP3)"
+            } else {
+                "separate NOT"
+            }
+            .to_string(),
             eng(and / 1e9),
             eng(andnot / 1e9),
             format!("{:.1}%", 100.0 * andnot / and),
@@ -45,7 +54,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["device", "AND-NOT support", "AND G word-ops/s", "AND-NOT G word-ops/s", "ratio"],
+            &[
+                "device",
+                "AND-NOT support",
+                "AND G word-ops/s",
+                "AND-NOT G word-ops/s",
+                "ratio"
+            ],
             &rows
         )
     );

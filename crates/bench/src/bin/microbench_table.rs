@@ -13,7 +13,12 @@ use snp_microbench::{
 
 fn main() {
     banner("§V-C — instruction latency (single work-item dependent chains)");
-    let classes = [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Not, InstrClass::Popc];
+    let classes = [
+        InstrClass::IntAdd,
+        InstrClass::Logic,
+        InstrClass::Not,
+        InstrClass::Popc,
+    ];
     let devs = devices::all_gpus();
     {
         let mut headers = vec!["instruction".to_string()];
@@ -24,7 +29,8 @@ fn main() {
             .map(|&c| {
                 let mut row = vec![c.to_string()];
                 row.extend(
-                    devs.iter().map(|d| format!("{:.2}", measure_latency_cycles(d, c).cycles_per_instr)),
+                    devs.iter()
+                        .map(|d| format!("{:.2}", measure_latency_cycles(d, c).cycles_per_instr)),
                 );
                 row
             })
@@ -44,7 +50,11 @@ fn main() {
                 let mut row = vec![c.to_string()];
                 row.extend(devs.iter().map(|d| {
                     let m = measure_throughput(d, c, d.chosen_occupancy_groups());
-                    format!("{} (= {} units/cluster)", eng(m.instrs_per_cycle), eng(m.instrs_per_cycle / d.n_clusters as f64))
+                    format!(
+                        "{} (= {} units/cluster)",
+                        eng(m.instrs_per_cycle),
+                        eng(m.instrs_per_cycle / d.n_clusters as f64)
+                    )
                 }));
                 row
             })
@@ -71,7 +81,10 @@ fn main() {
             .collect();
         print!(
             "{}",
-            render_table(&["N_grp", "cycles", "instr/cycle/core", "G instr/s/core"], &rows)
+            render_table(
+                &["N_grp", "cycles", "instr/cycle/core", "G instr/s/core"],
+                &rows
+            )
         );
         println!("  (time flat for N_grp <= N_cl; peak by N_grp = N_cl x L_fn = 24)\n");
     }
@@ -108,14 +121,16 @@ fn main() {
     banner("Recovered parameter summary (recover_parameters)");
     for dev in &devs {
         let r = recover_parameters(dev);
-        let n_fn: Vec<String> =
-            r.n_fn.iter().map(|(c, u)| format!("{c}={u}")).collect();
+        let n_fn: Vec<String> = r.n_fn.iter().map(|(c, u)| format!("{c}={u}")).collect();
         println!(
             "{:<10} L_fn(popc) = {:.1}; N_fn: {}; shared pairs: {:?}",
             dev.name,
             r.latency_for(InstrClass::Popc).unwrap(),
             n_fn.join(", "),
-            r.shared_pairs.iter().map(|(a, b)| format!("{a}+{b}")).collect::<Vec<_>>()
+            r.shared_pairs
+                .iter()
+                .map(|(a, b)| format!("{a}+{b}"))
+                .collect::<Vec<_>>()
         );
     }
 }

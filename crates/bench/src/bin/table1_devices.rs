@@ -19,13 +19,21 @@ fn main() {
         r
     };
     rows.push(row("Microarchitecture", &|d| d.microarchitecture.clone()));
-    rows.push(row("Frequency (GHz)", &|d| format!("{:.3}", d.frequency_ghz)));
+    rows.push(row("Frequency (GHz)", &|d| {
+        format!("{:.3}", d.frequency_ghz)
+    }));
     rows.push(row("Thread Group Size N_T", &|d| d.n_t.to_string()));
-    rows.push(row("Max Thread Groups N_grp", &|d| d.max_thread_groups.to_string()));
+    rows.push(row("Max Thread Groups N_grp", &|d| {
+        d.max_thread_groups.to_string()
+    }));
     rows.push(row("Compute Cores N_c", &|d| d.n_cores.to_string()));
     rows.push(row("Compute Clusters N_cl", &|d| d.n_clusters.to_string()));
-    rows.push(row("N_fn^+ (32-bit add)", &|d| d.n_fn(InstrClass::IntAdd).unwrap().to_string()));
-    rows.push(row("N_fn^& (32-bit logical)", &|d| d.n_fn(InstrClass::Logic).unwrap().to_string()));
+    rows.push(row("N_fn^+ (32-bit add)", &|d| {
+        d.n_fn(InstrClass::IntAdd).unwrap().to_string()
+    }));
+    rows.push(row("N_fn^& (32-bit logical)", &|d| {
+        d.n_fn(InstrClass::Logic).unwrap().to_string()
+    }));
     rows.push(row("N_fn^popc (population count)", &|d| {
         d.n_fn(InstrClass::Popc).unwrap().to_string()
     }));
@@ -36,8 +44,12 @@ fn main() {
     rows.push(row("Max Allocation (GiB)", &|d| {
         format!("{:.3}", d.max_alloc_bytes as f64 / (1u64 << 30) as f64)
     }));
-    rows.push(row("Shared Memory (KiB)", &|d| (d.shared_mem_bytes / 1024).to_string()));
-    rows.push(row("Shared Memory Banks N_b", &|d| d.shared_banks.to_string()));
+    rows.push(row("Shared Memory (KiB)", &|d| {
+        (d.shared_mem_bytes / 1024).to_string()
+    }));
+    rows.push(row("Shared Memory Banks N_b", &|d| {
+        d.shared_banks.to_string()
+    }));
     rows.push(row("Registers per Core", &|d| {
         if d.registers_per_core >= 1024 {
             format!("{}K", d.registers_per_core / 1024)
@@ -45,9 +57,15 @@ fn main() {
             format!("{} logical", d.registers_per_core)
         }
     }));
-    rows.push(row("Max Registers per Thread", &|d| d.max_regs_per_thread.to_string()));
-    rows.push(row("Thread-group term", &|d| d.thread_group_term().to_string()));
-    rows.push(row("Fused AND-NOT", &|d| if d.fused_andnot { "yes" } else { "no" }.to_string()));
+    rows.push(row("Max Registers per Thread", &|d| {
+        d.max_regs_per_thread.to_string()
+    }));
+    rows.push(row("Thread-group term", &|d| {
+        d.thread_group_term().to_string()
+    }));
+    rows.push(row("Fused AND-NOT", &|d| {
+        if d.fused_andnot { "yes" } else { "no" }.to_string()
+    }));
     rows.push(row("Word width (bits)", &|d| d.word_bits.to_string()));
     print!("{}", render_table(&headers, &rows));
     println!("\nPaper reference: Table I (values reproduced verbatim; the last three rows are");

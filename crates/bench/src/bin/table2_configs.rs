@@ -8,20 +8,22 @@ use snp_gpu_model::config::{
     derive_config, derive_k_c, derive_m_c, derive_m_r, n_r_lower_bound, n_r_upper_bound, McRule,
     ProblemShape,
 };
-use snp_gpu_model::presets::{table2, PresetAlgorithm};
 use snp_gpu_model::devices;
+use snp_gpu_model::presets::{table2, PresetAlgorithm};
 
 fn main() {
     banner("Table II — software configuration parameters for SNP comparison");
-    let headers =
-        ["Algorithm", "Parameter", "GTX 980", "Titan V", "Vega 64"].to_vec();
+    let headers = ["Algorithm", "Parameter", "GTX 980", "Titan V", "Vega 64"].to_vec();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for alg in [PresetAlgorithm::Ld, PresetAlgorithm::FastId] {
         let name = match alg {
             PresetAlgorithm::Ld => "Linkage disequilibrium",
             PresetAlgorithm::FastId => "FastID",
         };
-        let presets: Vec<_> = table2().into_iter().filter(|p| p.algorithm == alg).collect();
+        let presets: Vec<_> = table2()
+            .into_iter()
+            .filter(|p| p.algorithm == alg)
+            .collect();
         let get = |device: &str| presets.iter().find(|p| p.device == device).unwrap().config;
         let cfgs = [get("GTX 980"), get("Titan V"), get("Vega 64")];
         let mut push = |param: &str, f: &dyn Fn(&snp_gpu_model::KernelConfig) -> String| {
@@ -29,7 +31,9 @@ fn main() {
             r.extend(cfgs.iter().map(f));
             rows.push(r);
         };
-        push("Core configuration", &|c| format!("{}x{}", c.grid_m, c.grid_n));
+        push("Core configuration", &|c| {
+            format!("{}x{}", c.grid_m, c.grid_n)
+        });
         push("m_r", &|c| c.m_r.to_string());
         push("n_r", &|c| c.n_r.to_string());
         push("k_c", &|c| c.k_c.to_string());
@@ -48,7 +52,11 @@ fn main() {
         "n_r upper (regs)",
         "n_r chosen (model)",
     ];
-    let shape = ProblemShape { m: 12_256, n: 12_256, k_words: 383 };
+    let shape = ProblemShape {
+        m: 12_256,
+        n: 12_256,
+        k_words: 383,
+    };
     let mut rows2 = Vec::new();
     for dev in devices::all_gpus() {
         let m_r = derive_m_r(&dev);

@@ -37,7 +37,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     let mut sep = String::from("|");
     for w in &widths {
         sep.push_str(&format!("{}|", "-".repeat(w + 2)));
@@ -93,7 +96,10 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["name", "v"],
-            &[vec!["a".into(), "1".into()], vec!["long".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -15,12 +15,21 @@ pub struct CountMatrix {
 impl CountMatrix {
     /// Creates an all-zeros `rows × cols` count matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CountMatrix { rows, cols, data: vec![0; rows * cols] }
+        CountMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer; `data.len()` must be `rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows} x {cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows} x {cols}",
+            data.len()
+        );
         CountMatrix { rows, cols, data }
     }
 
@@ -39,7 +48,12 @@ impl CountMatrix {
     /// Reads `γ[r][c]`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> u32 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds ({} x {})", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds ({} x {})",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -97,16 +111,26 @@ impl CountMatrix {
     /// True if `self` equals `other` everywhere; on mismatch returns the
     /// first differing index for diagnostics.
     pub fn first_mismatch(&self, other: &CountMatrix) -> Option<(usize, usize, u32, u32)> {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                let (a, b) = (self.get(r, c), other.get(r, c));
-                if a != b {
-                    return Some((r, c, a, b));
-                }
-            }
-        }
-        None
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        // Walk the raw buffers directly: one linear scan with no per-element
+        // bounds checks, so validating large γ results costs a memcmp-like
+        // pass rather than two indexed loads per entry.
+        self.data
+            .iter()
+            .zip(&other.data)
+            .position(|(a, b)| a != b)
+            .map(|idx| {
+                (
+                    idx / self.cols,
+                    idx % self.cols,
+                    self.data[idx],
+                    other.data[idx],
+                )
+            })
     }
 
     /// Maximum entry, or 0 for an empty matrix.
@@ -173,6 +197,8 @@ mod tests {
         assert_eq!(a.first_mismatch(&b), None);
         b.set(1, 0, 9);
         assert_eq!(a.first_mismatch(&b), Some((1, 0, 3, 9)));
+        let empty = CountMatrix::zeros(2, 0);
+        assert_eq!(empty.first_mismatch(&CountMatrix::zeros(2, 0)), None);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod count;
+pub mod csa;
 mod matrix;
 mod ops;
 mod pack;

@@ -69,7 +69,12 @@ impl<W: Word> BitMatrix<W> {
     pub fn from_bool_rows(rows: &[Vec<bool>]) -> Self {
         let cols = rows.first().map_or(0, |r| r.len());
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but row 0 has {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but row 0 has {cols}",
+                r.len()
+            );
         }
         Self::from_fn(rows.len(), cols, |r, c| rows[r][c])
     }
@@ -85,8 +90,16 @@ impl<W: Word> BitMatrix<W> {
             "data length {} != rows {rows} * words_per_row {words_per_row}",
             data.len()
         );
-        let m = BitMatrix { rows, cols, words_per_row, data };
-        assert!(m.padding_is_zero(), "padding bits beyond column {cols} must be zero");
+        let m = BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data,
+        };
+        assert!(
+            m.padding_is_zero(),
+            "padding bits beyond column {cols} must be zero"
+        );
         m
     }
 
@@ -132,7 +145,12 @@ impl<W: Word> BitMatrix<W> {
     /// Reads bit (`r`, `c`).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds ({} x {})", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds ({} x {})",
+            self.rows,
+            self.cols
+        );
         let w = c / W::BITS as usize;
         let b = (c % W::BITS as usize) as u32;
         self.data[r * self.words_per_row + w].bit(b)
@@ -141,7 +159,12 @@ impl<W: Word> BitMatrix<W> {
     /// Writes bit (`r`, `c`).
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds ({} x {})", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds ({} x {})",
+            self.rows,
+            self.cols
+        );
         let w = c / W::BITS as usize;
         let b = (c % W::BITS as usize) as u32;
         let word = &mut self.data[r * self.words_per_row + w];
@@ -200,7 +223,11 @@ impl<W: Word> BitMatrix<W> {
 
     /// Returns a copy containing only rows `lo..hi`.
     pub fn row_slice(&self, lo: usize, hi: usize) -> BitMatrix<W> {
-        assert!(lo <= hi && hi <= self.rows, "row slice {lo}..{hi} out of bounds ({} rows)", self.rows);
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "row slice {lo}..{hi} out of bounds ({} rows)",
+            self.rows
+        );
         BitMatrix {
             rows: hi - lo,
             cols: self.cols,
@@ -303,7 +330,8 @@ mod tests {
         // 1 row, 4 cols in a u8 word: high 4 bits are padding.
         let ok = BitMatrix::<u8>::from_words(1, 4, 1, vec![0b0000_1010]);
         assert!(ok.get(0, 1) && ok.get(0, 3));
-        let bad = std::panic::catch_unwind(|| BitMatrix::<u8>::from_words(1, 4, 1, vec![0b0001_1010]));
+        let bad =
+            std::panic::catch_unwind(|| BitMatrix::<u8>::from_words(1, 4, 1, vec![0b0001_1010]));
         assert!(bad.is_err(), "dirty padding must be rejected");
     }
 

@@ -9,12 +9,10 @@
 //! * **FastID mixture analysis** (Eq. 3): `γ = ((r ⊕ m) & r)ᵀ((r ⊕ m) & r)`,
 //!   which simplifies to `r & ¬m` — AND-NOT (paper §II-C).
 
-use serde::{Deserialize, Serialize};
-
 use crate::word::Word;
 
 /// The word-level combining operator of an SNP comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `a & b`: counts sites where *both* inputs carry the minor allele.
     /// Used for linkage disequilibrium (the `p_AB` term) and, with a
@@ -98,7 +96,13 @@ impl std::fmt::Display for CompareOp {
 /// word. Panics if the rows have different lengths.
 #[inline]
 pub fn dot<W: Word>(op: CompareOp, a: &[W], b: &[W]) -> u64 {
-    assert_eq!(a.len(), b.len(), "dot: row length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: row length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     let mut acc = 0u64;
     for (&x, &y) in a.iter().zip(b.iter()) {
         acc += op.combine_count(x, y) as u64;

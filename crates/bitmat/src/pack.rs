@@ -38,7 +38,10 @@ impl<W: Word> PackedPanels<W> {
         panel_rows: usize,
     ) -> Self {
         assert!(panel_rows > 0, "panel_rows must be positive");
-        assert!(row_lo <= row_hi && row_hi <= m.rows(), "row range {row_lo}..{row_hi} out of bounds");
+        assert!(
+            row_lo <= row_hi && row_hi <= m.rows(),
+            "row range {row_lo}..{row_hi} out of bounds"
+        );
         assert!(
             word_lo <= word_hi && word_hi <= m.words_per_row(),
             "word range {word_lo}..{word_hi} out of bounds ({} words per row)",
@@ -46,7 +49,9 @@ impl<W: Word> PackedPanels<W> {
         );
         let logical_rows = row_hi - row_lo;
         let k = word_hi - word_lo;
-        let panels = logical_rows.div_ceil(panel_rows).max(if logical_rows == 0 { 0 } else { 1 });
+        let panels = logical_rows
+            .div_ceil(panel_rows)
+            .max(if logical_rows == 0 { 0 } else { 1 });
         let mut data = vec![W::ZERO; panels * panel_rows * k];
         for q in 0..panels {
             let base = q * panel_rows * k;
@@ -61,7 +66,13 @@ impl<W: Word> PackedPanels<W> {
                 }
             }
         }
-        PackedPanels { panel_rows, k, panels, logical_rows, data }
+        PackedPanels {
+            panel_rows,
+            k,
+            panels,
+            logical_rows,
+            data,
+        }
     }
 
     /// Packs an entire matrix (all rows, all words).
@@ -96,7 +107,11 @@ impl<W: Word> PackedPanels<W> {
     /// The contiguous storage of panel `q` (`panel_rows * k` words).
     #[inline]
     pub fn panel(&self, q: usize) -> &[W] {
-        debug_assert!(q < self.panels, "panel {q} out of bounds ({} panels)", self.panels);
+        debug_assert!(
+            q < self.panels,
+            "panel {q} out of bounds ({} panels)",
+            self.panels
+        );
         let len = self.panel_rows * self.k;
         &self.data[q * len..(q + 1) * len]
     }
@@ -149,7 +164,11 @@ mod tests {
             assert_eq!(p.panels(), 7usize.div_ceil(panel_rows));
             let flat = p.unpack();
             for r in 0..7 {
-                assert_eq!(&flat[r * p.k()..(r + 1) * p.k()], m.row(r), "panel_rows={panel_rows} row={r}");
+                assert_eq!(
+                    &flat[r * p.k()..(r + 1) * p.k()],
+                    m.row(r),
+                    "panel_rows={panel_rows} row={r}"
+                );
             }
         }
     }

@@ -134,7 +134,10 @@ mod tests {
         let ap = a.padded_to(4, 3);
         let bp = b.padded_to(8, 3);
         let padded = reference_gamma(&ap, &bp, CompareOp::Xor);
-        assert_eq!(padded.cropped(a.rows(), b.rows()).first_mismatch(&base), None);
+        assert_eq!(
+            padded.cropped(a.rows(), b.rows()).first_mismatch(&base),
+            None
+        );
     }
 
     #[test]

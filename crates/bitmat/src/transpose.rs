@@ -121,7 +121,14 @@ mod tests {
 
     #[test]
     fn transpose_matches_definition() {
-        for (rows, cols) in [(1usize, 1usize), (8, 8), (3, 17), (65, 9), (70, 130), (128, 64)] {
+        for (rows, cols) in [
+            (1usize, 1usize),
+            (8, 8),
+            (3, 17),
+            (65, 9),
+            (70, 130),
+            (128, 64),
+        ] {
             let m = sample(rows, cols);
             let t = transpose(&m);
             assert_eq!((t.rows(), t.cols()), (cols, rows));

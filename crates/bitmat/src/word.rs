@@ -72,7 +72,11 @@ pub trait Word:
     /// A word whose low `n` bits are set (`n <= BITS`).
     #[inline]
     fn low_mask(n: u32) -> Self {
-        assert!(n <= Self::BITS, "mask width {n} exceeds word width {}", Self::BITS);
+        assert!(
+            n <= Self::BITS,
+            "mask width {n} exceeds word width {}",
+            Self::BITS
+        );
         if n == Self::BITS {
             Self::ONES
         } else {

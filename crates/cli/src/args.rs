@@ -73,7 +73,11 @@ impl Args {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError(format!(
                     "unknown option --{key} (expected one of: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }
@@ -111,7 +115,10 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(Args::parse(toks("ld --snps")).is_err(), "missing value");
         assert!(Args::parse(toks("ld x y")).is_err(), "extra positional");
-        assert!(Args::parse(toks("ld --snps 1 --snps 2")).is_err(), "duplicate");
+        assert!(
+            Args::parse(toks("ld --snps 1 --snps 2")).is_err(),
+            "duplicate"
+        );
         assert!(Args::parse(toks("ld -- 1")).is_err(), "empty name");
     }
 

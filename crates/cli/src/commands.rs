@@ -12,7 +12,9 @@ use snp_gpu_model::config::ProblemShape;
 use snp_gpu_model::peak::peak;
 use snp_gpu_model::{devices, DeviceSpec, InstrClass, WordOpKind};
 use snp_microbench::recover_parameters;
-use snp_popgen::forensic::{generate_database, generate_mixtures, generate_queries, DatabaseConfig};
+use snp_popgen::forensic::{
+    generate_database, generate_mixtures, generate_queries, DatabaseConfig,
+};
 use snp_popgen::ld_stats::ld_pair;
 use snp_popgen::population::{generate_panel, PanelConfig};
 use snp_popgen::IdentityScorer;
@@ -90,7 +92,9 @@ fn algorithm_arg(args: &Args) -> Result<Algorithm, ArgError> {
         "ld" => Ok(Algorithm::LinkageDisequilibrium),
         "search" => Ok(Algorithm::IdentitySearch),
         "mixture" => Ok(Algorithm::MixtureAnalysis),
-        other => Err(ArgError(format!("unknown algorithm {other:?} (ld|search|mixture)"))),
+        other => Err(ArgError(format!(
+            "unknown algorithm {other:?} (ld|search|mixture)"
+        ))),
     }
 }
 
@@ -101,18 +105,34 @@ fn cmd_config(args: &Args) -> Result<String, ArgError> {
     let m = args.get_parse("m", 10_000usize)?;
     let n = args.get_parse("n", 10_000usize)?;
     let snps = args.get_parse("snps", 10_000usize)?;
-    let shape = ProblemShape { m, n, k_words: snps.div_ceil(32).max(1) };
+    let shape = ProblemShape {
+        m,
+        n,
+        k_words: snps.div_ceil(32).max(1),
+    };
     let cfg = config_for(&dev, alg, shape);
     let mut out = String::new();
     let _ = writeln!(out, "device:    {} ({})", dev.name, dev.microarchitecture);
     let _ = writeln!(out, "algorithm: {}", alg.name());
-    let _ = writeln!(out, "problem:   {m} x {n} over {snps} SNP-string bits ({} device words)", shape.k_words);
+    let _ = writeln!(
+        out,
+        "problem:   {m} x {n} over {snps} SNP-string bits ({} device words)",
+        shape.k_words
+    );
     let _ = writeln!(out, "m_c = {:<5} (A tile rows in shared memory)", cfg.m_c);
     let _ = writeln!(out, "m_r = {:<5} (register rows; Eq. 4: N_vec)", cfg.m_r);
     let _ = writeln!(out, "k_c = {:<5} (shared-memory depth; Eq. 6)", cfg.k_c);
     let _ = writeln!(out, "n_r = {:<5} (register columns; Eq. 7 bounds)", cfg.n_r);
-    let _ = writeln!(out, "core grid = {} x {} (third x second loop)", cfg.grid_m, cfg.grid_n);
-    let _ = writeln!(out, "thread groups per cluster = {} (= L_fn)", cfg.groups_per_cluster);
+    let _ = writeln!(
+        out,
+        "core grid = {} x {} (third x second loop)",
+        cfg.grid_m, cfg.grid_n
+    );
+    let _ = writeln!(
+        out,
+        "thread groups per cluster = {} (= L_fn)",
+        cfg.groups_per_cluster
+    );
     Ok(out)
 }
 
@@ -121,13 +141,32 @@ fn cmd_microbench(args: &Args) -> Result<String, ArgError> {
     let dev = device_arg(args)?;
     let r = recover_parameters(&dev);
     let mut out = String::new();
-    let _ = writeln!(out, "recovered parameters for {} (dependent chains + group sweeps):", dev.name);
+    let _ = writeln!(
+        out,
+        "recovered parameters for {} (dependent chains + group sweeps):",
+        dev.name
+    );
     for (class, lat) in &r.latency {
         let units = r.units_for(*class).unwrap();
-        let _ = writeln!(out, "  {class:<6} latency {lat:>5.2} cycles, {units:>2} units/cluster");
+        let _ = writeln!(
+            out,
+            "  {class:<6} latency {lat:>5.2} cycles, {units:>2} units/cluster"
+        );
     }
-    let shared: Vec<String> = r.shared_pairs.iter().map(|(a, b)| format!("{a}+{b}")).collect();
-    let _ = writeln!(out, "  shared pipelines: {}", if shared.is_empty() { "none".into() } else { shared.join(", ") });
+    let shared: Vec<String> = r
+        .shared_pairs
+        .iter()
+        .map(|(a, b)| format!("{a}+{b}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  shared pipelines: {}",
+        if shared.is_empty() {
+            "none".into()
+        } else {
+            shared.join(", ")
+        }
+    );
     Ok(out)
 }
 
@@ -137,9 +176,18 @@ fn cmd_ld(args: &Args) -> Result<String, ArgError> {
     let snps = args.get_parse("snps", 256usize)?;
     let samples = args.get_parse("samples", 2048usize)?;
     let seed = args.get_parse("seed", 42u64)?;
-    let panel = generate_panel(&PanelConfig { snps, samples, ..Default::default() }, seed);
+    let panel = generate_panel(
+        &PanelConfig {
+            snps,
+            samples,
+            ..Default::default()
+        },
+        seed,
+    );
     let engine = GpuEngine::new(dev.clone());
-    let run = engine.ld_self(&panel.matrix).map_err(|e| ArgError(e.to_string()))?;
+    let run = engine
+        .ld_self(&panel.matrix)
+        .map_err(|e| ArgError(e.to_string()))?;
     let gamma = run.gamma.expect("full mode");
     // Strongest off-diagonal pair.
     let mut best = (0usize, 1usize, -1.0f64);
@@ -152,7 +200,11 @@ fn cmd_ld(args: &Args) -> Result<String, ArgError> {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "LD scan: {snps} SNPs x {samples} haplotypes on {}", dev.name);
+    let _ = writeln!(
+        out,
+        "LD scan: {snps} SNPs x {samples} haplotypes on {}",
+        dev.name
+    );
     let _ = writeln!(
         out,
         "modeled end-to-end {:.2} ms (kernel {:.3} ms, {} pass(es))",
@@ -160,7 +212,11 @@ fn cmd_ld(args: &Args) -> Result<String, ArgError> {
         run.timing.kernel_ns as f64 / 1e6,
         run.passes
     );
-    let _ = writeln!(out, "strongest pair: SNP {} ~ SNP {} with r² = {:.3}", best.0, best.1, best.2);
+    let _ = writeln!(
+        out,
+        "strongest pair: SNP {} ~ SNP {} with r² = {:.3}",
+        best.0, best.1, best.2
+    );
     Ok(out)
 }
 
@@ -172,11 +228,20 @@ fn cmd_search(args: &Args) -> Result<String, ArgError> {
     let queries = args.get_parse("queries", 8usize)?;
     let noise = args.get_parse("noise", 0.01f64)?;
     let seed = args.get_parse("seed", 42u64)?;
-    let db = generate_database(&DatabaseConfig { profiles, snps, ..Default::default() }, seed);
+    let db = generate_database(
+        &DatabaseConfig {
+            profiles,
+            snps,
+            ..Default::default()
+        },
+        seed,
+    );
     let planted = queries.div_ceil(2);
     let qs = generate_queries(&db, queries, planted, noise, seed + 1);
     let engine = GpuEngine::new(dev.clone());
-    let run = engine.identity_search(&qs.queries, &db.profiles).map_err(|e| ArgError(e.to_string()))?;
+    let run = engine
+        .identity_search(&qs.queries, &db.profiles)
+        .map_err(|e| ArgError(e.to_string()))?;
     let gamma = run.gamma.expect("full mode");
     let scorer = IdentityScorer::new(db.site_maf.clone(), noise.max(1e-4));
     let mut out = String::new();
@@ -212,15 +277,28 @@ fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
     let snps = args.get_parse("snps", 512usize)?;
     let contributors = args.get_parse("contributors", 3usize)?;
     let seed = args.get_parse("seed", 42u64)?;
-    let db = generate_database(&DatabaseConfig { profiles, snps, ..Default::default() }, seed);
+    let db = generate_database(
+        &DatabaseConfig {
+            profiles,
+            snps,
+            ..Default::default()
+        },
+        seed,
+    );
     let (mixtures, matrix) = generate_mixtures(&db, 1, contributors, seed + 1);
-    let strategy = if dev.fused_andnot { MixtureStrategy::Direct } else { MixtureStrategy::PreNegate };
+    let strategy = if dev.fused_andnot {
+        MixtureStrategy::Direct
+    } else {
+        MixtureStrategy::PreNegate
+    };
     let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
         mode: ExecMode::Full,
         double_buffer: true,
         mixture: strategy,
     });
-    let run = engine.mixture_analysis(&db.profiles, &matrix).map_err(|e| ArgError(e.to_string()))?;
+    let run = engine
+        .mixture_analysis(&db.profiles, &matrix)
+        .map_err(|e| ArgError(e.to_string()))?;
     let gamma = run.gamma.expect("full mode");
     let included: Vec<usize> = (0..profiles).filter(|&r| gamma.get(r, 0) == 0).collect();
     let mut out = String::new();
@@ -234,7 +312,10 @@ fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
         c.sort_unstable();
         c
     });
-    let _ = writeln!(out, "  profiles consistent with the mixture (γ = 0): {included:?}");
+    let _ = writeln!(
+        out,
+        "  profiles consistent with the mixture (γ = 0): {included:?}"
+    );
     let _ = writeln!(
         out,
         "  modeled kernel {:.3} ms at {:.0} G word-ops/s",
@@ -256,7 +337,10 @@ fn cmd_cpu(args: &Args) -> Result<String, ArgError> {
     let dt = t0.elapsed();
     let word_ops = snps * snps * panel.words_per_row();
     let mut out = String::new();
-    let _ = writeln!(out, "real CPU engine (this host): {snps} x {snps} LD over {samples} samples");
+    let _ = writeln!(
+        out,
+        "real CPU engine (this host): {snps} x {snps} LD over {samples} samples"
+    );
     let _ = writeln!(
         out,
         "wall time {:.1} ms, {:.2} G word64-ops/s (symmetric path)",
@@ -353,7 +437,10 @@ mod tests {
             .collect();
         let consistent_line = out.lines().find(|l| l.contains("γ = 0")).unwrap();
         for c in planted {
-            assert!(consistent_line.contains(&c.to_string()), "{c} missing from {consistent_line}");
+            assert!(
+                consistent_line.contains(&c.to_string()),
+                "{c} missing from {consistent_line}"
+            );
         }
     }
 

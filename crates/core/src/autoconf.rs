@@ -28,8 +28,8 @@ pub enum MixtureStrategy {
 /// analytical derivation. The returned configuration is always validated
 /// against the device.
 pub fn config_for(dev: &DeviceSpec, algorithm: Algorithm, shape: ProblemShape) -> KernelConfig {
-    let mut cfg = preset_for(dev, algorithm)
-        .unwrap_or_else(|| derive_config(dev, shape, McRule::Banks));
+    let mut cfg =
+        preset_for(dev, algorithm).unwrap_or_else(|| derive_config(dev, shape, McRule::Banks));
     // The preset grids assume problems large enough to occupy every core;
     // shrink the grid when the problem offers fewer tiles.
     let tiles_m = shape.m.div_ceil(cfg.m_c).max(1) as u32;
@@ -37,7 +37,11 @@ pub fn config_for(dev: &DeviceSpec, algorithm: Algorithm, shape: ProblemShape) -
     cfg.grid_m = cfg.grid_m.min(tiles_m);
     cfg.grid_n = cfg.grid_n.min(tiles_n);
     let viol = cfg.violations(dev);
-    assert!(viol.is_empty(), "{}: invalid configuration {cfg:?}: {viol:?}", dev.name);
+    assert!(
+        viol.is_empty(),
+        "{}: invalid configuration {cfg:?}: {viol:?}",
+        dev.name
+    );
     cfg
 }
 
@@ -68,20 +72,31 @@ mod tests {
     use snp_gpu_model::devices;
 
     fn big_ld() -> ProblemShape {
-        ProblemShape { m: 10_000, n: 10_000, k_words: 320 }
+        ProblemShape {
+            m: 10_000,
+            n: 10_000,
+            k_words: 320,
+        }
     }
 
     #[test]
     fn evaluated_devices_get_table2_presets() {
         let dev = devices::titan_v();
         let cfg = config_for(&dev, Algorithm::LinkageDisequilibrium, big_ld());
-        assert_eq!((cfg.n_r, cfg.k_c, cfg.grid_m, cfg.grid_n), (1024, 383, 80, 1));
+        assert_eq!(
+            (cfg.n_r, cfg.k_c, cfg.grid_m, cfg.grid_n),
+            (1024, 383, 80, 1)
+        );
     }
 
     #[test]
     fn small_problems_shrink_the_grid() {
         let dev = devices::titan_v();
-        let tiny = ProblemShape { m: 64, n: 2048, k_words: 32 };
+        let tiny = ProblemShape {
+            m: 64,
+            n: 2048,
+            k_words: 32,
+        };
         let cfg = config_for(&dev, Algorithm::IdentitySearch, tiny);
         assert_eq!(cfg.grid_m, 1);
         assert_eq!(cfg.grid_n, 2); // only 2 n_r tiles available
@@ -100,10 +115,22 @@ mod tests {
     #[test]
     fn compare_op_selection() {
         use Algorithm::*;
-        assert_eq!(compare_op(LinkageDisequilibrium, MixtureStrategy::Direct), CompareOp::And);
-        assert_eq!(compare_op(IdentitySearch, MixtureStrategy::PreNegate), CompareOp::Xor);
-        assert_eq!(compare_op(MixtureAnalysis, MixtureStrategy::Direct), CompareOp::AndNot);
-        assert_eq!(compare_op(MixtureAnalysis, MixtureStrategy::PreNegate), CompareOp::And);
+        assert_eq!(
+            compare_op(LinkageDisequilibrium, MixtureStrategy::Direct),
+            CompareOp::And
+        );
+        assert_eq!(
+            compare_op(IdentitySearch, MixtureStrategy::PreNegate),
+            CompareOp::Xor
+        );
+        assert_eq!(
+            compare_op(MixtureAnalysis, MixtureStrategy::Direct),
+            CompareOp::AndNot
+        );
+        assert_eq!(
+            compare_op(MixtureAnalysis, MixtureStrategy::PreNegate),
+            CompareOp::And
+        );
     }
 
     #[test]

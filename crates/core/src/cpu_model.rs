@@ -22,12 +22,18 @@ impl CpuModel {
     /// The paper's reference workstation at the mid-point of the 80–90 %
     /// efficiency range \[11\] reports.
     pub fn ivy_bridge_workstation() -> Self {
-        CpuModel { spec: devices::xeon_e5_2620_v2(), efficiency: 0.85 }
+        CpuModel {
+            spec: devices::xeon_e5_2620_v2(),
+            efficiency: 0.85,
+        }
     }
 
     /// A model from an arbitrary spec and efficiency in `(0, 1]`.
     pub fn new(spec: DeviceSpec, efficiency: f64) -> Self {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency {efficiency} outside (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency {efficiency} outside (0, 1]"
+        );
         CpuModel { spec, efficiency }
     }
 

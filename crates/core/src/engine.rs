@@ -123,15 +123,25 @@ impl From<snp_gpu_sim::SimError> for EngineError {
 /// Converts host rows `lo..hi` of a 64-bit-packed matrix into the device's
 /// little-endian 32-bit word stream (two device words per host word).
 pub fn device_words(m: &BitMatrix<u64>, lo: usize, hi: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    device_words_into(m, lo, hi, &mut out);
+    out
+}
+
+/// [`device_words`] into a caller-owned staging buffer: `out` is cleared and
+/// refilled, so its allocation is reused across tile iterations instead of
+/// being freed and re-grown once per pass (the simulated writes copy the
+/// staging data synchronously, so reuse is safe under double buffering).
+pub fn device_words_into(m: &BitMatrix<u64>, lo: usize, hi: usize, out: &mut Vec<u32>) {
     let wpr = m.words_per_row();
-    let mut out = Vec::with_capacity((hi - lo) * wpr * 2);
+    out.clear();
+    out.reserve((hi - lo) * wpr * 2);
     for r in lo..hi {
         for &w in m.row(r) {
             out.push(w as u32);
             out.push((w >> 32) as u32);
         }
     }
-    out
 }
 
 /// The portable SNP-comparison engine over a simulated device.
@@ -144,7 +154,10 @@ pub struct GpuEngine {
 impl GpuEngine {
     /// An engine with default options (full execution, double buffering).
     pub fn new(spec: DeviceSpec) -> Self {
-        GpuEngine { spec, options: EngineOptions::default() }
+        GpuEngine {
+            spec,
+            options: EngineOptions::default(),
+        }
     }
 
     /// Overrides the options.
@@ -236,15 +249,33 @@ impl GpuEngine {
         let k = plan.k_words;
 
         let mk_buf = |words: usize| -> Result<BufferId, EngineError> {
-            Ok(if full { gpu.create_buffer(words)? } else { gpu.create_virtual_buffer(words)? })
+            Ok(if full {
+                gpu.create_buffer(words)?
+            } else {
+                gpu.create_virtual_buffer(words)?
+            })
         };
         let a_buf = mk_buf(plan.a_buffer_words().max(1))?;
-        let b_bufs: Vec<BufferId> =
-            (0..copies).map(|_| mk_buf(plan.b_buffer_words().max(1))).collect::<Result<_, _>>()?;
-        let c_bufs: Vec<BufferId> =
-            (0..copies).map(|_| mk_buf(plan.c_buffer_words().max(1))).collect::<Result<_, _>>()?;
+        let b_bufs: Vec<BufferId> = (0..copies)
+            .map(|_| mk_buf(plan.b_buffer_words().max(1)))
+            .collect::<Result<_, _>>()?;
+        let c_bufs: Vec<BufferId> = (0..copies)
+            .map(|_| mk_buf(plan.c_buffer_words().max(1)))
+            .collect::<Result<_, _>>()?;
 
-        let mut gamma = if full { Some(CountMatrix::zeros(a.rows(), b.rows())) } else { None };
+        let mut gamma = if full {
+            Some(CountMatrix::zeros(a.rows(), b.rows()))
+        } else {
+            None
+        };
+        // Pooled host-side staging: one allocation per stream (A words,
+        // B words, γ readback), reused across every tile iteration rather
+        // than allocated per pass. Multi-pass runs issue hundreds of
+        // chunk transfers; without pooling each one pays a fresh
+        // allocate/free of up to `max_alloc_bytes`.
+        let mut a_stage: Vec<u32> = Vec::new();
+        let mut b_stage: Vec<u32> = Vec::new();
+        let mut c_stage: Vec<u32> = Vec::new();
         let mut pack_ns = 0u64;
         let mut kernel_events: Vec<EventId> = Vec::new();
         let mut in_events: Vec<EventId> = Vec::new();
@@ -260,8 +291,8 @@ impl GpuEngine {
             pack_ns += self.spec.transfer.pack_ns(a_bytes);
             gpu.host_pack(a_bytes);
             let ev_a = if full {
-                let data = device_words(a, mc.lo, mc.hi);
-                gpu.enqueue_write(q_xfer, a_buf, 0, &data, &[])?
+                device_words_into(a, mc.lo, mc.hi, &mut a_stage);
+                gpu.enqueue_write(q_xfer, a_buf, 0, &a_stage, &[])?
             } else {
                 gpu.enqueue_virtual_transfer(q_xfer, a_bytes, &[])?
             };
@@ -278,8 +309,8 @@ impl GpuEngine {
                     deps.push(ev);
                 }
                 let ev_b = if full {
-                    let data = device_words(b, nc.lo, nc.hi);
-                    gpu.enqueue_write(q_xfer, b_bufs[slot], 0, &data, &deps)?
+                    device_words_into(b, nc.lo, nc.hi, &mut b_stage);
+                    gpu.enqueue_write(q_xfer, b_bufs[slot], 0, &b_stage, &deps)?
                 } else {
                     gpu.enqueue_virtual_transfer(q_xfer, b_bytes, &deps)?
                 };
@@ -314,11 +345,11 @@ impl GpuEngine {
                 // Read the C chunk back.
                 let c_bytes = (mc.len() * nc.len() * 4) as u64;
                 let ev_r = if full {
-                    let mut out = vec![0u32; mc.len() * nc.len()];
+                    c_stage.resize(mc.len() * nc.len(), 0);
                     let ev =
-                        gpu.enqueue_read(q_xfer, c_bufs[slot], 0, &mut out, &[ev_k], false)?;
+                        gpu.enqueue_read(q_xfer, c_bufs[slot], 0, &mut c_stage, &[ev_k], false)?;
                     let g = gamma.as_mut().expect("full mode");
-                    for (ri, row) in out.chunks_exact(nc.len()).enumerate() {
+                    for (ri, row) in c_stage.chunks_exact(nc.len()).enumerate() {
                         g.row_mut(mc.lo + ri)[nc.lo..nc.hi].copy_from_slice(row);
                     }
                     ev
@@ -332,7 +363,9 @@ impl GpuEngine {
         gpu.finish_all();
 
         let sum = |evs: &[EventId]| -> u64 {
-            evs.iter().map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0)).sum()
+            evs.iter()
+                .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
+                .sum()
         };
         let kernel_ns = sum(&kernel_events);
         let timing = Timing {
@@ -383,6 +416,19 @@ mod tests {
     }
 
     #[test]
+    fn device_words_into_reuses_allocation() {
+        let m = matrix(8, 500, 12);
+        let mut stage = Vec::new();
+        device_words_into(&m, 0, 8, &mut stage);
+        assert_eq!(stage, device_words(&m, 0, 8));
+        let cap = stage.capacity();
+        // Smaller refill must reuse the grown allocation.
+        device_words_into(&m, 2, 5, &mut stage);
+        assert_eq!(stage, device_words(&m, 2, 5));
+        assert_eq!(stage.capacity(), cap, "staging buffer must not reallocate");
+    }
+
+    #[test]
     fn full_run_matches_reference_all_algorithms() {
         let a = matrix(70, 500, 1);
         let b = matrix(130, 500, 2);
@@ -391,12 +437,29 @@ mod tests {
         let want_andnot = reference_gamma(&a, &b, CompareOp::AndNot);
         for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
             let eng = GpuEngine::new(dev.clone());
-            let ld = eng.compare(&a, &b, Algorithm::LinkageDisequilibrium).unwrap();
-            assert_eq!(ld.gamma.unwrap().first_mismatch(&want_and), None, "{} LD", dev.name);
+            let ld = eng
+                .compare(&a, &b, Algorithm::LinkageDisequilibrium)
+                .unwrap();
+            assert_eq!(
+                ld.gamma.unwrap().first_mismatch(&want_and),
+                None,
+                "{} LD",
+                dev.name
+            );
             let id = eng.identity_search(&a, &b).unwrap();
-            assert_eq!(id.gamma.unwrap().first_mismatch(&want_xor), None, "{} ID", dev.name);
+            assert_eq!(
+                id.gamma.unwrap().first_mismatch(&want_xor),
+                None,
+                "{} ID",
+                dev.name
+            );
             let mix = eng.mixture_analysis(&a, &b).unwrap();
-            assert_eq!(mix.gamma.unwrap().first_mismatch(&want_andnot), None, "{} MIX", dev.name);
+            assert_eq!(
+                mix.gamma.unwrap().first_mismatch(&want_andnot),
+                None,
+                "{} MIX",
+                dev.name
+            );
         }
     }
 
@@ -406,14 +469,26 @@ mod tests {
         let mixes = matrix(24, 256, 4);
         let dev = devices::vega_64();
         let direct = GpuEngine::new(dev.clone())
-            .with_options(EngineOptions { mixture: MixtureStrategy::Direct, ..Default::default() })
+            .with_options(EngineOptions {
+                mixture: MixtureStrategy::Direct,
+                ..Default::default()
+            })
             .mixture_analysis(&refs, &mixes)
             .unwrap();
         let pre = GpuEngine::new(dev)
-            .with_options(EngineOptions { mixture: MixtureStrategy::PreNegate, ..Default::default() })
+            .with_options(EngineOptions {
+                mixture: MixtureStrategy::PreNegate,
+                ..Default::default()
+            })
             .mixture_analysis(&refs, &mixes)
             .unwrap();
-        assert_eq!(direct.gamma.unwrap().first_mismatch(pre.gamma.as_ref().unwrap()), None);
+        assert_eq!(
+            direct
+                .gamma
+                .unwrap()
+                .first_mismatch(pre.gamma.as_ref().unwrap()),
+            None
+        );
     }
 
     #[test]
@@ -423,7 +498,10 @@ mod tests {
         let dev = devices::gtx_980();
         let full = GpuEngine::new(dev.clone()).identity_search(&a, &b).unwrap();
         let timed = GpuEngine::new(dev)
-            .with_options(EngineOptions { mode: ExecMode::TimingOnly, ..Default::default() })
+            .with_options(EngineOptions {
+                mode: ExecMode::TimingOnly,
+                ..Default::default()
+            })
             .identity_search(&a, &b)
             .unwrap();
         assert!(timed.gamma.is_none());
@@ -453,7 +531,11 @@ mod tests {
         let b = matrix(900, 700, 9);
         let eng = GpuEngine::new(dev);
         let r = eng.identity_search(&a, &b).unwrap();
-        assert!(r.passes > 1, "expected chunked execution, got {} passes", r.passes);
+        assert!(
+            r.passes > 1,
+            "expected chunked execution, got {} passes",
+            r.passes
+        );
         let want = reference_gamma(&a, &b, CompareOp::Xor);
         assert_eq!(r.gamma.unwrap().first_mismatch(&want), None);
     }

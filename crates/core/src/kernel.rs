@@ -15,11 +15,17 @@
 //! * a functional executor ([`execute_gamma`]) computing bit-exact results
 //!   on the device's `u32` buffers, validated against the scalar reference.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
 use rayon::prelude::*;
 use snp_bitmat::CompareOp;
 use snp_gpu_model::{DeviceSpec, InstrClass, KernelConfig};
 use snp_gpu_sim::host::KernelCost;
-use snp_gpu_sim::macro_engine::{estimate_core_cycles, kernel_time, KernelTime, Traffic};
+use snp_gpu_sim::macro_engine::{
+    device_fingerprint, estimate_core_cycles, kernel_time, memoized_core_cycles, KernelTime,
+    Traffic,
+};
 use snp_gpu_sim::{Block, Instr, Program, Reg};
 
 /// Per-thread-group geometry derived from a configuration (DESIGN.md §3;
@@ -134,7 +140,11 @@ pub fn tile_program(
     }
     // Loop bookkeeping: induction update + address increment.
     body.push(Instr::arith(InstrClass::Scalar, scalar_reg, &[scalar_reg]));
-    body.push(Instr::arith(InstrClass::Scalar, scalar_reg + 1, &[scalar_reg + 1]));
+    body.push(Instr::arith(
+        InstrClass::Scalar,
+        scalar_reg + 1,
+        &[scalar_reg + 1],
+    ));
 
     // Prologue per slab: stage the A slab from global into shared memory.
     let slab_words = cfg.k_c.min(k_words.max(1));
@@ -166,6 +176,25 @@ pub fn tile_program(
     }
     blocks.push(Block::once(epilogue));
     Program::new(blocks)
+}
+
+/// Cache key for the per-job cycle estimate of a tile program.
+///
+/// [`tile_program`] and the group geometry are pure functions of
+/// `(dev, cfg, op, k_words)`, so this key is computable *without* building
+/// the program — on a cache hit [`KernelPlan::new`] skips both program
+/// construction and the analytic estimate. That is the hot path of
+/// configuration sweeps and multi-pass launches, where thousands of plans
+/// share a handful of distinct tile programs.
+fn plan_timing_key(dev: &DeviceSpec, cfg: &KernelConfig, op: CompareOp, k_words: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    "snp-core::kernel::plan".hash(&mut h);
+    device_fingerprint(dev).hash(&mut h);
+    // KernelConfig cannot derive Hash workspace-wide; its fields are ints.
+    (cfg.m_c, cfg.m_r, cfg.k_c, cfg.n_r).hash(&mut h);
+    (cfg.grid_m, cfg.grid_n, cfg.groups_per_cluster).hash(&mut h);
+    (op, k_words).hash(&mut h);
+    h.finish()
 }
 
 /// A fully planned kernel launch for one pass of `m_pass × n_pass` outputs
@@ -202,15 +231,20 @@ impl KernelPlan {
         n_pass: usize,
         k_words: usize,
     ) -> KernelPlan {
-        assert!(m_pass > 0 && n_pass > 0 && k_words > 0, "pass must be non-empty");
+        assert!(
+            m_pass > 0 && n_pass > 0 && k_words > 0,
+            "pass must be non-empty"
+        );
         let geo = group_geometry(dev, cfg);
         let tiles_m = m_pass.div_ceil(cfg.m_c) as u64;
         let tiles_n = n_pass.div_ceil(cfg.n_r) as u64;
         let grid_m = (cfg.grid_m as u64).min(tiles_m).max(1);
         let grid_n = (cfg.grid_n as u64).min(tiles_n).max(1);
         let jobs_per_core = tiles_m.div_ceil(grid_m) * tiles_n.div_ceil(grid_n);
-        let program = tile_program(dev, cfg, op, k_words);
-        let per_job = estimate_core_cycles(dev, &program, geo.groups_per_core);
+        let per_job = memoized_core_cycles(plan_timing_key(dev, cfg, op, k_words), || {
+            let program = tile_program(dev, cfg, op, k_words);
+            estimate_core_cycles(dev, &program, geo.groups_per_core)
+        });
         let kw = k_words as u64;
         let traffic = Traffic {
             read_bytes: tiles_m * tiles_n * (cfg.m_c as u64 + cfg.n_r as u64) * kw * 4,
@@ -260,9 +294,24 @@ pub fn execute_gamma(
     n: usize,
     k_words: usize,
 ) {
-    assert!(a.len() >= m * k_words, "A buffer too small: {} < {}", a.len(), m * k_words);
-    assert!(b.len() >= n * k_words, "B buffer too small: {} < {}", b.len(), n * k_words);
-    assert!(c.len() >= m * n, "C buffer too small: {} < {}", c.len(), m * n);
+    assert!(
+        a.len() >= m * k_words,
+        "A buffer too small: {} < {}",
+        a.len(),
+        m * k_words
+    );
+    assert!(
+        b.len() >= n * k_words,
+        "B buffer too small: {} < {}",
+        b.len(),
+        n * k_words
+    );
+    assert!(
+        c.len() >= m * n,
+        "C buffer too small: {} < {}",
+        c.len(),
+        m * n
+    );
     c[..m * n]
         .par_chunks_mut(n.max(1))
         .enumerate()
@@ -306,7 +355,11 @@ mod tests {
         config_for(
             dev,
             Algorithm::LinkageDisequilibrium,
-            ProblemShape { m: 10_000, n: 10_000, k_words: 1000 },
+            ProblemShape {
+                m: 10_000,
+                n: 10_000,
+                k_words: 1000,
+            },
         )
     }
 
@@ -324,11 +377,25 @@ mod tests {
         // Titan V: groups 16, v = 1024/(4*32) = 8, outputs 64, R = 8.
         let t = devices::titan_v();
         let geo = group_geometry(&t, &ld_cfg(&t));
-        assert_eq!((geo.groups_per_core, geo.cols_per_thread, geo.outputs_per_thread), (16, 8, 64));
+        assert_eq!(
+            (
+                geo.groups_per_core,
+                geo.cols_per_thread,
+                geo.outputs_per_thread
+            ),
+            (16, 8, 64)
+        );
         // Vega: groups 16, v = 1024/(4*64) = 4, outputs 32.
         let v = devices::vega_64();
         let geo = group_geometry(&v, &ld_cfg(&v));
-        assert_eq!((geo.groups_per_core, geo.cols_per_thread, geo.outputs_per_thread), (16, 4, 32));
+        assert_eq!(
+            (
+                geo.groups_per_core,
+                geo.cols_per_thread,
+                geo.outputs_per_thread
+            ),
+            (16, 4, 32)
+        );
     }
 
     #[test]
@@ -358,11 +425,18 @@ mod tests {
         let gtx = devices::gtx_980();
         let p_and = tile_program(&gtx, &ld_cfg(&gtx), CompareOp::And, k);
         let p_an = tile_program(&gtx, &ld_cfg(&gtx), CompareOp::AndNot, k);
-        assert_eq!(p_and.dynamic_instrs(), p_an.dynamic_instrs(), "fused AND-NOT is free");
+        assert_eq!(
+            p_and.dynamic_instrs(),
+            p_an.dynamic_instrs(),
+            "fused AND-NOT is free"
+        );
         let vega = devices::vega_64();
         let v_and = tile_program(&vega, &ld_cfg(&vega), CompareOp::And, k);
         let v_an = tile_program(&vega, &ld_cfg(&vega), CompareOp::AndNot, k);
-        assert!(v_an.dynamic_instrs() > v_and.dynamic_instrs(), "explicit NOT costs issues");
+        assert!(
+            v_an.dynamic_instrs() > v_and.dynamic_instrs(),
+            "explicit NOT costs issues"
+        );
     }
 
     #[test]
@@ -378,8 +452,8 @@ mod tests {
             assert_eq!(plan.active_cores, 1);
             let word_ops = (cfg.m_c * cfg.n_r * k) as f64;
             let rate = word_ops / plan.core_cycles; // word-ops per cycle per core
-            let peak_rate = peak(&dev, WordOpKind::And).word_ops_per_cycle_per_cluster
-                * dev.n_clusters as f64;
+            let peak_rate =
+                peak(&dev, WordOpKind::And).word_ops_per_cycle_per_cluster * dev.n_clusters as f64;
             let frac = rate / peak_rate;
             assert!(
                 frac > 0.85 && frac <= 1.0,
@@ -435,6 +509,28 @@ mod tests {
         let b = [u32::MAX, u32::MAX, 0b0110];
         assert_eq!(dot_u32(CompareOp::And, &a, &b), 32 + 1);
         assert_eq!(dot_u32(CompareOp::Xor, &a, &b), 32 + 3);
+    }
+
+    #[test]
+    fn plan_timing_is_memoized_and_matches_oracle() {
+        use snp_gpu_sim::macro_engine::timing_cache_stats;
+        let dev = devices::gtx_980();
+        let cfg = ld_cfg(&dev);
+        let k = 977; // unique to this test so the priming call is a miss
+        let p1 = KernelPlan::new(&dev, &cfg, CompareOp::Xor, 999, 777, k);
+        let before = timing_cache_stats();
+        // Different pass shape, same tile program: answered from the cache.
+        let p2 = KernelPlan::new(&dev, &cfg, CompareOp::Xor, 4321, 55, k);
+        let after = timing_cache_stats();
+        assert!(
+            after.hits > before.hits,
+            "expected a cache hit: {before:?} -> {after:?}"
+        );
+        // The memoized per-job estimate equals the unmemoized oracle.
+        let program = tile_program(&dev, &cfg, CompareOp::Xor, k);
+        let per_job = estimate_core_cycles(&dev, &program, p1.groups_per_core);
+        assert_eq!(p1.core_cycles, per_job * p1.jobs_per_core as f64);
+        assert_eq!(p2.core_cycles, per_job * p2.jobs_per_core as f64);
     }
 
     #[test]

@@ -41,10 +41,11 @@ pub mod tiling;
 pub use autoconf::{compare_op, config_for, word_op_kind, MixtureStrategy};
 pub use cpu_model::CpuModel;
 pub use engine::{
-    device_words, EngineError, EngineOptions, ExecMode, GpuEngine, RunReport, Timing,
+    device_words, device_words_into, EngineError, EngineOptions, ExecMode, GpuEngine, RunReport,
+    Timing,
 };
 pub use kernel::{execute_gamma, group_geometry, tile_program, GroupGeometry, KernelPlan};
 pub use multi::{dgx2_like, MultiGpuEngine, MultiRunReport};
-pub use streaming::{topk_of_row, Match, TopKReport};
 pub use snp_gpu_model::config::Algorithm;
+pub use streaming::{topk_of_row, Match, TopKReport};
 pub use tiling::{plan_passes, Chunk, PlanError, TilePlan};

@@ -57,7 +57,10 @@ impl MultiGpuEngine {
     /// Builds an engine over `devices` (at least one).
     pub fn new(devices: Vec<DeviceSpec>) -> Self {
         assert!(!devices.is_empty(), "need at least one device");
-        MultiGpuEngine { devices, options: EngineOptions::default() }
+        MultiGpuEngine {
+            devices,
+            options: EngineOptions::default(),
+        }
     }
 
     /// Overrides the per-shard engine options.
@@ -85,7 +88,10 @@ impl MultiGpuEngine {
             })
             .collect();
         let total: f64 = rates.iter().sum();
-        let mut shards: Vec<usize> = rates.iter().map(|r| (n as f64 * r / total) as usize).collect();
+        let mut shards: Vec<usize> = rates
+            .iter()
+            .map(|r| (n as f64 * r / total) as usize)
+            .collect();
         // Distribute the rounding remainder to the fastest devices.
         let assigned: usize = shards.iter().sum();
         let mut remainder = n - assigned;
@@ -157,7 +163,13 @@ impl MultiGpuEngine {
             lo += rows;
         }
         let _ = word_op_kind; // module-level linkage for doc references
-        Ok(MultiRunReport { gamma, per_device, shard_rows, end_to_end_ns: end_to_end, word_ops })
+        Ok(MultiRunReport {
+            gamma,
+            per_device,
+            shard_rows,
+            end_to_end_ns: end_to_end,
+            word_ops,
+        })
     }
 
     /// FastID identity search across the device group.
@@ -209,15 +221,24 @@ mod tests {
     fn sharded_results_match_single_device() {
         let a = matrix(24, 600, 1);
         let b = matrix(300, 600, 2);
-        let single = GpuEngine::new(devices::titan_v()).identity_search(&a, &b).unwrap();
+        let single = GpuEngine::new(devices::titan_v())
+            .identity_search(&a, &b)
+            .unwrap();
         let multi = MultiGpuEngine::new(vec![devices::titan_v(), devices::titan_v()])
             .identity_search(&a, &b)
             .unwrap();
         assert_eq!(
-            multi.gamma.unwrap().first_mismatch(single.gamma.as_ref().unwrap()),
+            multi
+                .gamma
+                .unwrap()
+                .first_mismatch(single.gamma.as_ref().unwrap()),
             None
         );
-        assert_eq!(multi.shard_rows, vec![150, 150], "equal devices share equally");
+        assert_eq!(
+            multi.shard_rows,
+            vec![150, 150],
+            "equal devices share equally"
+        );
     }
 
     #[test]
@@ -234,7 +255,9 @@ mod tests {
     fn heterogeneous_results_are_still_exact() {
         let a = matrix(16, 500, 3);
         let b = matrix(420, 500, 4);
-        let multi = MultiGpuEngine::new(devices::all_gpus()).identity_search(&a, &b).unwrap();
+        let multi = MultiGpuEngine::new(devices::all_gpus())
+            .identity_search(&a, &b)
+            .unwrap();
         let want = reference_gamma(&a, &b, CompareOp::Xor);
         assert_eq!(multi.gamma.unwrap().first_mismatch(&want), None);
         assert_eq!(multi.per_device.len(), 3);
@@ -261,7 +284,8 @@ mod tests {
         // End-to-end gains are bounded by the unsharded runtime-init cost
         // (every device still pays its ~150 ms), but device-side work —
         // kernels and transfers — must scale nearly linearly.
-        let single_busy = one.per_device[0].timing.kernel_ns + one.per_device[0].timing.transfer_in_ns;
+        let single_busy =
+            one.per_device[0].timing.kernel_ns + one.per_device[0].timing.transfer_in_ns;
         let max_shard_busy = sixteen
             .per_device
             .iter()
@@ -279,7 +303,9 @@ mod tests {
     fn tiny_databases_leave_slow_devices_idle_but_correct() {
         let a = matrix(8, 200, 5);
         let b = matrix(3, 200, 6); // fewer rows than devices x proportionality
-        let multi = MultiGpuEngine::new(devices::all_gpus()).identity_search(&a, &b).unwrap();
+        let multi = MultiGpuEngine::new(devices::all_gpus())
+            .identity_search(&a, &b)
+            .unwrap();
         assert_eq!(multi.shard_rows.iter().sum::<usize>(), 3);
         let want = reference_gamma(&a, &b, CompareOp::Xor);
         assert_eq!(multi.gamma.unwrap().first_mismatch(&want), None);

@@ -59,7 +59,10 @@ pub fn topk_of_row(row: &[u32], base_index: usize, k: usize) -> Vec<Match> {
     let mut v: Vec<Match> = row
         .iter()
         .enumerate()
-        .map(|(j, &d)| Match { profile: base_index + j, differences: d })
+        .map(|(j, &d)| Match {
+            profile: base_index + j,
+            differences: d,
+        })
         .collect();
     v.sort_by_key(|m| (m.differences, m.profile));
     v.truncate(k);
@@ -78,7 +81,11 @@ impl GpuEngine {
         k: usize,
     ) -> Result<TopKReport, EngineError> {
         assert!(k >= 1, "k must be at least 1");
-        assert_eq!(queries.words_per_row(), database.words_per_row(), "packed width mismatch");
+        assert_eq!(
+            queries.words_per_row(),
+            database.words_per_row(),
+            "packed width mismatch"
+        );
         let full = self.options().mode == ExecMode::Full;
         let op = CompareOp::Xor;
         let k_words = 2 * queries.words_per_row();
@@ -88,7 +95,14 @@ impl GpuEngine {
             Algorithm::IdentitySearch,
             ProblemShape { m, n, k_words },
         );
-        let plan = plan_passes(self.spec(), &cfg, m, n, k_words, self.options().double_buffer)?;
+        let plan = plan_passes(
+            self.spec(),
+            &cfg,
+            m,
+            n,
+            k_words,
+            self.options().double_buffer,
+        )?;
 
         let gpu = Gpu::new(self.spec().clone());
         let init_ns = gpu.now_ns();
@@ -97,13 +111,23 @@ impl GpuEngine {
         let copies = if plan.double_buffered { 2 } else { 1 };
 
         let mk = |words: usize| -> Result<_, EngineError> {
-            Ok(if full { gpu.create_buffer(words)? } else { gpu.create_virtual_buffer(words)? })
+            Ok(if full {
+                gpu.create_buffer(words)?
+            } else {
+                gpu.create_virtual_buffer(words)?
+            })
         };
         let a_buf = mk(plan.a_buffer_words().max(1))?;
-        let b_bufs: Vec<_> = (0..copies).map(|_| mk(plan.b_buffer_words().max(1))).collect::<Result<_, _>>()?;
-        let c_bufs: Vec<_> = (0..copies).map(|_| mk(plan.c_buffer_words().max(1))).collect::<Result<_, _>>()?;
+        let b_bufs: Vec<_> = (0..copies)
+            .map(|_| mk(plan.b_buffer_words().max(1)))
+            .collect::<Result<_, _>>()?;
+        let c_bufs: Vec<_> = (0..copies)
+            .map(|_| mk(plan.c_buffer_words().max(1)))
+            .collect::<Result<_, _>>()?;
         // Per-slot top-k staging buffer: m x k (index, score) pairs.
-        let t_bufs: Vec<_> = (0..copies).map(|_| mk((m * k * 2).max(1))).collect::<Result<_, _>>()?;
+        let t_bufs: Vec<_> = (0..copies)
+            .map(|_| mk((m * k * 2).max(1)))
+            .collect::<Result<_, _>>()?;
 
         let mut matches: Option<Vec<Vec<Match>>> = full.then(|| vec![Vec::new(); m]);
         let mut pack_ns = 0u64;
@@ -147,9 +171,16 @@ impl GpuEngine {
             let kdeps = [ev_a, ev_b];
             let ev_k = if full {
                 let (m_len, n_len) = (m, nc.len());
-                gpu.enqueue_kernel(q_comp, &kplan.cost(), &[a_buf, b_bufs[slot]], c_bufs[slot], &kdeps, |reads, out| {
-                    execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k_words);
-                })?
+                gpu.enqueue_kernel(
+                    q_comp,
+                    &kplan.cost(),
+                    &[a_buf, b_bufs[slot]],
+                    c_bufs[slot],
+                    &kdeps,
+                    |reads, out| {
+                        execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k_words);
+                    },
+                )?
             } else {
                 gpu.enqueue_kernel_timed(q_comp, &kplan.cost(), &kdeps)?
             };
@@ -162,22 +193,29 @@ impl GpuEngine {
             let reduce_cost = reduction_cost(self.spec(), m, nc.len(), gamma_bytes);
             let (base, n_len_r) = (nc.lo, nc.len());
             let ev_r = if full {
-                gpu.enqueue_kernel(q_comp, &reduce_cost, &[c_bufs[slot]], t_bufs[slot], &[ev_k], move |reads, out| {
-                    let gamma = reads[0];
-                    for q in 0..m {
-                        let row = &gamma[q * n_len_r..(q + 1) * n_len_r];
-                        let top = topk_of_row(row, base, k);
-                        for (slot_idx, mt) in top.iter().enumerate() {
-                            out[(q * k + slot_idx) * 2] = mt.profile as u32;
-                            out[(q * k + slot_idx) * 2 + 1] = mt.differences;
+                gpu.enqueue_kernel(
+                    q_comp,
+                    &reduce_cost,
+                    &[c_bufs[slot]],
+                    t_bufs[slot],
+                    &[ev_k],
+                    move |reads, out| {
+                        let gamma = reads[0];
+                        for q in 0..m {
+                            let row = &gamma[q * n_len_r..(q + 1) * n_len_r];
+                            let top = topk_of_row(row, base, k);
+                            for (slot_idx, mt) in top.iter().enumerate() {
+                                out[(q * k + slot_idx) * 2] = mt.profile as u32;
+                                out[(q * k + slot_idx) * 2 + 1] = mt.differences;
+                            }
+                            // Pad unused slots with sentinel (u32::MAX).
+                            for s in top.len()..k {
+                                out[(q * k + s) * 2] = u32::MAX;
+                                out[(q * k + s) * 2 + 1] = u32::MAX;
+                            }
                         }
-                        // Pad unused slots with sentinel (u32::MAX).
-                        for s in top.len()..k {
-                            out[(q * k + s) * 2] = u32::MAX;
-                            out[(q * k + s) * 2 + 1] = u32::MAX;
-                        }
-                    }
-                })?
+                    },
+                )?
             } else {
                 gpu.enqueue_kernel_timed(q_comp, &reduce_cost, &[ev_k])?
             };
@@ -195,7 +233,10 @@ impl GpuEngine {
                     let cands = (0..k).filter_map(|s| {
                         let idx = out[(q * k + s) * 2];
                         let d = out[(q * k + s) * 2 + 1];
-                        (idx != u32::MAX).then_some(Match { profile: idx as usize, differences: d })
+                        (idx != u32::MAX).then_some(Match {
+                            profile: idx as usize,
+                            differences: d,
+                        })
                     });
                     merge_topk(list, cands, k);
                 }
@@ -208,7 +249,9 @@ impl GpuEngine {
         gpu.finish_all();
 
         let sum = |evs: &[EventId]| -> u64 {
-            evs.iter().map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0)).sum()
+            evs.iter()
+                .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
+                .sum()
         };
         Ok(TopKReport {
             matches,
@@ -229,7 +272,12 @@ impl GpuEngine {
 
 /// Timing model of the reduction: one streaming read of the γ chunk bounded
 /// by DRAM bandwidth, plus a compare-select per element on the integer pipe.
-fn reduction_cost(dev: &snp_gpu_model::DeviceSpec, m: usize, n: usize, gamma_bytes: u64) -> KernelCost {
+fn reduction_cost(
+    dev: &snp_gpu_model::DeviceSpec,
+    m: usize,
+    n: usize,
+    gamma_bytes: u64,
+) -> KernelCost {
     let elements = (m * n) as f64;
     let lanes = dev.n_fn(InstrClass::IntAdd).unwrap_or(16) as f64 * dev.n_clusters as f64;
     // Two ALU ops (compare + conditional move) per element across all cores.
@@ -237,7 +285,10 @@ fn reduction_cost(dev: &snp_gpu_model::DeviceSpec, m: usize, n: usize, gamma_byt
     KernelCost::Analytic {
         core_cycles,
         active_cores: dev.n_cores,
-        traffic: Traffic { read_bytes: gamma_bytes, write_bytes: (m * 64) as u64 },
+        traffic: Traffic {
+            read_bytes: gamma_bytes,
+            write_bytes: (m * 64) as u64,
+        },
     }
 }
 
@@ -285,7 +336,11 @@ mod tests {
         let engine = GpuEngine::new(dev);
         let report = engine.identity_search_topk(&q, &db, 3).unwrap();
         assert!(report.passes > 2, "expected chunked passes");
-        let full = GpuEngine::new(devices::titan_v()).identity_search(&q, &db).unwrap().gamma.unwrap();
+        let full = GpuEngine::new(devices::titan_v())
+            .identity_search(&q, &db)
+            .unwrap()
+            .gamma
+            .unwrap();
         let lists = report.matches.unwrap();
         for (qi, list) in lists.iter().enumerate() {
             assert_eq!(list, &topk_of_row(full.row(qi), 0, 3), "query {qi}");
@@ -299,7 +354,13 @@ mod tests {
         let engine = GpuEngine::new(devices::vega_64());
         let report = engine.identity_search_topk(&q, &db, 3).unwrap();
         let top = &report.matches.unwrap()[0];
-        assert_eq!(top[0], Match { profile: 123, differences: 0 });
+        assert_eq!(
+            top[0],
+            Match {
+                profile: 123,
+                differences: 0
+            }
+        );
         assert!(top[1].differences > 0);
     }
 
@@ -329,7 +390,9 @@ mod tests {
     fn k_larger_than_database_returns_everything() {
         let q = matrix(2, 128, 6);
         let db = matrix(5, 128, 7);
-        let report = GpuEngine::new(devices::gtx_980()).identity_search_topk(&q, &db, 50).unwrap();
+        let report = GpuEngine::new(devices::gtx_980())
+            .identity_search_topk(&q, &db, 50)
+            .unwrap();
         let lists = report.matches.unwrap();
         assert_eq!(lists[0].len(), 5, "only 5 profiles exist");
     }

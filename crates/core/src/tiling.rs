@@ -101,7 +101,10 @@ impl std::error::Error for PlanError {}
 fn chunks_of(total: usize, chunk: usize) -> Vec<Chunk> {
     (0..total)
         .step_by(chunk.max(1))
-        .map(|lo| Chunk { lo, hi: (lo + chunk).min(total) })
+        .map(|lo| Chunk {
+            lo,
+            hi: (lo + chunk).min(total),
+        })
         .collect()
 }
 
@@ -235,7 +238,10 @@ mod tests {
         let titan = devices::titan_v();
         let pg = plan_passes(&gtx, &fastid_cfg(&gtx), 32, 20_971_520, 32, true).unwrap();
         let pt = plan_passes(&titan, &fastid_cfg(&titan), 32, 20_971_520, 32, true).unwrap();
-        assert!(pt.n_chunks.len() < pg.n_chunks.len(), "more memory, fewer passes");
+        assert!(
+            pt.n_chunks.len() < pg.n_chunks.len(),
+            "more memory, fewer passes"
+        );
     }
 
     #[test]

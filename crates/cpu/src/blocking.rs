@@ -40,7 +40,12 @@ impl Default for CacheParams {
     fn default() -> Self {
         // Conservative modern-x86 defaults (and the Ivy Bridge sizes of the
         // paper's reference workstation).
-        CacheParams { l1_bytes: 32 << 10, l2_bytes: 256 << 10, l3_bytes: 15 << 20, word_bytes: 8 }
+        CacheParams {
+            l1_bytes: 32 << 10,
+            l2_bytes: 256 << 10,
+            l3_bytes: 15 << 20,
+            word_bytes: 8,
+        }
     }
 }
 
@@ -64,9 +69,19 @@ impl CpuBlocking {
     /// * `n_c`: the `n_c × k_c` packed B̃ fills half of L3.
     pub fn from_caches(c: CacheParams) -> Self {
         let k_c = (c.l1_bytes / 2 / ((MR + NR) * c.word_bytes)).max(16);
-        let m_c = (c.l2_bytes / 2 / (k_c * c.word_bytes)).next_multiple_of(MR).max(MR);
-        let n_c = (c.l3_bytes / 2 / (k_c * c.word_bytes)).next_multiple_of(NR).max(NR);
-        CpuBlocking { m_r: MR, n_r: NR, k_c, m_c, n_c }
+        let m_c = (c.l2_bytes / 2 / (k_c * c.word_bytes))
+            .next_multiple_of(MR)
+            .max(MR);
+        let n_c = (c.l3_bytes / 2 / (k_c * c.word_bytes))
+            .next_multiple_of(NR)
+            .max(NR);
+        CpuBlocking {
+            m_r: MR,
+            n_r: NR,
+            k_c,
+            m_c,
+            n_c,
+        }
     }
 
     /// The default blocking for this machine class.
@@ -84,10 +99,16 @@ impl CpuBlocking {
             ));
         }
         if !self.m_c.is_multiple_of(self.m_r) {
-            v.push(format!("m_c {} must be a multiple of m_r {}", self.m_c, self.m_r));
+            v.push(format!(
+                "m_c {} must be a multiple of m_r {}",
+                self.m_c, self.m_r
+            ));
         }
         if !self.n_c.is_multiple_of(self.n_r) {
-            v.push(format!("n_c {} must be a multiple of n_r {}", self.n_c, self.n_r));
+            v.push(format!(
+                "n_c {} must be a multiple of n_r {}",
+                self.n_c, self.n_r
+            ));
         }
         if self.k_c == 0 {
             v.push("k_c must be positive".into());
@@ -138,9 +159,15 @@ mod tests {
 
     #[test]
     fn violations_detected() {
-        let b = CpuBlocking { m_c: MR + 1, ..CpuBlocking::default() };
+        let b = CpuBlocking {
+            m_c: MR + 1,
+            ..CpuBlocking::default()
+        };
         assert!(!b.violations().is_empty());
-        let b2 = CpuBlocking { m_r: 2, ..CpuBlocking::default() };
+        let b2 = CpuBlocking {
+            m_r: 2,
+            ..CpuBlocking::default()
+        };
         assert!(!b2.violations().is_empty());
     }
 }

@@ -35,18 +35,28 @@ impl Default for CpuEngine {
 impl CpuEngine {
     /// Multithreaded engine with cache-derived blocking.
     pub fn new() -> Self {
-        CpuEngine { blocking: CpuBlocking::default(), parallel: true }
+        CpuEngine {
+            blocking: CpuBlocking::default(),
+            parallel: true,
+        }
     }
 
     /// Single-threaded engine (useful for reproducible profiling and as the
     /// per-core baseline).
     pub fn sequential() -> Self {
-        CpuEngine { blocking: CpuBlocking::default(), parallel: false }
+        CpuEngine {
+            blocking: CpuBlocking::default(),
+            parallel: false,
+        }
     }
 
     /// Overrides the blocking parameters.
     pub fn with_blocking(mut self, blocking: CpuBlocking) -> Self {
-        assert!(blocking.violations().is_empty(), "invalid blocking: {:?}", blocking.violations());
+        assert!(
+            blocking.violations().is_empty(),
+            "invalid blocking: {:?}",
+            blocking.violations()
+        );
         self.blocking = blocking;
         self
     }
@@ -101,7 +111,11 @@ impl CpuEngine {
 
     /// FastID identity search: XOR of queries against a database
     /// (paper Eq. 2). `γ[q][p] == 0` is a positive match.
-    pub fn identity_search(&self, queries: &BitMatrix<u64>, database: &BitMatrix<u64>) -> CountMatrix {
+    pub fn identity_search(
+        &self,
+        queries: &BitMatrix<u64>,
+        database: &BitMatrix<u64>,
+    ) -> CountMatrix {
         self.gamma(queries, database, CompareOp::Xor)
     }
 
@@ -151,7 +165,11 @@ mod tests {
     fn ld_self_is_and_self() {
         let a = matrix(12, 200, 2);
         let e = CpuEngine::new();
-        assert_eq!(e.ld_self(&a).first_mismatch(&e.gamma(&a, &a, CompareOp::And)), None);
+        assert_eq!(
+            e.ld_self(&a)
+                .first_mismatch(&e.gamma(&a, &a, CompareOp::And)),
+            None
+        );
     }
 
     #[test]
@@ -179,7 +197,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid blocking")]
     fn with_blocking_rejects_bad_params() {
-        let bad = CpuBlocking { m_r: 1, n_r: 1, k_c: 0, m_c: 1, n_c: 1 };
+        let bad = CpuBlocking {
+            m_r: 1,
+            n_r: 1,
+            k_c: 0,
+            m_c: 1,
+            n_c: 1,
+        };
         let _ = CpuEngine::new().with_blocking(bad);
     }
 }

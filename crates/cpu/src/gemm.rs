@@ -113,8 +113,20 @@ pub(crate) fn check_shapes(
         a.words_per_row(),
         b.words_per_row()
     );
-    assert_eq!(c.rows(), a.rows(), "output rows {} != A rows {}", c.rows(), a.rows());
-    assert_eq!(c.cols(), b.rows(), "output cols {} != B rows {}", c.cols(), b.rows());
+    assert_eq!(
+        c.rows(),
+        a.rows(),
+        "output rows {} != A rows {}",
+        c.rows(),
+        a.rows()
+    );
+    assert_eq!(
+        c.cols(),
+        b.rows(),
+        "output cols {} != B rows {}",
+        c.cols(),
+        b.rows()
+    );
     let viol = blocking.violations();
     assert!(viol.is_empty(), "invalid blocking: {viol:?}");
 }
@@ -127,7 +139,13 @@ mod tests {
     fn blocking_small() -> CpuBlocking {
         // Tiny blocks force every loop to iterate multiple times even on
         // small inputs, exercising all edge paths.
-        CpuBlocking { m_r: MR, n_r: NR, k_c: 2, m_c: 2 * MR, n_c: 2 * NR }
+        CpuBlocking {
+            m_r: MR,
+            n_r: NR,
+            k_c: 2,
+            m_c: 2 * MR,
+            n_c: 2 * NR,
+        }
     }
 
     fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
@@ -202,7 +220,13 @@ mod tests {
     #[should_panic(expected = "invalid blocking")]
     fn invalid_blocking_panics() {
         let a = matrix(4, 64, 0);
-        let bad = CpuBlocking { m_r: 2, n_r: NR, k_c: 8, m_c: 16, n_c: 16 };
+        let bad = CpuBlocking {
+            m_r: 2,
+            n_r: NR,
+            k_c: 8,
+            m_c: 16,
+            n_c: 16,
+        };
         let _ = gamma_blocked(&a, &a, CompareOp::And, &bad);
     }
 }

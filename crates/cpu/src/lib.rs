@@ -29,4 +29,5 @@ pub mod symmetric;
 
 pub use blocking::{CacheParams, CpuBlocking};
 pub use engine::CpuEngine;
+pub use parallel::{ParallelSchedule, ParallelStats};
 pub use symmetric::gamma_self_symmetric;

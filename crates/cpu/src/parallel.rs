@@ -1,11 +1,28 @@
-//! Multithreaded blocked popcount-GEMM.
+//! Multithreaded blocked popcount-GEMM with shape-aware scheduling.
 //!
-//! \[11\] parallelizes the second and third loops around the microkernel; we
-//! do the same with rayon: the shared `B̃` block is packed once per
-//! (`jc`, `pc`) iteration, then the third loop's `m_c`-row blocks are
-//! distributed across the thread pool. Each task packs its own `Ã` block
-//! and owns a disjoint row range of `γ`, so no synchronization is needed
-//! beyond the fork/join.
+//! \[11\] parallelizes the second and third loops around the microkernel.
+//! Splitting only the third (`ic`, row-block) loop works for square LD
+//! problems but degenerates for FastID-shaped ones — a handful of query
+//! rows against millions of database profiles yields a single `m_c` block
+//! and therefore a single task. This module therefore picks between two
+//! schedules by problem shape (or on request):
+//!
+//! * [`ParallelSchedule::RowBlocks`] — the classic `ic` split. The `pc`
+//!   loop is outermost and every `m_c` block of `Ã` is packed **once per
+//!   `pc`** into a cache reused across all `jc` iterations (the seed packed
+//!   it once per `(jc, pc)`, re-packing the same words `n / n_c` times).
+//!   Each task owns a disjoint row range of `γ`.
+//! * [`ParallelSchedule::ColumnStrips`] — the `jc` split for wide problems.
+//!   `Ã` (small by assumption) is packed once per `pc` up front; each task
+//!   owns a disjoint **column** strip of `γ`, packs the `B̃` blocks of its
+//!   strip itself, and accumulates into a private `m × strip` buffer that
+//!   is added into `γ` after the join, keeping all writes disjoint without
+//!   synchronization.
+//!
+//! Both schedules produce results bit-identical to the sequential path:
+//! every `γ` cell is a sum of `u32` tile contributions, and integer
+//! addition is associative and commutative, so neither the loop order nor
+//! the task boundaries are observable in the output.
 
 use rayon::prelude::*;
 use snp_bitmat::{BitMatrix, CompareOp, CountMatrix, PackedPanels};
@@ -13,8 +30,35 @@ use snp_bitmat::{BitMatrix, CompareOp, CountMatrix, PackedPanels};
 use crate::blocking::{CpuBlocking, MR, NR};
 use crate::gemm::{check_shapes, macro_kernel};
 
-/// Parallel version of [`crate::gemm::gamma_blocked_into`]. Produces results
-/// bit-identical to the sequential path (integer accumulation commutes).
+/// Which loop of the blocked GEMM is split across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelSchedule {
+    /// Pick by shape: [`ParallelSchedule::ColumnStrips`] when `m` fits in at
+    /// most two `m_c` blocks and the `n` dimension offers more tasks,
+    /// [`ParallelSchedule::RowBlocks`] otherwise.
+    Auto,
+    /// Split the third (`ic`) loop: tasks own disjoint row ranges of `γ`.
+    RowBlocks,
+    /// Split the fifth (`jc`) loop: tasks own disjoint column strips of `γ`.
+    ColumnStrips,
+}
+
+/// What the scheduler actually did — exposed so tests and benches can assert
+/// on parallelization behavior rather than only on timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// The schedule that ran (never [`ParallelSchedule::Auto`]).
+    pub schedule: ParallelSchedule,
+    /// Number of independent parallel tasks per parallel region.
+    pub tasks: usize,
+    /// Number of `Ã` block packs performed (cache effectiveness: without the
+    /// per-`pc` cache this would be multiplied by the number of `jc` steps).
+    pub a_packs: usize,
+}
+
+/// Parallel version of [`crate::gemm::gamma_blocked_into`] using the
+/// [`ParallelSchedule::Auto`] schedule. Produces results bit-identical to
+/// the sequential path.
 pub fn gamma_parallel_into(
     a: &BitMatrix<u64>,
     b: &BitMatrix<u64>,
@@ -22,28 +66,44 @@ pub fn gamma_parallel_into(
     blocking: &CpuBlocking,
     c: &mut CountMatrix,
 ) {
+    let _ = gamma_parallel_into_scheduled(a, b, op, blocking, c, ParallelSchedule::Auto);
+}
+
+/// Like [`gamma_parallel_into`] but with an explicit schedule; returns what
+/// was actually run.
+pub fn gamma_parallel_into_scheduled(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+    c: &mut CountMatrix,
+    schedule: ParallelSchedule,
+) -> ParallelStats {
     check_shapes(a, b, c, blocking);
-    let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
-    if m == 0 || n == 0 {
-        return;
-    }
-    let cols = c.cols();
-    for jc in (0..n).step_by(blocking.n_c) {
-        let n_blk = blocking.n_c.min(n - jc);
-        for pc in (0..k_words).step_by(blocking.k_c) {
-            let k_blk = blocking.k_c.min(k_words - pc);
-            let b_pack = PackedPanels::pack(b, jc, jc + n_blk, pc, pc + k_blk, NR);
-            // Third loop in parallel: disjoint m_c-row chunks of γ.
-            c.as_mut_slice()
-                .par_chunks_mut(blocking.m_c * cols)
-                .enumerate()
-                .for_each(|(blk, rows)| {
-                    let ic = blk * blocking.m_c;
-                    let m_blk = blocking.m_c.min(m - ic);
-                    let a_pack = PackedPanels::pack(a, ic, ic + m_blk, pc, pc + k_blk, MR);
-                    macro_kernel(op, &a_pack, &b_pack, rows, m_blk, cols, jc, n_blk);
-                });
+    let (m, n) = (a.rows(), b.rows());
+    let row_tasks = m.div_ceil(blocking.m_c);
+    let col_tasks = n.div_ceil(blocking.n_c);
+    let resolved = match schedule {
+        ParallelSchedule::Auto => {
+            if row_tasks <= 2 && col_tasks > row_tasks {
+                ParallelSchedule::ColumnStrips
+            } else {
+                ParallelSchedule::RowBlocks
+            }
         }
+        explicit => explicit,
+    };
+    if m == 0 || n == 0 {
+        return ParallelStats {
+            schedule: resolved,
+            tasks: 0,
+            a_packs: 0,
+        };
+    }
+    match resolved {
+        ParallelSchedule::RowBlocks => row_blocks(a, b, op, blocking, c),
+        ParallelSchedule::ColumnStrips => column_strips(a, b, op, blocking, c),
+        ParallelSchedule::Auto => unreachable!("resolved above"),
     }
 }
 
@@ -59,6 +119,118 @@ pub fn gamma_parallel(
     c
 }
 
+/// `ic` split with the per-`pc` `Ã` cache: `pc` is the outermost loop so
+/// each `m_c × k_c` block of `Ã` is packed exactly once and reused across
+/// every `jc` iteration; tasks own disjoint `m_c`-row chunks of `γ`.
+fn row_blocks(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+    c: &mut CountMatrix,
+) -> ParallelStats {
+    let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
+    let cols = c.cols();
+    let mut a_packs_done = 0;
+    for pc in (0..k_words).step_by(blocking.k_c) {
+        let k_blk = blocking.k_c.min(k_words - pc);
+        let a_packs: Vec<PackedPanels<u64>> = (0..m)
+            .step_by(blocking.m_c)
+            .map(|ic| {
+                let m_blk = blocking.m_c.min(m - ic);
+                PackedPanels::pack(a, ic, ic + m_blk, pc, pc + k_blk, MR)
+            })
+            .collect();
+        a_packs_done += a_packs.len();
+        for jc in (0..n).step_by(blocking.n_c) {
+            let n_blk = blocking.n_c.min(n - jc);
+            let b_pack = PackedPanels::pack(b, jc, jc + n_blk, pc, pc + k_blk, NR);
+            c.as_mut_slice()
+                .par_chunks_mut(blocking.m_c * cols)
+                .enumerate()
+                .for_each(|(blk, rows)| {
+                    let ic = blk * blocking.m_c;
+                    let m_blk = blocking.m_c.min(m - ic);
+                    macro_kernel(op, &a_packs[blk], &b_pack, rows, m_blk, cols, jc, n_blk);
+                });
+        }
+    }
+    ParallelStats {
+        schedule: ParallelSchedule::RowBlocks,
+        tasks: m.div_ceil(blocking.m_c),
+        a_packs: a_packs_done,
+    }
+}
+
+/// `jc` split for wide problems: all of `Ã` is packed once per `pc` up
+/// front (by assumption it fits a couple of `m_c` blocks), then each task
+/// processes one `n_c`-column strip of `γ` across **all** `pc` blocks into a
+/// private buffer, which is added into `γ` after the join. Tasks touch
+/// disjoint columns, so the final writeback is the only cross-strip step.
+fn column_strips(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+    c: &mut CountMatrix,
+) -> ParallelStats {
+    let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
+    let cols = c.cols();
+    // Per-pc Ã cache for the whole run: pc-major list of row-block packs.
+    let pc_steps: Vec<usize> = (0..k_words).step_by(blocking.k_c).collect();
+    let a_cache: Vec<Vec<PackedPanels<u64>>> = pc_steps
+        .iter()
+        .map(|&pc| {
+            let k_blk = blocking.k_c.min(k_words - pc);
+            (0..m)
+                .step_by(blocking.m_c)
+                .map(|ic| {
+                    let m_blk = blocking.m_c.min(m - ic);
+                    PackedPanels::pack(a, ic, ic + m_blk, pc, pc + k_blk, MR)
+                })
+                .collect()
+        })
+        .collect();
+    let a_packs_done: usize = a_cache.iter().map(Vec::len).sum();
+
+    let strips: Vec<usize> = (0..n).step_by(blocking.n_c).collect();
+    let tasks = strips.len();
+    let strip_results: Vec<(usize, usize, Vec<u32>)> = strips
+        .into_par_iter()
+        .map(|jc| {
+            let n_blk = blocking.n_c.min(n - jc);
+            let mut strip = vec![0u32; m * n_blk];
+            for (pi, &pc) in pc_steps.iter().enumerate() {
+                let k_blk = blocking.k_c.min(k_words - pc);
+                let b_pack = PackedPanels::pack(b, jc, jc + n_blk, pc, pc + k_blk, NR);
+                for (blk, a_pack) in a_cache[pi].iter().enumerate() {
+                    let ic = blk * blocking.m_c;
+                    let m_blk = blocking.m_c.min(m - ic);
+                    let rows = &mut strip[ic * n_blk..(ic + m_blk) * n_blk];
+                    macro_kernel(op, a_pack, &b_pack, rows, m_blk, n_blk, 0, n_blk);
+                }
+            }
+            (jc, n_blk, strip)
+        })
+        .collect();
+
+    let out = c.as_mut_slice();
+    for (jc, n_blk, strip) in strip_results {
+        for r in 0..m {
+            let dst = &mut out[r * cols + jc..r * cols + jc + n_blk];
+            let src = &strip[r * n_blk..(r + 1) * n_blk];
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o += v;
+            }
+        }
+    }
+    ParallelStats {
+        schedule: ParallelSchedule::ColumnStrips,
+        tasks,
+        a_packs: a_packs_done,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,7 +242,13 @@ mod tests {
     }
 
     fn blocking_small() -> CpuBlocking {
-        CpuBlocking { m_r: MR, n_r: NR, k_c: 3, m_c: 2 * MR, n_c: 3 * NR }
+        CpuBlocking {
+            m_r: MR,
+            n_r: NR,
+            k_c: 3,
+            m_c: 2 * MR,
+            n_c: 3 * NR,
+        }
     }
 
     #[test]
@@ -84,6 +262,95 @@ mod tests {
             assert_eq!(par.first_mismatch(&seq), None, "op {op}: par vs seq");
             assert_eq!(par.first_mismatch(&want), None, "op {op}: par vs reference");
         }
+    }
+
+    #[test]
+    fn both_schedules_match_sequential_on_every_shape() {
+        // Square-ish, wide (FastID-like), tall, and single-row shapes all
+        // must be bit-identical under either explicit schedule.
+        let shapes = [(3 * MR + 5, 5 * NR + 2), (5, 40 * NR), (60, 7), (1, 90)];
+        for (m, n) in shapes {
+            let a = matrix(m, 450, m);
+            let b = matrix(n, 450, n + 1);
+            for op in CompareOp::ALL {
+                let seq = gamma_blocked(&a, &b, op, &blocking_small());
+                for schedule in [ParallelSchedule::RowBlocks, ParallelSchedule::ColumnStrips] {
+                    let mut got = CountMatrix::zeros(m, n);
+                    let stats = gamma_parallel_into_scheduled(
+                        &a,
+                        &b,
+                        op,
+                        &blocking_small(),
+                        &mut got,
+                        schedule,
+                    );
+                    assert_eq!(stats.schedule, schedule);
+                    assert_eq!(
+                        got.first_mismatch(&seq),
+                        None,
+                        "{schedule:?} vs sequential on {m}x{n}, op {op}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_column_strips_for_fastid_shape() {
+        // 32 queries × many profiles: one m_c block but many n_c blocks.
+        let a = matrix(32, 320, 0);
+        let b = matrix(40 * NR, 320, 1);
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        let stats = gamma_parallel_into_scheduled(
+            &a,
+            &b,
+            CompareOp::Xor,
+            &blocking_small(),
+            &mut c,
+            ParallelSchedule::Auto,
+        );
+        assert_eq!(stats.schedule, ParallelSchedule::ColumnStrips);
+        assert!(stats.tasks > 1, "FastID shape must fan out, got {stats:?}");
+        let want = reference_gamma(&a, &b, CompareOp::Xor);
+        assert_eq!(c.first_mismatch(&want), None);
+    }
+
+    #[test]
+    fn auto_keeps_row_blocks_for_square_shape() {
+        let a = matrix(6 * MR, 256, 2);
+        let b = matrix(6 * NR, 256, 3);
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        let stats = gamma_parallel_into_scheduled(
+            &a,
+            &b,
+            CompareOp::And,
+            &blocking_small(),
+            &mut c,
+            ParallelSchedule::Auto,
+        );
+        assert_eq!(stats.schedule, ParallelSchedule::RowBlocks);
+        assert!(stats.tasks > 1);
+    }
+
+    #[test]
+    fn a_pack_cache_packs_each_block_once_per_pc() {
+        // 2 m_c row blocks × 4 k_c blocks = 8 packs regardless of how many
+        // jc steps run (the seed implementation did row_blocks × jc_steps ×
+        // pc_steps packs).
+        let a = matrix(4 * MR, 64 * 12, 4);
+        let b = matrix(9 * NR, 64 * 12, 5);
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        let stats = gamma_parallel_into_scheduled(
+            &a,
+            &b,
+            CompareOp::And,
+            &blocking_small(),
+            &mut c,
+            ParallelSchedule::RowBlocks,
+        );
+        let pc_steps = 12usize.div_ceil(3);
+        let row_blks = (4 * MR).div_ceil(2 * MR);
+        assert_eq!(stats.a_packs, row_blks * pc_steps);
     }
 
     #[test]
@@ -116,6 +383,29 @@ mod tests {
         for i in 0..20 {
             for j in 0..20 {
                 assert_eq!(c.get(i, j), want_and.get(i, j) + want_xor.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn column_strips_accumulates_into_existing_output() {
+        let a = matrix(8, 200, 8);
+        let b = matrix(120, 200, 9);
+        let mut c = CountMatrix::zeros(8, 120);
+        for _ in 0..2 {
+            gamma_parallel_into_scheduled(
+                &a,
+                &b,
+                CompareOp::AndNot,
+                &blocking_small(),
+                &mut c,
+                ParallelSchedule::ColumnStrips,
+            );
+        }
+        let want = reference_gamma(&a, &b, CompareOp::AndNot);
+        for i in 0..8 {
+            for j in 0..120 {
+                assert_eq!(c.get(i, j), 2 * want.get(i, j));
             }
         }
     }

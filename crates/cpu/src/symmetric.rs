@@ -92,7 +92,13 @@ mod tests {
     }
 
     fn blocking_small() -> CpuBlocking {
-        CpuBlocking { m_r: MR, n_r: NR, k_c: 3, m_c: 2 * MR, n_c: 3 * NR }
+        CpuBlocking {
+            m_r: MR,
+            n_r: NR,
+            k_c: 3,
+            m_c: 2 * MR,
+            n_c: 3 * NR,
+        }
     }
 
     #[test]

@@ -7,13 +7,11 @@
 //! [`DeviceSpec`] hardware features exactly as §V-A prescribes, and exposes
 //! the bounds the paper states as inequalities.
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::DeviceSpec;
 use crate::instr::WordOpKind;
 
 /// Which SNP-comparison algorithm a kernel instantiates (paper §II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Linkage disequilibrium: square AND self-comparison (Eq. 1).
     LinkageDisequilibrium,
@@ -52,7 +50,7 @@ impl Algorithm {
 
 /// The logical problem: `γ (m × n) = A (m × k) ⋄ Bᵀ (k × n)` with `k`
 /// counted in packed *words*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProblemShape {
     /// Rows of A (queries / SNP strings).
     pub m: usize,
@@ -73,7 +71,7 @@ impl ProblemShape {
 /// printed reads `m_c = N_b / N_cl`. See DESIGN.md §6 for the discrepancy
 /// discussion — `Banks` is the default because it is the value the paper's
 /// own configurations use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum McRule {
     /// `m_c = N_b` (Table II's actual values; the FastID query size of 32
     /// "was determined by the number of shared memory banks", §VI-D).
@@ -84,7 +82,7 @@ pub enum McRule {
 
 /// The "configuration header" of the framework (§V): the four BLIS blocking
 /// values plus the core grid and the chosen occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     /// Rows of the A block packed into shared memory.
     pub m_c: usize,
@@ -136,7 +134,10 @@ impl KernelConfig {
             return v;
         }
         if !self.m_r.is_multiple_of(dev.n_vec as usize) {
-            v.push(format!("m_r {} must be a multiple of N_vec {}", self.m_r, dev.n_vec));
+            v.push(format!(
+                "m_r {} must be a multiple of N_vec {}",
+                self.m_r, dev.n_vec
+            ));
         }
         if self.shared_bytes_used() > dev.usable_shared_bytes() as usize {
             v.push(format!(
@@ -146,7 +147,10 @@ impl KernelConfig {
             ));
         }
         if !self.m_c.is_multiple_of(self.m_r) {
-            v.push(format!("m_c {} must be a multiple of m_r {}", self.m_c, self.m_r));
+            v.push(format!(
+                "m_c {} must be a multiple of m_r {}",
+                self.m_c, self.m_r
+            ));
         }
         if !self.n_r.is_multiple_of(self.groups_per_cluster as usize) {
             v.push(format!(
@@ -162,11 +166,16 @@ impl KernelConfig {
             ));
         }
         if self.cores() > dev.n_cores {
-            v.push(format!("grid {}x{} exceeds {} cores", self.grid_m, self.grid_n, dev.n_cores));
+            v.push(format!(
+                "grid {}x{} exceeds {} cores",
+                self.grid_m, self.grid_n, dev.n_cores
+            ));
         }
         let groups_per_core = self.groups_per_cluster * dev.n_clusters;
         if groups_per_core > dev.max_thread_groups * dev.n_clusters {
-            v.push(format!("{groups_per_core} groups/core exceeds the device limit"));
+            v.push(format!(
+                "{groups_per_core} groups/core exceeds the device limit"
+            ));
         }
         v
     }
@@ -277,7 +286,10 @@ pub fn derive_grid(dev: &DeviceSpec, shape: ProblemShape, m_c: usize, n_r: usize
     if best_score.is_infinite() {
         // Degenerate problems smaller than the core count in both directions:
         // use whatever fits.
-        best = (m_tiles.min(cores), (cores / m_tiles.min(cores)).min(n_tiles).max(1));
+        best = (
+            m_tiles.min(cores),
+            (cores / m_tiles.min(cores)).min(n_tiles).max(1),
+        );
     }
     best
 }
@@ -288,17 +300,30 @@ mod tests {
     use crate::devices::*;
 
     fn ld_shape() -> ProblemShape {
-        ProblemShape { m: 12_256, n: 12_256, k_words: 384 }
+        ProblemShape {
+            m: 12_256,
+            n: 12_256,
+            k_words: 384,
+        }
     }
 
     fn fastid_shape() -> ProblemShape {
-        ProblemShape { m: 32, n: 20_971_520, k_words: 32 }
+        ProblemShape {
+            m: 32,
+            n: 20_971_520,
+            k_words: 32,
+        }
     }
 
     #[test]
     fn eq4_m_r_is_n_vec() {
         for d in all_gpus() {
-            assert_eq!(derive_m_r(&d), 4, "{}: Table II has m_r = 4 everywhere", d.name);
+            assert_eq!(
+                derive_m_r(&d),
+                4,
+                "{}: Table II has m_r = 4 everywhere",
+                d.name
+            );
         }
     }
 
@@ -332,7 +357,11 @@ mod tests {
         for (dev, n_r) in [(gtx_980(), 384), (titan_v(), 1024), (vega_64(), 1024)] {
             let lo = n_r_lower_bound(&dev, 4, 32);
             let hi = n_r_upper_bound(&dev, 4);
-            assert!(lo <= n_r && n_r <= hi, "{}: {lo} <= {n_r} <= {hi} violated", dev.name);
+            assert!(
+                lo <= n_r && n_r <= hi,
+                "{}: {lo} <= {n_r} <= {hi} violated",
+                dev.name
+            );
         }
     }
 
@@ -363,7 +392,11 @@ mod tests {
         for d in all_gpus() {
             let c = derive_config(&d, ld_shape(), McRule::Banks);
             assert_eq!(c.cores(), d.n_cores, "{}", d.name);
-            assert!(c.grid_m > 1, "{}: square problems should split m too", d.name);
+            assert!(
+                c.grid_m > 1,
+                "{}: square problems should split m too",
+                d.name
+            );
         }
     }
 
@@ -390,15 +423,25 @@ mod tests {
 
     #[test]
     fn word_op_selection_per_algorithm() {
-        assert_eq!(Algorithm::LinkageDisequilibrium.word_op(false), WordOpKind::And);
+        assert_eq!(
+            Algorithm::LinkageDisequilibrium.word_op(false),
+            WordOpKind::And
+        );
         assert_eq!(Algorithm::IdentitySearch.word_op(false), WordOpKind::Xor);
-        assert_eq!(Algorithm::MixtureAnalysis.word_op(false), WordOpKind::AndNot);
+        assert_eq!(
+            Algorithm::MixtureAnalysis.word_op(false),
+            WordOpKind::AndNot
+        );
         assert_eq!(Algorithm::MixtureAnalysis.word_op(true), WordOpKind::And);
     }
 
     #[test]
     fn problem_word_ops() {
-        let s = ProblemShape { m: 10, n: 20, k_words: 3 };
+        let s = ProblemShape {
+            m: 10,
+            n: 20,
+            k_words: 3,
+        };
         assert_eq!(s.word_ops(), 600);
     }
 }

@@ -1,12 +1,10 @@
 //! Device specifications for the model GPU architecture (paper §IV-A and
 //! Table I).
 
-use serde::{Deserialize, Serialize};
-
 use crate::instr::InstrClass;
 
 /// Hardware vendor, used only for reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Vendor {
     /// NVIDIA GPUs (thread groups are warps of 32).
     Nvidia,
@@ -22,7 +20,7 @@ pub enum Vendor {
 /// a set of instruction classes. Instructions of classes that *share* a
 /// pipeline contend for its issue slots — the mechanism behind the paper's
 /// Vega AND/ADD/NOT observation (§V-D, §VI-E-1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSpec {
     /// Human-readable name ("alu", "popc", "lsu", …).
     pub name: String,
@@ -36,7 +34,11 @@ impl PipelineSpec {
     /// Convenience constructor.
     pub fn new(name: &str, lanes: u32, classes: &[InstrClass]) -> Self {
         assert!(lanes > 0, "pipeline {name} must have at least one lane");
-        PipelineSpec { name: name.to_string(), lanes, classes: classes.to_vec() }
+        PipelineSpec {
+            name: name.to_string(),
+            lanes,
+            classes: classes.to_vec(),
+        }
     }
 }
 
@@ -48,7 +50,7 @@ impl PipelineSpec {
 /// `(knee / n)^exponent` beyond it. NVIDIA devices use exponents near zero
 /// (Titan V ≈ flat, GTX 980 ≈ 90 % at 16 cores); Vega 64's knee of 8 and
 /// larger exponent reproduce its collapse. See DESIGN.md §6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryModel {
     /// Nominal DRAM bandwidth in GiB/s.
     pub dram_bandwidth_gib_s: f64,
@@ -83,7 +85,7 @@ impl MemoryModel {
 }
 
 /// Host↔device link and software-overhead model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferModel {
     /// Effective host↔device bandwidth in GiB/s (PCIe 3.0 x16 ≈ 12 GiB/s).
     pub pcie_bandwidth_gib_s: f64,
@@ -114,7 +116,7 @@ impl TransferModel {
 
 /// A complete model-GPU description: everything Table I records, plus the
 /// pipeline map, memory model and transfer model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name ("GTX 980", "Titan V", "Vega 64", …).
     pub name: String,
@@ -173,7 +175,9 @@ impl DeviceSpec {
 
     /// Index of the pipeline serving `class`.
     pub fn pipeline_index_for(&self, class: InstrClass) -> Option<usize> {
-        self.pipelines.iter().position(|p| p.classes.contains(&class))
+        self.pipelines
+            .iter()
+            .position(|p| p.classes.contains(&class))
     }
 
     /// `N_fn` for an instruction class (functional units per cluster), or
@@ -240,7 +244,10 @@ impl DeviceSpec {
             return Err(format!("{}: non-positive frequency", self.name));
         }
         if !self.n_t.is_power_of_two() {
-            return Err(format!("{}: N_T {} must be a power of two", self.name, self.n_t));
+            return Err(format!(
+                "{}: N_T {} must be a power of two",
+                self.name, self.n_t
+            ));
         }
         for class in [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Popc] {
             if self.pipeline_for(class).is_none() {
@@ -251,10 +258,16 @@ impl DeviceSpec {
             return Err(format!("{}: reservation exceeds shared memory", self.name));
         }
         if self.max_alloc_bytes > self.global_mem_bytes {
-            return Err(format!("{}: max allocation exceeds global memory", self.name));
+            return Err(format!(
+                "{}: max allocation exceeds global memory",
+                self.name
+            ));
         }
         if self.word_bits != 32 && self.word_bits != 64 {
-            return Err(format!("{}: unsupported word width {}", self.name, self.word_bits));
+            return Err(format!(
+                "{}: unsupported word width {}",
+                self.name, self.word_bits
+            ));
         }
         Ok(())
     }
@@ -297,7 +310,10 @@ mod tests {
         assert_eq!(m.core_scaling_efficiency(8), 1.0);
         let e16 = m.core_scaling_efficiency(16);
         let e64 = m.core_scaling_efficiency(64);
-        assert!(e16 < 1.0 && e64 < e16, "efficiency must decay past the knee");
+        assert!(
+            e16 < 1.0 && e64 < e16,
+            "efficiency must decay past the knee"
+        );
     }
 
     #[test]
@@ -311,9 +327,15 @@ mod tests {
         };
         let one_gib = t.transfer_ns(1 << 30);
         // ~1/12 s plus latency.
-        assert!(one_gib > 80_000_000 && one_gib < 95_000_000, "got {one_gib}");
+        assert!(
+            one_gib > 80_000_000 && one_gib < 95_000_000,
+            "got {one_gib}"
+        );
         assert_eq!(t.transfer_ns(0), 10_000);
-        assert!(t.pack_ns(1 << 30) > one_gib, "packing is slower than PCIe here");
+        assert!(
+            t.pack_ns(1 << 30) > one_gib,
+            "packing is slower than PCIe here"
+        );
     }
 
     #[test]

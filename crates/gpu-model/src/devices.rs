@@ -132,7 +132,12 @@ pub fn vega_64() -> DeviceSpec {
             PipelineSpec::new(
                 "valu",
                 16,
-                &[InstrClass::IntAdd, InstrClass::Logic, InstrClass::Not, InstrClass::Scalar],
+                &[
+                    InstrClass::IntAdd,
+                    InstrClass::Logic,
+                    InstrClass::Not,
+                    InstrClass::Scalar,
+                ],
             ),
             PipelineSpec::new("popc", 16, &[InstrClass::Popc]),
             PipelineSpec::new(
@@ -254,7 +259,10 @@ pub fn all_devices() -> Vec<DeviceSpec> {
 /// ("Titan V", "titan-v" and "TITAN_V" all resolve).
 pub fn by_name(name: &str) -> Option<DeviceSpec> {
     fn norm(s: &str) -> String {
-        s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase()
     }
     let want = norm(name);
     all_devices().into_iter().find(|d| norm(&d.name) == want)
@@ -299,7 +307,10 @@ mod tests {
     #[test]
     fn table1_topology() {
         let g = gtx_980();
-        assert_eq!((g.n_t, g.max_thread_groups, g.n_cores, g.n_clusters), (32, 32, 16, 4));
+        assert_eq!(
+            (g.n_t, g.max_thread_groups, g.n_cores, g.n_clusters),
+            (32, 32, 16, 4)
+        );
         let t = titan_v();
         assert_eq!((t.n_t, t.n_cores), (32, 80));
         let v = vega_64();

@@ -6,10 +6,8 @@
 //! small set of instruction *classes*; each device maps every class onto one
 //! of its pipelines (see [`crate::PipelineSpec`]).
 
-use serde::{Deserialize, Serialize};
-
 /// The classes of instructions the SNP kernels execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrClass {
     /// 32-bit integer addition (the `+` accumulating γ).
     IntAdd,
@@ -89,7 +87,7 @@ impl std::fmt::Display for InstrClass {
 /// a single `Logic` issue (paper §II-C: "there exist instructions on certain
 /// CPU and GPU architectures that can perform the negation of m as part of
 /// computing the logical AND"); without it, a separate `Not` is charged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WordOpKind {
     /// `popc(a & b)` — LD and pre-negated mixture analysis.
     And,

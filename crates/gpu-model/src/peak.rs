@@ -65,7 +65,11 @@ pub fn bottleneck(dev: &DeviceSpec, kind: WordOpKind) -> Bottleneck {
             let rb = b.1 as f64 / b.2 as f64;
             ra.partial_cmp(&rb).unwrap()
         })
-        .map(|(pipeline, lanes, slots_per_word_op)| Bottleneck { pipeline, slots_per_word_op, lanes })
+        .map(|(pipeline, lanes, slots_per_word_op)| Bottleneck {
+            pipeline,
+            slots_per_word_op,
+            lanes,
+        })
         .expect("word-op uses at least one pipeline")
 }
 
@@ -119,7 +123,11 @@ mod tests {
         let p = peak(&g, WordOpKind::And);
         assert!((p.word_ops_per_cycle_per_cluster - 8.0).abs() < 1e-12);
         // 8 * 4 clusters * 16 cores * 1.367 GHz ≈ 700 G word-ops/s.
-        assert!((p.word_ops_per_sec / 1e9 - 700.0).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+        assert!(
+            (p.word_ops_per_sec / 1e9 - 700.0).abs() < 1.0,
+            "got {}",
+            p.word_ops_per_sec / 1e9
+        );
     }
 
     #[test]
@@ -128,7 +136,11 @@ mod tests {
         let p = peak(&t, WordOpKind::And);
         assert_eq!(bottleneck(&t, WordOpKind::And).pipeline, "popc");
         // 4 * 4 * 80 * 1.455 GHz ≈ 1862 G word-ops/s.
-        assert!((p.word_ops_per_sec / 1e9 - 1862.4).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+        assert!(
+            (p.word_ops_per_sec / 1e9 - 1862.4).abs() < 1.0,
+            "got {}",
+            p.word_ops_per_sec / 1e9
+        );
     }
 
     #[test]
@@ -144,7 +156,11 @@ mod tests {
         let p = peak(&v, WordOpKind::And);
         assert!((p.word_ops_per_cycle_per_cluster - 8.0).abs() < 1e-12);
         // 8 * 4 * 64 * 1.663 ≈ 3406 G word-ops/s.
-        assert!((p.word_ops_per_sec / 1e9 - 3405.8).abs() < 1.0, "got {}", p.word_ops_per_sec / 1e9);
+        assert!(
+            (p.word_ops_per_sec / 1e9 - 3405.8).abs() < 1.0,
+            "got {}",
+            p.word_ops_per_sec / 1e9
+        );
     }
 
     #[test]
@@ -159,7 +175,10 @@ mod tests {
         let v = vega_64();
         let a = peak(&v, WordOpKind::And).word_ops_per_sec;
         let an = peak(&v, WordOpKind::AndNot).word_ops_per_sec;
-        assert!((an / a - 2.0 / 3.0).abs() < 1e-9, "NOT adds a slot: 16/3 vs 16/2 lanes/slot");
+        assert!(
+            (an / a - 2.0 / 3.0).abs() < 1e-9,
+            "NOT adds a slot: 16/3 vs 16/2 lanes/slot"
+        );
     }
 
     #[test]
@@ -201,13 +220,19 @@ mod tests {
         assert!((p40.word_ops_per_sec / p1.word_ops_per_sec - 40.0).abs() < 1e-9);
         // Clamped at the physical core count.
         let pmax = peak_for_cores(&t, WordOpKind::And, 1000);
-        assert_eq!(pmax.word_ops_per_sec, peak(&t, WordOpKind::And).word_ops_per_sec);
+        assert_eq!(
+            pmax.word_ops_per_sec,
+            peak(&t, WordOpKind::And).word_ops_per_sec
+        );
     }
 
     #[test]
     fn popcount_peak_matches_bottleneck_on_nvidia_only() {
         let g = gtx_980();
-        assert_eq!(popcount_peak_word_ops(&g), peak(&g, WordOpKind::And).word_ops_per_sec);
+        assert_eq!(
+            popcount_peak_word_ops(&g),
+            peak(&g, WordOpKind::And).word_ops_per_sec
+        );
         let v = vega_64();
         assert!(popcount_peak_word_ops(&v) > peak(&v, WordOpKind::And).word_ops_per_sec);
     }

@@ -48,7 +48,15 @@ fn cfg(
     grid_n: u32,
     groups: u32,
 ) -> KernelConfig {
-    KernelConfig { m_c, m_r, k_c, n_r, grid_m, grid_n, groups_per_cluster: groups }
+    KernelConfig {
+        m_c,
+        m_r,
+        k_c,
+        n_r,
+        grid_m,
+        grid_n,
+        groups_per_cluster: groups,
+    }
 }
 
 /// All Table II rows. Core configurations are `grid_m × grid_n` (third ×
@@ -118,7 +126,12 @@ mod tests {
         for p in table2() {
             let dev = devices::by_name(p.device).unwrap();
             let viol = p.config.violations(&dev);
-            assert!(viol.is_empty(), "{} ({:?}): {viol:?}", p.device, p.algorithm);
+            assert!(
+                viol.is_empty(),
+                "{} ({:?}): {viol:?}",
+                p.device,
+                p.algorithm
+            );
         }
     }
 
@@ -151,7 +164,10 @@ mod tests {
 
     #[test]
     fn fastid_grids_have_one_m_core() {
-        for p in table2().into_iter().filter(|p| p.algorithm == PresetAlgorithm::FastId) {
+        for p in table2()
+            .into_iter()
+            .filter(|p| p.algorithm == PresetAlgorithm::FastId)
+        {
             assert_eq!(p.config.grid_m, 1);
             let dev = devices::by_name(p.device).unwrap();
             assert_eq!(p.config.grid_n, dev.n_cores);
@@ -162,7 +178,13 @@ mod tests {
     fn grids_use_every_core() {
         for p in table2() {
             let dev = devices::by_name(p.device).unwrap();
-            assert_eq!(p.config.cores(), dev.n_cores, "{} {:?}", p.device, p.algorithm);
+            assert_eq!(
+                p.config.cores(),
+                dev.n_cores,
+                "{} {:?}",
+                p.device,
+                p.algorithm
+            );
         }
     }
 
@@ -182,7 +204,12 @@ mod tests {
     fn k_c_column_matches_eq6_derivation() {
         for p in table2() {
             let dev = devices::by_name(p.device).unwrap();
-            assert_eq!(p.config.k_c, crate::config::derive_k_c(&dev), "{}", p.device);
+            assert_eq!(
+                p.config.k_c,
+                crate::config::derive_k_c(&dev),
+                "{}",
+                p.device
+            );
         }
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         let dev = devices::vega_64();
         let a = ld_analysis(&dev);
         // 4/32 + 4/1024 + 4/512 = 0.125 + 0.0039 + 0.0078 ≈ 0.137 B/word-op.
-        assert!((a.bytes_per_word_op - 0.1367).abs() < 0.001, "{}", a.bytes_per_word_op);
+        assert!(
+            (a.bytes_per_word_op - 0.1367).abs() < 0.001,
+            "{}",
+            a.bytes_per_word_op
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl std::fmt::Display for SimLimit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimLimit::CycleBudgetExceeded { budget } => {
-                write!(f, "detailed simulation exceeded its cycle budget of {budget}")
+                write!(
+                    f,
+                    "detailed simulation exceeded its cycle budget of {budget}"
+                )
             }
         }
     }
@@ -332,7 +335,9 @@ mod tests {
         let dev = devices::titan_v();
         let prog = Program::dependent_chain(InstrClass::Popc, 8, 50);
         let t1 = simulate_core(&dev, &prog, 1, 1_000_000).unwrap().cycles;
-        let t4 = simulate_core(&dev, &prog, dev.n_clusters, 1_000_000).unwrap().cycles;
+        let t4 = simulate_core(&dev, &prog, dev.n_clusters, 1_000_000)
+            .unwrap()
+            .cycles;
         assert!(
             (t4 as f64 - t1 as f64).abs() / (t1 as f64) < 0.02,
             "1 group: {t1} cycles, {} groups: {t4} cycles",
@@ -356,13 +361,19 @@ mod tests {
         // Same dynamic instruction counts per group (8 per iteration).
         assert_eq!(t_add.instrs_per_group, t_mix.instrs_per_group);
         let ratio = t_mix.cycles as f64 / t_add.cycles as f64;
-        assert!((ratio - 1.0).abs() < 0.05, "shared pipe: same time for same instr count, got {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "shared pipe: same time for same instr count, got {ratio}"
+        );
         // Whereas popc+add mixed runs ~2x the instructions of add-only in the
         // same time, because the classes issue on different pipes.
         let popc_mix = Program::interleaved_pair(InstrClass::IntAdd, InstrClass::Popc, 4, iters);
         let t_pm = simulate_core(&vega, &popc_mix, groups, 10_000_000).unwrap();
         let speedup = t_mix.cycles as f64 / t_pm.cycles as f64;
-        assert!(speedup > 1.8, "separate pipes should overlap, got {speedup}");
+        assert!(
+            speedup > 1.8,
+            "separate pipes should overlap, got {speedup}"
+        );
     }
 
     #[test]
@@ -382,7 +393,10 @@ mod tests {
         // The mixed program has 2x the instructions but the adds hide behind
         // the popc pipe, so elapsed time is nearly unchanged.
         let ratio = t_m.cycles as f64 / t_p.cycles as f64;
-        assert!(ratio < 1.1, "adds must hide behind the popc pipe, got {ratio}");
+        assert!(
+            ratio < 1.1,
+            "adds must hide behind the popc pipe, got {ratio}"
+        );
     }
 
     #[test]
@@ -408,7 +422,10 @@ mod tests {
         let dev = devices::gtx_980();
         let prog = Program::dependent_chain(InstrClass::Popc, 64, 10_000);
         let err = simulate_core(&dev, &prog, 1, 1_000).unwrap_err();
-        assert!(matches!(err, SimLimit::CycleBudgetExceeded { budget: 1_000 }));
+        assert!(matches!(
+            err,
+            SimLimit::CycleBudgetExceeded { budget: 1_000 }
+        ));
         assert!(err.to_string().contains("cycle budget"));
     }
 

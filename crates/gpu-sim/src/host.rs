@@ -116,10 +116,19 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::AllocTooLarge { requested, limit } => {
-                write!(f, "allocation of {requested} B exceeds the device max of {limit} B")
+                write!(
+                    f,
+                    "allocation of {requested} B exceeds the device max of {limit} B"
+                )
             }
-            SimError::OutOfDeviceMemory { requested, available } => {
-                write!(f, "allocation of {requested} B exceeds remaining device memory ({available} B)")
+            SimError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "allocation of {requested} B exceeds remaining device memory ({available} B)"
+                )
             }
             SimError::InvalidHandle(what) => write!(f, "invalid {what} handle"),
             SimError::OutOfRange { what } => write!(f, "{what} out of buffer range"),
@@ -230,15 +239,27 @@ impl Gpu {
     pub fn create_buffer(&self, words: usize) -> Result<BufferId, SimError> {
         let bytes = words as u64 * 4;
         if bytes > self.spec.max_alloc_bytes {
-            return Err(SimError::AllocTooLarge { requested: bytes, limit: self.spec.max_alloc_bytes });
+            return Err(SimError::AllocTooLarge {
+                requested: bytes,
+                limit: self.spec.max_alloc_bytes,
+            });
         }
         let mut st = self.state.borrow_mut();
-        let available = self.spec.global_mem_bytes.saturating_sub(st.allocated_bytes);
+        let available = self
+            .spec
+            .global_mem_bytes
+            .saturating_sub(st.allocated_bytes);
         if bytes > available {
-            return Err(SimError::OutOfDeviceMemory { requested: bytes, available });
+            return Err(SimError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
         }
         st.allocated_bytes += bytes;
-        st.buffers.push(Some(BufferSlot { words: Some(vec![0u32; words]), len_words: words }));
+        st.buffers.push(Some(BufferSlot {
+            words: Some(vec![0u32; words]),
+            len_words: words,
+        }));
         Ok(BufferId(st.buffers.len() - 1))
     }
 
@@ -249,22 +270,37 @@ impl Gpu {
     pub fn create_virtual_buffer(&self, words: usize) -> Result<BufferId, SimError> {
         let bytes = words as u64 * 4;
         if bytes > self.spec.max_alloc_bytes {
-            return Err(SimError::AllocTooLarge { requested: bytes, limit: self.spec.max_alloc_bytes });
+            return Err(SimError::AllocTooLarge {
+                requested: bytes,
+                limit: self.spec.max_alloc_bytes,
+            });
         }
         let mut st = self.state.borrow_mut();
-        let available = self.spec.global_mem_bytes.saturating_sub(st.allocated_bytes);
+        let available = self
+            .spec
+            .global_mem_bytes
+            .saturating_sub(st.allocated_bytes);
         if bytes > available {
-            return Err(SimError::OutOfDeviceMemory { requested: bytes, available });
+            return Err(SimError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
         }
         st.allocated_bytes += bytes;
-        st.buffers.push(Some(BufferSlot { words: None, len_words: words }));
+        st.buffers.push(Some(BufferSlot {
+            words: None,
+            len_words: words,
+        }));
         Ok(BufferId(st.buffers.len() - 1))
     }
 
     /// Releases a buffer, returning its bytes to the pool.
     pub fn release_buffer(&self, id: BufferId) -> Result<(), SimError> {
         let mut st = self.state.borrow_mut();
-        let slot = st.buffers.get_mut(id.0).ok_or(SimError::InvalidHandle("buffer"))?;
+        let slot = st
+            .buffers
+            .get_mut(id.0)
+            .ok_or(SimError::InvalidHandle("buffer"))?;
         match slot.take() {
             Some(b) => {
                 st.allocated_bytes -= b.len_words as u64 * 4;
@@ -296,7 +332,12 @@ impl Gpu {
     fn record_event(st: &mut State, queue: QueueId, start: u64, end: u64, queued: u64) -> EventId {
         st.queues[queue.0].last_end_ns = end;
         st.events.push(EventRecord {
-            profile: EventProfile { queued_ns: queued, submit_ns: queued, start_ns: start, end_ns: end },
+            profile: EventProfile {
+                queued_ns: queued,
+                submit_ns: queued,
+                start_ns: start,
+                end_ns: end,
+            },
         });
         EventId(st.events.len() - 1)
     }
@@ -331,7 +372,10 @@ impl Gpu {
                 .get_mut(buf.0)
                 .and_then(|s| s.as_mut())
                 .ok_or(SimError::InvalidHandle("buffer"))?;
-            let storage = slot.words.as_mut().ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
+            let storage = slot
+                .words
+                .as_mut()
+                .ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
             let range = storage
                 .get_mut(word_offset..word_offset + data.len())
                 .ok_or(SimError::OutOfRange { what: "write" })?;
@@ -371,7 +415,10 @@ impl Gpu {
                 .get(buf.0)
                 .and_then(|s| s.as_ref())
                 .ok_or(SimError::InvalidHandle("buffer"))?;
-            let storage = slot.words.as_ref().ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
+            let storage = slot
+                .words
+                .as_ref()
+                .ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
             let range = storage
                 .get(word_offset..word_offset + out.len())
                 .ok_or(SimError::OutOfRange { what: "read" })?;
@@ -413,10 +460,17 @@ impl Gpu {
             .max(dep_end);
 
         let kt = match cost {
-            KernelCost::Analytic { core_cycles, active_cores, traffic } => {
-                kernel_time(&self.spec, *core_cycles, *active_cores, *traffic)
-            }
-            KernelCost::Detailed { program, groups_per_core, active_cores, traffic } => {
+            KernelCost::Analytic {
+                core_cycles,
+                active_cores,
+                traffic,
+            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
+            KernelCost::Detailed {
+                program,
+                groups_per_core,
+                active_cores,
+                traffic,
+            } => {
                 let budget = st.detailed_cycle_budget;
                 let r = simulate_core(&self.spec, program, *groups_per_core, budget)
                     .map_err(|_| SimError::DetailedBudget)?;
@@ -444,7 +498,12 @@ impl Gpu {
         {
             let mut read_slices: Vec<&[u32]> = Vec::with_capacity(reads.len());
             for r in reads {
-                match st.buffers.get(r.0).and_then(|s| s.as_ref()).and_then(|b| b.words.as_deref()) {
+                match st
+                    .buffers
+                    .get(r.0)
+                    .and_then(|s| s.as_ref())
+                    .and_then(|b| b.words.as_deref())
+                {
                     Some(w) => read_slices.push(w),
                     None => {
                         // Restore before erroring.
@@ -502,10 +561,17 @@ impl Gpu {
             .max(st.compute_free_ns)
             .max(dep_end);
         let kt = match cost {
-            KernelCost::Analytic { core_cycles, active_cores, traffic } => {
-                kernel_time(&self.spec, *core_cycles, *active_cores, *traffic)
-            }
-            KernelCost::Detailed { program, groups_per_core, active_cores, traffic } => {
+            KernelCost::Analytic {
+                core_cycles,
+                active_cores,
+                traffic,
+            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
+            KernelCost::Detailed {
+                program,
+                groups_per_core,
+                active_cores,
+                traffic,
+            } => {
                 let budget = st.detailed_cycle_budget;
                 let r = simulate_core(&self.spec, program, *groups_per_core, budget)
                     .map_err(|_| SimError::DetailedBudget)?;
@@ -521,7 +587,10 @@ impl Gpu {
     /// (`clFinish`).
     pub fn finish(&self, queue: QueueId) -> Result<(), SimError> {
         let mut st = self.state.borrow_mut();
-        let q = st.queues.get(queue.0).ok_or(SimError::InvalidHandle("queue"))?;
+        let q = st
+            .queues
+            .get(queue.0)
+            .ok_or(SimError::InvalidHandle("queue"))?;
         let end = q.last_end_ns;
         st.host_now_ns = st.host_now_ns.max(end);
         Ok(())
@@ -565,7 +634,10 @@ mod tests {
         let g = small_gpu();
         let limit = g.spec().max_alloc_bytes;
         let too_big = (limit / 4 + 1) as usize;
-        assert!(matches!(g.create_buffer(too_big), Err(SimError::AllocTooLarge { .. })));
+        assert!(matches!(
+            g.create_buffer(too_big),
+            Err(SimError::AllocTooLarge { .. })
+        ));
         // Fill global memory with max-size allocations until it runs out.
         let chunk = (limit / 4) as usize;
         let mut ids = Vec::new();
@@ -627,8 +699,13 @@ mod tests {
         let q = g.create_queue();
         let a = g.create_buffer(8).unwrap();
         let c = g.create_buffer(8).unwrap();
-        g.enqueue_write(q, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &[]).unwrap();
-        let cost = KernelCost::Analytic { core_cycles: 1000.0, active_cores: 4, traffic: Traffic::default() };
+        g.enqueue_write(q, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &[])
+            .unwrap();
+        let cost = KernelCost::Analytic {
+            core_cycles: 1000.0,
+            active_cores: 4,
+            traffic: Traffic::default(),
+        };
         let ev = g
             .enqueue_kernel(q, &cost, &[a], c, &[], |reads, out| {
                 for (i, o) in out.iter_mut().enumerate() {
@@ -643,7 +720,11 @@ mod tests {
         // 1000 cycles at 1.367 GHz ≈ 732 ns, inflated by the 4-core scaling
         // efficiency, plus launch overhead.
         let expect = kernel_time(g.spec(), 1000.0, 4, Traffic::default()).total_ns;
-        assert!((p.duration_ns() as f64 - expect).abs() < 2.0, "got {}", p.duration_ns());
+        assert!(
+            (p.duration_ns() as f64 - expect).abs() < 2.0,
+            "got {}",
+            p.duration_ns()
+        );
     }
 
     #[test]
@@ -651,8 +732,14 @@ mod tests {
         let g = small_gpu();
         let q = g.create_queue();
         let a = g.create_buffer(4).unwrap();
-        let cost = KernelCost::Analytic { core_cycles: 1.0, active_cores: 1, traffic: Traffic::default() };
-        let err = g.enqueue_kernel(q, &cost, &[a], a, &[], |_, _| {}).unwrap_err();
+        let cost = KernelCost::Analytic {
+            core_cycles: 1.0,
+            active_cores: 1,
+            traffic: Traffic::default(),
+        };
+        let err = g
+            .enqueue_kernel(q, &cost, &[a], a, &[], |_, _| {})
+            .unwrap_err();
         assert!(matches!(err, SimError::InvalidHandle(_)));
     }
 
@@ -668,8 +755,14 @@ mod tests {
         let c = g.create_buffer(4).unwrap();
         let big = vec![0u32; 1 << 20];
         let e_w1 = g.enqueue_write(qt, a, 0, &big, &[]).unwrap();
-        let cost = KernelCost::Analytic { core_cycles: 10_000_000.0, active_cores: 16, traffic: Traffic::default() };
-        let e_k = g.enqueue_kernel(qc, &cost, &[a], c, &[e_w1], |_, _| {}).unwrap();
+        let cost = KernelCost::Analytic {
+            core_cycles: 10_000_000.0,
+            active_cores: 16,
+            traffic: Traffic::default(),
+        };
+        let e_k = g
+            .enqueue_kernel(qc, &cost, &[a], c, &[e_w1], |_, _| {})
+            .unwrap();
         let e_w2 = g.enqueue_write(qt, b, 0, &big, &[]).unwrap();
         let pk = g.event_profile(e_k).unwrap();
         let pw2 = g.event_profile(e_w2).unwrap();
@@ -686,9 +779,17 @@ mod tests {
         let q2 = g.create_queue();
         let c1 = g.create_buffer(4).unwrap();
         let c2 = g.create_buffer(4).unwrap();
-        let cost = KernelCost::Analytic { core_cycles: 1_000_000.0, active_cores: 16, traffic: Traffic::default() };
-        let e1 = g.enqueue_kernel(q1, &cost, &[], c1, &[], |_, _| {}).unwrap();
-        let e2 = g.enqueue_kernel(q2, &cost, &[], c2, &[], |_, _| {}).unwrap();
+        let cost = KernelCost::Analytic {
+            core_cycles: 1_000_000.0,
+            active_cores: 16,
+            traffic: Traffic::default(),
+        };
+        let e1 = g
+            .enqueue_kernel(q1, &cost, &[], c1, &[], |_, _| {})
+            .unwrap();
+        let e2 = g
+            .enqueue_kernel(q2, &cost, &[], c2, &[], |_, _| {})
+            .unwrap();
         let p1 = g.event_profile(e1).unwrap();
         let p2 = g.event_profile(e2).unwrap();
         assert!(p2.start_ns >= p1.end_ns, "one kernel at a time");
@@ -724,7 +825,10 @@ mod tests {
         let p = g.event_profile(ev).unwrap();
         // Chain of 400 popc at ~6 cycles each at 1.367 GHz ≈ 1.76 us + launch.
         let dur = p.duration_ns() as f64;
-        assert!(dur > 1_500.0 + 8_000.0 && dur < 3_000.0 + 8_500.0, "got {dur}");
+        assert!(
+            dur > 1_500.0 + 8_000.0 && dur < 3_000.0 + 8_500.0,
+            "got {dur}"
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct Instr {
 impl Instr {
     /// A conflict-free instruction.
     pub fn new(class: InstrClass, dst: Option<Reg>, srcs: Vec<Reg>) -> Self {
-        Instr { class, dst, srcs, conflict_ways: 1 }
+        Instr {
+            class,
+            dst,
+            srcs,
+            conflict_ways: 1,
+        }
     }
 
     /// Arithmetic op `dst <- f(srcs)`.
@@ -131,7 +136,9 @@ impl Program {
     /// previous result (`temp = class(temp)`).
     pub fn dependent_chain(class: InstrClass, chain_len: usize, iters: u32) -> Program {
         assert!(chain_len >= 1);
-        let body: Vec<Instr> = (0..chain_len).map(|_| Instr::arith(class, 0, &[0])).collect();
+        let body: Vec<Instr> = (0..chain_len)
+            .map(|_| Instr::arith(class, 0, &[0]))
+            .collect();
         Program::new(vec![
             Block::once(vec![Instr::load_global(0, &[])]), // temp = Array[thread_index]
             Block::looped(iters, body),
@@ -144,16 +151,30 @@ impl Program {
     /// also expose issue throughput.
     pub fn independent_streams(class: InstrClass, streams: usize, iters: u32) -> Program {
         assert!((1..=16).contains(&streams));
-        let init: Vec<Instr> = (0..streams).map(|s| Instr::load_global(s as Reg, &[])).collect();
-        let body: Vec<Instr> =
-            (0..streams).map(|s| Instr::arith(class, s as Reg, &[s as Reg])).collect();
-        let fini: Vec<Instr> = (0..streams).map(|s| Instr::store_global(&[s as Reg])).collect();
-        Program::new(vec![Block::once(init), Block::looped(iters, body), Block::once(fini)])
+        let init: Vec<Instr> = (0..streams)
+            .map(|s| Instr::load_global(s as Reg, &[]))
+            .collect();
+        let body: Vec<Instr> = (0..streams)
+            .map(|s| Instr::arith(class, s as Reg, &[s as Reg]))
+            .collect();
+        let fini: Vec<Instr> = (0..streams)
+            .map(|s| Instr::store_global(&[s as Reg]))
+            .collect();
+        Program::new(vec![
+            Block::once(init),
+            Block::looped(iters, body),
+            Block::once(fini),
+        ])
     }
 
     /// Builds a mixed-class stream (the §V-D pipeline-sharing probe):
     /// alternating independent instructions of `a` and `b`.
-    pub fn interleaved_pair(a: InstrClass, b: InstrClass, pairs_per_iter: usize, iters: u32) -> Program {
+    pub fn interleaved_pair(
+        a: InstrClass,
+        b: InstrClass,
+        pairs_per_iter: usize,
+        iters: u32,
+    ) -> Program {
         assert!(pairs_per_iter >= 1);
         let mut body = Vec::with_capacity(pairs_per_iter * 2);
         for p in 0..pairs_per_iter {
@@ -165,7 +186,11 @@ impl Program {
         let regs = (pairs_per_iter * 2) as Reg;
         let init: Vec<Instr> = (0..regs).map(|r| Instr::load_global(r, &[])).collect();
         let fini: Vec<Instr> = (0..regs).map(|r| Instr::store_global(&[r])).collect();
-        Program::new(vec![Block::once(init), Block::looped(iters, body), Block::once(fini)])
+        Program::new(vec![
+            Block::once(init),
+            Block::looped(iters, body),
+            Block::once(fini),
+        ])
     }
 }
 

@@ -51,4 +51,8 @@ pub use cache::{analyze as analyze_memory, l2_bytes_for, MemoryAnalysis};
 pub use detailed::{simulate_core, simulate_core_width, DetailedResult, SimLimit};
 pub use host::{BufferId, EventId, EventProfile, Gpu, KernelCost, QueueId, SimError};
 pub use isa::{Block, Instr, Program, Reg};
-pub use macro_engine::{estimate_core_cycles, kernel_time, KernelTime, Traffic};
+pub use macro_engine::{
+    device_fingerprint, estimate_core_cycles, estimate_core_cycles_memo, kernel_time,
+    memoized_core_cycles, reset_timing_cache, timing_cache_stats, timing_key, KernelTime,
+    TimingCacheStats, Traffic,
+};

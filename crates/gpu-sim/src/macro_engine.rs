@@ -18,6 +18,12 @@
 //! core-scaling efficiency, the knob that reproduces Fig. 7), the
 //! DRAM-bandwidth bound on streamed traffic, and the fixed launch overhead.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use snp_gpu_model::DeviceSpec;
 
 use crate::isa::{Block, Program};
@@ -39,7 +45,12 @@ fn chain_cycles(dev: &DeviceSpec, block: &Block) -> u64 {
     let mut depth = vec![0u64; n_regs];
     let mut max_depth = 0u64;
     for instr in &block.instrs {
-        let start = instr.srcs.iter().map(|&r| depth[r as usize]).max().unwrap_or(0);
+        let start = instr
+            .srcs
+            .iter()
+            .map(|&r| depth[r as usize])
+            .max()
+            .unwrap_or(0);
         let lat = dev.result_latency(instr.class) as u64;
         let finish = start + lat;
         if let Some(dst) = instr.dst {
@@ -82,6 +93,115 @@ pub fn estimate_core_cycles(dev: &DeviceSpec, prog: &Program, groups: u32) -> f6
         total += block.trips as f64 * per_trip;
     }
     total
+}
+
+/// Hit/miss counters of the process-wide tile-timing cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the analytic estimate.
+    pub misses: u64,
+}
+
+static TIMING_CACHE: OnceLock<Mutex<HashMap<u64, f64>>> = OnceLock::new();
+static TIMING_HITS: AtomicU64 = AtomicU64::new(0);
+static TIMING_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn timing_cache() -> &'static Mutex<HashMap<u64, f64>> {
+    TIMING_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Current hit/miss counters of the tile-timing cache.
+pub fn timing_cache_stats() -> TimingCacheStats {
+    TimingCacheStats {
+        hits: TIMING_HITS.load(Ordering::Relaxed),
+        misses: TIMING_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties the tile-timing cache and zeroes its counters (test isolation).
+pub fn reset_timing_cache() {
+    timing_cache().lock().unwrap().clear();
+    TIMING_HITS.store(0, Ordering::Relaxed);
+    TIMING_MISSES.store(0, Ordering::Relaxed);
+}
+
+static DEVICE_FPRINTS: OnceLock<Mutex<Vec<(DeviceSpec, u64)>>> = OnceLock::new();
+
+/// Fingerprints every timing-relevant field of a device (latency tables,
+/// issue widths, cluster counts, …) via its `Debug` rendering — `DeviceSpec`
+/// holds `f64` fields and so cannot implement `Hash` directly. Rendering the
+/// spec is far more expensive than a structural compare, so fingerprints are
+/// cached behind an equality lookup over the handful of distinct devices a
+/// process touches.
+pub fn device_fingerprint(dev: &DeviceSpec) -> u64 {
+    let cache = DEVICE_FPRINTS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut known = cache.lock().unwrap();
+    if let Some((_, fp)) = known.iter().find(|(d, _)| d == dev) {
+        return *fp;
+    }
+    let mut h = DefaultHasher::new();
+    format!("{dev:?}").hash(&mut h);
+    let fp = h.finish();
+    if known.len() >= 64 {
+        // Randomized-hardware sweeps can mint unbounded distinct specs.
+        known.clear();
+    }
+    known.push((dev.clone(), fp));
+    fp
+}
+
+/// Structural fingerprint of an estimate request: the device, the resident
+/// group count, and every block's trip count and instruction stream
+/// (class, registers, conflict ways) — exactly the inputs
+/// [`estimate_core_cycles`] depends on.
+pub fn timing_key(dev: &DeviceSpec, prog: &Program, groups: u32) -> u64 {
+    let mut h = DefaultHasher::new();
+    device_fingerprint(dev).hash(&mut h);
+    groups.hash(&mut h);
+    prog.blocks.len().hash(&mut h);
+    for block in &prog.blocks {
+        block.trips.hash(&mut h);
+        block.instrs.len().hash(&mut h);
+        for i in &block.instrs {
+            i.class.hash(&mut h);
+            i.dst.hash(&mut h);
+            i.srcs.hash(&mut h);
+            i.conflict_ways.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Looks `key` up in the process-wide timing cache, running `compute` and
+/// inserting on miss.
+///
+/// `compute` must be a pure function of whatever `key` fingerprints — the
+/// caller owns that contract. Callers that can derive `key` without
+/// materializing a [`Program`] (e.g. a kernel planner keyed on its own
+/// configuration) skip program construction entirely on a hit. The lock is
+/// not held across `compute`; a concurrent duplicate computation is benign
+/// because both producers insert the same value.
+pub fn memoized_core_cycles(key: u64, compute: impl FnOnce() -> f64) -> f64 {
+    if let Some(&cycles) = timing_cache().lock().unwrap().get(&key) {
+        TIMING_HITS.fetch_add(1, Ordering::Relaxed);
+        return cycles;
+    }
+    let cycles = compute();
+    TIMING_MISSES.fetch_add(1, Ordering::Relaxed);
+    timing_cache().lock().unwrap().insert(key, cycles);
+    cycles
+}
+
+/// Memoized [`estimate_core_cycles`]: identical results, but repeated
+/// estimates of structurally identical programs (the common case in
+/// configuration sweeps, where every pass of a launch shares one tile
+/// program) are answered from the cache.
+pub fn estimate_core_cycles_memo(dev: &DeviceSpec, prog: &Program, groups: u32) -> f64 {
+    memoized_core_cycles(timing_key(dev, prog, groups), || {
+        estimate_core_cycles(dev, prog, groups)
+    })
 }
 
 /// Identifies the pipeline that bounds a program's steady state, by total
@@ -172,7 +292,10 @@ mod tests {
         let est = estimate_core_cycles(&dev, &prog, 1);
         let det = simulate_core(&dev, &prog, 1, 10_000_000).unwrap().cycles as f64;
         let rel = (est - det).abs() / det;
-        assert!(rel < 0.05, "macro {est} vs detailed {det} ({rel:.2} rel err)");
+        assert!(
+            rel < 0.05,
+            "macro {est} vs detailed {det} ({rel:.2} rel err)"
+        );
     }
 
     #[test]
@@ -181,9 +304,14 @@ mod tests {
         let groups = dev.chosen_occupancy_groups();
         let prog = Program::dependent_chain(InstrClass::Popc, 16, 100);
         let est = estimate_core_cycles(&dev, &prog, groups);
-        let det = simulate_core(&dev, &prog, groups, 10_000_000).unwrap().cycles as f64;
+        let det = simulate_core(&dev, &prog, groups, 10_000_000)
+            .unwrap()
+            .cycles as f64;
         let rel = (est - det).abs() / det;
-        assert!(rel < 0.05, "macro {est} vs detailed {det} ({rel:.2} rel err)");
+        assert!(
+            rel < 0.05,
+            "macro {est} vs detailed {det} ({rel:.2} rel err)"
+        );
     }
 
     #[test]
@@ -192,7 +320,9 @@ mod tests {
             let groups = dev.chosen_occupancy_groups();
             let prog = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 4, 200);
             let est = estimate_core_cycles(&dev, &prog, groups);
-            let det = simulate_core(&dev, &prog, groups, 50_000_000).unwrap().cycles as f64;
+            let det = simulate_core(&dev, &prog, groups, 50_000_000)
+                .unwrap()
+                .cycles as f64;
             let rel = (est - det).abs() / det;
             assert!(rel < 0.10, "{}: macro {est} vs detailed {det}", dev.name);
         }
@@ -221,7 +351,15 @@ mod tests {
     fn kernel_time_compute_bound_vs_memory_bound() {
         let dev = devices::titan_v();
         // Tiny traffic: compute-bound.
-        let kt = kernel_time(&dev, 1_000_000.0, 80, Traffic { read_bytes: 1, write_bytes: 0 });
+        let kt = kernel_time(
+            &dev,
+            1_000_000.0,
+            80,
+            Traffic {
+                read_bytes: 1,
+                write_bytes: 0,
+            },
+        );
         assert!(kt.compute_ns > kt.memory_ns);
         assert_eq!(kt.total_ns, kt.compute_ns + kt.launch_ns);
         // Huge traffic: memory-bound.
@@ -229,7 +367,10 @@ mod tests {
             &dev,
             1_000.0,
             80,
-            Traffic { read_bytes: 10 << 30, write_bytes: 0 },
+            Traffic {
+                read_bytes: 10 << 30,
+                write_bytes: 0,
+            },
         );
         assert!(kt2.memory_ns > kt2.compute_ns);
         assert_eq!(kt2.total_ns, kt2.memory_ns + kt2.launch_ns);
@@ -250,5 +391,52 @@ mod tests {
     fn kernel_time_rejects_zero_cores() {
         let dev = devices::gtx_980();
         let _ = kernel_time(&dev, 1.0, 0, Traffic::default());
+    }
+
+    #[test]
+    fn memoized_estimate_matches_oracle_and_hits() {
+        let dev = devices::gtx_980();
+        // Trip count unique to this test so the first call is a miss even if
+        // other tests in the process populated the cache.
+        let prog = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 4, 12_347);
+        let want = estimate_core_cycles(&dev, &prog, 8);
+        let before = timing_cache_stats();
+        let first = estimate_core_cycles_memo(&dev, &prog, 8);
+        let second = estimate_core_cycles_memo(&dev, &prog, 8);
+        let after = timing_cache_stats();
+        assert_eq!(first, want, "memoized miss path must equal the oracle");
+        assert_eq!(second, want, "memoized hit path must equal the oracle");
+        assert!(
+            after.hits > before.hits,
+            "repeat lookup must hit: {before:?} -> {after:?}"
+        );
+        assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn timing_key_separates_structures() {
+        let gtx = devices::gtx_980();
+        let titan = devices::titan_v();
+        let p1 = Program::dependent_chain(InstrClass::Popc, 16, 100);
+        let p2 = Program::dependent_chain(InstrClass::Popc, 16, 101); // trips differ
+        let p3 = Program::dependent_chain(InstrClass::IntAdd, 16, 100); // class differs
+        let base = timing_key(&gtx, &p1, 8);
+        assert_ne!(base, timing_key(&gtx, &p2, 8), "trip counts must be keyed");
+        assert_ne!(
+            base,
+            timing_key(&gtx, &p3, 8),
+            "instruction classes must be keyed"
+        );
+        assert_ne!(
+            base,
+            timing_key(&gtx, &p1, 16),
+            "group counts must be keyed"
+        );
+        assert_ne!(base, timing_key(&titan, &p1, 8), "devices must be keyed");
+        assert_eq!(
+            base,
+            timing_key(&gtx, &p1.clone(), 8),
+            "keys are deterministic"
+        );
     }
 }

@@ -39,8 +39,8 @@ pub const CHAIN_ITERS: u32 = 256;
 /// 4-lane popcount pipe and hide the 4-cycle latency).
 pub fn measure_latency_cycles(dev: &DeviceSpec, class: InstrClass) -> LatencyMeasurement {
     let prog = Program::dependent_chain(class, CHAIN_LEN, CHAIN_ITERS);
-    let r = simulate_core_width(dev, &prog, 1, 1, 1_000_000_000)
-        .expect("latency chain within budget");
+    let r =
+        simulate_core_width(dev, &prog, 1, 1, 1_000_000_000).expect("latency chain within budget");
     let chain_instrs = CHAIN_LEN as u64 * CHAIN_ITERS as u64;
     let cycles_per_instr = r.cycles as f64 / chain_instrs as f64;
     LatencyMeasurement {

@@ -29,8 +29,12 @@ pub struct RecoveredParams {
 }
 
 /// The arithmetic classes the SNP kernels care about.
-pub const PROBE_CLASSES: [InstrClass; 4] =
-    [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Not, InstrClass::Popc];
+pub const PROBE_CLASSES: [InstrClass; 4] = [
+    InstrClass::IntAdd,
+    InstrClass::Logic,
+    InstrClass::Not,
+    InstrClass::Popc,
+];
 
 /// Runs the §V-C/§V-D suite against `dev` and reconstructs its parameters.
 pub fn recover_parameters(dev: &DeviceSpec) -> RecoveredParams {
@@ -51,23 +55,36 @@ pub fn recover_parameters(dev: &DeviceSpec) -> RecoveredParams {
             }
         }
     }
-    RecoveredParams { device: dev.name.clone(), latency, n_fn, shared_pairs }
+    RecoveredParams {
+        device: dev.name.clone(),
+        latency,
+        n_fn,
+        shared_pairs,
+    }
 }
 
 impl RecoveredParams {
     /// The recovered `N_fn` for a class, if probed.
     pub fn units_for(&self, class: InstrClass) -> Option<u32> {
-        self.n_fn.iter().find(|&&(c, _)| c == class).map(|&(_, u)| u)
+        self.n_fn
+            .iter()
+            .find(|&&(c, _)| c == class)
+            .map(|&(_, u)| u)
     }
 
     /// The recovered latency for a class, if probed.
     pub fn latency_for(&self, class: InstrClass) -> Option<f64> {
-        self.latency.iter().find(|&&(c, _)| c == class).map(|&(_, l)| l)
+        self.latency
+            .iter()
+            .find(|&&(c, _)| c == class)
+            .map(|&(_, l)| l)
     }
 
     /// Whether two classes were found to share a pipeline.
     pub fn is_shared(&self, a: InstrClass, b: InstrClass) -> bool {
-        self.shared_pairs.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        self.shared_pairs
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
     }
 }
 
@@ -103,7 +120,10 @@ mod tests {
         assert!(!vega.is_shared(InstrClass::Popc, InstrClass::IntAdd));
         let titan = recover_parameters(&devices::titan_v());
         assert!(!titan.is_shared(InstrClass::IntAdd, InstrClass::Logic));
-        assert!(titan.is_shared(InstrClass::Logic, InstrClass::Not), "NOT issues on the logic pipe");
+        assert!(
+            titan.is_shared(InstrClass::Logic, InstrClass::Not),
+            "NOT issues on the logic pipe"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ const PAIRS: usize = 4;
 const ITERS: u32 = 128;
 
 fn run_cycles(dev: &DeviceSpec, prog: &Program, groups: u32) -> u64 {
-    simulate_core(dev, prog, groups, 1_000_000_000).expect("sharing probe within budget").cycles
+    simulate_core(dev, prog, groups, 1_000_000_000)
+        .expect("sharing probe within budget")
+        .cycles
 }
 
 /// Probes whether `a` and `b` share a pipeline on `dev`.
@@ -52,7 +54,12 @@ pub fn classify_sharing(dev: &DeviceSpec, a: InstrClass, b: InstrClass) -> Pipel
     // Separate pipes: tm ≈ slower (ratio ~1). Shared: tm ≈ ta + tb (ratio ~2
     // for equal-rate classes). Threshold halfway.
     let shared = slowdown > 1.0 + 0.5 * (ta.min(tb) / slower);
-    PipelineSharing { a, b, slowdown, shared }
+    PipelineSharing {
+        a,
+        b,
+        slowdown,
+        shared,
+    }
 }
 
 #[cfg(test)]
@@ -65,7 +72,11 @@ mod tests {
         // Footnote observation reproduced on all three GPUs.
         for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
             let s = classify_sharing(&dev, InstrClass::Popc, InstrClass::IntAdd);
-            assert!(!s.shared, "{}: popc must not share with add (slowdown {})", dev.name, s.slowdown);
+            assert!(
+                !s.shared,
+                "{}: popc must not share with add (slowdown {})",
+                dev.name, s.slowdown
+            );
         }
     }
 
@@ -73,8 +84,16 @@ mod tests {
     fn vega_add_and_logic_share() {
         let dev = devices::vega_64();
         let s = classify_sharing(&dev, InstrClass::IntAdd, InstrClass::Logic);
-        assert!(s.shared, "Vega ADD/AND share the VALU (slowdown {})", s.slowdown);
-        assert!(s.slowdown > 1.8, "shared equal-rate classes should nearly double: {}", s.slowdown);
+        assert!(
+            s.shared,
+            "Vega ADD/AND share the VALU (slowdown {})",
+            s.slowdown
+        );
+        assert!(
+            s.slowdown > 1.8,
+            "shared equal-rate classes should nearly double: {}",
+            s.slowdown
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub const CHAIN: usize = 8;
 pub const ITERS: u32 = 128;
 
 /// Measures throughput of `class` with `n_grp` resident groups on one core.
-pub fn measure_throughput(dev: &DeviceSpec, class: InstrClass, n_grp: u32) -> ThroughputMeasurement {
+pub fn measure_throughput(
+    dev: &DeviceSpec,
+    class: InstrClass,
+    n_grp: u32,
+) -> ThroughputMeasurement {
     let prog = Program::dependent_chain(class, CHAIN, ITERS);
     let r = simulate_core(dev, &prog, n_grp, 1_000_000_000).expect("throughput run within budget");
     // Count only the measured class (prologue loads / epilogue stores are
@@ -58,7 +62,9 @@ pub fn sweep_thread_groups(
     class: InstrClass,
     max_groups: u32,
 ) -> Vec<ThroughputMeasurement> {
-    (1..=max_groups).map(|g| measure_throughput(dev, class, g)).collect()
+    (1..=max_groups)
+        .map(|g| measure_throughput(dev, class, g))
+        .collect()
 }
 
 #[cfg(test)]

@@ -45,7 +45,10 @@ pub struct BlockDetector {
 
 impl Default for BlockDetector {
     fn default() -> Self {
-        BlockDetector { r2_threshold: 0.4, lookback: 3 }
+        BlockDetector {
+            r2_threshold: 0.4,
+            lookback: 3,
+        }
     }
 }
 
@@ -119,7 +122,11 @@ mod tests {
             },
             seed,
         );
-        (reference_gamma_self(&p.matrix, CompareOp::And), p.block_of, samples)
+        (
+            reference_gamma_self(&p.matrix, CompareOp::And),
+            p.block_of,
+            samples,
+        )
     }
 
     #[test]
@@ -185,8 +192,16 @@ mod tests {
         // With lookback 3 a single weak SNP inside a strong block does not
         // split it; with lookback 1 it does.
         let (gamma, _, samples) = panel_gamma(48, 16, 0.08, 11);
-        let strict = BlockDetector { r2_threshold: 0.4, lookback: 1 }.detect(&gamma, samples);
-        let robust = BlockDetector { r2_threshold: 0.4, lookback: 3 }.detect(&gamma, samples);
+        let strict = BlockDetector {
+            r2_threshold: 0.4,
+            lookback: 1,
+        }
+        .detect(&gamma, samples);
+        let robust = BlockDetector {
+            r2_threshold: 0.4,
+            lookback: 3,
+        }
+        .detect(&gamma, samples);
         assert!(
             robust.len() <= strict.len(),
             "lookback should only merge: {} vs {}",

@@ -30,7 +30,10 @@ impl Default for DatabaseConfig {
         DatabaseConfig {
             profiles: 4096,
             snps: 512,
-            spectrum: FrequencySpectrum::Beta { alpha: 2.0, beta: 3.0 },
+            spectrum: FrequencySpectrum::Beta {
+                alpha: 2.0,
+                beta: 3.0,
+            },
         }
     }
 }
@@ -84,7 +87,10 @@ pub fn generate_queries(
     noise: f64,
     seed: u64,
 ) -> QuerySet {
-    assert!(planted <= total, "cannot plant {planted} of {total} queries");
+    assert!(
+        planted <= total,
+        "cannot plant {planted} of {total} queries"
+    );
     assert!((0.0..=0.5).contains(&noise));
     let mut rng = StdRng::seed_from_u64(seed);
     let snps = db.profiles.cols();
@@ -162,7 +168,10 @@ pub fn generate_mixtures(
                 matrix.set(i, s, true);
             }
         }
-        mixtures.push(Mixture { profile, contributors });
+        mixtures.push(Mixture {
+            profile,
+            contributors,
+        });
     }
     (mixtures, matrix)
 }
@@ -174,7 +183,11 @@ mod tests {
 
     fn small_db() -> Database {
         generate_database(
-            &DatabaseConfig { profiles: 200, snps: 256, ..Default::default() },
+            &DatabaseConfig {
+                profiles: 200,
+                snps: 256,
+                ..Default::default()
+            },
             77,
         )
     }
@@ -210,7 +223,11 @@ mod tests {
         let gamma = reference_gamma(&qs.queries, &db.profiles, CompareOp::Xor);
         for (q, truth) in qs.truth.iter().enumerate() {
             let t = truth.expect("all planted");
-            assert_eq!(gamma.get(q, t), 0, "planted query must have zero differences");
+            assert_eq!(
+                gamma.get(q, t),
+                0,
+                "planted query must have zero differences"
+            );
             assert_eq!(gamma.argmin_in_row(q), Some(t));
         }
     }
@@ -220,12 +237,19 @@ mod tests {
         let db = small_db();
         let qs = generate_queries(&db, 6, 6, 0.02, 6);
         let gamma = reference_gamma(&qs.queries, &db.profiles, CompareOp::Xor);
+        let mut total_differences = 0;
         for (q, truth) in qs.truth.iter().enumerate() {
             let t = truth.unwrap();
             let best = gamma.argmin_in_row(q).unwrap();
             assert_eq!(best, t, "2% noise should not change the nearest profile");
-            assert!(gamma.get(q, t) > 0, "noise should introduce some differences");
+            total_differences += gamma.get(q, t);
         }
+        // Any single query can escape flips (p ≈ 0.98^256 per query), so only
+        // the aggregate is a safe assertion.
+        assert!(
+            total_differences > 0,
+            "noise should introduce some differences"
+        );
     }
 
     #[test]
@@ -237,7 +261,10 @@ mod tests {
             .flat_map(|q| (0..db.profiles.rows()).map(move |j| (q, j)))
             .filter(|&(q, j)| gamma.get(q, j) == 0)
             .count();
-        assert_eq!(zero_matches, 0, "random 256-SNP profiles should never collide");
+        assert_eq!(
+            zero_matches, 0,
+            "random 256-SNP profiles should never collide"
+        );
     }
 
     #[test]
@@ -272,7 +299,10 @@ mod tests {
             .filter(|r| !mixtures[0].contributors.contains(r))
             .filter(|&r| gamma.get(r, 0) > 0)
             .count();
-        assert!(positives > 150, "most non-contributors must be excluded, got {positives}");
+        assert!(
+            positives > 150,
+            "most non-contributors must be excluded, got {positives}"
+        );
     }
 
     #[test]

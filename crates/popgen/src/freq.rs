@@ -47,7 +47,10 @@ impl FrequencySpectrum {
                 p
             }
             FrequencySpectrum::Uniform { lo, hi } => {
-                assert!(lo > 0.0 && hi <= 0.5 && lo <= hi, "bad uniform range [{lo}, {hi}]");
+                assert!(
+                    lo > 0.0 && hi <= 0.5 && lo <= hi,
+                    "bad uniform range [{lo}, {hi}]"
+                );
                 rng.random_range(lo..=hi)
             }
             FrequencySpectrum::Neutral { lo } => {
@@ -158,17 +161,27 @@ mod tests {
             "neutral spectrum should be dominated by rare alleles"
         );
         let emp_mean = draws.iter().sum::<f64>() / draws.len() as f64;
-        assert!((emp_mean - s.mean()).abs() < 0.01, "empirical {emp_mean} vs analytic {}", s.mean());
+        assert!(
+            (emp_mean - s.mean()).abs() < 0.01,
+            "empirical {emp_mean} vs analytic {}",
+            s.mean()
+        );
     }
 
     #[test]
     fn beta_mean_matches_analytic() {
         let mut r = rng();
-        let s = FrequencySpectrum::Beta { alpha: 2.0, beta: 2.0 };
+        let s = FrequencySpectrum::Beta {
+            alpha: 2.0,
+            beta: 2.0,
+        };
         let draws = s.sample_n(&mut r, 20_000);
         assert!(draws.iter().all(|&p| (0.0..=0.5).contains(&p)));
         let emp = draws.iter().sum::<f64>() / draws.len() as f64;
-        assert!((emp - 0.25).abs() < 0.01, "Beta(2,2)/2 mean should be 0.25, got {emp}");
+        assert!(
+            (emp - 0.25).abs() < 0.01,
+            "Beta(2,2)/2 mean should be 0.25, got {emp}"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ const MISSING: u8 = 255;
 
 impl GenotypeMatrix {
     /// Builds from a closure over (sample, site).
-    pub fn from_fn(samples: usize, sites: usize, mut f: impl FnMut(usize, usize) -> Genotype) -> Self {
+    pub fn from_fn(
+        samples: usize,
+        sites: usize,
+        mut f: impl FnMut(usize, usize) -> Genotype,
+    ) -> Self {
         let mut data = Vec::with_capacity(samples * sites);
         for s in 0..samples {
             for v in 0..sites {
@@ -83,7 +87,11 @@ impl GenotypeMatrix {
                 });
             }
         }
-        GenotypeMatrix { samples, sites, data }
+        GenotypeMatrix {
+            samples,
+            sites,
+            data,
+        }
     }
 
     /// Number of samples (rows).
@@ -98,7 +106,10 @@ impl GenotypeMatrix {
 
     /// The genotype at (sample, site).
     pub fn get(&self, sample: usize, site: usize) -> Genotype {
-        assert!(sample < self.samples && site < self.sites, "index out of bounds");
+        assert!(
+            sample < self.samples && site < self.sites,
+            "index out of bounds"
+        );
         match self.data[sample * self.sites + site] {
             0 => Genotype::HomRef,
             1 => Genotype::Het,
@@ -238,9 +249,24 @@ mod tests {
     fn tiny() -> GenotypeMatrix {
         // 3 samples x 4 sites.
         let calls = [
-            [Genotype::HomRef, Genotype::Het, Genotype::HomAlt, Genotype::Missing],
-            [Genotype::Het, Genotype::HomAlt, Genotype::HomAlt, Genotype::HomRef],
-            [Genotype::HomRef, Genotype::HomAlt, Genotype::HomAlt, Genotype::Het],
+            [
+                Genotype::HomRef,
+                Genotype::Het,
+                Genotype::HomAlt,
+                Genotype::Missing,
+            ],
+            [
+                Genotype::Het,
+                Genotype::HomAlt,
+                Genotype::HomAlt,
+                Genotype::HomRef,
+            ],
+            [
+                Genotype::HomRef,
+                Genotype::HomAlt,
+                Genotype::HomAlt,
+                Genotype::Het,
+            ],
         ];
         GenotypeMatrix::from_fn(3, 4, |s, v| calls[s][v])
     }
@@ -305,7 +331,13 @@ mod tests {
             let hap_count: u32 = (0..6).map(|r| hap.get(r, v) as u32).sum();
             let expect: u32 = (0..3)
                 .filter_map(|s| g.get(s, v).alt_count())
-                .map(|alt| if alt_minor { alt as u32 } else { 2 - alt as u32 })
+                .map(|alt| {
+                    if alt_minor {
+                        alt as u32
+                    } else {
+                        2 - alt as u32
+                    }
+                })
                 .sum();
             assert_eq!(hap_count, expect, "site {v}");
         }
@@ -319,7 +351,9 @@ mod tests {
             let got = g.alt_frequency(v).unwrap();
             assert!((got - p).abs() < 0.01, "site {v}: {got} vs {p}");
             // Het fraction ≈ 2p(1-p).
-            let hets = (0..20_000).filter(|&s| g.get(s, v) == Genotype::Het).count();
+            let hets = (0..20_000)
+                .filter(|&s| g.get(s, v) == Genotype::Het)
+                .count();
             let expect = 2.0 * p * (1.0 - p);
             assert!((hets as f64 / 20_000.0 - expect).abs() < 0.02);
         }

@@ -37,10 +37,20 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::BadCharacter { line, ch } => {
-                write!(f, "line {line}: unexpected character {ch:?} (expected '0' or '1')")
+                write!(
+                    f,
+                    "line {line}: unexpected character {ch:?} (expected '0' or '1')"
+                )
             }
-            ParseError::RaggedRow { line, got, expected } => {
-                write!(f, "line {line}: {got} sites but previous rows had {expected}")
+            ParseError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "line {line}: {got} sites but previous rows had {expected}"
+                )
             }
             ParseError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -80,12 +90,21 @@ pub fn read_matrix<R: BufRead>(input: R) -> Result<BitMatrix<u64>, ParseError> {
             match ch {
                 '0' => row.push(false),
                 '1' => row.push(true),
-                other => return Err(ParseError::BadCharacter { line: line_no, ch: other }),
+                other => {
+                    return Err(ParseError::BadCharacter {
+                        line: line_no,
+                        ch: other,
+                    })
+                }
             }
         }
         if let Some(e) = expected {
             if row.len() != e {
-                return Err(ParseError::RaggedRow { line: line_no, got: row.len(), expected: e });
+                return Err(ParseError::RaggedRow {
+                    line: line_no,
+                    got: row.len(),
+                    expected: e,
+                });
             }
         } else {
             expected = Some(row.len());
@@ -127,7 +146,14 @@ mod tests {
     #[test]
     fn ragged_row_rejected() {
         let err = read_matrix("101\n10\n".as_bytes()).unwrap_err();
-        assert_eq!(err, ParseError::RaggedRow { line: 2, got: 2, expected: 3 });
+        assert_eq!(
+            err,
+            ParseError::RaggedRow {
+                line: 2,
+                got: 2,
+                expected: 3
+            }
+        );
     }
 
     #[test]

@@ -81,7 +81,12 @@ pub fn generate_family(
         }
         parents.push((row, p1, p2));
     }
-    FamilyStudy { profiles, parents, founders, site_freq: vec![carrier_freq; sites] }
+    FamilyStudy {
+        profiles,
+        parents,
+        founders,
+        site_freq: vec![carrier_freq; sites],
+    }
 }
 
 /// IBS-threshold classifier calibrated from the panel's carrier frequency.
@@ -174,7 +179,10 @@ mod tests {
                     continue;
                 }
                 let du = gamma.get(child, f);
-                assert!(d1 < du && d2 < du, "child {child}: parent distances {d1}/{d2} vs unrelated {du}");
+                assert!(
+                    d1 < du && d2 < du,
+                    "child {child}: parent distances {d1}/{d2} vs unrelated {du}"
+                );
             }
         }
     }
@@ -189,11 +197,17 @@ mod tests {
                 Relationship::FirstDegree,
                 "child {child} vs parent {p1}"
             );
-            assert_eq!(clf.classify(ibs(gamma.get(child, p2), SITES)), Relationship::FirstDegree);
+            assert_eq!(
+                clf.classify(ibs(gamma.get(child, p2), SITES)),
+                Relationship::FirstDegree
+            );
         }
         // Founder pairs are unrelated; self-pairs identical.
         for i in 0..fam.founders {
-            assert_eq!(clf.classify(ibs(gamma.get(i, i), SITES)), Relationship::Identical);
+            assert_eq!(
+                clf.classify(ibs(gamma.get(i, i), SITES)),
+                Relationship::Identical
+            );
             for j in (i + 1)..fam.founders {
                 assert_eq!(
                     clf.classify(ibs(gamma.get(i, j), SITES)),
@@ -245,14 +259,20 @@ mod tests {
         let pairs = classify_pairs(&gamma, SITES, &clf);
         let total = fam.profiles.rows();
         assert_eq!(pairs.len(), total * (total - 1) / 2);
-        let first_degree = pairs.iter().filter(|&&(_, _, r)| r == Relationship::FirstDegree).count();
+        let first_degree = pairs
+            .iter()
+            .filter(|&&(_, _, r)| r == Relationship::FirstDegree)
+            .count();
         // At least the 16 planted child-parent pairs (siblings may add more).
         assert!(first_degree >= 16, "found {first_degree}");
     }
 
     #[test]
     fn deterministic_and_validated() {
-        assert_eq!(generate_family(4, 2, 64, 0.3, 9).profiles, generate_family(4, 2, 64, 0.3, 9).profiles);
+        assert_eq!(
+            generate_family(4, 2, 64, 0.3, 9).profiles,
+            generate_family(4, 2, 64, 0.3, 9).profiles
+        );
         assert!(std::panic::catch_unwind(|| generate_family(1, 1, 64, 0.3, 9)).is_err());
     }
 }

@@ -43,14 +43,25 @@ pub fn ld_pair(gamma: &CountMatrix, samples: usize, a: usize, b: usize) -> LdPai
     let p_b = gamma.get(b, b) as f64 / n;
     let d = p_ab - p_a * p_b;
     let denom_r2 = p_a * (1.0 - p_a) * p_b * (1.0 - p_b);
-    let r2 = if denom_r2 > 0.0 { d * d / denom_r2 } else { 0.0 };
+    let r2 = if denom_r2 > 0.0 {
+        d * d / denom_r2
+    } else {
+        0.0
+    };
     let d_max = if d >= 0.0 {
         (p_a * (1.0 - p_b)).min((1.0 - p_a) * p_b)
     } else {
         (p_a * p_b).min((1.0 - p_a) * (1.0 - p_b))
     };
     let d_prime = if d_max > 0.0 { d / d_max } else { 0.0 };
-    LdPair { p_ab, p_a, p_b, d, d_prime, r2 }
+    LdPair {
+        p_ab,
+        p_a,
+        p_b,
+        d,
+        d_prime,
+        r2,
+    }
 }
 
 /// Computes `r²` for every pair into a dense `snps × snps` matrix of `f64`.
@@ -95,7 +106,10 @@ mod tests {
         let (g, n) = gamma_of(&[a, b]);
         let ld = ld_pair(&g, n, 0, 1);
         assert!(ld.d < 0.0);
-        assert!((ld.d_prime + 1.0).abs() < 1e-12, "complete repulsion: D' = -1");
+        assert!(
+            (ld.d_prime + 1.0).abs() < 1e-12,
+            "complete repulsion: D' = -1"
+        );
         assert!((ld.r2 - 1.0).abs() < 1e-12);
     }
 
@@ -126,7 +140,11 @@ mod tests {
     fn statistics_are_bounded() {
         use crate::population::{generate_panel, PanelConfig};
         let p = generate_panel(
-            &PanelConfig { snps: 30, samples: 500, ..Default::default() },
+            &PanelConfig {
+                snps: 30,
+                samples: 500,
+                ..Default::default()
+            },
             21,
         );
         let g = reference_gamma_self(&p.matrix, CompareOp::And);
@@ -134,7 +152,11 @@ mod tests {
             for b in 0..30 {
                 let ld = ld_pair(&g, 500, a, b);
                 assert!(ld.r2 >= -1e-12 && ld.r2 <= 1.0 + 1e-12, "r²={}", ld.r2);
-                assert!(ld.d_prime >= -1.0 - 1e-9 && ld.d_prime <= 1.0 + 1e-9, "D'={}", ld.d_prime);
+                assert!(
+                    ld.d_prime >= -1.0 - 1e-9 && ld.d_prime <= 1.0 + 1e-9,
+                    "D'={}",
+                    ld.d_prime
+                );
                 assert!((-0.25..=0.25).contains(&ld.d), "|D| <= 1/4 always");
             }
         }
@@ -144,7 +166,11 @@ mod tests {
     fn r2_matrix_is_symmetric_with_unit_diagonal() {
         use crate::population::{generate_panel, PanelConfig};
         let p = generate_panel(
-            &PanelConfig { snps: 12, samples: 300, ..Default::default() },
+            &PanelConfig {
+                snps: 12,
+                samples: 300,
+                ..Default::default()
+            },
             22,
         );
         let g = reference_gamma_self(&p.matrix, CompareOp::And);

@@ -40,9 +40,11 @@ pub mod scoring;
 
 pub use blocks::{mean_adjacent_r2, Block, BlockDetector};
 pub use forensic::{Database, DatabaseConfig, Mixture, QuerySet};
-pub use genotype::{generate_hwe, Genotype, GenotypeMatrix, MissingPolicy};
-pub use kinship::{classify_pairs, generate_family, ibs, FamilyStudy, KinshipClassifier, Relationship};
-pub use scoring::{coincidental_inclusion_probability, mixture_bit_freq, IdentityScorer};
 pub use freq::FrequencySpectrum;
+pub use genotype::{generate_hwe, Genotype, GenotypeMatrix, MissingPolicy};
+pub use kinship::{
+    classify_pairs, generate_family, ibs, FamilyStudy, KinshipClassifier, Relationship,
+};
 pub use ld_stats::{ld_pair, r2_matrix, LdPair};
 pub use population::{generate_independent, generate_panel, random_dense, Panel, PanelConfig};
+pub use scoring::{coincidental_inclusion_probability, mixture_bit_freq, IdentityScorer};

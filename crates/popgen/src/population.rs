@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn panel_shape_and_padding() {
-        let cfg = PanelConfig { snps: 100, samples: 130, ..Default::default() };
+        let cfg = PanelConfig {
+            snps: 100,
+            samples: 130,
+            ..Default::default()
+        };
         let p = generate_panel(&cfg, 1);
         assert_eq!(p.matrix.rows(), 100);
         assert_eq!(p.matrix.cols(), 130);
@@ -156,7 +160,11 @@ mod tests {
 
     #[test]
     fn blocks_have_expected_length() {
-        let cfg = PanelConfig { snps: 64, block_len: 8, ..Default::default() };
+        let cfg = PanelConfig {
+            snps: 64,
+            block_len: 8,
+            ..Default::default()
+        };
         let p = generate_panel(&cfg, 3);
         assert_eq!(p.block_of[0], 0);
         assert_eq!(p.block_of[7], 0);

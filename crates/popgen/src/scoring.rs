@@ -33,7 +33,10 @@ impl IdentityScorer {
     /// Builds a scorer from per-site set-bit frequencies and an error rate.
     pub fn new(bit_freq: Vec<f64>, error_rate: f64) -> Self {
         assert!(!bit_freq.is_empty(), "panel must have sites");
-        assert!((0.0..0.5).contains(&error_rate), "error rate {error_rate} outside [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&error_rate),
+            "error rate {error_rate} outside [0, 0.5)"
+        );
         for (i, &q) in bit_freq.iter().enumerate() {
             assert!((0.0..=1.0).contains(&q), "site {i}: bad frequency {q}");
         }
@@ -43,7 +46,12 @@ impl IdentityScorer {
             mean += p;
             var += p * (1.0 - p);
         }
-        IdentityScorer { bit_freq, error_rate, h2_mean: mean, h2_var: var }
+        IdentityScorer {
+            bit_freq,
+            error_rate,
+            h2_mean: mean,
+            h2_var: var,
+        }
     }
 
     /// Builds the scorer from minor-allele frequencies under the dominant
@@ -108,8 +116,15 @@ impl IdentityScorer {
 /// that happens with probability `Π_i (1 − q_i (1 − g_i))` — which decays
 /// geometrically with the panel size, the paper's implicit argument for
 /// large SNP panels in mixture analysis.
-pub fn coincidental_inclusion_probability(profile_bit_freq: &[f64], mixture_bit_freq: &[f64]) -> f64 {
-    assert_eq!(profile_bit_freq.len(), mixture_bit_freq.len(), "panel size mismatch");
+pub fn coincidental_inclusion_probability(
+    profile_bit_freq: &[f64],
+    mixture_bit_freq: &[f64],
+) -> f64 {
+    assert_eq!(
+        profile_bit_freq.len(),
+        mixture_bit_freq.len(),
+        "panel size mismatch"
+    );
     profile_bit_freq
         .iter()
         .zip(mixture_bit_freq)
@@ -139,7 +154,11 @@ mod tests {
     #[test]
     fn planted_queries_score_positive_nonmembers_negative() {
         let db = generate_database(
-            &DatabaseConfig { profiles: 300, snps: 512, ..Default::default() },
+            &DatabaseConfig {
+                profiles: 300,
+                snps: 512,
+                ..Default::default()
+            },
             5,
         );
         let qs = generate_queries(&db, 12, 6, 0.01, 6);
@@ -194,7 +213,10 @@ mod tests {
         let t = scorer.decision_threshold();
         let same = scorer.expected_same_source_differences();
         let diff = scorer.expected_unrelated_differences();
-        assert!(same < t as f64 && (t as f64) < diff, "{same} < {t} < {diff}");
+        assert!(
+            same < t as f64 && (t as f64) < diff,
+            "{same} < {t} < {diff}"
+        );
         assert!(scorer.log_lr(same.round() as u32) > 0.0);
         assert!(scorer.log_lr(diff.round() as u32) < 0.0);
     }
@@ -218,8 +240,8 @@ mod tests {
         let p128 = coincidental_inclusion_probability(&vec![q; 128], &vec![g3; 128]);
         let p512 = coincidental_inclusion_probability(&vec![q; 512], &vec![g3; 512]);
         assert!(p512 < p128);
-        assert!((p512 / p128 - (p128 / coincidental_inclusion_probability(&[q; 0], &[]))
-            .powf(0.0))
+        assert!((p512 / p128
+            - (p128 / coincidental_inclusion_probability(&[q; 0], &[])).powf(0.0))
         .is_finite());
         // Geometric decay: p(4n) == p(n)^4 for identical sites.
         let p_n = coincidental_inclusion_probability(&vec![q; 100], &vec![g3; 100]);

@@ -19,7 +19,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { word_bits: 64, merge_step_cost: 4.0 }
+        CostModel {
+            word_bits: 64,
+            merge_step_cost: 4.0,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ mod tests {
         let k = 64 * 100;
         let dense = dense_cost_words(k, m.word_bits);
         let sparse_at = sparse_cost_entries(k, d, &m);
-        assert!((dense - sparse_at).abs() / dense < 1e-9, "costs equal at the crossover");
+        assert!(
+            (dense - sparse_at).abs() / dense < 1e-9,
+            "costs equal at the crossover"
+        );
         assert!(sparse_cost_entries(k, d / 2.0, &m) < dense);
         assert!(sparse_cost_entries(k, d * 2.0, &m) > dense);
     }

@@ -17,7 +17,10 @@ impl SparseBitMatrix {
             r.sort_unstable();
             r.dedup();
             if let Some(&last) = r.last() {
-                assert!((last as usize) < cols, "row {i}: index {last} out of {cols} columns");
+                assert!(
+                    (last as usize) < cols,
+                    "row {i}: index {last} out of {cols} columns"
+                );
             }
         }
         SparseBitMatrix { rows, cols }
@@ -39,7 +42,10 @@ impl SparseBitMatrix {
             }
             rows.push(idx);
         }
-        SparseBitMatrix { rows, cols: m.cols() }
+        SparseBitMatrix {
+            rows,
+            cols: m.cols(),
+        }
     }
 
     /// Converts back to a packed dense matrix.

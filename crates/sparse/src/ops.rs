@@ -45,7 +45,13 @@ pub fn sparse_row_count(op: CompareOp, a: &[u32], b: &[u32]) -> u32 {
 /// Operands must share the column count (the comparison is over the same
 /// SNP panel).
 pub fn sparse_gamma(op: CompareOp, a: &SparseBitMatrix, b: &SparseBitMatrix) -> CountMatrix {
-    assert_eq!(a.cols(), b.cols(), "operands must cover the same sites: {} vs {}", a.cols(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "operands must cover the same sites: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
     let mut c = CountMatrix::zeros(a.rows(), b.rows());
     for i in 0..a.rows() {
         let ra = a.row(i);
@@ -85,7 +91,11 @@ mod tests {
             for op in CompareOp::ALL {
                 let sparse = sparse_gamma(op, &sa, &sb);
                 let dense = reference_gamma(&a, &b, op);
-                assert_eq!(sparse.first_mismatch(&dense), None, "op {op} mod {density_mod}");
+                assert_eq!(
+                    sparse.first_mismatch(&dense),
+                    None,
+                    "op {op} mod {density_mod}"
+                );
             }
         }
     }

@@ -15,7 +15,11 @@ fn main() {
     // A functional-scale database (the timing-only NDIS-scale sweep lives in
     // `cargo run -p snp-bench --bin fig8_fastid`).
     let db = generate_database(
-        &DatabaseConfig { profiles: 50_000, snps: 512, ..Default::default() },
+        &DatabaseConfig {
+            profiles: 50_000,
+            snps: 512,
+            ..Default::default()
+        },
         1234,
     );
     let queries = generate_queries(&db, 32, 24, 0.01, 99);
@@ -31,7 +35,9 @@ fn main() {
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
         });
-        let run = engine.identity_search(&queries.queries, &db.profiles).expect("search");
+        let run = engine
+            .identity_search(&queries.queries, &db.profiles)
+            .expect("search");
         let gamma = run.gamma.as_ref().unwrap();
 
         // Score the search: every planted query must rank its source first.
@@ -56,11 +62,7 @@ fn main() {
         let min_sep = separations.iter().min().unwrap();
         println!(
             "\n{:<8} [{}]: {}/{} planted queries identified; min match-vs-impostor margin {} sites",
-            dev.name,
-            dev.microarchitecture,
-            hits,
-            24,
-            min_sep
+            dev.name, dev.microarchitecture, hits, 24, min_sep
         );
         println!(
             "  config: m_c={} m_r={} k_c={} n_r={} grid={}x{}; {} pass(es)",
@@ -80,7 +82,11 @@ fn main() {
             run.timing.transfer_out_ns as f64 / 1e6,
             run.kernel_word_ops_per_sec / 1e9
         );
-        assert_eq!(hits, 24, "{}: all planted queries must be identified", dev.name);
+        assert_eq!(
+            hits, 24,
+            "{}: all planted queries must be identified",
+            dev.name
+        );
     }
     println!("\nAll three devices produced identical, correct match tables — the point of a");
     println!("portable framework: one algorithm, per-device configuration headers.");

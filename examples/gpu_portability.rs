@@ -50,21 +50,39 @@ fn main() {
     // Step 1 (§V-B/§V-C/§V-D): microbenchmark the unknown hardware.
     println!("microbenchmarking {} ...", new_dev.name);
     let recovered = recover_parameters(&new_dev);
-    println!("  L_fn (popc chain): {:.1} cycles", recovered.latency_for(InstrClass::Popc).unwrap());
+    println!(
+        "  L_fn (popc chain): {:.1} cycles",
+        recovered.latency_for(InstrClass::Popc).unwrap()
+    );
     for class in [InstrClass::IntAdd, InstrClass::Logic, InstrClass::Popc] {
-        println!("  N_fn^{class}: {} units/cluster", recovered.units_for(class).unwrap());
+        println!(
+            "  N_fn^{class}: {} units/cluster",
+            recovered.units_for(class).unwrap()
+        );
     }
-    assert_eq!(recovered.units_for(InstrClass::Popc), Some(16), "recovery must see the wider pipe");
+    assert_eq!(
+        recovered.units_for(InstrClass::Popc),
+        Some(16),
+        "recovery must see the wider pipe"
+    );
 
     // Step 2 (§V-A): derive the configuration header from hardware features.
-    let shape = ProblemShape { m: 2048, n: 2048, k_words: 512 };
+    let shape = ProblemShape {
+        m: 2048,
+        n: 2048,
+        k_words: 512,
+    };
     let cfg = derive_config(&new_dev, shape, McRule::Banks);
     println!(
         "\nderived configuration: m_c={} m_r={} k_c={} n_r={} grid={}x{} groups/cluster={}",
         cfg.m_c, cfg.m_r, cfg.k_c, cfg.n_r, cfg.grid_m, cfg.grid_n, cfg.groups_per_cluster
     );
     assert!(cfg.violations(&new_dev).is_empty());
-    assert_eq!(cfg.k_c, 96 * 1024 / (4 * 32), "Eq. 6 follows the bigger shared memory");
+    assert_eq!(
+        cfg.k_c,
+        96 * 1024 / (4 * 32),
+        "Eq. 6 follows the bigger shared memory"
+    );
 
     // Step 3: the same workload, unchanged, on every device.
     let panel = random_dense(768, 6_000, 5);
@@ -74,7 +92,9 @@ fn main() {
     all.push(new_dev);
     for dev in all {
         let engine = GpuEngine::new(dev.clone());
-        let run = engine.compare(&panel, &panel, Algorithm::LinkageDisequilibrium).unwrap();
+        let run = engine
+            .compare(&panel, &panel, Algorithm::LinkageDisequilibrium)
+            .unwrap();
         assert_eq!(
             run.gamma.unwrap().first_mismatch(&want),
             None,

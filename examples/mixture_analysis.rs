@@ -13,7 +13,11 @@ use snp_repro::popgen::forensic::{generate_database, generate_mixtures, Database
 
 fn main() {
     let db = generate_database(
-        &DatabaseConfig { profiles: 5_000, snps: 768, ..Default::default() },
+        &DatabaseConfig {
+            profiles: 5_000,
+            snps: 768,
+            ..Default::default()
+        },
         7,
     );
     let (mixtures, mixture_matrix) = generate_mixtures(&db, 8, 3, 21);
@@ -33,7 +37,9 @@ fn main() {
             double_buffer: true,
             mixture: strategy,
         });
-        let run = engine.mixture_analysis(&db.profiles, &mixture_matrix).expect("mixture");
+        let run = engine
+            .mixture_analysis(&db.profiles, &mixture_matrix)
+            .expect("mixture");
         println!(
             "\nstrategy {:?}: kernel {:.2} ms ({:.0} G word-ops/s modeled on {})",
             strategy,
@@ -45,7 +51,11 @@ fn main() {
     }
     let direct = results[0].gamma.take().unwrap();
     let pre = results[1].gamma.take().unwrap();
-    assert_eq!(direct.first_mismatch(&pre), None, "strategies must agree bit-exactly");
+    assert_eq!(
+        direct.first_mismatch(&pre),
+        None,
+        "strategies must agree bit-exactly"
+    );
     assert!(
         results[1].timing.kernel_ns < results[0].timing.kernel_ns,
         "pre-negation must be faster on Vega (no fused AND-NOT)"
@@ -56,8 +66,9 @@ fn main() {
     println!("\ncontributor recovery (γ = 0 test):");
     let mut false_positives = 0usize;
     for (mi, mix) in mixtures.iter().enumerate() {
-        let mut found: Vec<usize> =
-            (0..db.profiles.rows()).filter(|&r| direct.get(r, mi) == 0).collect();
+        let mut found: Vec<usize> = (0..db.profiles.rows())
+            .filter(|&r| direct.get(r, mi) == 0)
+            .collect();
         found.sort_unstable();
         let mut planted = mix.contributors.clone();
         planted.sort_unstable();

@@ -12,12 +12,18 @@ use snp_repro::core::{
 };
 use snp_repro::gpu_model::devices;
 use snp_repro::popgen::forensic::{generate_database, generate_queries, DatabaseConfig};
-use snp_repro::popgen::kinship::{classify_pairs, generate_family, KinshipClassifier, Relationship};
+use snp_repro::popgen::kinship::{
+    classify_pairs, generate_family, KinshipClassifier, Relationship,
+};
 
 fn main() {
     // ---- Part 1: streaming top-k search (functional scale). -------------
     let db = generate_database(
-        &DatabaseConfig { profiles: 30_000, snps: 512, ..Default::default() },
+        &DatabaseConfig {
+            profiles: 30_000,
+            snps: 512,
+            ..Default::default()
+        },
         2024,
     );
     let queries = generate_queries(&db, 8, 8, 0.01, 7);

@@ -8,13 +8,19 @@
 use snp_repro::bitmat::{reference_gamma, CompareOp};
 use snp_repro::core::{Algorithm, GpuEngine};
 use snp_repro::gpu_model::devices;
-use snp_repro::popgen::forensic::{generate_database, generate_mixtures, generate_queries, DatabaseConfig};
+use snp_repro::popgen::forensic::{
+    generate_database, generate_mixtures, generate_queries, DatabaseConfig,
+};
 
 fn main() {
     // 1. Generate a small forensic panel: 2 000 reference profiles over 512
     //    SNP sites, with an ascertained allele-frequency spectrum.
     let db = generate_database(
-        &DatabaseConfig { profiles: 2_000, snps: 512, ..Default::default() },
+        &DatabaseConfig {
+            profiles: 2_000,
+            snps: 512,
+            ..Default::default()
+        },
         42,
     );
     println!(
@@ -28,12 +34,18 @@ fn main() {
     //    code runs on any modeled device — only the configuration header
     //    changes (see the `gpu_portability` example).
     let engine = GpuEngine::new(devices::titan_v());
-    println!("device:   {} ({})", engine.spec().name, engine.spec().microarchitecture);
+    println!(
+        "device:   {} ({})",
+        engine.spec().name,
+        engine.spec().microarchitecture
+    );
 
     // 3. Identity search: 8 queries, 6 of them noisy copies of database
     //    profiles (ground truth known), 2 random non-members.
     let queries = generate_queries(&db, 8, 6, 0.01, 7);
-    let run = engine.identity_search(&queries.queries, &db.profiles).expect("identity search");
+    let run = engine
+        .identity_search(&queries.queries, &db.profiles)
+        .expect("identity search");
     let gamma = run.gamma.as_ref().expect("full mode");
     println!("\nidentity search (γ = popcount(query XOR profile); 0 = exact match):");
     for (q, truth) in queries.truth.iter().enumerate() {
@@ -58,10 +70,13 @@ fn main() {
     // 4. Mixture analysis: which database profiles contributed to a 3-person
     //    DNA mixture? γ = popcount(r AND NOT m) == 0 for true contributors.
     let (mixtures, mixture_matrix) = generate_mixtures(&db, 1, 3, 11);
-    let run = engine.mixture_analysis(&db.profiles, &mixture_matrix).expect("mixture analysis");
+    let run = engine
+        .mixture_analysis(&db.profiles, &mixture_matrix)
+        .expect("mixture analysis");
     let gamma = run.gamma.as_ref().unwrap();
-    let mut included: Vec<usize> =
-        (0..db.profiles.rows()).filter(|&r| gamma.get(r, 0) == 0).collect();
+    let mut included: Vec<usize> = (0..db.profiles.rows())
+        .filter(|&r| gamma.get(r, 0) == 0)
+        .collect();
     included.sort_unstable();
     let mut expected = mixtures[0].contributors.clone();
     expected.sort_unstable();
@@ -78,11 +93,18 @@ fn main() {
     let slice = db.profiles.row_slice(0, 128);
     let run = engine.ld_self(&slice).expect("LD");
     let want = reference_gamma(&slice, &slice, CompareOp::And);
-    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None, "bit-exact vs reference");
+    assert_eq!(
+        run.gamma.unwrap().first_mismatch(&want),
+        None,
+        "bit-exact vs reference"
+    );
     println!("\nLD self-comparison of 128 profiles verified bit-exact against the reference.");
-    println!("algorithms exercised: {:?}", [
-        Algorithm::IdentitySearch,
-        Algorithm::MixtureAnalysis,
-        Algorithm::LinkageDisequilibrium
-    ]);
+    println!(
+        "algorithms exercised: {:?}",
+        [
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+            Algorithm::LinkageDisequilibrium
+        ]
+    );
 }

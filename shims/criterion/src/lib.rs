@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates.io dependencies, so this crate
+//! implements the subset of the criterion 0.8 API the workspace's benches
+//! use: `Criterion::benchmark_group`, `BenchmarkGroup` with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated (iteration count
+//! doubles until a sample takes long enough to time reliably), then
+//! `sample_size` samples are taken and the **median** ns/iter is reported,
+//! with derived element/byte throughput when the group declares one.
+//! There is no statistical comparison against saved baselines; for
+//! old-vs-new comparisons this workspace benches both variants side by side
+//! in the same run. Set `CRITERION_SHIM_JSON=/path/file.json` to also append
+//! one JSON object per benchmark to that file for snapshotting.
+//!
+//! Swapping the real crate back in requires only a `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time a calibration batch must take before its timing
+/// is trusted to extrapolate an iteration count.
+const CALIBRATION_FLOOR: Duration = Duration::from_millis(4);
+
+/// Wall-clock target for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver (shim: holds only the optional JSON sink).
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var("CRITERION_SHIM_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, &mut f);
+        g.finish();
+    }
+}
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (for groups benching one function
+    /// across inputs).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut bencher);
+        self.report(id.into(), bencher.median_ns);
+        self
+    }
+
+    /// Benches a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut bencher, input);
+        self.report(id.into(), bencher.median_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: BenchmarkId, median_ns: Option<f64>) {
+        let full_id = if self.name.is_empty() {
+            id.full.clone()
+        } else {
+            format!("{}/{}", self.name, id.full)
+        };
+        let Some(ns) = median_ns else {
+            println!("{full_id:<50} (no measurement: Bencher::iter never called)");
+            return;
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 / (ns * 1e-9), "elem/s"),
+            Throughput::Bytes(n) => (n as f64 / (ns * 1e-9), "B/s"),
+        });
+        match rate {
+            Some((r, unit)) => {
+                println!(
+                    "{full_id:<50} {:>14} ns/iter {:>14} {unit}",
+                    fmt_num(ns),
+                    fmt_num(r)
+                )
+            }
+            None => println!("{full_id:<50} {:>14} ns/iter", fmt_num(ns)),
+        }
+        if let Some(path) = &self.criterion.json_path {
+            let (tp, tp_unit) = match rate {
+                Some((r, unit)) => (r, unit),
+                None => (0.0, ""),
+            };
+            let line = format!(
+                "{{\"id\":\"{}\",\"ns_per_iter\":{:.3},\"throughput\":{:.3},\"throughput_unit\":\"{}\"}}\n",
+                full_id, ns, tp, tp_unit
+            );
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3}e9", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] measures the routine.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates an iteration count, records
+    /// `sample_size` samples, and stores the median ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= CALIBRATION_FLOOR || iters >= 1 << 24 {
+                break (dt.as_nanos().max(1) as f64) / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+
+        let sample_iters =
+            ((SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = samples.len() / 2;
+        let median = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+        self.median_ns = Some(median);
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim/self");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        let mut ran = false;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).full, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("xor").full, "xor");
+        assert_eq!(BenchmarkId::from("plain").full, "plain");
+    }
+}

@@ -3,7 +3,7 @@
 //! `γ` matrices for every algorithm on every device.
 
 use snp_repro::bitmat::{reference_gamma, CompareOp};
-use snp_repro::core::{Algorithm, GpuEngine, EngineOptions, ExecMode, MixtureStrategy};
+use snp_repro::core::{Algorithm, EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
 use snp_repro::cpu::CpuEngine;
 use snp_repro::gpu_model::devices;
 use snp_repro::popgen::{generate_independent, random_dense};
@@ -17,9 +17,21 @@ fn four_implementations_agree_on_every_operator() {
     for op in CompareOp::ALL {
         let reference = reference_gamma(&a, &b, op);
         let blis = cpu.gamma(&a, &b, op);
-        assert_eq!(blis.first_mismatch(&reference), None, "CPU BLIS vs reference, op {op}");
-        let sparse = sparse_gamma(op, &SparseBitMatrix::from_dense(&a), &SparseBitMatrix::from_dense(&b));
-        assert_eq!(sparse.first_mismatch(&reference), None, "sparse vs reference, op {op}");
+        assert_eq!(
+            blis.first_mismatch(&reference),
+            None,
+            "CPU BLIS vs reference, op {op}"
+        );
+        let sparse = sparse_gamma(
+            op,
+            &SparseBitMatrix::from_dense(&a),
+            &SparseBitMatrix::from_dense(&b),
+        );
+        assert_eq!(
+            sparse.first_mismatch(&reference),
+            None,
+            "sparse vs reference, op {op}"
+        );
     }
 }
 
@@ -93,11 +105,20 @@ fn cpu_and_gpu_agree_on_padded_awkward_shapes() {
     // Shapes that hit every edge path: non-multiple rows, ragged words.
     let cpu = CpuEngine::new();
     let dev = devices::gtx_980();
-    for (m, n, bits) in [(1usize, 1usize, 65usize), (33, 7, 127), (5, 129, 64), (17, 31, 1000)] {
+    for (m, n, bits) in [
+        (1usize, 1usize, 65usize),
+        (33, 7, 127),
+        (5, 129, 64),
+        (17, 31, 1000),
+    ] {
         let a = random_dense(m, bits, (m * n) as u64);
         let b = random_dense(n, bits, (m + n) as u64);
         let want = cpu.gamma(&a, &b, CompareOp::Xor);
         let run = GpuEngine::new(dev.clone()).identity_search(&a, &b).unwrap();
-        assert_eq!(run.gamma.unwrap().first_mismatch(&want), None, "shape {m}x{n}x{bits}");
+        assert_eq!(
+            run.gamma.unwrap().first_mismatch(&want),
+            None,
+            "shape {m}x{n}x{bits}"
+        );
     }
 }

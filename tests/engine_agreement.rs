@@ -14,11 +14,17 @@ fn agreement_for(dev: &snp_repro::gpu_model::DeviceSpec, op: CompareOp, k_words:
     let cfg = config_for(
         dev,
         Algorithm::LinkageDisequilibrium,
-        ProblemShape { m: 4096, n: 4096, k_words },
+        ProblemShape {
+            m: 4096,
+            n: 4096,
+            k_words,
+        },
     );
     let prog = tile_program(dev, &cfg, op, k_words);
     let groups = group_geometry(dev, &cfg).groups_per_core;
-    let detailed = simulate_core(dev, &prog, groups, 500_000_000).unwrap().cycles as f64;
+    let detailed = simulate_core(dev, &prog, groups, 500_000_000)
+        .unwrap()
+        .cycles as f64;
     let analytic = estimate_core_cycles(dev, &prog, groups);
     (analytic - detailed).abs() / detailed
 }
@@ -56,16 +62,29 @@ fn detailed_engine_confirms_fig9_instruction_mix_effect() {
     let cfg = config_for(
         &vega,
         Algorithm::MixtureAnalysis,
-        ProblemShape { m: 4096, n: 4096, k_words: 64 },
+        ProblemShape {
+            m: 4096,
+            n: 4096,
+            k_words: 64,
+        },
     );
     let groups = group_geometry(&vega, &cfg).groups_per_core;
-    let t_and = simulate_core(&vega, &tile_program(&vega, &cfg, CompareOp::And, 64), groups, 500_000_000)
-        .unwrap()
-        .cycles as f64;
-    let t_andnot =
-        simulate_core(&vega, &tile_program(&vega, &cfg, CompareOp::AndNot, 64), groups, 500_000_000)
-            .unwrap()
-            .cycles as f64;
+    let t_and = simulate_core(
+        &vega,
+        &tile_program(&vega, &cfg, CompareOp::And, 64),
+        groups,
+        500_000_000,
+    )
+    .unwrap()
+    .cycles as f64;
+    let t_andnot = simulate_core(
+        &vega,
+        &tile_program(&vega, &cfg, CompareOp::AndNot, 64),
+        groups,
+        500_000_000,
+    )
+    .unwrap()
+    .cycles as f64;
     let ratio = t_and / t_andnot;
     assert!(
         (0.62..=0.72).contains(&ratio),
@@ -76,16 +95,29 @@ fn detailed_engine_confirms_fig9_instruction_mix_effect() {
         let cfg = config_for(
             &dev,
             Algorithm::MixtureAnalysis,
-            ProblemShape { m: 4096, n: 4096, k_words: 64 },
+            ProblemShape {
+                m: 4096,
+                n: 4096,
+                k_words: 64,
+            },
         );
         let groups = group_geometry(&dev, &cfg).groups_per_core;
-        let a = simulate_core(&dev, &tile_program(&dev, &cfg, CompareOp::And, 64), groups, 500_000_000)
-            .unwrap()
-            .cycles;
-        let an =
-            simulate_core(&dev, &tile_program(&dev, &cfg, CompareOp::AndNot, 64), groups, 500_000_000)
-                .unwrap()
-                .cycles;
+        let a = simulate_core(
+            &dev,
+            &tile_program(&dev, &cfg, CompareOp::And, 64),
+            groups,
+            500_000_000,
+        )
+        .unwrap()
+        .cycles;
+        let an = simulate_core(
+            &dev,
+            &tile_program(&dev, &cfg, CompareOp::AndNot, 64),
+            groups,
+            500_000_000,
+        )
+        .unwrap()
+        .cycles;
         assert_eq!(a, an, "{}: fused AND-NOT must be cycle-identical", dev.name);
     }
 }

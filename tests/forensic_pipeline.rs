@@ -13,7 +13,14 @@ use snp_repro::popgen::population::{generate_panel, PanelConfig};
 use snp_repro::popgen::FrequencySpectrum;
 
 fn db() -> snp_repro::popgen::Database {
-    generate_database(&DatabaseConfig { profiles: 800, snps: 384, ..Default::default() }, 101)
+    generate_database(
+        &DatabaseConfig {
+            profiles: 800,
+            snps: 384,
+            ..Default::default()
+        },
+        101,
+    )
 }
 
 #[test]
@@ -27,7 +34,9 @@ fn identity_search_pipeline_on_all_engines() {
         }
     }
     for dev in devices::all_gpus() {
-        let run = GpuEngine::new(dev.clone()).identity_search(&queries.queries, &db.profiles).unwrap();
+        let run = GpuEngine::new(dev.clone())
+            .identity_search(&queries.queries, &db.profiles)
+            .unwrap();
         let gamma = run.gamma.unwrap();
         assert_eq!(gamma.first_mismatch(&cpu_gamma), None, "{}", dev.name);
     }
@@ -37,13 +46,21 @@ fn identity_search_pipeline_on_all_engines() {
 fn mixture_pipeline_recovers_contributors_and_excludes_most_others() {
     let db = db();
     let (mixtures, matrix) = generate_mixtures(&db, 5, 3, 31);
-    let run = GpuEngine::new(devices::vega_64()).mixture_analysis(&db.profiles, &matrix).unwrap();
+    let run = GpuEngine::new(devices::vega_64())
+        .mixture_analysis(&db.profiles, &matrix)
+        .unwrap();
     let gamma = run.gamma.unwrap();
     for (mi, mix) in mixtures.iter().enumerate() {
         for &c in &mix.contributors {
-            assert_eq!(gamma.get(c, mi), 0, "contributor {c} of mixture {mi} must score 0");
+            assert_eq!(
+                gamma.get(c, mi),
+                0,
+                "contributor {c} of mixture {mi} must score 0"
+            );
         }
-        let included = (0..db.profiles.rows()).filter(|&r| gamma.get(r, mi) == 0).count();
+        let included = (0..db.profiles.rows())
+            .filter(|&r| gamma.get(r, mi) == 0)
+            .count();
         assert!(
             included < db.profiles.rows() / 10,
             "mixture {mi}: {included} profiles included — panel should exclude most"
@@ -64,7 +81,11 @@ fn ld_statistics_identical_from_cpu_and_gpu_gammas() {
         55,
     );
     let cpu_gamma = CpuEngine::new().ld_self(&panel.matrix);
-    let gpu_gamma = GpuEngine::new(devices::titan_v()).ld_self(&panel.matrix).unwrap().gamma.unwrap();
+    let gpu_gamma = GpuEngine::new(devices::titan_v())
+        .ld_self(&panel.matrix)
+        .unwrap()
+        .gamma
+        .unwrap();
     assert_eq!(cpu_gamma.first_mismatch(&gpu_gamma), None);
     // Downstream statistics therefore agree exactly.
     let mut strong = 0;
@@ -76,7 +97,10 @@ fn ld_statistics_identical_from_cpu_and_gpu_gammas() {
             strong += 1;
         }
     }
-    assert!(strong > 40, "adjacent same-block pairs should mostly be in strong LD, got {strong}");
+    assert!(
+        strong > 40,
+        "adjacent same-block pairs should mostly be in strong LD, got {strong}"
+    );
 }
 
 #[test]
@@ -89,7 +113,11 @@ fn query_noise_degrades_scores_monotonically() {
     let g_noisy = e.identity_search(&noisy.queries, &db.profiles);
     for q in 0..6 {
         let t_clean = clean.truth[q].unwrap();
-        assert_eq!(g_clean.get(q, t_clean), 0, "noiseless planted query matches exactly");
+        assert_eq!(
+            g_clean.get(q, t_clean),
+            0,
+            "noiseless planted query matches exactly"
+        );
         let t_noisy = noisy.truth[q].unwrap();
         let noisy_score = g_noisy.get(q, t_noisy);
         assert!(noisy_score > 0, "5% noise must perturb the profile");
@@ -106,9 +134,25 @@ fn xor_and_andnot_are_consistent_through_the_full_stack() {
     let queries = generate_queries(&db, 6, 3, 0.02, 77);
     let dev = devices::gtx_980();
     let engine = GpuEngine::new(dev);
-    let and = engine.compare(&queries.queries, &db.profiles, snp_repro::core::Algorithm::LinkageDisequilibrium).unwrap().gamma.unwrap();
-    let xor = engine.identity_search(&queries.queries, &db.profiles).unwrap().gamma.unwrap();
-    let andnot = engine.mixture_analysis(&queries.queries, &db.profiles).unwrap().gamma.unwrap();
+    let and = engine
+        .compare(
+            &queries.queries,
+            &db.profiles,
+            snp_repro::core::Algorithm::LinkageDisequilibrium,
+        )
+        .unwrap()
+        .gamma
+        .unwrap();
+    let xor = engine
+        .identity_search(&queries.queries, &db.profiles)
+        .unwrap()
+        .gamma
+        .unwrap();
+    let andnot = engine
+        .mixture_analysis(&queries.queries, &db.profiles)
+        .unwrap()
+        .gamma
+        .unwrap();
     for q in 0..queries.queries.rows() {
         let pa: u32 = queries.queries.row(q).iter().map(|w| w.count_ones()).sum();
         for p in 0..db.profiles.rows() {

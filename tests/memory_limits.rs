@@ -12,7 +12,11 @@ use snp_repro::gpu_sim::{Gpu, SimError};
 use snp_repro::popgen::random_dense;
 
 fn timing_only(double_buffer: bool) -> EngineOptions {
-    EngineOptions { mode: ExecMode::TimingOnly, double_buffer, mixture: MixtureStrategy::Direct }
+    EngineOptions {
+        mode: ExecMode::TimingOnly,
+        double_buffer,
+        mixture: MixtureStrategy::Direct,
+    }
 }
 
 #[test]
@@ -26,7 +30,10 @@ fn allocation_caps_enforced_per_device() {
             dev.name
         );
         assert!(
-            matches!(gpu.create_virtual_buffer(over), Err(SimError::AllocTooLarge { .. })),
+            matches!(
+                gpu.create_virtual_buffer(over),
+                Err(SimError::AllocTooLarge { .. })
+            ),
             "{}",
             dev.name
         );
@@ -37,14 +44,22 @@ fn allocation_caps_enforced_per_device() {
 fn ndis_scale_pass_counts_order_by_memory_size() {
     let passes = |dev: &snp_repro::gpu_model::DeviceSpec| {
         let cfg = preset_for(dev, Algorithm::IdentitySearch).unwrap();
-        plan_passes(dev, &cfg, 32, 20_971_520, 32, true).unwrap().passes()
+        plan_passes(dev, &cfg, 32, 20_971_520, 32, true)
+            .unwrap()
+            .passes()
     };
     let gtx = passes(&devices::gtx_980());
     let titan = passes(&devices::titan_v());
     let vega = passes(&devices::vega_64());
-    assert!(gtx > titan, "GTX 980 ({gtx}) must chunk more than Titan V ({titan})");
+    assert!(
+        gtx > titan,
+        "GTX 980 ({gtx}) must chunk more than Titan V ({titan})"
+    );
     assert!(gtx > 1, "the 0.983 GiB limit must force chunking");
-    assert!(vega <= gtx, "Vega 64 has more usable memory than the GTX 980");
+    assert!(
+        vega <= gtx,
+        "Vega 64 has more usable memory than the GTX 980"
+    );
 }
 
 #[test]
@@ -115,9 +130,15 @@ fn end_to_end_time_decomposition_is_sane() {
     let run = GpuEngine::new(devices::gtx_980()).ld_self(&a).unwrap();
     let t = &run.timing;
     assert!(t.end_to_end_ns >= t.init_ns);
-    assert!(t.end_to_end_ns >= t.kernel_ns, "kernels are inside the end-to-end window");
+    assert!(
+        t.end_to_end_ns >= t.kernel_ns,
+        "kernels are inside the end-to-end window"
+    );
     // Serial lower bound can exceed end-to-end only through overlap; here
     // everything is small, so the sum should be close to the total.
     let serial = t.init_ns + t.pack_ns + t.kernel_ns + t.transfer_in_ns + t.transfer_out_ns;
-    assert!(serial >= t.end_to_end_ns - 1_000, "components must cover the timeline");
+    assert!(
+        serial >= t.end_to_end_ns - 1_000,
+        "components must cover the timeline"
+    );
 }

@@ -20,9 +20,21 @@ fn timing_only() -> EngineOptions {
     }
 }
 
-fn ld_kernel_fraction_of_peak(dev: &snp_repro::gpu_model::DeviceSpec, snps: usize, strings: usize) -> f64 {
+fn ld_kernel_fraction_of_peak(
+    dev: &snp_repro::gpu_model::DeviceSpec,
+    snps: usize,
+    strings: usize,
+) -> f64 {
     let k_words = strings.div_ceil(32);
-    let cfg = config_for(dev, Algorithm::LinkageDisequilibrium, ProblemShape { m: snps, n: snps, k_words });
+    let cfg = config_for(
+        dev,
+        Algorithm::LinkageDisequilibrium,
+        ProblemShape {
+            m: snps,
+            n: snps,
+            k_words,
+        },
+    );
     let plan = KernelPlan::new(dev, &cfg, CompareOp::And, snps, snps, k_words);
     let tput = plan.achieved_word_ops_per_sec(plan.time(dev).total_ns);
     tput / peak(dev, WordOpKind::And).word_ops_per_sec
@@ -52,7 +64,11 @@ fn fig5_throughput_rises_with_strings() {
     for dev in devices::all_gpus() {
         let lo = ld_kernel_fraction_of_peak(&dev, 8_192, 256);
         let hi = ld_kernel_fraction_of_peak(&dev, 8_192, 8_192);
-        assert!(hi > lo, "{}: more strings must mean more reuse ({lo:.3} -> {hi:.3})", dev.name);
+        assert!(
+            hi > lo,
+            "{}: more strings must mean more reuse ({lo:.3} -> {hi:.3})",
+            dev.name
+        );
     }
 }
 
@@ -97,13 +113,21 @@ fn fig7_scalability_shapes() {
         let k_words = config_for(
             dev,
             Algorithm::LinkageDisequilibrium,
-            ProblemShape { m: 4096, n: 4096, k_words: 512 },
+            ProblemShape {
+                m: 4096,
+                n: 4096,
+                k_words: 512,
+            },
         )
         .k_c;
         let mut cfg = config_for(
             dev,
             Algorithm::LinkageDisequilibrium,
-            ProblemShape { m: 32, n: cores as usize * 16 * 1024, k_words },
+            ProblemShape {
+                m: 32,
+                n: cores as usize * 16 * 1024,
+                k_words,
+            },
         );
         cfg.grid_m = 1;
         cfg.grid_n = cores;
@@ -176,7 +200,15 @@ fn fig8_fastid_shape() {
 fn fig9_andnot_ratios() {
     for dev in devices::all_gpus() {
         let k = 512usize;
-        let mut cfg = config_for(&dev, Algorithm::MixtureAnalysis, ProblemShape { m: 32, n: 16_384, k_words: k });
+        let mut cfg = config_for(
+            &dev,
+            Algorithm::MixtureAnalysis,
+            ProblemShape {
+                m: 32,
+                n: 16_384,
+                k_words: k,
+            },
+        );
         cfg.grid_m = 1;
         cfg.grid_n = 1;
         let tput = |op: CompareOp| {
@@ -185,9 +217,17 @@ fn fig9_andnot_ratios() {
         };
         let ratio = tput(CompareOp::AndNot) / tput(CompareOp::And);
         if dev.fused_andnot {
-            assert!((ratio - 1.0).abs() < 1e-9, "{}: fused must be free, ratio {ratio}", dev.name);
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "{}: fused must be free, ratio {ratio}",
+                dev.name
+            );
         } else {
-            assert!((0.6..0.75).contains(&ratio), "{}: explicit NOT ratio {ratio:.3}", dev.name);
+            assert!(
+                (0.6..0.75).contains(&ratio),
+                "{}: explicit NOT ratio {ratio:.3}",
+                dev.name
+            );
         }
     }
 }
