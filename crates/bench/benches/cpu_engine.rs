@@ -78,7 +78,7 @@ fn bench_schedules(c: &mut Criterion) {
             g.bench_function(BenchmarkId::new(*name, format!("{schedule:?}")), |bench| {
                 bench.iter(|| {
                     let mut cmat = CountMatrix::zeros(a.rows(), b.rows());
-                    let stats = gamma_parallel_into_scheduled(
+                    gamma_parallel_into_scheduled(
                         black_box(a),
                         black_box(b),
                         CompareOp::Xor,
@@ -86,12 +86,20 @@ fn bench_schedules(c: &mut Criterion) {
                         &mut cmat,
                         schedule,
                     );
-                    black_box((cmat, stats))
+                    black_box(cmat)
                 })
             });
         }
     }
     g.finish();
+    // Scheduling behavior is aggregated process-wide in the metrics registry
+    // (cpu.parallel.*) instead of hand-plumbing `ParallelStats` out of every
+    // call site.
+    for (name, value) in snp_trace::registry().snapshot() {
+        if name.starts_with("cpu.parallel.") {
+            eprintln!("{name} = {value:?}");
+        }
+    }
 }
 
 fn bench_engine_square(c: &mut Criterion) {

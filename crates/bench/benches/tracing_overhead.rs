@@ -1,0 +1,64 @@
+//! Ablation for the tracing layer: the disabled collector must be free.
+//!
+//! Three measurements:
+//! * `trace/engine_off` — a full timing-only engine run with the default
+//!   disabled tracer (the PR-1 configuration; every recording call is a
+//!   branch-and-return no-op).
+//! * `trace/engine_on` — the identical run with an enabled collector, i.e.
+//!   what `snpgpu trace` pays for a timeline.
+//! * `trace/disabled_span_call` — the raw cost of one disabled span
+//!   recording call, the per-command overhead added to the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snp_bitmat::BitMatrix;
+use snp_core::{EngineOptions, ExecMode, GpuEngine};
+use snp_gpu_model::devices;
+use snp_trace::{TimeDomain, Tracer};
+use std::hint::black_box;
+
+fn workload() -> (BitMatrix<u64>, BitMatrix<u64>) {
+    let mk = |rows: usize, salt: usize| {
+        BitMatrix::<u64>::from_fn(rows, 2048, |r, c| (r * 31 + c * 7 + salt).is_multiple_of(3))
+    };
+    (mk(64, 1), mk(2048, 2))
+}
+
+fn engine(tracer: Option<Tracer>) -> GpuEngine {
+    let e = GpuEngine::new(devices::titan_v()).with_options(EngineOptions {
+        mode: ExecMode::TimingOnly,
+        double_buffer: true,
+        ..Default::default()
+    });
+    match tracer {
+        Some(t) => e.with_tracer(t),
+        None => e,
+    }
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let (a, b) = workload();
+    g.bench_function("engine_off", |bench| {
+        let e = engine(None);
+        bench.iter(|| black_box(e.identity_search(black_box(&a), black_box(&b)).unwrap()))
+    });
+    g.bench_function("engine_on", |bench| {
+        // A fresh collector per engine keeps the event buffer from growing
+        // across iterations; snapshotting is part of what tracing costs.
+        bench.iter(|| {
+            let t = Tracer::enabled();
+            let e = engine(Some(t.clone()));
+            black_box(e.identity_search(black_box(&a), black_box(&b)).unwrap());
+            black_box(t.snapshot())
+        })
+    });
+    g.bench_function("disabled_span_call", |bench| {
+        let t = Tracer::disabled();
+        let track = t.track("x", TimeDomain::Virtual);
+        bench.iter(|| t.span(black_box(track), "kernel", "k", black_box(1), black_box(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -40,6 +40,10 @@ COMMANDS:
                                FastID mixture analysis
   cpu       [--snps N --samples N --seed S]
                                run the real multithreaded CPU engine (wall time)
+  trace     --algo ld|fastid|mixture [--device D --out F --summary F ...]
+                               run a workload with tracing on; write a Chrome
+                               trace_event JSON timeline (open in Perfetto or
+                               chrome://tracing) plus a text summary
 
 Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).";
 
@@ -60,6 +64,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("search") => cmd_search(args),
         Some("mixture") => cmd_mixture(args),
         Some("cpu") => cmd_cpu(args),
+        Some("trace") => cmd_trace(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
     }
@@ -358,6 +363,153 @@ fn cmd_cpu(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "algo",
+        "algorithm",
+        "device",
+        "snps",
+        "samples",
+        "profiles",
+        "queries",
+        "contributors",
+        "seed",
+        "out",
+        "summary",
+    ])?;
+    let dev = device_arg(args)?;
+    let algo = args
+        .get("algo")
+        .or_else(|| args.get("algorithm"))
+        .unwrap_or("ld");
+    let seed = args.get_parse("seed", 42u64)?;
+    let tracer = snp_trace::Tracer::enabled();
+    let engine = GpuEngine::new(dev.clone())
+        .with_options(EngineOptions {
+            mode: ExecMode::Full,
+            double_buffer: true,
+            mixture: if dev.fused_andnot {
+                MixtureStrategy::Direct
+            } else {
+                MixtureStrategy::PreNegate
+            },
+        })
+        .with_tracer(tracer.clone());
+    let (label, timing, passes) = match algo {
+        "ld" => {
+            let snps = args.get_parse("snps", 128usize)?;
+            let samples = args.get_parse("samples", 1024usize)?;
+            let panel = generate_panel(
+                &PanelConfig {
+                    snps,
+                    samples,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let run = engine
+                .ld_self(&panel.matrix)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (
+                format!("LD scan: {snps} SNPs x {samples} haplotypes"),
+                run.timing,
+                run.passes,
+            )
+        }
+        "fastid" | "search" => {
+            let profiles = args.get_parse("profiles", 2_000usize)?;
+            let snps = args.get_parse("snps", 256usize)?;
+            let queries = args.get_parse("queries", 4usize)?;
+            let db = generate_database(
+                &DatabaseConfig {
+                    profiles,
+                    snps,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let qs = generate_queries(&db, queries, queries.div_ceil(2), 0.01, seed + 1);
+            let run = engine
+                .identity_search(&qs.queries, &db.profiles)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (
+                format!("FastID identity search: {queries} queries vs {profiles} profiles"),
+                run.timing,
+                run.passes,
+            )
+        }
+        "mixture" => {
+            let profiles = args.get_parse("profiles", 1_000usize)?;
+            let snps = args.get_parse("snps", 256usize)?;
+            let contributors = args.get_parse("contributors", 2usize)?;
+            let db = generate_database(
+                &DatabaseConfig {
+                    profiles,
+                    snps,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let (_mixtures, matrix) = generate_mixtures(&db, 1, contributors, seed + 1);
+            let run = engine
+                .mixture_analysis(&db.profiles, &matrix)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (
+                format!(
+                    "FastID mixture analysis: {profiles} profiles, {contributors} contributors"
+                ),
+                run.timing,
+                run.passes,
+            )
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown algo {other:?} (ld|fastid|mixture)"
+            )))
+        }
+    };
+
+    let trace = tracer.snapshot().expect("tracing was enabled");
+    let json = snp_trace::chrome::export_chrome_trace(&trace);
+    let stats = snp_trace::chrome::validate(&json)
+        .map_err(|e| ArgError(format!("internal: emitted trace failed validation: {e}")))?;
+    let out_path = args.get_or("out", "trace.json");
+    std::fs::write(out_path, &json)
+        .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+    let mut summary_text = snp_trace::summary::render_summary(&trace);
+    summary_text.push('\n');
+    summary_text.push_str(&snp_trace::summary::render_metrics(snp_trace::registry()));
+    let summary_path = args.get_or("summary", "trace.txt");
+    std::fs::write(summary_path, &summary_text)
+        .map_err(|e| ArgError(format!("cannot write {summary_path}: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{label} on {}", dev.name);
+    let _ = writeln!(
+        out,
+        "modeled end-to-end {:.2} ms ({} pass(es), kernel {:.3} ms)",
+        timing.end_to_end_ns as f64 / 1e6,
+        passes,
+        timing.kernel_ns as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "timeline: {out_path} ({} slices, {} counter events, {} tracks; validated Chrome trace_event JSON)",
+        stats.slices,
+        stats.counters,
+        trace.tracks.len()
+    );
+    let _ = writeln!(
+        out,
+        "summary:  {summary_path} (hierarchical text view + metrics registry)"
+    );
+    let _ = writeln!(
+        out,
+        "open the timeline at https://ui.perfetto.dev or chrome://tracing"
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +601,45 @@ mod tests {
         let out = run_line("cpu --snps 64 --samples 512").unwrap();
         assert!(out.contains("real CPU engine"));
         assert!(out.contains("wall time"));
+    }
+
+    #[test]
+    fn trace_command_writes_validated_artifacts() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("snpgpu_test_trace.json");
+        let summary = dir.join("snpgpu_test_trace.txt");
+        let line = format!(
+            "trace --algo ld --device gtx-980 --snps 48 --samples 512 --out {} --summary {}",
+            out.display(),
+            summary.display()
+        );
+        let report = run_line(&line).unwrap();
+        assert!(report.contains("validated Chrome trace_event JSON"));
+        assert!(report.contains("perfetto"));
+        let json = std::fs::read_to_string(&out).unwrap();
+        let stats = snp_trace::chrome::validate(&json).unwrap();
+        assert!(stats.slices > 0, "timeline must contain slices");
+        let text = std::fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("run:"), "summary must show the run span");
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&summary);
+    }
+
+    #[test]
+    fn trace_command_supports_fastid_and_rejects_unknown_algo() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("snpgpu_test_trace_fastid.json");
+        let summary = dir.join("snpgpu_test_trace_fastid.txt");
+        let line = format!(
+            "trace --algo fastid --device titan-v --profiles 300 --snps 128 --queries 2 --out {} --summary {}",
+            out.display(),
+            summary.display()
+        );
+        let report = run_line(&line).unwrap();
+        assert!(report.contains("FastID identity search"));
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&summary);
+        assert!(run_line("trace --algo nope").is_err());
     }
 
     #[test]

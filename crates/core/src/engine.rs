@@ -18,6 +18,8 @@ use snp_bitmat::{BitMatrix, CompareOp, CountMatrix};
 use snp_gpu_model::config::{Algorithm, ProblemShape};
 use snp_gpu_model::{DeviceSpec, KernelConfig};
 use snp_gpu_sim::host::{BufferId, EventId, Gpu};
+use snp_gpu_sim::timing_cache_stats;
+use snp_trace::{TimeDomain, Tracer};
 
 use crate::autoconf::{compare_op, config_for, MixtureStrategy};
 use crate::kernel::{execute_gamma, KernelPlan};
@@ -69,6 +71,63 @@ pub struct Timing {
     /// Host clock when everything finished — the paper's end-to-end time
     /// (inclusive of initialization and all overlap effects).
     pub end_to_end_ns: u64,
+}
+
+impl Timing {
+    /// Virtual time spent after initialization.
+    pub fn busy_ns(&self) -> u64 {
+        self.end_to_end_ns.saturating_sub(self.init_ns)
+    }
+
+    /// Reconciles the phase sums against the end-to-end time.
+    ///
+    /// The engine's command stream runs over three serialized resources —
+    /// the host (packing), the link (one transfer at a time), and the
+    /// compute engine (one kernel at a time) — so the phase totals must
+    /// bracket the end-to-end measurement:
+    ///
+    /// * each resource's busy time fits inside the post-init window
+    ///   (per-resource lower bounds on `end_to_end`), and
+    /// * every instant of the post-init window is attributable to at least
+    ///   one busy resource along the critical path, so the phase *sum*
+    ///   bounds `end_to_end` from above.
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let busy = self.busy_ns();
+        if self.end_to_end_ns < self.init_ns {
+            return Err(format!(
+                "end_to_end {} < init {}",
+                self.end_to_end_ns, self.init_ns
+            ));
+        }
+        if self.kernel_ns > busy {
+            return Err(format!(
+                "kernel time {} exceeds post-init window {busy}",
+                self.kernel_ns
+            ));
+        }
+        let link = self.transfer_in_ns + self.transfer_out_ns;
+        if link > busy {
+            return Err(format!(
+                "transfer time {link} exceeds post-init window {busy}"
+            ));
+        }
+        if self.pack_ns > busy {
+            return Err(format!(
+                "pack time {} exceeds post-init window {busy}",
+                self.pack_ns
+            ));
+        }
+        let union = self.pack_ns + self.kernel_ns + link;
+        if busy > union {
+            return Err(format!(
+                "post-init window {busy} exceeds the sum of phase times {union}: \
+                 some interval is attributed to no resource"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Result of one engine run.
@@ -149,6 +208,7 @@ pub fn device_words_into(m: &BitMatrix<u64>, lo: usize, hi: usize, out: &mut Vec
 pub struct GpuEngine {
     spec: DeviceSpec,
     options: EngineOptions,
+    tracer: Tracer,
 }
 
 impl GpuEngine {
@@ -157,6 +217,7 @@ impl GpuEngine {
         GpuEngine {
             spec,
             options: EngineOptions::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -164,6 +225,19 @@ impl GpuEngine {
     pub fn with_options(mut self, options: EngineOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Records every run on `tracer`: a run-level span plus the per-command
+    /// device timeline (see [`Gpu::with_tracer`]) and timing-cache counter
+    /// samples. The default is a disabled tracer, which costs nothing.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer runs record into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The device this engine targets.
@@ -229,7 +303,7 @@ impl GpuEngine {
         let shape = ProblemShape { m, n, k_words };
         let cfg = config_for(&self.spec, algorithm, shape);
         let plan = plan_passes(&self.spec, &cfg, m, n, k_words, self.options.double_buffer)?;
-        self.run_plan(a, b_eff, op, &cfg, &plan)
+        self.run_plan(a, b_eff, op, &cfg, &plan, algorithm)
     }
 
     fn run_plan(
@@ -239,12 +313,18 @@ impl GpuEngine {
         op: CompareOp,
         cfg: &KernelConfig,
         plan: &TilePlan,
+        algorithm: Algorithm,
     ) -> Result<RunReport, EngineError> {
         let full = self.options.mode == ExecMode::Full;
-        let gpu = Gpu::new(self.spec.clone());
+        let gpu = Gpu::with_tracer(self.spec.clone(), self.tracer.clone());
         let init_ns = gpu.now_ns();
-        let q_xfer = gpu.create_queue();
-        let q_comp = gpu.create_queue();
+        let run_track = self.tracer.track("engine", TimeDomain::Virtual);
+        let run_span =
+            self.tracer
+                .begin_span(run_track, "run", format!("run: {}", algorithm.name()), 0);
+        let cache_before = timing_cache_stats();
+        let q_xfer = gpu.create_queue_labeled("transfer");
+        let q_comp = gpu.create_queue_labeled("compute");
         let copies = if plan.double_buffered { 2 } else { 1 };
         let k = plan.k_words;
 
@@ -285,6 +365,32 @@ impl GpuEngine {
         let mut word_ops: u128 = 0;
         let mut kernel_cycles_ns = 0f64;
 
+        // Stages and enqueues the B chunk at index `i`. Borrows it needs
+        // mutably are threaded as parameters so calls interleave with the
+        // rest of the loop body.
+        let stage_and_write_b = |i: usize,
+                                 b_stage: &mut Vec<u32>,
+                                 pack_ns: &mut u64,
+                                 last_kernel_on_slot: &[Option<EventId>]|
+         -> Result<EventId, EngineError> {
+            let nc = &plan.n_chunks[i];
+            let slot = i % copies;
+            let b_bytes = (nc.len() * k * 4) as u64;
+            *pack_ns += self.spec.transfer.pack_ns(b_bytes);
+            gpu.host_pack(b_bytes);
+            // The B buffer may still feed an in-flight kernel.
+            let mut deps: Vec<EventId> = Vec::new();
+            if let Some(ev) = last_kernel_on_slot[slot] {
+                deps.push(ev);
+            }
+            Ok(if full {
+                device_words_into(b, nc.lo, nc.hi, b_stage);
+                gpu.enqueue_write(q_xfer, b_bufs[slot], 0, b_stage, &deps)?
+            } else {
+                gpu.enqueue_virtual_transfer(q_xfer, b_bytes, &deps)?
+            })
+        };
+
         for mc in &plan.m_chunks {
             // Stage the A chunk.
             let a_bytes = (mc.len() * k * 4) as u64;
@@ -297,23 +403,23 @@ impl GpuEngine {
                 gpu.enqueue_virtual_transfer(q_xfer, a_bytes, &[])?
             };
             in_events.push(ev_a);
+            if plan.n_chunks.is_empty() {
+                continue;
+            }
 
+            // Software-pipelined B uploads: chunk i+1 is packed and enqueued
+            // *before* chunk i's readback, so with paired slots its only
+            // dependency is the kernel of i−1 and the upload overlaps the
+            // kernel of i on the link/compute resources (§VI-A-1's double
+            // buffering). With a single slot the dependency chain collapses
+            // back to fully serial timing. Functionally the early write is
+            // safe in both cases: kernels execute at enqueue, so chunk i has
+            // already consumed its input words.
+            let mut ev_b_pending =
+                stage_and_write_b(0, &mut b_stage, &mut pack_ns, &last_kernel_on_slot)?;
             for (i, nc) in plan.n_chunks.iter().enumerate() {
                 let slot = i % copies;
-                let b_bytes = (nc.len() * k * 4) as u64;
-                pack_ns += self.spec.transfer.pack_ns(b_bytes);
-                gpu.host_pack(b_bytes);
-                // The B buffer may still feed an in-flight kernel.
-                let mut deps: Vec<EventId> = Vec::new();
-                if let Some(ev) = last_kernel_on_slot[slot] {
-                    deps.push(ev);
-                }
-                let ev_b = if full {
-                    device_words_into(b, nc.lo, nc.hi, &mut b_stage);
-                    gpu.enqueue_write(q_xfer, b_bufs[slot], 0, &b_stage, &deps)?
-                } else {
-                    gpu.enqueue_virtual_transfer(q_xfer, b_bytes, &deps)?
-                };
+                let ev_b = ev_b_pending;
                 in_events.push(ev_b);
 
                 let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
@@ -341,6 +447,13 @@ impl GpuEngine {
                 };
                 kernel_events.push(ev_k);
                 last_kernel_on_slot[slot] = Some(ev_k);
+
+                // Prefetch the next B chunk while this kernel occupies the
+                // compute engine.
+                if i + 1 < plan.n_chunks.len() {
+                    ev_b_pending =
+                        stage_and_write_b(i + 1, &mut b_stage, &mut pack_ns, &last_kernel_on_slot)?;
+                }
 
                 // Read the C chunk back.
                 let c_bytes = (mc.len() * nc.len() * 4) as u64;
@@ -376,6 +489,36 @@ impl GpuEngine {
             transfer_out_ns: sum(&out_events),
             end_to_end_ns: gpu.now_ns(),
         };
+        debug_assert!(
+            timing.validate().is_ok(),
+            "timing reconciliation failed: {} ({timing:?})",
+            timing.validate().unwrap_err()
+        );
+        if self.tracer.is_enabled() {
+            self.tracer.end_span_with(
+                run_span,
+                timing.end_to_end_ns,
+                vec![
+                    ("passes", kernel_events.len().into()),
+                    ("word_ops", (word_ops as u64).into()),
+                    ("device", self.spec.name.as_str().into()),
+                    ("double_buffered", u64::from(plan.double_buffered).into()),
+                ],
+            );
+            let cache_after = timing_cache_stats();
+            for (name, before, after) in [
+                ("sim.timing_cache.hits", cache_before.hits, cache_after.hits),
+                (
+                    "sim.timing_cache.misses",
+                    cache_before.misses,
+                    cache_after.misses,
+                ),
+            ] {
+                self.tracer.counter(run_track, name, init_ns, before as f64);
+                self.tracer
+                    .counter(run_track, name, timing.end_to_end_ns, after as f64);
+            }
+        }
         let _ = kernel_cycles_ns; // retained for future per-pass reporting
         Ok(RunReport {
             gamma,
@@ -541,10 +684,71 @@ mod tests {
     }
 
     #[test]
+    fn timing_reconciles_phase_sums_with_end_to_end() {
+        // Real runs across shapes and modes must satisfy every invariant of
+        // Timing::validate: per-resource busy times fit in the post-init
+        // window, and the window is covered by the union of phases.
+        let a = matrix(64, 2048, 21);
+        let b = matrix(512, 2048, 22);
+        for dev in [devices::gtx_980(), devices::titan_v()] {
+            for double_buffer in [false, true] {
+                let r = GpuEngine::new(dev.clone())
+                    .with_options(EngineOptions {
+                        mode: ExecMode::TimingOnly,
+                        double_buffer,
+                        ..Default::default()
+                    })
+                    .identity_search(&a, &b)
+                    .unwrap();
+                r.timing.validate().unwrap_or_else(|e| {
+                    panic!("{} (db={double_buffer}): {e}", dev.name);
+                });
+                assert!(r.timing.busy_ns() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn timing_validate_rejects_inconsistent_totals() {
+        let good = Timing {
+            init_ns: 100,
+            pack_ns: 10,
+            kernel_ns: 50,
+            transfer_in_ns: 20,
+            transfer_out_ns: 10,
+            end_to_end_ns: 180,
+        };
+        good.validate().unwrap();
+        // Kernel time cannot exceed the post-init window.
+        let mut bad = good;
+        bad.kernel_ns = 1_000;
+        assert!(bad.validate().is_err());
+        // Transfers share one link: their sum cannot exceed the window.
+        bad = good;
+        bad.transfer_in_ns = 60;
+        bad.transfer_out_ns = 60;
+        assert!(bad.validate().is_err());
+        // The window cannot exceed the union of all phases.
+        bad = good;
+        bad.end_to_end_ns = 10_000;
+        assert!(bad.validate().is_err());
+        // End before init is nonsense.
+        bad = good;
+        bad.end_to_end_ns = 50;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
     fn double_buffer_improves_end_to_end() {
-        let a = matrix(32, 4096, 10);
-        let b = matrix(4096, 4096, 11);
-        let dev = devices::gtx_980();
+        // A tiny-memory device forces many n-chunks (one m-chunk, four
+        // n-chunks for this shape), so the pipelined B uploads have kernels
+        // to hide behind.
+        let mut dev = devices::gtx_980();
+        dev.name = "GTX tiny".into(); // avoid Table II presets
+        dev.max_alloc_bytes = 1 << 17;
+        dev.global_mem_bytes = 1 << 20;
+        let a = matrix(8, 320, 10);
+        let b = matrix(12288, 320, 11);
         let with = GpuEngine::new(dev.clone())
             .with_options(EngineOptions {
                 mode: ExecMode::TimingOnly,
@@ -562,8 +766,8 @@ mod tests {
             .identity_search(&a, &b)
             .unwrap();
         assert!(
-            with.timing.end_to_end_ns <= without.timing.end_to_end_ns,
-            "double buffering must not slow the run: {} vs {}",
+            with.timing.end_to_end_ns < without.timing.end_to_end_ns,
+            "pipelined B uploads must overlap compute: {} vs {}",
             with.timing.end_to_end_ns,
             without.timing.end_to_end_ns
         );

@@ -104,10 +104,13 @@ impl GpuEngine {
             self.options().double_buffer,
         )?;
 
-        let gpu = Gpu::new(self.spec().clone());
+        let gpu = Gpu::with_tracer(self.spec().clone(), self.tracer().clone());
+        let tracer = self.tracer();
+        let run_track = tracer.track("engine", snp_trace::TimeDomain::Virtual);
+        let run_span = tracer.begin_span(run_track, "run", "run: streaming top-k", 0);
         let init_ns = gpu.now_ns();
-        let q_xfer = gpu.create_queue();
-        let q_comp = gpu.create_queue();
+        let q_xfer = gpu.create_queue_labeled("transfer");
+        let q_comp = gpu.create_queue_labeled("compute");
         let copies = if plan.double_buffered { 2 } else { 1 };
 
         let mk = |words: usize| -> Result<_, EngineError> {
@@ -247,6 +250,19 @@ impl GpuEngine {
             out_events.push(ev_out);
         }
         gpu.finish_all();
+        let end_to_end_ns = gpu.now_ns();
+        if tracer.is_enabled() {
+            tracer.end_span_with(
+                run_span,
+                end_to_end_ns,
+                vec![
+                    ("passes", (kernel_events.len() as u64).into()),
+                    ("topk_readback_bytes", topk_bytes.into()),
+                    ("device", self.spec().name.as_str().into()),
+                    ("double_buffered", u64::from(plan.double_buffered).into()),
+                ],
+            );
+        }
 
         let sum = |evs: &[EventId]| -> u64 {
             evs.iter()
@@ -261,7 +277,7 @@ impl GpuEngine {
                 kernel_ns: sum(&kernel_events),
                 transfer_in_ns: sum(&in_events),
                 transfer_out_ns: sum(&out_events),
-                end_to_end_ns: gpu.now_ns(),
+                end_to_end_ns,
             },
             passes: kernel_events.len(),
             full_readback_bytes: (m * n * 4) as u64,

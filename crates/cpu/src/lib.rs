@@ -29,5 +29,8 @@ pub mod symmetric;
 
 pub use blocking::{CacheParams, CpuBlocking};
 pub use engine::CpuEngine;
-pub use parallel::{ParallelSchedule, ParallelStats};
+pub use parallel::{
+    gamma_parallel_into_traced, ParallelSchedule, ParallelStats, PARALLEL_A_PACKS_METRIC,
+    PARALLEL_RUNS_METRIC, PARALLEL_TASKS_METRIC,
+};
 pub use symmetric::gamma_self_symmetric;

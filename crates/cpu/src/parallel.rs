@@ -26,9 +26,21 @@
 
 use rayon::prelude::*;
 use snp_bitmat::{BitMatrix, CompareOp, CountMatrix, PackedPanels};
+use snp_trace::{LazyCounter, TimeDomain, Tracer, TrackId};
 
 use crate::blocking::{CpuBlocking, MR, NR};
 use crate::gemm::{check_shapes, macro_kernel};
+
+/// Registry name of the counter of parallel GEMM runs.
+pub const PARALLEL_RUNS_METRIC: &str = "cpu.parallel.runs";
+/// Registry name of the counter of parallel tasks spawned across runs.
+pub const PARALLEL_TASKS_METRIC: &str = "cpu.parallel.tasks";
+/// Registry name of the counter of `Ã` block packs across runs.
+pub const PARALLEL_A_PACKS_METRIC: &str = "cpu.parallel.a_packs";
+
+static RUNS: LazyCounter = LazyCounter::new(PARALLEL_RUNS_METRIC);
+static TASKS: LazyCounter = LazyCounter::new(PARALLEL_TASKS_METRIC);
+static A_PACKS: LazyCounter = LazyCounter::new(PARALLEL_A_PACKS_METRIC);
 
 /// Which loop of the blocked GEMM is split across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +91,24 @@ pub fn gamma_parallel_into_scheduled(
     c: &mut CountMatrix,
     schedule: ParallelSchedule,
 ) -> ParallelStats {
+    gamma_parallel_into_traced(a, b, op, blocking, c, schedule, &Tracer::disabled())
+}
+
+/// Like [`gamma_parallel_into_scheduled`] with per-task wall-clock spans
+/// recorded on `tracer` (a no-op for a disabled tracer). Every run also
+/// bumps the process-wide [`snp_trace::registry`] counters
+/// [`PARALLEL_RUNS_METRIC`], [`PARALLEL_TASKS_METRIC`] and
+/// [`PARALLEL_A_PACKS_METRIC`], which supersede hand-plumbing
+/// [`ParallelStats`] out of call sites for aggregate reporting.
+pub fn gamma_parallel_into_traced(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    op: CompareOp,
+    blocking: &CpuBlocking,
+    c: &mut CountMatrix,
+    schedule: ParallelSchedule,
+    tracer: &Tracer,
+) -> ParallelStats {
     check_shapes(a, b, c, blocking);
     let (m, n) = (a.rows(), b.rows());
     let row_tasks = m.div_ceil(blocking.m_c);
@@ -100,10 +130,32 @@ pub fn gamma_parallel_into_scheduled(
             a_packs: 0,
         };
     }
-    match resolved {
-        ParallelSchedule::RowBlocks => row_blocks(a, b, op, blocking, c),
-        ParallelSchedule::ColumnStrips => column_strips(a, b, op, blocking, c),
+    let track = tracer.track("cpu parallel", TimeDomain::Wall);
+    let run = tracer.begin_span(track, "run", run_name(resolved), tracer.wall_now_ns());
+    let stats = match resolved {
+        ParallelSchedule::RowBlocks => row_blocks(a, b, op, blocking, c, tracer, track),
+        ParallelSchedule::ColumnStrips => column_strips(a, b, op, blocking, c, tracer, track),
         ParallelSchedule::Auto => unreachable!("resolved above"),
+    };
+    tracer.end_span_with(
+        run,
+        tracer.wall_now_ns(),
+        vec![
+            ("tasks", (stats.tasks as u64).into()),
+            ("a_packs", (stats.a_packs as u64).into()),
+        ],
+    );
+    RUNS.add(1);
+    TASKS.add(stats.tasks as u64);
+    A_PACKS.add(stats.a_packs as u64);
+    stats
+}
+
+fn run_name(schedule: ParallelSchedule) -> &'static str {
+    match schedule {
+        ParallelSchedule::RowBlocks => "parallel gamma (row blocks)",
+        ParallelSchedule::ColumnStrips => "parallel gamma (column strips)",
+        ParallelSchedule::Auto => "parallel gamma",
     }
 }
 
@@ -128,12 +180,15 @@ fn row_blocks(
     op: CompareOp,
     blocking: &CpuBlocking,
     c: &mut CountMatrix,
+    tracer: &Tracer,
+    track: TrackId,
 ) -> ParallelStats {
     let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
     let cols = c.cols();
     let mut a_packs_done = 0;
     for pc in (0..k_words).step_by(blocking.k_c) {
         let k_blk = blocking.k_c.min(k_words - pc);
+        let pack_start = tracer.wall_now_ns();
         let a_packs: Vec<PackedPanels<u64>> = (0..m)
             .step_by(blocking.m_c)
             .map(|ic| {
@@ -141,6 +196,16 @@ fn row_blocks(
                 PackedPanels::pack(a, ic, ic + m_blk, pc, pc + k_blk, MR)
             })
             .collect();
+        if tracer.is_enabled() {
+            tracer.span_with(
+                track,
+                "pack",
+                "pack A blocks",
+                pack_start,
+                tracer.wall_now_ns(),
+                vec![("blocks", (a_packs.len() as u64).into())],
+            );
+        }
         a_packs_done += a_packs.len();
         for jc in (0..n).step_by(blocking.n_c) {
             let n_blk = blocking.n_c.min(n - jc);
@@ -151,7 +216,18 @@ fn row_blocks(
                 .for_each(|(blk, rows)| {
                     let ic = blk * blocking.m_c;
                     let m_blk = blocking.m_c.min(m - ic);
+                    let t0 = tracer.wall_now_ns();
                     macro_kernel(op, &a_packs[blk], &b_pack, rows, m_blk, cols, jc, n_blk);
+                    if tracer.is_enabled() {
+                        tracer.span_with(
+                            track,
+                            "task",
+                            format!("row block {blk}"),
+                            t0,
+                            tracer.wall_now_ns(),
+                            vec![("rows", (m_blk as u64).into()), ("jc", (jc as u64).into())],
+                        );
+                    }
                 });
         }
     }
@@ -173,6 +249,8 @@ fn column_strips(
     op: CompareOp,
     blocking: &CpuBlocking,
     c: &mut CountMatrix,
+    tracer: &Tracer,
+    track: TrackId,
 ) -> ParallelStats {
     let (m, n, k_words) = (a.rows(), b.rows(), a.words_per_row());
     let cols = c.cols();
@@ -199,6 +277,7 @@ fn column_strips(
         .into_par_iter()
         .map(|jc| {
             let n_blk = blocking.n_c.min(n - jc);
+            let t0 = tracer.wall_now_ns();
             let mut strip = vec![0u32; m * n_blk];
             for (pi, &pc) in pc_steps.iter().enumerate() {
                 let k_blk = blocking.k_c.min(k_words - pc);
@@ -209,6 +288,16 @@ fn column_strips(
                     let rows = &mut strip[ic * n_blk..(ic + m_blk) * n_blk];
                     macro_kernel(op, a_pack, &b_pack, rows, m_blk, n_blk, 0, n_blk);
                 }
+            }
+            if tracer.is_enabled() {
+                tracer.span_with(
+                    track,
+                    "task",
+                    format!("column strip @{jc}"),
+                    t0,
+                    tracer.wall_now_ns(),
+                    vec![("cols", (n_blk as u64).into())],
+                );
             }
             (jc, n_blk, strip)
         })
@@ -351,6 +440,66 @@ mod tests {
         let pc_steps = 12usize.div_ceil(3);
         let row_blks = (4 * MR).div_ceil(2 * MR);
         assert_eq!(stats.a_packs, row_blks * pc_steps);
+    }
+
+    #[test]
+    fn runs_feed_the_metrics_registry() {
+        let a = matrix(3 * MR, 300, 10);
+        let b = matrix(4 * NR, 300, 11);
+        let reg = snp_trace::registry();
+        let runs0 = reg.counter(PARALLEL_RUNS_METRIC).get();
+        let tasks0 = reg.counter(PARALLEL_TASKS_METRIC).get();
+        let packs0 = reg.counter(PARALLEL_A_PACKS_METRIC).get();
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        let stats = gamma_parallel_into_scheduled(
+            &a,
+            &b,
+            CompareOp::Xor,
+            &blocking_small(),
+            &mut c,
+            ParallelSchedule::RowBlocks,
+        );
+        assert_eq!(reg.counter(PARALLEL_RUNS_METRIC).get(), runs0 + 1);
+        assert_eq!(
+            reg.counter(PARALLEL_TASKS_METRIC).get(),
+            tasks0 + stats.tasks as u64
+        );
+        assert_eq!(
+            reg.counter(PARALLEL_A_PACKS_METRIC).get(),
+            packs0 + stats.a_packs as u64
+        );
+    }
+
+    #[test]
+    fn traced_run_records_wall_clock_task_spans() {
+        let a = matrix(32, 320, 12);
+        let b = matrix(10 * NR, 320, 13);
+        let tracer = snp_trace::Tracer::enabled();
+        let mut c = CountMatrix::zeros(a.rows(), b.rows());
+        let stats = gamma_parallel_into_traced(
+            &a,
+            &b,
+            CompareOp::Xor,
+            &blocking_small(),
+            &mut c,
+            ParallelSchedule::ColumnStrips,
+            &tracer,
+        );
+        let trace = tracer.snapshot().expect("tracer is enabled");
+        let run: Vec<_> = trace.events_in_cat("run").collect();
+        assert_eq!(run.len(), 1);
+        assert_eq!(
+            trace.track(run[0].track).domain,
+            snp_trace::TimeDomain::Wall
+        );
+        let tasks: Vec<_> = trace.events_in_cat("task").collect();
+        assert_eq!(tasks.len(), stats.tasks);
+        for t in &tasks {
+            assert!(
+                t.start_ns >= run[0].start_ns && t.end_ns <= run[0].end_ns,
+                "task span must nest inside the run span"
+            );
+        }
     }
 
     #[test]

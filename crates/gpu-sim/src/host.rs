@@ -20,6 +20,7 @@
 use std::cell::RefCell;
 
 use snp_gpu_model::DeviceSpec;
+use snp_trace::{ArgValue, TimeDomain, Tracer, TrackId};
 
 use crate::detailed::simulate_core;
 use crate::isa::Program;
@@ -153,9 +154,10 @@ struct EventRecord {
     profile: EventProfile,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct QueueState {
     last_end_ns: u64,
+    track: TrackId,
 }
 
 #[derive(Debug)]
@@ -173,6 +175,8 @@ struct State {
 /// A simulated GPU device instance.
 pub struct Gpu {
     spec: DeviceSpec,
+    tracer: Tracer,
+    host_track: TrackId,
     state: RefCell<State>,
 }
 
@@ -181,9 +185,30 @@ impl Gpu {
     /// timeline (kernel *compilation* is excluded, as in the paper's
     /// end-to-end timing, §VI-B).
     pub fn new(spec: DeviceSpec) -> Gpu {
+        Self::with_tracer(spec, Tracer::disabled())
+    }
+
+    /// Like [`new`](Self::new), but recording every command's virtual-time
+    /// profile as spans on `tracer`: the device-open span on a host track,
+    /// and one span per enqueued transfer/kernel on its queue's track. All
+    /// spans carry the simulator's virtual timestamps ([`TimeDomain::Virtual`]),
+    /// so the exported timeline is the device timeline the profiling events
+    /// of §VI-A-1 describe.
+    pub fn with_tracer(spec: DeviceSpec, tracer: Tracer) -> Gpu {
         let init = spec.transfer.runtime_init_ns;
+        let host_track = tracer.track(format!("host · {}", spec.name), TimeDomain::Virtual);
+        tracer.span_with(
+            host_track,
+            "init",
+            "device open",
+            0,
+            init,
+            vec![("runtime_init_ns", init.into())],
+        );
         Gpu {
             spec,
+            tracer,
+            host_track,
             state: RefCell::new(State {
                 host_now_ns: init,
                 buffers: Vec::new(),
@@ -195,6 +220,16 @@ impl Gpu {
                 detailed_cycle_budget: 500_000_000,
             }),
         }
+    }
+
+    /// The tracer this device records into (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The virtual-time track for host-side activity (device open, packing).
+    pub fn host_track(&self) -> TrackId {
+        self.host_track
     }
 
     /// The device specification in use.
@@ -218,7 +253,18 @@ impl Gpu {
     /// host packing rate.
     pub fn host_pack(&self, bytes: u64) {
         let ns = self.spec.transfer.pack_ns(bytes);
+        let start = self.now_ns();
         self.advance_host_ns(ns);
+        if self.tracer.is_enabled() {
+            self.tracer.span_with(
+                self.host_track,
+                "pack",
+                "host pack",
+                start,
+                start + ns,
+                vec![("bytes", bytes.into())],
+            );
+        }
     }
 
     /// Bytes currently allocated on the device.
@@ -228,10 +274,31 @@ impl Gpu {
 
     /// Creates an in-order command queue.
     pub fn create_queue(&self) -> QueueId {
+        self.create_queue_labeled("")
+    }
+
+    /// Creates an in-order command queue whose trace track carries `label`
+    /// (e.g. `"transfer"` / `"compute"`), so timelines read without
+    /// cross-referencing queue indices.
+    pub fn create_queue_labeled(&self, label: &str) -> QueueId {
         let mut st = self.state.borrow_mut();
+        let idx = st.queues.len();
+        let track = if self.tracer.is_enabled() {
+            let name = if label.is_empty() {
+                format!("queue {idx}")
+            } else {
+                format!("queue {idx} ({label})")
+            };
+            self.tracer.track(name, TimeDomain::Virtual)
+        } else {
+            self.host_track
+        };
         let now = st.host_now_ns;
-        st.queues.push(QueueState { last_end_ns: now });
-        QueueId(st.queues.len() - 1)
+        st.queues.push(QueueState {
+            last_end_ns: now,
+            track,
+        });
+        QueueId(idx)
     }
 
     /// Allocates a device buffer of `words` 32-bit words, enforcing the
@@ -329,8 +396,29 @@ impl Gpu {
         Ok(t)
     }
 
-    fn record_event(st: &mut State, queue: QueueId, start: u64, end: u64, queued: u64) -> EventId {
+    /// Finalizes a command: updates queue state, stores the profiling
+    /// record, and (when tracing) emits the command's span on its queue's
+    /// track. `args` is only evaluated when the tracer is enabled, keeping
+    /// the disabled path allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    fn record_event(
+        &self,
+        st: &mut State,
+        queue: QueueId,
+        start: u64,
+        end: u64,
+        queued: u64,
+        cat: &'static str,
+        name: &'static str,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) -> EventId {
         st.queues[queue.0].last_end_ns = end;
+        if self.tracer.is_enabled() {
+            let mut args = args();
+            args.push(("queued_ns", queued.into()));
+            self.tracer
+                .span_with(st.queues[queue.0].track, cat, name, start, end, args);
+        }
         st.events.push(EventRecord {
             profile: EventProfile {
                 queued_ns: queued,
@@ -381,7 +469,16 @@ impl Gpu {
                 .ok_or(SimError::OutOfRange { what: "write" })?;
             range.copy_from_slice(data);
         }
-        Ok(Self::record_event(&mut st, queue, start, end, queued))
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "write",
+            || vec![("bytes", bytes.into())],
+        ))
     }
 
     /// Enqueues a device→host read from `buf` at `word_offset` into `out`.
@@ -427,7 +524,16 @@ impl Gpu {
         if blocking {
             st.host_now_ns = st.host_now_ns.max(end);
         }
-        Ok(Self::record_event(&mut st, queue, start, end, queued))
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "read",
+            || vec![("bytes", bytes.into())],
+        ))
     }
 
     /// Enqueues a kernel that reads `reads` buffers and updates `write`.
@@ -515,7 +621,16 @@ impl Gpu {
             func(&read_slices, wbuf.words.as_mut().expect("checked above"));
         }
         st.buffers[write.0] = Some(wbuf);
-        Ok(Self::record_event(&mut st, queue, start, end, queued))
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "kernel",
+            "kernel",
+            Vec::new,
+        ))
     }
 
     /// Enqueues a *timing-only* host↔device transfer of `bytes` (either
@@ -539,7 +654,16 @@ impl Gpu {
             .max(dep_end);
         let end = start + self.spec.transfer.transfer_ns(bytes);
         st.link_free_ns = end;
-        Ok(Self::record_event(&mut st, queue, start, end, queued))
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "transfer",
+            || vec![("bytes", bytes.into())],
+        ))
     }
 
     /// Enqueues a *timing-only* kernel: occupies the compute engine per
@@ -580,7 +704,16 @@ impl Gpu {
         };
         let end = start + kt.total_ns.ceil() as u64;
         st.compute_free_ns = end;
-        Ok(Self::record_event(&mut st, queue, start, end, queued))
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "kernel",
+            "kernel",
+            Vec::new,
+        ))
     }
 
     /// Blocks the host until every command on `queue` has finished
@@ -829,6 +962,44 @@ mod tests {
             dur > 1_500.0 + 8_000.0 && dur < 3_000.0 + 8_500.0,
             "got {dur}"
         );
+    }
+
+    #[test]
+    fn tracer_records_command_spans_with_profile_timestamps() {
+        let g = Gpu::with_tracer(devices::gtx_980(), Tracer::enabled());
+        let q = g.create_queue_labeled("transfer");
+        let b = g.create_buffer(256).unwrap();
+        let data = vec![7u32; 256];
+        g.host_pack(1024);
+        let ev = g.enqueue_write(q, b, 0, &data, &[]).unwrap();
+        let p = g.event_profile(ev).unwrap();
+        let trace = g.tracer().snapshot().unwrap();
+
+        let open = trace
+            .events_in_cat("init")
+            .next()
+            .expect("device-open span");
+        assert_eq!(open.end_ns, g.spec().transfer.runtime_init_ns);
+
+        let pack = trace.events_in_cat("pack").next().expect("pack span");
+        assert_eq!(pack.args, vec![("bytes", ArgValue::U64(1024))]);
+
+        let write = trace.events_in_cat("transfer").next().expect("write span");
+        assert_eq!((write.start_ns, write.end_ns), (p.start_ns, p.end_ns));
+        assert!(write
+            .args
+            .contains(&(("queued_ns"), ArgValue::U64(p.queued_ns))));
+        assert_eq!(trace.track(write.track).name, "queue 0 (transfer)");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(8).unwrap();
+        g.enqueue_write(q, b, 0, &[1u32; 8], &[]).unwrap();
+        g.host_pack(4096);
+        assert!(g.tracer().snapshot().is_none());
     }
 
     #[test]

@@ -21,10 +21,10 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use snp_gpu_model::DeviceSpec;
+use snp_trace::LazyCounter;
 
 use crate::isa::{Block, Program};
 
@@ -105,26 +105,36 @@ pub struct TimingCacheStats {
 }
 
 static TIMING_CACHE: OnceLock<Mutex<HashMap<u64, f64>>> = OnceLock::new();
-static TIMING_HITS: AtomicU64 = AtomicU64::new(0);
-static TIMING_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Stable metric name of tile-timing cache hits in the `snp-trace` registry.
+pub const TIMING_CACHE_HITS_METRIC: &str = "sim.timing_cache.hits";
+/// Stable metric name of tile-timing cache misses.
+pub const TIMING_CACHE_MISSES_METRIC: &str = "sim.timing_cache.misses";
+
+// The counters live in the process-wide snp-trace metrics registry under the
+// stable names above; the LazyCounter handles keep the hot path at one
+// relaxed atomic add after first touch.
+static TIMING_HITS: LazyCounter = LazyCounter::new(TIMING_CACHE_HITS_METRIC);
+static TIMING_MISSES: LazyCounter = LazyCounter::new(TIMING_CACHE_MISSES_METRIC);
 
 fn timing_cache() -> &'static Mutex<HashMap<u64, f64>> {
     TIMING_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Current hit/miss counters of the tile-timing cache.
+/// Current hit/miss counters of the tile-timing cache (a typed view of the
+/// `sim.timing_cache.*` registry metrics).
 pub fn timing_cache_stats() -> TimingCacheStats {
     TimingCacheStats {
-        hits: TIMING_HITS.load(Ordering::Relaxed),
-        misses: TIMING_MISSES.load(Ordering::Relaxed),
+        hits: TIMING_HITS.get(),
+        misses: TIMING_MISSES.get(),
     }
 }
 
 /// Empties the tile-timing cache and zeroes its counters (test isolation).
 pub fn reset_timing_cache() {
     timing_cache().lock().unwrap().clear();
-    TIMING_HITS.store(0, Ordering::Relaxed);
-    TIMING_MISSES.store(0, Ordering::Relaxed);
+    TIMING_HITS.reset();
+    TIMING_MISSES.reset();
 }
 
 static DEVICE_FPRINTS: OnceLock<Mutex<Vec<(DeviceSpec, u64)>>> = OnceLock::new();
@@ -185,11 +195,11 @@ pub fn timing_key(dev: &DeviceSpec, prog: &Program, groups: u32) -> u64 {
 /// because both producers insert the same value.
 pub fn memoized_core_cycles(key: u64, compute: impl FnOnce() -> f64) -> f64 {
     if let Some(&cycles) = timing_cache().lock().unwrap().get(&key) {
-        TIMING_HITS.fetch_add(1, Ordering::Relaxed);
+        TIMING_HITS.add(1);
         return cycles;
     }
     let cycles = compute();
-    TIMING_MISSES.fetch_add(1, Ordering::Relaxed);
+    TIMING_MISSES.add(1);
     timing_cache().lock().unwrap().insert(key, cycles);
     cycles
 }
@@ -411,6 +421,24 @@ mod tests {
             "repeat lookup must hit: {before:?} -> {after:?}"
         );
         assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn timing_cache_counters_live_in_the_metrics_registry() {
+        let dev = devices::gtx_980();
+        let prog = Program::interleaved_pair(InstrClass::Popc, InstrClass::IntAdd, 4, 22_961);
+        let before = snp_trace::registry()
+            .counter(TIMING_CACHE_MISSES_METRIC)
+            .get();
+        let _ = estimate_core_cycles_memo(&dev, &prog, 8);
+        let after = snp_trace::registry()
+            .counter(TIMING_CACHE_MISSES_METRIC)
+            .get();
+        assert!(
+            after > before,
+            "miss must show under the stable metric name"
+        );
+        assert_eq!(timing_cache_stats().misses, after, "typed view agrees");
     }
 
     #[test]

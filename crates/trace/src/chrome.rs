@@ -1,0 +1,370 @@
+//! Chrome `trace_event` JSON export and a schema validator.
+//!
+//! The exporter emits the stable subset of the Trace Event Format that
+//! `chrome://tracing` and Perfetto both accept: a `{"traceEvents": [...]}`
+//! container holding `ph:"M"` metadata (process/thread names), `ph:"X"`
+//! complete slices, and `ph:"C"` counter samples. Timestamps are
+//! microseconds, so nanosecond inputs keep sub-µs precision as fractions.
+//!
+//! Time domains map to processes: every [`TimeDomain::Virtual`] track is a
+//! thread of pid [`VIRTUAL_PID`] and every [`TimeDomain::Wall`] track a
+//! thread of pid [`WALL_PID`]. Viewers group threads under their process,
+//! so the two clocks render as separate lanes and are never visually
+//! compared against each other.
+
+use crate::json::{self, Value};
+use crate::span::{ArgValue, TimeDomain, Trace};
+
+/// Chrome-trace pid hosting all virtual-time tracks.
+pub const VIRTUAL_PID: u32 = 0;
+/// Chrome-trace pid hosting all wall-time tracks.
+pub const WALL_PID: u32 = 1;
+
+fn pid_for(domain: TimeDomain) -> u32 {
+    match domain {
+        TimeDomain::Virtual => VIRTUAL_PID,
+        TimeDomain::Wall => WALL_PID,
+    }
+}
+
+/// Formats nanoseconds as fractional microseconds without float noise.
+fn us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    json::escape_into(out, val);
+    out.push('"');
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push_str("\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json::escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+            ArgValue::F64(_) => out.push_str("null"),
+            ArgValue::Str(s) => {
+                out.push('"');
+                json::escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Renders a [`Trace`] as a Chrome `trace_event` JSON document.
+///
+/// Slices and counter samples are sorted by timestamp; metadata events come
+/// first. Load the result in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`.
+pub fn export_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(256 + trace.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    // Process metadata: one per time domain actually in use.
+    let mut domains: Vec<TimeDomain> = trace.tracks.iter().map(|t| t.domain).collect();
+    domains.sort_by_key(|d| pid_for(*d));
+    domains.dedup();
+    for d in &domains {
+        let label = match d {
+            TimeDomain::Virtual => "virtual time (simulated ns)",
+            TimeDomain::Wall => "wall time (host ns)",
+        };
+        let mut line = String::from("{\"ph\":\"M\",\"name\":\"process_name\",");
+        line.push_str(&format!("\"pid\":{},\"tid\":0,", pid_for(*d)));
+        line.push_str("\"args\":{");
+        push_str_field(&mut line, "name", label);
+        line.push_str("}}");
+        emit(line, &mut out);
+    }
+
+    // Thread metadata: one per track, plus an explicit sort order so tracks
+    // render in registration order rather than alphabetically.
+    for (idx, track) in trace.tracks.iter().enumerate() {
+        let pid = pid_for(track.domain);
+        let mut line = String::from("{\"ph\":\"M\",\"name\":\"thread_name\",");
+        line.push_str(&format!("\"pid\":{pid},\"tid\":{idx},"));
+        line.push_str("\"args\":{");
+        push_str_field(&mut line, "name", &track.name);
+        line.push_str("}}");
+        emit(line, &mut out);
+        let mut sort = String::from("{\"ph\":\"M\",\"name\":\"thread_sort_index\",");
+        sort.push_str(&format!(
+            "\"pid\":{pid},\"tid\":{idx},\"args\":{{\"sort_index\":{idx}}}}}"
+        ));
+        emit(sort, &mut out);
+    }
+
+    // Complete slices, sorted by start time (ties keep recording order).
+    let mut order: Vec<usize> = (0..trace.events.len()).collect();
+    order.sort_by_key(|&i| trace.events[i].start_ns);
+    for i in order {
+        let ev = &trace.events[i];
+        let track = trace.track(ev.track);
+        let pid = pid_for(track.domain);
+        let tid = ev.track.index();
+        let mut line = String::from("{\"ph\":\"X\",");
+        push_str_field(&mut line, "name", &ev.name);
+        line.push(',');
+        push_str_field(&mut line, "cat", ev.cat);
+        line.push_str(&format!(
+            ",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},",
+            us(ev.start_ns),
+            us(ev.duration_ns())
+        ));
+        push_args(&mut line, &ev.args);
+        line.push('}');
+        emit(line, &mut out);
+    }
+
+    // Counter samples, sorted by timestamp.
+    let mut corder: Vec<usize> = (0..trace.counters.len()).collect();
+    corder.sort_by_key(|&i| trace.counters[i].ts_ns);
+    for i in corder {
+        let c = &trace.counters[i];
+        let track = trace.track(c.track);
+        let pid = pid_for(track.domain);
+        let mut line = String::from("{\"ph\":\"C\",");
+        push_str_field(&mut line, "name", &c.name);
+        line.push_str(&format!(
+            ",\"ts\":{},\"pid\":{pid},\"tid\":{},",
+            us(c.ts_ns),
+            c.track.index()
+        ));
+        let v = if c.value.is_finite() { c.value } else { 0.0 };
+        line.push_str(&format!("\"args\":{{\"value\":{v}}}}}"));
+        emit(line, &mut out);
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Counts from a validated Chrome-trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceStats {
+    /// `ph:"M"` metadata events.
+    pub metadata: usize,
+    /// `ph:"X"` complete slices.
+    pub slices: usize,
+    /// `ph:"C"` counter samples.
+    pub counters: usize,
+}
+
+fn require_num(obj: &std::collections::BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("event missing numeric {key:?} field"))
+}
+
+fn require_str<'a>(
+    obj: &'a std::collections::BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("event missing string {key:?} field"))
+}
+
+/// Validates that `text` is a schema-well-formed Chrome `trace_event`
+/// document as produced by [`export_chrome_trace`]: parses as JSON, has a
+/// `traceEvents` array, every event carries the fields its phase requires,
+/// timestamps are finite and non-negative, and slices on each `(pid, tid)`
+/// lane are sorted by start time. Returns per-phase counts on success.
+pub fn validate(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let root = doc.as_obj().ok_or("document root is not an object")?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+
+    let mut stats = ChromeTraceStats::default();
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_obj()
+            .ok_or_else(|| format!("traceEvents[{i}] is not an object"))?;
+        let ph = require_str(obj, "ph").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+        let check = |r: Result<f64, String>| r.map_err(|e| format!("traceEvents[{i}]: {e}"));
+        match ph {
+            "M" => {
+                let name =
+                    require_str(obj, "name").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                if !matches!(name, "process_name" | "thread_name" | "thread_sort_index") {
+                    return Err(format!("traceEvents[{i}]: unknown metadata {name:?}"));
+                }
+                obj.get("args")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("traceEvents[{i}]: metadata missing args object"))?;
+                stats.metadata += 1;
+            }
+            "X" => {
+                require_str(obj, "name").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                let ts = check(require_num(obj, "ts"))?;
+                let dur = check(require_num(obj, "dur"))?;
+                let pid = check(require_num(obj, "pid"))?;
+                let tid = check(require_num(obj, "tid"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative or non-finite ts"));
+                }
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative or non-finite dur"));
+                }
+                let lane = (pid as u64, tid as u64);
+                if let Some(prev) = last_ts.get(&lane) {
+                    if ts < *prev {
+                        return Err(format!(
+                            "traceEvents[{i}]: slice ts {ts} out of order on pid {pid} tid {tid}"
+                        ));
+                    }
+                }
+                last_ts.insert(lane, ts);
+                stats.slices += 1;
+            }
+            "C" => {
+                require_str(obj, "name").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                let ts = check(require_num(obj, "ts"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative or non-finite ts"));
+                }
+                let args = obj
+                    .get("args")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("traceEvents[{i}]: counter missing args object"))?;
+                if args.is_empty() || !args.values().all(|v| v.as_num().is_some()) {
+                    return Err(format!(
+                        "traceEvents[{i}]: counter args must be non-empty numeric"
+                    ));
+                }
+                stats.counters += 1;
+            }
+            other => return Err(format!("traceEvents[{i}]: unsupported phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    fn sample_trace() -> Trace {
+        let t = Tracer::enabled();
+        let q0 = t.track("queue 0 (transfer)", TimeDomain::Virtual);
+        let q1 = t.track("queue 1 (compute)", TimeDomain::Virtual);
+        let cpu = t.track("cpu tasks", TimeDomain::Wall);
+        t.span_with(
+            q0,
+            "transfer",
+            "write B",
+            0,
+            1_500,
+            vec![("bytes", 4096u64.into())],
+        );
+        t.span(q1, "kernel", "gamma 64x128", 1_500, 9_000);
+        t.span(q0, "transfer", "read C", 9_000, 10_250);
+        t.span(cpu, "task", "pack", 100, 900);
+        t.counter(q0, "sim.timing_cache.hits", 9_000, 3.0);
+        t.snapshot().unwrap()
+    }
+
+    #[test]
+    fn export_validates_and_counts() {
+        let text = export_chrome_trace(&sample_trace());
+        let stats = validate(&text).unwrap();
+        // 2 process_name + 3 × (thread_name + thread_sort_index)
+        assert_eq!(stats.metadata, 8);
+        assert_eq!(stats.slices, 4);
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn export_uses_fractional_microseconds() {
+        let text = export_chrome_trace(&sample_trace());
+        // read C: start 9_000 ns, 1_250 ns long → ts 9 µs, dur "1.250" µs.
+        assert!(text.contains("\"ts\":9,"));
+        assert!(text.contains("\"dur\":1.250"));
+        // kernel starts at 1_500 ns → fractional "1.500" µs timestamp.
+        assert!(text.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn domains_map_to_distinct_pids() {
+        let text = export_chrome_trace(&sample_trace());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.as_obj().unwrap()["traceEvents"].as_arr().unwrap();
+        let pid_of = |name: &str| -> f64 {
+            events
+                .iter()
+                .filter_map(Value::as_obj)
+                .find(|o| o.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|o| o.get("pid"))
+                .and_then(Value::as_num)
+                .unwrap()
+        };
+        assert_eq!(pid_of("gamma 64x128") as u32, VIRTUAL_PID);
+        assert_eq!(pid_of("pack") as u32, WALL_PID);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        assert!(validate(r#"{"traceEvents":[{"ph":"Q","name":"x"}]}"#).is_err());
+        assert!(validate(
+            r#"{"traceEvents":[{"ph":"X","name":"a","ts":-1,"dur":0,"pid":0,"tid":0,"args":{}}]}"#
+        )
+        .is_err());
+        // Out-of-order slices on one lane.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"a","ts":5,"dur":1,"pid":0,"tid":0,"args":{}},
+                {"ph":"X","name":"b","ts":2,"dur":1,"pid":0,"tid":0,"args":{}}
+            ]}"#
+        )
+        .is_err());
+        // Same timestamps on different lanes are fine.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"a","ts":5,"dur":1,"pid":0,"tid":0,"args":{}},
+                {"ph":"X","name":"b","ts":2,"dur":1,"pid":0,"tid":1,"args":{}}
+            ]}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let stats = validate(&export_chrome_trace(&Trace::default())).unwrap();
+        assert_eq!(stats, ChromeTraceStats::default());
+    }
+}

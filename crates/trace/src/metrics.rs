@@ -1,0 +1,264 @@
+//! Process-wide counters/gauges registry.
+//!
+//! Hot paths keep their cost at one atomic add: a [`LazyCounter`] resolves
+//! its registry entry once (through a `OnceLock`) and then increments a
+//! plain `AtomicU64`. Registration interns by name, so every subsystem that
+//! names the same metric shares one cell, and [`snapshot`] renders the whole
+//! process state under stable, dot-separated metric names (the scheme is
+//! documented in DESIGN.md §8).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A monotonically increasing counter (resettable for test isolation).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test isolation; see [`MetricsRegistry::reset`]).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+}
+
+/// A snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// The value as a float (counters widen losslessly up to 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(v) => *v as f64,
+            MetricValue::Gauge(v) => *v,
+        }
+    }
+}
+
+/// The process-wide registry; obtain it with [`registry`].
+pub struct MetricsRegistry {
+    by_name: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl MetricsRegistry {
+    // A kind-mismatch panic unwinds while holding the lock, but leaves the
+    // map consistent — recover the guard instead of cascading the poison
+    // into every later registry user in the process.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        self.by_name.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// Panics if `name` is already registered as a gauge.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.lock();
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
+        {
+            Metric::Counter(c) => c,
+            Metric::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.lock();
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
+        {
+            Metric::Gauge(g) => g,
+            Metric::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+        }
+    }
+
+    /// All metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, MetricValue)> {
+        let map = self.lock();
+        map.iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                };
+                (*name, v)
+            })
+            .collect()
+    }
+
+    /// Zeroes every counter and gauge (names stay registered). Intended for
+    /// test isolation; concurrent increments may land before or after.
+    pub fn reset(&self) {
+        let map = self.lock();
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.set(0.0),
+            }
+        }
+    }
+}
+
+/// The process-wide metrics registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        by_name: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// A counter handle resolvable in `const` context: the registry lookup
+/// happens once, on first use, after which [`add`](Self::add) is a single
+/// relaxed atomic increment — cheap enough for simulator hot paths.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a counter by stable metric name.
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registry counter.
+    #[inline]
+    pub fn counter(&self) -> &'static Counter {
+        self.cell.get_or_init(|| registry().counter(self.name))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.counter().add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.counter().get()
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.counter().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name() {
+        let a = registry().counter("test.metrics.interned");
+        let b = registry().counter("test.metrics.interned");
+        a.reset();
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let g = registry().gauge("test.metrics.gauge");
+        g.set(2.5);
+        g.set(7.25);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn snapshot_contains_sorted_names() {
+        registry().counter("test.metrics.snap.b").reset();
+        registry().counter("test.metrics.snap.a").reset();
+        let snap = registry().snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        let ia = names.iter().position(|n| *n == "test.metrics.snap.a");
+        let ib = names.iter().position(|n| *n == "test.metrics.snap.b");
+        assert!(ia.unwrap() < ib.unwrap());
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn lazy_counter_reaches_the_registry() {
+        static C: LazyCounter = LazyCounter::new("test.metrics.lazy");
+        C.reset();
+        C.add(5);
+        assert_eq!(registry().counter("test.metrics.lazy").get(), 5);
+        assert_eq!(C.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics() {
+        registry().counter("test.metrics.kind");
+        registry().gauge("test.metrics.kind");
+    }
+
+    #[test]
+    fn metric_value_widens() {
+        assert_eq!(MetricValue::Counter(4).as_f64(), 4.0);
+        assert_eq!(MetricValue::Gauge(0.5).as_f64(), 0.5);
+    }
+}

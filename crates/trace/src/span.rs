@@ -1,0 +1,406 @@
+//! Spans, tracks, and the [`Tracer`] handle.
+//!
+//! A [`Tracer`] is a cheaply clonable handle that is either *disabled* (every
+//! recording method is a branch-and-return no-op — the zero-cost default) or
+//! *enabled*, in which case all clones append into one shared buffer. Spans
+//! carry explicit `u64` nanosecond timestamps, so the same machinery records
+//! both the simulator's **virtual** clock and the host's **wall** clock;
+//! every track declares which [`TimeDomain`] its timestamps live in so the
+//! exporters can keep the two from being compared against each other.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which clock a track's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeDomain {
+    /// The simulator's deterministic virtual nanoseconds.
+    Virtual,
+    /// Real host time, nanoseconds since the tracer's epoch.
+    Wall,
+}
+
+/// Handle to a registered track (one horizontal lane on the timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub(crate) u32);
+
+impl TrackId {
+    /// The raw track index (stable within one [`Trace`]).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+/// Handle to an in-flight span opened with [`Tracer::begin_span`].
+///
+/// The null id (from a disabled tracer) is accepted and ignored by
+/// [`Tracer::end_span`], so call sites need no enabled-ness branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    /// The id handed out by a disabled tracer.
+    pub const NULL: SpanId = SpanId(0);
+}
+
+/// A typed span/counter argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The track the span lives on.
+    pub track: TrackId,
+    /// Display name.
+    pub name: Cow<'static, str>,
+    /// Category (`"kernel"`, `"transfer"`, `"pack"`, `"init"`, `"run"`,
+    /// `"task"`, …) — what tests and exporters filter on.
+    pub cat: &'static str,
+    /// Start timestamp in the track's time domain, nanoseconds.
+    pub start_ns: u64,
+    /// End timestamp, nanoseconds (`>= start_ns` once closed).
+    pub end_ns: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether two spans overlap in time (half-open intervals).
+    pub fn overlaps(&self, other: &TraceEvent) -> bool {
+        self.start_ns < other.end_ns && other.start_ns < self.end_ns
+    }
+}
+
+/// One sampled value of a named counter series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// The track whose timeline the sample is plotted against.
+    pub track: TrackId,
+    /// Counter series name (a stable metric name).
+    pub name: Cow<'static, str>,
+    /// Sample timestamp, nanoseconds in the track's domain.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A registered track.
+#[derive(Debug, Clone)]
+pub struct TrackInfo {
+    /// Display name (e.g. `"queue 0 (transfer)"`).
+    pub name: String,
+    /// Time domain of every timestamp on this track.
+    pub domain: TimeDomain,
+}
+
+/// An immutable snapshot of everything a tracer collected.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Registered tracks, indexed by [`TrackId::index`].
+    pub tracks: Vec<TrackInfo>,
+    /// Completed spans, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Counter samples, in recording order.
+    pub counters: Vec<CounterSample>,
+}
+
+impl Trace {
+    /// The track info for an id.
+    pub fn track(&self, id: TrackId) -> &TrackInfo {
+        &self.tracks[id.0 as usize]
+    }
+
+    /// Spans of a given category.
+    pub fn events_in_cat<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.cat == cat)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    tracks: Vec<TrackInfo>,
+    events: Vec<TraceEvent>,
+    counters: Vec<CounterSample>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    state: Mutex<TraceState>,
+}
+
+/// The recording handle. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every method is a no-op (the zero-cost path).
+    pub fn disabled() -> Tracer {
+        Tracer { shared: None }
+    }
+
+    /// An enabled tracer collecting into a fresh shared buffer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                state: Mutex::new(TraceState::default()),
+            })),
+        }
+    }
+
+    /// Whether recording is on. Callers may use this to skip *preparing*
+    /// expensive span arguments; the recording methods themselves already
+    /// early-return when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Nanoseconds of wall time since this tracer was created (0 when
+    /// disabled). Timestamps for [`TimeDomain::Wall`] tracks.
+    pub fn wall_now_ns(&self) -> u64 {
+        match &self.shared {
+            Some(s) => s.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Registers a track; returns a throwaway id when disabled.
+    pub fn track(&self, name: impl Into<String>, domain: TimeDomain) -> TrackId {
+        match &self.shared {
+            None => TrackId(0),
+            Some(s) => {
+                let mut st = s.state.lock().unwrap();
+                st.tracks.push(TrackInfo {
+                    name: name.into(),
+                    domain,
+                });
+                TrackId((st.tracks.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Records a completed span.
+    #[inline]
+    pub fn span(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        self.span_with(track, cat, name, start_ns, end_ns, Vec::new());
+    }
+
+    /// Records a completed span with arguments.
+    pub fn span_with(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let Some(s) = &self.shared else { return };
+        let mut st = s.state.lock().unwrap();
+        st.events.push(TraceEvent {
+            track,
+            name: name.into(),
+            cat,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            args,
+        });
+    }
+
+    /// Opens a span whose end is not yet known; close with
+    /// [`end_span`](Self::end_span). Until closed, the span's end equals its
+    /// start.
+    pub fn begin_span(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+    ) -> SpanId {
+        let Some(s) = &self.shared else {
+            return SpanId::NULL;
+        };
+        let mut st = s.state.lock().unwrap();
+        st.events.push(TraceEvent {
+            track,
+            name: name.into(),
+            cat,
+            start_ns,
+            end_ns: start_ns,
+            args: Vec::new(),
+        });
+        SpanId(st.events.len()) // 1-based so NULL stays distinct
+    }
+
+    /// Closes a span opened with [`begin_span`](Self::begin_span), optionally
+    /// attaching arguments. Ignores [`SpanId::NULL`].
+    pub fn end_span(&self, id: SpanId, end_ns: u64) {
+        self.end_span_with(id, end_ns, Vec::new());
+    }
+
+    /// [`end_span`](Self::end_span) with arguments appended on close.
+    pub fn end_span_with(&self, id: SpanId, end_ns: u64, args: Vec<(&'static str, ArgValue)>) {
+        let Some(s) = &self.shared else { return };
+        if id == SpanId::NULL {
+            return;
+        }
+        let mut st = s.state.lock().unwrap();
+        let ev = &mut st.events[id.0 - 1];
+        ev.end_ns = end_ns.max(ev.start_ns);
+        ev.args.extend(args);
+    }
+
+    /// Records one sample of a counter series.
+    #[inline]
+    pub fn counter(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        ts_ns: u64,
+        value: f64,
+    ) {
+        let Some(s) = &self.shared else { return };
+        let mut st = s.state.lock().unwrap();
+        st.counters.push(CounterSample {
+            track,
+            name: name.into(),
+            ts_ns,
+            value,
+        });
+    }
+
+    /// Snapshots everything recorded so far (`None` when disabled).
+    pub fn snapshot(&self) -> Option<Trace> {
+        let s = self.shared.as_ref()?;
+        let st = s.state.lock().unwrap();
+        Some(Trace {
+            tracks: st.tracks.clone(),
+            events: st.events.clone(),
+            counters: st.counters.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let tr = t.track("x", TimeDomain::Virtual);
+        t.span(tr, "kernel", "k", 0, 10);
+        let id = t.begin_span(tr, "run", "r", 0);
+        assert_eq!(id, SpanId::NULL);
+        t.end_span(id, 99);
+        t.counter(tr, "c", 0, 1.0);
+        assert!(t.snapshot().is_none());
+        assert_eq!(t.wall_now_ns(), 0);
+    }
+
+    #[test]
+    fn spans_and_counters_are_recorded() {
+        let t = Tracer::enabled();
+        let tr = t.track("host", TimeDomain::Virtual);
+        t.span_with(tr, "kernel", "k0", 5, 15, vec![("bytes", 64u64.into())]);
+        let run = t.begin_span(tr, "run", "run", 0);
+        t.end_span_with(run, 40, vec![("passes", 2u64.into())]);
+        t.counter(tr, "hits", 20, 3.0);
+        let trace = t.snapshot().unwrap();
+        assert_eq!(trace.tracks.len(), 1);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].duration_ns(), 10);
+        assert_eq!(trace.events[1].end_ns, 40);
+        assert_eq!(trace.events[1].args, vec![("passes", ArgValue::U64(2))]);
+        assert_eq!(trace.counters.len(), 1);
+        assert_eq!(trace.track(tr).name, "host");
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::enabled();
+        let tr = t.track("a", TimeDomain::Wall);
+        let t2 = t.clone();
+        t2.span(tr, "task", "x", 1, 2);
+        assert_eq!(t.snapshot().unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn end_before_start_is_clamped() {
+        let t = Tracer::enabled();
+        let tr = t.track("a", TimeDomain::Virtual);
+        t.span(tr, "x", "x", 10, 5);
+        let e = &t.snapshot().unwrap().events[0];
+        assert_eq!((e.start_ns, e.end_ns), (10, 10));
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let mk = |s, e| TraceEvent {
+            track: TrackId(0),
+            name: "x".into(),
+            cat: "x",
+            start_ns: s,
+            end_ns: e,
+            args: Vec::new(),
+        };
+        assert!(mk(0, 10).overlaps(&mk(5, 15)));
+        assert!(
+            !mk(0, 10).overlaps(&mk(10, 20)),
+            "half-open: touching is not overlap"
+        );
+        assert!(!mk(0, 1).overlaps(&mk(2, 3)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text hierarchical summary of a trace.
+//!
+//! Spans within one track are nested by time containment (a span whose
+//! interval lies inside another's renders as its child), which recovers the
+//! logical run → pass → command structure without the recorder having to
+//! thread parent ids through every call site. A metrics section rendered by
+//! [`render_metrics`] can be appended for a complete run report.
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::span::{TimeDomain, Trace, TraceEvent};
+use std::fmt::Write as _;
+
+/// Formats nanoseconds for humans (`1.234 ms`-style).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn write_span(out: &mut String, ev: &TraceEvent, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    let _ = write!(
+        out,
+        "{indent}{} [{}] {} .. {}  ({})",
+        ev.name,
+        ev.cat,
+        ev.start_ns,
+        ev.end_ns,
+        fmt_ns(ev.duration_ns())
+    );
+    if !ev.args.is_empty() {
+        let _ = write!(out, "  {{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            match v {
+                crate::span::ArgValue::U64(n) => {
+                    let _ = write!(out, "{k}={n}");
+                }
+                crate::span::ArgValue::F64(f) => {
+                    let _ = write!(out, "{k}={f}");
+                }
+                crate::span::ArgValue::Str(s) => {
+                    let _ = write!(out, "{k}={s}");
+                }
+            }
+        }
+        let _ = write!(out, "}}");
+    }
+    out.push('\n');
+}
+
+/// Renders the span tree of every track as indented text.
+///
+/// Within a track, spans are ordered by `(start asc, end desc)` so a parent
+/// sorts before the children it contains; nesting depth is then derived with
+/// a containment stack.
+pub fn render_summary(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (idx, info) in trace.tracks.iter().enumerate() {
+        let domain = match info.domain {
+            TimeDomain::Virtual => "virtual ns",
+            TimeDomain::Wall => "wall ns",
+        };
+        let mut spans: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.track.index() as usize == idx)
+            .collect();
+        let _ = writeln!(
+            out,
+            "track {idx}: {} [{domain}] — {} span(s)",
+            info.name,
+            spans.len()
+        );
+        spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+        // Stack of (end_ns) for currently-open ancestors.
+        let mut stack: Vec<u64> = Vec::new();
+        for ev in spans {
+            while let Some(&end) = stack.last() {
+                // A parent must strictly contain the child; equal intervals
+                // nest in sort order (first recorded wins the outer slot).
+                let past_parent = ev.start_ns >= end && !(ev.start_ns == end && ev.end_ns == end);
+                if past_parent || end < ev.end_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            write_span(&mut out, ev, stack.len());
+            stack.push(ev.end_ns);
+        }
+        let samples = trace
+            .counters
+            .iter()
+            .filter(|c| c.track.index() as usize == idx)
+            .count();
+        if samples > 0 {
+            let _ = writeln!(out, "  ({samples} counter sample(s))");
+        }
+    }
+    out
+}
+
+/// Renders a registry snapshot as a sorted `name = value` block.
+pub fn render_metrics(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("metrics:\n");
+    for (name, value) in registry.snapshot() {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    #[test]
+    fn nesting_follows_time_containment() {
+        let t = Tracer::enabled();
+        let tr = t.track("engine", TimeDomain::Virtual);
+        t.span(tr, "run", "run ld", 0, 100);
+        t.span(tr, "kernel", "k0", 10, 40);
+        t.span(tr, "transfer", "read C", 40, 60);
+        t.span(tr, "run", "run 2", 200, 300);
+        let text = render_summary(&t.snapshot().unwrap());
+        let lines: Vec<&str> = text.lines().collect();
+        let depth_of = |needle: &str| {
+            let line = lines.iter().find(|l| l.contains(needle)).unwrap();
+            (line.len() - line.trim_start().len()) / 2
+        };
+        assert_eq!(depth_of("run ld"), 1);
+        assert_eq!(depth_of("k0"), 2, "kernel nests inside the run span");
+        assert_eq!(depth_of("read C"), 2);
+        assert_eq!(depth_of("run 2"), 1, "disjoint span is a sibling");
+    }
+
+    #[test]
+    fn durations_format_readably() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_500_000_000), "3.500 s");
+    }
+
+    #[test]
+    fn metrics_section_lists_sorted_names() {
+        let reg = crate::metrics::registry();
+        reg.counter("test.summary.z").reset();
+        reg.counter("test.summary.a").reset();
+        reg.counter("test.summary.a").add(7);
+        let text = render_metrics(reg);
+        let za = text.find("test.summary.a = 7").unwrap();
+        let zz = text.find("test.summary.z = 0").unwrap();
+        assert!(za < zz);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration test of the tracing layer: run real LD and
+//! FastID workloads with a collector attached and assert structural
+//! properties of the recorded timeline — span nesting, timestamp order,
+//! and (the point of double buffering) transfer/compute overlap.
+
+use snp_bitmat::BitMatrix;
+use snp_core::{EngineOptions, ExecMode, GpuEngine};
+use snp_gpu_model::devices;
+use snp_trace::{TimeDomain, Trace, TraceEvent, Tracer};
+
+fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
+    BitMatrix::from_fn(rows, cols, |r, c| {
+        let h = (r * 1_000_003 + c + salt * 7_777_777).wrapping_mul(0x9E37_79B9);
+        (h >> 13).is_multiple_of(3)
+    })
+}
+
+/// A small device whose allocation limit forces several B/C chunks, so the
+/// double-buffered schedule has something to pipeline.
+fn tiny_device() -> snp_gpu_model::DeviceSpec {
+    let mut dev = devices::gtx_980();
+    dev.name = "GTX tiny".into(); // avoid Table II presets
+    dev.max_alloc_bytes = 1 << 17;
+    dev.global_mem_bytes = 1 << 20;
+    dev
+}
+
+fn traced_run(double_buffer: bool) -> Trace {
+    let tracer = Tracer::enabled();
+    let engine = GpuEngine::new(tiny_device())
+        .with_options(EngineOptions {
+            mode: ExecMode::TimingOnly,
+            double_buffer,
+            ..Default::default()
+        })
+        .with_tracer(tracer.clone());
+    let a = matrix(8, 320, 10);
+    let b = matrix(12288, 320, 11);
+    engine.identity_search(&a, &b).unwrap();
+    tracer.snapshot().expect("tracer is enabled")
+}
+
+fn run_span(trace: &Trace) -> &TraceEvent {
+    let runs: Vec<&TraceEvent> = trace.events_in_cat("run").collect();
+    assert_eq!(runs.len(), 1, "exactly one run span per engine invocation");
+    runs[0]
+}
+
+#[test]
+fn ld_trace_nests_kernels_inside_the_run_span() {
+    let tracer = Tracer::enabled();
+    let engine = GpuEngine::new(devices::gtx_980()).with_tracer(tracer.clone());
+    let panel = matrix(48, 700, 1);
+    engine.ld_self(&panel).unwrap();
+    let trace = tracer.snapshot().unwrap();
+
+    let run = run_span(&trace);
+    let kernels: Vec<&TraceEvent> = trace.events_in_cat("kernel").collect();
+    assert!(!kernels.is_empty(), "LD run must launch kernels");
+    for k in &kernels {
+        assert!(
+            k.start_ns >= run.start_ns && k.end_ns <= run.end_ns,
+            "kernel span [{}, {}] escapes run span [{}, {}]",
+            k.start_ns,
+            k.end_ns,
+            run.start_ns,
+            run.end_ns
+        );
+    }
+    // Transfers and the device-open span nest in the run span too.
+    for cat in ["transfer", "init", "pack"] {
+        for e in trace.events_in_cat(cat) {
+            assert!(
+                e.start_ns >= run.start_ns && e.end_ns <= run.end_ns,
+                "{cat} span escapes the run span"
+            );
+        }
+    }
+}
+
+#[test]
+fn fastid_trace_timestamps_are_monotonic_per_track() {
+    let trace = traced_run(true);
+    // All engine tracks are virtual-time tracks.
+    for info in &trace.tracks {
+        assert_eq!(info.domain, TimeDomain::Virtual, "track {}", info.name);
+    }
+    // Within each track, command spans are recorded in non-decreasing start
+    // order (in-order queues), and every span is well-formed.
+    let n_tracks = trace.tracks.len();
+    for t in 0..n_tracks {
+        let mut last_start = 0u64;
+        for e in trace
+            .events
+            .iter()
+            .filter(|e| e.track.index() as usize == t)
+        {
+            assert!(e.end_ns >= e.start_ns, "negative-duration span {}", e.name);
+            assert!(
+                e.start_ns >= last_start,
+                "track {t}: span {} starts at {} before previous start {last_start}",
+                e.name,
+                e.start_ns
+            );
+            last_start = e.start_ns;
+        }
+    }
+}
+
+#[test]
+fn double_buffering_shows_transfer_compute_overlap_and_single_does_not() {
+    let db = traced_run(true);
+    let sb = traced_run(false);
+
+    let overlaps = |trace: &Trace| -> usize {
+        let kernels: Vec<&TraceEvent> = trace.events_in_cat("kernel").collect();
+        trace
+            .events_in_cat("transfer")
+            .filter(|t| kernels.iter().any(|k| t.overlaps(k)))
+            .count()
+    };
+
+    assert!(
+        overlaps(&db) > 0,
+        "double-buffered run must show at least one transfer slice overlapping a kernel slice"
+    );
+    assert_eq!(
+        overlaps(&sb),
+        0,
+        "single-buffered run must serialize transfers against kernels"
+    );
+
+    // The overlap is why the double-buffered timeline finishes earlier.
+    assert!(run_span(&db).end_ns < run_span(&sb).end_ns);
+}
