@@ -42,6 +42,7 @@ fn bench_timing_only(c: &mut Criterion) {
                     mode: ExecMode::TimingOnly,
                     double_buffer: true,
                     mixture: MixtureStrategy::Direct,
+                    ..Default::default()
                 });
                 bench.iter(|| {
                     black_box(

@@ -83,6 +83,7 @@ fn ablation_double_buffer() {
                     mode: ExecMode::TimingOnly,
                     double_buffer,
                     mixture: MixtureStrategy::Direct,
+                    ..Default::default()
                 })
                 .compare(&queries, &database, Algorithm::IdentitySearch)
                 .unwrap()

@@ -23,6 +23,7 @@ fn main() {
         mode: ExecMode::TimingOnly,
         double_buffer: true,
         mixture: MixtureStrategy::Direct,
+        ..Default::default()
     };
 
     let mut headers = vec!["sequences".to_string(), "CPU (model)".to_string()];

@@ -22,6 +22,7 @@ fn main() {
         mode: ExecMode::TimingOnly,
         double_buffer: true,
         mixture: MixtureStrategy::Direct,
+        ..Default::default()
     };
     let gpus = devices::all_gpus();
     let mut headers = vec!["SNPs".to_string()];

@@ -7,6 +7,8 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// The subcommand (first non-flag token).
     pub command: Option<String>,
+    /// An optional second bare token (e.g. `lint ld`); a third still errors.
+    pub positional: Option<String>,
     options: BTreeMap<String, String>,
 }
 
@@ -40,6 +42,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.positional.is_none() {
+                args.positional = Some(tok);
             } else {
                 return Err(ArgError(format!("unexpected positional argument {tok:?}")));
             }
@@ -109,6 +113,16 @@ mod tests {
         assert_eq!(a.get_parse("samples", 64usize).unwrap(), 64);
         let bad = Args::parse(toks("ld --snps abc")).unwrap();
         assert!(bad.get_parse("snps", 0usize).is_err());
+    }
+
+    #[test]
+    fn second_bare_token_is_positional() {
+        let a = Args::parse(toks("lint ld --device all")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("lint"));
+        assert_eq!(a.positional.as_deref(), Some("ld"));
+        assert_eq!(a.get("device"), Some("all"));
+        let none = Args::parse(toks("lint --device all")).unwrap();
+        assert_eq!(none.positional, None);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 
 use snp_bitmat::BitMatrix;
 use snp_core::{
-    config_for, Algorithm, CpuModel, EngineOptions, ExecMode, GpuEngine, MixtureStrategy,
+    compare_op, config_for, Algorithm, CpuModel, EngineOptions, ExecMode, GpuEngine, KernelPlan,
+    MixtureStrategy,
 };
 use snp_cpu::CpuEngine;
 use snp_gpu_model::config::ProblemShape;
@@ -44,6 +45,10 @@ COMMANDS:
                                run a workload with tracing on; write a Chrome
                                trace_event JSON timeline (open in Perfetto or
                                chrome://tracing) plus a text summary
+  lint      [ld|fastid|mixture|all] [--device D|all --json F]
+                               statically verify the command DAG (race
+                               detection) and the planned kernel (ISA and
+                               capacity lints); nonzero findings fail
 
 Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).";
 
@@ -65,6 +70,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("mixture") => cmd_mixture(args),
         Some("cpu") => cmd_cpu(args),
         Some("trace") => cmd_trace(args),
+        Some("lint") => cmd_lint(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
     }
@@ -300,6 +306,7 @@ fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
         mode: ExecMode::Full,
         double_buffer: true,
         mixture: strategy,
+        ..Default::default()
     });
     let run = engine
         .mixture_analysis(&db.profiles, &matrix)
@@ -393,6 +400,7 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
             } else {
                 MixtureStrategy::PreNegate
             },
+            ..Default::default()
         })
         .with_tracer(tracer.clone());
     let (label, timing, passes) = match algo {
@@ -506,6 +514,105 @@ fn cmd_trace(args: &Args) -> Result<String, ArgError> {
     let _ = writeln!(
         out,
         "open the timeline at https://ui.perfetto.dev or chrome://tracing"
+    );
+    Ok(out)
+}
+
+/// A problem shape guaranteeing a multi-chunk, double-buffered command
+/// stream on `dev` — the interesting case for race detection, since the
+/// slot-recycling WAR/WAW edges only appear once `n` spans several chunks.
+fn lint_shape(dev: &DeviceSpec) -> ProblemShape {
+    let k_words = 256usize; // 8192 SNP-string bits
+    let rows_per_alloc = (dev.max_alloc_bytes / 4) as usize / k_words;
+    ProblemShape {
+        m: 64,
+        n: rows_per_alloc.saturating_mul(6).max(4096),
+        k_words,
+    }
+}
+
+fn cmd_lint(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "json"])?;
+    let algorithms = match args.positional.as_deref().unwrap_or("all") {
+        "ld" => vec![Algorithm::LinkageDisequilibrium],
+        "fastid" | "search" => vec![Algorithm::IdentitySearch],
+        "mixture" => vec![Algorithm::MixtureAnalysis],
+        "all" => vec![
+            Algorithm::LinkageDisequilibrium,
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+        ],
+        other => {
+            return Err(ArgError(format!(
+                "unknown lint target {other:?} (ld|fastid|mixture|all)"
+            )))
+        }
+    };
+    let devs = match args.get_or("device", "all") {
+        "all" => devices::all_gpus(),
+        name => vec![devices::by_name(name)
+            .filter(|d| d.shared_mem_bytes > 0)
+            .ok_or_else(|| {
+                ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)"))
+            })?],
+    };
+
+    let mut out = String::new();
+    let mut json_targets = Vec::new();
+    let mut blocking = 0usize;
+    for dev in &devs {
+        for &alg in &algorithms {
+            let shape = lint_shape(dev);
+            let mixture = if dev.fused_andnot {
+                MixtureStrategy::Direct
+            } else {
+                MixtureStrategy::PreNegate
+            };
+            let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+                mode: ExecMode::TimingOnly,
+                double_buffer: true,
+                mixture,
+                verify: true,
+                ..Default::default()
+            });
+            let run = engine
+                .run_shape(shape, alg)
+                .map_err(|e| ArgError(format!("{} / {}: {e}", dev.name, alg.name())))?;
+            let mut report = run.verify_report.expect("verification was enabled");
+            let op = compare_op(alg, mixture);
+            let plan = KernelPlan::new(dev, &run.config, op, shape.m, shape.n, shape.k_words);
+            report.merge(snp_verify::lint_kernel(
+                dev,
+                &run.config,
+                &plan.facts(dev, shape.k_words),
+            ));
+            let label = format!("{} / {}", dev.name, alg.name());
+            out.push_str(&report.render_text(&label));
+            if report.has_blocking() {
+                blocking += 1;
+            }
+            json_targets.push(format!(
+                "{{\"device\":\"{}\",\"algorithm\":\"{}\",\"report\":{}}}",
+                snp_verify::json_escape(&dev.name),
+                snp_verify::json_escape(alg.name()),
+                report.to_json(),
+            ));
+        }
+    }
+    if let Some(path) = args.get("json") {
+        let json = format!("{{\"targets\":[{}]}}\n", json_targets.join(","));
+        std::fs::write(path, json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "machine-readable report: {path}");
+    }
+    if blocking > 0 {
+        return Err(ArgError(format!(
+            "lint failed: {blocking} target(s) with blocking findings\n\n{out}"
+        )));
+    }
+    let _ = writeln!(
+        out,
+        "all {} target(s) verified: no races, no kernel lint findings",
+        devs.len() * algorithms.len()
     );
     Ok(out)
 }
@@ -640,6 +747,41 @@ mod tests {
         let _ = std::fs::remove_file(&out);
         let _ = std::fs::remove_file(&summary);
         assert!(run_line("trace --algo nope").is_err());
+    }
+
+    #[test]
+    fn lint_passes_clean_for_all_algorithms_and_devices() {
+        let out = run_line("lint all --device all").unwrap();
+        for dev in ["GTX 980", "Titan V", "Vega 64"] {
+            assert!(out.contains(dev), "missing {dev} in:\n{out}");
+        }
+        assert!(out.contains("0 error(s), 0 warning(s)"));
+        assert!(out.contains("no races, no kernel lint findings"));
+    }
+
+    #[test]
+    fn lint_single_algorithm_writes_json_report() {
+        let path = std::env::temp_dir().join("snpgpu_test_lint.json");
+        let line = format!("lint ld --device titan-v --json {}", path.display());
+        let out = run_line(&line).unwrap();
+        assert!(out.contains("Titan V / Linkage disequilibrium"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for key in [
+            "\"targets\"",
+            "\"device\":\"Titan V\"",
+            "\"errors\":0",
+            "\"warnings\":0",
+            "\"diagnostics\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn lint_rejects_unknown_target_and_device() {
+        assert!(run_line("lint nope").is_err());
+        assert!(run_line("lint ld --device xeon-e5-2620-v2").is_err());
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub struct EngineOptions {
     pub double_buffer: bool,
     /// Mixture-analysis strategy (§II-C / Fig. 9).
     pub mixture: MixtureStrategy,
+    /// Run the `snp-verify` race detector on the finished command stream
+    /// and fail the run on any ordering hazard. Defaults to on in debug
+    /// builds, off in release builds.
+    pub verify: bool,
+    /// Test hook: drop the B-upload event from each kernel's wait list,
+    /// seeding the exact missing-dependency hazard the verifier exists to
+    /// catch. Never set this outside tests.
+    #[doc(hidden)]
+    pub fault_drop_kernel_b_dep: bool,
 }
 
 impl Default for EngineOptions {
@@ -51,6 +60,8 @@ impl Default for EngineOptions {
             mode: ExecMode::Full,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            verify: cfg!(debug_assertions),
+            fault_drop_kernel_b_dep: false,
         }
     }
 }
@@ -145,6 +156,10 @@ pub struct RunReport {
     pub config: KernelConfig,
     /// Word-op throughput over kernel time only (the Fig. 5 quantity).
     pub kernel_word_ops_per_sec: f64,
+    /// Command-stream verification findings (when
+    /// [`EngineOptions::verify`] is on; always hazard-free, since hazards
+    /// abort the run).
+    pub verify_report: Option<snp_verify::Report>,
 }
 
 /// Errors from an engine run.
@@ -165,7 +180,14 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Plan(e) => Some(e),
+            EngineError::Device(e) => Some(e),
+        }
+    }
+}
 
 impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> Self {
@@ -387,7 +409,7 @@ impl GpuEngine {
                 device_words_into(b, nc.lo, nc.hi, b_stage);
                 gpu.enqueue_write(q_xfer, b_bufs[slot], 0, b_stage, &deps)?
             } else {
-                gpu.enqueue_virtual_transfer(q_xfer, b_bytes, &deps)?
+                gpu.enqueue_virtual_write(q_xfer, b_bufs[slot], 0, nc.len() * k, &deps)?
             })
         };
 
@@ -400,7 +422,7 @@ impl GpuEngine {
                 device_words_into(a, mc.lo, mc.hi, &mut a_stage);
                 gpu.enqueue_write(q_xfer, a_buf, 0, &a_stage, &[])?
             } else {
-                gpu.enqueue_virtual_transfer(q_xfer, a_bytes, &[])?
+                gpu.enqueue_virtual_write(q_xfer, a_buf, 0, mc.len() * k, &[])?
             };
             in_events.push(ev_a);
             if plan.n_chunks.is_empty() {
@@ -425,7 +447,11 @@ impl GpuEngine {
                 let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
                 word_ops += kplan.word_ops;
                 kernel_cycles_ns += kplan.time(&self.spec).total_ns;
-                let mut kdeps = vec![ev_a, ev_b];
+                let mut kdeps = if self.options.fault_drop_kernel_b_dep {
+                    vec![ev_a]
+                } else {
+                    vec![ev_a, ev_b]
+                };
                 if let Some(ev) = last_read_on_slot[slot] {
                     // The C staging buffer must drain before being rewritten.
                     kdeps.push(ev);
@@ -443,7 +469,13 @@ impl GpuEngine {
                         },
                     )?
                 } else {
-                    gpu.enqueue_kernel_timed(q_comp, &kplan.cost(), &kdeps)?
+                    gpu.enqueue_kernel_timed_on(
+                        q_comp,
+                        &kplan.cost(),
+                        &[a_buf, b_bufs[slot]],
+                        c_bufs[slot],
+                        &kdeps,
+                    )?
                 };
                 kernel_events.push(ev_k);
                 last_kernel_on_slot[slot] = Some(ev_k);
@@ -456,7 +488,6 @@ impl GpuEngine {
                 }
 
                 // Read the C chunk back.
-                let c_bytes = (mc.len() * nc.len() * 4) as u64;
                 let ev_r = if full {
                     c_stage.resize(mc.len() * nc.len(), 0);
                     let ev =
@@ -467,7 +498,7 @@ impl GpuEngine {
                     }
                     ev
                 } else {
-                    gpu.enqueue_virtual_transfer(q_xfer, c_bytes, &[ev_k])?
+                    gpu.enqueue_virtual_read(q_xfer, c_bufs[slot], 0, mc.len() * nc.len(), &[ev_k])?
                 };
                 out_events.push(ev_r);
                 last_read_on_slot[slot] = Some(ev_r);
@@ -494,6 +525,21 @@ impl GpuEngine {
             "timing reconciliation failed: {} ({timing:?})",
             timing.validate().unwrap_err()
         );
+        // Static verification of the finished command stream. The `sum`
+        // calls above profiled every event, so events consumed only for
+        // timing do not show up as dead. Hazards (missing ordering edges)
+        // abort the run; warnings and infos ride along on the report.
+        let verify_report = if self.options.verify {
+            let report = snp_verify::verify_command_log(&gpu.command_log());
+            if report.has_errors() {
+                return Err(EngineError::Device(snp_gpu_sim::SimError::Hazard(
+                    report.render_text("command stream"),
+                )));
+            }
+            Some(report)
+        } else {
+            None
+        };
         if self.tracer.is_enabled() {
             self.tracer.end_span_with(
                 run_span,
@@ -527,7 +573,34 @@ impl GpuEngine {
             passes: kernel_events.len(),
             config: *cfg,
             kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
+            verify_report,
         })
+    }
+
+    /// Runs the full command stream for `shape` in timing-only mode without
+    /// materializing operands — the entry point for linting and sweeping
+    /// database-scale problems whose bit matrices would not fit host RAM.
+    pub fn run_shape(
+        &self,
+        shape: ProblemShape,
+        algorithm: Algorithm,
+    ) -> Result<RunReport, EngineError> {
+        let mut eng = self.clone();
+        eng.options.mode = ExecMode::TimingOnly;
+        let op = compare_op(algorithm, eng.options.mixture);
+        let cfg = config_for(&eng.spec, algorithm, shape);
+        let plan = plan_passes(
+            &eng.spec,
+            &cfg,
+            shape.m,
+            shape.n,
+            shape.k_words,
+            eng.options.double_buffer,
+        )?;
+        // Timing-only never touches operand words, so empty placeholders
+        // stand in for the matrices.
+        let empty = BitMatrix::zeros(0, 0);
+        eng.run_plan(&empty, &empty, op, &cfg, &plan, algorithm)
     }
 }
 
@@ -736,6 +809,78 @@ mod tests {
         bad = good;
         bad.end_to_end_ns = 50;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn run_shape_matches_materialized_timing_only_run() {
+        let a = matrix(64, 2048, 5);
+        let b = matrix(256, 2048, 6);
+        let dev = devices::gtx_980();
+        let opts = EngineOptions {
+            mode: ExecMode::TimingOnly,
+            ..Default::default()
+        };
+        let timed = GpuEngine::new(dev.clone())
+            .with_options(opts)
+            .identity_search(&a, &b)
+            .unwrap();
+        let shape = ProblemShape {
+            m: a.rows(),
+            n: b.rows(),
+            k_words: 2 * a.words_per_row(),
+        };
+        let shaped = GpuEngine::new(dev)
+            .with_options(opts)
+            .run_shape(shape, Algorithm::IdentitySearch)
+            .unwrap();
+        assert_eq!(shaped.timing.end_to_end_ns, timed.timing.end_to_end_ns);
+        assert_eq!(shaped.passes, timed.passes);
+        assert!(shaped.gamma.is_none());
+    }
+
+    #[test]
+    fn verifier_passes_clean_stream_and_catches_seeded_hazard() {
+        // Same tiny-memory shape as double_buffer_improves_end_to_end: one
+        // m-chunk, several n-chunks, double-buffered across two B slots.
+        let mut dev = devices::gtx_980();
+        dev.name = "GTX tiny".into(); // avoid Table II presets
+        dev.max_alloc_bytes = 1 << 17;
+        dev.global_mem_bytes = 1 << 20;
+        let a = matrix(8, 320, 10);
+        let b = matrix(12288, 320, 11);
+        let opts = EngineOptions {
+            mode: ExecMode::TimingOnly,
+            verify: true,
+            ..Default::default()
+        };
+        let clean = GpuEngine::new(dev.clone())
+            .with_options(opts)
+            .identity_search(&a, &b)
+            .unwrap();
+        let report = clean.verify_report.expect("verification ran");
+        assert!(!report.has_errors());
+        assert!(
+            report.count(snp_verify::Severity::Warning) == 0,
+            "{}",
+            report.render_text("clean stream")
+        );
+
+        // Mutation: drop the B-upload edge from each kernel's wait list.
+        // The upload lands on the transfer queue, the kernel on the compute
+        // queue; without the event there is NO path ordering them.
+        let err = GpuEngine::new(dev)
+            .with_options(EngineOptions {
+                fault_drop_kernel_b_dep: true,
+                ..opts
+            })
+            .identity_search(&a, &b)
+            .unwrap_err();
+        match err {
+            EngineError::Device(snp_gpu_sim::SimError::Hazard(report)) => {
+                assert!(report.contains("V001-RAW"), "unexpected report: {report}");
+            }
+            other => panic!("expected a hazard, got: {other}"),
+        }
     }
 
     #[test]

@@ -280,6 +280,24 @@ impl KernelPlan {
     pub fn achieved_word_ops_per_sec(&self, total_ns: f64) -> f64 {
         self.word_ops as f64 / (total_ns * 1e-9)
     }
+
+    /// The flat fact sheet the `snp-verify` kernel linter consumes:
+    /// regenerates the tile program and pairs it with the plan's declared
+    /// cost and word-op totals.
+    pub fn facts(&self, dev: &DeviceSpec, k_words: usize) -> snp_verify::PlanFacts {
+        snp_verify::PlanFacts {
+            program: tile_program(dev, &self.config, self.op, k_words),
+            groups_per_core: self.groups_per_core,
+            core_cycles: self.core_cycles,
+            active_cores: self.active_cores,
+            word_ops: self.word_ops as f64,
+            op_kind: match self.op {
+                CompareOp::And => snp_gpu_model::WordOpKind::And,
+                CompareOp::Xor => snp_gpu_model::WordOpKind::Xor,
+                CompareOp::AndNot => snp_gpu_model::WordOpKind::AndNot,
+            },
+        }
+    }
 }
 
 /// Functional execution of one pass on device word buffers: computes

@@ -140,6 +140,7 @@ impl MultiGpuEngine {
                         },
                     ),
                     kernel_word_ops_per_sec: 0.0,
+                    verify_report: None,
                 });
                 continue;
             }
@@ -214,6 +215,7 @@ mod tests {
             mode: ExecMode::TimingOnly,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            ..Default::default()
         }
     }
 

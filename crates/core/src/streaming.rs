@@ -386,6 +386,7 @@ mod tests {
             mode: ExecMode::TimingOnly,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            ..Default::default()
         };
         let q = BitMatrix::<u64>::zeros(32, 1024);
         let db = BitMatrix::<u64>::zeros(20_971_520, 1024);

@@ -212,10 +212,7 @@ pub fn n_r_lower_bound(dev: &DeviceSpec, m_r: usize, m_c: usize) -> usize {
 /// each core", less a fixed overhead for addressing and operand registers).
 pub fn n_r_upper_bound(dev: &DeviceSpec, m_r: usize) -> usize {
     const OVERHEAD_REGS: usize = 16;
-    let groups_per_core = dev.chosen_occupancy_groups() as usize;
-    let threads_per_core = groups_per_core * dev.n_t as usize;
-    let regs_per_thread =
-        (dev.registers_per_core as usize / threads_per_core).min(dev.max_regs_per_thread as usize);
+    let regs_per_thread = dev.regs_per_thread_at_occupancy(dev.chosen_occupancy_groups()) as usize;
     let accum = regs_per_thread.saturating_sub(OVERHEAD_REGS).max(1);
     let v_max = (accum / m_r).max(1);
     dev.l_fn as usize * dev.n_t as usize * v_max

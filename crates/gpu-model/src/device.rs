@@ -221,6 +221,15 @@ impl DeviceSpec {
         self.shared_mem_bytes - self.shared_mem_reserved_bytes
     }
 
+    /// Registers available to one thread when `groups_per_core` thread
+    /// groups are resident, clamped by the architectural per-thread limit.
+    /// This is a *count* — compare it against `Program::reg_count()`
+    /// (`max_reg + 1`), never against the highest register index.
+    pub fn regs_per_thread_at_occupancy(&self, groups_per_core: u32) -> u32 {
+        let threads = groups_per_core.max(1) * self.n_t;
+        (self.registers_per_core / threads).min(self.max_regs_per_thread)
+    }
+
     /// Thread groups resident per core at the paper's chosen occupancy
     /// (`N_cl × L_fn`, §V-E — "we limit the number of thread groups necessary
     /// to reside on a core to the product of the number of compute clusters
@@ -344,6 +353,18 @@ mod tests {
         assert_eq!(dev.chosen_occupancy_groups(), (4 * 6));
         let vega = devices::vega_64();
         assert_eq!(vega.chosen_occupancy_groups(), 16); // 4*4 = 16 = cap
+    }
+
+    #[test]
+    fn regs_per_thread_follow_occupancy_and_architectural_cap() {
+        let dev = devices::gtx_980();
+        // 64 Ki registers over 24 groups x 32 threads = 85, under the cap.
+        assert_eq!(
+            dev.regs_per_thread_at_occupancy(dev.chosen_occupancy_groups()),
+            85
+        );
+        // One resident group: the architectural cap (255) binds, not 2048.
+        assert_eq!(dev.regs_per_thread_at_occupancy(1), dev.max_regs_per_thread);
     }
 
     #[test]

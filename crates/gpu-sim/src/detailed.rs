@@ -146,7 +146,7 @@ pub fn simulate_core_width(
         dev.n_t
     );
     let instrs_per_group = prog.dynamic_instrs();
-    let n_regs = prog.max_reg().map_or(0, |r| r as usize + 1);
+    let n_regs = prog.reg_count();
     let n_clusters = dev.n_clusters as usize;
     let n_pipes = dev.pipelines.len();
 

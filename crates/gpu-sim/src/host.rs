@@ -30,13 +30,39 @@ use crate::macro_engine::{kernel_time, Traffic};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
 
+impl BufferId {
+    /// Stable zero-based index of this buffer (for diagnostics and logs).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to an in-order command queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueueId(usize);
 
+impl QueueId {
+    /// Stable zero-based index of this queue.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a command event.
+///
+/// Dropping an `EventId` silently severs the dependency chain it was meant
+/// to carry — exactly the class of bug the command-DAG verifier exists to
+/// catch — so discarding one is a compile-time warning.
+#[must_use = "an unused EventId cannot order later commands or be profiled"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(usize);
+
+impl EventId {
+    /// Stable zero-based index of this event.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// OpenCL-style event profiling timestamps, in virtual nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +137,9 @@ pub enum SimError {
     },
     /// The detailed engine exceeded its cycle budget.
     DetailedBudget,
+    /// The command-DAG verifier found an ordering hazard in the enqueued
+    /// stream (see `snp-verify`); the payload is the rendered report.
+    Hazard(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -134,11 +163,80 @@ impl std::fmt::Display for SimError {
             SimError::InvalidHandle(what) => write!(f, "invalid {what} handle"),
             SimError::OutOfRange { what } => write!(f, "{what} out of buffer range"),
             SimError::DetailedBudget => write!(f, "detailed simulation budget exceeded"),
+            SimError::Hazard(report) => write!(f, "command-stream hazard: {report}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// What kind of command a [`CommandRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Host→device transfer (functional or virtual).
+    Write,
+    /// Device→host transfer (functional or virtual).
+    Read,
+    /// Kernel launch (functional or timing-only).
+    Kernel,
+    /// Legacy timing-only transfer with no buffer identity
+    /// ([`Gpu::enqueue_virtual_transfer`]); invisible to hazard analysis.
+    UntaggedTransfer,
+}
+
+/// A half-open word range `[lo, hi)` of one device buffer touched by a
+/// command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferRange {
+    /// The buffer.
+    pub buffer: BufferId,
+    /// First word touched.
+    pub lo: usize,
+    /// One past the last word touched.
+    pub hi: usize,
+}
+
+impl BufferRange {
+    /// Whether two ranges touch at least one common word of one buffer.
+    pub fn overlaps(&self, other: &BufferRange) -> bool {
+        self.buffer == other.buffer && self.lo < other.hi && other.lo < self.hi
+    }
+}
+
+/// One enqueued command as the host observed it: what it was, where it ran,
+/// what it waited on, and which buffer ranges it read and wrote. The
+/// record's position in [`CommandLog::commands`] equals its event index —
+/// every command yields exactly one event, in enqueue order.
+#[derive(Debug, Clone)]
+pub struct CommandRecord {
+    /// Command kind.
+    pub kind: CommandKind,
+    /// The in-order queue it was enqueued on.
+    pub queue: QueueId,
+    /// The event the enqueue returned.
+    pub event: EventId,
+    /// The explicit wait-list passed at enqueue.
+    pub deps: Vec<EventId>,
+    /// Buffer ranges the command reads.
+    pub reads: Vec<BufferRange>,
+    /// Buffer ranges the command writes.
+    pub writes: Vec<BufferRange>,
+    /// The command's virtual-time profile.
+    pub profile: EventProfile,
+}
+
+/// Everything a device enqueued, in order — the input to `snp-verify`'s
+/// command-DAG race detector. Obtained from [`Gpu::command_log`].
+#[derive(Debug, Clone, Default)]
+pub struct CommandLog {
+    /// Commands in enqueue order (index == event index).
+    pub commands: Vec<CommandRecord>,
+    /// Number of queues that existed when the log was taken.
+    pub queue_count: usize,
+    /// Per event: whether the host ever queried its profile
+    /// ([`Gpu::event_profile`]). Feeds the unused-event diagnostic.
+    pub profiled: Vec<bool>,
+}
 
 #[derive(Debug)]
 struct BufferSlot {
@@ -167,6 +265,8 @@ struct State {
     allocated_bytes: u64,
     queues: Vec<QueueState>,
     events: Vec<EventRecord>,
+    log: Vec<CommandRecord>,
+    profiled: Vec<bool>,
     link_free_ns: u64,
     compute_free_ns: u64,
     detailed_cycle_budget: u64,
@@ -215,6 +315,8 @@ impl Gpu {
                 allocated_bytes: 0,
                 queues: Vec::new(),
                 events: Vec::new(),
+                log: Vec::new(),
+                profiled: Vec::new(),
                 link_free_ns: init,
                 compute_free_ns: init,
                 detailed_cycle_budget: 500_000_000,
@@ -397,9 +499,9 @@ impl Gpu {
     }
 
     /// Finalizes a command: updates queue state, stores the profiling
-    /// record, and (when tracing) emits the command's span on its queue's
-    /// track. `args` is only evaluated when the tracer is enabled, keeping
-    /// the disabled path allocation-free.
+    /// record and the command-log entry, and (when tracing) emits the
+    /// command's span on its queue's track. `args` is only evaluated when
+    /// the tracer is enabled, keeping the disabled path allocation-free.
     #[allow(clippy::too_many_arguments)]
     fn record_event(
         &self,
@@ -411,6 +513,10 @@ impl Gpu {
         cat: &'static str,
         name: &'static str,
         args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+        kind: CommandKind,
+        deps: &[EventId],
+        reads: Vec<BufferRange>,
+        writes: Vec<BufferRange>,
     ) -> EventId {
         st.queues[queue.0].last_end_ns = end;
         if self.tracer.is_enabled() {
@@ -419,15 +525,25 @@ impl Gpu {
             self.tracer
                 .span_with(st.queues[queue.0].track, cat, name, start, end, args);
         }
-        st.events.push(EventRecord {
-            profile: EventProfile {
-                queued_ns: queued,
-                submit_ns: queued,
-                start_ns: start,
-                end_ns: end,
-            },
+        let profile = EventProfile {
+            queued_ns: queued,
+            submit_ns: queued,
+            start_ns: start,
+            end_ns: end,
+        };
+        st.events.push(EventRecord { profile });
+        st.profiled.push(false);
+        let event = EventId(st.events.len() - 1);
+        st.log.push(CommandRecord {
+            kind,
+            queue,
+            event,
+            deps: deps.to_vec(),
+            reads,
+            writes,
+            profile,
         });
-        EventId(st.events.len() - 1)
+        event
     }
 
     /// Enqueues a host→device write of `data` into `buf` at `word_offset`.
@@ -478,6 +594,14 @@ impl Gpu {
             "transfer",
             "write",
             || vec![("bytes", bytes.into())],
+            CommandKind::Write,
+            deps,
+            Vec::new(),
+            vec![BufferRange {
+                buffer: buf,
+                lo: word_offset,
+                hi: word_offset + data.len(),
+            }],
         ))
     }
 
@@ -533,6 +657,14 @@ impl Gpu {
             "transfer",
             "read",
             || vec![("bytes", bytes.into())],
+            CommandKind::Read,
+            deps,
+            vec![BufferRange {
+                buffer: buf,
+                lo: word_offset,
+                hi: word_offset + out.len(),
+            }],
+            Vec::new(),
         ))
     }
 
@@ -621,6 +753,13 @@ impl Gpu {
             func(&read_slices, wbuf.words.as_mut().expect("checked above"));
         }
         st.buffers[write.0] = Some(wbuf);
+        let buf_range = |st: &State, id: BufferId| BufferRange {
+            buffer: id,
+            lo: 0,
+            hi: st.buffers[id.0].as_ref().map_or(0, |b| b.len_words),
+        };
+        let read_ranges: Vec<BufferRange> = reads.iter().map(|&r| buf_range(&st, r)).collect();
+        let write_range = buf_range(&st, write);
         Ok(self.record_event(
             &mut st,
             queue,
@@ -630,6 +769,10 @@ impl Gpu {
             "kernel",
             "kernel",
             Vec::new,
+            CommandKind::Kernel,
+            deps,
+            read_ranges,
+            vec![write_range],
         ))
     }
 
@@ -663,7 +806,122 @@ impl Gpu {
             "transfer",
             "transfer",
             || vec![("bytes", bytes.into())],
+            CommandKind::UntaggedTransfer,
+            deps,
+            Vec::new(),
+            Vec::new(),
         ))
+    }
+
+    /// Enqueues a *timing-only* host→device write of `words` words into the
+    /// virtual buffer `buf` at `word_offset`: identical timing to
+    /// [`enqueue_virtual_transfer`](Self::enqueue_virtual_transfer) with
+    /// `bytes = words * 4`, but tagged with the buffer range it logically
+    /// writes so the command log stays analyzable.
+    pub fn enqueue_virtual_write(
+        &self,
+        queue: QueueId,
+        buf: BufferId,
+        word_offset: usize,
+        words: usize,
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        Self::check_virtual_range(&st, buf, word_offset, words)?;
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let bytes = words as u64 * 4;
+        let end = start + self.spec.transfer.transfer_ns(bytes);
+        st.link_free_ns = end;
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "write",
+            || vec![("bytes", bytes.into())],
+            CommandKind::Write,
+            deps,
+            Vec::new(),
+            vec![BufferRange {
+                buffer: buf,
+                lo: word_offset,
+                hi: word_offset + words,
+            }],
+        ))
+    }
+
+    /// Enqueues a *timing-only* device→host read of `words` words from the
+    /// virtual buffer `buf` at `word_offset` — the tagged counterpart of
+    /// [`enqueue_virtual_write`](Self::enqueue_virtual_write).
+    pub fn enqueue_virtual_read(
+        &self,
+        queue: QueueId,
+        buf: BufferId,
+        word_offset: usize,
+        words: usize,
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        Self::check_virtual_range(&st, buf, word_offset, words)?;
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let bytes = words as u64 * 4;
+        let end = start + self.spec.transfer.transfer_ns(bytes);
+        st.link_free_ns = end;
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "read",
+            || vec![("bytes", bytes.into())],
+            CommandKind::Read,
+            deps,
+            vec![BufferRange {
+                buffer: buf,
+                lo: word_offset,
+                hi: word_offset + words,
+            }],
+            Vec::new(),
+        ))
+    }
+
+    fn check_virtual_range(
+        st: &State,
+        buf: BufferId,
+        word_offset: usize,
+        words: usize,
+    ) -> Result<(), SimError> {
+        let slot = st
+            .buffers
+            .get(buf.0)
+            .and_then(|s| s.as_ref())
+            .ok_or(SimError::InvalidHandle("buffer"))?;
+        if word_offset + words > slot.len_words {
+            return Err(SimError::OutOfRange {
+                what: "virtual transfer",
+            });
+        }
+        Ok(())
     }
 
     /// Enqueues a *timing-only* kernel: occupies the compute engine per
@@ -713,6 +971,90 @@ impl Gpu {
             "kernel",
             "kernel",
             Vec::new,
+            CommandKind::Kernel,
+            deps,
+            Vec::new(),
+            Vec::new(),
+        ))
+    }
+
+    /// Enqueues a *timing-only* kernel tagged with the buffers it logically
+    /// reads and writes, so the command log can be race-checked. Timing is
+    /// identical to [`enqueue_kernel_timed`](Self::enqueue_kernel_timed);
+    /// the buffers (typically virtual) are not touched.
+    pub fn enqueue_kernel_timed_on(
+        &self,
+        queue: QueueId,
+        cost: &KernelCost,
+        reads: &[BufferId],
+        write: BufferId,
+        deps: &[EventId],
+    ) -> Result<EventId, SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        for r in reads {
+            if *r == write {
+                return Err(SimError::InvalidHandle("buffer (aliases kernel output)"));
+            }
+        }
+        let buf_range = |st: &State, id: BufferId| -> Result<BufferRange, SimError> {
+            let slot = st
+                .buffers
+                .get(id.0)
+                .and_then(|s| s.as_ref())
+                .ok_or(SimError::InvalidHandle("buffer"))?;
+            Ok(BufferRange {
+                buffer: id,
+                lo: 0,
+                hi: slot.len_words,
+            })
+        };
+        let mut read_ranges = Vec::with_capacity(reads.len());
+        for r in reads {
+            read_ranges.push(buf_range(&st, *r)?);
+        }
+        let write_range = buf_range(&st, write)?;
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.compute_free_ns)
+            .max(dep_end);
+        let kt = match cost {
+            KernelCost::Analytic {
+                core_cycles,
+                active_cores,
+                traffic,
+            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
+            KernelCost::Detailed {
+                program,
+                groups_per_core,
+                active_cores,
+                traffic,
+            } => {
+                let budget = st.detailed_cycle_budget;
+                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
+                    .map_err(|_| SimError::DetailedBudget)?;
+                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
+            }
+        };
+        let end = start + kt.total_ns.ceil() as u64;
+        st.compute_free_ns = end;
+        Ok(self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "kernel",
+            "kernel",
+            Vec::new,
+            CommandKind::Kernel,
+            deps,
+            read_ranges,
+            vec![write_range],
         ))
     }
 
@@ -736,14 +1078,29 @@ impl Gpu {
         st.host_now_ns = st.host_now_ns.max(end);
     }
 
-    /// Profiling timestamps of an event.
+    /// Profiling timestamps of an event. Marks the event as *consumed* in
+    /// the command log, so static analysis can tell a profiled-but-unwaited
+    /// event apart from one that is simply dead.
     pub fn event_profile(&self, ev: EventId) -> Result<EventProfile, SimError> {
-        self.state
-            .borrow()
+        let mut st = self.state.borrow_mut();
+        let profile = st
             .events
             .get(ev.0)
             .map(|e| e.profile)
-            .ok_or(SimError::InvalidHandle("event"))
+            .ok_or(SimError::InvalidHandle("event"))?;
+        st.profiled[ev.0] = true;
+        Ok(profile)
+    }
+
+    /// Snapshot of the full command log accumulated so far: one record per
+    /// enqueued command, in enqueue order (record `i` created `EventId(i)`).
+    pub fn command_log(&self) -> CommandLog {
+        let st = self.state.borrow();
+        CommandLog {
+            commands: st.log.clone(),
+            queue_count: st.queues.len(),
+            profiled: st.profiled.clone(),
+        }
     }
 }
 
@@ -793,13 +1150,13 @@ mod tests {
         let q = g.create_queue();
         let b = g.create_buffer(16).unwrap();
         let data: Vec<u32> = (0..8).map(|i| i * 3 + 1).collect();
-        g.enqueue_write(q, b, 4, &data, &[]).unwrap();
+        let _ = g.enqueue_write(q, b, 4, &data, &[]).unwrap();
         let mut out = vec![0u32; 8];
-        g.enqueue_read(q, b, 4, &mut out, &[], true).unwrap();
+        let _ = g.enqueue_read(q, b, 4, &mut out, &[], true).unwrap();
         assert_eq!(out, data);
         // Unwritten region stays zero.
         let mut head = vec![1u32; 4];
-        g.enqueue_read(q, b, 0, &mut head, &[], true).unwrap();
+        let _ = g.enqueue_read(q, b, 0, &mut head, &[], true).unwrap();
         assert_eq!(head, vec![0; 4]);
     }
 
@@ -832,7 +1189,8 @@ mod tests {
         let q = g.create_queue();
         let a = g.create_buffer(8).unwrap();
         let c = g.create_buffer(8).unwrap();
-        g.enqueue_write(q, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &[])
+        let _ = g
+            .enqueue_write(q, a, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &[])
             .unwrap();
         let cost = KernelCost::Analytic {
             core_cycles: 1000.0,
@@ -847,7 +1205,7 @@ mod tests {
             })
             .unwrap();
         let mut out = vec![0u32; 8];
-        g.enqueue_read(q, c, 0, &mut out, &[], true).unwrap();
+        let _ = g.enqueue_read(q, c, 0, &mut out, &[], true).unwrap();
         assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70, 80]);
         let p = g.event_profile(ev).unwrap();
         // 1000 cycles at 1.367 GHz ≈ 732 ns, inflated by the 4-core scaling
@@ -997,7 +1355,7 @@ mod tests {
         let g = small_gpu();
         let q = g.create_queue();
         let b = g.create_buffer(8).unwrap();
-        g.enqueue_write(q, b, 0, &[1u32; 8], &[]).unwrap();
+        let _ = g.enqueue_write(q, b, 0, &[1u32; 8], &[]).unwrap();
         g.host_pack(4096);
         assert!(g.tracer().snapshot().is_none());
     }
@@ -1010,5 +1368,155 @@ mod tests {
         let dt = g.now_ns() - t0;
         // 1 GiB at 8 GiB/s = 125 ms.
         assert!((dt as f64 - 0.125e9).abs() < 1e6, "got {dt}");
+    }
+
+    #[test]
+    fn command_log_records_every_command_in_enqueue_order() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let a = g.create_buffer(8).unwrap();
+        let c = g.create_buffer(8).unwrap();
+        let ev_w = g.enqueue_write(q, a, 2, &[1, 2, 3], &[]).unwrap();
+        let cost = KernelCost::Analytic {
+            core_cycles: 100.0,
+            active_cores: 1,
+            traffic: Traffic::default(),
+        };
+        let ev_k = g
+            .enqueue_kernel(q, &cost, &[a], c, &[ev_w], |_, _| {})
+            .unwrap();
+        let mut out = vec![0u32; 8];
+        let ev_r = g.enqueue_read(q, c, 0, &mut out, &[ev_k], true).unwrap();
+
+        let log = g.command_log();
+        assert_eq!(log.commands.len(), 3);
+        assert_eq!(log.queue_count, 1);
+        // Record position == event index.
+        for (i, rec) in log.commands.iter().enumerate() {
+            assert_eq!(rec.event.index(), i);
+        }
+        let w = &log.commands[ev_w.index()];
+        assert_eq!(w.kind, CommandKind::Write);
+        assert_eq!(
+            w.writes,
+            vec![BufferRange {
+                buffer: a,
+                lo: 2,
+                hi: 5
+            }]
+        );
+        assert!(w.reads.is_empty() && w.deps.is_empty());
+        let k = &log.commands[ev_k.index()];
+        assert_eq!(k.kind, CommandKind::Kernel);
+        assert_eq!(k.deps, vec![ev_w]);
+        assert_eq!(
+            k.reads,
+            vec![BufferRange {
+                buffer: a,
+                lo: 0,
+                hi: 8
+            }]
+        );
+        assert_eq!(
+            k.writes,
+            vec![BufferRange {
+                buffer: c,
+                lo: 0,
+                hi: 8
+            }]
+        );
+        let r = &log.commands[ev_r.index()];
+        assert_eq!(r.kind, CommandKind::Read);
+        assert_eq!(
+            r.reads,
+            vec![BufferRange {
+                buffer: c,
+                lo: 0,
+                hi: 8
+            }]
+        );
+        // Nothing profiled yet; profiling marks the event consumed.
+        assert!(!log.profiled[ev_k.index()]);
+        let _ = g.event_profile(ev_k).unwrap();
+        assert!(g.command_log().profiled[ev_k.index()]);
+    }
+
+    #[test]
+    fn tagged_virtual_commands_match_untagged_timing() {
+        let tagged = small_gpu();
+        let untagged = small_gpu();
+        let words = 1usize << 16;
+
+        let qt = tagged.create_queue();
+        let b = tagged.create_virtual_buffer(words).unwrap();
+        let c = tagged.create_virtual_buffer(words).unwrap();
+        let e1 = tagged.enqueue_virtual_write(qt, b, 0, words, &[]).unwrap();
+        let cost = KernelCost::Analytic {
+            core_cycles: 50_000.0,
+            active_cores: 16,
+            traffic: Traffic::default(),
+        };
+        let e2 = tagged
+            .enqueue_kernel_timed_on(qt, &cost, &[b], c, &[e1])
+            .unwrap();
+        let e3 = tagged.enqueue_virtual_read(qt, c, 0, words, &[e2]).unwrap();
+
+        let qu = untagged.create_queue();
+        let u1 = untagged
+            .enqueue_virtual_transfer(qu, words as u64 * 4, &[])
+            .unwrap();
+        let u2 = untagged.enqueue_kernel_timed(qu, &cost, &[u1]).unwrap();
+        let u3 = untagged
+            .enqueue_virtual_transfer(qu, words as u64 * 4, &[u2])
+            .unwrap();
+
+        for (t, u) in [(e1, u1), (e2, u2), (e3, u3)] {
+            let pt = tagged.event_profile(t).unwrap();
+            let pu = untagged.event_profile(u).unwrap();
+            assert_eq!(pt.start_ns, pu.start_ns);
+            assert_eq!(pt.end_ns, pu.end_ns);
+        }
+
+        // The tagged stream carries buffer sets; the untagged one does not.
+        let log = tagged.command_log();
+        assert_eq!(log.commands[e2.index()].reads.len(), 1);
+        assert_eq!(log.commands[e2.index()].writes.len(), 1);
+        let ulog = untagged.command_log();
+        assert_eq!(ulog.commands[u2.index()].kind, CommandKind::Kernel);
+        assert!(ulog.commands[u2.index()].reads.is_empty());
+    }
+
+    #[test]
+    fn tagged_virtual_commands_validate_handles_and_ranges() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_virtual_buffer(16).unwrap();
+        assert!(matches!(
+            g.enqueue_virtual_write(q, b, 8, 16, &[]),
+            Err(SimError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.enqueue_virtual_read(q, BufferId(99), 0, 1, &[]),
+            Err(SimError::InvalidHandle(_))
+        ));
+        let cost = KernelCost::Analytic {
+            core_cycles: 1.0,
+            active_cores: 1,
+            traffic: Traffic::default(),
+        };
+        assert!(matches!(
+            g.enqueue_kernel_timed_on(q, &cost, &[b], b, &[]),
+            Err(SimError::InvalidHandle(_))
+        ));
+    }
+
+    #[test]
+    fn buffer_range_overlap_semantics() {
+        let b0 = BufferId(0);
+        let b1 = BufferId(1);
+        let r = |buffer, lo, hi| BufferRange { buffer, lo, hi };
+        assert!(r(b0, 0, 8).overlaps(&r(b0, 4, 12)));
+        assert!(!r(b0, 0, 8).overlaps(&r(b0, 8, 16)), "half-open ranges");
+        assert!(!r(b0, 0, 8).overlaps(&r(b1, 0, 8)), "distinct buffers");
     }
 }

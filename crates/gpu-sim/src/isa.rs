@@ -131,6 +131,15 @@ impl Program {
             .max()
     }
 
+    /// Number of registers the program requires: `max_reg + 1`, or zero for
+    /// a register-free program. Scoreboards are sized with this, and device
+    /// register *limits* must be compared against this count — comparing
+    /// against the highest index ([`max_reg`](Self::max_reg)) is off by one
+    /// and admits programs that need one register more than the device has.
+    pub fn reg_count(&self) -> usize {
+        self.max_reg().map_or(0, |r| r as usize + 1)
+    }
+
     /// Builds the §V-C dependent-chain microbenchmark: `iters` repetitions
     /// of `chain_len` back-to-back `class` instructions, each consuming the
     /// previous result (`temp = class(temp)`).
@@ -249,5 +258,18 @@ mod tests {
         let p = Program::default();
         assert_eq!(p.dynamic_instrs(), 0);
         assert_eq!(p.max_reg(), None);
+        assert_eq!(p.reg_count(), 0);
+    }
+
+    #[test]
+    fn reg_count_is_max_index_plus_one() {
+        // Regression for the max_reg/count off-by-one: a program whose
+        // highest register *index* equals a limit N uses N + 1 registers.
+        let p = Program::independent_streams(InstrClass::IntAdd, 4, 1);
+        assert_eq!(p.max_reg(), Some(3));
+        assert_eq!(p.reg_count(), 4);
+        let limit = 3usize; // a device with exactly 3 registers per thread
+        assert!(p.max_reg().unwrap() as usize <= limit, "index check passes");
+        assert!(p.reg_count() > limit, "the count check correctly rejects");
     }
 }

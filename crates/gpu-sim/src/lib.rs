@@ -34,7 +34,7 @@
 //! let ev = gpu.enqueue_kernel(q, &cost, &[], buf, &[], |_, out| out[0] = 42).unwrap();
 //! gpu.finish_all();
 //! let mut out = [0u32; 1];
-//! gpu.enqueue_read(q, buf, 0, &mut out, &[], true).unwrap();
+//! let _ = gpu.enqueue_read(q, buf, 0, &mut out, &[], true).unwrap();
 //! assert_eq!(out[0], 42);
 //! assert!(gpu.event_profile(ev).unwrap().duration_ns() > 0);
 //! ```
@@ -49,7 +49,10 @@ pub mod macro_engine;
 
 pub use cache::{analyze as analyze_memory, l2_bytes_for, MemoryAnalysis};
 pub use detailed::{simulate_core, simulate_core_width, DetailedResult, SimLimit};
-pub use host::{BufferId, EventId, EventProfile, Gpu, KernelCost, QueueId, SimError};
+pub use host::{
+    BufferId, BufferRange, CommandKind, CommandLog, CommandRecord, EventId, EventProfile, Gpu,
+    KernelCost, QueueId, SimError,
+};
 pub use isa::{Block, Instr, Program, Reg};
 pub use macro_engine::{
     device_fingerprint, estimate_core_cycles, estimate_core_cycles_memo, kernel_time,

@@ -1,0 +1,264 @@
+//! Static lints over a kernel plan: the ISA program, the §V-A software
+//! parameters, and the declared analytic cost, checked against a device's
+//! hard limits and its Eq. 4–7 peak model.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use snp_gpu_model::{peak::peak, DeviceSpec, KernelConfig, WordOpKind};
+use snp_gpu_sim::isa::Program;
+
+/// Everything the linter needs to know about one planned kernel launch.
+///
+/// Built by the engine from its `KernelPlan`; keeping this struct flat lets
+/// `snp-verify` depend only on the model and simulator crates.
+#[derive(Debug, Clone)]
+pub struct PlanFacts {
+    /// The per-thread-group ISA program.
+    pub program: Program,
+    /// Resident thread groups per compute core.
+    pub groups_per_core: u32,
+    /// Declared analytic cost of the launch, in core cycles.
+    pub core_cycles: f64,
+    /// Compute cores the launch keeps busy.
+    pub active_cores: u32,
+    /// Total packed word operations the launch performs.
+    pub word_ops: f64,
+    /// The packed comparison operator (selects the Eq. 4–7 peak).
+    pub op_kind: WordOpKind,
+}
+
+/// Lints one planned kernel against `dev`'s limits and peak model.
+pub fn lint_kernel(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> Report {
+    let mut report = Report::default();
+    let prog = &facts.program;
+
+    // V101: registers read somewhere but never defined anywhere. Loop-
+    // carried registers (accumulators, induction values) legitimately read
+    // their own previous value, so only never-written registers are flagged.
+    let mut read = vec![];
+    let mut written = vec![];
+    for block in &prog.blocks {
+        for instr in &block.instrs {
+            for &s in &instr.srcs {
+                if !read.contains(&s) {
+                    read.push(s);
+                }
+            }
+            if let Some(d) = instr.dst {
+                if !written.contains(&d) {
+                    written.push(d);
+                }
+            }
+        }
+    }
+    read.sort_unstable();
+    for &r in &read {
+        if !written.contains(&r) {
+            report.diagnostics.push(Diagnostic::new(
+                "V101-UNDEFINED-REG",
+                Severity::Error,
+                format!("register r{r} is read but never written by any instruction"),
+            ));
+        }
+    }
+
+    // V102: register count vs the architectural per-thread maximum. The
+    // count is max index + 1 — comparing the raw index admits one register
+    // too many (the bug class the `reg_count` accessor exists to prevent).
+    let regs = prog.reg_count();
+    if regs > dev.max_regs_per_thread as usize {
+        report.diagnostics.push(Diagnostic::new(
+            "V102-REG-PRESSURE",
+            Severity::Error,
+            format!(
+                "program needs {regs} registers per thread; {} allows at most {}",
+                dev.name, dev.max_regs_per_thread,
+            ),
+        ));
+    }
+
+    // V103: the shared-memory A block must fit the per-core capacity.
+    let shared = cfg.shared_bytes_used();
+    if shared > dev.usable_shared_bytes() as usize {
+        report.diagnostics.push(Diagnostic::new(
+            "V103-SHARED-MEM",
+            Severity::Error,
+            format!(
+                "plan stages {shared} B of shared memory; {} has {} B usable",
+                dev.name,
+                dev.usable_shared_bytes(),
+            ),
+        ));
+    }
+
+    // V104: a shared access cannot serialize over more ways than the
+    // device has banks (N_b).
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            if instr.class.is_memory() && instr.conflict_ways > dev.shared_banks {
+                report.diagnostics.push(Diagnostic::new(
+                    "V104-CONFLICT-WAYS",
+                    Severity::Error,
+                    format!(
+                        "block {bi} instr {ii}: {} conflict ways exceed the {}-bank \
+                         shared memory of {}",
+                        instr.conflict_ways, dev.shared_banks, dev.name,
+                    ),
+                ));
+            }
+        }
+    }
+
+    // V105: zero-trip or empty blocks execute nothing — almost always a
+    // mis-derived blocking factor.
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        if block.trips == 0 || block.instrs.is_empty() {
+            report.diagnostics.push(Diagnostic::new(
+                "V105-DEGENERATE-BLOCK",
+                Severity::Warning,
+                format!(
+                    "block {bi} is degenerate ({} trips, {} instructions)",
+                    block.trips,
+                    block.instrs.len(),
+                ),
+            ));
+        }
+    }
+
+    // V106: the declared cost must be reachable — no launch finishes its
+    // word-ops faster than the Eq. 4–7 bottleneck pipeline allows.
+    if facts.word_ops > 0.0 && facts.active_cores > 0 {
+        let per_cluster = peak(dev, facts.op_kind).word_ops_per_cycle_per_cluster;
+        let per_core_rate = per_cluster * dev.n_clusters as f64;
+        let min_cycles = (facts.word_ops / facts.active_cores as f64) / per_core_rate;
+        if facts.core_cycles < min_cycles * 0.999 {
+            report.diagnostics.push(Diagnostic::new(
+                "V106-UNREACHABLE-COST",
+                Severity::Error,
+                format!(
+                    "declared {:.0} core cycles for {:.0} word-ops on {} cores, but the \
+                     peak model needs at least {:.0} cycles",
+                    facts.core_cycles, facts.word_ops, facts.active_cores, min_cycles,
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::config::{derive_config, McRule};
+    use snp_gpu_model::devices;
+    use snp_gpu_model::{InstrClass, ProblemShape};
+    use snp_gpu_sim::isa::{Block, Instr};
+
+    fn facts(program: Program, core_cycles: f64, word_ops: f64) -> PlanFacts {
+        PlanFacts {
+            program,
+            groups_per_core: 1,
+            core_cycles,
+            active_cores: 1,
+            word_ops,
+            op_kind: WordOpKind::And,
+        }
+    }
+
+    fn config(dev: &DeviceSpec) -> KernelConfig {
+        let shape = ProblemShape {
+            m: 4096,
+            n: 4096,
+            k_words: 512,
+        };
+        derive_config(dev, shape, McRule::Banks)
+    }
+
+    #[test]
+    fn well_formed_program_lints_clean() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let prog = Program::dependent_chain(InstrClass::Popc, 8, 100);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 1e6));
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text("t"));
+    }
+
+    #[test]
+    fn undefined_register_flagged() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let prog = Program::new(vec![Block::once(vec![Instr::store_global(&[7])])]);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 0.0));
+        assert_eq!(report.with_code("V101-UNDEFINED-REG").count(), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn register_pressure_uses_count_not_index() {
+        let mut dev = devices::gtx_980();
+        dev.max_regs_per_thread = 4;
+        let cfg = config(&devices::gtx_980());
+        // Highest index 4 -> count 5 -> over a 4-register device even
+        // though the raw index equals the limit.
+        let prog = Program::new(vec![Block::once(vec![
+            Instr::load_global(4, &[]),
+            Instr::store_global(&[4]),
+        ])]);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 0.0));
+        assert_eq!(report.with_code("V102-REG-PRESSURE").count(), 1);
+    }
+
+    #[test]
+    fn oversized_shared_block_flagged() {
+        let dev = devices::gtx_980();
+        let mut cfg = config(&dev);
+        cfg.m_c = 1 << 14;
+        cfg.k_c = 1 << 10;
+        let prog = Program::dependent_chain(InstrClass::Popc, 4, 10);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 0.0));
+        assert_eq!(report.with_code("V103-SHARED-MEM").count(), 1);
+    }
+
+    #[test]
+    fn impossible_conflict_ways_flagged() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let prog = Program::new(vec![Block::once(vec![
+            Instr::load_global(0, &[]),
+            Instr::load_shared(1, &[0], dev.shared_banks + 1),
+            Instr::store_global(&[1]),
+        ])]);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 0.0));
+        assert_eq!(report.with_code("V104-CONFLICT-WAYS").count(), 1);
+    }
+
+    #[test]
+    fn zero_trip_block_warns() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let prog = Program::new(vec![Block::looped(
+            0,
+            vec![Instr::arith(InstrClass::IntAdd, 0, &[0])],
+        )]);
+        let report = lint_kernel(&dev, &cfg, &facts(prog, 1e6, 0.0));
+        let d = report.with_code("V105-DEGENERATE-BLOCK").next().unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!report.has_errors());
+        assert!(report.has_blocking());
+    }
+
+    #[test]
+    fn unreachable_cost_flagged_and_peak_cost_passes() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let prog = Program::dependent_chain(InstrClass::Popc, 4, 10);
+        // GTX 980 peak: 8 word-ops/cycle/cluster * 4 clusters = 32/cycle/core.
+        // 3.2e6 word-ops on 1 core needs >= 1e5 cycles.
+        let too_fast = facts(prog.clone(), 0.5e5, 3.2e6);
+        let report = lint_kernel(&dev, &cfg, &too_fast);
+        assert_eq!(report.with_code("V106-UNREACHABLE-COST").count(), 1);
+        let at_peak = facts(prog, 1.0e5, 3.2e6);
+        let report = lint_kernel(&dev, &cfg, &at_peak);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text("t"));
+    }
+}

@@ -34,6 +34,7 @@ fn main() {
             mode: ExecMode::Full,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            ..Default::default()
         });
         let run = engine
             .identity_search(&queries.queries, &db.profiles)

@@ -36,6 +36,7 @@ fn main() {
             mode: ExecMode::Full,
             double_buffer: true,
             mixture: strategy,
+            ..Default::default()
         });
         let run = engine
             .mixture_analysis(&db.profiles, &mixture_matrix)

@@ -80,6 +80,7 @@ fn main() {
         mode: ExecMode::TimingOnly,
         double_buffer: true,
         mixture: MixtureStrategy::Direct,
+        ..Default::default()
     };
     println!("\n32 queries vs 20.97M profiles x 1024 SNPs (modeled):");
     for n_dev in [1usize, 4, 16] {

@@ -122,6 +122,7 @@ proptest! {
             mode: ExecMode::TimingOnly,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            ..Default::default()
         };
         let dev = devices::titan_v();
         let small = BitMatrix::<u64>::zeros(rows, 4096);

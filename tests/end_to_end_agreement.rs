@@ -87,6 +87,7 @@ fn mixture_strategies_and_engines_agree() {
                     mode: ExecMode::Full,
                     double_buffer: true,
                     mixture: strategy,
+                    ..Default::default()
                 })
                 .mixture_analysis(&refs, &mixes)
                 .unwrap();

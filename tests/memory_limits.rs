@@ -16,6 +16,7 @@ fn timing_only(double_buffer: bool) -> EngineOptions {
         mode: ExecMode::TimingOnly,
         double_buffer,
         mixture: MixtureStrategy::Direct,
+        ..Default::default()
     }
 }
 

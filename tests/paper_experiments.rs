@@ -17,6 +17,7 @@ fn timing_only() -> EngineOptions {
         mode: ExecMode::TimingOnly,
         double_buffer: true,
         mixture: MixtureStrategy::Direct,
+        ..Default::default()
     }
 }
 
