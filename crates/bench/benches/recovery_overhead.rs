@@ -1,0 +1,61 @@
+//! Ablation for the fault-injection/recovery layer: an engine with no fault
+//! plan armed must pay nothing for the machinery.
+//!
+//! Three measurements:
+//! * `recovery/fault_free_baseline` — a timing-only engine run with no
+//!   `FaultPlan` (the pre-PR fast path; the recovery code is never entered).
+//! * `recovery/plan_armed_no_faults` — the identical run with a `FaultPlan`
+//!   armed but carrying the `none` profile: the recovering path executes,
+//!   draws per-command fault decisions, and checkpoints per chunk, yet no
+//!   fault ever fires.
+//! * `recovery/plan_armed_transient` — same run under the `transient`
+//!   profile, i.e. what a chaos run actually pays for retries + backoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snp_bitmat::BitMatrix;
+use snp_core::{EngineOptions, ExecMode, FaultPlan, FaultProfile, GpuEngine};
+use snp_gpu_model::devices;
+use std::hint::black_box;
+
+fn workload() -> (BitMatrix<u64>, BitMatrix<u64>) {
+    let mk = |rows: usize, salt: usize| {
+        BitMatrix::<u64>::from_fn(rows, 2048, |r, c| (r * 31 + c * 7 + salt).is_multiple_of(3))
+    };
+    (mk(64, 1), mk(2048, 2))
+}
+
+fn engine(plan: Option<FaultPlan>) -> GpuEngine {
+    let e = GpuEngine::new(devices::titan_v()).with_options(EngineOptions {
+        mode: ExecMode::TimingOnly,
+        double_buffer: true,
+        ..Default::default()
+    });
+    match plan {
+        Some(p) => e.with_fault_plan(p),
+        None => e,
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    let (a, b) = workload();
+    g.bench_function("fault_free_baseline", |bench| {
+        let e = engine(None);
+        bench.iter(|| black_box(e.identity_search(black_box(&a), black_box(&b)).unwrap()))
+    });
+    g.bench_function("plan_armed_no_faults", |bench| {
+        let e = engine(Some(FaultPlan::new(42, FaultProfile::none())));
+        bench.iter(|| black_box(e.identity_search(black_box(&a), black_box(&b)).unwrap()))
+    });
+    g.bench_function("plan_armed_transient", |bench| {
+        let e = engine(Some(FaultPlan::new(
+            42,
+            FaultProfile::by_name("transient").unwrap(),
+        )));
+        bench.iter(|| black_box(e.identity_search(black_box(&a), black_box(&b)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

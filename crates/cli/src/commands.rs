@@ -3,10 +3,10 @@
 
 use std::fmt::Write as _;
 
-use snp_bitmat::BitMatrix;
+use snp_bitmat::{reference_gamma, BitMatrix};
 use snp_core::{
-    compare_op, config_for, Algorithm, CpuModel, EngineOptions, ExecMode, GpuEngine, KernelPlan,
-    MixtureStrategy,
+    compare_op, config_for, Algorithm, CpuModel, EngineError, EngineOptions, ExecMode, FaultPlan,
+    FaultProfile, GpuEngine, KernelPlan, MixtureStrategy, RecoverySummary,
 };
 use snp_cpu::CpuEngine;
 use snp_gpu_model::config::ProblemShape;
@@ -49,8 +49,86 @@ COMMANDS:
                                statically verify the command DAG (race
                                detection) and the planned kernel (ISA and
                                capacity lints); nonzero findings fail
+  chaos     [ld|fastid|mixture|all] [--device D|all --profile P|all --seed S --json F]
+                               fault-injection matrix: run every algorithm x
+                               device x fault-profile cell on a memory-shrunk
+                               device and compare against the fault-free
+                               oracle; any silent corruption fails (exit 5)
 
-Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).";
+Fault profiles: none, transient, corruption, stall, loss, mixed.
+ld / search / mixture also accept --fault-profile P [--fault-seed S] to run
+under fault injection (P may also be loss@N: lose the device at command N);
+a run that finishes on the CPU fallback exits 2.
+Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).
+
+EXIT CODES: 0 success, 1 usage/planning error, 2 degraded success (device
+lost, finished on CPU), 3 command-stream hazard, 4 unrecovered device fault,
+5 silent corruption detected by the chaos oracle.";
+
+/// Process exit codes — the CLI's error taxonomy (DESIGN.md §10). Hazards,
+/// typed device faults, degraded completions, and chaos-detected silent
+/// corruption are all distinguishable by scripts.
+pub mod exit_codes {
+    /// Clean success.
+    pub const OK: u8 = 0;
+    /// Usage, planning, or I/O error.
+    pub const ERROR: u8 = 1;
+    /// The run completed but degraded (device lost, CPU fallback finished).
+    pub const DEGRADED: u8 = 2;
+    /// The race detector found an ordering hazard.
+    pub const HAZARD: u8 = 3;
+    /// A typed device fault survived all recovery attempts.
+    pub const FAULT: u8 = 4;
+    /// The chaos oracle caught silently corrupted results.
+    pub const CORRUPTION: u8 = 5;
+}
+
+/// A command's report text plus its process exit code.
+#[derive(Debug, Clone)]
+pub struct CmdReport {
+    /// Human-readable report for stdout.
+    pub text: String,
+    /// Process exit code (see [`exit_codes`]).
+    pub exit: u8,
+}
+
+/// A command failure: printable message plus its exit code.
+#[derive(Debug, Clone)]
+pub struct CliError {
+    /// Message for stderr.
+    pub message: String,
+    /// Process exit code (see [`exit_codes`]).
+    pub exit: u8,
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError {
+            message: e.to_string(),
+            exit: exit_codes::ERROR,
+        }
+    }
+}
+
+/// Maps an engine error to its exit code: hazards, typed device faults, and
+/// everything else are distinct.
+fn engine_exit(e: &EngineError) -> u8 {
+    if e.is_hazard() {
+        exit_codes::HAZARD
+    } else if e.device_fault().is_some() {
+        exit_codes::FAULT
+    } else {
+        exit_codes::ERROR
+    }
+}
+
+/// Converts an engine error into a CLI failure with the matching exit code.
+fn engine_err(e: EngineError) -> CliError {
+    CliError {
+        exit: engine_exit(&e),
+        message: e.to_string(),
+    }
+}
 
 fn device_arg(args: &Args) -> Result<DeviceSpec, ArgError> {
     let name = args.get_or("device", "Titan V");
@@ -59,20 +137,42 @@ fn device_arg(args: &Args) -> Result<DeviceSpec, ArgError> {
         .ok_or_else(|| ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)")))
 }
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line, returning text only (exit codes
+/// collapse to generic failure). Prefer [`run_full`] in binaries.
 pub fn run(args: &Args) -> Result<String, ArgError> {
+    match run_full(args) {
+        Ok(report) if report.exit == exit_codes::OK || report.exit == exit_codes::DEGRADED => {
+            Ok(report.text)
+        }
+        Ok(report) => Err(ArgError(report.text)),
+        Err(e) => Err(ArgError(e.message)),
+    }
+}
+
+/// Dispatches a parsed command line with the full exit-code taxonomy.
+pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
+    let simple = |r: Result<String, ArgError>| -> Result<CmdReport, CliError> {
+        Ok(CmdReport {
+            text: r?,
+            exit: exit_codes::OK,
+        })
+    };
     match args.command.as_deref() {
-        Some("devices") => cmd_devices(args),
-        Some("config") => cmd_config(args),
-        Some("microbench") => cmd_microbench(args),
+        Some("devices") => simple(cmd_devices(args)),
+        Some("config") => simple(cmd_config(args)),
+        Some("microbench") => simple(cmd_microbench(args)),
         Some("ld") => cmd_ld(args),
         Some("search") => cmd_search(args),
         Some("mixture") => cmd_mixture(args),
-        Some("cpu") => cmd_cpu(args),
-        Some("trace") => cmd_trace(args),
-        Some("lint") => cmd_lint(args),
-        Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
-        None => Ok(USAGE.to_string()),
+        Some("cpu") => simple(cmd_cpu(args)),
+        Some("trace") => simple(cmd_trace(args)),
+        Some("lint") => simple(cmd_lint(args)),
+        Some("chaos") => cmd_chaos(args),
+        Some(other) => Err(CliError {
+            message: format!("unknown command {other:?}\n\n{USAGE}"),
+            exit: exit_codes::ERROR,
+        }),
+        None => simple(Ok(USAGE.to_string())),
     }
 }
 
@@ -181,8 +281,58 @@ fn cmd_microbench(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
-fn cmd_ld(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["device", "snps", "samples", "seed"])?;
+/// Parses the optional `--fault-profile NAME [--fault-seed S]` pair shared
+/// by the workload commands into an armed [`FaultPlan`].
+fn fault_args(args: &Args) -> Result<Option<FaultPlan>, ArgError> {
+    let Some(name) = args.get("fault-profile") else {
+        return Ok(None);
+    };
+    // `loss@N` pins device loss at host command N (the bare `loss` preset
+    // loses the device at command 9, which short runs may never reach).
+    let profile = if let Some(at) = name.strip_prefix("loss@") {
+        let at: u64 = at
+            .parse()
+            .map_err(|_| ArgError(format!("bad command index in {name:?}")))?;
+        FaultProfile {
+            device_loss_at: Some(at),
+            ..FaultProfile::none()
+        }
+    } else {
+        FaultProfile::by_name(name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown fault profile {name:?} (expected one of: {}, or loss@N)",
+                FaultProfile::NAMES.join(", ")
+            ))
+        })?
+    };
+    let seed = args.get_parse("fault-seed", 42u64)?;
+    Ok(Some(FaultPlan::new(seed, profile)))
+}
+
+/// Folds a run's recovery summary into the report: appends the summary
+/// line when a plan was armed and downgrades the exit to `DEGRADED` when
+/// the run finished on the CPU fallback.
+fn finish_workload(mut text: String, recovery: Option<&RecoverySummary>) -> CmdReport {
+    let mut exit = exit_codes::OK;
+    if let Some(rec) = recovery {
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "{}", rec.render_line());
+        if rec.degraded() {
+            exit = exit_codes::DEGRADED;
+        }
+    }
+    CmdReport { text, exit }
+}
+
+fn cmd_ld(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&[
+        "device",
+        "snps",
+        "samples",
+        "seed",
+        "fault-profile",
+        "fault-seed",
+    ])?;
     let dev = device_arg(args)?;
     let snps = args.get_parse("snps", 256usize)?;
     let samples = args.get_parse("samples", 2048usize)?;
@@ -195,10 +345,11 @@ fn cmd_ld(args: &Args) -> Result<String, ArgError> {
         },
         seed,
     );
-    let engine = GpuEngine::new(dev.clone());
-    let run = engine
-        .ld_self(&panel.matrix)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let mut engine = GpuEngine::new(dev.clone());
+    if let Some(plan) = fault_args(args)? {
+        engine = engine.with_fault_plan(plan);
+    }
+    let run = engine.ld_self(&panel.matrix).map_err(engine_err)?;
     let gamma = run.gamma.expect("full mode");
     // Strongest off-diagonal pair.
     let mut best = (0usize, 1usize, -1.0f64);
@@ -228,11 +379,20 @@ fn cmd_ld(args: &Args) -> Result<String, ArgError> {
         "strongest pair: SNP {} ~ SNP {} with r² = {:.3}",
         best.0, best.1, best.2
     );
-    Ok(out)
+    Ok(finish_workload(out, run.recovery.as_ref()))
 }
 
-fn cmd_search(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["device", "profiles", "snps", "queries", "noise", "seed"])?;
+fn cmd_search(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&[
+        "device",
+        "profiles",
+        "snps",
+        "queries",
+        "noise",
+        "seed",
+        "fault-profile",
+        "fault-seed",
+    ])?;
     let dev = device_arg(args)?;
     let profiles = args.get_parse("profiles", 10_000usize)?;
     let snps = args.get_parse("snps", 512usize)?;
@@ -249,10 +409,13 @@ fn cmd_search(args: &Args) -> Result<String, ArgError> {
     );
     let planted = queries.div_ceil(2);
     let qs = generate_queries(&db, queries, planted, noise, seed + 1);
-    let engine = GpuEngine::new(dev.clone());
+    let mut engine = GpuEngine::new(dev.clone());
+    if let Some(plan) = fault_args(args)? {
+        engine = engine.with_fault_plan(plan);
+    }
     let run = engine
         .identity_search(&qs.queries, &db.profiles)
-        .map_err(|e| ArgError(e.to_string()))?;
+        .map_err(engine_err)?;
     let gamma = run.gamma.expect("full mode");
     let scorer = IdentityScorer::new(db.site_maf.clone(), noise.max(1e-4));
     let mut out = String::new();
@@ -278,11 +441,19 @@ fn cmd_search(args: &Args) -> Result<String, ArgError> {
             "  query {q}: profile {best} at {d} differences, log LR {lr:>8.1} -> {verdict}{truth}"
         );
     }
-    Ok(out)
+    Ok(finish_workload(out, run.recovery.as_ref()))
 }
 
-fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["device", "profiles", "snps", "contributors", "seed"])?;
+fn cmd_mixture(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&[
+        "device",
+        "profiles",
+        "snps",
+        "contributors",
+        "seed",
+        "fault-profile",
+        "fault-seed",
+    ])?;
     let dev = device_arg(args)?;
     let profiles = args.get_parse("profiles", 5_000usize)?;
     let snps = args.get_parse("snps", 512usize)?;
@@ -302,15 +473,18 @@ fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
     } else {
         MixtureStrategy::PreNegate
     };
-    let engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
+    let mut engine = GpuEngine::new(dev.clone()).with_options(EngineOptions {
         mode: ExecMode::Full,
         double_buffer: true,
         mixture: strategy,
         ..Default::default()
     });
+    if let Some(plan) = fault_args(args)? {
+        engine = engine.with_fault_plan(plan);
+    }
     let run = engine
         .mixture_analysis(&db.profiles, &matrix)
-        .map_err(|e| ArgError(e.to_string()))?;
+        .map_err(engine_err)?;
     let gamma = run.gamma.expect("full mode");
     let included: Vec<usize> = (0..profiles).filter(|&r| gamma.get(r, 0) == 0).collect();
     let mut out = String::new();
@@ -334,7 +508,7 @@ fn cmd_mixture(args: &Args) -> Result<String, ArgError> {
         run.timing.kernel_ns as f64 / 1e6,
         run.kernel_word_ops_per_sec / 1e9
     );
-    Ok(out)
+    Ok(finish_workload(out, run.recovery.as_ref()))
 }
 
 fn cmd_cpu(args: &Args) -> Result<String, ArgError> {
@@ -617,6 +791,198 @@ fn cmd_lint(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Shrinks a device's memory so the chaos workload needs several chunks —
+/// checkpointing, loss-resume, and failover are only exercised multi-chunk.
+fn chaos_device(base: &DeviceSpec) -> DeviceSpec {
+    let mut d = base.clone();
+    d.max_alloc_bytes = d.max_alloc_bytes.min(1 << 17);
+    d.global_mem_bytes = d.global_mem_bytes.min(1 << 20);
+    d
+}
+
+fn chaos_matrix(rows: usize, cols: usize, salt: u64) -> BitMatrix<u64> {
+    BitMatrix::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(1_000_003)
+            .wrapping_add(c as u64)
+            .wrapping_add(salt.wrapping_mul(7_777_777))
+            .wrapping_mul(0x9E37_79B9);
+        (h >> 13).is_multiple_of(4)
+    })
+}
+
+fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&["device", "profile", "seed", "json"])?;
+    let algorithms = match args.positional.as_deref().unwrap_or("all") {
+        "ld" => vec![Algorithm::LinkageDisequilibrium],
+        "fastid" | "search" => vec![Algorithm::IdentitySearch],
+        "mixture" => vec![Algorithm::MixtureAnalysis],
+        "all" => vec![
+            Algorithm::LinkageDisequilibrium,
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+        ],
+        other => {
+            return Err(ArgError(format!(
+                "unknown chaos target {other:?} (ld|fastid|mixture|all)"
+            ))
+            .into())
+        }
+    };
+    let devs = match args.get_or("device", "all") {
+        "all" => devices::all_gpus(),
+        name => vec![devices::by_name(name)
+            .filter(|d| d.shared_mem_bytes > 0)
+            .ok_or_else(|| {
+                ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)"))
+            })?],
+    };
+    let profiles: Vec<&str> = match args.get_or("profile", "all") {
+        "all" => FaultProfile::NAMES.to_vec(),
+        name => {
+            if FaultProfile::by_name(name).is_none() {
+                return Err(ArgError(format!(
+                    "unknown fault profile {name:?} (one of: {})",
+                    FaultProfile::NAMES.join(", ")
+                ))
+                .into());
+            }
+            vec![name]
+        }
+    };
+    let seed = args.get_parse("seed", 42u64)?;
+
+    // One shared workload per algorithm: small enough to be quick, large
+    // enough that the shrunken devices plan several passes.
+    let a = chaos_matrix(8, 320, seed);
+    let b = chaos_matrix(9000, 320, seed + 1);
+    let short_name = |alg: Algorithm| match alg {
+        Algorithm::LinkageDisequilibrium => "ld",
+        Algorithm::IdentitySearch => "fastid",
+        Algorithm::MixtureAnalysis => "mixture",
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos matrix: {} algorithm(s) x {} device(s) x {} profile(s), seed {seed}",
+        algorithms.len(),
+        devs.len(),
+        profiles.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:<10} {:<11} {:<18} outcome",
+        "device", "algorithm", "profile", "recovery"
+    );
+    let mut rows = Vec::new();
+    let mut corruptions = 0usize;
+    let mut hazards = 0usize;
+    for dev in &devs {
+        let cdev = chaos_device(dev);
+        for &alg in &algorithms {
+            let opts = EngineOptions {
+                mode: ExecMode::Full,
+                double_buffer: true,
+                mixture: MixtureStrategy::Direct,
+                verify: true,
+                ..Default::default()
+            };
+            let op = compare_op(alg, MixtureStrategy::Direct);
+            let want = reference_gamma(&a, &b, op);
+            for &profile in &profiles {
+                // Decorrelate cells: same base seed, distinct fault draws.
+                let cell_seed =
+                    seed.wrapping_add((rows.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let plan = FaultPlan::new(
+                    cell_seed,
+                    FaultProfile::by_name(profile).expect("validated above"),
+                );
+                let run = GpuEngine::new(cdev.clone())
+                    .with_options(opts)
+                    .with_fault_plan(plan)
+                    .compare(&a, &b, alg);
+                let (outcome, detail) = match &run {
+                    Ok(report) => {
+                        let gamma = report.gamma.as_ref().expect("full mode");
+                        let rec = report.recovery.as_ref().expect("recovering path");
+                        let detail = format!(
+                            "r{} c{} s{} {}ck",
+                            rec.retries,
+                            rec.corruption_detected,
+                            rec.stalls_absorbed,
+                            rec.verified_chunks,
+                        );
+                        if gamma.first_mismatch(&want).is_some() {
+                            corruptions += 1;
+                            ("SILENT-CORRUPTION", detail)
+                        } else if rec.degraded() {
+                            (
+                                "degraded",
+                                format!("{detail} resume@{}", rec.resumed_from_chunk.unwrap_or(0)),
+                            )
+                        } else if rec.retries + rec.corruption_detected + rec.stalls_absorbed > 0 {
+                            ("recovered", detail)
+                        } else {
+                            ("clean", detail)
+                        }
+                    }
+                    Err(e) if e.is_hazard() => {
+                        hazards += 1;
+                        ("HAZARD", e.to_string())
+                    }
+                    Err(e) if e.device_fault().is_some() => ("typed-error", e.to_string()),
+                    Err(e) => ("error", e.to_string()),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<10} {:<11} {:<18} {outcome}",
+                    cdev.name,
+                    short_name(alg),
+                    profile,
+                    detail
+                );
+                rows.push(format!(
+                    "{{\"device\":\"{}\",\"algorithm\":\"{}\",\"profile\":\"{}\",\"seed\":{cell_seed},\"outcome\":\"{}\",\"detail\":\"{}\"}}",
+                    snp_verify::json_escape(&cdev.name),
+                    snp_verify::json_escape(short_name(alg)),
+                    snp_verify::json_escape(profile),
+                    snp_verify::json_escape(outcome),
+                    snp_verify::json_escape(&detail),
+                ));
+            }
+        }
+    }
+    let exit = if corruptions > 0 {
+        exit_codes::CORRUPTION
+    } else if hazards > 0 {
+        exit_codes::HAZARD
+    } else {
+        exit_codes::OK
+    };
+    let _ = writeln!(
+        out,
+        "{} cell(s): {corruptions} silent corruption(s), {hazards} hazard(s)",
+        rows.len()
+    );
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\"seed\":{seed},\"cells\":[{}],\"silent_corruptions\":{corruptions},\"hazards\":{hazards}}}\n",
+            rows.join(",")
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::from(ArgError(format!("cannot write {path}: {e}"))))?;
+        let _ = writeln!(out, "machine-readable report: {path}");
+    }
+    if exit == exit_codes::OK {
+        let _ = writeln!(
+            out,
+            "no silent corruption: every fault was retried, detected, absorbed, or surfaced typed"
+        );
+    }
+    Ok(CmdReport { text: out, exit })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -782,6 +1148,70 @@ mod tests {
     fn lint_rejects_unknown_target_and_device() {
         assert!(run_line("lint nope").is_err());
         assert!(run_line("lint ld --device xeon-e5-2620-v2").is_err());
+    }
+
+    #[test]
+    fn chaos_single_cell_reports_recovery() {
+        let out = run_line("chaos fastid --device gtx-980 --profile mixed --seed 7").unwrap();
+        assert!(out.contains("0 silent corruption(s)"), "{out}");
+        assert!(out.contains("0 hazard(s)"), "{out}");
+    }
+
+    #[test]
+    fn chaos_loss_profile_degrades_and_resumes_midway() {
+        let out = run_line("chaos ld --device titan-v --profile loss").unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("resume@"), "{out}");
+        assert!(
+            !out.contains("resume@0"),
+            "loss must resume from a checkpoint, not chunk 0:\n{out}"
+        );
+    }
+
+    #[test]
+    fn chaos_writes_json_and_uses_exit_codes() {
+        let path = std::env::temp_dir().join("snpgpu_test_chaos.json");
+        let line = format!(
+            "chaos mixture --device vega-64 --profile transient --json {}",
+            path.display()
+        );
+        let report =
+            run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
+        assert_eq!(report.exit, exit_codes::OK);
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for key in ["\"cells\"", "\"outcome\"", "\"silent_corruptions\":0"] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn workload_under_device_loss_exits_degraded() {
+        let report = run_full(
+            &Args::parse(
+                "ld --device gtx-980 --fault-profile loss@3"
+                    .split_whitespace()
+                    .map(str::to_string),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.exit, exit_codes::DEGRADED);
+        assert!(report.text.contains("DEVICE LOST"), "{}", report.text);
+        // The degraded run still computes the right answer (CPU fallback).
+        let clean = run_line("ld --device gtx-980").unwrap();
+        let pair = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("strongest pair"))
+                .map(str::to_string)
+        };
+        assert_eq!(pair(&report.text), pair(&clean));
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_profile_and_target() {
+        assert!(run_line("chaos nope").is_err());
+        assert!(run_line("chaos ld --profile gamma-rays").is_err());
     }
 
     #[test]

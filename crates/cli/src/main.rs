@@ -10,14 +10,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match snp_cli::run(&args) {
+    match snp_cli::run_full(&args) {
         Ok(report) => {
-            println!("{report}");
-            ExitCode::SUCCESS
+            println!("{}", report.text);
+            ExitCode::from(report.exit)
         }
         Err(e) => {
-            eprintln!("snpgpu: {e}");
-            ExitCode::FAILURE
+            eprintln!("snpgpu: {}", e.message);
+            ExitCode::from(e.exit)
         }
     }
 }

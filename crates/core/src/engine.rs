@@ -15,14 +15,18 @@
 //!   (Fig. 8) without gigabytes of host RAM.
 
 use snp_bitmat::{BitMatrix, CompareOp, CountMatrix};
+use snp_cpu::CpuEngine;
+use snp_faults::{checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan};
 use snp_gpu_model::config::{Algorithm, ProblemShape};
 use snp_gpu_model::{DeviceSpec, KernelConfig};
-use snp_gpu_sim::host::{BufferId, EventId, Gpu};
+use snp_gpu_sim::host::{BufferId, EventId, Gpu, QueueId, SimError};
 use snp_gpu_sim::timing_cache_stats;
 use snp_trace::{TimeDomain, Tracer};
 
-use crate::autoconf::{compare_op, config_for, MixtureStrategy};
+use crate::autoconf::{compare_op, config_for, word_op_kind, MixtureStrategy};
+use crate::cpu_model::CpuModel;
 use crate::kernel::{execute_gamma, KernelPlan};
+use crate::recovery::{metrics, QueueHealth, RecoveryPolicy, RecoverySummary};
 use crate::tiling::{plan_passes, PlanError, TilePlan};
 
 /// Whether kernels execute functionally or timing-only.
@@ -47,11 +51,11 @@ pub struct EngineOptions {
     /// and fail the run on any ordering hazard. Defaults to on in debug
     /// builds, off in release builds.
     pub verify: bool,
-    /// Test hook: drop the B-upload event from each kernel's wait list,
-    /// seeding the exact missing-dependency hazard the verifier exists to
-    /// catch. Never set this outside tests.
-    #[doc(hidden)]
-    pub fault_drop_kernel_b_dep: bool,
+    /// Retry/checkpoint/fallback tunables. Inert unless a
+    /// [`FaultPlan`](snp_faults::FaultPlan) is armed on the engine via
+    /// [`GpuEngine::with_fault_plan`] — the fault-free fast path never
+    /// consults them.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineOptions {
@@ -61,7 +65,7 @@ impl Default for EngineOptions {
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
             verify: cfg!(debug_assertions),
-            fault_drop_kernel_b_dep: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -79,6 +83,10 @@ pub struct Timing {
     pub transfer_in_ns: u64,
     /// Sum of device→host transfer durations.
     pub transfer_out_ns: u64,
+    /// Virtual time spent on recovery actions: retry backoff and
+    /// CPU-fallback compute after device loss. Zero on the fault-free
+    /// fast path.
+    pub recovery_ns: u64,
     /// Host clock when everything finished — the paper's end-to-end time
     /// (inclusive of initialization and all overlap effects).
     pub end_to_end_ns: u64,
@@ -130,7 +138,13 @@ impl Timing {
                 self.pack_ns
             ));
         }
-        let union = self.pack_ns + self.kernel_ns + link;
+        if self.recovery_ns > busy {
+            return Err(format!(
+                "recovery time {} exceeds post-init window {busy}",
+                self.recovery_ns
+            ));
+        }
+        let union = self.pack_ns + self.kernel_ns + link + self.recovery_ns;
         if busy > union {
             return Err(format!(
                 "post-init window {busy} exceeds the sum of phase times {union}: \
@@ -160,10 +174,15 @@ pub struct RunReport {
     /// [`EngineOptions::verify`] is on; always hazard-free, since hazards
     /// abort the run).
     pub verify_report: Option<snp_verify::Report>,
+    /// What the recovery layer did (None on the fault-free fast path).
+    /// [`RecoverySummary::degraded`] distinguishes a run that finished on
+    /// the CPU after device loss from one that recovered fully on-device.
+    pub recovery: Option<RecoverySummary>,
 }
 
 /// Errors from an engine run.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// Pass planning failed.
     Plan(PlanError),
@@ -201,6 +220,23 @@ impl From<snp_gpu_sim::SimError> for EngineError {
     }
 }
 
+impl EngineError {
+    /// The injected device fault at the root of this error, if any —
+    /// the end of the `source()` chain.
+    pub fn device_fault(&self) -> Option<&snp_faults::DeviceFault> {
+        match self {
+            EngineError::Device(SimError::DeviceFault(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Whether this error is a command-stream ordering hazard from the
+    /// race detector.
+    pub fn is_hazard(&self) -> bool {
+        matches!(self, EngineError::Device(SimError::Hazard(_)))
+    }
+}
+
 /// Converts host rows `lo..hi` of a 64-bit-packed matrix into the device's
 /// little-endian 32-bit word stream (two device words per host word).
 pub fn device_words(m: &BitMatrix<u64>, lo: usize, hi: usize) -> Vec<u32> {
@@ -231,6 +267,7 @@ pub struct GpuEngine {
     spec: DeviceSpec,
     options: EngineOptions,
     tracer: Tracer,
+    faults: Option<FaultPlan>,
 }
 
 impl GpuEngine {
@@ -240,6 +277,7 @@ impl GpuEngine {
             spec,
             options: EngineOptions::default(),
             tracer: Tracer::disabled(),
+            faults: None,
         }
     }
 
@@ -247,6 +285,21 @@ impl GpuEngine {
     pub fn with_options(mut self, options: EngineOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Arms deterministic fault injection: every run consults a fresh clone
+    /// of `plan` (so repeated runs replay identical fault sequences) and
+    /// routes through the recovering pipeline — sequential, checksum-
+    /// verified, chunk-checkpointed (DESIGN.md §10). Without a plan, runs
+    /// take the pipelined fast path and no recovery machinery executes.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Records every run on `tracer`: a run-level span plus the per-command
@@ -337,6 +390,9 @@ impl GpuEngine {
         plan: &TilePlan,
         algorithm: Algorithm,
     ) -> Result<RunReport, EngineError> {
+        if let Some(fault_plan) = &self.faults {
+            return self.run_plan_recovering(a, b, op, cfg, plan, algorithm, fault_plan.clone());
+        }
         let full = self.options.mode == ExecMode::Full;
         let gpu = Gpu::with_tracer(self.spec.clone(), self.tracer.clone());
         let init_ns = gpu.now_ns();
@@ -447,11 +503,7 @@ impl GpuEngine {
                 let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
                 word_ops += kplan.word_ops;
                 kernel_cycles_ns += kplan.time(&self.spec).total_ns;
-                let mut kdeps = if self.options.fault_drop_kernel_b_dep {
-                    vec![ev_a]
-                } else {
-                    vec![ev_a, ev_b]
-                };
+                let mut kdeps = vec![ev_a, ev_b];
                 if let Some(ev) = last_read_on_slot[slot] {
                     // The C staging buffer must drain before being rewritten.
                     kdeps.push(ev);
@@ -518,6 +570,7 @@ impl GpuEngine {
             kernel_ns,
             transfer_in_ns: sum(&in_events),
             transfer_out_ns: sum(&out_events),
+            recovery_ns: 0,
             end_to_end_ns: gpu.now_ns(),
         };
         debug_assert!(
@@ -574,6 +627,423 @@ impl GpuEngine {
             config: *cfg,
             kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
             verify_report,
+            recovery: None,
+        })
+    }
+
+    /// One enqueue under the bounded-retry policy: transient faults
+    /// (transfer timeout, kernel launch failure) are retried with
+    /// exponential virtual-time backoff charged to the host clock; repeated
+    /// failures trip the per-queue circuit breaker, which quarantines the
+    /// queue and enqueues on a fresh replacement. Non-transient errors
+    /// (device loss, hazards, planning bugs) surface immediately.
+    pub(crate) fn attempt_with_retry<T>(
+        gpu: &Gpu,
+        policy: &RecoveryPolicy,
+        summary: &mut RecoverySummary,
+        health: &mut QueueHealth,
+        queue: &mut QueueId,
+        queue_label: &str,
+        mut f: impl FnMut(QueueId) -> Result<T, SimError>,
+    ) -> Result<T, EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            match f(*queue) {
+                Ok(v) => {
+                    health.ok();
+                    return Ok(v);
+                }
+                Err(SimError::DeviceFault(fault)) if fault.kind.is_transient() => {
+                    if health.fail(policy) {
+                        summary.quarantined_queues += 1;
+                        metrics::QUEUE_QUARANTINED.add(1);
+                        *queue = gpu.create_queue_labeled(queue_label);
+                        *health = QueueHealth::default();
+                    }
+                    if attempt >= policy.max_retries {
+                        return Err(EngineError::Device(SimError::DeviceFault(fault)));
+                    }
+                    let back = policy.backoff_for(attempt);
+                    gpu.advance_host_ns(back);
+                    summary.backoff_ns += back;
+                    metrics::BACKOFF_NS.add(back);
+                    summary.retries += 1;
+                    metrics::RETRIES.add(1);
+                    match fault.kind {
+                        FaultKind::TransferTimeout => summary.retries_timeout += 1,
+                        _ => summary.retries_launch += 1,
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(EngineError::Device(e)),
+            }
+        }
+    }
+
+    /// The fault-tolerant pipeline used when a fault plan is armed
+    /// (DESIGN.md §10). Trades the fast path's software pipelining for
+    /// chunk-sequential execution with bounded retry, checksum-verified
+    /// readback, chunk checkpointing, queue circuit breaking, and — on
+    /// permanent device loss in [`ExecMode::Full`] — CPU fallback for the
+    /// chunks after the last checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn run_plan_recovering(
+        &self,
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+        op: CompareOp,
+        cfg: &KernelConfig,
+        plan: &TilePlan,
+        algorithm: Algorithm,
+        faults: FaultPlan,
+    ) -> Result<RunReport, EngineError> {
+        let full = self.options.mode == ExecMode::Full;
+        let policy = self.options.recovery;
+        let drop_b_dep = faults.profile().drop_kernel_b_dep;
+        let gpu = Gpu::with_tracer(self.spec.clone(), self.tracer.clone());
+        gpu.set_fault_plan(faults);
+        let init_ns = gpu.now_ns();
+        let run_track = self.tracer.track("engine", TimeDomain::Virtual);
+        let run_span = self.tracer.begin_span(
+            run_track,
+            "run",
+            format!("run (recovering): {}", algorithm.name()),
+            0,
+        );
+        let mut q_xfer = gpu.create_queue_labeled("transfer");
+        let mut q_comp = gpu.create_queue_labeled("compute");
+        let mut health_xfer = QueueHealth::default();
+        let mut health_comp = QueueHealth::default();
+        let k = plan.k_words;
+
+        let mk_buf = |words: usize| -> Result<BufferId, EngineError> {
+            Ok(if full {
+                gpu.create_buffer(words)?
+            } else {
+                gpu.create_virtual_buffer(words)?
+            })
+        };
+        let a_buf = mk_buf(plan.a_buffer_words().max(1))?;
+        let b_buf = mk_buf(plan.b_buffer_words().max(1))?;
+        let c_buf = mk_buf(plan.c_buffer_words().max(1))?;
+
+        let mut gamma = if full {
+            Some(CountMatrix::zeros(a.rows(), b.rows()))
+        } else {
+            None
+        };
+        let mut a_stage: Vec<u32> = Vec::new();
+        let mut b_stage: Vec<u32> = Vec::new();
+        let mut c_stage: Vec<u32> = Vec::new();
+        let mut pack_ns = 0u64;
+        let mut kernel_events: Vec<EventId> = Vec::new();
+        let mut in_events: Vec<EventId> = Vec::new();
+        let mut out_events: Vec<EventId> = Vec::new();
+        let mut word_ops: u128 = 0;
+        let mut summary = RecoverySummary::default();
+
+        // The checkpoint structure: chunks in m-major order, each verified
+        // and scattered into `gamma` before the next begins, so the resume
+        // point after a loss is simply the first incomplete index.
+        let chunks: Vec<(usize, usize)> = (0..plan.m_chunks.len())
+            .flat_map(|mi| (0..plan.n_chunks.len()).map(move |ni| (mi, ni)))
+            .collect();
+        summary.total_chunks = chunks.len();
+
+        let mut last_m_uploaded: Option<usize> = None;
+        let mut ev_a: Option<EventId> = None;
+        let mut last_kernel: Option<EventId> = None;
+        let mut lost_at: Option<usize> = None;
+        let mut lost_err: Option<EngineError> = None;
+
+        // Any step that fails with DeviceLoss abandons the device loop
+        // (keeping the checkpointed prefix); any other error aborts.
+        macro_rules! try_or_lose {
+            ($lbl:lifetime, $ci:expr, $res:expr) => {
+                match $res {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if e.device_fault()
+                            .is_some_and(|f| f.kind == FaultKind::DeviceLoss)
+                        {
+                            lost_at = Some($ci);
+                            lost_err = Some(e);
+                            break $lbl;
+                        }
+                        return Err(e);
+                    }
+                }
+            };
+        }
+
+        'chunks: for (ci, &(mi, ni)) in chunks.iter().enumerate() {
+            let mc = &plan.m_chunks[mi];
+            let nc = &plan.n_chunks[ni];
+
+            // A upload, once per m-chunk. The previous kernel may still be
+            // reading the buffer, so the write waits on it.
+            if last_m_uploaded != Some(mi) {
+                let a_bytes = (mc.len() * k * 4) as u64;
+                pack_ns += self.spec.transfer.pack_ns(a_bytes);
+                gpu.host_pack(a_bytes);
+                if full {
+                    device_words_into(a, mc.lo, mc.hi, &mut a_stage);
+                }
+                let adeps: Vec<EventId> = last_kernel.into_iter().collect();
+                let ev = try_or_lose!(
+                    'chunks,
+                    ci,
+                    Self::attempt_with_retry(
+                        &gpu,
+                        &policy,
+                        &mut summary,
+                        &mut health_xfer,
+                        &mut q_xfer,
+                        "transfer",
+                        |q| if full {
+                            gpu.enqueue_write(q, a_buf, 0, &a_stage, &adeps)
+                        } else {
+                            gpu.enqueue_virtual_write(q, a_buf, 0, mc.len() * k, &adeps)
+                        },
+                    )
+                );
+                in_events.push(ev);
+                ev_a = Some(ev);
+                last_m_uploaded = Some(mi);
+            }
+
+            // B upload.
+            let b_bytes = (nc.len() * k * 4) as u64;
+            pack_ns += self.spec.transfer.pack_ns(b_bytes);
+            gpu.host_pack(b_bytes);
+            if full {
+                device_words_into(b, nc.lo, nc.hi, &mut b_stage);
+            }
+            let bdeps: Vec<EventId> = last_kernel.into_iter().collect();
+            let ev_b = try_or_lose!(
+                'chunks,
+                ci,
+                Self::attempt_with_retry(
+                    &gpu,
+                    &policy,
+                    &mut summary,
+                    &mut health_xfer,
+                    &mut q_xfer,
+                    "transfer",
+                    |q| if full {
+                        gpu.enqueue_write(q, b_buf, 0, &b_stage, &bdeps)
+                    } else {
+                        gpu.enqueue_virtual_write(q, b_buf, 0, nc.len() * k, &bdeps)
+                    },
+                )
+            );
+            in_events.push(ev_b);
+
+            // Kernel.
+            let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
+            let mut kdeps = vec![ev_a.expect("A chunk uploaded before its kernels")];
+            if !drop_b_dep {
+                kdeps.push(ev_b);
+            }
+            let (m_len, n_len) = (mc.len(), nc.len());
+            let ev_k = try_or_lose!(
+                'chunks,
+                ci,
+                Self::attempt_with_retry(
+                    &gpu,
+                    &policy,
+                    &mut summary,
+                    &mut health_comp,
+                    &mut q_comp,
+                    "compute",
+                    |q| if full {
+                        gpu.enqueue_kernel(
+                            q,
+                            &kplan.cost(),
+                            &[a_buf, b_buf],
+                            c_buf,
+                            &kdeps,
+                            |reads, out| {
+                                execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k);
+                            },
+                        )
+                    } else {
+                        gpu.enqueue_kernel_timed_on(q, &kplan.cost(), &[a_buf, b_buf], c_buf, &kdeps)
+                    },
+                )
+            );
+            word_ops += kplan.word_ops;
+            kernel_events.push(ev_k);
+            last_kernel = Some(ev_k);
+
+            // Readback, checksum-verified in Full mode: the device-side
+            // checksum sees the uncorrupted buffer, so a mismatch against
+            // the received words pinpoints link corruption and the chunk is
+            // simply re-read. This is the only defense against the
+            // *silent* fault class.
+            let want_words = mc.len() * nc.len();
+            if full {
+                c_stage.resize(want_words, 0);
+                let mut verify_attempts = 0u32;
+                loop {
+                    let ev_r = try_or_lose!(
+                        'chunks,
+                        ci,
+                        Self::attempt_with_retry(
+                            &gpu,
+                            &policy,
+                            &mut summary,
+                            &mut health_xfer,
+                            &mut q_xfer,
+                            "transfer",
+                            |q| gpu.enqueue_read(q, c_buf, 0, &mut c_stage, &[ev_k], true),
+                        )
+                    );
+                    out_events.push(ev_r);
+                    if !policy.checksums {
+                        break;
+                    }
+                    let (dev_sum, ev_s) = try_or_lose!(
+                        'chunks,
+                        ci,
+                        Self::attempt_with_retry(
+                            &gpu,
+                            &policy,
+                            &mut summary,
+                            &mut health_xfer,
+                            &mut q_xfer,
+                            "transfer",
+                            |q| gpu.enqueue_checksum_read(q, c_buf, 0, want_words, &[ev_k]),
+                        )
+                    );
+                    out_events.push(ev_s);
+                    if dev_sum == checksum_words(&c_stage) {
+                        break;
+                    }
+                    summary.corruption_detected += 1;
+                    metrics::CORRUPTION_DETECTED.add(1);
+                    verify_attempts += 1;
+                    if verify_attempts > policy.max_retries {
+                        return Err(EngineError::Device(SimError::DeviceFault(DeviceFault {
+                            kind: FaultKind::ReadCorruption,
+                            op: FaultOp::Read,
+                            command_index: gpu.command_log().commands.len() as u64,
+                        })));
+                    }
+                }
+                let g = gamma.as_mut().expect("full mode");
+                for (ri, row) in c_stage.chunks_exact(nc.len()).enumerate() {
+                    g.row_mut(mc.lo + ri)[nc.lo..nc.hi].copy_from_slice(row);
+                }
+            } else {
+                let ev_r = try_or_lose!(
+                    'chunks,
+                    ci,
+                    Self::attempt_with_retry(
+                        &gpu,
+                        &policy,
+                        &mut summary,
+                        &mut health_xfer,
+                        &mut q_xfer,
+                        "transfer",
+                        |q| gpu.enqueue_virtual_read(q, c_buf, 0, want_words, &[ev_k]),
+                    )
+                );
+                out_events.push(ev_r);
+            }
+            summary.verified_chunks += 1;
+            metrics::CHECKPOINT_CHUNKS.add(1);
+        }
+
+        // Permanent device loss: resume from the last checkpoint on the
+        // CPU engine (Full mode with fallback enabled), or surface the
+        // typed fault. The checkpointed prefix is never recomputed.
+        let mut fallback_ns_total = 0u64;
+        if let Some(ci) = lost_at {
+            summary.device_lost = true;
+            summary.resumed_from_chunk = Some(ci);
+            metrics::DEVICE_LOSS.add(1);
+            if !(policy.cpu_fallback && full) {
+                return Err(lost_err.expect("loss recorded with its error"));
+            }
+            let cpu = CpuEngine::new();
+            let model = CpuModel::ivy_bridge_workstation();
+            let kind = word_op_kind(op);
+            let g = gamma.as_mut().expect("full mode");
+            let mut fallback_ns = 0f64;
+            for &(mi, ni) in &chunks[ci..] {
+                let mc = &plan.m_chunks[mi];
+                let nc = &plan.n_chunks[ni];
+                let sub = cpu.gamma(&a.row_slice(mc.lo, mc.hi), &b.row_slice(nc.lo, nc.hi), op);
+                for r in 0..mc.len() {
+                    g.row_mut(mc.lo + r)[nc.lo..nc.hi].copy_from_slice(&sub.row(r)[..nc.len()]);
+                }
+                fallback_ns += model.time_ns(kind, mc.len(), nc.len(), a.words_per_row());
+                summary.cpu_fallback_chunks += 1;
+                metrics::CPU_FALLBACK_CHUNKS.add(1);
+            }
+            fallback_ns_total = fallback_ns.ceil() as u64;
+            gpu.advance_host_ns(fallback_ns_total);
+        }
+        gpu.finish_all();
+        summary.injected = gpu.fault_stats();
+        summary.stalls_absorbed = summary.injected.queue_stalls;
+
+        let sum = |evs: &[EventId]| -> u64 {
+            evs.iter()
+                .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
+                .sum()
+        };
+        let kernel_ns = sum(&kernel_events);
+        let timing = Timing {
+            init_ns,
+            pack_ns,
+            kernel_ns,
+            transfer_in_ns: sum(&in_events),
+            transfer_out_ns: sum(&out_events),
+            recovery_ns: summary.backoff_ns + fallback_ns_total,
+            end_to_end_ns: gpu.now_ns(),
+        };
+        debug_assert!(
+            timing.validate().is_ok(),
+            "timing reconciliation failed: {} ({timing:?})",
+            timing.validate().unwrap_err()
+        );
+        // Recovered and partial streams must still verify clean: retries
+        // and re-reads may not introduce ordering hazards.
+        let verify_report = if self.options.verify {
+            let report = snp_verify::verify_command_log(&gpu.command_log());
+            if report.has_errors() {
+                return Err(EngineError::Device(snp_gpu_sim::SimError::Hazard(
+                    report.render_text("command stream"),
+                )));
+            }
+            Some(report)
+        } else {
+            None
+        };
+        if self.tracer.is_enabled() {
+            self.tracer.end_span_with(
+                run_span,
+                timing.end_to_end_ns,
+                vec![
+                    ("passes", kernel_events.len().into()),
+                    ("retries", summary.retries.into()),
+                    ("corruption_detected", summary.corruption_detected.into()),
+                    ("device_lost", u64::from(summary.device_lost).into()),
+                    ("device", self.spec.name.as_str().into()),
+                ],
+            );
+        }
+        Ok(RunReport {
+            gamma,
+            timing,
+            word_ops,
+            passes: kernel_events.len(),
+            config: *cfg,
+            kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
+            verify_report,
+            recovery: Some(summary),
         })
     }
 
@@ -789,9 +1259,17 @@ mod tests {
             kernel_ns: 50,
             transfer_in_ns: 20,
             transfer_out_ns: 10,
+            recovery_ns: 0,
             end_to_end_ns: 180,
         };
         good.validate().unwrap();
+        // Recovery time participates in the union bound: idle backoff is
+        // attributable time.
+        let mut recovered = good;
+        recovered.end_to_end_ns = 220;
+        assert!(recovered.validate().is_err(), "40ns unattributed");
+        recovered.recovery_ns = 40;
+        recovered.validate().unwrap();
         // Kernel time cannot exceed the post-init window.
         let mut bad = good;
         bad.kernel_ns = 1_000;
@@ -865,14 +1343,19 @@ mod tests {
             report.render_text("clean stream")
         );
 
-        // Mutation: drop the B-upload edge from each kernel's wait list.
-        // The upload lands on the transfer queue, the kernel on the compute
-        // queue; without the event there is NO path ordering them.
+        // Mutation: drop the B-upload edge from each kernel's wait list,
+        // seeded through the fault plan's engine-fault entry. The upload
+        // lands on the transfer queue, the kernel on the compute queue;
+        // without the event there is NO path ordering them.
         let err = GpuEngine::new(dev)
-            .with_options(EngineOptions {
-                fault_drop_kernel_b_dep: true,
-                ..opts
-            })
+            .with_options(opts)
+            .with_fault_plan(FaultPlan::new(
+                0,
+                snp_faults::FaultProfile {
+                    drop_kernel_b_dep: true,
+                    ..snp_faults::FaultProfile::none()
+                },
+            ))
             .identity_search(&a, &b)
             .unwrap_err();
         match err {

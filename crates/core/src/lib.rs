@@ -35,6 +35,7 @@ pub mod cpu_model;
 pub mod engine;
 pub mod kernel;
 pub mod multi;
+pub mod recovery;
 pub mod streaming;
 pub mod tiling;
 
@@ -46,6 +47,8 @@ pub use engine::{
 };
 pub use kernel::{execute_gamma, group_geometry, tile_program, GroupGeometry, KernelPlan};
 pub use multi::{dgx2_like, MultiGpuEngine, MultiRunReport};
+pub use recovery::{QueueHealth, RecoveryPolicy, RecoverySummary};
+pub use snp_faults::{DeviceFault, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use snp_gpu_model::config::Algorithm;
 pub use streaming::{topk_of_row, Match, TopKReport};
 pub use tiling::{plan_passes, Chunk, PlanError, TilePlan};

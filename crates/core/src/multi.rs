@@ -15,18 +15,24 @@
 //! "distributed-memory computing" concern arises only when `k` is split).
 
 use snp_bitmat::{BitMatrix, CountMatrix};
+use snp_cpu::CpuEngine;
+use snp_faults::{FaultKind, FaultPlan};
 use snp_gpu_model::config::Algorithm;
 use snp_gpu_model::peak::peak;
 use snp_gpu_model::DeviceSpec;
 
-use crate::autoconf::word_op_kind;
+use crate::autoconf::{compare_op, word_op_kind};
 use crate::engine::{EngineError, EngineOptions, GpuEngine, RunReport, Timing};
+use crate::recovery::metrics;
 
 /// A multi-device engine: one [`GpuEngine`] per shard.
 #[derive(Debug, Clone)]
 pub struct MultiGpuEngine {
     devices: Vec<DeviceSpec>,
     options: EngineOptions,
+    /// Optional per-device fault plan (index-aligned with `devices`);
+    /// shorter vectors leave trailing devices fault-free.
+    device_faults: Vec<Option<FaultPlan>>,
 }
 
 /// Report of a sharded run.
@@ -43,6 +49,11 @@ pub struct MultiRunReport {
     pub end_to_end_ns: u64,
     /// Total word-ops across shards.
     pub word_ops: u128,
+    /// Devices that were permanently lost mid-run (their shards were
+    /// re-sharded onto survivors or finished on the CPU).
+    pub lost_devices: Vec<usize>,
+    /// Database rows that had to fail over off a lost device.
+    pub failover_rows: usize,
 }
 
 impl MultiRunReport {
@@ -60,12 +71,23 @@ impl MultiGpuEngine {
         MultiGpuEngine {
             devices,
             options: EngineOptions::default(),
+            device_faults: Vec::new(),
         }
     }
 
     /// Overrides the per-shard engine options.
     pub fn with_options(mut self, options: EngineOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Arms per-device fault plans (index-aligned with the device list; a
+    /// shorter vector leaves the remaining devices fault-free). A device
+    /// whose plan triggers permanent loss has its shard re-sharded onto the
+    /// surviving devices; if every device is lost the run falls back to the
+    /// CPU engine (when the recovery policy allows it).
+    pub fn with_device_faults(mut self, plans: Vec<Option<FaultPlan>>) -> Self {
+        self.device_faults = plans;
         self
     }
 
@@ -106,7 +128,72 @@ impl MultiGpuEngine {
         shards
     }
 
-    /// Runs `algorithm` on `a × bᵀ`, sharding `b` across the devices.
+    /// An empty per-device report used for zero-row and lost shards so
+    /// `per_device` indices always line up with the device list.
+    fn placeholder_report(
+        &self,
+        dev: &DeviceSpec,
+        a: &BitMatrix<u64>,
+        algorithm: Algorithm,
+    ) -> RunReport {
+        RunReport {
+            gamma: None,
+            timing: Timing::default(),
+            word_ops: 0,
+            passes: 0,
+            config: crate::autoconf::config_for(
+                dev,
+                algorithm,
+                snp_gpu_model::config::ProblemShape {
+                    m: a.rows(),
+                    n: 1,
+                    k_words: 2 * a.words_per_row(),
+                },
+            ),
+            kernel_word_ops_per_sec: 0.0,
+            verify_report: None,
+            recovery: None,
+        }
+    }
+
+    /// Runs one shard `b[lo..lo+rows)` on device `dev`, optionally with a
+    /// fault plan armed. Loss must surface here (never CPU-fallback inside
+    /// the shard) so the multi-engine can fail over to other devices first.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard(
+        &self,
+        dev: &DeviceSpec,
+        faults: Option<&FaultPlan>,
+        a: &BitMatrix<u64>,
+        b: &BitMatrix<u64>,
+        lo: usize,
+        rows: usize,
+        algorithm: Algorithm,
+    ) -> Result<RunReport, EngineError> {
+        // Timing-only shards need only the shape, not a copy of the rows.
+        let shard = match self.options.mode {
+            crate::engine::ExecMode::Full => b.row_slice(lo, lo + rows),
+            crate::engine::ExecMode::TimingOnly => {
+                BitMatrix::zeros_padded(rows, b.cols(), b.words_per_row())
+            }
+        };
+        let mut opts = self.options;
+        if faults.is_some() {
+            opts.recovery.cpu_fallback = false;
+        }
+        let mut engine = GpuEngine::new(dev.clone()).with_options(opts);
+        if let Some(plan) = faults {
+            engine = engine.with_fault_plan(plan.clone());
+        }
+        engine.compare(a, &shard, algorithm)
+    }
+
+    /// Runs `algorithm` on `a × bᵀ`, sharding `b` across the devices. A
+    /// device whose fault plan declares permanent loss mid-shard has its
+    /// rows re-sharded proportionally onto the surviving devices; if no
+    /// device survives, the remaining rows run on the CPU engine (full mode
+    /// with `recovery.cpu_fallback` enabled) or the loss surfaces as a
+    /// typed error.
     pub fn compare(
         &self,
         a: &BitMatrix<u64>,
@@ -122,46 +209,90 @@ impl MultiGpuEngine {
         let mut lo = 0usize;
         let mut end_to_end = 0u64;
         let mut word_ops = 0u128;
-        for (dev, &rows) in self.devices.iter().zip(&shard_rows) {
+        let mut lost_devices: Vec<usize> = Vec::new();
+        let mut orphaned: Vec<(usize, usize)> = Vec::new(); // (lo, rows)
+        let mut lost_err: Option<EngineError> = None;
+        for (di, (dev, &rows)) in self.devices.iter().zip(&shard_rows).enumerate() {
             if rows == 0 {
-                // Still record an empty placeholder so indices line up.
-                per_device.push(RunReport {
-                    gamma: None,
-                    timing: Timing::default(),
-                    word_ops: 0,
-                    passes: 0,
-                    config: crate::autoconf::config_for(
-                        dev,
-                        algorithm,
-                        snp_gpu_model::config::ProblemShape {
-                            m: a.rows(),
-                            n: 1,
-                            k_words: 2 * a.words_per_row(),
-                        },
-                    ),
-                    kernel_word_ops_per_sec: 0.0,
-                    verify_report: None,
-                });
+                per_device.push(self.placeholder_report(dev, a, algorithm));
                 continue;
             }
-            // Timing-only shards need only the shape, not a copy of the rows.
-            let shard = match self.options.mode {
-                crate::engine::ExecMode::Full => b.row_slice(lo, lo + rows),
-                crate::engine::ExecMode::TimingOnly => {
-                    BitMatrix::zeros_padded(rows, b.cols(), b.words_per_row())
+            let faults = self.device_faults.get(di).and_then(|p| p.as_ref());
+            match self.run_shard(dev, faults, a, b, lo, rows, algorithm) {
+                Ok(run) => {
+                    if let (Some(g), Some(shard_g)) = (gamma.as_mut(), run.gamma.as_ref()) {
+                        for r in 0..a.rows() {
+                            g.row_mut(r)[lo..lo + rows].copy_from_slice(shard_g.row(r));
+                        }
+                    }
+                    end_to_end = end_to_end.max(run.timing.end_to_end_ns);
+                    word_ops += run.word_ops;
+                    per_device.push(run);
                 }
-            };
-            let engine = GpuEngine::new(dev.clone()).with_options(self.options);
-            let run = engine.compare(a, &shard, algorithm)?;
-            if let (Some(g), Some(shard_g)) = (gamma.as_mut(), run.gamma.as_ref()) {
-                for r in 0..a.rows() {
-                    g.row_mut(r)[lo..lo + rows].copy_from_slice(shard_g.row(r));
+                Err(e)
+                    if e.device_fault()
+                        .is_some_and(|f| f.kind == FaultKind::DeviceLoss) =>
+                {
+                    lost_devices.push(di);
+                    orphaned.push((lo, rows));
+                    lost_err = Some(e);
+                    per_device.push(self.placeholder_report(dev, a, algorithm));
+                }
+                Err(e) => return Err(e),
+            }
+            lo += rows;
+        }
+
+        // Failover: re-shard every orphaned range onto the survivors
+        // (fault-free — a lost device's plan governed its own stream only).
+        let failover_rows: usize = orphaned.iter().map(|&(_, r)| r).sum();
+        if failover_rows > 0 {
+            metrics::FAILOVER_ROWS.add(failover_rows as u64);
+            let survivors: Vec<usize> = (0..self.devices.len())
+                .filter(|i| !lost_devices.contains(i))
+                .collect();
+            if survivors.is_empty() {
+                // Every device is gone: the CPU engine is the last resort.
+                let full = self.options.mode == crate::engine::ExecMode::Full;
+                if !(self.options.recovery.cpu_fallback && full) {
+                    return Err(lost_err.expect("loss recorded with its error"));
+                }
+                let cpu = CpuEngine::new();
+                let op = compare_op(algorithm, self.options.mixture);
+                let g = gamma.as_mut().expect("full mode");
+                for &(olo, orows) in &orphaned {
+                    metrics::CPU_FALLBACK_CHUNKS.add(1);
+                    let sub = cpu.gamma(a, &b.row_slice(olo, olo + orows), op);
+                    for r in 0..a.rows() {
+                        g.row_mut(r)[olo..olo + orows].copy_from_slice(sub.row(r));
+                    }
+                }
+            } else {
+                let sub_engine = MultiGpuEngine::new(
+                    survivors.iter().map(|&i| self.devices[i].clone()).collect(),
+                )
+                .with_options(self.options);
+                for &(olo, orows) in &orphaned {
+                    let splits = sub_engine.shard_rows(orows, algorithm);
+                    let mut slo = olo;
+                    for (si, &srows) in splits.iter().enumerate() {
+                        if srows == 0 {
+                            continue;
+                        }
+                        let dev = &self.devices[survivors[si]];
+                        let run = self.run_shard(dev, None, a, b, slo, srows, algorithm)?;
+                        if let (Some(g), Some(shard_g)) = (gamma.as_mut(), run.gamma.as_ref()) {
+                            for r in 0..a.rows() {
+                                g.row_mut(r)[slo..slo + srows].copy_from_slice(shard_g.row(r));
+                            }
+                        }
+                        // Failover work is serialized after the first wave.
+                        end_to_end = end_to_end.saturating_add(run.timing.end_to_end_ns);
+                        word_ops += run.word_ops;
+                        slo += srows;
+                    }
                 }
             }
-            end_to_end = end_to_end.max(run.timing.end_to_end_ns);
-            word_ops += run.word_ops;
-            per_device.push(run);
-            lo += rows;
         }
         let _ = word_op_kind; // module-level linkage for doc references
         Ok(MultiRunReport {
@@ -170,6 +301,8 @@ impl MultiGpuEngine {
             shard_rows,
             end_to_end_ns: end_to_end,
             word_ops,
+            lost_devices,
+            failover_rows,
         })
     }
 

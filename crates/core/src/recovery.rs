@@ -1,0 +1,247 @@
+//! Recovery policy and accounting for fault-tolerant engine runs.
+//!
+//! The engine's normal pipeline (engine.rs, streaming.rs) assumes a healthy
+//! device. When a [`FaultPlan`](snp_faults::FaultPlan) is armed on the
+//! engine, runs route through a *recovering* variant built from the pieces
+//! in this module (DESIGN.md §10):
+//!
+//! * bounded per-chunk **retry** with exponential virtual-time backoff;
+//! * chunk-granular **checkpointing** — a chunk whose readback checksum
+//!   verified is never recomputed, so device loss resumes from the last
+//!   verified chunk, not from chunk zero;
+//! * per-queue **circuit breaking** — a queue that keeps failing is
+//!   quarantined and replaced;
+//! * **CPU fallback** — on permanent device loss the remaining chunks run
+//!   on the BLIS-style CPU engine and the run completes degraded.
+//!
+//! Every action is counted both in the returned [`RecoverySummary`] and on
+//! process-wide `engine.recovery.*` metrics (snp-trace), and the summary
+//! reconciles against the fault plan's injection stats — the invariant the
+//! property tests in `tests/fault_recovery_properties.rs` pin down: no
+//! injected fault goes unaccounted, and none is silently absorbed into
+//! wrong results.
+
+use snp_faults::FaultStats;
+use snp_trace::LazyCounter;
+
+/// Process-wide recovery counters (snp-trace `LazyCounter`s: one relaxed
+/// atomic add when touched, nothing otherwise).
+pub mod metrics {
+    use super::LazyCounter;
+
+    /// Commands retried after a transient fault.
+    pub static RETRIES: LazyCounter = LazyCounter::new("engine.recovery.retries");
+    /// Virtual nanoseconds spent in retry backoff.
+    pub static BACKOFF_NS: LazyCounter = LazyCounter::new("engine.recovery.backoff_ns");
+    /// Corrupted readbacks caught by checksum comparison.
+    pub static CORRUPTION_DETECTED: LazyCounter =
+        LazyCounter::new("engine.recovery.corruption_detected");
+    /// Chunks whose results were checkpointed (checksum-verified).
+    pub static CHECKPOINT_CHUNKS: LazyCounter =
+        LazyCounter::new("engine.recovery.checkpoint_chunks");
+    /// Chunks completed on the CPU after device loss.
+    pub static CPU_FALLBACK_CHUNKS: LazyCounter =
+        LazyCounter::new("engine.recovery.cpu_fallback_chunks");
+    /// Permanent device losses observed.
+    pub static DEVICE_LOSS: LazyCounter = LazyCounter::new("engine.recovery.device_loss");
+    /// Queues quarantined by the circuit breaker.
+    pub static QUEUE_QUARANTINED: LazyCounter =
+        LazyCounter::new("engine.recovery.queue_quarantined");
+    /// Rows re-sharded onto surviving devices by multi-device failover.
+    pub static FAILOVER_ROWS: LazyCounter = LazyCounter::new("engine.recovery.failover_rows");
+}
+
+/// Tunables for the recovery layer. `Copy`, embedded in `EngineOptions`,
+/// and inert unless a fault plan is armed on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries per command before the fault is surfaced (total attempts =
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// Base backoff charged to the host clock before retry `i`
+    /// (doubling each attempt: `backoff_ns << i`, capped at 20 doublings).
+    pub backoff_ns: u64,
+    /// Consecutive failures on one queue before the circuit breaker
+    /// quarantines it and enqueues on a fresh replacement queue.
+    pub quarantine_after: u32,
+    /// Verify every functional readback against a device-side checksum and
+    /// re-read on mismatch (the only defense against silent corruption).
+    pub checksums: bool,
+    /// Fall back to the CPU engine for remaining chunks on permanent
+    /// device loss (otherwise loss surfaces as a typed error).
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_ns: 10_000,
+            quarantine_after: 3,
+            checksums: true,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before retry attempt `attempt` (0-based): exponential,
+    /// overflow-safe.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        self.backoff_ns.saturating_mul(1u64 << attempt.min(20))
+    }
+}
+
+/// What the recovery layer did during one run. Attached to run reports as
+/// `Option<RecoverySummary>` — `None` means the run never armed a fault
+/// plan and took the zero-overhead fast path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Commands retried after transient faults (timeouts + launch fails).
+    pub retries: u64,
+    /// Retries caused by transfer timeouts.
+    pub retries_timeout: u64,
+    /// Retries caused by kernel launch failures.
+    pub retries_launch: u64,
+    /// Corrupted readbacks detected by checksum and re-read.
+    pub corruption_detected: u64,
+    /// Virtual nanoseconds the host spent backing off before retries.
+    pub backoff_ns: u64,
+    /// Queue stalls absorbed into the timeline (no action needed).
+    pub stalls_absorbed: u64,
+    /// Chunks whose results were checksum-verified and checkpointed.
+    pub verified_chunks: usize,
+    /// Total chunks in the run (GPU + fallback).
+    pub total_chunks: usize,
+    /// Queues quarantined by the circuit breaker.
+    pub quarantined_queues: u64,
+    /// Whether the device was permanently lost mid-run.
+    pub device_lost: bool,
+    /// On device loss: the first chunk index that had to be re-run
+    /// (everything before it was checkpointed). `None` when no loss.
+    pub resumed_from_chunk: Option<usize>,
+    /// Chunks completed on the CPU engine after device loss.
+    pub cpu_fallback_chunks: usize,
+    /// Faults the armed plan actually injected, for reconciliation.
+    pub injected: FaultStats,
+}
+
+impl RecoverySummary {
+    /// Whether the run completed in degraded mode (device lost, finished
+    /// on the CPU) rather than fully on the device.
+    pub fn degraded(&self) -> bool {
+        self.device_lost && self.cpu_fallback_chunks > 0
+    }
+
+    /// One-line human rendering for CLI reports.
+    pub fn render_line(&self) -> String {
+        format!(
+            "recovery: {} retries ({} timeout, {} launch), {} corruptions detected, \
+             {} stalls absorbed, {}/{} chunks verified, {} quarantined queue(s){}",
+            self.retries,
+            self.retries_timeout,
+            self.retries_launch,
+            self.corruption_detected,
+            self.stalls_absorbed,
+            self.verified_chunks,
+            self.total_chunks,
+            self.quarantined_queues,
+            if self.device_lost {
+                format!(
+                    ", DEVICE LOST (resumed from chunk {}, {} chunk(s) on CPU)",
+                    self.resumed_from_chunk.unwrap_or(0),
+                    self.cpu_fallback_chunks
+                )
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Per-queue consecutive-failure tracker — the circuit breaker. A success
+/// resets the count; `quarantine_after` consecutive failures trip it.
+#[derive(Debug, Clone, Default)]
+pub struct QueueHealth {
+    consecutive_failures: u32,
+    quarantined: bool,
+}
+
+impl QueueHealth {
+    /// Records a successful command.
+    pub fn ok(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed command; returns `true` if this failure trips the
+    /// breaker (the caller should quarantine and replace the queue).
+    pub fn fail(&mut self, policy: &RecoveryPolicy) -> bool {
+        self.consecutive_failures += 1;
+        if !self.quarantined && self.consecutive_failures >= policy.quarantine_after {
+            self.quarantined = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RecoveryPolicy {
+            backoff_ns: 100,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_for(0), 100);
+        assert_eq!(p.backoff_for(1), 200);
+        assert_eq!(p.backoff_for(3), 800);
+        // Deep attempts cap the shift instead of overflowing.
+        assert_eq!(p.backoff_for(63), 100 * (1 << 20));
+        let huge = RecoveryPolicy {
+            backoff_ns: u64::MAX / 2,
+            ..Default::default()
+        };
+        assert_eq!(huge.backoff_for(10), u64::MAX);
+    }
+
+    #[test]
+    fn circuit_breaker_trips_once_after_threshold() {
+        let p = RecoveryPolicy {
+            quarantine_after: 3,
+            ..Default::default()
+        };
+        let mut h = QueueHealth::default();
+        assert!(!h.fail(&p));
+        assert!(!h.fail(&p));
+        h.ok(); // success resets the streak
+        assert!(!h.fail(&p));
+        assert!(!h.fail(&p));
+        assert!(h.fail(&p), "third consecutive failure trips");
+        assert!(h.is_quarantined());
+        assert!(!h.fail(&p), "a tripped breaker does not re-trip");
+    }
+
+    #[test]
+    fn summary_degraded_and_render() {
+        let mut s = RecoverySummary::default();
+        assert!(!s.degraded());
+        s.device_lost = true;
+        assert!(!s.degraded(), "loss without fallback is not degraded");
+        s.cpu_fallback_chunks = 2;
+        s.resumed_from_chunk = Some(5);
+        assert!(s.degraded());
+        let line = s.render_line();
+        assert!(
+            line.contains("DEVICE LOST") && line.contains("chunk 5"),
+            "{line}"
+        );
+    }
+}

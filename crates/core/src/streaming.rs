@@ -11,14 +11,18 @@
 //! alternative readback strategy, and an ablation quantifies what it saves.
 
 use snp_bitmat::{BitMatrix, CompareOp};
+use snp_cpu::CpuEngine;
+use snp_faults::{checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan};
 use snp_gpu_model::config::{Algorithm, ProblemShape};
 use snp_gpu_model::InstrClass;
-use snp_gpu_sim::host::{EventId, Gpu, KernelCost};
+use snp_gpu_sim::host::{EventId, Gpu, KernelCost, SimError};
 use snp_gpu_sim::macro_engine::Traffic;
 
-use crate::autoconf::config_for;
+use crate::autoconf::{config_for, word_op_kind};
+use crate::cpu_model::CpuModel;
 use crate::engine::{device_words, EngineError, ExecMode, GpuEngine, Timing};
 use crate::kernel::{execute_gamma, KernelPlan};
+use crate::recovery::{metrics, QueueHealth, RecoverySummary};
 use crate::tiling::plan_passes;
 
 /// One retained candidate.
@@ -44,6 +48,8 @@ pub struct TopKReport {
     pub full_readback_bytes: u64,
     /// Bytes the top-k readback actually moved.
     pub topk_readback_bytes: u64,
+    /// What the recovery layer did (None on the fault-free fast path).
+    pub recovery: Option<RecoverySummary>,
 }
 
 /// Merges `candidates` into the per-query top-k lists.
@@ -86,6 +92,9 @@ impl GpuEngine {
             database.words_per_row(),
             "packed width mismatch"
         );
+        if let Some(fault_plan) = self.fault_plan() {
+            return self.identity_search_topk_recovering(queries, database, k, fault_plan.clone());
+        }
         let full = self.options().mode == ExecMode::Full;
         let op = CompareOp::Xor;
         let k_words = 2 * queries.words_per_row();
@@ -277,11 +286,323 @@ impl GpuEngine {
                 kernel_ns: sum(&kernel_events),
                 transfer_in_ns: sum(&in_events),
                 transfer_out_ns: sum(&out_events),
+                recovery_ns: 0,
                 end_to_end_ns,
             },
             passes: kernel_events.len(),
             full_readback_bytes: (m * n * 4) as u64,
             topk_readback_bytes: topk_bytes,
+            recovery: None,
+        })
+    }
+
+    /// The fault-tolerant streaming search used when a fault plan is armed:
+    /// chunk-sequential with bounded retry, checksum-verified winner
+    /// readbacks, per-chunk checkpointing of the merged top-k lists, and
+    /// CPU fallback for the database chunks after the last checkpoint on
+    /// permanent device loss (DESIGN.md §10). Requires [`ExecMode::Full`].
+    #[allow(clippy::too_many_lines)]
+    fn identity_search_topk_recovering(
+        &self,
+        queries: &BitMatrix<u64>,
+        database: &BitMatrix<u64>,
+        k: usize,
+        faults: FaultPlan,
+    ) -> Result<TopKReport, EngineError> {
+        let policy = self.options().recovery;
+        let op = CompareOp::Xor;
+        let k_words = 2 * queries.words_per_row();
+        let (m, n) = (queries.rows(), database.rows());
+        let cfg = config_for(
+            self.spec(),
+            Algorithm::IdentitySearch,
+            ProblemShape { m, n, k_words },
+        );
+        let plan = plan_passes(self.spec(), &cfg, m, n, k_words, false)?;
+
+        let gpu = Gpu::with_tracer(self.spec().clone(), self.tracer().clone());
+        gpu.set_fault_plan(faults);
+        let init_ns = gpu.now_ns();
+        let mut q_xfer = gpu.create_queue_labeled("transfer");
+        let mut q_comp = gpu.create_queue_labeled("compute");
+        let mut health_xfer = QueueHealth::default();
+        let mut health_comp = QueueHealth::default();
+
+        let a_buf = gpu.create_buffer(plan.a_buffer_words().max(1))?;
+        let b_buf = gpu.create_buffer(plan.b_buffer_words().max(1))?;
+        let c_buf = gpu.create_buffer(plan.c_buffer_words().max(1))?;
+        let t_buf = gpu.create_buffer((m * k * 2).max(1))?;
+
+        let mut matches: Vec<Vec<Match>> = vec![Vec::new(); m];
+        let mut pack_ns = 0u64;
+        let mut kernel_events: Vec<EventId> = Vec::new();
+        let mut in_events: Vec<EventId> = Vec::new();
+        let mut out_events: Vec<EventId> = Vec::new();
+        let mut topk_bytes = 0u64;
+        let mut summary = RecoverySummary {
+            total_chunks: plan.n_chunks.len(),
+            ..Default::default()
+        };
+        let mut lost_at: Option<usize> = None;
+        let mut lost_err: Option<EngineError> = None;
+
+        macro_rules! try_or_lose {
+            ($lbl:lifetime, $ci:expr, $res:expr) => {
+                match $res {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if e.device_fault()
+                            .is_some_and(|f| f.kind == FaultKind::DeviceLoss)
+                        {
+                            lost_at = Some($ci);
+                            lost_err = Some(e);
+                            break $lbl;
+                        }
+                        return Err(e);
+                    }
+                }
+            };
+        }
+
+        let mut ev_a: Option<EventId> = None;
+        'chunks: for (ci, nc) in plan.n_chunks.iter().enumerate() {
+            // Queries upload once, before the first chunk (retried here so a
+            // loss during upload still checkpoints as "resumed from 0").
+            if ev_a.is_none() {
+                let a_bytes = (m * k_words * 4) as u64;
+                pack_ns += self.spec().transfer.pack_ns(a_bytes);
+                gpu.host_pack(a_bytes);
+                let data = device_words(queries, 0, m);
+                let ev = try_or_lose!(
+                    'chunks,
+                    ci,
+                    Self::attempt_with_retry(
+                        &gpu,
+                        &policy,
+                        &mut summary,
+                        &mut health_xfer,
+                        &mut q_xfer,
+                        "transfer",
+                        |q| gpu.enqueue_write(q, a_buf, 0, &data, &[]),
+                    )
+                );
+                in_events.push(ev);
+                ev_a = Some(ev);
+            }
+            let ev_a = ev_a.expect("queries uploaded");
+
+            let b_bytes = (nc.len() * k_words * 4) as u64;
+            pack_ns += self.spec().transfer.pack_ns(b_bytes);
+            gpu.host_pack(b_bytes);
+            let data = device_words(database, nc.lo, nc.hi);
+            let bdeps: Vec<EventId> = kernel_events.last().copied().into_iter().collect();
+            let ev_b = try_or_lose!(
+                'chunks,
+                ci,
+                Self::attempt_with_retry(
+                    &gpu,
+                    &policy,
+                    &mut summary,
+                    &mut health_xfer,
+                    &mut q_xfer,
+                    "transfer",
+                    |q| gpu.enqueue_write(q, b_buf, 0, &data, &bdeps),
+                )
+            );
+            in_events.push(ev_b);
+
+            let kplan = KernelPlan::new(self.spec(), &cfg, op, m, nc.len(), k_words);
+            let kdeps = [ev_a, ev_b];
+            let (m_len, n_len) = (m, nc.len());
+            let ev_k = try_or_lose!(
+                'chunks,
+                ci,
+                Self::attempt_with_retry(
+                    &gpu,
+                    &policy,
+                    &mut summary,
+                    &mut health_comp,
+                    &mut q_comp,
+                    "compute",
+                    |q| gpu.enqueue_kernel(
+                        q,
+                        &kplan.cost(),
+                        &[a_buf, b_buf],
+                        c_buf,
+                        &kdeps,
+                        |reads, out| {
+                            execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k_words);
+                        },
+                    ),
+                )
+            );
+            kernel_events.push(ev_k);
+
+            let gamma_bytes = (m * nc.len() * 4) as u64;
+            let reduce_cost = reduction_cost(self.spec(), m, nc.len(), gamma_bytes);
+            let (base, n_len_r) = (nc.lo, nc.len());
+            let ev_r = try_or_lose!(
+                'chunks,
+                ci,
+                Self::attempt_with_retry(
+                    &gpu,
+                    &policy,
+                    &mut summary,
+                    &mut health_comp,
+                    &mut q_comp,
+                    "compute",
+                    |q| gpu.enqueue_kernel(
+                        q,
+                        &reduce_cost,
+                        &[c_buf],
+                        t_buf,
+                        &[ev_k],
+                        move |reads, out| {
+                            let gamma = reads[0];
+                            for qi in 0..m {
+                                let row = &gamma[qi * n_len_r..(qi + 1) * n_len_r];
+                                let top = topk_of_row(row, base, k);
+                                for (slot_idx, mt) in top.iter().enumerate() {
+                                    out[(qi * k + slot_idx) * 2] = mt.profile as u32;
+                                    out[(qi * k + slot_idx) * 2 + 1] = mt.differences;
+                                }
+                                for s in top.len()..k {
+                                    out[(qi * k + s) * 2] = u32::MAX;
+                                    out[(qi * k + s) * 2 + 1] = u32::MAX;
+                                }
+                            }
+                        },
+                    ),
+                )
+            );
+            kernel_events.push(ev_r);
+
+            // Winner readback, checksum-verified and re-read on mismatch.
+            let t_bytes = (m * k * 8) as u64;
+            topk_bytes += t_bytes;
+            let mut out = vec![0u32; m * k * 2];
+            let mut verify_attempts = 0u32;
+            loop {
+                let ev_out = try_or_lose!(
+                    'chunks,
+                    ci,
+                    Self::attempt_with_retry(
+                        &gpu,
+                        &policy,
+                        &mut summary,
+                        &mut health_xfer,
+                        &mut q_xfer,
+                        "transfer",
+                        |q| gpu.enqueue_read(q, t_buf, 0, &mut out, &[ev_r], true),
+                    )
+                );
+                out_events.push(ev_out);
+                if !policy.checksums {
+                    break;
+                }
+                let (dev_sum, ev_s) = try_or_lose!(
+                    'chunks,
+                    ci,
+                    Self::attempt_with_retry(
+                        &gpu,
+                        &policy,
+                        &mut summary,
+                        &mut health_xfer,
+                        &mut q_xfer,
+                        "transfer",
+                        |q| gpu.enqueue_checksum_read(q, t_buf, 0, m * k * 2, &[ev_r]),
+                    )
+                );
+                out_events.push(ev_s);
+                if dev_sum == checksum_words(&out) {
+                    break;
+                }
+                summary.corruption_detected += 1;
+                metrics::CORRUPTION_DETECTED.add(1);
+                verify_attempts += 1;
+                if verify_attempts > policy.max_retries {
+                    return Err(EngineError::Device(SimError::DeviceFault(DeviceFault {
+                        kind: FaultKind::ReadCorruption,
+                        op: FaultOp::Read,
+                        command_index: gpu.command_log().commands.len() as u64,
+                    })));
+                }
+            }
+            for (qi, list) in matches.iter_mut().enumerate() {
+                let cands = (0..k).filter_map(|s| {
+                    let idx = out[(qi * k + s) * 2];
+                    let d = out[(qi * k + s) * 2 + 1];
+                    (idx != u32::MAX).then_some(Match {
+                        profile: idx as usize,
+                        differences: d,
+                    })
+                });
+                merge_topk(list, cands, k);
+            }
+            summary.verified_chunks += 1;
+            metrics::CHECKPOINT_CHUNKS.add(1);
+        }
+
+        // Device loss: finish the remaining database chunks on the CPU,
+        // merging into the checkpointed top-k lists.
+        let mut fallback_ns_total = 0u64;
+        if let Some(ci) = lost_at {
+            summary.device_lost = true;
+            summary.resumed_from_chunk = Some(ci);
+            metrics::DEVICE_LOSS.add(1);
+            if !policy.cpu_fallback {
+                return Err(lost_err.expect("loss recorded with its error"));
+            }
+            let cpu = CpuEngine::new();
+            let model = CpuModel::ivy_bridge_workstation();
+            let kind = word_op_kind(op);
+            let mut fallback_ns = 0f64;
+            for nc in &plan.n_chunks[ci..] {
+                let sub = cpu.gamma(queries, &database.row_slice(nc.lo, nc.hi), op);
+                for (qi, list) in matches.iter_mut().enumerate() {
+                    merge_topk(list, topk_of_row(sub.row(qi), nc.lo, k), k);
+                }
+                fallback_ns += model.time_ns(kind, m, nc.len(), queries.words_per_row());
+                summary.cpu_fallback_chunks += 1;
+                metrics::CPU_FALLBACK_CHUNKS.add(1);
+            }
+            fallback_ns_total = fallback_ns.ceil() as u64;
+            gpu.advance_host_ns(fallback_ns_total);
+        }
+        gpu.finish_all();
+        summary.injected = gpu.fault_stats();
+        summary.stalls_absorbed = summary.injected.queue_stalls;
+
+        let sum = |evs: &[EventId]| -> u64 {
+            evs.iter()
+                .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
+                .sum()
+        };
+        let timing = Timing {
+            init_ns,
+            pack_ns,
+            kernel_ns: sum(&kernel_events),
+            transfer_in_ns: sum(&in_events),
+            transfer_out_ns: sum(&out_events),
+            recovery_ns: summary.backoff_ns + fallback_ns_total,
+            end_to_end_ns: gpu.now_ns(),
+        };
+        // Recovered streams must still verify clean.
+        if self.options().verify {
+            let report = snp_verify::verify_command_log(&gpu.command_log());
+            if report.has_errors() {
+                return Err(EngineError::Device(SimError::Hazard(
+                    report.render_text("streaming command stream"),
+                )));
+            }
+        }
+        Ok(TopKReport {
+            matches: Some(matches),
+            timing,
+            passes: kernel_events.len(),
+            full_readback_bytes: (m * n * 4) as u64,
+            topk_readback_bytes: topk_bytes,
+            recovery: Some(summary),
         })
     }
 }

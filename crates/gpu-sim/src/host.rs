@@ -19,6 +19,7 @@
 
 use std::cell::RefCell;
 
+use snp_faults::{checksum_words, DeviceFault, FaultOp, FaultPlan, FaultStats, Injection};
 use snp_gpu_model::DeviceSpec;
 use snp_trace::{ArgValue, TimeDomain, Tracer, TrackId};
 
@@ -113,6 +114,7 @@ pub enum KernelCost {
 
 /// Errors surfaced by the host API.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A single allocation exceeded `CL_DEVICE_MAX_MEM_ALLOC_SIZE`.
     AllocTooLarge {
@@ -140,6 +142,9 @@ pub enum SimError {
     /// The command-DAG verifier found an ordering hazard in the enqueued
     /// stream (see `snp-verify`); the payload is the rendered report.
     Hazard(String),
+    /// An injected device fault (see `snp-faults`): the runtime rejected or
+    /// aborted the command. The payload is the `source()` of this error.
+    DeviceFault(DeviceFault),
 }
 
 impl std::fmt::Display for SimError {
@@ -164,11 +169,19 @@ impl std::fmt::Display for SimError {
             SimError::OutOfRange { what } => write!(f, "{what} out of buffer range"),
             SimError::DetailedBudget => write!(f, "detailed simulation budget exceeded"),
             SimError::Hazard(report) => write!(f, "command-stream hazard: {report}"),
+            SimError::DeviceFault(fault) => write!(f, "device fault: {fault}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::DeviceFault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 /// What kind of command a [`CommandRecord`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,6 +283,26 @@ struct State {
     link_free_ns: u64,
     compute_free_ns: u64,
     detailed_cycle_budget: u64,
+    faults: Option<FaultPlan>,
+}
+
+/// What an injected fault does to the command currently being enqueued
+/// (beyond the hard-failure case, which returns early).
+enum FaultEffect {
+    None,
+    /// Occupy the command's resource `ns` longer.
+    Stall(u64),
+    /// Deliver the readback with one bit flipped, chosen from the entropy.
+    Corrupt(u64),
+}
+
+impl FaultEffect {
+    fn stall_ns(&self) -> u64 {
+        match self {
+            FaultEffect::Stall(ns) => *ns,
+            _ => 0,
+        }
+    }
 }
 
 /// A simulated GPU device instance.
@@ -320,6 +353,7 @@ impl Gpu {
                 link_free_ns: init,
                 compute_free_ns: init,
                 detailed_cycle_budget: 500_000_000,
+                faults: None,
             }),
         }
     }
@@ -349,6 +383,50 @@ impl Gpu {
     /// bit matrices into transfer buffers) happening on the CPU.
     pub fn advance_host_ns(&self, ns: u64) {
         self.state.borrow_mut().host_now_ns += ns;
+    }
+
+    /// Arms deterministic fault injection: every subsequent host command
+    /// consults `plan` and may time out, launch-fail, stall, deliver
+    /// corrupted readback words, or fail permanently (device loss). With no
+    /// plan armed (the default) the device is perfectly healthy and no
+    /// fault bookkeeping runs.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.state.borrow_mut().faults = Some(plan);
+    }
+
+    /// Counts of faults injected so far (all zero when no plan is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state
+            .borrow()
+            .faults
+            .as_ref()
+            .map(|f| f.stats())
+            .unwrap_or_default()
+    }
+
+    /// Whether the armed fault plan has permanently lost this device.
+    pub fn device_lost(&self) -> bool {
+        self.state
+            .borrow()
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.device_lost())
+    }
+
+    /// Consults the armed fault plan (if any) for the command being
+    /// enqueued. Hard failures return the typed error; stalls and
+    /// corruption come back as effects the enqueue path applies.
+    fn consult_faults(
+        st: &mut State,
+        op: FaultOp,
+        corruptible: bool,
+    ) -> Result<FaultEffect, SimError> {
+        match st.faults.as_mut().and_then(|f| f.next(op, corruptible)) {
+            None => Ok(FaultEffect::None),
+            Some(Injection::Fail(fault)) => Err(SimError::DeviceFault(fault)),
+            Some(Injection::Stall { ns }) => Ok(FaultEffect::Stall(ns)),
+            Some(Injection::CorruptBit { entropy }) => Ok(FaultEffect::Corrupt(entropy)),
+        }
     }
 
     /// Convenience: charges host packing time for `bytes` at the modeled
@@ -561,6 +639,7 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Write, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -568,7 +647,7 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = data.len() as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes);
+        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
         st.link_free_ns = end;
         {
             let slot = st
@@ -621,6 +700,7 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Read, true)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -628,7 +708,7 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = out.len() as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes);
+        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
         st.link_free_ns = end;
         {
             let slot = st
@@ -644,6 +724,16 @@ impl Gpu {
                 .get(word_offset..word_offset + out.len())
                 .ok_or(SimError::OutOfRange { what: "read" })?;
             out.copy_from_slice(range);
+        }
+        if let FaultEffect::Corrupt(entropy) = effect {
+            // The ECC-escape: the host receives the words with one bit
+            // flipped, with no error from the runtime. Detection is the
+            // caller's job (checksum the readback — DESIGN.md §10.3).
+            if !out.is_empty() {
+                let w = (entropy as usize) % out.len();
+                let b = (entropy >> 32) % 32;
+                out[w] ^= 1u32 << b;
+            }
         }
         if blocking {
             st.host_now_ns = st.host_now_ns.max(end);
@@ -668,6 +758,74 @@ impl Gpu {
         ))
     }
 
+    /// Enqueues a device-side checksum of `words` words of `buf` at
+    /// `word_offset`, read back as a blocking 8-byte transfer.
+    ///
+    /// Models a tiny reduction kernel folded into the readback path: the
+    /// FNV-1a checksum is computed over the *device* copy of the words, so
+    /// comparing it against [`checksum_words`](snp_faults::checksum_words)
+    /// of the host copy detects corruption introduced on the link
+    /// (DESIGN.md §10.3). The transfer is so short it is modeled as immune
+    /// to bit corruption itself, but it still times out or stalls like any
+    /// other read. Virtual buffers have no words to sum and are rejected.
+    pub fn enqueue_checksum_read(
+        &self,
+        queue: QueueId,
+        buf: BufferId,
+        word_offset: usize,
+        words: usize,
+        deps: &[EventId],
+    ) -> Result<(u64, EventId), SimError> {
+        let mut st = self.state.borrow_mut();
+        if queue.0 >= st.queues.len() {
+            return Err(SimError::InvalidHandle("queue"));
+        }
+        let effect = Self::consult_faults(&mut st, FaultOp::Read, false)?;
+        let dep_end = Self::resolve_deps(&st, deps)?;
+        let queued = st.host_now_ns;
+        let start = queued
+            .max(st.queues[queue.0].last_end_ns)
+            .max(st.link_free_ns)
+            .max(dep_end);
+        let end = start + self.spec.transfer.transfer_ns(8) + effect.stall_ns();
+        st.link_free_ns = end;
+        let sum = {
+            let slot = st
+                .buffers
+                .get(buf.0)
+                .and_then(|s| s.as_ref())
+                .ok_or(SimError::InvalidHandle("buffer"))?;
+            let storage = slot
+                .words
+                .as_ref()
+                .ok_or(SimError::InvalidHandle("buffer (virtual)"))?;
+            let range = storage
+                .get(word_offset..word_offset + words)
+                .ok_or(SimError::OutOfRange { what: "checksum" })?;
+            checksum_words(range)
+        };
+        st.host_now_ns = st.host_now_ns.max(end);
+        let ev = self.record_event(
+            &mut st,
+            queue,
+            start,
+            end,
+            queued,
+            "transfer",
+            "checksum",
+            || vec![("bytes", 8u64.into())],
+            CommandKind::Read,
+            deps,
+            vec![BufferRange {
+                buffer: buf,
+                lo: word_offset,
+                hi: word_offset + words,
+            }],
+            Vec::new(),
+        );
+        Ok((sum, ev))
+    }
+
     /// Enqueues a kernel that reads `reads` buffers and updates `write`.
     ///
     /// The functional body `func` receives the read buffers as word slices
@@ -690,6 +848,7 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Kernel, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -715,7 +874,7 @@ impl Gpu {
                 kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
             }
         };
-        let end = start + kt.total_ns.ceil() as u64;
+        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
 
         // Functional execution: temporarily move the write buffer out so the
@@ -789,13 +948,14 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Write, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
             .max(st.queues[queue.0].last_end_ns)
             .max(st.link_free_ns)
             .max(dep_end);
-        let end = start + self.spec.transfer.transfer_ns(bytes);
+        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -831,6 +991,7 @@ impl Gpu {
             return Err(SimError::InvalidHandle("queue"));
         }
         Self::check_virtual_range(&st, buf, word_offset, words)?;
+        let effect = Self::consult_faults(&mut st, FaultOp::Write, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -838,7 +999,7 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = words as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes);
+        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -876,6 +1037,7 @@ impl Gpu {
             return Err(SimError::InvalidHandle("queue"));
         }
         Self::check_virtual_range(&st, buf, word_offset, words)?;
+        let effect = Self::consult_faults(&mut st, FaultOp::Read, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -883,7 +1045,7 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = words as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes);
+        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -936,6 +1098,7 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Kernel, false)?;
         let dep_end = Self::resolve_deps(&st, deps)?;
         let queued = st.host_now_ns;
         let start = queued
@@ -960,7 +1123,7 @@ impl Gpu {
                 kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
             }
         };
-        let end = start + kt.total_ns.ceil() as u64;
+        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -994,6 +1157,7 @@ impl Gpu {
         if queue.0 >= st.queues.len() {
             return Err(SimError::InvalidHandle("queue"));
         }
+        let effect = Self::consult_faults(&mut st, FaultOp::Kernel, false)?;
         for r in reads {
             if *r == write {
                 return Err(SimError::InvalidHandle("buffer (aliases kernel output)"));
@@ -1040,7 +1204,7 @@ impl Gpu {
                 kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
             }
         };
-        let end = start + kt.total_ns.ceil() as u64;
+        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -1518,5 +1682,138 @@ mod tests {
         assert!(r(b0, 0, 8).overlaps(&r(b0, 4, 12)));
         assert!(!r(b0, 0, 8).overlaps(&r(b0, 8, 16)), "half-open ranges");
         assert!(!r(b0, 0, 8).overlaps(&r(b1, 0, 8)), "distinct buffers");
+    }
+
+    #[test]
+    fn injected_timeout_surfaces_as_typed_fault_with_source() {
+        use snp_faults::{FaultKind, FaultPlan};
+        let g = small_gpu();
+        g.set_fault_plan(FaultPlan::quiet().inject_at(0, FaultKind::TransferTimeout));
+        let q = g.create_queue();
+        let b = g.create_buffer(8).unwrap();
+        let err = g.enqueue_write(q, b, 0, &[1, 2, 3, 4], &[]).unwrap_err();
+        let fault = match &err {
+            SimError::DeviceFault(f) => *f,
+            other => panic!("expected DeviceFault, got {other:?}"),
+        };
+        assert_eq!(fault.kind, FaultKind::TransferTimeout);
+        // source() chains down to the DeviceFault.
+        let src = std::error::Error::source(&err).expect("source");
+        assert!(src.to_string().contains("transfer_timeout"));
+        assert_eq!(g.fault_stats().transfer_timeouts, 1);
+        // The retry succeeds (one-shot explicit injection) and the failed
+        // command never entered the log.
+        let _ = g.enqueue_write(q, b, 0, &[1, 2, 3, 4], &[]).unwrap();
+        assert_eq!(g.command_log().commands.len(), 1);
+    }
+
+    #[test]
+    fn injected_corruption_flips_one_bit_and_checksum_catches_it() {
+        use snp_faults::{checksum_words, FaultKind, FaultPlan};
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(64).unwrap();
+        let data: Vec<u32> = (0..64).map(|i| i * 77 + 5).collect();
+        let w = g.enqueue_write(q, b, 0, &data, &[]).unwrap();
+        // Corrupt the next functional readback (command index 1 of the plan
+        // armed *after* the write).
+        g.set_fault_plan(FaultPlan::quiet().inject_at(0, FaultKind::ReadCorruption));
+        let mut out = vec![0u32; 64];
+        let _ = g.enqueue_read(q, b, 0, &mut out, &[w], true).unwrap();
+        assert_ne!(out, data, "a bit must have flipped");
+        let diff: u32 = out
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flips");
+        // The device-side checksum sees the uncorrupted buffer, so it
+        // disagrees with the host copy — detection works.
+        let (device_sum, _ev) = g.enqueue_checksum_read(q, b, 0, 64, &[]).unwrap();
+        assert_eq!(device_sum, checksum_words(&data));
+        assert_ne!(device_sum, checksum_words(&out));
+        // A clean re-read matches the checksum again.
+        let mut again = vec![0u32; 64];
+        let _ = g.enqueue_read(q, b, 0, &mut again, &[], true).unwrap();
+        assert_eq!(checksum_words(&again), device_sum);
+    }
+
+    #[test]
+    fn injected_stall_extends_command_duration() {
+        use snp_faults::{FaultKind, FaultPlan, FaultProfile};
+        let clean = small_gpu();
+        let q0 = clean.create_queue();
+        let b0 = clean.create_buffer(1024).unwrap();
+        let e0 = clean.enqueue_write(q0, b0, 0, &[0u32; 1024], &[]).unwrap();
+        let base = clean.event_profile(e0).unwrap().duration_ns();
+
+        let g = small_gpu();
+        g.set_fault_plan(
+            FaultPlan::new(
+                3,
+                FaultProfile {
+                    stall_ns: 123_456,
+                    ..FaultProfile::none()
+                },
+            )
+            .inject_at(0, FaultKind::QueueStall),
+        );
+        let q = g.create_queue();
+        let b = g.create_buffer(1024).unwrap();
+        let ev = g.enqueue_write(q, b, 0, &[0u32; 1024], &[]).unwrap();
+        let stalled = g.event_profile(ev).unwrap().duration_ns();
+        assert_eq!(stalled, base + 123_456);
+        assert_eq!(g.fault_stats().queue_stalls, 1);
+    }
+
+    #[test]
+    fn device_loss_fails_every_subsequent_command() {
+        use snp_faults::{FaultKind, FaultPlan, FaultProfile};
+        let g = small_gpu();
+        g.set_fault_plan(FaultPlan::new(
+            0,
+            FaultProfile {
+                device_loss_at: Some(2),
+                ..FaultProfile::none()
+            },
+        ));
+        let q = g.create_queue();
+        let b = g.create_buffer(8).unwrap();
+        let _ = g.enqueue_write(q, b, 0, &[1], &[]).unwrap();
+        let _ = g.enqueue_write(q, b, 1, &[2], &[]).unwrap();
+        for _ in 0..3 {
+            let err = g.enqueue_write(q, b, 2, &[3], &[]).unwrap_err();
+            match err {
+                SimError::DeviceFault(f) => assert_eq!(f.kind, FaultKind::DeviceLoss),
+                other => panic!("expected loss, got {other:?}"),
+            }
+        }
+        assert!(g.device_lost());
+        assert_eq!(g.fault_stats().device_losses, 1);
+        // Reads fail too; the buffer contents written before the loss are
+        // still reachable only through recovery (CPU fallback), not here.
+        let mut out = [0u32; 1];
+        assert!(g.enqueue_read(q, b, 0, &mut out, &[], true).is_err());
+    }
+
+    #[test]
+    fn checksum_read_is_timed_and_logged() {
+        let g = small_gpu();
+        let q = g.create_queue();
+        let b = g.create_buffer(16).unwrap();
+        let w = g.enqueue_write(q, b, 0, &[7u32; 16], &[]).unwrap();
+        let before = g.now_ns();
+        let (sum, ev) = g.enqueue_checksum_read(q, b, 0, 16, &[w]).unwrap();
+        assert_eq!(sum, snp_faults::checksum_words(&[7u32; 16]));
+        assert!(g.now_ns() > before, "blocking checksum advances the host");
+        let p = g.event_profile(ev).unwrap();
+        assert!(p.duration_ns() >= g.spec().transfer.transfer_latency_ns);
+        let log = g.command_log();
+        let rec = log.commands.last().unwrap();
+        assert_eq!(rec.kind, CommandKind::Read);
+        assert_eq!(rec.reads.len(), 1);
+        // Virtual buffers have nothing to sum.
+        let v = g.create_virtual_buffer(16).unwrap();
+        assert!(g.enqueue_checksum_read(q, v, 0, 16, &[]).is_err());
     }
 }

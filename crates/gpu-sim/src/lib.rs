@@ -59,3 +59,6 @@ pub use macro_engine::{
     memoized_core_cycles, reset_timing_cache, timing_cache_stats, timing_key, KernelTime,
     TimingCacheStats, Traffic,
 };
+pub use snp_faults::{
+    checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan, FaultProfile, FaultStats, Injection,
+};

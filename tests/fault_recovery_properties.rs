@@ -1,0 +1,346 @@
+//! Fault-injection/recovery properties (DESIGN.md §10): for ANY seeded
+//! fault plan the engine either returns results bit-identical to the
+//! fault-free oracle or a typed `DeviceFault` error — never silently
+//! corrupted data — and the recovery counters reconcile exactly with the
+//! number of injected faults. Deterministic companions pin down the
+//! checkpoint-resume guarantee (device loss resumes from the last verified
+//! chunk, not from chunk zero) and multi-device failover.
+
+use proptest::prelude::*;
+use snp_repro::bitmat::{reference_gamma, BitMatrix, CompareOp};
+use snp_repro::core::{
+    dgx2_like, Algorithm, EngineOptions, ExecMode, FaultKind, FaultPlan, FaultProfile, GpuEngine,
+    MixtureStrategy, MultiGpuEngine, RecoveryPolicy,
+};
+use snp_repro::gpu_model::{devices, DeviceSpec};
+
+fn matrix(rows: usize, cols: usize, salt: usize) -> BitMatrix<u64> {
+    BitMatrix::from_fn(rows, cols, |r, c| {
+        let h = (r * 1_000_003 + c + salt * 7_777_777).wrapping_mul(0x9E37_79B9);
+        (h >> 13).is_multiple_of(4)
+    })
+}
+
+/// A memory-shrunk device so a few-thousand-row database needs several
+/// passes — checkpointing and loss-resume are only meaningful multi-chunk.
+fn tiny_device() -> DeviceSpec {
+    let mut d = devices::gtx_980();
+    d.name = "GTX tiny".into();
+    d.max_alloc_bytes = 1 << 17;
+    d.global_mem_bytes = 1 << 20;
+    d
+}
+
+fn full_options() -> EngineOptions {
+    EngineOptions {
+        mode: ExecMode::Full,
+        double_buffer: true,
+        mixture: MixtureStrategy::Direct,
+        verify: true,
+        recovery: RecoveryPolicy::default(),
+    }
+}
+
+/// Fault-free oracle for the same problem.
+fn oracle(
+    a: &BitMatrix<u64>,
+    b: &BitMatrix<u64>,
+    alg: Algorithm,
+) -> snp_repro::bitmat::CountMatrix {
+    GpuEngine::new(tiny_device())
+        .with_options(full_options())
+        .compare(a, b, alg)
+        .expect("fault-free run")
+        .gamma
+        .expect("full mode")
+}
+
+#[test]
+fn transient_faults_recover_bit_identical() {
+    let a = matrix(8, 320, 1);
+    let b = matrix(9000, 320, 2);
+    let want = oracle(&a, &b, Algorithm::IdentitySearch);
+    let run = GpuEngine::new(tiny_device())
+        .with_options(full_options())
+        .with_fault_plan(FaultPlan::new(42, FaultProfile::transient()))
+        .compare(&a, &b, Algorithm::IdentitySearch)
+        .expect("transient faults must be retried to success");
+    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None);
+    let rec = run.recovery.expect("recovering path taken");
+    assert!(
+        rec.retries > 0,
+        "seed 42 must inject at least one transient"
+    );
+    assert_eq!(rec.retries_timeout, rec.injected.transfer_timeouts);
+    assert_eq!(rec.retries_launch, rec.injected.kernel_launch_fails);
+    assert!(!rec.device_lost);
+    assert!(run.timing.recovery_ns > 0, "backoff must be charged");
+}
+
+#[test]
+fn corruption_is_detected_and_reread() {
+    let a = matrix(8, 320, 3);
+    let b = matrix(9000, 320, 4);
+    let want = oracle(&a, &b, Algorithm::IdentitySearch);
+    // Find a seed that actually corrupts a readback (deterministic scan).
+    let mut hit = false;
+    for seed in 0..20u64 {
+        let run = GpuEngine::new(tiny_device())
+            .with_options(full_options())
+            .with_fault_plan(FaultPlan::new(seed, FaultProfile::corruption()))
+            .compare(&a, &b, Algorithm::IdentitySearch)
+            .expect("corruption must be detected and recovered");
+        assert_eq!(
+            run.gamma.unwrap().first_mismatch(&want),
+            None,
+            "seed {seed}: checksum verification let corrupted data through"
+        );
+        let rec = run.recovery.unwrap();
+        assert_eq!(rec.corruption_detected, rec.injected.read_corruptions);
+        hit |= rec.corruption_detected > 0;
+    }
+    assert!(hit, "no seed in 0..20 injected a corruption at 15% rate");
+}
+
+#[test]
+fn stalls_are_absorbed_without_retry() {
+    let a = matrix(8, 320, 5);
+    let b = matrix(9000, 320, 6);
+    let want = oracle(&a, &b, Algorithm::IdentitySearch);
+    let run = GpuEngine::new(tiny_device())
+        .with_options(full_options())
+        .with_fault_plan(FaultPlan::new(7, FaultProfile::stall()))
+        .compare(&a, &b, Algorithm::IdentitySearch)
+        .expect("stalls never fail a run");
+    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None);
+    let rec = run.recovery.unwrap();
+    assert!(rec.injected.queue_stalls > 0, "seed 7 must stall something");
+    assert_eq!(rec.stalls_absorbed, rec.injected.queue_stalls);
+    assert_eq!(rec.retries, 0, "stalls must not trigger retries");
+}
+
+#[test]
+fn device_loss_resumes_from_checkpoint_not_chunk_zero() {
+    let a = matrix(8, 320, 7);
+    let b = matrix(9000, 320, 8);
+    let want = oracle(&a, &b, Algorithm::IdentitySearch);
+    // Kill the device mid-stream: late enough that at least one chunk has
+    // been checkpointed, early enough that work remains.
+    let profile = FaultProfile {
+        device_loss_at: Some(12),
+        ..FaultProfile::none()
+    };
+    let run = GpuEngine::new(tiny_device())
+        .with_options(full_options())
+        .with_fault_plan(FaultPlan::new(0, profile))
+        .compare(&a, &b, Algorithm::IdentitySearch)
+        .expect("loss with CPU fallback must complete degraded");
+    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None);
+    let rec = run.recovery.unwrap();
+    assert!(rec.device_lost && rec.degraded());
+    let resumed = rec.resumed_from_chunk.expect("loss records resume point");
+    assert!(
+        resumed >= 1,
+        "loss at command 12 must land after the first checkpoint, got chunk {resumed}"
+    );
+    assert_eq!(
+        rec.verified_chunks, resumed,
+        "every chunk before the resume point was checkpointed"
+    );
+    assert_eq!(
+        rec.cpu_fallback_chunks,
+        rec.total_chunks - resumed,
+        "exactly the unverified suffix reruns on the CPU"
+    );
+}
+
+#[test]
+fn device_loss_without_fallback_is_a_typed_error_with_source_chain() {
+    let a = matrix(8, 320, 9);
+    let b = matrix(9000, 320, 10);
+    let mut opts = full_options();
+    opts.recovery.cpu_fallback = false;
+    let err = GpuEngine::new(tiny_device())
+        .with_options(opts)
+        .with_fault_plan(FaultPlan::new(
+            0,
+            FaultProfile {
+                device_loss_at: Some(3),
+                ..FaultProfile::none()
+            },
+        ))
+        .compare(&a, &b, Algorithm::IdentitySearch)
+        .expect_err("loss without fallback must surface");
+    let fault = err.device_fault().expect("typed DeviceFault");
+    assert_eq!(fault.kind, FaultKind::DeviceLoss);
+    // The full source chain: EngineError -> SimError -> DeviceFault.
+    use std::error::Error;
+    let sim = err.source().expect("EngineError::source");
+    let leaf = sim.source().expect("SimError::source");
+    assert!(leaf.to_string().contains("device_loss"), "{leaf}");
+}
+
+#[test]
+fn multi_device_failover_reshards_onto_survivors() {
+    let a = matrix(8, 320, 11);
+    let b = matrix(300, 320, 12);
+    let want = reference_gamma(&a, &b, CompareOp::Xor);
+    let lossy = FaultPlan::new(
+        0,
+        FaultProfile {
+            device_loss_at: Some(3),
+            ..FaultProfile::none()
+        },
+    );
+    let multi = MultiGpuEngine::new(vec![devices::titan_v(), devices::titan_v()])
+        .with_options(full_options())
+        .with_device_faults(vec![Some(lossy), None])
+        .identity_search(&a, &b)
+        .expect("survivor absorbs the lost shard");
+    assert_eq!(multi.gamma.unwrap().first_mismatch(&want), None);
+    assert_eq!(multi.lost_devices, vec![0]);
+    assert_eq!(
+        multi.failover_rows, multi.shard_rows[0],
+        "the whole lost shard fails over"
+    );
+}
+
+#[test]
+fn all_devices_lost_falls_back_to_cpu() {
+    let a = matrix(8, 320, 13);
+    let b = matrix(200, 320, 14);
+    let want = reference_gamma(&a, &b, CompareOp::Xor);
+    let lossy = || {
+        Some(FaultPlan::new(
+            0,
+            FaultProfile {
+                device_loss_at: Some(3),
+                ..FaultProfile::none()
+            },
+        ))
+    };
+    let multi = MultiGpuEngine::new(vec![devices::titan_v(), devices::titan_v()])
+        .with_options(full_options())
+        .with_device_faults(vec![lossy(), lossy()])
+        .identity_search(&a, &b)
+        .expect("CPU engine is the last resort");
+    assert_eq!(multi.gamma.unwrap().first_mismatch(&want), None);
+    assert_eq!(multi.lost_devices, vec![0, 1]);
+    assert_eq!(multi.failover_rows, b.rows());
+}
+
+#[test]
+fn streaming_topk_recovers_to_oracle_lists() {
+    let q = matrix(4, 320, 15);
+    let db = matrix(1200, 320, 16);
+    let clean = GpuEngine::new(tiny_device())
+        .with_options(full_options())
+        .identity_search_topk(&q, &db, 5)
+        .unwrap()
+        .matches
+        .unwrap();
+    for profile in [FaultProfile::transient(), FaultProfile::mixed()] {
+        let run = GpuEngine::new(tiny_device())
+            .with_options(full_options())
+            .with_fault_plan(FaultPlan::new(9, profile))
+            .identity_search_topk(&q, &db, 5)
+            .expect("recovering top-k must complete");
+        assert_eq!(run.matches.unwrap(), clean, "top-k lists diverged");
+        assert!(run.recovery.is_some());
+    }
+}
+
+#[test]
+fn dgx2_sized_group_survives_one_loss() {
+    let a = matrix(4, 256, 17);
+    let b = matrix(640, 256, 18);
+    let want = reference_gamma(&a, &b, CompareOp::Xor);
+    let mut plans: Vec<Option<FaultPlan>> = vec![None; 16];
+    plans[5] = Some(FaultPlan::new(
+        0,
+        FaultProfile {
+            device_loss_at: Some(2),
+            ..FaultProfile::none()
+        },
+    ));
+    let multi = MultiGpuEngine::new(dgx2_like())
+        .with_options(full_options())
+        .with_device_faults(plans)
+        .identity_search(&a, &b)
+        .expect("15 survivors absorb one lost shard");
+    assert_eq!(multi.gamma.unwrap().first_mismatch(&want), None);
+    assert_eq!(multi.lost_devices, vec![5]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE tentpole property: any seeded plan, any profile, any algorithm —
+    /// the engine returns bit-identical results or a typed fault. Silent
+    /// corruption is unrepresentable.
+    #[test]
+    fn seeded_plans_never_silently_corrupt(
+        seed in any::<u64>(),
+        profile_idx in 0usize..5,
+        alg_idx in 0usize..3,
+    ) {
+        let profile = [
+            FaultProfile::transient(),
+            FaultProfile::corruption(),
+            FaultProfile::stall(),
+            FaultProfile::loss(),
+            FaultProfile::mixed(),
+        ][profile_idx];
+        let alg = [
+            Algorithm::LinkageDisequilibrium,
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+        ][alg_idx];
+        let a = matrix(6, 256, 19);
+        let b = matrix(900, 256, 20);
+        let want = oracle(&a, &b, alg);
+        let run = GpuEngine::new(tiny_device())
+            .with_options(full_options())
+            .with_fault_plan(FaultPlan::new(seed, profile))
+            .compare(&a, &b, alg);
+        match run {
+            Ok(report) => {
+                prop_assert_eq!(
+                    report.gamma.unwrap().first_mismatch(&want),
+                    None,
+                    "silent corruption at seed {}",
+                    seed
+                );
+                let rec = report.recovery.expect("recovering path");
+                // Counter reconciliation: every injected fault is accounted.
+                prop_assert_eq!(rec.retries_timeout, rec.injected.transfer_timeouts);
+                prop_assert_eq!(rec.retries_launch, rec.injected.kernel_launch_fails);
+                prop_assert_eq!(rec.corruption_detected, rec.injected.read_corruptions);
+                prop_assert_eq!(rec.stalls_absorbed, rec.injected.queue_stalls);
+                prop_assert_eq!(rec.retries, rec.retries_timeout + rec.retries_launch);
+                prop_assert_eq!(rec.device_lost, rec.injected.device_losses > 0);
+            }
+            Err(e) => {
+                prop_assert!(
+                    e.device_fault().is_some(),
+                    "non-typed failure at seed {}: {}", seed, e
+                );
+            }
+        }
+    }
+
+    /// Timing stays internally consistent under fault recovery: the phase
+    /// sums (including `recovery_ns`) must still bracket end-to-end time.
+    #[test]
+    fn recovered_timing_validates(seed in any::<u64>()) {
+        let a = matrix(6, 256, 21);
+        let b = matrix(900, 256, 22);
+        let run = GpuEngine::new(tiny_device())
+            .with_options(full_options())
+            .with_fault_plan(FaultPlan::new(seed, FaultProfile::mixed()))
+            .compare(&a, &b, Algorithm::IdentitySearch);
+        if let Ok(report) = run {
+            prop_assert!(report.timing.validate().is_ok(), "{:?}", report.timing.validate());
+        }
+    }
+}

@@ -118,10 +118,14 @@ proptest! {
         prop_assert!(!report.has_blocking(), "{}", report.render_text("engine"));
 
         let faulted = GpuEngine::new(dev)
-            .with_options(EngineOptions {
-                fault_drop_kernel_b_dep: true,
-                ..options
-            })
+            .with_options(options)
+            .with_fault_plan(snp_repro::core::FaultPlan::new(
+                0,
+                snp_repro::core::FaultProfile {
+                    drop_kernel_b_dep: true,
+                    ..snp_repro::core::FaultProfile::none()
+                },
+            ))
             .run_shape(shape, alg);
         match faulted {
             Err(snp_repro::core::EngineError::Device(SimError::Hazard(text))) => {
