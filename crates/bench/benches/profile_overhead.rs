@@ -1,0 +1,63 @@
+//! Ablation for the per-kernel profiler: collecting hardware-counter
+//! profiles must cost nothing when off and only a per-launch clone when on.
+//!
+//! * `profile/off` — a timing-only engine run with `profile: false` (the
+//!   default; launches still compute their counters internally, nothing is
+//!   retained).
+//! * `profile/on` — the identical run with `profile: true`: the host keeps
+//!   a `KernelProfile` per launch and the report clones them out.
+//! * `profile/cell_derivation` — the full `profile_cell` analysis of one
+//!   algorithm × device cell: engine run + static counters + detailed-sim
+//!   drift leg + roofline, i.e. the unit of work behind one `snpgpu
+//!   profile` cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snp_core::{profile_cell, Algorithm, EngineOptions, ExecMode, GpuEngine};
+use snp_gpu_model::config::ProblemShape;
+use snp_gpu_model::devices;
+use std::hint::black_box;
+
+fn engine(profile: bool) -> GpuEngine {
+    GpuEngine::new(devices::titan_v()).with_options(EngineOptions {
+        mode: ExecMode::TimingOnly,
+        profile,
+        ..Default::default()
+    })
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile");
+    let shape = ProblemShape {
+        m: 2048,
+        n: 2048,
+        k_words: 256,
+    };
+    g.bench_function("off", |bench| {
+        let e = engine(false);
+        bench.iter(|| {
+            black_box(
+                e.run_shape(black_box(shape), Algorithm::IdentitySearch)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("on", |bench| {
+        let e = engine(true);
+        bench.iter(|| {
+            black_box(
+                e.run_shape(black_box(shape), Algorithm::IdentitySearch)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("cell_derivation", |bench| {
+        let dev = devices::titan_v();
+        bench.iter(|| {
+            black_box(profile_cell(&dev, Algorithm::IdentitySearch, black_box(shape)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

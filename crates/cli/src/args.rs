@@ -1,6 +1,11 @@
-//! Minimal `--key value` argument parsing (no external dependencies).
+//! Minimal `--key value` argument parsing (no external dependencies), plus
+//! the algorithm × device matrix selection shared by the matrix-shaped
+//! subcommands (`trace`, `lint`, `chaos`, `profile`).
 
 use std::collections::BTreeMap;
+
+use snp_gpu_model::config::Algorithm;
+use snp_gpu_model::{devices, DeviceSpec};
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -89,12 +94,84 @@ impl Args {
     }
 }
 
+/// Expands an algorithm selection token — `ld`, `fastid` (alias `search`),
+/// `mixture`, or `all` — into the algorithms it names, in matrix order.
+pub fn algorithm_selection(sel: &str) -> Result<Vec<Algorithm>, ArgError> {
+    Ok(match sel {
+        "ld" => vec![Algorithm::LinkageDisequilibrium],
+        "fastid" | "search" => vec![Algorithm::IdentitySearch],
+        "mixture" => vec![Algorithm::MixtureAnalysis],
+        "all" => vec![
+            Algorithm::LinkageDisequilibrium,
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+        ],
+        other => {
+            return Err(ArgError(format!(
+                "unknown algorithm selection {other:?} (ld|fastid|mixture|all)"
+            )))
+        }
+    })
+}
+
+/// Expands a device selection token — `all` or one device name — into GPU
+/// specs, rejecting names that resolve to non-GPU devices.
+pub fn device_selection(sel: &str) -> Result<Vec<DeviceSpec>, ArgError> {
+    match sel {
+        "all" => Ok(devices::all_gpus()),
+        name => Ok(vec![devices::by_name(name)
+            .filter(|d| d.shared_mem_bytes > 0)
+            .ok_or_else(|| {
+                ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)"))
+            })?]),
+    }
+}
+
+/// The short stable algorithm label used in selections, reports, and JSON
+/// (`ld`, `fastid`, `mixture`).
+pub fn algorithm_slug(alg: Algorithm) -> &'static str {
+    match alg {
+        Algorithm::LinkageDisequilibrium => "ld",
+        Algorithm::IdentitySearch => "fastid",
+        Algorithm::MixtureAnalysis => "mixture",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn toks(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn algorithm_selection_expands_matrix_axis() {
+        assert_eq!(
+            algorithm_selection("ld").unwrap(),
+            vec![Algorithm::LinkageDisequilibrium]
+        );
+        assert_eq!(
+            algorithm_selection("search").unwrap(),
+            algorithm_selection("fastid").unwrap()
+        );
+        let all = algorithm_selection("all").unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(algorithm_selection("bogus").is_err());
+        for alg in all {
+            assert_eq!(algorithm_selection(algorithm_slug(alg)).unwrap(), vec![alg]);
+        }
+    }
+
+    #[test]
+    fn device_selection_expands_gpus_only() {
+        let all = device_selection("all").unwrap();
+        assert!(all.len() >= 3);
+        assert!(all.iter().all(|d| d.shared_mem_bytes > 0));
+        let one = device_selection("Titan V").unwrap();
+        assert_eq!(one.len(), 1);
+        assert!(device_selection("Xeon E5-2620 v2").is_err(), "CPU rejected");
+        assert!(device_selection("nope").is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use snp_popgen::ld_stats::ld_pair;
 use snp_popgen::population::{generate_panel, PanelConfig};
 use snp_popgen::IdentityScorer;
 
-use crate::args::{ArgError, Args};
+use crate::args::{algorithm_selection, algorithm_slug, device_selection, ArgError, Args};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -54,6 +54,12 @@ COMMANDS:
                                device x fault-profile cell on a memory-shrunk
                                device and compare against the fault-free
                                oracle; any silent corruption fails (exit 5)
+  profile   [ld|fastid|mixture|all] [--device D|all --m N --n N --snps N --json F]
+                               per-kernel hardware counters (FU utilization,
+                               bank-conflict replays, achieved bandwidth,
+                               occupancy), roofline classification, and the
+                               three-way analytical/macro/detailed drift
+                               table; any out-of-tolerance cell fails
 
 Fault profiles: none, transient, corruption, stall, loss, mixed.
 ld / search / mixture also accept --fault-profile P [--fault-seed S] to run
@@ -168,6 +174,7 @@ pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
         Some("trace") => simple(cmd_trace(args)),
         Some("lint") => simple(cmd_lint(args)),
         Some("chaos") => cmd_chaos(args),
+        Some("profile") => cmd_profile(args),
         Some(other) => Err(CliError {
             message: format!("unknown command {other:?}\n\n{USAGE}"),
             exit: exit_codes::ERROR,
@@ -707,29 +714,8 @@ fn lint_shape(dev: &DeviceSpec) -> ProblemShape {
 
 fn cmd_lint(args: &Args) -> Result<String, ArgError> {
     args.expect_only(&["device", "json"])?;
-    let algorithms = match args.positional.as_deref().unwrap_or("all") {
-        "ld" => vec![Algorithm::LinkageDisequilibrium],
-        "fastid" | "search" => vec![Algorithm::IdentitySearch],
-        "mixture" => vec![Algorithm::MixtureAnalysis],
-        "all" => vec![
-            Algorithm::LinkageDisequilibrium,
-            Algorithm::IdentitySearch,
-            Algorithm::MixtureAnalysis,
-        ],
-        other => {
-            return Err(ArgError(format!(
-                "unknown lint target {other:?} (ld|fastid|mixture|all)"
-            )))
-        }
-    };
-    let devs = match args.get_or("device", "all") {
-        "all" => devices::all_gpus(),
-        name => vec![devices::by_name(name)
-            .filter(|d| d.shared_mem_bytes > 0)
-            .ok_or_else(|| {
-                ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)"))
-            })?],
-    };
+    let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
+    let devs = device_selection(args.get_or("device", "all"))?;
 
     let mut out = String::new();
     let mut json_targets = Vec::new();
@@ -813,30 +799,8 @@ fn chaos_matrix(rows: usize, cols: usize, salt: u64) -> BitMatrix<u64> {
 
 fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
     args.expect_only(&["device", "profile", "seed", "json"])?;
-    let algorithms = match args.positional.as_deref().unwrap_or("all") {
-        "ld" => vec![Algorithm::LinkageDisequilibrium],
-        "fastid" | "search" => vec![Algorithm::IdentitySearch],
-        "mixture" => vec![Algorithm::MixtureAnalysis],
-        "all" => vec![
-            Algorithm::LinkageDisequilibrium,
-            Algorithm::IdentitySearch,
-            Algorithm::MixtureAnalysis,
-        ],
-        other => {
-            return Err(ArgError(format!(
-                "unknown chaos target {other:?} (ld|fastid|mixture|all)"
-            ))
-            .into())
-        }
-    };
-    let devs = match args.get_or("device", "all") {
-        "all" => devices::all_gpus(),
-        name => vec![devices::by_name(name)
-            .filter(|d| d.shared_mem_bytes > 0)
-            .ok_or_else(|| {
-                ArgError(format!("unknown GPU device {name:?} (try: snpgpu devices)"))
-            })?],
-    };
+    let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
+    let devs = device_selection(args.get_or("device", "all"))?;
     let profiles: Vec<&str> = match args.get_or("profile", "all") {
         "all" => FaultProfile::NAMES.to_vec(),
         name => {
@@ -856,12 +820,6 @@ fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
     // enough that the shrunken devices plan several passes.
     let a = chaos_matrix(8, 320, seed);
     let b = chaos_matrix(9000, 320, seed + 1);
-    let short_name = |alg: Algorithm| match alg {
-        Algorithm::LinkageDisequilibrium => "ld",
-        Algorithm::IdentitySearch => "fastid",
-        Algorithm::MixtureAnalysis => "mixture",
-    };
-
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -938,14 +896,14 @@ fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
                     out,
                     "{:<24} {:<10} {:<11} {:<18} {outcome}",
                     cdev.name,
-                    short_name(alg),
+                    algorithm_slug(alg),
                     profile,
                     detail
                 );
                 rows.push(format!(
                     "{{\"device\":\"{}\",\"algorithm\":\"{}\",\"profile\":\"{}\",\"seed\":{cell_seed},\"outcome\":\"{}\",\"detail\":\"{}\"}}",
                     snp_verify::json_escape(&cdev.name),
-                    snp_verify::json_escape(short_name(alg)),
+                    snp_verify::json_escape(algorithm_slug(alg)),
                     snp_verify::json_escape(profile),
                     snp_verify::json_escape(outcome),
                     snp_verify::json_escape(&detail),
@@ -980,6 +938,202 @@ fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
             "no silent corruption: every fault was retried, detected, absorbed, or surfaced typed"
         );
     }
+    Ok(CmdReport { text: out, exit })
+}
+
+/// JSON for one profiled cell (hand-rolled, like the lint/chaos reports).
+fn profile_cell_json(c: &snp_core::CellProfile) -> String {
+    let fu: Vec<String> = c
+        .fu
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"pipeline\":\"{}\",\"busy_cycles\":{},\"detailed_busy_cycles\":{},\"utilization\":{:.6}}}",
+                snp_verify::json_escape(&f.pipeline),
+                f.busy_cycles,
+                f.detailed_busy_cycles,
+                f.utilization
+            )
+        })
+        .collect();
+    let instrs: Vec<String> = c
+        .instrs_by_class
+        .iter()
+        .map(|(class, n)| {
+            format!(
+                "{{\"class\":\"{}\",\"count\":{n}}}",
+                snp_verify::json_escape(class)
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"device\":\"{device}\",\"algorithm\":\"{alg}\",",
+            "\"m\":{m},\"n\":{n},\"k_words\":{k},\"passes\":{passes},\"kernel_ns\":{kns},",
+            "\"fu\":[{fu}],\"instrs_by_class\":[{instrs}],",
+            "\"bank_conflict_replays\":{replays},\"job_cycles\":{jc},",
+            "\"occupancy\":{{\"groups_per_core\":{gpc},\"target_groups\":{tg},\"achieved\":{occ:.6}}},",
+            "\"bandwidth\":{{\"bytes_moved\":{bytes},\"achieved_bytes_s\":{abw:.1},",
+            "\"peak_bytes_s\":{pbw:.1},\"fraction\":{bwf:.6}}},",
+            "\"roofline\":{{\"arithmetic_intensity\":{ai:.6},\"ridge\":{ridge:.6},",
+            "\"compute_peak_word_ops_s\":{cpk:.1},\"memory_peak_bytes_s\":{mpk:.1},",
+            "\"bound\":\"{bound}\"}},",
+            "\"drift\":{{\"analytic_ns\":{an:.1},\"macro_ns\":{mn:.1},\"detailed_ns\":{dn:.1},",
+            "\"analytic_vs_macro\":{avm:.6},\"macro_vs_detailed\":{mvd:.6},",
+            "\"analytic_vs_detailed\":{avd:.6},\"within_tolerance\":{within}}}}}"
+        ),
+        device = snp_verify::json_escape(&c.device),
+        alg = snp_verify::json_escape(algorithm_slug(c.algorithm)),
+        m = c.shape.m,
+        n = c.shape.n,
+        k = c.shape.k_words,
+        passes = c.passes,
+        kns = c.kernel_ns,
+        fu = fu.join(","),
+        instrs = instrs.join(","),
+        replays = c.bank_conflict_replays,
+        jc = c.job_cycles,
+        gpc = c.occupancy.groups_per_core,
+        tg = c.occupancy.target_groups,
+        occ = c.occupancy.achieved,
+        bytes = c.bandwidth.bytes_moved,
+        abw = c.bandwidth.achieved_bytes_s,
+        pbw = c.bandwidth.peak_bytes_s,
+        bwf = c.bandwidth.fraction,
+        ai = c.roofline.arithmetic_intensity,
+        ridge = c.roofline.ridge,
+        cpk = c.roofline.compute_peak_word_ops_s,
+        mpk = c.roofline.memory_peak_bytes_s,
+        bound = c.roofline.bound.label(),
+        an = c.drift.analytic_ns,
+        mn = c.drift.macro_ns,
+        dn = c.drift.detailed_ns,
+        avm = c.drift.analytic_vs_macro,
+        mvd = c.drift.macro_vs_detailed,
+        avd = c.drift.analytic_vs_detailed,
+        within = c.drift.within_tolerance(),
+    )
+}
+
+fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&["device", "m", "n", "snps", "json"])?;
+    let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
+    let devs = device_selection(args.get_or("device", "all"))?;
+    let m = args.get_parse("m", 2048usize)?;
+    let n = args.get_parse("n", 2048usize)?;
+    let snps = args.get_parse("snps", 8192usize)?;
+    let shape = ProblemShape {
+        m,
+        n,
+        k_words: snps.div_ceil(32).max(1),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profiling {} algorithm(s) x {} device(s) at {m} x {n} over {} device words",
+        algorithms.len(),
+        devs.len(),
+        shape.k_words
+    );
+    let mut cells = Vec::new();
+    let mut violations = 0usize;
+    for dev in &devs {
+        for &alg in &algorithms {
+            let cell = snp_core::profile_cell(dev, alg, shape).map_err(engine_err)?;
+            let _ = writeln!(
+                out,
+                "\n== {} / {} ==",
+                cell.device,
+                algorithm_slug(cell.algorithm)
+            );
+            let _ = writeln!(
+                out,
+                "  {} pass(es), kernel {:.3} ms, {} tile-job cycles per core",
+                cell.passes,
+                cell.kernel_ns as f64 / 1e6,
+                cell.job_cycles
+            );
+            let fu_line: Vec<String> = cell
+                .fu
+                .iter()
+                .map(|f| format!("{} {:.1}%", f.pipeline, f.utilization * 100.0))
+                .collect();
+            let _ = writeln!(out, "  FU utilization: {}", fu_line.join(", "));
+            let _ = writeln!(
+                out,
+                "  bank-conflict replays: {}",
+                cell.bank_conflict_replays
+            );
+            let _ = writeln!(
+                out,
+                "  occupancy: {}/{} resident groups per core ({:.0}%)",
+                cell.occupancy.groups_per_core,
+                cell.occupancy.target_groups,
+                cell.occupancy.achieved * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "  bandwidth: {:.1} MB moved, {:.1} / {:.1} GB/s ({:.1}% of peak)",
+                cell.bandwidth.bytes_moved as f64 / 1e6,
+                cell.bandwidth.achieved_bytes_s / 1e9,
+                cell.bandwidth.peak_bytes_s / 1e9,
+                cell.bandwidth.fraction * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "  roofline: {:.1} word-ops/B vs ridge {:.1} -> {}-bound",
+                cell.roofline.arithmetic_intensity,
+                cell.roofline.ridge,
+                cell.roofline.bound.label()
+            );
+            let ok = cell.drift.within_tolerance();
+            let _ = writeln!(
+                out,
+                "  drift: analytic {:.3} ms | macro {:.3} ms | detailed {:.3} ms",
+                cell.drift.analytic_ns / 1e6,
+                cell.drift.macro_ns / 1e6,
+                cell.drift.detailed_ns / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "         analytic~macro {:.1}% (tol {:.0}%), macro~detailed {:.2}% (tol {:.0}%)  {}",
+                cell.drift.analytic_vs_macro * 100.0,
+                cell.drift.analytic_tolerance * 100.0,
+                cell.drift.macro_vs_detailed * 100.0,
+                cell.drift.engine_tolerance * 100.0,
+                if ok { "OK" } else { "DRIFT" }
+            );
+            if !ok {
+                violations += 1;
+            }
+            cells.push(profile_cell_json(&cell));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{} cell(s) profiled, {violations} drift violation(s)",
+        cells.len()
+    );
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\"shape\":{{\"m\":{m},\"n\":{n},\"k_words\":{}}},\
+             \"tolerances\":{{\"analytic\":{},\"engine\":{}}},\
+             \"cells\":[{}],\"drift_violations\":{violations}}}\n",
+            shape.k_words,
+            snp_core::ANALYTIC_DRIFT_TOLERANCE,
+            snp_core::ENGINE_DRIFT_TOLERANCE,
+            cells.join(",")
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::from(ArgError(format!("cannot write {path}: {e}"))))?;
+        let _ = writeln!(out, "machine-readable report: {path}");
+    }
+    let exit = if violations > 0 {
+        exit_codes::ERROR
+    } else {
+        exit_codes::OK
+    };
     Ok(CmdReport { text: out, exit })
 }
 

@@ -20,7 +20,7 @@ use snp_faults::{checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan};
 use snp_gpu_model::config::{Algorithm, ProblemShape};
 use snp_gpu_model::{DeviceSpec, KernelConfig};
 use snp_gpu_sim::host::{BufferId, EventId, Gpu, QueueId, SimError};
-use snp_gpu_sim::timing_cache_stats;
+use snp_gpu_sim::{timing_cache_stats, KernelProfile};
 use snp_trace::{TimeDomain, Tracer};
 
 use crate::autoconf::{compare_op, config_for, word_op_kind, MixtureStrategy};
@@ -56,6 +56,12 @@ pub struct EngineOptions {
     /// [`GpuEngine::with_fault_plan`] — the fault-free fast path never
     /// consults them.
     pub recovery: RecoveryPolicy,
+    /// Collect per-launch hardware-counter profiles
+    /// ([`RunReport::kernel_profiles`]). Off by default: profiles are
+    /// cheap to gather (the simulator computes the counters anyway) but
+    /// cloning them into the report is pure overhead for callers that only
+    /// want timing or results.
+    pub profile: bool,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +72,7 @@ impl Default for EngineOptions {
             mixture: MixtureStrategy::Direct,
             verify: cfg!(debug_assertions),
             recovery: RecoveryPolicy::default(),
+            profile: false,
         }
     }
 }
@@ -178,6 +185,9 @@ pub struct RunReport {
     /// [`RecoverySummary::degraded`] distinguishes a run that finished on
     /// the CPU after device loss from one that recovered fully on-device.
     pub recovery: Option<RecoverySummary>,
+    /// Hardware-counter profile of every kernel launch, in issue order
+    /// (only when [`EngineOptions::profile`] is set).
+    pub kernel_profiles: Option<Vec<KernelProfile>>,
 }
 
 /// Errors from an engine run.
@@ -259,6 +269,34 @@ pub fn device_words_into(m: &BitMatrix<u64>, lo: usize, hi: usize, out: &mut Vec
             out.push((w >> 32) as u32);
         }
     }
+}
+
+/// Profiles each kernel event, feeds its duration into the
+/// `sim.profile.kernel_chunk_ns` histogram, and returns the summed kernel
+/// time — the per-chunk distribution behind the [`Timing::kernel_ns`] total.
+pub(crate) fn record_kernel_chunks(gpu: &Gpu, kernel_events: &[EventId]) -> u64 {
+    let mut total = 0u64;
+    for &e in kernel_events {
+        let d = gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0);
+        crate::profile::metrics::KERNEL_CHUNK_NS.record(d);
+        total += d;
+    }
+    total
+}
+
+/// Collects the per-launch hardware-counter profiles of `kernel_events`
+/// when profiling is enabled (`None` otherwise, costing nothing).
+fn collect_kernel_profiles(
+    enabled: bool,
+    gpu: &Gpu,
+    kernel_events: &[EventId],
+) -> Option<Vec<KernelProfile>> {
+    enabled.then(|| {
+        kernel_events
+            .iter()
+            .filter_map(|&e| gpu.kernel_profile(e))
+            .collect()
+    })
 }
 
 /// The portable SNP-comparison engine over a simulated device.
@@ -563,7 +601,7 @@ impl GpuEngine {
                 .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
                 .sum()
         };
-        let kernel_ns = sum(&kernel_events);
+        let kernel_ns = record_kernel_chunks(&gpu, &kernel_events);
         let timing = Timing {
             init_ns,
             pack_ns,
@@ -617,7 +655,20 @@ impl GpuEngine {
                 self.tracer
                     .counter(run_track, name, timing.end_to_end_ns, after as f64);
             }
+            // Per-chunk kernel durations as a Chrome counter track: the
+            // timeline shows each chunk's cost at the instant it retired.
+            for &e in &kernel_events {
+                if let Ok(p) = gpu.event_profile(e) {
+                    self.tracer.counter(
+                        run_track,
+                        "sim.profile.kernel_chunk_ns",
+                        p.end_ns,
+                        p.duration_ns() as f64,
+                    );
+                }
+            }
         }
+        let kernel_profiles = collect_kernel_profiles(self.options.profile, &gpu, &kernel_events);
         let _ = kernel_cycles_ns; // retained for future per-pass reporting
         Ok(RunReport {
             gamma,
@@ -628,6 +679,7 @@ impl GpuEngine {
             kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
             verify_report,
             recovery: None,
+            kernel_profiles,
         })
     }
 
@@ -667,6 +719,7 @@ impl GpuEngine {
                     gpu.advance_host_ns(back);
                     summary.backoff_ns += back;
                     metrics::BACKOFF_NS.add(back);
+                    metrics::BACKOFF_DELAY_NS.record(back);
                     summary.retries += 1;
                     metrics::RETRIES.add(1);
                     match fault.kind {
@@ -994,7 +1047,7 @@ impl GpuEngine {
                 .map(|&e| gpu.event_profile(e).map(|p| p.duration_ns()).unwrap_or(0))
                 .sum()
         };
-        let kernel_ns = sum(&kernel_events);
+        let kernel_ns = record_kernel_chunks(&gpu, &kernel_events);
         let timing = Timing {
             init_ns,
             pack_ns,
@@ -1035,6 +1088,7 @@ impl GpuEngine {
                 ],
             );
         }
+        let kernel_profiles = collect_kernel_profiles(self.options.profile, &gpu, &kernel_events);
         Ok(RunReport {
             gamma,
             timing,
@@ -1044,6 +1098,7 @@ impl GpuEngine {
             kernel_word_ops_per_sec: word_ops as f64 / (kernel_ns.max(1) as f64 * 1e-9),
             verify_report,
             recovery: Some(summary),
+            kernel_profiles,
         })
     }
 

@@ -35,6 +35,7 @@ pub mod cpu_model;
 pub mod engine;
 pub mod kernel;
 pub mod multi;
+pub mod profile;
 pub mod recovery;
 pub mod streaming;
 pub mod tiling;
@@ -47,6 +48,10 @@ pub use engine::{
 };
 pub use kernel::{execute_gamma, group_geometry, tile_program, GroupGeometry, KernelPlan};
 pub use multi::{dgx2_like, MultiGpuEngine, MultiRunReport};
+pub use profile::{
+    profile_cell, relative_drift, BandwidthReport, CellProfile, DriftReport, FuUtilization,
+    Occupancy, Roofline, RooflineBound, ANALYTIC_DRIFT_TOLERANCE, ENGINE_DRIFT_TOLERANCE,
+};
 pub use recovery::{QueueHealth, RecoveryPolicy, RecoverySummary};
 pub use snp_faults::{DeviceFault, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use snp_gpu_model::config::Algorithm;

@@ -153,6 +153,7 @@ impl MultiGpuEngine {
             kernel_word_ops_per_sec: 0.0,
             verify_report: None,
             recovery: None,
+            kernel_profiles: None,
         }
     }
 

@@ -22,17 +22,22 @@
 //! wrong results.
 
 use snp_faults::FaultStats;
-use snp_trace::LazyCounter;
+use snp_trace::{LazyCounter, LazyHistogram};
 
 /// Process-wide recovery counters (snp-trace `LazyCounter`s: one relaxed
 /// atomic add when touched, nothing otherwise).
 pub mod metrics {
-    use super::LazyCounter;
+    use super::{LazyCounter, LazyHistogram};
 
     /// Commands retried after a transient fault.
     pub static RETRIES: LazyCounter = LazyCounter::new("engine.recovery.retries");
     /// Virtual nanoseconds spent in retry backoff.
     pub static BACKOFF_NS: LazyCounter = LazyCounter::new("engine.recovery.backoff_ns");
+    /// Distribution of individual retry backoff delays (the total above is
+    /// this histogram's sum) — exposes whether exponential backoff actually
+    /// escalated or every fault cleared on the first retry.
+    pub static BACKOFF_DELAY_NS: LazyHistogram =
+        LazyHistogram::new("engine.recovery.backoff_delay_ns");
     /// Corrupted readbacks caught by checksum comparison.
     pub static CORRUPTION_DETECTED: LazyCounter =
         LazyCounter::new("engine.recovery.corruption_detected");

@@ -283,7 +283,7 @@ impl GpuEngine {
             timing: Timing {
                 init_ns,
                 pack_ns,
-                kernel_ns: sum(&kernel_events),
+                kernel_ns: crate::engine::record_kernel_chunks(&gpu, &kernel_events),
                 transfer_in_ns: sum(&in_events),
                 transfer_out_ns: sum(&out_events),
                 recovery_ns: 0,
@@ -581,7 +581,7 @@ impl GpuEngine {
         let timing = Timing {
             init_ns,
             pack_ns,
-            kernel_ns: sum(&kernel_events),
+            kernel_ns: crate::engine::record_kernel_chunks(&gpu, &kernel_events),
             transfer_in_ns: sum(&in_events),
             transfer_out_ns: sum(&out_events),
             recovery_ns: summary.backoff_ns + fallback_ns_total,

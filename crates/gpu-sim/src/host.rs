@@ -25,7 +25,8 @@ use snp_trace::{ArgValue, TimeDomain, Tracer, TrackId};
 
 use crate::detailed::simulate_core;
 use crate::isa::Program;
-use crate::macro_engine::{kernel_time, Traffic};
+use crate::macro_engine::{kernel_time, KernelTime, Traffic};
+use crate::profile::{KernelProfile, ProfileEngine};
 
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -280,6 +281,9 @@ struct State {
     events: Vec<EventRecord>,
     log: Vec<CommandRecord>,
     profiled: Vec<bool>,
+    /// Hardware-counter profiles of kernel launches, keyed by event index
+    /// (kernels are a sparse subset of events; indices ascend).
+    kernel_profiles: Vec<(usize, KernelProfile)>,
     link_free_ns: u64,
     compute_free_ns: u64,
     detailed_cycle_budget: u64,
@@ -350,6 +354,7 @@ impl Gpu {
                 events: Vec::new(),
                 log: Vec::new(),
                 profiled: Vec::new(),
+                kernel_profiles: Vec::new(),
                 link_free_ns: init,
                 compute_free_ns: init,
                 detailed_cycle_budget: 500_000_000,
@@ -624,6 +629,60 @@ impl Gpu {
         event
     }
 
+    /// Prices `cost` on this device and captures the launch's
+    /// hardware-counter profile. The one shared implementation keeps the
+    /// three kernel-enqueue entry points (functional, timed, timed-on)
+    /// timing-identical — a property the engine's timing-only mode depends
+    /// on.
+    fn kernel_cost_time(
+        &self,
+        st: &State,
+        cost: &KernelCost,
+    ) -> Result<(KernelTime, KernelProfile), SimError> {
+        match cost {
+            KernelCost::Analytic {
+                core_cycles,
+                active_cores,
+                traffic,
+            } => {
+                let kt = kernel_time(&self.spec, *core_cycles, *active_cores, *traffic);
+                let profile = KernelProfile {
+                    engine: ProfileEngine::Analytic,
+                    core_cycles: *core_cycles,
+                    active_cores: *active_cores,
+                    groups_per_core: None,
+                    traffic: *traffic,
+                    time: kt,
+                    total_instrs: None,
+                    pipeline_busy: None,
+                };
+                Ok((kt, profile))
+            }
+            KernelCost::Detailed {
+                program,
+                groups_per_core,
+                active_cores,
+                traffic,
+            } => {
+                let budget = st.detailed_cycle_budget;
+                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
+                    .map_err(|_| SimError::DetailedBudget)?;
+                let kt = kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic);
+                let profile = KernelProfile {
+                    engine: ProfileEngine::Detailed,
+                    core_cycles: r.cycles as f64,
+                    active_cores: *active_cores,
+                    groups_per_core: Some(*groups_per_core),
+                    traffic: *traffic,
+                    time: kt,
+                    total_instrs: Some(r.total_instrs),
+                    pipeline_busy: Some(r.pipeline_busy),
+                };
+                Ok((kt, profile))
+            }
+        }
+    }
+
     /// Enqueues a host→device write of `data` into `buf` at `word_offset`.
     /// Functional copy happens with enqueue-order semantics; timing follows
     /// queue order, event deps, and link availability.
@@ -856,24 +915,7 @@ impl Gpu {
             .max(st.compute_free_ns)
             .max(dep_end);
 
-        let kt = match cost {
-            KernelCost::Analytic {
-                core_cycles,
-                active_cores,
-                traffic,
-            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
-            KernelCost::Detailed {
-                program,
-                groups_per_core,
-                active_cores,
-                traffic,
-            } => {
-                let budget = st.detailed_cycle_budget;
-                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
-                    .map_err(|_| SimError::DetailedBudget)?;
-                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
-            }
-        };
+        let (kt, prof) = self.kernel_cost_time(&st, cost)?;
         let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
 
@@ -919,7 +961,7 @@ impl Gpu {
         };
         let read_ranges: Vec<BufferRange> = reads.iter().map(|&r| buf_range(&st, r)).collect();
         let write_range = buf_range(&st, write);
-        Ok(self.record_event(
+        let ev = self.record_event(
             &mut st,
             queue,
             start,
@@ -932,7 +974,9 @@ impl Gpu {
             deps,
             read_ranges,
             vec![write_range],
-        ))
+        );
+        st.kernel_profiles.push((ev.0, prof));
+        Ok(ev)
     }
 
     /// Enqueues a *timing-only* host↔device transfer of `bytes` (either
@@ -1105,27 +1149,10 @@ impl Gpu {
             .max(st.queues[queue.0].last_end_ns)
             .max(st.compute_free_ns)
             .max(dep_end);
-        let kt = match cost {
-            KernelCost::Analytic {
-                core_cycles,
-                active_cores,
-                traffic,
-            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
-            KernelCost::Detailed {
-                program,
-                groups_per_core,
-                active_cores,
-                traffic,
-            } => {
-                let budget = st.detailed_cycle_budget;
-                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
-                    .map_err(|_| SimError::DetailedBudget)?;
-                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
-            }
-        };
+        let (kt, prof) = self.kernel_cost_time(&st, cost)?;
         let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
-        Ok(self.record_event(
+        let ev = self.record_event(
             &mut st,
             queue,
             start,
@@ -1138,7 +1165,9 @@ impl Gpu {
             deps,
             Vec::new(),
             Vec::new(),
-        ))
+        );
+        st.kernel_profiles.push((ev.0, prof));
+        Ok(ev)
     }
 
     /// Enqueues a *timing-only* kernel tagged with the buffers it logically
@@ -1186,27 +1215,10 @@ impl Gpu {
             .max(st.queues[queue.0].last_end_ns)
             .max(st.compute_free_ns)
             .max(dep_end);
-        let kt = match cost {
-            KernelCost::Analytic {
-                core_cycles,
-                active_cores,
-                traffic,
-            } => kernel_time(&self.spec, *core_cycles, *active_cores, *traffic),
-            KernelCost::Detailed {
-                program,
-                groups_per_core,
-                active_cores,
-                traffic,
-            } => {
-                let budget = st.detailed_cycle_budget;
-                let r = simulate_core(&self.spec, program, *groups_per_core, budget)
-                    .map_err(|_| SimError::DetailedBudget)?;
-                kernel_time(&self.spec, r.cycles as f64, *active_cores, *traffic)
-            }
-        };
+        let (kt, prof) = self.kernel_cost_time(&st, cost)?;
         let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
         st.compute_free_ns = end;
-        Ok(self.record_event(
+        let ev = self.record_event(
             &mut st,
             queue,
             start,
@@ -1219,7 +1231,9 @@ impl Gpu {
             deps,
             read_ranges,
             vec![write_range],
-        ))
+        );
+        st.kernel_profiles.push((ev.0, prof));
+        Ok(ev)
     }
 
     /// Blocks the host until every command on `queue` has finished
@@ -1254,6 +1268,29 @@ impl Gpu {
             .ok_or(SimError::InvalidHandle("event"))?;
         st.profiled[ev.0] = true;
         Ok(profile)
+    }
+
+    /// Hardware-counter profile of a kernel launch event, or `None` for
+    /// transfer events (and unknown handles). Unlike
+    /// [`event_profile`](Self::event_profile) this does not mark the event
+    /// as consumed — profiling is observation, not synchronization.
+    pub fn kernel_profile(&self, ev: EventId) -> Option<KernelProfile> {
+        let st = self.state.borrow();
+        st.kernel_profiles
+            .binary_search_by_key(&ev.0, |(idx, _)| *idx)
+            .ok()
+            .map(|i| st.kernel_profiles[i].1.clone())
+    }
+
+    /// Profiles of every kernel launched so far, in enqueue order, each
+    /// paired with the launch's event.
+    pub fn kernel_profiles(&self) -> Vec<(EventId, KernelProfile)> {
+        self.state
+            .borrow()
+            .kernel_profiles
+            .iter()
+            .map(|(idx, p)| (EventId(*idx), p.clone()))
+            .collect()
     }
 
     /// Snapshot of the full command log accumulated so far: one record per

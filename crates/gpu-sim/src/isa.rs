@@ -120,6 +120,22 @@ impl Program {
         self.blocks.iter().map(Block::dynamic_instrs).sum()
     }
 
+    /// Dynamic instruction count per thread group, broken down by pipeline
+    /// class (classes in first-appearance order) — the "instructions issued
+    /// per class" profiler counter.
+    pub fn dynamic_instrs_by_class(&self) -> Vec<(InstrClass, u64)> {
+        let mut counts: Vec<(InstrClass, u64)> = Vec::new();
+        for block in &self.blocks {
+            for instr in &block.instrs {
+                match counts.iter_mut().find(|(c, _)| *c == instr.class) {
+                    Some((_, n)) => *n += block.trips as u64,
+                    None => counts.push((instr.class, block.trips as u64)),
+                }
+            }
+        }
+        counts
+    }
+
     /// Highest register index used (for scoreboard sizing); `None` if the
     /// program touches no registers.
     pub fn max_reg(&self) -> Option<Reg> {

@@ -46,6 +46,7 @@ pub mod detailed;
 pub mod host;
 pub mod isa;
 pub mod macro_engine;
+pub mod profile;
 
 pub use cache::{analyze as analyze_memory, l2_bytes_for, MemoryAnalysis};
 pub use detailed::{simulate_core, simulate_core_width, DetailedResult, SimLimit};
@@ -55,10 +56,11 @@ pub use host::{
 };
 pub use isa::{Block, Instr, Program, Reg};
 pub use macro_engine::{
-    device_fingerprint, estimate_core_cycles, estimate_core_cycles_memo, kernel_time,
-    memoized_core_cycles, reset_timing_cache, timing_cache_stats, timing_key, KernelTime,
-    TimingCacheStats, Traffic,
+    bottleneck_pipeline, device_fingerprint, estimate_core_cycles, estimate_core_cycles_memo,
+    kernel_time, memoized_core_cycles, pipeline_issue_cycles, reset_timing_cache,
+    timing_cache_stats, timing_key, KernelTime, TimingCacheStats, Traffic,
 };
+pub use profile::{program_counters, KernelProfile, ProfileEngine, ProgramCounters};
 pub use snp_faults::{
     checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan, FaultProfile, FaultStats, Injection,
 };

@@ -214,15 +214,23 @@ pub fn estimate_core_cycles_memo(dev: &DeviceSpec, prog: &Program, groups: u32) 
     })
 }
 
-/// Identifies the pipeline that bounds a program's steady state, by total
-/// issue cycles (ties broken toward the lower index).
-pub fn bottleneck_pipeline(dev: &DeviceSpec, prog: &Program) -> Option<usize> {
+/// Total issue cycles one thread group places on each pipeline across the
+/// whole program (every block × its trip count) — the macro-engine leg of
+/// the per-pipeline busy counters in [`crate::profile`].
+pub fn pipeline_issue_cycles(dev: &DeviceSpec, prog: &Program) -> Vec<u64> {
     let mut totals = vec![0u64; dev.pipelines.len()];
     for block in &prog.blocks {
         for (p, c) in issue_cycles_per_trip(dev, block).into_iter().enumerate() {
             totals[p] += block.trips as u64 * c;
         }
     }
+    totals
+}
+
+/// Identifies the pipeline that bounds a program's steady state, by total
+/// issue cycles (ties broken toward the lower index).
+pub fn bottleneck_pipeline(dev: &DeviceSpec, prog: &Program) -> Option<usize> {
+    let totals = pipeline_issue_cycles(dev, prog);
     totals
         .iter()
         .enumerate()

@@ -30,7 +30,10 @@ pub mod metrics;
 pub mod span;
 pub mod summary;
 
-pub use metrics::{registry, Counter, Gauge, LazyCounter, MetricValue, MetricsRegistry};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter, LazyHistogram,
+    MetricValue, MetricsRegistry,
+};
 pub use span::{
     ArgValue, CounterSample, SpanId, TimeDomain, Trace, TraceEvent, Tracer, TrackId, TrackInfo,
 };

@@ -62,9 +62,137 @@ impl Gauge {
     }
 }
 
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free log2-bucketed histogram of `u64` samples.
+///
+/// Each [`record`](Self::record) is two relaxed atomic adds plus a bucket
+/// increment, so hot paths (per-chunk kernel times, recovery backoff
+/// delays) can sample unconditionally. Quantiles are estimated from the
+/// bucket boundaries: `quantile` returns the inclusive upper bound of the
+/// bucket containing the requested rank, i.e. an estimate that is never
+/// below the true quantile by more than one power of two.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, otherwise `floor(log2(v)) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping at `u64::MAX`).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for rendering (concurrent records may land
+    /// in either side of the cut; totals are re-derived from the buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Resets all buckets to empty.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the largest
+    /// value representable by the bucket holding the ranked sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Inclusive upper bound of bucket i: 0 for bucket 0,
+                // 2^i - 1 for 1..=63, u64::MAX for the last bucket.
+                return if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
 }
 
 /// A snapshot value of one metric.
@@ -74,14 +202,18 @@ pub enum MetricValue {
     Counter(u64),
     /// Gauge reading.
     Gauge(f64),
+    /// Histogram reading.
+    Histogram(HistogramSnapshot),
 }
 
 impl MetricValue {
-    /// The value as a float (counters widen losslessly up to 2^53).
+    /// The value as a float (counters widen losslessly up to 2^53;
+    /// histograms collapse to their mean).
     pub fn as_f64(&self) -> f64 {
         match self {
             MetricValue::Counter(v) => *v as f64,
             MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(h) => h.mean(),
         }
     }
 }
@@ -101,7 +233,7 @@ impl MetricsRegistry {
 
     /// The counter registered under `name`, creating it on first use.
     ///
-    /// Panics if `name` is already registered as a gauge.
+    /// Panics if `name` is already registered as another kind.
     pub fn counter(&self, name: &'static str) -> &'static Counter {
         let mut map = self.lock();
         match map
@@ -110,12 +242,13 @@ impl MetricsRegistry {
         {
             Metric::Counter(c) => c,
             Metric::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
+            Metric::Histogram(_) => panic!("metric {name:?} is registered as a histogram"),
         }
     }
 
     /// The gauge registered under `name`, creating it on first use.
     ///
-    /// Panics if `name` is already registered as a counter.
+    /// Panics if `name` is already registered as another kind.
     pub fn gauge(&self, name: &'static str) -> &'static Gauge {
         let mut map = self.lock();
         match map
@@ -124,6 +257,22 @@ impl MetricsRegistry {
         {
             Metric::Gauge(g) => g,
             Metric::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+            Metric::Histogram(_) => panic!("metric {name:?} is registered as a histogram"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// Panics if `name` is already registered as another kind.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.lock();
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
+        {
+            Metric::Histogram(h) => h,
+            Metric::Counter(_) => panic!("metric {name:?} is registered as a counter"),
+            Metric::Gauge(_) => panic!("metric {name:?} is registered as a gauge"),
         }
     }
 
@@ -135,20 +284,23 @@ impl MetricsRegistry {
                 let v = match m {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 (*name, v)
             })
             .collect()
     }
 
-    /// Zeroes every counter and gauge (names stay registered). Intended for
-    /// test isolation; concurrent increments may land before or after.
+    /// Zeroes every counter, gauge, and histogram (names stay registered).
+    /// Intended for test isolation; concurrent increments may land before
+    /// or after.
     pub fn reset(&self) {
         let map = self.lock();
         for m in map.values() {
             match m {
                 Metric::Counter(c) => c.reset(),
                 Metric::Gauge(g) => g.set(0.0),
+                Metric::Histogram(h) => h.reset(),
             }
         }
     }
@@ -200,6 +352,46 @@ impl LazyCounter {
     /// Resets to zero.
     pub fn reset(&self) {
         self.counter().reset();
+    }
+}
+
+/// A histogram handle resolvable in `const` context, mirroring
+/// [`LazyCounter`]: the registry lookup happens once, after which
+/// [`record`](Self::record) touches only the histogram's atomics.
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram by stable metric name.
+    pub const fn new(name: &'static str) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registry histogram.
+    #[inline]
+    pub fn histogram(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| registry().histogram(self.name))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.histogram().record(v);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.histogram().snapshot()
+    }
+
+    /// Resets all buckets to empty.
+    pub fn reset(&self) {
+        self.histogram().reset();
     }
 }
 
@@ -260,5 +452,85 @@ mod tests {
     fn metric_value_widens() {
         assert_eq!(MetricValue::Counter(4).as_f64(), 4.0);
         assert_eq!(MetricValue::Gauge(0.5).as_f64(), 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1, 1]
+        h.record(2); // bucket 2: [2, 3]
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11: [1024, 2047]
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.mean(), 206.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket 7: [64, 127]
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 17: [65536, 131071]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.50), 127);
+        assert_eq!(s.quantile(0.90), 127);
+        assert_eq!(s.quantile(0.95), (1u64 << 17) - 1);
+        assert_eq!(s.quantile(0.99), (1u64 << 17) - 1);
+        assert_eq!(s.quantile(1.0), (1u64 << 17) - 1);
+        // Quantile estimates never undershoot the true quantile.
+        assert!(s.quantile(0.95) >= 100_000);
+    }
+
+    #[test]
+    fn histogram_empty_and_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+        h.record(u64::MAX); // last bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.quantile(0.5), u64::MAX);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn histograms_intern_and_reset_via_registry() {
+        static H: LazyHistogram = LazyHistogram::new("test.metrics.histo");
+        H.reset();
+        H.record(7);
+        H.record(9);
+        let direct = registry().histogram("test.metrics.histo");
+        assert_eq!(direct.count(), 2);
+        assert_eq!(direct.sum(), 16);
+        let snap = registry().snapshot();
+        let (_, v) = snap
+            .iter()
+            .find(|(n, _)| *n == "test.metrics.histo")
+            .unwrap();
+        match v {
+            MetricValue::Histogram(s) => assert_eq!(s.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        registry().reset();
+        assert_eq!(direct.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a histogram")]
+    fn histogram_kind_mismatch_panics() {
+        registry().histogram("test.metrics.histo_kind");
+        registry().counter("test.metrics.histo_kind");
     }
 }

@@ -110,6 +110,7 @@ pub fn render_summary(trace: &Trace) -> String {
 }
 
 /// Renders a registry snapshot as a sorted `name = value` block.
+/// Histograms render their count, quantile estimates, and mean.
 pub fn render_metrics(registry: &MetricsRegistry) -> String {
     let mut out = String::from("metrics:\n");
     for (name, value) in registry.snapshot() {
@@ -119,6 +120,17 @@ pub fn render_metrics(registry: &MetricsRegistry) -> String {
             }
             MetricValue::Gauge(v) => {
                 let _ = writeln!(out, "  {name} = {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "  {name} = count={} p50={} p95={} p99={} mean={:.1}",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.mean()
+                );
             }
         }
     }
@@ -168,5 +180,25 @@ mod tests {
         let za = text.find("test.summary.a = 7").unwrap();
         let zz = text.find("test.summary.z = 0").unwrap();
         assert!(za < zz);
+    }
+
+    #[test]
+    fn metrics_section_renders_histogram_quantiles() {
+        let reg = crate::metrics::registry();
+        let h = reg.histogram("test.summary.histo");
+        h.reset();
+        for _ in 0..99 {
+            h.record(1000); // bucket 10: [512, 1023]
+        }
+        h.record(1_000_000);
+        let text = render_metrics(reg);
+        let line = text
+            .lines()
+            .find(|l| l.contains("test.summary.histo"))
+            .unwrap();
+        assert!(line.contains("count=100"), "{line}");
+        assert!(line.contains("p50=1023"), "{line}");
+        assert!(line.contains("p99=1023"), "{line}");
+        assert!(line.contains("mean=10990.0"), "{line}");
     }
 }

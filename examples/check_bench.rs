@@ -1,0 +1,178 @@
+//! Benchmark regression gate over the committed `BENCH_pr*.json` snapshots.
+//!
+//! Every PR's criterion-shim output is normalized to one schema:
+//!
+//! ```json
+//! {"schema_version":1,"pr":N,"entries":[{"id":"...","ns_per_iter":...,...}]}
+//! ```
+//!
+//! This example loads every snapshot in the repository root (or the paths
+//! given as arguments), diffs the latest snapshot against the previous one,
+//! and exits nonzero when any benchmark shared by both regressed more than
+//! 10% in `ns_per_iter`. Raw criterion-shim JSONL (one entry per line, as
+//! `CRITERION_SHIM_JSON` appends it) is accepted too, so a fresh bench run
+//! can be gated before being normalized.
+//!
+//! ```text
+//! cargo run --release --example check_bench
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use snp_trace::json::{self, Value};
+
+/// Maximum tolerated `ns_per_iter` growth for a benchmark id present in
+/// both snapshots.
+const MAX_REGRESSION: f64 = 0.10;
+
+/// One parsed snapshot: PR number and `id → ns_per_iter`.
+struct Snapshot {
+    pr: u32,
+    path: String,
+    entries: BTreeMap<String, f64>,
+}
+
+fn entry_of(v: &Value) -> Option<(String, f64)> {
+    let obj = v.as_obj()?;
+    let id = obj.get("id")?.as_str()?.to_string();
+    let ns = obj.get("ns_per_iter")?.as_num()?;
+    Some((id, ns))
+}
+
+/// Parses either the wrapped schema or raw criterion-shim JSONL.
+fn parse_snapshot(path: &str, text: &str) -> Result<Snapshot, String> {
+    let mut entries = BTreeMap::new();
+    let mut pr = None;
+    if let Ok(v) = json::parse(text) {
+        if let Some(obj) = v.as_obj() {
+            pr = obj.get("pr").and_then(Value::as_num).map(|n| n as u32);
+            let list = obj
+                .get("entries")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: wrapped snapshot without \"entries\""))?;
+            for e in list {
+                let (id, ns) =
+                    entry_of(e).ok_or_else(|| format!("{path}: malformed entry {e:?}"))?;
+                entries.insert(id, ns);
+            }
+        } else {
+            return Err(format!("{path}: top-level JSON is not an object"));
+        }
+    } else {
+        // Raw shim output: one JSON object per line.
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = json::parse(line).map_err(|e| format!("{path}: bad JSONL line: {e}"))?;
+            let (id, ns) = entry_of(&v).ok_or_else(|| format!("{path}: malformed line"))?;
+            entries.insert(id, ns);
+        }
+    }
+    // Fall back to the `BENCH_pr<N>.json` file name for the PR number.
+    let pr = pr
+        .or_else(|| {
+            path.rsplit('/')
+                .next()?
+                .strip_prefix("BENCH_pr")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        })
+        .ok_or_else(|| format!("{path}: cannot determine PR number"))?;
+    Ok(Snapshot {
+        pr,
+        path: path.to_string(),
+        entries,
+    })
+}
+
+fn discover() -> Vec<String> {
+    let mut found: Vec<String> = std::fs::read_dir(".")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_pr") && n.ends_with(".json"))
+        .collect();
+    found.sort();
+    found
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() { discover() } else { args };
+    if paths.len() < 2 {
+        eprintln!(
+            "need at least two snapshots to diff (found {})",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut snaps = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_snapshot(path, &text) {
+            Ok(s) => snaps.push(s),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    snaps.sort_by_key(|s| s.pr);
+
+    // Gaps in the PR sequence are worth knowing about: a missing snapshot
+    // means that PR's perf claims are not machine-checkable (PR 3, the
+    // hot-path optimisation PR, predates the shared schema and recorded
+    // its numbers only in EXPERIMENTS.md prose).
+    for w in snaps.windows(2) {
+        for missing in (w[0].pr + 1)..w[1].pr {
+            println!("note: no snapshot for PR {missing}");
+        }
+    }
+
+    let prev = &snaps[snaps.len() - 2];
+    let latest = &snaps[snaps.len() - 1];
+    println!(
+        "diffing {} (PR {}) against {} (PR {})",
+        latest.path, latest.pr, prev.path, prev.pr
+    );
+
+    let mut regressions = 0usize;
+    let mut shared = 0usize;
+    for (id, &ns) in &latest.entries {
+        let Some(&base) = prev.entries.get(id) else {
+            continue;
+        };
+        shared += 1;
+        let delta = (ns - base) / base;
+        let flag = if delta > MAX_REGRESSION {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "  {id}: {base:.1} -> {ns:.1} ns/iter ({:+.1}%){flag}",
+            delta * 100.0
+        );
+    }
+    println!(
+        "{shared} shared benchmark(s), {regressions} regression(s) beyond {:.0}%",
+        MAX_REGRESSION * 100.0
+    );
+    if shared == 0 {
+        println!("(no overlapping ids — nothing to gate; snapshots cover different suites)");
+    }
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

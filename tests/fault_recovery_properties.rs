@@ -38,6 +38,7 @@ fn full_options() -> EngineOptions {
         mixture: MixtureStrategy::Direct,
         verify: true,
         recovery: RecoveryPolicy::default(),
+        profile: false,
     }
 }
 
