@@ -166,10 +166,13 @@ mod tests {
     #[test]
     fn device_selection_expands_gpus_only() {
         let all = device_selection("all").unwrap();
-        assert!(all.len() >= 3);
+        assert_eq!(all.len(), 4, "matrix is 3 algorithms x 4 devices");
+        assert!(all.iter().any(|d| d.name == "TC100"));
         assert!(all.iter().all(|d| d.shared_mem_bytes > 0));
         let one = device_selection("Titan V").unwrap();
         assert_eq!(one.len(), 1);
+        let tc = device_selection("tc100").unwrap();
+        assert_eq!(tc[0].name, "TC100");
         assert!(device_selection("Xeon E5-2620 v2").is_err(), "CPU rejected");
         assert!(device_selection("nope").is_err());
     }

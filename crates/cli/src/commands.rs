@@ -65,7 +65,7 @@ Fault profiles: none, transient, corruption, stall, loss, mixed.
 ld / search / mixture also accept --fault-profile P [--fault-seed S] to run
 under fault injection (P may also be loss@N: lose the device at command N);
 a run that finishes on the CPU fallback exits 2.
-Devices: gtx-980, titan-v, vega-64 (case- and separator-insensitive).
+Devices: gtx-980, titan-v, vega-64, tc100 (case- and separator-insensitive).
 
 EXIT CODES: 0 success, 1 usage/planning error, 2 degraded success (device
 lost, finished on CPU), 3 command-stream hazard, 4 unrecovered device fault,
@@ -188,9 +188,20 @@ fn cmd_devices(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     for d in devices::all_devices() {
         let pk = peak(&d, WordOpKind::And);
+        let mma = match (&d.matrix_unit, d.n_fn(InstrClass::Mma)) {
+            (Some(mu), Some(lanes)) => format!(
+                ", mma x{lanes} ({}x{}x{}b, {:.0} G word-ops/s)",
+                mu.frag_m,
+                mu.frag_n,
+                mu.frag_k_bits,
+                snp_gpu_model::peak::matrix_unit_peak(&d, WordOpKind::And)
+                    .map_or(0.0, |p| p.word_ops_per_sec / 1e9),
+            ),
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{:<18} {:<12} {:>3} cores x {} clusters, {}-thread {}s, popc x{} (L={}), peak {:.0} G word-ops/s",
+            "{:<18} {:<12} {:>3} cores x {} clusters, {}-thread {}s, popc x{} (L={}), peak {:.0} G word-ops/s{}",
             d.name,
             d.microarchitecture,
             d.n_cores,
@@ -200,6 +211,7 @@ fn cmd_devices(args: &Args) -> Result<String, ArgError> {
             d.n_fn(InstrClass::Popc).unwrap(),
             d.l_fn,
             pk.word_ops_per_sec / 1e9,
+            mma,
         );
     }
     Ok(out)
@@ -976,6 +988,7 @@ fn profile_cell_json(c: &snp_core::CellProfile) -> String {
             "\"bandwidth\":{{\"bytes_moved\":{bytes},\"achieved_bytes_s\":{abw:.1},",
             "\"peak_bytes_s\":{pbw:.1},\"fraction\":{bwf:.6}}},",
             "\"roofline\":{{\"arithmetic_intensity\":{ai:.6},\"ridge\":{ridge:.6},",
+            "\"matrix_unit_ridge\":{mur},",
             "\"compute_peak_word_ops_s\":{cpk:.1},\"memory_peak_bytes_s\":{mpk:.1},",
             "\"bound\":\"{bound}\"}},",
             "\"drift\":{{\"analytic_ns\":{an:.1},\"macro_ns\":{mn:.1},\"detailed_ns\":{dn:.1},",
@@ -1002,6 +1015,10 @@ fn profile_cell_json(c: &snp_core::CellProfile) -> String {
         bwf = c.bandwidth.fraction,
         ai = c.roofline.arithmetic_intensity,
         ridge = c.roofline.ridge,
+        mur = c
+            .roofline
+            .matrix_unit_ridge
+            .map_or("null".to_string(), |r| format!("{r:.6}")),
         cpk = c.roofline.compute_peak_word_ops_s,
         mpk = c.roofline.memory_peak_bytes_s,
         bound = c.roofline.bound.label(),
@@ -1080,9 +1097,13 @@ fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
                 cell.bandwidth.peak_bytes_s / 1e9,
                 cell.bandwidth.fraction * 100.0
             );
+            let mur = cell
+                .roofline
+                .matrix_unit_ridge
+                .map_or(String::new(), |r| format!(" (matrix-unit ridge {r:.1})"));
             let _ = writeln!(
                 out,
-                "  roofline: {:.1} word-ops/B vs ridge {:.1} -> {}-bound",
+                "  roofline: {:.1} word-ops/B vs ridge {:.1} -> {}-bound{mur}",
                 cell.roofline.arithmetic_intensity,
                 cell.roofline.ridge,
                 cell.roofline.bound.label()
@@ -1158,11 +1179,13 @@ mod tests {
     }
 
     #[test]
-    fn devices_lists_all_four() {
+    fn devices_lists_all_five() {
         let out = run_line("devices").unwrap();
-        for name in ["GTX 980", "Titan V", "Vega 64", "Xeon"] {
+        for name in ["GTX 980", "Titan V", "Vega 64", "TC100", "Xeon"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
+        // The matrix unit shows up on the TC100 line only.
+        assert_eq!(out.matches("mma x8 (8x8x128b").count(), 1);
     }
 
     #[test]

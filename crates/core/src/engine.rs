@@ -25,7 +25,7 @@ use snp_trace::{TimeDomain, Tracer};
 
 use crate::autoconf::{compare_op, config_for, word_op_kind, MixtureStrategy};
 use crate::cpu_model::CpuModel;
-use crate::kernel::{execute_gamma, KernelPlan};
+use crate::kernel::{execute_gamma, execute_gamma_mma, KernelPlan, Lowering};
 use crate::recovery::{metrics, QueueHealth, RecoveryPolicy, RecoverySummary};
 use crate::tiling::{plan_passes, PlanError, TilePlan};
 
@@ -548,14 +548,24 @@ impl GpuEngine {
                 }
                 let ev_k = if full {
                     let (m_len, n_len) = (mc.len(), nc.len());
+                    // The functional executor follows the plan's lowering:
+                    // matrix-unit fragment order on devices that have one,
+                    // the scalar row order otherwise (results are identical).
+                    let frag = match (kplan.lowering, self.spec.matrix_unit) {
+                        (Lowering::Mma, Some(mu)) => Some(mu),
+                        _ => None,
+                    };
                     gpu.enqueue_kernel(
                         q_comp,
                         &kplan.cost(),
                         &[a_buf, b_bufs[slot]],
                         c_bufs[slot],
                         &kdeps,
-                        |reads, out| {
-                            execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k);
+                        |reads, out| match frag {
+                            Some(mu) => {
+                                execute_gamma_mma(&mu, op, reads[0], reads[1], out, m_len, n_len, k)
+                            }
+                            None => execute_gamma(op, reads[0], reads[1], out, m_len, n_len, k),
                         },
                     )?
                 } else {
@@ -892,8 +902,19 @@ impl GpuEngine {
             );
             in_events.push(ev_b);
 
-            // Kernel.
-            let kplan = KernelPlan::new(&self.spec, cfg, op, mc.len(), nc.len(), k);
+            // Kernel. The recovery path always runs the scalar-popcount
+            // plan: when the matrix-unit path faults mid-run, re-executed
+            // chunks must not depend on the faulting unit, and the scalar
+            // program is the bit-exact oracle on every device.
+            let kplan = KernelPlan::with_lowering(
+                &self.spec,
+                cfg,
+                op,
+                mc.len(),
+                nc.len(),
+                k,
+                Lowering::Scalar,
+            );
             let mut kdeps = vec![ev_a.expect("A chunk uploaded before its kernels")];
             if !drop_b_dep {
                 kdeps.push(ev_b);

@@ -20,7 +20,7 @@ use std::hash::{Hash, Hasher};
 
 use rayon::prelude::*;
 use snp_bitmat::CompareOp;
-use snp_gpu_model::{DeviceSpec, InstrClass, KernelConfig};
+use snp_gpu_model::{DeviceSpec, InstrClass, KernelConfig, MatrixUnitSpec};
 use snp_gpu_sim::host::KernelCost;
 use snp_gpu_sim::macro_engine::{
     device_fingerprint, estimate_core_cycles, kernel_time, memoized_core_cycles, KernelTime,
@@ -82,11 +82,76 @@ pub fn group_geometry(dev: &DeviceSpec, cfg: &KernelConfig) -> GroupGeometry {
     }
 }
 
+/// How a tile program lowers the popcount inner product onto the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lowering {
+    /// The scalar logic/popc/add triple per packed word — every device
+    /// executes this form; it is also the correctness oracle.
+    Scalar,
+    /// 1-bit matrix-unit fragments (`InstrClass::Mma`): one instruction
+    /// retires an `frag_m × frag_n × frag_k_bits` AND+POPC / XOR+POPC tile.
+    Mma,
+}
+
+impl Lowering {
+    /// True when the lowering issues matrix-unit instructions.
+    pub fn uses_matrix_unit(self) -> bool {
+        self == Lowering::Mma
+    }
+}
+
+/// Picks the lowering for a device × configuration pair: the matrix unit
+/// whenever the device declares one *and* the group's output tile aligns to
+/// its fragment shape; the scalar path otherwise. Fragment-k alignment is
+/// not required — the builder zero-pads the final k-step, which is exact for
+/// all three operators (padded words contribute no population count).
+pub fn lowering_for(dev: &DeviceSpec, cfg: &KernelConfig) -> Lowering {
+    let Some(mu) = dev.matrix_unit else {
+        return Lowering::Scalar;
+    };
+    let geo = group_geometry(dev, cfg);
+    let cols_per_group = geo.cols_per_thread * dev.n_t as usize;
+    let aligned = geo.rows_per_group.is_multiple_of(mu.frag_m as usize)
+        && cols_per_group.is_multiple_of(mu.frag_n as usize);
+    if aligned {
+        Lowering::Mma
+    } else {
+        Lowering::Scalar
+    }
+}
+
 /// Builds the timing program one thread group executes for one
 /// `m_c × n_r` tile job spanning the full shared dimension of `k_words`
 /// (internally sliced into `k_c`-word A slabs, with registers carrying the
-/// accumulators across slabs).
+/// accumulators across slabs). Dispatches to the matrix-unit form when
+/// [`lowering_for`] selects it, the scalar form otherwise.
 pub fn tile_program(
+    dev: &DeviceSpec,
+    cfg: &KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+) -> Program {
+    tile_program_with(dev, cfg, op, k_words, lowering_for(dev, cfg))
+}
+
+/// [`tile_program`] with the lowering pinned by the caller (the recovery
+/// path forces [`Lowering::Scalar`] even on matrix-unit devices).
+pub fn tile_program_with(
+    dev: &DeviceSpec,
+    cfg: &KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+    lowering: Lowering,
+) -> Program {
+    match lowering {
+        Lowering::Scalar => tile_program_scalar(dev, cfg, op, k_words),
+        Lowering::Mma => tile_program_mma(dev, cfg, op, k_words),
+    }
+}
+
+/// The scalar-popcount tile program (the paper's §V kernel verbatim): one
+/// logic/popc/add triple per packed word per output.
+pub fn tile_program_scalar(
     dev: &DeviceSpec,
     cfg: &KernelConfig,
     op: CompareOp,
@@ -178,6 +243,120 @@ pub fn tile_program(
     Program::new(blocks)
 }
 
+/// The matrix-unit tile program: the group's `rows_per_group × cols_per_group`
+/// output tile is carved into `frag_m × frag_n` fragments, and the k loop
+/// advances `frag_k_words` packed words per trip, each fragment consuming one
+/// `mma` issue (AND+POPC or XOR+POPC with 32-bit accumulation). Loads stage
+/// the same A slab and stream the same B panel as the scalar form — only the
+/// arithmetic inner loop changes. The final k-step is zero-padded to the
+/// fragment depth, which is exact for every operator (`popc(op(x, 0))`
+/// contributes nothing for AND/XOR, and padded A words are 0 for AND-NOT).
+pub fn tile_program_mma(
+    dev: &DeviceSpec,
+    cfg: &KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+) -> Program {
+    let mu = dev
+        .matrix_unit
+        .expect("MMA lowering requires a device matrix unit");
+    let geo = group_geometry(dev, cfg);
+    let nt = dev.n_t as usize;
+    let nv = dev.n_vec as usize;
+    let cols_per_group = geo.cols_per_thread * nt;
+    let fkw = mu.frag_k_words(dev.word_bits).max(1) as usize;
+    assert!(
+        geo.rows_per_group.is_multiple_of(mu.frag_m as usize)
+            && cols_per_group.is_multiple_of(mu.frag_n as usize),
+        "group tile {}x{cols_per_group} does not align to {}x{} fragments",
+        geo.rows_per_group,
+        mu.frag_m,
+        mu.frag_n
+    );
+    let frag_rows = geo.rows_per_group / mu.frag_m as usize;
+    let frag_cols = cols_per_group / mu.frag_n as usize;
+    let n_frags = frag_rows * frag_cols;
+
+    // Per-thread loads per fragment k-step: the group cooperatively fetches
+    // `cols_per_group × frag_k_words` B words and `rows_per_group ×
+    // frag_k_words` A words, spread over N_T threads and vector width N_vec.
+    let b_loads = (cols_per_group * fkw).div_ceil(nt * nv).max(1);
+    let a_loads = (geo.rows_per_group * fkw).div_ceil(nt * nv).max(1);
+
+    // Register map: [fragment accumulators][a fragments][b fragments][scalar].
+    let acc0: Reg = 0;
+    let a0: Reg = n_frags as Reg;
+    let b0: Reg = a0 + a_loads as Reg;
+    let scalar_reg: Reg = b0 + b_loads as Reg;
+
+    let mut body: Vec<Instr> = Vec::new();
+    for l in 0..b_loads {
+        body.push(Instr::load_global(b0 + l as Reg, &[]));
+    }
+    for l in 0..a_loads {
+        // Conflict-free: fragment rows stay bank-aligned like the scalar form.
+        body.push(Instr::load_shared(a0 + l as Reg, &[], 1));
+    }
+    if op == CompareOp::AndNot && !dev.fused_andnot {
+        // Without a fused form the B fragment is negated once per load —
+        // off the matrix pipe, charged to the NOT pipeline.
+        for l in 0..b_loads {
+            body.push(Instr::arith(
+                InstrClass::Not,
+                b0 + l as Reg,
+                &[b0 + l as Reg],
+            ));
+        }
+    }
+    for f in 0..n_frags {
+        let fr = f / frag_cols;
+        let fc = f % frag_cols;
+        let areg = a0 + (fr * a_loads / frag_rows) as Reg;
+        let breg = b0 + (fc * b_loads / frag_cols) as Reg;
+        let acc = acc0 + f as Reg;
+        // Loop-carried accumulation: the fragment op reads and writes its
+        // own accumulator, so fragments are independent of each other.
+        body.push(Instr::arith(InstrClass::Mma, acc, &[areg, breg, acc]));
+    }
+    body.push(Instr::arith(InstrClass::Scalar, scalar_reg, &[scalar_reg]));
+    body.push(Instr::arith(
+        InstrClass::Scalar,
+        scalar_reg + 1,
+        &[scalar_reg + 1],
+    ));
+
+    // Prologue per slab: identical A staging to the scalar form.
+    let slab_words = cfg.k_c.min(k_words.max(1));
+    let stage_loads = (cfg.m_c * slab_words)
+        .div_ceil(geo.groups_per_core as usize * nt * nv)
+        .max(1);
+    let mut prologue: Vec<Instr> = Vec::with_capacity(stage_loads * 2);
+    let stage0: Reg = scalar_reg + 2;
+    for s in 0..stage_loads {
+        prologue.push(Instr::load_global(stage0 + s as Reg, &[]));
+        prologue.push(Instr::store_shared(&[stage0 + s as Reg], 1));
+    }
+
+    // Epilogue: the same per-thread output volume as the scalar form, read
+    // out of the fragment accumulators.
+    let stores = geo.outputs_per_thread.div_ceil(nv);
+    let mut epilogue: Vec<Instr> = Vec::with_capacity(stores);
+    for s in 0..stores {
+        epilogue.push(Instr::store_global(&[acc0 + (s % n_frags) as Reg]));
+    }
+
+    let mut blocks = Vec::new();
+    let mut remaining = k_words;
+    while remaining > 0 {
+        let slab = cfg.k_c.min(remaining);
+        blocks.push(Block::once(prologue.clone()));
+        blocks.push(Block::looped(slab.div_ceil(fkw) as u32, body.clone()));
+        remaining -= slab;
+    }
+    blocks.push(Block::once(epilogue));
+    Program::new(blocks)
+}
+
 /// Cache key for the per-job cycle estimate of a tile program.
 ///
 /// [`tile_program`] and the group geometry are pure functions of
@@ -186,14 +365,20 @@ pub fn tile_program(
 /// construction and the analytic estimate. That is the hot path of
 /// configuration sweeps and multi-pass launches, where thousands of plans
 /// share a handful of distinct tile programs.
-fn plan_timing_key(dev: &DeviceSpec, cfg: &KernelConfig, op: CompareOp, k_words: usize) -> u64 {
+fn plan_timing_key(
+    dev: &DeviceSpec,
+    cfg: &KernelConfig,
+    op: CompareOp,
+    k_words: usize,
+    lowering: Lowering,
+) -> u64 {
     let mut h = DefaultHasher::new();
     "snp-core::kernel::plan".hash(&mut h);
     device_fingerprint(dev).hash(&mut h);
     // KernelConfig cannot derive Hash workspace-wide; its fields are ints.
     (cfg.m_c, cfg.m_r, cfg.k_c, cfg.n_r).hash(&mut h);
     (cfg.grid_m, cfg.grid_n, cfg.groups_per_cluster).hash(&mut h);
-    (op, k_words).hash(&mut h);
+    (op, k_words, lowering).hash(&mut h);
     h.finish()
 }
 
@@ -217,6 +402,8 @@ pub struct KernelPlan {
     pub word_ops: u128,
     /// Resident thread groups per core.
     pub groups_per_core: u32,
+    /// How the inner product was lowered (matrix unit vs scalar popcount).
+    pub lowering: Lowering,
 }
 
 impl KernelPlan {
@@ -231,6 +418,29 @@ impl KernelPlan {
         n_pass: usize,
         k_words: usize,
     ) -> KernelPlan {
+        Self::with_lowering(
+            dev,
+            cfg,
+            op,
+            m_pass,
+            n_pass,
+            k_words,
+            lowering_for(dev, cfg),
+        )
+    }
+
+    /// [`KernelPlan::new`] with the lowering pinned by the caller. The
+    /// recovery path uses this to force the scalar-popcount plan on
+    /// matrix-unit devices after a matrix-path fault.
+    pub fn with_lowering(
+        dev: &DeviceSpec,
+        cfg: &KernelConfig,
+        op: CompareOp,
+        m_pass: usize,
+        n_pass: usize,
+        k_words: usize,
+        lowering: Lowering,
+    ) -> KernelPlan {
         assert!(
             m_pass > 0 && n_pass > 0 && k_words > 0,
             "pass must be non-empty"
@@ -241,10 +451,11 @@ impl KernelPlan {
         let grid_m = (cfg.grid_m as u64).min(tiles_m).max(1);
         let grid_n = (cfg.grid_n as u64).min(tiles_n).max(1);
         let jobs_per_core = tiles_m.div_ceil(grid_m) * tiles_n.div_ceil(grid_n);
-        let per_job = memoized_core_cycles(plan_timing_key(dev, cfg, op, k_words), || {
-            let program = tile_program(dev, cfg, op, k_words);
-            estimate_core_cycles(dev, &program, geo.groups_per_core)
-        });
+        let per_job =
+            memoized_core_cycles(plan_timing_key(dev, cfg, op, k_words, lowering), || {
+                let program = tile_program_with(dev, cfg, op, k_words, lowering);
+                estimate_core_cycles(dev, &program, geo.groups_per_core)
+            });
         let kw = k_words as u64;
         let traffic = Traffic {
             read_bytes: tiles_m * tiles_n * (cfg.m_c as u64 + cfg.n_r as u64) * kw * 4,
@@ -259,6 +470,7 @@ impl KernelPlan {
             traffic,
             word_ops: m_pass as u128 * n_pass as u128 * k_words as u128,
             groups_per_core: geo.groups_per_core,
+            lowering,
         }
     }
 
@@ -286,7 +498,7 @@ impl KernelPlan {
     /// cost and word-op totals.
     pub fn facts(&self, dev: &DeviceSpec, k_words: usize) -> snp_verify::PlanFacts {
         snp_verify::PlanFacts {
-            program: tile_program(dev, &self.config, self.op, k_words),
+            program: tile_program_with(dev, &self.config, self.op, k_words, self.lowering),
             groups_per_core: self.groups_per_core,
             core_cycles: self.core_cycles,
             active_cores: self.active_cores,
@@ -296,6 +508,7 @@ impl KernelPlan {
                 CompareOp::Xor => snp_gpu_model::WordOpKind::Xor,
                 CompareOp::AndNot => snp_gpu_model::WordOpKind::AndNot,
             },
+            uses_matrix_unit: self.lowering.uses_matrix_unit(),
         }
     }
 }
@@ -338,6 +551,60 @@ pub fn execute_gamma(
             for (j, out) in row.iter_mut().enumerate() {
                 let br = &b[j * k_words..(j + 1) * k_words];
                 *out = dot_u32(op, ar, br);
+            }
+        });
+}
+
+/// Functional execution of one pass in the matrix unit's evaluation order:
+/// the output is carved into `frag_m × frag_n` fragments and the shared
+/// dimension advances `frag_k_words` at a time, accumulating each fragment's
+/// 32-bit counters exactly as the `mma` instruction would. Popcount sums are
+/// associative and commutative over `u32`, so the result is bit-identical to
+/// [`execute_gamma`] — that equivalence is the MMA plan's correctness oracle.
+/// Ragged edges (outputs or k not multiples of the fragment shape) are
+/// handled as zero-padded partial fragments. Overwrites `c`.
+#[allow(clippy::too_many_arguments)] // mirrors `execute_gamma`'s signature plus the fragment spec
+pub fn execute_gamma_mma(
+    frag: &MatrixUnitSpec,
+    op: CompareOp,
+    a: &[u32],
+    b: &[u32],
+    c: &mut [u32],
+    m: usize,
+    n: usize,
+    k_words: usize,
+) {
+    assert!(a.len() >= m * k_words, "A buffer too small");
+    assert!(b.len() >= n * k_words, "B buffer too small");
+    assert!(c.len() >= m * n, "C buffer too small");
+    let fm = (frag.frag_m as usize).max(1);
+    let fn_ = (frag.frag_n as usize).max(1);
+    let fk = ((frag.frag_k_bits / 32) as usize).max(1);
+    c[..m * n]
+        .par_chunks_mut((n * fm).max(1))
+        .enumerate()
+        .for_each(|(band, cband)| {
+            let i0 = band * fm;
+            let rows = cband.len() / n.max(1);
+            cband.fill(0);
+            for k0 in (0..k_words).step_by(fk) {
+                let k_end = (k0 + fk).min(k_words);
+                for j0 in (0..n).step_by(fn_) {
+                    let j_end = (j0 + fn_).min(n);
+                    // One fragment op: an outer-product popcount accumulate
+                    // over the fragment's k-depth.
+                    for i in 0..rows {
+                        let ar = &a[(i0 + i) * k_words..(i0 + i) * k_words + k_end];
+                        for j in j0..j_end {
+                            let br = &b[j * k_words..j * k_words + k_end];
+                            let mut t = 0u32;
+                            for k in k0..k_end {
+                                t += op.combine(ar[k], br[k]).count_ones();
+                            }
+                            cband[i * n + j] += t;
+                        }
+                    }
+                }
             }
         });
 }
@@ -557,5 +824,112 @@ mod tests {
         let dev = devices::gtx_980();
         let cfg = ld_cfg(&dev);
         let _ = KernelPlan::new(&dev, &cfg, CompareOp::And, 0, 10, 10);
+    }
+
+    #[test]
+    fn lowering_picks_mma_only_on_aligned_matrix_unit_tiles() {
+        let t = devices::tc100();
+        let cfg = ld_cfg(&t);
+        assert_eq!(lowering_for(&t, &cfg), Lowering::Mma);
+        // Devices without a matrix unit always lower to scalar popcount.
+        for dev in [devices::gtx_980(), devices::titan_v(), devices::vega_64()] {
+            assert_eq!(lowering_for(&dev, &ld_cfg(&dev)), Lowering::Scalar);
+        }
+        // A register tile whose rows per group fall below frag_m falls back.
+        let mut bad = cfg;
+        bad.m_c = 4; // rows_per_group = 1 < frag_m = 8
+        assert_eq!(lowering_for(&t, &bad), Lowering::Scalar);
+    }
+
+    #[test]
+    fn mma_tile_program_structure() {
+        // TC100 LD: cols/group 512, rows/group 8, frag_k_words 4. Per k-trip:
+        // 16 B-fragment loads, 1 A-fragment load, (8/8)*(512/8) = 64 mma, 2 scalar.
+        let dev = devices::tc100();
+        let cfg = ld_cfg(&dev);
+        let prog = tile_program(&dev, &cfg, CompareOp::And, 800);
+        // Slabs of 383, 383, 34 words step by 4-word fragments: 96, 96, 9 trips.
+        assert_eq!(prog.blocks.len(), 7);
+        assert_eq!(prog.blocks[1].trips, 96);
+        assert_eq!(prog.blocks[5].trips, 9);
+        let body = &prog.blocks[1].instrs;
+        let count = |c: InstrClass| body.iter().filter(|i| i.class == c).count();
+        assert_eq!(count(InstrClass::LoadGlobal), 16);
+        assert_eq!(count(InstrClass::LoadShared), 1);
+        assert_eq!(count(InstrClass::Mma), 64);
+        assert_eq!(count(InstrClass::Scalar), 2);
+        // The scalar inner-product classes are gone from the inner loop.
+        assert_eq!(count(InstrClass::Logic), 0);
+        assert_eq!(count(InstrClass::Popc), 0);
+        assert_eq!(count(InstrClass::IntAdd), 0);
+        // Fused AND-NOT needs no explicit NOT on TC100.
+        let an = tile_program(&dev, &cfg, CompareOp::AndNot, 800);
+        assert_eq!(an.dynamic_instrs(), prog.dynamic_instrs());
+    }
+
+    #[test]
+    fn single_core_mma_tile_approaches_matrix_unit_peak() {
+        use snp_gpu_model::peak::matrix_unit_peak;
+        let dev = devices::tc100();
+        let cfg = ld_cfg(&dev);
+        let k = 2 * cfg.k_c;
+        let plan = KernelPlan::new(&dev, &cfg, CompareOp::And, cfg.m_c, cfg.n_r, k);
+        assert_eq!(plan.lowering, Lowering::Mma);
+        assert_eq!((plan.jobs_per_core, plan.active_cores), (1, 1));
+        let word_ops = (cfg.m_c * cfg.n_r * k) as f64;
+        let rate = word_ops / plan.core_cycles;
+        let peak_rate = matrix_unit_peak(&dev, WordOpKind::And)
+            .unwrap()
+            .word_ops_per_cycle_per_cluster
+            * dev.n_clusters as f64;
+        let frac = rate / peak_rate;
+        assert!(
+            frac > 0.85 && frac <= 1.0,
+            "TC100 mma single-tile efficiency {frac:.3} (rate {rate:.1} vs peak {peak_rate:.1})"
+        );
+    }
+
+    #[test]
+    fn mma_plan_is_faster_than_the_scalar_oracle_plan() {
+        let dev = devices::tc100();
+        let cfg = ld_cfg(&dev);
+        let mma = KernelPlan::new(&dev, &cfg, CompareOp::Xor, cfg.m_c, cfg.n_r, 766);
+        let scalar = KernelPlan::with_lowering(
+            &dev,
+            &cfg,
+            CompareOp::Xor,
+            cfg.m_c,
+            cfg.n_r,
+            766,
+            Lowering::Scalar,
+        );
+        assert_eq!(scalar.lowering, Lowering::Scalar);
+        assert!(
+            mma.core_cycles * 3.0 < scalar.core_cycles,
+            "mma {} vs scalar {} cycles",
+            mma.core_cycles,
+            scalar.core_cycles
+        );
+    }
+
+    #[test]
+    fn execute_gamma_mma_matches_scalar_executor() {
+        let frag = devices::tc100().matrix_unit.unwrap();
+        // Ragged shapes: m, n not multiples of the fragment, k not of frag_k_words.
+        for (m, n, k) in [(13, 9, 10), (8, 8, 4), (17, 23, 7), (1, 1, 1)] {
+            let a: Vec<u32> = (0..m * k)
+                .map(|i| (i as u32).wrapping_mul(2654435769))
+                .collect();
+            let b: Vec<u32> = (0..n * k)
+                .map(|i| (i as u32).wrapping_mul(40503) ^ 0xA5A5)
+                .collect();
+            for op in CompareOp::ALL {
+                let mut want = vec![0u32; m * n];
+                let mut got = vec![0u32; m * n];
+                execute_gamma(op, &a, &b, &mut want, m, n, k);
+                execute_gamma_mma(&frag, op, &a, &b, &mut got, m, n, k);
+                assert_eq!(got, want, "op {op} shape {m}x{n}x{k}");
+            }
+        }
     }
 }

@@ -46,7 +46,10 @@ pub use engine::{
     device_words, device_words_into, EngineError, EngineOptions, ExecMode, GpuEngine, RunReport,
     Timing,
 };
-pub use kernel::{execute_gamma, group_geometry, tile_program, GroupGeometry, KernelPlan};
+pub use kernel::{
+    execute_gamma, execute_gamma_mma, group_geometry, lowering_for, tile_program, tile_program_mma,
+    tile_program_scalar, tile_program_with, GroupGeometry, KernelPlan, Lowering,
+};
 pub use multi::{dgx2_like, MultiGpuEngine, MultiRunReport};
 pub use profile::{
     profile_cell, relative_drift, BandwidthReport, CellProfile, DriftReport, FuUtilization,

@@ -22,7 +22,7 @@
 //! rationale are documented in DESIGN.md §11.
 
 use snp_gpu_model::config::{Algorithm, ProblemShape};
-use snp_gpu_model::peak::peak_for_cores;
+use snp_gpu_model::peak::{effective_peak_for_cores, matrix_unit_peak, peak_for_cores};
 use snp_gpu_model::DeviceSpec;
 use snp_gpu_sim::{program_counters, simulate_core};
 
@@ -134,12 +134,20 @@ impl RooflineBound {
 pub struct Roofline {
     /// Word-ops per byte of global traffic.
     pub arithmetic_intensity: f64,
-    /// The ridge point `compute_peak / bandwidth_peak`, in word-ops/byte.
+    /// The ridge point `compute_peak / bandwidth_peak`, in word-ops/byte —
+    /// for a matrix-unit plan this is the matrix-unit ridge.
     pub ridge: f64,
-    /// Eq. 4–7 compute peak for the active core count, word-ops/s.
+    /// The compute peak pricing the plan, word-ops/s: the Eq. 4–7 scalar
+    /// peak for scalar plans, the matrix-unit peak for MMA plans (both at
+    /// the active core count).
     pub compute_peak_word_ops_s: f64,
     /// Effective DRAM bandwidth, bytes/s.
     pub memory_peak_bytes_s: f64,
+    /// The second, higher compute ridge contributed by the device's 1-bit
+    /// matrix unit, word-ops/byte at the active core count. `None` on
+    /// devices without a matrix unit; on devices with one it is present for
+    /// scalar and MMA plans alike (the roofline has both roofs either way).
+    pub matrix_unit_ridge: Option<f64>,
     /// The binding roof.
     pub bound: RooflineBound,
 }
@@ -313,14 +321,25 @@ pub fn profile_cell(
         fraction: achieved_bw / peak_bw,
     };
 
-    let compute_peak = peak_for_cores(dev, kind, plan.active_cores).word_ops_per_sec;
+    // MMA plans are priced (and classified) against the matrix-unit peak;
+    // scalar plans keep the Eq. 4–7 scalar roof even on matrix-unit devices.
+    let compute_peak = if plan.lowering.uses_matrix_unit() {
+        effective_peak_for_cores(dev, kind, plan.active_cores).word_ops_per_sec
+    } else {
+        peak_for_cores(dev, kind, plan.active_cores).word_ops_per_sec
+    };
     let intensity = plan.word_ops as f64 / plan.traffic.total().max(1) as f64;
     let ridge = compute_peak / peak_bw;
+    let matrix_unit_ridge = matrix_unit_peak(dev, kind).map(|p| {
+        let cores = plan.active_cores.min(dev.n_cores) as f64;
+        p.word_ops_per_sec_per_core * cores / peak_bw
+    });
     let roofline = Roofline {
         arithmetic_intensity: intensity,
         ridge,
         compute_peak_word_ops_s: compute_peak,
         memory_peak_bytes_s: peak_bw,
+        matrix_unit_ridge,
         bound: if intensity < ridge {
             RooflineBound::Memory
         } else {

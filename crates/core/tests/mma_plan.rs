@@ -1,0 +1,168 @@
+//! Matrix-unit lowering equivalence: the MMA-tiled kernel plan must be a
+//! pure performance transformation. On every algorithm and every shape the
+//! TC100's matrix-unit path produces γ counts bit-identical to the
+//! scalar-popcount plan (the oracle), and both match the host reference.
+//! A pinned-value test covers the MMA issue-cycle counters in the style of
+//! `profiler_counters.rs`.
+
+use proptest::prelude::*;
+use snp_bitmat::{reference_gamma, BitMatrix};
+use snp_core::{compare_op, config_for, lowering_for, tile_program, GpuEngine, Lowering};
+use snp_gpu_model::config::{Algorithm, ProblemShape};
+use snp_gpu_model::{devices, InstrClass};
+use snp_gpu_sim::{program_counters, simulate_core, Block, Instr, Program};
+
+/// The TC100 with its matrix unit disabled: identical memory system and
+/// scalar pipelines, so every plan lowers to the scalar-popcount oracle.
+fn tc100_scalar_oracle() -> snp_gpu_model::DeviceSpec {
+    let mut dev = devices::tc100();
+    dev.matrix_unit = None;
+    dev.pipelines
+        .retain(|p| !p.classes.contains(&InstrClass::Mma));
+    dev.validate().expect("oracle device is consistent");
+    dev
+}
+
+fn random_panel(rows: usize, words: usize, seed: u64) -> BitMatrix<u64> {
+    BitMatrix::<u64>::from_fn(rows, words * 64, |r, c| {
+        let x = (r as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(seed);
+        (x ^ (x >> 31)).wrapping_mul(0xBF58476D1CE4E5B9) & 1 == 1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MMA plan ≡ scalar plan ≡ host reference, on all three algorithms
+    /// over random shapes and seeds.
+    #[test]
+    fn mma_and_scalar_plans_are_bit_identical(
+        m in 9usize..120,
+        n in 9usize..120,
+        words in 1usize..12,
+        alg_i in 0usize..3,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let alg = [
+            Algorithm::LinkageDisequilibrium,
+            Algorithm::IdentitySearch,
+            Algorithm::MixtureAnalysis,
+        ][alg_i];
+        let a = random_panel(m, words, seed);
+        let b = if alg == Algorithm::LinkageDisequilibrium {
+            a.clone()
+        } else {
+            random_panel(n, words, seed ^ 0x5DEECE66D)
+        };
+
+        let mma_engine = GpuEngine::new(devices::tc100());
+        let scalar_engine = GpuEngine::new(tc100_scalar_oracle());
+        let got = mma_engine.compare(&a, &b, alg).unwrap();
+        let want = scalar_engine.compare(&a, &b, alg).unwrap();
+
+        let got = got.gamma.expect("full mode returns gamma");
+        let want = want.gamma.expect("full mode returns gamma");
+        prop_assert_eq!(got.first_mismatch(&want), None, "mma vs scalar plan");
+
+        let op = compare_op(alg, mma_engine.options().mixture);
+        let reference = reference_gamma(&a, &b, op);
+        prop_assert_eq!(got.first_mismatch(&reference), None, "mma vs host reference");
+    }
+}
+
+/// At the preset-aligned FastID shape the TC100 genuinely takes the
+/// matrix-unit lowering (the proptest's random shapes may fall back), and
+/// the result is still exact.
+#[test]
+fn aligned_fastid_run_uses_mma_lowering_and_stays_exact() {
+    let dev = devices::tc100();
+    let cfg = config_for(
+        &dev,
+        Algorithm::IdentitySearch,
+        ProblemShape {
+            m: 64,
+            n: 2048,
+            k_words: 32,
+        },
+    );
+    assert_eq!(lowering_for(&dev, &cfg), Lowering::Mma);
+
+    let queries = random_panel(64, 16, 7);
+    let database = random_panel(2048, 16, 11);
+    let run = GpuEngine::new(dev)
+        .identity_search(&queries, &database)
+        .unwrap();
+    let want = reference_gamma(&queries, &database, snp_bitmat::CompareOp::Xor);
+    assert_eq!(run.gamma.unwrap().first_mismatch(&want), None);
+}
+
+/// Pinned issue-cycle counters for a hand-computed MMA kernel on the TC100
+/// (N_T = 32; add 16 lanes → 2 issue cycles, lsu 8 lanes → 4, mma 8 lanes
+/// → 4):
+///
+/// ```text
+/// once:       load_global            → lsu 4
+/// loop × 10:  load_shared            → lsu 4 per trip
+///             mma (acc-carried)      → mma 4 per trip
+///             int_add                → add 2 per trip
+/// ```
+#[test]
+fn pinned_counters_for_hand_computed_mma_kernel() {
+    let dev = devices::tc100();
+    let prog = Program::new(vec![
+        Block::once(vec![Instr::load_global(0, &[])]),
+        Block::looped(
+            10,
+            vec![
+                Instr::load_shared(1, &[0], 1),
+                Instr::arith(InstrClass::Mma, 2, &[1, 0, 2]),
+                Instr::arith(InstrClass::IntAdd, 3, &[3, 2]),
+            ],
+        ),
+    ]);
+
+    let c = program_counters(&dev, &prog);
+    assert_eq!(c.instrs_per_group, 31); // 1 + 10 × 3
+    assert_eq!(c.bank_conflict_replays, 0);
+    // Pipelines on the TC100 are [add, logic, popc, lsu, mma].
+    assert_eq!(c.issue_cycles_per_pipeline, vec![20, 0, 0, 44, 40]);
+
+    // The detailed engine agrees: with one resident group per cluster the
+    // measured busy cycles equal the static issue counters exactly.
+    let det = simulate_core(&dev, &prog, 1, 1_000_000).unwrap();
+    assert_eq!(det.pipeline_busy, vec![20, 0, 0, 44, 40]);
+}
+
+/// The real TC100 MMA tile program's per-trip counters, pinned: 16 B loads
+/// plus 1 A load on the lsu (4 issue cycles each), 64 mma fragments (4
+/// issue cycles each), 2 scalar bookkeeping ops on the add pipe.
+#[test]
+fn pinned_counters_for_the_tc100_tile_program() {
+    let dev = devices::tc100();
+    let cfg = config_for(
+        &dev,
+        Algorithm::LinkageDisequilibrium,
+        ProblemShape {
+            m: 10_000,
+            n: 10_000,
+            k_words: 1000,
+        },
+    );
+    assert_eq!(lowering_for(&dev, &cfg), Lowering::Mma);
+    // k = 4 words is one fragment trip of one slab.
+    let prog = tile_program(&dev, &cfg, snp_bitmat::CompareOp::And, 4);
+    let c = program_counters(&dev, &prog);
+    let body = &prog.blocks[1].instrs;
+    let mma = body.iter().filter(|i| i.class == InstrClass::Mma).count() as u64;
+    assert_eq!(mma, 64);
+    // Per trip: mma pipe 64 × 4 = 256 issue cycles — the dominant term the
+    // macro model charges per fragment trip.
+    let mma_pipe = dev
+        .pipeline_index_for(InstrClass::Mma)
+        .expect("TC100 has an mma pipeline");
+    assert_eq!(c.issue_cycles_per_pipeline[mma_pipe], 256);
+    assert_eq!(c.bank_conflict_replays, 0);
+}

@@ -25,6 +25,8 @@ pub mod engine;
 pub mod gemm;
 pub mod microkernel;
 pub mod parallel;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod symmetric;
 
 pub use blocking::{CacheParams, CpuBlocking};

@@ -7,31 +7,60 @@
 //! (word-major, produced by [`snp_bitmat::PackedPanels`]) so every access is
 //! unit-stride.
 //!
-//! Two paths compute the same counts bit-identically:
+//! Three paths compute the same counts bit-identically:
 //!
-//! * [`microkernel`] — the production path. Full blocks of
-//!   [`CSA_BLOCK`] shared-dimension steps are folded through a Harley–Seal
-//!   carry-save adder tree ([`snp_bitmat::csa::popcount8`]): 4 popcounts per
-//!   8 combined words instead of 8, which is the dominant saving on targets
-//!   where `count_ones()` lowers to a SWAR sequence. The `k % CSA_BLOCK`
-//!   remainder falls back to the scalar loop.
+//! * [`microkernel`] — the production path. With the `simd` feature (the
+//!   default) full [`CSA_BLOCK`]-deep slabs run the 4-lane wide Harley–Seal
+//!   tree of [`crate::simd`]: one [`crate::simd::W64x4`] vector carries the
+//!   `NR` B lanes of a shared-dimension step, so the tree reduces all four
+//!   γ columns at once and popcounts 4 wide counters instead of 32 scalar
+//!   ones. Without the feature it is the scalar CSA path.
+//! * [`microkernel_csa`] — the scalar Harley–Seal path
+//!   ([`snp_bitmat::csa::popcount8`]): 4 popcounts per 8 combined words
+//!   instead of 8. The correctness oracle for the SIMD lane, and the
+//!   ablation baseline.
 //! * [`microkernel_scalar`] — the original one-popcount-per-word loop, kept
-//!   public as the oracle the property tests compare the CSA path against.
+//!   public as the oracle the property tests compare the CSA paths against.
+//!
+//! The `k % CSA_BLOCK` remainder always falls back to the scalar loop.
 
 use snp_bitmat::csa::popcount8;
 use snp_bitmat::CompareOp;
 
 use crate::blocking::{MR, NR};
+#[cfg(feature = "simd")]
+use crate::simd::{popcount8_lanes, W64x4};
+
+#[cfg(feature = "simd")]
+const _: () = assert!(NR == W64x4::LANES, "the SIMD lane width is the NR tile");
 
 /// Shared-dimension steps folded per CSA tree in [`microkernel`].
 pub const CSA_BLOCK: usize = 8;
 
 /// Computes `acc[i][j] += Σ_p popc(op(a_panel[p·MR + i], b_panel[p·NR + j]))`
-/// for `p` in `0..k`, using the CSA popcount path for full 8-step blocks.
+/// for `p` in `0..k`, using the fastest compiled-in popcount path for full
+/// 8-step blocks (wide SIMD with the `simd` feature, scalar CSA without).
 ///
 /// `a_panel` must hold `k × MR` words, `b_panel` `k × NR` words.
 #[inline]
 pub fn microkernel(
+    op: CompareOp,
+    k: usize,
+    a_panel: &[u64],
+    b_panel: &[u64],
+    acc: &mut [[u32; NR]; MR],
+) {
+    #[cfg(feature = "simd")]
+    return microkernel_simd(op, k, a_panel, b_panel, acc);
+    #[cfg(not(feature = "simd"))]
+    microkernel_csa(op, k, a_panel, b_panel, acc)
+}
+
+/// The scalar Harley–Seal CSA path: same contract and bit-identical results
+/// as [`microkernel`]; the oracle the SIMD lane is verified against, and the
+/// ablation baseline when benchmarking with `--no-default-features`.
+#[inline]
+pub fn microkernel_csa(
     op: CompareOp,
     k: usize,
     a_panel: &[u64],
@@ -45,6 +74,56 @@ pub fn microkernel(
         CompareOp::Xor => csa_impl(k, a_panel, b_panel, acc, |a, b| a ^ b),
         CompareOp::AndNot => csa_impl(k, a_panel, b_panel, acc, |a, b| a & !b),
     }
+}
+
+/// The wide 4-lane SIMD path: the Harley–Seal tree of [`crate::simd`] over
+/// `W64x4` vectors, one vector per shared-dimension step holding all `NR`
+/// B lanes. Bit-identical to [`microkernel_csa`].
+#[cfg(feature = "simd")]
+#[inline]
+pub fn microkernel_simd(
+    op: CompareOp,
+    k: usize,
+    a_panel: &[u64],
+    b_panel: &[u64],
+    acc: &mut [[u32; NR]; MR],
+) {
+    match op {
+        CompareOp::And => simd_impl(k, a_panel, b_panel, acc, |a, b| a & b),
+        CompareOp::Xor => simd_impl(k, a_panel, b_panel, acc, |a, b| a ^ b),
+        CompareOp::AndNot => simd_impl(k, a_panel, b_panel, acc, |a, b| a & !b),
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn simd_impl(
+    k: usize,
+    a_panel: &[u64],
+    b_panel: &[u64],
+    acc: &mut [[u32; NR]; MR],
+    combine: impl Fn(u64, u64) -> u64 + Copy,
+) {
+    let combine_v =
+        move |a: W64x4, b: W64x4| W64x4(std::array::from_fn(|l| combine(a.0[l], b.0[l])));
+    check_panels(k, a_panel, b_panel);
+    let full = k - k % CSA_BLOCK;
+    for p0 in (0..full).step_by(CSA_BLOCK) {
+        let a: &[u64; CSA_BLOCK * MR] = a_panel[p0 * MR..(p0 + CSA_BLOCK) * MR].try_into().unwrap();
+        let b: &[u64; CSA_BLOCK * NR] = b_panel[p0 * NR..(p0 + CSA_BLOCK) * NR].try_into().unwrap();
+        // One vector load per B step, reused across the MR rows.
+        let bv: [W64x4; CSA_BLOCK] = std::array::from_fn(|p| W64x4::load(&b[p * NR..]));
+        #[allow(clippy::needless_range_loop)] // explicit row index keeps the tile obvious
+        for i in 0..MR {
+            let w: [W64x4; CSA_BLOCK] =
+                std::array::from_fn(|p| combine_v(W64x4::splat(a[p * MR + i]), bv[p]));
+            let counts = popcount8_lanes(&w);
+            for j in 0..NR {
+                acc[i][j] += counts[j];
+            }
+        }
+    }
+    scalar_steps(full, k, a_panel, b_panel, acc, combine);
 }
 
 /// The pre-CSA microkernel: one `count_ones()` per combined word. Exact same

@@ -1,0 +1,54 @@
+//! The SIMD, scalar-CSA, and one-popcount-per-word microkernel paths must be
+//! bit-identical on every operator, shape, and seed: the wide lane is a pure
+//! performance transformation.
+
+use proptest::prelude::*;
+use snp_bitmat::{BitMatrix, CompareOp, PackedPanels};
+use snp_cpu::blocking::{MR, NR};
+use snp_cpu::microkernel::{microkernel, microkernel_csa, microkernel_scalar, zero_tile};
+
+fn random_panel(rows: usize, k_bits: usize, seed: u64) -> BitMatrix<u64> {
+    BitMatrix::<u64>::from_fn(rows, k_bits, |r, c| {
+        let x = (r as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(seed);
+        (x ^ (x >> 31)).wrapping_mul(0xBF58476D1CE4E5B9) & 1 == 1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random shared-dimension lengths hit every k regime (below one CSA
+    /// block, multiples, odd remainders); every operator; random bits.
+    #[test]
+    fn all_microkernel_paths_agree(
+        k_bits in 1usize..1400,
+        op_i in 0usize..3,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let op = CompareOp::ALL[op_i];
+        let a = random_panel(MR, k_bits, seed);
+        let b = random_panel(NR, k_bits, seed ^ 0xDEADBEEF);
+        let pa = PackedPanels::pack_all(&a, MR);
+        let pb = PackedPanels::pack_all(&b, NR);
+
+        let mut production = zero_tile();
+        microkernel(op, pa.k(), pa.panel(0), pb.panel(0), &mut production);
+        let mut csa = zero_tile();
+        microkernel_csa(op, pa.k(), pa.panel(0), pb.panel(0), &mut csa);
+        let mut scalar = zero_tile();
+        microkernel_scalar(op, pa.k(), pa.panel(0), pb.panel(0), &mut scalar);
+
+        prop_assert_eq!(csa, scalar, "csa vs scalar, op {}, k_bits {}", op, k_bits);
+        prop_assert_eq!(production, scalar, "production vs scalar, op {}, k_bits {}", op, k_bits);
+
+        #[cfg(feature = "simd")]
+        {
+            let mut simd = zero_tile();
+            snp_cpu::microkernel::microkernel_simd(op, pa.k(), pa.panel(0), pb.panel(0), &mut simd);
+            prop_assert_eq!(simd, scalar, "simd vs scalar, op {}, k_bits {}", op, k_bits);
+        }
+    }
+}

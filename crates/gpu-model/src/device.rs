@@ -84,6 +84,43 @@ impl MemoryModel {
     }
 }
 
+/// A 1-bit matrix unit (tensor-core style) attached to a device.
+///
+/// One [`InstrClass::Mma`] instruction drives the whole thread group through
+/// a `frag_m × frag_n` output fragment over `frag_k_bits` bits of the shared
+/// dimension: `acc[i][j] += popc(op(a_row_i, b_col_j))` with `op` the b1
+/// AND/XOR combine (Epi4Tensor-style `b1` tensor-core ops). Expressed in the
+/// paper's vocabulary this is just another functional unit with its own
+/// `N_fn` (the serving pipeline's lanes) and `L_fn` (`latency_cycles`); the
+/// fragment shape determines how many packed word-ops one issue retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixUnitSpec {
+    /// Output-fragment rows per MMA instruction.
+    pub frag_m: u32,
+    /// Output-fragment columns per MMA instruction.
+    pub frag_n: u32,
+    /// Shared-dimension bits consumed per MMA instruction.
+    pub frag_k_bits: u32,
+    /// Result latency of one MMA instruction in cycles (the matrix unit's
+    /// own `L_fn`; usually longer than the scalar `l_fn`).
+    pub latency_cycles: u32,
+}
+
+impl MatrixUnitSpec {
+    /// Shared-dimension *words* one MMA instruction consumes on a device
+    /// computing on `word_bits`-bit packed words.
+    pub fn frag_k_words(&self, word_bits: u32) -> u32 {
+        self.frag_k_bits / word_bits
+    }
+
+    /// Packed word-ops one MMA instruction retires:
+    /// `frag_m × frag_n × frag_k_bits / word_bits` — the currency of the
+    /// Eq. 4–7 peak model.
+    pub fn word_ops_per_instr(&self, word_bits: u32) -> u64 {
+        self.frag_m as u64 * self.frag_n as u64 * self.frag_k_words(word_bits) as u64
+    }
+}
+
 /// Host↔device link and software-overhead model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferModel {
@@ -165,6 +202,10 @@ pub struct DeviceSpec {
     pub memory: MemoryModel,
     /// Host link / overhead model.
     pub transfer: TransferModel,
+    /// 1-bit matrix unit (tensor-core style), if the device has one. A
+    /// device with a matrix unit must also map [`InstrClass::Mma`] onto one
+    /// of its pipelines (checked by [`DeviceSpec::validate`]).
+    pub matrix_unit: Option<MatrixUnitSpec>,
 }
 
 impl DeviceSpec {
@@ -202,6 +243,15 @@ impl DeviceSpec {
             InstrClass::LoadGlobal => self.memory.global_latency_cycles,
             InstrClass::LoadShared => self.memory.shared_latency_cycles,
             InstrClass::StoreGlobal | InstrClass::StoreShared => self.issue_cycles(class),
+            // The matrix unit has its own L_fn, independent of the scalar
+            // arithmetic latency.
+            InstrClass::Mma => {
+                let l = self
+                    .matrix_unit
+                    .map(|m| m.latency_cycles)
+                    .unwrap_or(self.l_fn);
+                self.issue_cycles(class).max(l)
+            }
             _ => self.issue_cycles(class).max(self.l_fn),
         }
     }
@@ -278,6 +328,32 @@ impl DeviceSpec {
                 self.name, self.word_bits
             ));
         }
+        match (&self.matrix_unit, self.pipeline_for(InstrClass::Mma)) {
+            (Some(mu), pipe) => {
+                if pipe.is_none() {
+                    return Err(format!(
+                        "{}: matrix unit declared but no pipeline serves mma",
+                        self.name
+                    ));
+                }
+                if mu.frag_m == 0 || mu.frag_n == 0 || mu.frag_k_bits == 0 {
+                    return Err(format!("{}: degenerate matrix-unit fragment", self.name));
+                }
+                if !mu.frag_k_bits.is_multiple_of(self.word_bits) {
+                    return Err(format!(
+                        "{}: frag_k_bits {} not a multiple of the {}-bit word",
+                        self.name, mu.frag_k_bits, self.word_bits
+                    ));
+                }
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "{}: mma pipeline present but no matrix unit declared",
+                    self.name
+                ));
+            }
+            (None, None) => {}
+        }
         Ok(())
     }
 }
@@ -303,6 +379,34 @@ mod tests {
         assert_eq!(dev.result_latency(InstrClass::Logic), 6); // max(1, 6)
         let vega = devices::vega_64(); // L_fn = 4, popc lanes 16, N_T 64 -> issue 4
         assert_eq!(vega.result_latency(InstrClass::Popc), 4);
+    }
+
+    #[test]
+    fn mma_result_latency_uses_matrix_unit_lfn() {
+        let dev = devices::tc100(); // mma: 8 lanes over N_T 32 -> issue 4; L = 8
+        assert_eq!(dev.issue_cycles(InstrClass::Mma), 4);
+        assert_eq!(dev.result_latency(InstrClass::Mma), 8);
+        let mu = dev.matrix_unit.unwrap();
+        // 8 x 8 x (128 / 32) = 256 packed word-ops per issued instruction.
+        assert_eq!(mu.frag_k_words(dev.word_bits), 4);
+        assert_eq!(mu.word_ops_per_instr(dev.word_bits), 256);
+    }
+
+    #[test]
+    fn matrix_unit_consistency_validated() {
+        let mut dev = devices::tc100();
+        dev.matrix_unit = None; // pipeline still serves mma
+        assert!(dev.validate().unwrap_err().contains("no matrix unit"));
+        let mut dev = devices::tc100();
+        dev.pipelines
+            .retain(|p| !p.classes.contains(&InstrClass::Mma));
+        assert!(dev.validate().unwrap_err().contains("no pipeline"));
+        let mut dev = devices::tc100();
+        dev.matrix_unit = Some(MatrixUnitSpec {
+            frag_k_bits: 48, // not a multiple of 32
+            ..dev.matrix_unit.unwrap()
+        });
+        assert!(dev.validate().unwrap_err().contains("frag_k_bits"));
     }
 
     #[test]

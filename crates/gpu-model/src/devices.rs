@@ -10,7 +10,7 @@
 //! the scaling knee/exponent pairs are calibrated to Fig. 7 as described in
 //! DESIGN.md §6.
 
-use crate::device::{DeviceSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
+use crate::device::{DeviceSpec, MatrixUnitSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
 use crate::instr::InstrClass;
 
 const GIB: u64 = 1 << 30;
@@ -62,6 +62,7 @@ pub fn gtx_980() -> DeviceSpec {
             scaling_exponent: 0.0345, // ≈ 90.9 % per-core efficiency at 16 cores (Fig. 7)
         },
         transfer: pcie3(180),
+        matrix_unit: None,
     }
 }
 
@@ -111,6 +112,7 @@ pub fn titan_v() -> DeviceSpec {
             scaling_exponent: 0.0065, // ≈ 97 % at 80 cores: "scales almost perfectly" (Fig. 7)
         },
         transfer: pcie3(150),
+        matrix_unit: None,
     }
 }
 
@@ -174,6 +176,7 @@ pub fn vega_64() -> DeviceSpec {
             scaling_exponent: 0.2733,
         },
         transfer: pcie3(250),
+        matrix_unit: None,
     }
 }
 
@@ -232,6 +235,70 @@ pub fn xeon_e5_2620_v2() -> DeviceSpec {
             runtime_init_ns: 0,
             host_pack_gib_s: 8.0,
         },
+        matrix_unit: None,
+    }
+}
+
+/// "TC100": a hypothetical Ampere-like fourth GPU with a 1-bit matrix unit,
+/// parameterized Table-I-style. The scalar side follows the A100 lineage
+/// (108 cores of 4 clusters at 1.41 GHz, 16-lane add/logic and 8-lane popc
+/// pipes, 4-cycle arithmetic latency, 48 KiB OpenCL shared memory with the
+/// NVIDIA reservation); the matrix unit executes one b1 8×8×128 AND+POPC /
+/// XOR+POPC fragment op per [`InstrClass::Mma`] issue (Epi4Tensor-style),
+/// i.e. 256 packed word-ops per instruction from a 4-lane pipeline —
+/// 32 word-ops per cycle per cluster, 4× the scalar popc-bound peak.
+pub fn tc100() -> DeviceSpec {
+    DeviceSpec {
+        name: "TC100".to_string(),
+        vendor: Vendor::Nvidia,
+        microarchitecture: "Ampere".to_string(),
+        frequency_ghz: 1.41,
+        n_t: 32,
+        max_thread_groups: 32,
+        n_cores: 108,
+        n_clusters: 4,
+        pipelines: vec![
+            PipelineSpec::new("add", 16, &[InstrClass::IntAdd, InstrClass::Scalar]),
+            PipelineSpec::new("logic", 16, &[InstrClass::Logic, InstrClass::Not]),
+            PipelineSpec::new("popc", 8, &[InstrClass::Popc]),
+            PipelineSpec::new(
+                "lsu",
+                8,
+                &[
+                    InstrClass::LoadGlobal,
+                    InstrClass::LoadShared,
+                    InstrClass::StoreGlobal,
+                    InstrClass::StoreShared,
+                ],
+            ),
+            PipelineSpec::new("mma", 8, &[InstrClass::Mma]),
+        ],
+        l_fn: 4,
+        global_mem_bytes: (39.5 * GIB as f64) as u64,
+        max_alloc_bytes: (9.875 * GIB as f64) as u64,
+        shared_mem_bytes: 48 * KIB,
+        shared_mem_reserved_bytes: 32, // same OpenCL reservation as the other NVIDIA parts
+        shared_banks: 32,
+        registers_per_core: 64 * 1024,
+        max_regs_per_thread: 255,
+        n_vec: 4,
+        word_bits: 32,
+        fused_andnot: true,
+        memory: MemoryModel {
+            dram_bandwidth_gib_s: 1448.0,
+            dram_efficiency: 0.85,
+            global_latency_cycles: 28,
+            shared_latency_cycles: 24,
+            scaling_knee: 1,
+            scaling_exponent: 0.005, // near-perfect scaling, like the Titan V
+        },
+        transfer: pcie3(150),
+        matrix_unit: Some(MatrixUnitSpec {
+            frag_m: 8,
+            frag_n: 8,
+            frag_k_bits: 128,
+            latency_cycles: 8,
+        }),
     }
 }
 
@@ -245,14 +312,15 @@ fn pcie3(init_ms: u64) -> TransferModel {
     }
 }
 
-/// The three evaluated GPUs, in the paper's presentation order.
+/// The evaluated GPUs: the paper's three in presentation order, plus the
+/// matrix-unit TC100 extension.
 pub fn all_gpus() -> Vec<DeviceSpec> {
-    vec![gtx_980(), titan_v(), vega_64()]
+    vec![gtx_980(), titan_v(), vega_64(), tc100()]
 }
 
-/// All Table I devices including the CPU column.
+/// All modeled devices including the CPU column.
 pub fn all_devices() -> Vec<DeviceSpec> {
-    vec![xeon_e5_2620_v2(), gtx_980(), titan_v(), vega_64()]
+    vec![xeon_e5_2620_v2(), gtx_980(), titan_v(), vega_64(), tc100()]
 }
 
 /// Looks a device up by name, ignoring case and separator characters
@@ -361,7 +429,45 @@ mod tests {
     fn lookup_by_name_is_case_insensitive() {
         assert!(by_name("vega 64").is_some());
         assert!(by_name("TITAN V").is_some());
+        assert!(by_name("tc100").is_some());
+        assert!(by_name("TC-100").is_some());
         assert!(by_name("gtx 1080").is_none());
+    }
+
+    #[test]
+    fn tc100_table1_column() {
+        let d = tc100();
+        assert_eq!(
+            (d.n_t, d.max_thread_groups, d.n_cores, d.n_clusters, d.l_fn),
+            (32, 32, 108, 4, 4)
+        );
+        assert_eq!(d.n_fn(InstrClass::Popc), Some(8));
+        assert_eq!(d.n_fn(InstrClass::Mma), Some(8));
+        let mu = d.matrix_unit.unwrap();
+        assert_eq!((mu.frag_m, mu.frag_n, mu.frag_k_bits), (8, 8, 128));
+        assert_eq!(mu.latency_cycles, 8);
+        assert!(d.fused_andnot);
+        assert_eq!(d.usable_shared_bytes(), 48 * 1024 - 32);
+    }
+
+    #[test]
+    fn only_tc100_has_a_matrix_unit() {
+        for d in all_devices() {
+            assert_eq!(d.matrix_unit.is_some(), d.name == "TC100", "{}", d.name);
+            assert_eq!(
+                d.pipeline_for(InstrClass::Mma).is_some(),
+                d.name == "TC100",
+                "{}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn device_matrix_is_three_by_four() {
+        assert_eq!(all_gpus().len(), 4);
+        assert_eq!(all_devices().len(), 5);
+        assert_eq!(all_gpus().last().unwrap().name, "TC100");
     }
 
     #[test]

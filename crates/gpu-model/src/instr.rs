@@ -30,11 +30,17 @@ pub enum InstrClass {
     /// Scalar bookkeeping (loop counters, address arithmetic). Charged to
     /// the same pipeline as `IntAdd` on every modeled device.
     Scalar,
+    /// One 1-bit matrix-unit fragment operation (tensor-core style b1 MMA):
+    /// AND+POPC or XOR+POPC over an `frag_m × frag_n × frag_k_bits` tile
+    /// fragment, accumulating into 32-bit counters. Only devices declaring a
+    /// [`MatrixUnitSpec`](crate::device::MatrixUnitSpec) (and a pipeline
+    /// serving this class) can execute it.
+    Mma,
 }
 
 impl InstrClass {
     /// All classes, in a stable order.
-    pub const ALL: [InstrClass; 9] = [
+    pub const ALL: [InstrClass; 10] = [
         InstrClass::IntAdd,
         InstrClass::Logic,
         InstrClass::Not,
@@ -44,6 +50,7 @@ impl InstrClass {
         InstrClass::StoreGlobal,
         InstrClass::StoreShared,
         InstrClass::Scalar,
+        InstrClass::Mma,
     ];
 
     /// True for the memory classes handled by the load/store pipeline.
@@ -69,6 +76,7 @@ impl InstrClass {
             InstrClass::StoreGlobal => "st.global",
             InstrClass::StoreShared => "st.shared",
             InstrClass::Scalar => "scalar",
+            InstrClass::Mma => "mma",
         }
     }
 }

@@ -36,5 +36,5 @@ pub mod peak;
 pub mod presets;
 
 pub use config::{Algorithm, KernelConfig, McRule, ProblemShape};
-pub use device::{DeviceSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
+pub use device::{DeviceSpec, MatrixUnitSpec, MemoryModel, PipelineSpec, TransferModel, Vendor};
 pub use instr::{InstrClass, WordOpKind};

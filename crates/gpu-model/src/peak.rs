@@ -100,6 +100,54 @@ pub fn peak_for_cores(dev: &DeviceSpec, kind: WordOpKind, cores: u32) -> Peak {
     }
 }
 
+/// Theoretical peak of the 1-bit matrix unit for operator `kind` on `dev`,
+/// or `None` when the device has no matrix unit.
+///
+/// One `mma` issue retires `frag_m × frag_n × frag_k_words` word-ops, so the
+/// per-cluster rate is `word_ops_per_instr / issue_cycles(Mma)` — the
+/// fragment ALUs replace the scalar logic/popc/add chain entirely, so the
+/// operator mix does not change the rate (AND-NOT negates the B fragment
+/// once per load, off the critical pipe). The `kind` parameter is kept so
+/// the signature matches [`peak`] and future devices can differentiate.
+pub fn matrix_unit_peak(dev: &DeviceSpec, _kind: WordOpKind) -> Option<Peak> {
+    let mu = dev.matrix_unit?;
+    let issue = dev.issue_cycles(InstrClass::Mma) as f64;
+    let per_cluster = mu.word_ops_per_instr(dev.word_bits) as f64 / issue;
+    let per_core = per_cluster * dev.n_clusters as f64 * dev.frequency_ghz * 1e9;
+    let device = per_core * dev.n_cores as f64;
+    Some(Peak {
+        word_ops_per_cycle_per_cluster: per_cluster,
+        word_ops_per_sec_per_core: per_core,
+        word_ops_per_sec: device,
+        bit_ops_per_sec: device * dev.word_bits as f64,
+    })
+}
+
+/// The best peak the device offers for `kind`: the matrix-unit peak when one
+/// exists and beats the scalar pipelines, the scalar [`peak`] otherwise.
+///
+/// This is the figure the profiler and linter price MMA-lowered plans
+/// against; scalar-only devices are unaffected.
+pub fn effective_peak(dev: &DeviceSpec, kind: WordOpKind) -> Peak {
+    let scalar = peak(dev, kind);
+    match matrix_unit_peak(dev, kind) {
+        Some(m) if m.word_ops_per_sec > scalar.word_ops_per_sec => m,
+        _ => scalar,
+    }
+}
+
+/// [`effective_peak`] restricted to `cores` active compute cores.
+pub fn effective_peak_for_cores(dev: &DeviceSpec, kind: WordOpKind, cores: u32) -> Peak {
+    let full = effective_peak(dev, kind);
+    let cores = cores.min(dev.n_cores) as f64;
+    Peak {
+        word_ops_per_cycle_per_cluster: full.word_ops_per_cycle_per_cluster,
+        word_ops_per_sec_per_core: full.word_ops_per_sec_per_core,
+        word_ops_per_sec: full.word_ops_per_sec_per_core * cores,
+        bit_ops_per_sec: full.word_ops_per_sec_per_core * cores * dev.word_bits as f64,
+    }
+}
+
 /// The popcount-pipe-only peak — the historical "population count is the
 /// bottleneck" figure of merit from \[11\]. Coincides with [`peak`] whenever
 /// popcount is in fact the limiting pipeline (all NVIDIA devices; on Vega
@@ -223,6 +271,54 @@ mod tests {
         assert_eq!(
             pmax.word_ops_per_sec,
             peak(&t, WordOpKind::And).word_ops_per_sec
+        );
+    }
+
+    #[test]
+    fn tc100_matrix_unit_peak_is_eight_times_its_scalar_peak() {
+        // One mma issue retires 8x8x4 = 256 word-ops in ceil(32/8) = 4 issue
+        // cycles -> 64 word-ops/cycle/cluster, vs the 8-lane scalar popc
+        // bound. 64 * 4 clusters * 108 cores * 1.41 GHz ~= 39.0 T word-ops/s.
+        let t = tc100();
+        let scalar = peak(&t, WordOpKind::And);
+        let mma = matrix_unit_peak(&t, WordOpKind::And).expect("TC100 has a matrix unit");
+        assert!((scalar.word_ops_per_cycle_per_cluster - 8.0).abs() < 1e-12);
+        assert!((mma.word_ops_per_cycle_per_cluster - 64.0).abs() < 1e-12);
+        assert!((mma.word_ops_per_sec / scalar.word_ops_per_sec - 8.0).abs() < 1e-9);
+        assert!(
+            (mma.word_ops_per_sec / 1e12 - 38.983).abs() < 1e-2,
+            "got {}",
+            mma.word_ops_per_sec / 1e12
+        );
+    }
+
+    #[test]
+    fn effective_peak_prefers_matrix_unit_only_where_present() {
+        for d in all_devices() {
+            let s = peak(&d, WordOpKind::And);
+            let e = effective_peak(&d, WordOpKind::And);
+            if d.matrix_unit.is_some() {
+                assert!(
+                    e.word_ops_per_sec > s.word_ops_per_sec,
+                    "{}: matrix unit should raise the effective peak",
+                    d.name
+                );
+            } else {
+                assert_eq!(e, s, "{}: no matrix unit, peaks must coincide", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_peak_for_cores_scales_and_clamps() {
+        let t = tc100();
+        let p1 = effective_peak_for_cores(&t, WordOpKind::Xor, 1);
+        let p27 = effective_peak_for_cores(&t, WordOpKind::Xor, 27);
+        assert!((p27.word_ops_per_sec / p1.word_ops_per_sec - 27.0).abs() < 1e-9);
+        let pmax = effective_peak_for_cores(&t, WordOpKind::Xor, 10_000);
+        assert_eq!(
+            pmax.word_ops_per_sec,
+            effective_peak(&t, WordOpKind::Xor).word_ops_per_sec
         );
     }
 

@@ -96,6 +96,20 @@ pub fn table2() -> Vec<Preset> {
             algorithm: PresetAlgorithm::FastId,
             config: cfg(32, 4, 512, 1024, 1, 64, 4),
         },
+        // TC100 — not in the paper; the column is derived from the same
+        // Eq. 4–7 model the three printed columns are cross-checked against
+        // (k_c from Eq. 6, n_r as the largest valid power of two per thread,
+        // grids occupying all 108 cores).
+        Preset {
+            device: "TC100",
+            algorithm: PresetAlgorithm::Ld,
+            config: cfg(32, 4, 383, 2048, 108, 1, 4),
+        },
+        Preset {
+            device: "TC100",
+            algorithm: PresetAlgorithm::FastId,
+            config: cfg(32, 4, 383, 2048, 1, 108, 4),
+        },
     ]
 }
 

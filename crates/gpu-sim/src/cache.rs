@@ -22,6 +22,7 @@ pub fn l2_bytes_for(dev: &DeviceSpec) -> u64 {
         "Maxwell" => 2 << 20,
         "Volta" => 4608 << 10,
         "Vega (GCN5)" => 4 << 20,
+        "Ampere" => 40 << 20,
         _ => 2 << 20,
     }
 }

@@ -229,6 +229,15 @@ pub fn simulate_core_width(
                         + (instr.conflict_ways as u64 - 1) * width_issue
                 }
                 InstrClass::StoreGlobal | InstrClass::StoreShared => t_issue,
+                InstrClass::Mma => {
+                    // The fragment op completes in the matrix unit's own
+                    // pipeline depth, not the scalar L_fn.
+                    let l = dev
+                        .matrix_unit
+                        .map(|m| m.latency_cycles as u64)
+                        .unwrap_or(dev.l_fn as u64);
+                    l.max(width_issue)
+                }
                 _ => (dev.l_fn as u64).max(width_issue),
             };
             let ready = cycle + latency.max(t_issue);

@@ -3,7 +3,8 @@
 //! hard limits and its Eq. 4–7 peak model.
 
 use crate::diag::{Diagnostic, Report, Severity};
-use snp_gpu_model::{peak::peak, DeviceSpec, KernelConfig, WordOpKind};
+use snp_gpu_model::peak::{effective_peak, peak};
+use snp_gpu_model::{DeviceSpec, InstrClass, KernelConfig, WordOpKind};
 use snp_gpu_sim::isa::Program;
 
 /// Everything the linter needs to know about one planned kernel launch.
@@ -24,6 +25,10 @@ pub struct PlanFacts {
     pub word_ops: f64,
     /// The packed comparison operator (selects the Eq. 4–7 peak).
     pub op_kind: WordOpKind,
+    /// Whether the plan lowers its inner product onto the device's 1-bit
+    /// matrix unit (prices the cost check against the matrix-unit peak and
+    /// arms the fragment-shape rules).
+    pub uses_matrix_unit: bool,
 }
 
 /// Lints one planned kernel against `dev`'s limits and peak model.
@@ -125,9 +130,15 @@ pub fn lint_kernel(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> R
     }
 
     // V106: the declared cost must be reachable — no launch finishes its
-    // word-ops faster than the Eq. 4–7 bottleneck pipeline allows.
+    // word-ops faster than the Eq. 4–7 bottleneck pipeline allows. MMA
+    // plans are priced against the matrix-unit peak, which is what makes
+    // their (legitimately) sub-scalar-peak cycle counts lint clean.
     if facts.word_ops > 0.0 && facts.active_cores > 0 {
-        let per_cluster = peak(dev, facts.op_kind).word_ops_per_cycle_per_cluster;
+        let per_cluster = if facts.uses_matrix_unit {
+            effective_peak(dev, facts.op_kind).word_ops_per_cycle_per_cluster
+        } else {
+            peak(dev, facts.op_kind).word_ops_per_cycle_per_cluster
+        };
         let per_core_rate = per_cluster * dev.n_clusters as f64;
         let min_cycles = (facts.word_ops / facts.active_cores as f64) / per_core_rate;
         if facts.core_cycles < min_cycles * 0.999 {
@@ -138,6 +149,64 @@ pub fn lint_kernel(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> R
                     "declared {:.0} core cycles for {:.0} word-ops on {} cores, but the \
                      peak model needs at least {:.0} cycles",
                     facts.core_cycles, facts.word_ops, facts.active_cores, min_cycles,
+                ),
+            ));
+        }
+    }
+
+    // V107: matrix-unit instructions can only execute on a device that
+    // declares a matrix unit *and* serves the `mma` class with a pipeline.
+    let mma_instrs: usize = prog
+        .blocks
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .filter(|i| i.class == InstrClass::Mma)
+        .count();
+    if mma_instrs > 0
+        && (dev.matrix_unit.is_none() || dev.pipeline_index_for(InstrClass::Mma).is_none())
+    {
+        report.diagnostics.push(Diagnostic::new(
+            "V107-MMA-UNSUPPORTED",
+            Severity::Error,
+            format!(
+                "program issues {mma_instrs} mma instruction(s) but {} has no matrix unit",
+                dev.name,
+            ),
+        ));
+    }
+
+    // V108: an MMA plan's group output tile must align to the fragment
+    // shape — a misaligned tile silently drops or double-counts fragment
+    // rows/columns on real matrix units.
+    if facts.uses_matrix_unit {
+        if let Some(mu) = dev.matrix_unit {
+            let nt = dev.n_t.max(1) as usize;
+            let groups = cfg.groups_per_cluster.max(1) as usize;
+            let cols_per_group = cfg.n_r / groups;
+            let groups_per_core = groups * dev.n_clusters.max(1) as usize;
+            let outputs_per_thread = cfg.m_c * cfg.n_r / (groups_per_core * nt);
+            let cols_per_thread = (cols_per_group / nt).max(1);
+            let rows_per_group = outputs_per_thread / cols_per_thread;
+            if !rows_per_group.is_multiple_of(mu.frag_m as usize)
+                || !cols_per_group.is_multiple_of(mu.frag_n as usize)
+            {
+                report.diagnostics.push(Diagnostic::new(
+                    "V108-FRAG-SHAPE",
+                    Severity::Error,
+                    format!(
+                        "group tile {rows_per_group}x{cols_per_group} does not align to the \
+                         {}x{} matrix-unit fragment of {}",
+                        mu.frag_m, mu.frag_n, dev.name,
+                    ),
+                ));
+            }
+        } else {
+            report.diagnostics.push(Diagnostic::new(
+                "V108-FRAG-SHAPE",
+                Severity::Error,
+                format!(
+                    "plan declares matrix-unit lowering but {} has no matrix unit",
+                    dev.name,
                 ),
             ));
         }
@@ -162,6 +231,7 @@ mod tests {
             active_cores: 1,
             word_ops,
             op_kind: WordOpKind::And,
+            uses_matrix_unit: false,
         }
     }
 
@@ -260,5 +330,79 @@ mod tests {
         let at_peak = facts(prog, 1.0e5, 3.2e6);
         let report = lint_kernel(&dev, &cfg, &at_peak);
         assert!(report.diagnostics.is_empty(), "{}", report.render_text("t"));
+    }
+
+    fn mma_program() -> Program {
+        Program::new(vec![Block::looped(
+            4,
+            vec![
+                Instr::load_global(1, &[]),
+                Instr::load_shared(2, &[], 1),
+                Instr::arith(InstrClass::Mma, 0, &[2, 1, 0]),
+                Instr::store_global(&[0]),
+            ],
+        )])
+    }
+
+    #[test]
+    fn mma_on_scalar_device_flagged_unsupported() {
+        let dev = devices::gtx_980();
+        let cfg = config(&dev);
+        let mut f = facts(mma_program(), 1e6, 0.0);
+        f.uses_matrix_unit = true;
+        let report = lint_kernel(&dev, &cfg, &f);
+        assert_eq!(report.with_code("V107-MMA-UNSUPPORTED").count(), 1);
+        // Without a matrix unit there is no fragment shape to align to.
+        assert_eq!(report.with_code("V108-FRAG-SHAPE").count(), 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn mma_on_tc100_lints_clean_and_misaligned_tile_flagged() {
+        let dev = devices::tc100();
+        let cfg = config(&dev);
+        let mut f = facts(mma_program(), 1e6, 0.0);
+        f.uses_matrix_unit = true;
+        let report = lint_kernel(&dev, &cfg, &f);
+        assert_eq!(report.with_code("V107-MMA-UNSUPPORTED").count(), 0);
+        assert_eq!(
+            report.with_code("V108-FRAG-SHAPE").count(),
+            0,
+            "{}",
+            report.render_text("t")
+        );
+        // Shrink m_c so the group tile covers a single output row, which
+        // cannot align to 8-row fragments.
+        let mut bad = cfg;
+        bad.m_c = 4;
+        let report = lint_kernel(&dev, &bad, &f);
+        assert_eq!(report.with_code("V108-FRAG-SHAPE").count(), 1);
+    }
+
+    #[test]
+    fn mma_cost_priced_against_matrix_unit_peak() {
+        // TC100 scalar peak: 8 word-ops/cycle/cluster * 4 = 32/cycle/core;
+        // matrix unit: 32/cycle/cluster * 4 = 128/cycle/core. A cost of
+        // 1e5 cycles for 12.8e6 word-ops is only reachable via the matrix
+        // unit — the same facts must fail when declared as a scalar plan.
+        let dev = devices::tc100();
+        let cfg = config(&dev);
+        let mut f = facts(mma_program(), 1.0e5, 12.8e6);
+        f.uses_matrix_unit = true;
+        let report = lint_kernel(&dev, &cfg, &f);
+        assert_eq!(
+            report.with_code("V106-UNREACHABLE-COST").count(),
+            0,
+            "{}",
+            report.render_text("t")
+        );
+        let mut scalar = facts(
+            Program::dependent_chain(InstrClass::Popc, 4, 10),
+            1.0e5,
+            12.8e6,
+        );
+        scalar.uses_matrix_unit = false;
+        let report = lint_kernel(&dev, &cfg, &scalar);
+        assert_eq!(report.with_code("V106-UNREACHABLE-COST").count(), 1);
     }
 }

@@ -45,7 +45,11 @@ fn parse_snapshot(path: &str, text: &str) -> Result<Snapshot, String> {
     let mut entries = BTreeMap::new();
     let mut pr = None;
     if let Ok(v) = json::parse(text) {
-        if let Some(obj) = v.as_obj() {
+        if let Some((id, ns)) = entry_of(&v) {
+            // A raw shim file with exactly one line is itself a valid JSON
+            // document: one bare entry, not a wrapped snapshot.
+            entries.insert(id, ns);
+        } else if let Some(obj) = v.as_obj() {
             pr = obj.get("pr").and_then(Value::as_num).map(|n| n as u32);
             let list = obj
                 .get("entries")
@@ -97,53 +101,30 @@ fn discover() -> Vec<String> {
     found
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let paths = if args.is_empty() { discover() } else { args };
-    if paths.len() < 2 {
-        eprintln!(
-            "need at least two snapshots to diff (found {})",
-            paths.len()
-        );
-        return ExitCode::FAILURE;
-    }
-
-    let mut snaps = Vec::new();
-    for path in &paths {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match parse_snapshot(path, &text) {
-            Ok(s) => snaps.push(s),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
+/// Sorts the snapshots by PR and selects the pair to diff: the latest
+/// snapshot against the previous *available* one. PR numbers with no
+/// snapshot are returned as explicit gaps so the caller warns instead of
+/// silently mis-pairing (PR 3, the hot-path optimisation PR, predates the
+/// shared schema and recorded its numbers only in EXPERIMENTS.md prose).
+fn select_pair(snaps: &mut Vec<Snapshot>) -> Result<(usize, usize, Vec<u32>), String> {
     snaps.sort_by_key(|s| s.pr);
-
-    // Gaps in the PR sequence are worth knowing about: a missing snapshot
-    // means that PR's perf claims are not machine-checkable (PR 3, the
-    // hot-path optimisation PR, predates the shared schema and recorded
-    // its numbers only in EXPERIMENTS.md prose).
-    for w in snaps.windows(2) {
-        for missing in (w[0].pr + 1)..w[1].pr {
-            println!("note: no snapshot for PR {missing}");
-        }
+    snaps.dedup_by_key(|s| s.pr);
+    if snaps.len() < 2 {
+        return Err(format!(
+            "need at least two distinct PR snapshots to diff (found {})",
+            snaps.len()
+        ));
     }
+    let mut gaps = Vec::new();
+    for w in snaps.windows(2) {
+        gaps.extend((w[0].pr + 1)..w[1].pr);
+    }
+    Ok((snaps.len() - 2, snaps.len() - 1, gaps))
+}
 
-    let prev = &snaps[snaps.len() - 2];
-    let latest = &snaps[snaps.len() - 1];
-    println!(
-        "diffing {} (PR {}) against {} (PR {})",
-        latest.path, latest.pr, prev.path, prev.pr
-    );
-
+/// Diffs `latest` against `prev`, printing one line per shared id. Returns
+/// `(shared, regressions)`.
+fn diff(prev: &Snapshot, latest: &Snapshot) -> (usize, usize) {
     let mut regressions = 0usize;
     let mut shared = 0usize;
     for (id, &ns) in &latest.entries {
@@ -163,6 +144,47 @@ fn main() -> ExitCode {
             delta * 100.0
         );
     }
+    (shared, regressions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths = if args.is_empty() { discover() } else { args };
+    let mut snaps = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_snapshot(path, &text) {
+            Ok(s) => snaps.push(s),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (prev_i, latest_i, gaps) = match select_pair(&mut snaps) {
+        Ok(sel) => sel,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for missing in &gaps {
+        println!("note: no snapshot for PR {missing} — skipping it, not mis-pairing");
+    }
+    let (prev, latest) = (&snaps[prev_i], &snaps[latest_i]);
+    println!(
+        "diffing {} (PR {}) against {} (PR {})",
+        latest.path, latest.pr, prev.path, prev.pr
+    );
+
+    let (shared, regressions) = diff(prev, latest);
     println!(
         "{shared} shared benchmark(s), {regressions} regression(s) beyond {:.0}%",
         MAX_REGRESSION * 100.0
@@ -174,5 +196,67 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pr: u32, entries: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            pr,
+            path: format!("BENCH_pr{pr}.json"),
+            entries: entries
+                .iter()
+                .map(|(id, ns)| (id.to_string(), *ns))
+                .collect(),
+        }
+    }
+
+    /// The PR 3 gap: with snapshots for PRs 1, 2, and 4 only, the latest
+    /// (4) is diffed against the previous available (2) and the missing
+    /// PR 3 is reported as a gap — never paired against, never silently
+    /// skipped.
+    #[test]
+    fn gap_in_pr_sequence_is_reported_not_mispaired() {
+        let mut snaps = vec![
+            snap(4, &[("a", 100.0)]),
+            snap(1, &[("a", 90.0)]),
+            snap(2, &[("a", 95.0)]),
+        ];
+        let (prev_i, latest_i, gaps) = select_pair(&mut snaps).unwrap();
+        assert_eq!(gaps, vec![3]);
+        assert_eq!(snaps[prev_i].pr, 2);
+        assert_eq!(snaps[latest_i].pr, 4);
+    }
+
+    #[test]
+    fn fewer_than_two_snapshots_is_an_error() {
+        let mut one = vec![snap(6, &[("a", 1.0)])];
+        assert!(select_pair(&mut one).is_err());
+        // Two files for the same PR are one snapshot, not a diffable pair.
+        let mut dup = vec![snap(6, &[("a", 1.0)]), snap(6, &[("a", 2.0)])];
+        assert!(select_pair(&mut dup).is_err());
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_tolerance() {
+        let prev = snap(5, &[("fast", 100.0), ("slow", 100.0), ("gone", 1.0)]);
+        let latest = snap(6, &[("fast", 105.0), ("slow", 125.0), ("new", 1.0)]);
+        let (shared, regressions) = diff(&prev, &latest);
+        assert_eq!(shared, 2, "only ids in both snapshots are gated");
+        assert_eq!(regressions, 1, "only the >10% growth regresses");
+    }
+
+    #[test]
+    fn wrapped_and_raw_snapshots_parse_identically() {
+        let wrapped = r#"{"schema_version":1,"pr":6,"entries":[{"id":"x","ns_per_iter":2.5}]}"#;
+        let raw = "{\"id\":\"x\",\"ns_per_iter\":2.5}\n";
+        let w = parse_snapshot("BENCH_pr6.json", wrapped).unwrap();
+        let r = parse_snapshot("BENCH_pr6.json", raw).unwrap();
+        assert_eq!(w.pr, 6);
+        assert_eq!(r.pr, 6, "raw JSONL takes the PR from the file name");
+        assert_eq!(w.entries, r.entries);
     }
 }
