@@ -60,16 +60,32 @@ COMMANDS:
                                occupancy), roofline classification, and the
                                three-way analytical/macro/detailed drift
                                table; any out-of-tolerance cell fails
+  loadgen   [ld|fastid|mixture|all] [--device D --rate Q --queries N --seed S
+            --arrival poisson|bursty --mode run|sweep --slo-p50-ms X
+            --slo-p99-ms X --error-budget F --fault-profile P --fault-at Q
+            --json F --trace F --flight F]
+                               replay a seeded open-loop query stream against
+                               the engine, judge per-algorithm latency SLOs
+                               (exit 6 on breach), write slo-report.json,
+                               a query-attributed Chrome timeline, and a
+                               flight-recorder post-mortem; --mode sweep
+                               steps offered load and reports the
+                               latency-vs-throughput knee
+  metrics   [ld|fastid|mixture|all] [--device D --seed S --queries N --out F]
+                               run a small seeded load and dump the live
+                               metrics registry in Prometheus text format
 
 Fault profiles: none, transient, corruption, stall, loss, mixed.
 ld / search / mixture also accept --fault-profile P [--fault-seed S] to run
 under fault injection (P may also be loss@N: lose the device at command N);
-a run that finishes on the CPU fallback exits 2.
+a run that finishes on the CPU fallback exits 2. loadgen accepts the same
+profiles (--fault-at Q arms the plan only for query Q).
 Devices: gtx-980, titan-v, vega-64, tc100 (case- and separator-insensitive).
 
 EXIT CODES: 0 success, 1 usage/planning error, 2 degraded success (device
 lost, finished on CPU), 3 command-stream hazard, 4 unrecovered device fault,
-5 silent corruption detected by the chaos oracle.";
+5 silent corruption detected by the chaos oracle, 6 SLO breach reported by
+loadgen.";
 
 /// Process exit codes — the CLI's error taxonomy (DESIGN.md §10). Hazards,
 /// typed device faults, degraded completions, and chaos-detected silent
@@ -87,6 +103,8 @@ pub mod exit_codes {
     pub const FAULT: u8 = 4;
     /// The chaos oracle caught silently corrupted results.
     pub const CORRUPTION: u8 = 5;
+    /// `loadgen` judged a latency objective or error budget breached.
+    pub const SLO_BREACH: u8 = 6;
 }
 
 /// A command's report text plus its process exit code.
@@ -175,6 +193,8 @@ pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
         Some("lint") => simple(cmd_lint(args)),
         Some("chaos") => cmd_chaos(args),
         Some("profile") => cmd_profile(args),
+        Some("loadgen") => cmd_loadgen(args),
+        Some("metrics") => simple(cmd_metrics(args)),
         Some(other) => Err(CliError {
             message: format!("unknown command {other:?}\n\n{USAGE}"),
             exit: exit_codes::ERROR,
@@ -1158,6 +1178,221 @@ fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
     Ok(CmdReport { text: out, exit })
 }
 
+/// Parses loadgen's `--fault-profile NAME [--fault-at Q]` into a
+/// [`snp_load::FaultSpec`]. Accepts the same `loss@N` pin as the workload
+/// commands.
+fn loadgen_fault(args: &Args) -> Result<Option<snp_load::FaultSpec>, ArgError> {
+    let Some(name) = args.get("fault-profile") else {
+        return Ok(None);
+    };
+    let profile = if let Some(at) = name.strip_prefix("loss@") {
+        let at: u64 = at
+            .parse()
+            .map_err(|_| ArgError(format!("bad command index in {name:?}")))?;
+        FaultProfile {
+            device_loss_at: Some(at),
+            ..FaultProfile::none()
+        }
+    } else {
+        FaultProfile::by_name(name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown fault profile {name:?} (expected one of: {}, or loss@N)",
+                FaultProfile::NAMES.join(", ")
+            ))
+        })?
+    };
+    let at_query = match args.get("fault-at") {
+        None => None,
+        Some(_) => Some(args.get_parse("fault-at", 0usize)?),
+    };
+    Ok(Some(snp_load::FaultSpec {
+        profile_name: name.to_string(),
+        profile,
+        at_query,
+    }))
+}
+
+/// Applies `--slo-p50-ms / --slo-p99-ms / --error-budget` overrides: each
+/// replaces that objective for *every* algorithm (the defaults are
+/// per-algorithm; the overrides are blanket, which is what a smoke test or
+/// an injected-breach check wants).
+fn loadgen_slo(args: &Args) -> Result<snp_load::SloPolicy, ArgError> {
+    let mut policy = snp_load::SloPolicy::default();
+    let p50_ms: Option<f64> = match args.get("slo-p50-ms") {
+        None => None,
+        Some(_) => Some(args.get_parse("slo-p50-ms", 0.0f64)?),
+    };
+    let p99_ms: Option<f64> = match args.get("slo-p99-ms") {
+        None => None,
+        Some(_) => Some(args.get_parse("slo-p99-ms", 0.0f64)?),
+    };
+    let budget: Option<f64> = match args.get("error-budget") {
+        None => None,
+        Some(_) => Some(args.get_parse("error-budget", 0.0f64)?),
+    };
+    let apply = |slo: &mut snp_load::Slo| {
+        if let Some(ms) = p50_ms {
+            slo.p50_ns = (ms * 1e6) as u64;
+        }
+        if let Some(ms) = p99_ms {
+            slo.p99_ns = (ms * 1e6) as u64;
+        }
+        if let Some(b) = budget {
+            slo.error_budget = b;
+        }
+    };
+    for (_, slo) in policy.per_algorithm.iter_mut() {
+        apply(slo);
+    }
+    apply(&mut policy.default);
+    Ok(policy)
+}
+
+/// Builds the load config shared by `loadgen` and `metrics`.
+fn loadgen_config(args: &Args, default_queries: usize) -> Result<snp_load::LoadConfig, ArgError> {
+    let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
+    let dev = device_arg(args)?;
+    let rate = args.get_parse("rate", 2_000.0f64)?;
+    // `rate <= 0.0` alone would let NaN through (NaN compares false both ways).
+    if rate.is_nan() || rate <= 0.0 {
+        return Err(ArgError(format!("--rate must be positive, got {rate}")));
+    }
+    let arrival_name = args.get_or("arrival", "poisson");
+    let arrival = snp_load::ArrivalKind::by_name(arrival_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown arrival process {arrival_name:?} (poisson|bursty)"
+        ))
+    })?;
+    let mut cfg = snp_load::LoadConfig::new(dev, snp_load::templates_for(&algorithms));
+    cfg.rate_qps = rate;
+    cfg.queries = args.get_parse("queries", default_queries)?;
+    cfg.seed = args.get_parse("seed", 42u64)?;
+    cfg.arrival = arrival;
+    cfg.fault = loadgen_fault(args)?;
+    cfg.slo = loadgen_slo(args)?;
+    Ok(cfg)
+}
+
+fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&[
+        "device",
+        "rate",
+        "queries",
+        "seed",
+        "arrival",
+        "mode",
+        "slo-p50-ms",
+        "slo-p99-ms",
+        "error-budget",
+        "fault-profile",
+        "fault-at",
+        "json",
+        "trace",
+        "flight",
+    ])?;
+    let write = |path: &str, data: &str| -> Result<(), CliError> {
+        std::fs::write(path, data)
+            .map_err(|e| CliError::from(ArgError(format!("cannot write {path}: {e}"))))
+    };
+    let mode = args.get_or("mode", "run");
+    match mode {
+        "run" => {
+            let cfg = loadgen_config(args, 64)?;
+            let report = snp_load::run(&cfg);
+            let mut text = report.render_text();
+            if let Some(path) = args.get("json") {
+                write(path, &report.to_json())?;
+                let _ = writeln!(text, "slo report: {path}");
+            }
+            if let Some(path) = args.get("trace") {
+                let timeline = report.timeline.as_ref().expect("run mode records");
+                let json = snp_trace::chrome::export_chrome_trace(timeline);
+                let stats = snp_trace::chrome::validate(&json).map_err(|e| {
+                    CliError::from(ArgError(format!(
+                        "internal: merged timeline failed validation: {e}"
+                    )))
+                })?;
+                write(path, &json)?;
+                let _ = writeln!(
+                    text,
+                    "timeline: {path} ({} slices, {} counter events, {} tracks; query-attributed)",
+                    stats.slices,
+                    stats.counters,
+                    timeline.tracks.len()
+                );
+            }
+            if let Some(path) = args.get("flight") {
+                match &report.postmortem {
+                    Some(pm) => {
+                        write(path, &pm.json)?;
+                        let _ = writeln!(text, "flight-recorder dump: {path} ({})", pm.reason);
+                    }
+                    None => {
+                        let _ = writeln!(
+                            text,
+                            "flight-recorder dump: not written (no typed fault or SLO breach)"
+                        );
+                    }
+                }
+            }
+            let exit = if report.breached {
+                exit_codes::SLO_BREACH
+            } else {
+                exit_codes::OK
+            };
+            Ok(CmdReport { text, exit })
+        }
+        "sweep" => {
+            if args.get("trace").is_some() || args.get("flight").is_some() {
+                return Err(CliError::from(ArgError(
+                    "--trace/--flight are per-run artifacts; use --mode run".into(),
+                )));
+            }
+            let cfg = loadgen_config(args, 48)?;
+            let sweep = snp_load::saturation_sweep(&cfg, &snp_load::SWEEP_MULTIPLIERS);
+            let mut text = sweep.render_text();
+            if let Some(path) = args.get("json") {
+                write(path, &sweep.to_json())?;
+                let _ = writeln!(text, "slo report: {path}");
+            }
+            let exit = if sweep.breached() {
+                exit_codes::SLO_BREACH
+            } else {
+                exit_codes::OK
+            };
+            Ok(CmdReport { text, exit })
+        }
+        other => Err(CliError::from(ArgError(format!(
+            "unknown mode {other:?} (run|sweep)"
+        )))),
+    }
+}
+
+fn cmd_metrics(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["device", "seed", "queries", "out"])?;
+    let mut cfg = loadgen_config(args, 12)?;
+    // Populate the registry with a small seeded load; skip per-query
+    // tracing — this command is about the metrics substrate.
+    cfg.record_timeline = false;
+    let report = snp_load::run(&cfg);
+    let exposition = snp_trace::render_registry();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# registry snapshot after {} seeded queries on {} (seed {})",
+        report.records.len(),
+        report.device,
+        report.seed
+    );
+    out.push_str(&exposition);
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &out).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        Ok(format!("prometheus exposition: {path}\n"))
+    } else {
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1395,5 +1630,88 @@ mod tests {
     fn typo_in_option_is_caught() {
         let err = run_line("ld --snsp 100").unwrap_err();
         assert!(err.to_string().contains("--snsp"));
+    }
+
+    #[test]
+    fn loadgen_run_reports_and_writes_json() {
+        let path = std::env::temp_dir().join("snpgpu_test_loadgen.json");
+        let line = format!("loadgen ld --queries 12 --json {}", path.display());
+        let report =
+            run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
+        assert_eq!(report.exit, exit_codes::OK, "{}", report.text);
+        assert!(
+            report.text.contains("loadgen: 12 queries"),
+            "{}",
+            report.text
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = snp_trace::json::parse(&json).expect("valid slo-report.json");
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["slo_breached"], snp_trace::json::Value::Bool(false));
+        assert_eq!(obj["queries"].as_num(), Some(12.0));
+        assert!(!obj["algorithms"].as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn loadgen_breach_exits_with_slo_code() {
+        let report = run_full(
+            &Args::parse(
+                "loadgen ld --queries 12 --slo-p99-ms 0.000001"
+                    .split_whitespace()
+                    .map(str::to_string),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.exit, exit_codes::SLO_BREACH, "{}", report.text);
+        assert!(report.text.contains("BREACH"), "{}", report.text);
+    }
+
+    #[test]
+    fn loadgen_fault_run_dumps_flight_with_query_id() {
+        let path = std::env::temp_dir().join("snpgpu_test_flight.json");
+        let line = format!(
+            "loadgen fastid --queries 16 --fault-profile loss@2 --fault-at 5 --flight {}",
+            path.display()
+        );
+        let report =
+            run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
+        assert!(
+            report.text.contains("flight-recorder dump:"),
+            "{}",
+            report.text
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        snp_trace::chrome::validate(&json).expect("flight bundle is a valid Chrome trace");
+        assert!(
+            json.contains("\"query_id\":5"),
+            "dump must carry the failing query id"
+        );
+        assert!(
+            json.contains("\"flightRecorder\""),
+            "dump must carry the postmortem header"
+        );
+    }
+
+    #[test]
+    fn loadgen_sweep_rejects_per_run_artifacts() {
+        let err = run_line("loadgen ld --mode sweep --trace t.json").unwrap_err();
+        assert!(err.to_string().contains("per-run artifacts"), "{err}");
+    }
+
+    #[test]
+    fn metrics_emits_prometheus_exposition() {
+        // The registry is process-global and shared across parallel tests,
+        // so assert structure, not exact counter values.
+        let out = run_line("metrics --queries 8").unwrap();
+        assert!(
+            out.contains("# registry snapshot after 8 seeded queries"),
+            "{out}"
+        );
+        assert!(out.contains("# TYPE load_latency_ns_ld histogram"), "{out}");
+        assert!(out.contains("load_queries_total"), "{out}");
+        assert!(out.contains("load_queue_wait_ns_bucket"), "{out}");
     }
 }

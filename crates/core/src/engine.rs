@@ -726,7 +726,25 @@ impl GpuEngine {
                         return Err(EngineError::Device(SimError::DeviceFault(fault)));
                     }
                     let back = policy.backoff_for(attempt);
+                    let back_start = gpu.now_ns();
                     gpu.advance_host_ns(back);
+                    if gpu.tracer().is_enabled() {
+                        // On the device's host track so the backoff gap is
+                        // visible inline — and, when the engine tracer
+                        // carries a QueryCtx, attributed to its query.
+                        gpu.tracer().span_with(
+                            gpu.host_track(),
+                            "retry",
+                            format!("retry {}: {:?}", attempt + 1, fault.kind),
+                            back_start,
+                            back_start + back,
+                            vec![
+                                ("attempt", (attempt + 1).into()),
+                                ("backoff_ns", back.into()),
+                                ("queue", queue_label.into()),
+                            ],
+                        );
+                    }
                     summary.backoff_ns += back;
                     metrics::BACKOFF_NS.add(back);
                     metrics::BACKOFF_DELAY_NS.record(back);
@@ -1037,6 +1055,16 @@ impl GpuEngine {
             summary.device_lost = true;
             summary.resumed_from_chunk = Some(ci);
             metrics::DEVICE_LOSS.add(1);
+            if gpu.tracer().is_enabled() {
+                gpu.tracer().span_with(
+                    gpu.host_track(),
+                    "fault",
+                    "device lost",
+                    gpu.now_ns(),
+                    gpu.now_ns(),
+                    vec![("resume_chunk", ci.into())],
+                );
+            }
             if !(policy.cpu_fallback && full) {
                 return Err(lost_err.expect("loss recorded with its error"));
             }
@@ -1057,7 +1085,18 @@ impl GpuEngine {
                 metrics::CPU_FALLBACK_CHUNKS.add(1);
             }
             fallback_ns_total = fallback_ns.ceil() as u64;
+            let fb_start = gpu.now_ns();
             gpu.advance_host_ns(fallback_ns_total);
+            if gpu.tracer().is_enabled() {
+                gpu.tracer().span_with(
+                    gpu.host_track(),
+                    "fallback",
+                    "cpu fallback",
+                    fb_start,
+                    fb_start + fallback_ns_total,
+                    vec![("chunks", summary.cpu_fallback_chunks.into())],
+                );
+            }
         }
         gpu.finish_all();
         summary.injected = gpu.fault_stats();

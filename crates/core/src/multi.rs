@@ -21,6 +21,8 @@ use snp_gpu_model::config::Algorithm;
 use snp_gpu_model::peak::peak;
 use snp_gpu_model::DeviceSpec;
 
+use snp_trace::{TimeDomain, Tracer};
+
 use crate::autoconf::{compare_op, word_op_kind};
 use crate::engine::{EngineError, EngineOptions, GpuEngine, RunReport, Timing};
 use crate::recovery::metrics;
@@ -33,6 +35,7 @@ pub struct MultiGpuEngine {
     /// Optional per-device fault plan (index-aligned with `devices`);
     /// shorter vectors leave trailing devices fault-free.
     device_faults: Vec<Option<FaultPlan>>,
+    tracer: Tracer,
 }
 
 /// Report of a sharded run.
@@ -72,12 +75,21 @@ impl MultiGpuEngine {
             devices,
             options: EngineOptions::default(),
             device_faults: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Overrides the per-shard engine options.
     pub fn with_options(mut self, options: EngineOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Records every shard's spans — and the failover scheduler's own loss
+    /// and re-shard spans — onto `tracer`. When the handle carries a
+    /// [`snp_trace::QueryCtx`], all of them are attributed to that query.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -182,7 +194,9 @@ impl MultiGpuEngine {
         if faults.is_some() {
             opts.recovery.cpu_fallback = false;
         }
-        let mut engine = GpuEngine::new(dev.clone()).with_options(opts);
+        let mut engine = GpuEngine::new(dev.clone())
+            .with_options(opts)
+            .with_tracer(self.tracer.clone());
         if let Some(plan) = faults {
             engine = engine.with_fault_plan(plan.clone());
         }
@@ -249,6 +263,22 @@ impl MultiGpuEngine {
         let failover_rows: usize = orphaned.iter().map(|&(_, r)| r).sum();
         if failover_rows > 0 {
             metrics::FAILOVER_ROWS.add(failover_rows as u64);
+            let sched_track = self
+                .tracer
+                .is_enabled()
+                .then(|| self.tracer.track("multi · failover", TimeDomain::Virtual));
+            if let Some(track) = sched_track {
+                for &di in &lost_devices {
+                    self.tracer.span_with(
+                        track,
+                        "fault",
+                        format!("device lost: {}", self.devices[di].name),
+                        end_to_end,
+                        end_to_end,
+                        vec![("device", self.devices[di].name.as_str().into())],
+                    );
+                }
+            }
             let survivors: Vec<usize> = (0..self.devices.len())
                 .filter(|i| !lost_devices.contains(i))
                 .collect();
@@ -267,6 +297,16 @@ impl MultiGpuEngine {
                     for r in 0..a.rows() {
                         g.row_mut(r)[olo..olo + orows].copy_from_slice(sub.row(r));
                     }
+                }
+                if let Some(track) = sched_track {
+                    self.tracer.span_with(
+                        track,
+                        "fallback",
+                        "cpu fallback (all devices lost)",
+                        end_to_end,
+                        end_to_end,
+                        vec![("rows", failover_rows.into())],
+                    );
                 }
             } else {
                 let sub_engine = MultiGpuEngine::new(
@@ -288,7 +328,18 @@ impl MultiGpuEngine {
                             }
                         }
                         // Failover work is serialized after the first wave.
+                        let rerun_start = end_to_end;
                         end_to_end = end_to_end.saturating_add(run.timing.end_to_end_ns);
+                        if let Some(track) = sched_track {
+                            self.tracer.span_with(
+                                track,
+                                "failover",
+                                format!("re-shard {srows} rows -> {}", dev.name),
+                                rerun_start,
+                                end_to_end,
+                                vec![("rows", srows.into()), ("device", dev.name.as_str().into())],
+                            );
+                        }
                         word_ops += run.word_ops;
                         slo += srows;
                     }

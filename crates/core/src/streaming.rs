@@ -550,6 +550,16 @@ impl GpuEngine {
             summary.device_lost = true;
             summary.resumed_from_chunk = Some(ci);
             metrics::DEVICE_LOSS.add(1);
+            if gpu.tracer().is_enabled() {
+                gpu.tracer().span_with(
+                    gpu.host_track(),
+                    "fault",
+                    "device lost",
+                    gpu.now_ns(),
+                    gpu.now_ns(),
+                    vec![("resume_chunk", ci.into())],
+                );
+            }
             if !policy.cpu_fallback {
                 return Err(lost_err.expect("loss recorded with its error"));
             }
@@ -567,7 +577,18 @@ impl GpuEngine {
                 metrics::CPU_FALLBACK_CHUNKS.add(1);
             }
             fallback_ns_total = fallback_ns.ceil() as u64;
+            let fb_start = gpu.now_ns();
             gpu.advance_host_ns(fallback_ns_total);
+            if gpu.tracer().is_enabled() {
+                gpu.tracer().span_with(
+                    gpu.host_track(),
+                    "fallback",
+                    "cpu fallback",
+                    fb_start,
+                    fb_start + fallback_ns_total,
+                    vec![("chunks", summary.cpu_fallback_chunks.into())],
+                );
+            }
         }
         gpu.finish_all();
         summary.injected = gpu.fault_stats();

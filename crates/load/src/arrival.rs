@@ -1,0 +1,129 @@
+//! Open-loop arrival processes.
+//!
+//! An *open-loop* generator decides arrival instants independently of how
+//! fast the system drains them — queries that arrive while the engine is
+//! busy wait in the queue, which is what makes the latency-vs-throughput
+//! knee visible. Both processes run on the simulator's virtual clock and
+//! are fully determined by `(kind, rate, seed)`, so a replayed stream is
+//! byte-identical.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Which arrival process shapes the query stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless Poisson arrivals: exponential inter-arrival gaps with
+    /// mean `1/rate` — the classic open-system model.
+    Poisson,
+    /// On/off bursts: short trains of closely spaced queries separated by
+    /// long idle gaps. The long-run offered rate stays close to `rate`,
+    /// but the instantaneous rate inside a burst is ~5× higher, which
+    /// stresses queueing far more than Poisson at the same average load.
+    Bursty,
+}
+
+impl ArrivalKind {
+    /// Stable lowercase name (CLI argument and JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn by_name(name: &str) -> Option<ArrivalKind> {
+        match name {
+            "poisson" => Some(ArrivalKind::Poisson),
+            "bursty" => Some(ArrivalKind::Bursty),
+            _ => None,
+        }
+    }
+}
+
+/// Inverse-CDF exponential draw with mean `mean_ns`.
+fn exp_gap(rng: &mut StdRng, mean_ns: f64) -> u64 {
+    let u: f64 = rng.random();
+    // 1 - u is in (0, 1], so ln is finite and the gap non-negative.
+    (-(1.0 - u).ln() * mean_ns).round() as u64
+}
+
+/// The arrival instants (virtual ns since stream start) of `n` queries at
+/// an offered rate of `rate_qps` queries per virtual second.
+pub fn arrival_times(kind: ArrivalKind, rate_qps: f64, n: usize, seed: u64) -> Vec<u64> {
+    assert!(rate_qps > 0.0, "offered rate must be positive");
+    let mean_ns = 1e9 / rate_qps;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(n);
+    match kind {
+        ArrivalKind::Poisson => {
+            for _ in 0..n {
+                t += exp_gap(&mut rng, mean_ns);
+                out.push(t);
+            }
+        }
+        ArrivalKind::Bursty => {
+            let mut left_in_burst = 0usize;
+            for _ in 0..n {
+                if left_in_burst == 0 {
+                    left_in_burst = rng.random_range(3..=8usize);
+                    t += exp_gap(&mut rng, mean_ns * 4.0);
+                } else {
+                    t += exp_gap(&mut rng, mean_ns / 5.0);
+                }
+                left_in_burst -= 1;
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone_and_reproducible() {
+        for kind in [ArrivalKind::Poisson, ArrivalKind::Bursty] {
+            let a = arrival_times(kind, 10_000.0, 200, 7);
+            let b = arrival_times(kind, 10_000.0, 200, 7);
+            assert_eq!(a, b, "{} stream not reproducible", kind.name());
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "time went backwards");
+            let c = arrival_times(kind, 10_000.0, 200, 8);
+            assert_ne!(a, c, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let rate = 5_000.0; // mean gap 200_000 ns
+        let a = arrival_times(ArrivalKind::Poisson, rate, 4_000, 42);
+        let mean = *a.last().unwrap() as f64 / a.len() as f64;
+        let want = 1e9 / rate;
+        assert!(
+            (mean - want).abs() / want < 0.15,
+            "empirical mean gap {mean} too far from {want}"
+        );
+    }
+
+    #[test]
+    fn bursty_gaps_are_bimodal() {
+        let a = arrival_times(ArrivalKind::Bursty, 10_000.0, 500, 1);
+        let mean_ns = 1e9 / 10_000.0;
+        let gaps: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        let short = gaps.iter().filter(|&&g| (g as f64) < mean_ns / 2.0).count();
+        let long = gaps.iter().filter(|&&g| (g as f64) > mean_ns * 2.0).count();
+        assert!(short > gaps.len() / 2, "expected mostly intra-burst gaps");
+        assert!(long > gaps.len() / 20, "expected some long idle gaps");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [ArrivalKind::Poisson, ArrivalKind::Bursty] {
+            assert_eq!(ArrivalKind::by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ArrivalKind::by_name("uniform"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! `snp-load`: a deterministic, seedable open-loop load generator for the
+//! SNP engine, with latency SLOs, saturation sweeps, and flight-recorder
+//! post-mortems.
+//!
+//! The paper's operational setting is interactive forensic search: what
+//! matters is per-query latency under concurrent load, not just kernel
+//! throughput. This crate poses as that traffic:
+//!
+//! * [`arrival`] — Poisson and bursty open-loop arrival processes on the
+//!   simulator's virtual clock, fully determined by `(kind, rate, seed)`.
+//! * [`workload`] — query templates (LD scan, FastID identity search via
+//!   full-γ *and* streaming top-k readback, mixture analysis) over shared
+//!   seeded data sets, each executing in `ExecMode::Full`.
+//! * [`runner`] — the replay engine: a single-server FIFO queue in virtual
+//!   time, per-query [`snp_trace::QueryCtx`]-tagged tracers merged into one
+//!   Chrome timeline, a bounded [`snp_trace::FlightRecorder`] that dumps a
+//!   post-mortem on the first typed fault or SLO breach, and a saturation
+//!   sweep that steps offered load until the latency knee appears.
+//! * [`slo`] — per-algorithm latency objectives and error-budget burn,
+//!   judged on exact (not bucketed) percentiles.
+//! * [`report`] — byte-reproducible `slo-report.json` and text rendering.
+//!
+//! The arrival model, queue semantics, and SLO math are documented in
+//! `DESIGN.md` §13.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod report;
+pub mod runner;
+pub mod slo;
+pub mod workload;
+
+pub use arrival::{arrival_times, ArrivalKind};
+pub use runner::{
+    run, saturation_sweep, FaultSpec, LoadConfig, LoadReport, Outcome, OutcomeCounts, Postmortem,
+    QueryRecord, SweepPoint, SweepReport, SWEEP_MULTIPLIERS,
+};
+pub use slo::{evaluate, percentile, Slo, SloOutcome, SloPolicy};
+pub use workload::{run_query, templates_for, ServiceReport, Template, WorkloadSet};

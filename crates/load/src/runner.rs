@@ -1,0 +1,601 @@
+//! The open-loop replay engine: arrivals → FIFO queue → GpuEngine runs,
+//! with per-query trace attribution, flight recording, and SLO judgment.
+//!
+//! The queue model is a single FIFO server on the simulator's virtual
+//! clock: query *i* starts at `max(arrival_i, done_{i-1})`, its service
+//! time is the engine's modeled end-to-end run time, and its end-to-end
+//! latency is `done_i − arrival_i`. That makes queue-wait — the quantity
+//! that explodes past the saturation knee — explicit rather than folded
+//! into the engine model.
+//!
+//! Every query runs with a fresh [`Tracer`] carrying its [`QueryCtx`], so
+//! each engine/device/recovery span in the merged timeline names the query
+//! that caused it. Per-query traces are merged onto the stream clock
+//! (shifted by the query's start instant) into one Chrome timeline and fed
+//! to a bounded [`FlightRecorder`]; the first typed device fault — or, at
+//! the end of the run, the first SLO breach — triggers a post-mortem dump.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use snp_core::{EngineOptions, ExecMode, FaultPlan, FaultProfile, GpuEngine, MixtureStrategy};
+use snp_gpu_model::DeviceSpec;
+use snp_trace::{merge_into, FlightRecorder, QueryCtx, TimeDomain, Trace, Tracer};
+
+use crate::arrival::{arrival_times, ArrivalKind};
+use crate::slo::{evaluate, percentile, SloOutcome, SloPolicy};
+use crate::workload::{run_query, Template, WorkloadSet};
+
+/// Registry metrics the generator feeds (`snpgpu metrics` surfaces them).
+pub(crate) mod metrics {
+    use snp_trace::{LazyCounter, LazyHistogram};
+
+    /// Queries replayed.
+    pub static QUERIES: LazyCounter = LazyCounter::new("load.queries");
+    /// Queries that ended in a typed fault or engine error.
+    pub static FAILURES: LazyCounter = LazyCounter::new("load.failures");
+    /// Recovery retries observed across all queries.
+    pub static RETRIES: LazyCounter = LazyCounter::new("load.retries");
+    /// End-to-end latency by algorithm.
+    pub static LATENCY_LD: LazyHistogram = LazyHistogram::new("load.latency_ns.ld");
+    /// End-to-end latency by algorithm.
+    pub static LATENCY_FASTID: LazyHistogram = LazyHistogram::new("load.latency_ns.fastid");
+    /// End-to-end latency by algorithm.
+    pub static LATENCY_MIXTURE: LazyHistogram = LazyHistogram::new("load.latency_ns.mixture");
+    /// Time queries spent waiting for the server.
+    pub static QUEUE_WAIT: LazyHistogram = LazyHistogram::new("load.queue_wait_ns");
+
+    /// The latency histogram for an algorithm slug.
+    pub fn latency_for(slug: &str) -> &'static LazyHistogram {
+        match slug {
+            "ld" => &LATENCY_LD,
+            "fastid" => &LATENCY_FASTID,
+            _ => &LATENCY_MIXTURE,
+        }
+    }
+}
+
+/// Deterministic fault injection for a load run.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Chaos profile name (`transient`, `loss`, …) — echoed into reports.
+    pub profile_name: String,
+    /// The profile itself.
+    pub profile: FaultProfile,
+    /// Arm the plan only for this query index; `None` arms every query
+    /// (each with a decorrelated per-query seed).
+    pub at_query: Option<usize>,
+}
+
+/// Everything that determines a load run. Two configs with equal fields
+/// produce byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Device to replay against.
+    pub device: DeviceSpec,
+    /// Templates queries are drawn from (seeded, uniform).
+    pub templates: Vec<Template>,
+    /// Offered load in queries per virtual second.
+    pub rate_qps: f64,
+    /// Stream length.
+    pub queries: usize,
+    /// Master seed: arrivals, template picks, workload data, fault draws.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+    /// Tenant labels, assigned round-robin.
+    pub tenants: Vec<&'static str>,
+    /// Optional fault injection.
+    pub fault: Option<FaultSpec>,
+    /// Latency objectives.
+    pub slo: SloPolicy,
+    /// Spans retained by the flight recorder.
+    pub flight_capacity: usize,
+    /// Record per-query traces, the merged timeline, and the flight
+    /// recorder. Sweeps turn this off to keep points cheap.
+    pub record_timeline: bool,
+}
+
+impl LoadConfig {
+    /// A config with conventional defaults for `device` and `templates`.
+    pub fn new(device: DeviceSpec, templates: Vec<Template>) -> LoadConfig {
+        LoadConfig {
+            device,
+            templates,
+            rate_qps: 2_000.0,
+            queries: 64,
+            seed: 42,
+            arrival: ArrivalKind::Poisson,
+            tenants: vec!["casework", "research"],
+            fault: None,
+            slo: SloPolicy::default(),
+            flight_capacity: 256,
+            record_timeline: true,
+        }
+    }
+}
+
+/// How one query ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fault-free fast path, or recovering path with nothing to recover.
+    Clean,
+    /// Faults occurred and were fully recovered (retry / re-read / absorb).
+    Recovered,
+    /// Completed, but degraded (device loss mid-run, CPU fallback, …).
+    Degraded,
+    /// A typed device fault surfaced (fault kind name).
+    Fault(String),
+    /// Any other engine error.
+    Error(String),
+}
+
+impl Outcome {
+    /// Stable lowercase class label (JSON and span args).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Clean => "clean",
+            Outcome::Recovered => "recovered",
+            Outcome::Degraded => "degraded",
+            Outcome::Fault(_) => "fault",
+            Outcome::Error(_) => "error",
+        }
+    }
+
+    /// Whether this outcome spends error budget.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::Fault(_) | Outcome::Error(_))
+    }
+}
+
+/// One replayed query, fully resolved.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Stream-wide query id (also the trace `query_id` arg).
+    pub id: u64,
+    /// Tenant label.
+    pub tenant: &'static str,
+    /// Template this query ran.
+    pub template: Template,
+    /// Arrival instant (virtual ns since stream start).
+    pub arrival_ns: u64,
+    /// Service start (after queueing).
+    pub start_ns: u64,
+    /// Modeled engine time (0 for failed queries).
+    pub service_ns: u64,
+    /// `start − arrival`.
+    pub queue_wait_ns: u64,
+    /// `done − arrival`.
+    pub latency_ns: u64,
+    /// Recovery retries this query needed.
+    pub retries: u64,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// Counts of query outcomes over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Fault-free queries.
+    pub clean: usize,
+    /// Queries that recovered from injected faults.
+    pub recovered: usize,
+    /// Queries that completed degraded.
+    pub degraded: usize,
+    /// Queries ending in a typed device fault.
+    pub fault: usize,
+    /// Queries ending in another engine error.
+    pub error: usize,
+}
+
+/// A post-mortem bundle dumped by the flight recorder.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Why it was dumped ("typed fault …" or "slo breach …").
+    pub reason: String,
+    /// The bundle: a valid Chrome trace with a `flightRecorder` header.
+    pub json: String,
+}
+
+/// Everything a load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Device name.
+    pub device: String,
+    /// Arrival process used.
+    pub arrival: ArrivalKind,
+    /// Offered rate (queries per virtual second).
+    pub rate_qps: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault profile name, if injection was armed.
+    pub fault_profile: Option<String>,
+    /// Per-query records, in arrival order.
+    pub records: Vec<QueryRecord>,
+    /// Outcome class counts.
+    pub outcomes: OutcomeCounts,
+    /// Per-algorithm SLO verdicts (order: ld, fastid, mixture).
+    pub slo: Vec<SloOutcome>,
+    /// Whether any algorithm breached its SLO.
+    pub breached: bool,
+    /// Stream makespan: the last completion instant (virtual ns).
+    pub duration_ns: u64,
+    /// Overall p50 across all queries.
+    pub p50_all_ns: u64,
+    /// Overall p99 across all queries.
+    pub p99_all_ns: u64,
+    /// Completed-query throughput over the makespan.
+    pub achieved_qps: f64,
+    /// Merged query-attributed Chrome timeline (when recorded).
+    pub timeline: Option<Trace>,
+    /// Flight-recorder dump, triggered by the first typed fault or — at
+    /// end of run — the first SLO breach.
+    pub postmortem: Option<Postmortem>,
+}
+
+/// Decorrelates per-query fault streams from the master seed.
+fn query_fault_seed(seed: u64, qid: u64) -> u64 {
+    seed.wrapping_add((qid + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Replays one seeded query stream. Deterministic: equal configs produce
+/// byte-identical reports (all clocks are virtual).
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.templates.is_empty(), "no query templates selected");
+    assert!(!cfg.tenants.is_empty(), "need at least one tenant label");
+    let arrivals = arrival_times(cfg.arrival, cfg.rate_qps, cfg.queries, cfg.seed);
+    let set = WorkloadSet::build(cfg.seed);
+    let mut pick = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_D00D_F00D);
+    let stream = if cfg.record_timeline {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let stream_track = cfg
+        .record_timeline
+        .then(|| stream.track("loadgen · queries", TimeDomain::Virtual));
+    let recorder = FlightRecorder::new(cfg.flight_capacity);
+    let mut merged: Vec<(Trace, u64)> = Vec::new();
+    let mut postmortem: Option<Postmortem> = None;
+
+    let mut server_free = 0u64;
+    let mut records = Vec::with_capacity(cfg.queries);
+    let mut outcomes = OutcomeCounts::default();
+    for (qid, &arrival_ns) in arrivals.iter().enumerate() {
+        let qid = qid as u64;
+        let template = cfg.templates[pick.random_range(0..cfg.templates.len())];
+        let tenant = cfg.tenants[qid as usize % cfg.tenants.len()];
+        let ctx = QueryCtx::new(qid, tenant);
+        let tracer = if cfg.record_timeline {
+            Tracer::enabled().with_query_ctx(ctx.clone())
+        } else {
+            Tracer::disabled()
+        };
+        let mut engine = GpuEngine::new(cfg.device.clone())
+            .with_options(EngineOptions {
+                mode: ExecMode::Full,
+                double_buffer: true,
+                mixture: MixtureStrategy::Direct,
+                ..Default::default()
+            })
+            .with_tracer(tracer.clone());
+        if let Some(spec) = &cfg.fault {
+            let armed = spec.at_query.is_none_or(|at| at as u64 == qid);
+            if armed {
+                engine = engine.with_fault_plan(FaultPlan::new(
+                    query_fault_seed(cfg.seed, qid),
+                    spec.profile,
+                ));
+            }
+        }
+
+        let result = run_query(template, &engine, &set);
+        let (service_ns, retries, outcome) = match &result {
+            Ok(sr) => {
+                let retries = sr.recovery.as_ref().map_or(0, |r| r.retries);
+                let outcome = match &sr.recovery {
+                    None => Outcome::Clean,
+                    Some(r) if r.degraded() => Outcome::Degraded,
+                    Some(r) if r.retries + r.corruption_detected + r.stalls_absorbed > 0 => {
+                        Outcome::Recovered
+                    }
+                    Some(_) => Outcome::Clean,
+                };
+                (sr.service_ns, retries, outcome)
+            }
+            Err(e) => match e.device_fault() {
+                Some(f) => (0, 0, Outcome::Fault(f.kind.name().to_string())),
+                None => (0, 0, Outcome::Error(e.to_string())),
+            },
+        };
+
+        let start_ns = arrival_ns.max(server_free);
+        let done_ns = start_ns + service_ns;
+        server_free = done_ns;
+        let queue_wait_ns = start_ns - arrival_ns;
+        let latency_ns = done_ns - arrival_ns;
+
+        metrics::QUERIES.add(1);
+        metrics::RETRIES.add(retries);
+        if outcome.is_failure() {
+            metrics::FAILURES.add(1);
+        }
+        metrics::latency_for(template.slug()).record(latency_ns);
+        metrics::QUEUE_WAIT.record(queue_wait_ns);
+        match outcome {
+            Outcome::Clean => outcomes.clean += 1,
+            Outcome::Recovered => outcomes.recovered += 1,
+            Outcome::Degraded => outcomes.degraded += 1,
+            Outcome::Fault(_) => outcomes.fault += 1,
+            Outcome::Error(_) => outcomes.error += 1,
+        }
+
+        if let Some(track) = stream_track {
+            stream.span_with(
+                track,
+                "query",
+                format!("q{qid} {}", template.slug()),
+                arrival_ns,
+                done_ns,
+                vec![
+                    ("query_id", qid.into()),
+                    ("tenant", tenant.into()),
+                    ("algorithm", template.slug().into()),
+                    ("queue_wait_ns", queue_wait_ns.into()),
+                    ("outcome", outcome.label().into()),
+                ],
+            );
+        }
+        if let Some(trace) = tracer.snapshot() {
+            recorder.absorb(&trace, start_ns);
+            merged.push((trace, start_ns));
+        }
+        if postmortem.is_none() {
+            let device_lost = result
+                .as_ref()
+                .ok()
+                .and_then(|sr| sr.recovery.as_ref())
+                .is_some_and(|r| r.device_lost);
+            let reason = match &outcome {
+                Outcome::Fault(kind) => Some(format!("typed fault on query {qid}: {kind}")),
+                _ if device_lost => Some(format!(
+                    "device lost on query {qid} (completed {})",
+                    outcome.label()
+                )),
+                _ => None,
+            };
+            if let Some(reason) = reason {
+                postmortem = Some(Postmortem {
+                    json: recorder.postmortem(&reason, Some(&ctx)),
+                    reason,
+                });
+            }
+        }
+
+        records.push(QueryRecord {
+            id: qid,
+            tenant,
+            template,
+            arrival_ns,
+            start_ns,
+            service_ns,
+            queue_wait_ns,
+            latency_ns,
+            retries,
+            outcome,
+        });
+    }
+
+    // Judge each algorithm against its objectives.
+    let mut slo = Vec::new();
+    for slug in ["ld", "fastid", "mixture"] {
+        let of_alg: Vec<&QueryRecord> = records
+            .iter()
+            .filter(|r| r.template.slug() == slug)
+            .collect();
+        if of_alg.is_empty() {
+            continue;
+        }
+        let lat: Vec<u64> = of_alg.iter().map(|r| r.latency_ns).collect();
+        let qw: Vec<u64> = of_alg.iter().map(|r| r.queue_wait_ns).collect();
+        let failed = of_alg.iter().filter(|r| r.outcome.is_failure()).count();
+        slo.push(evaluate(
+            match slug {
+                "ld" => "ld",
+                "fastid" => "fastid",
+                _ => "mixture",
+            },
+            &lat,
+            &qw,
+            failed,
+            cfg.slo.for_algorithm(slug),
+        ));
+    }
+    let breached = slo.iter().any(|o| o.breached);
+    if breached && postmortem.is_none() && cfg.record_timeline {
+        let reasons: Vec<String> = slo
+            .iter()
+            .filter(|o| o.breached)
+            .map(|o| format!("{}: {}", o.algorithm, o.reasons.join("; ")))
+            .collect();
+        let reason = format!("slo breach: {}", reasons.join(" | "));
+        postmortem = Some(Postmortem {
+            json: recorder.postmortem(&reason, None),
+            reason,
+        });
+    }
+
+    let timeline = if cfg.record_timeline {
+        let mut t = stream.snapshot().unwrap_or_default();
+        for (trace, start) in &merged {
+            merge_into(&mut t, trace, *start);
+        }
+        Some(t)
+    } else {
+        None
+    };
+
+    let mut all_lat: Vec<u64> = records.iter().map(|r| r.latency_ns).collect();
+    all_lat.sort_unstable();
+    let duration_ns = records
+        .iter()
+        .map(|r| r.start_ns + r.service_ns)
+        .max()
+        .unwrap_or(0);
+    LoadReport {
+        device: cfg.device.name.clone(),
+        arrival: cfg.arrival,
+        rate_qps: cfg.rate_qps,
+        seed: cfg.seed,
+        fault_profile: cfg.fault.as_ref().map(|f| f.profile_name.clone()),
+        outcomes,
+        breached,
+        duration_ns,
+        p50_all_ns: percentile(&all_lat, 50.0),
+        p99_all_ns: percentile(&all_lat, 99.0),
+        achieved_qps: if duration_ns == 0 {
+            0.0
+        } else {
+            records.len() as f64 * 1e9 / duration_ns as f64
+        },
+        records,
+        slo,
+        timeline,
+        postmortem,
+    }
+}
+
+/// One measured offered-load level in a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The offered rate at this point.
+    pub rate_qps: f64,
+    /// The full run report (timeline disabled for sweep points).
+    pub report: LoadReport,
+}
+
+/// A saturation sweep: the same seeded stream replayed at stepped offered
+/// loads, plus the detected latency-vs-throughput knee.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Points in ascending offered-load order.
+    pub points: Vec<SweepPoint>,
+    /// Index of the first point past the knee (p99 ≥ 2× the lightest
+    /// point's p99), if the sweep saturated.
+    pub knee: Option<usize>,
+}
+
+/// The default offered-load ladder, as multiples of the base rate.
+pub const SWEEP_MULTIPLIERS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Replays the stream at `multipliers × cfg.rate_qps` and locates the
+/// saturation knee. Timeline recording is disabled per point (a sweep is
+/// about aggregate latency, not span-level attribution).
+pub fn saturation_sweep(cfg: &LoadConfig, multipliers: &[f64]) -> SweepReport {
+    let mut points = Vec::with_capacity(multipliers.len());
+    for &mult in multipliers {
+        let mut point_cfg = cfg.clone();
+        point_cfg.rate_qps = cfg.rate_qps * mult;
+        point_cfg.record_timeline = false;
+        let report = run(&point_cfg);
+        points.push(SweepPoint {
+            rate_qps: point_cfg.rate_qps,
+            report,
+        });
+    }
+    let base_p99 = points.first().map_or(0, |p| p.report.p99_all_ns);
+    let knee = points
+        .iter()
+        .position(|p| base_p99 > 0 && p.report.p99_all_ns >= base_p99.saturating_mul(2));
+    SweepReport { points, knee }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::devices;
+    use snp_trace::chrome;
+
+    fn small_cfg() -> LoadConfig {
+        let mut cfg = LoadConfig::new(
+            devices::titan_v(),
+            vec![Template::Ld, Template::FastIdTopK, Template::Mixture],
+        );
+        cfg.queries = 24;
+        cfg
+    }
+
+    #[test]
+    fn run_is_deterministic_and_queue_is_consistent() {
+        let cfg = small_cfg();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.latency_ns, y.latency_ns);
+            assert_eq!(x.outcome, y.outcome);
+        }
+        for r in &a.records {
+            assert_eq!(r.latency_ns, r.queue_wait_ns + r.service_ns);
+            assert!(r.start_ns >= r.arrival_ns);
+        }
+        assert_eq!(a.p99_all_ns, b.p99_all_ns);
+    }
+
+    #[test]
+    fn timeline_validates_and_attributes_queries() {
+        let report = run(&small_cfg());
+        let timeline = report.timeline.expect("timeline recorded");
+        let json = chrome::export_chrome_trace(&timeline);
+        chrome::validate(&json).expect("merged timeline is valid");
+        // Every engine-run span carries its query id.
+        let runs: Vec<_> = timeline.events.iter().filter(|e| e.cat == "run").collect();
+        assert!(!runs.is_empty());
+        assert!(runs
+            .iter()
+            .all(|e| e.args.iter().any(|(k, _)| *k == "query_id")));
+    }
+
+    #[test]
+    fn device_loss_dumps_a_postmortem_with_the_query_id() {
+        let mut cfg = small_cfg();
+        // The stock `loss` profile drops the device at command #9; the
+        // small loadgen workloads finish in fewer host commands, so pull
+        // the loss earlier to guarantee it lands.
+        cfg.fault = Some(FaultSpec {
+            profile_name: "loss".into(),
+            profile: FaultProfile {
+                device_loss_at: Some(2),
+                ..FaultProfile::loss()
+            },
+            at_query: Some(3),
+        });
+        let report = run(&cfg);
+        // The armed query either surfaced a typed fault (postmortem at
+        // fault time) or completed degraded via recovery.
+        let armed = &report.records[3];
+        assert!(
+            armed.outcome != Outcome::Clean,
+            "fault plan had no effect: {:?}",
+            armed.outcome
+        );
+        let pm = report.postmortem.as_ref().expect("device loss must dump");
+        chrome::validate(&pm.json).expect("postmortem bundle is valid");
+        assert!(pm.json.contains("\"query_id\":3"), "dump names the query");
+        assert!(pm.reason.contains("query 3"));
+    }
+
+    #[test]
+    fn saturation_sweep_finds_a_knee_under_overload() {
+        let mut cfg = small_cfg();
+        cfg.queries = 16;
+        // Base rate low; highest multiplier must saturate the server.
+        cfg.rate_qps = 500.0;
+        let sweep = saturation_sweep(&cfg, &[1.0, 64.0, 4096.0]);
+        assert_eq!(sweep.points.len(), 3);
+        let p99s: Vec<u64> = sweep.points.iter().map(|p| p.report.p99_all_ns).collect();
+        assert!(
+            p99s.last().unwrap() > p99s.first().unwrap(),
+            "overload did not raise p99: {p99s:?}"
+        );
+        assert!(sweep.knee.is_some(), "no knee found: {p99s:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Latency objectives and error-budget accounting.
+//!
+//! An SLO here is per algorithm: a p50 and p99 latency objective plus an
+//! error budget (the fraction of queries allowed to fail over the run).
+//! Percentiles are computed *exactly* from the sorted per-query latencies
+//! (nearest-rank), not from the bucketed histograms — the histograms feed
+//! the live `snpgpu metrics` view, the report feeds the regression gate
+//! and must be reproducible to the nanosecond.
+//!
+//! Burn is the classic error-budget ratio: `failed / (budget × count)`.
+//! Burn < 1 means the run fit inside its budget, ≥ 1 means the budget is
+//! exhausted and the SLO is breached regardless of latency.
+
+/// Objectives for one algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Median latency objective (virtual ns).
+    pub p50_ns: u64,
+    /// Tail latency objective (virtual ns).
+    pub p99_ns: u64,
+    /// Fraction of queries allowed to end in a fault or error.
+    pub error_budget: f64,
+}
+
+impl Slo {
+    /// A very loose objective that only pathological runs breach.
+    pub fn relaxed() -> Slo {
+        Slo {
+            p50_ns: 1_000_000_000,
+            p99_ns: 5_000_000_000,
+            error_budget: 0.05,
+        }
+    }
+}
+
+/// Per-algorithm objectives with a shared default.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// `(algorithm slug, objectives)` overrides.
+    pub per_algorithm: Vec<(&'static str, Slo)>,
+    /// Used for any algorithm without an override.
+    pub default: Slo,
+}
+
+impl SloPolicy {
+    /// The objectives in force for `slug`.
+    pub fn for_algorithm(&self, slug: &str) -> Slo {
+        self.per_algorithm
+            .iter()
+            .find(|(s, _)| *s == slug)
+            .map(|(_, slo)| *slo)
+            .unwrap_or(self.default)
+    }
+}
+
+impl Default for SloPolicy {
+    /// Defaults calibrated against the modeled service times of the small
+    /// loadgen workloads (sub-millisecond virtual latencies at low load):
+    /// generous enough that an unsaturated, fault-free run passes on every
+    /// modeled device, tight enough that saturation or a fault storm trips
+    /// them.
+    fn default() -> Self {
+        SloPolicy {
+            per_algorithm: vec![
+                (
+                    "ld",
+                    Slo {
+                        p50_ns: 10_000_000,
+                        p99_ns: 40_000_000,
+                        error_budget: 0.02,
+                    },
+                ),
+                (
+                    "fastid",
+                    Slo {
+                        p50_ns: 20_000_000,
+                        p99_ns: 80_000_000,
+                        error_budget: 0.02,
+                    },
+                ),
+                (
+                    "mixture",
+                    Slo {
+                        p50_ns: 20_000_000,
+                        p99_ns: 80_000_000,
+                        error_budget: 0.02,
+                    },
+                ),
+            ],
+            default: Slo::relaxed(),
+        }
+    }
+}
+
+/// Exact nearest-rank percentile (`q` in \[0, 100\]) of a **sorted** slice.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The verdict for one algorithm over one run.
+#[derive(Debug, Clone)]
+pub struct SloOutcome {
+    /// Algorithm slug.
+    pub algorithm: &'static str,
+    /// Queries of this algorithm in the run.
+    pub count: usize,
+    /// Exact p50 of end-to-end latency (virtual ns).
+    pub p50_ns: u64,
+    /// Exact p95.
+    pub p95_ns: u64,
+    /// Exact p99.
+    pub p99_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// p99 of time spent waiting in the queue.
+    pub queue_wait_p99_ns: u64,
+    /// Queries that ended in a fault or error.
+    pub failed: usize,
+    /// The objectives this was judged against.
+    pub objective: Slo,
+    /// `failed / (error_budget × count)`; 1e9 stands in for "budget is
+    /// zero but failures happened" so the JSON stays finite.
+    pub budget_burn: f64,
+    /// Whether any objective was violated.
+    pub breached: bool,
+    /// Human-readable violations (empty when in SLO).
+    pub reasons: Vec<String>,
+}
+
+/// Judges one algorithm's latency/outcome sample against `slo`.
+///
+/// `latencies_ns` and `queue_waits_ns` need not be pre-sorted.
+pub fn evaluate(
+    algorithm: &'static str,
+    latencies_ns: &[u64],
+    queue_waits_ns: &[u64],
+    failed: usize,
+    slo: Slo,
+) -> SloOutcome {
+    let mut lat = latencies_ns.to_vec();
+    lat.sort_unstable();
+    let mut qw = queue_waits_ns.to_vec();
+    qw.sort_unstable();
+    let count = lat.len();
+    let p50 = percentile(&lat, 50.0);
+    let p95 = percentile(&lat, 95.0);
+    let p99 = percentile(&lat, 99.0);
+    let allowed = slo.error_budget * count as f64;
+    let budget_burn = if failed == 0 {
+        0.0
+    } else if allowed <= 0.0 {
+        1e9
+    } else {
+        failed as f64 / allowed
+    };
+    let mut reasons = Vec::new();
+    if count > 0 && p50 > slo.p50_ns {
+        reasons.push(format!(
+            "p50 {} ns exceeds objective {} ns",
+            p50, slo.p50_ns
+        ));
+    }
+    if count > 0 && p99 > slo.p99_ns {
+        reasons.push(format!(
+            "p99 {} ns exceeds objective {} ns",
+            p99, slo.p99_ns
+        ));
+    }
+    if budget_burn >= 1.0 {
+        reasons.push(format!(
+            "error budget exhausted: {failed}/{count} failed (burn {budget_burn:.2})"
+        ));
+    }
+    SloOutcome {
+        algorithm,
+        count,
+        p50_ns: p50,
+        p95_ns: p95,
+        p99_ns: p99,
+        max_ns: lat.last().copied().unwrap_or(0),
+        mean_ns: if count == 0 {
+            0.0
+        } else {
+            lat.iter().sum::<u64>() as f64 / count as f64
+        },
+        queue_wait_p99_ns: percentile(&qw, 99.0),
+        failed,
+        objective: slo,
+        budget_burn,
+        breached: !reasons.is_empty(),
+        reasons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn in_slo_run_has_no_reasons() {
+        let slo = Slo {
+            p50_ns: 100,
+            p99_ns: 200,
+            error_budget: 0.1,
+        };
+        let out = evaluate("ld", &[50, 60, 70, 80], &[0, 0, 1, 2], 0, slo);
+        assert!(!out.breached, "{:?}", out.reasons);
+        assert_eq!(out.budget_burn, 0.0);
+        assert_eq!(out.p50_ns, 60);
+    }
+
+    #[test]
+    fn tail_violation_and_burn_both_surface() {
+        let slo = Slo {
+            p50_ns: 100,
+            p99_ns: 150,
+            error_budget: 0.01,
+        };
+        let lats: Vec<u64> = (0..95).map(|_| 90).chain([400; 5]).collect();
+        let out = evaluate("fastid", &lats, &[], 5, slo);
+        assert!(out.breached);
+        assert_eq!(out.reasons.len(), 2, "{:?}", out.reasons);
+        assert!(out.budget_burn > 1.0);
+    }
+
+    #[test]
+    fn zero_budget_with_failures_burns_finite() {
+        let slo = Slo {
+            p50_ns: u64::MAX,
+            p99_ns: u64::MAX,
+            error_budget: 0.0,
+        };
+        let out = evaluate("mixture", &[10, 20], &[], 1, slo);
+        assert!(out.breached);
+        assert_eq!(out.budget_burn, 1e9);
+    }
+
+    #[test]
+    fn policy_falls_back_to_default() {
+        let p = SloPolicy::default();
+        assert_eq!(p.for_algorithm("ld").p50_ns, 10_000_000);
+        assert_eq!(p.for_algorithm("unknown"), p.default);
+    }
+}

@@ -1,0 +1,219 @@
+//! Query templates and the shared synthetic data sets they run against.
+//!
+//! A template is one *kind* of query the generator can pose: an LD scan
+//! over a panel, a FastID identity search (full-γ or streaming top-k
+//! readback), or a mixture deconvolution. The backing matrices are built
+//! once per run from the seed; individual queries then re-run the engine
+//! against them, so per-query cost is the engine's modeled service time,
+//! not data-generation time.
+
+use snp_bitmat::BitMatrix;
+use snp_core::{Algorithm, EngineError, GpuEngine, RecoverySummary, Timing};
+use snp_popgen::forensic::{
+    generate_database, generate_mixtures, generate_queries, DatabaseConfig,
+};
+use snp_popgen::population::{generate_panel, PanelConfig};
+
+/// One query kind. `FastIdTopK` shares the `fastid` algorithm slug with
+/// `FastId` — it is the same search routed through the streaming top-k
+/// readback path instead of the full-γ readback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// LD self-comparison over the panel (Eq. 1).
+    Ld,
+    /// FastID identity search, full-γ readback (Eq. 2).
+    FastId,
+    /// FastID identity search through the streaming top-k path.
+    FastIdTopK,
+    /// FastID mixture analysis (Eq. 3).
+    Mixture,
+}
+
+impl Template {
+    /// The algorithm slug latency is aggregated under (`ld`, `fastid`,
+    /// `mixture` — matching `snpgpu`'s algorithm names).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Template::Ld => "ld",
+            Template::FastId | Template::FastIdTopK => "fastid",
+            Template::Mixture => "mixture",
+        }
+    }
+
+    /// The engine algorithm this template exercises.
+    pub fn algorithm(self) -> Algorithm {
+        match self {
+            Template::Ld => Algorithm::LinkageDisequilibrium,
+            Template::FastId | Template::FastIdTopK => Algorithm::IdentitySearch,
+            Template::Mixture => Algorithm::MixtureAnalysis,
+        }
+    }
+}
+
+/// Maps a `snpgpu` algorithm selection to the templates it enables.
+pub fn templates_for(algorithms: &[Algorithm]) -> Vec<Template> {
+    let mut out = Vec::new();
+    for &alg in algorithms {
+        match alg {
+            Algorithm::LinkageDisequilibrium => out.push(Template::Ld),
+            Algorithm::IdentitySearch => {
+                out.push(Template::FastId);
+                out.push(Template::FastIdTopK);
+            }
+            Algorithm::MixtureAnalysis => out.push(Template::Mixture),
+        }
+    }
+    out
+}
+
+/// The matrices every query in a run draws on. Shapes are deliberately
+/// small: queries execute in `ExecMode::Full` (so faults, checksums, and
+/// recovery all really happen) and a load test runs hundreds of them.
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    panel: BitMatrix<u64>,
+    fastid_queries: BitMatrix<u64>,
+    fastid_db: BitMatrix<u64>,
+    mixture_refs: BitMatrix<u64>,
+    mixture_matrix: BitMatrix<u64>,
+    /// Candidates kept per query on the top-k path.
+    pub topk: usize,
+}
+
+impl WorkloadSet {
+    /// Builds the shared data sets from `seed`.
+    pub fn build(seed: u64) -> WorkloadSet {
+        let panel = generate_panel(
+            &PanelConfig {
+                snps: 48,
+                samples: 256,
+                ..Default::default()
+            },
+            seed,
+        );
+        let db = generate_database(
+            &DatabaseConfig {
+                profiles: 600,
+                snps: 192,
+                ..Default::default()
+            },
+            seed + 1,
+        );
+        let qs = generate_queries(&db, 4, 2, 0.01, seed + 2);
+        let mix_db = generate_database(
+            &DatabaseConfig {
+                profiles: 300,
+                snps: 192,
+                ..Default::default()
+            },
+            seed + 3,
+        );
+        let (_mixtures, mixture_matrix) = generate_mixtures(&mix_db, 1, 2, seed + 4);
+        WorkloadSet {
+            panel: panel.matrix,
+            fastid_queries: qs.queries,
+            fastid_db: db.profiles,
+            mixture_refs: mix_db.profiles,
+            mixture_matrix,
+            topk: 5,
+        }
+    }
+}
+
+/// What one serviced query cost and what recovery did for it.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Modeled post-init service time (virtual ns) of the engine run.
+    pub service_ns: u64,
+    /// Kernel launches.
+    pub passes: usize,
+    /// Recovery summary when the query ran the recovering path.
+    pub recovery: Option<RecoverySummary>,
+}
+
+fn service(timing: &Timing, passes: usize, recovery: Option<RecoverySummary>) -> ServiceReport {
+    // A serving deployment opens its device once, so one-time runtime
+    // initialization is not charged to individual queries: service time is
+    // the post-init window (packing, transfers, kernels, recovery).
+    ServiceReport {
+        service_ns: timing.busy_ns(),
+        passes,
+        recovery,
+    }
+}
+
+/// Runs one query of this template on `engine` against `set`.
+pub fn run_query(
+    template: Template,
+    engine: &GpuEngine,
+    set: &WorkloadSet,
+) -> Result<ServiceReport, EngineError> {
+    match template {
+        Template::Ld => {
+            let r = engine.ld_self(&set.panel)?;
+            Ok(service(&r.timing, r.passes, r.recovery))
+        }
+        Template::FastId => {
+            let r = engine.identity_search(&set.fastid_queries, &set.fastid_db)?;
+            Ok(service(&r.timing, r.passes, r.recovery))
+        }
+        Template::FastIdTopK => {
+            let r = engine.identity_search_topk(&set.fastid_queries, &set.fastid_db, set.topk)?;
+            Ok(service(&r.timing, r.passes, r.recovery))
+        }
+        Template::Mixture => {
+            let r = engine.mixture_analysis(&set.mixture_refs, &set.mixture_matrix)?;
+            Ok(service(&r.timing, r.passes, r.recovery))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_core::{EngineOptions, ExecMode, MixtureStrategy};
+    use snp_gpu_model::devices;
+
+    #[test]
+    fn every_template_services_in_full_mode() {
+        let dev = devices::titan_v();
+        let engine = GpuEngine::new(dev).with_options(EngineOptions {
+            mode: ExecMode::Full,
+            double_buffer: true,
+            mixture: MixtureStrategy::Direct,
+            ..Default::default()
+        });
+        let set = WorkloadSet::build(42);
+        for t in [
+            Template::Ld,
+            Template::FastId,
+            Template::FastIdTopK,
+            Template::Mixture,
+        ] {
+            let r = run_query(t, &engine, &set).expect("clean run");
+            assert!(r.service_ns > 0, "{:?} reported zero service time", t);
+            assert!(r.passes >= 1);
+            assert!(r.recovery.is_none(), "no fault plan → fast path");
+        }
+    }
+
+    #[test]
+    fn service_time_is_deterministic() {
+        let set = WorkloadSet::build(42);
+        let dev = devices::titan_v();
+        let engine = GpuEngine::new(dev).with_options(EngineOptions {
+            mode: ExecMode::Full,
+            ..Default::default()
+        });
+        let a = run_query(Template::FastIdTopK, &engine, &set).unwrap();
+        let b = run_query(Template::FastIdTopK, &engine, &set).unwrap();
+        assert_eq!(a.service_ns, b.service_ns);
+    }
+
+    #[test]
+    fn selection_expands_fastid_into_both_readback_paths() {
+        let ts = templates_for(&[Algorithm::IdentitySearch]);
+        assert_eq!(ts, vec![Template::FastId, Template::FastIdTopK]);
+        assert!(ts.iter().all(|t| t.slug() == "fastid"));
+    }
+}

@@ -363,6 +363,32 @@ mod tests {
     }
 
     #[test]
+    fn counter_only_trace_exports_and_validates() {
+        // A trace with counter samples but no spans (e.g. a metrics-only
+        // sampling run) must still export a schema-valid document.
+        let t = Tracer::enabled();
+        let tr = t.track("metrics", TimeDomain::Virtual);
+        t.counter(tr, "load.inflight", 0, 1.0);
+        t.counter(tr, "load.inflight", 500, 3.0);
+        t.counter(tr, "load.inflight", 1_000, 0.0);
+        let text = export_chrome_trace(&t.snapshot().unwrap());
+        let stats = validate(&text).unwrap();
+        assert_eq!(stats.slices, 0);
+        assert_eq!(stats.counters, 3);
+        // 1 process_name + thread_name + thread_sort_index for the track.
+        assert_eq!(stats.metadata, 3);
+        // Counter samples with non-numeric args are rejected.
+        assert!(validate(
+            r#"{"traceEvents":[{"ph":"C","name":"c","ts":1,"pid":0,"tid":0,"args":{"value":"x"}}]}"#
+        )
+        .is_err());
+        assert!(validate(
+            r#"{"traceEvents":[{"ph":"C","name":"c","ts":1,"pid":0,"tid":0,"args":{}}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
     fn empty_trace_exports_cleanly() {
         let stats = validate(&export_chrome_trace(&Trace::default())).unwrap();
         assert_eq!(stats, ChromeTraceStats::default());

@@ -25,15 +25,20 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
 pub mod summary;
 
+pub use flight::{merge_into, FlightRecorder};
 pub use metrics::{
-    registry, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter, LazyHistogram,
-    MetricValue, MetricsRegistry,
+    bucket_upper_bound, registry, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter,
+    LazyHistogram, MetricValue, MetricsRegistry,
 };
+pub use prometheus::{render_prometheus, render_registry};
 pub use span::{
-    ArgValue, CounterSample, SpanId, TimeDomain, Trace, TraceEvent, Tracer, TrackId, TrackInfo,
+    ArgValue, CounterSample, QueryCtx, SpanId, TimeDomain, Trace, TraceEvent, Tracer, TrackId,
+    TrackInfo,
 };

@@ -62,22 +62,27 @@ impl Gauge {
     }
 }
 
-/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
-/// holds values in `[2^(i-1), 2^i)`.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+/// Linear sub-buckets per power-of-two octave. Bucket 0 holds the value 0;
+/// octave `o = floor(log2 v)` is split into this many equal-width linear
+/// sub-buckets, so a quantile estimate overshoots the true value by at most
+/// `1/HISTOGRAM_SUBBUCKETS` of the octave width (~12.5%) instead of the
+/// full 2x a pure log2 histogram allows.
+pub const HISTOGRAM_SUBBUCKETS: usize = 8;
 
-/// A lock-free log2-bucketed histogram of `u64` samples.
+/// Total bucket count: the zero bucket plus 64 octaves of sub-buckets.
+pub const HISTOGRAM_BUCKETS: usize = 1 + 64 * HISTOGRAM_SUBBUCKETS;
+
+/// A lock-free log2-plus-linear-bucketed histogram of `u64` samples.
 ///
-/// Each [`record`](Self::record) is two relaxed atomic adds plus a bucket
-/// increment, so hot paths (per-chunk kernel times, recovery backoff
-/// delays) can sample unconditionally. Quantiles are estimated from the
+/// Each [`record`](Self::record) is exactly two relaxed atomic adds (the
+/// bucket and the sum; the total count is derived from the buckets), so hot
+/// paths (per-chunk kernel times, recovery backoff delays, per-query
+/// latencies) can sample unconditionally. Quantiles are estimated from the
 /// bucket boundaries: `quantile` returns the inclusive upper bound of the
-/// bucket containing the requested rank, i.e. an estimate that is never
-/// below the true quantile by more than one power of two.
+/// bucket containing the requested rank.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
 }
 
@@ -85,30 +90,51 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
         }
     }
 }
 
-/// Bucket index of a sample: 0 for 0, otherwise `floor(log2(v)) + 1`.
+/// Bucket index of a sample: 0 for 0, otherwise the octave `floor(log2 v)`
+/// subdivided linearly into [`HISTOGRAM_SUBBUCKETS`].
 fn bucket_of(v: u64) -> usize {
-    (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    let offset = (v - (1u64 << octave)) as u128;
+    let sub = ((offset * HISTOGRAM_SUBBUCKETS as u128) >> octave) as usize;
+    1 + octave * HISTOGRAM_SUBBUCKETS + sub
+}
+
+/// Inclusive upper bound of bucket `i` — the value [`HistogramSnapshot::quantile`]
+/// reports when the ranked sample lands in that bucket.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let octave = (i - 1) / HISTOGRAM_SUBBUCKETS;
+    let sub = ((i - 1) % HISTOGRAM_SUBBUCKETS) as u128;
+    let lo = 1u128 << octave;
+    // First value of the next sub-bucket minus one; ceiling division keeps
+    // the bound exact in octaves narrower than the sub-bucket count, where
+    // some sub-buckets are unreachable.
+    let next = lo + ((sub + 1) * lo).div_ceil(HISTOGRAM_SUBBUCKETS as u128);
+    (next - 1).min(u64::MAX as u128) as u64
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample: the lock-free two-atomic-add hot path.
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (derived from the buckets).
     #[inline]
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Sum of all samples (wrapping at `u64::MAX`).
@@ -137,7 +163,6 @@ impl Histogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
-        self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
     }
 }
@@ -173,16 +198,8 @@ impl HistogramSnapshot {
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
-            if seen >= rank {
-                // Inclusive upper bound of bucket i: 0 for bucket 0,
-                // 2^i - 1 for 1..=63, u64::MAX for the last bucket.
-                return if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
+            if n > 0 && seen >= rank {
+                return bucket_upper_bound(i);
             }
         }
         u64::MAX
@@ -455,20 +472,23 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_by_log2() {
+    fn histogram_buckets_by_octave_and_sub_bucket() {
         let h = Histogram::default();
         h.record(0); // bucket 0
-        h.record(1); // bucket 1: [1, 1]
-        h.record(2); // bucket 2: [2, 3]
-        h.record(3); // bucket 2
-        h.record(1024); // bucket 11: [1024, 2047]
+        h.record(1); // octave 0, sub 0
+        h.record(2); // octave 1, sub 0
+        h.record(3); // octave 1, sub 4 (offset 1 of a 2-wide octave)
+        h.record(1024); // octave 10, sub 0
         let s = h.snapshot();
         assert_eq!(s.count, 5);
         assert_eq!(s.sum, 1030);
         assert_eq!(s.buckets[0], 1);
-        assert_eq!(s.buckets[1], 1);
-        assert_eq!(s.buckets[2], 2);
-        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.buckets[bucket_of(1)], 1);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 1 + HISTOGRAM_SUBBUCKETS);
+        assert_eq!(bucket_of(3), 1 + HISTOGRAM_SUBBUCKETS + 4);
+        assert_eq!(bucket_of(1024), 1 + 10 * HISTOGRAM_SUBBUCKETS);
+        assert_eq!(s.buckets[bucket_of(3)], 1);
         assert_eq!(s.mean(), 206.0);
     }
 
@@ -476,19 +496,73 @@ mod tests {
     fn histogram_quantiles_are_bucket_upper_bounds() {
         let h = Histogram::default();
         for _ in 0..90 {
-            h.record(100); // bucket 7: [64, 127]
+            h.record(100); // octave 6 [64, 128), sub 4: [96, 103]
         }
         for _ in 0..10 {
-            h.record(100_000); // bucket 17: [65536, 131071]
+            h.record(100_000); // octave 16, sub 4: [98304, 106495]
         }
         let s = h.snapshot();
-        assert_eq!(s.quantile(0.50), 127);
-        assert_eq!(s.quantile(0.90), 127);
-        assert_eq!(s.quantile(0.95), (1u64 << 17) - 1);
-        assert_eq!(s.quantile(0.99), (1u64 << 17) - 1);
-        assert_eq!(s.quantile(1.0), (1u64 << 17) - 1);
-        // Quantile estimates never undershoot the true quantile.
+        assert_eq!(s.quantile(0.50), 103);
+        assert_eq!(s.quantile(0.90), 103);
+        assert_eq!(s.quantile(0.95), 106_495);
+        assert_eq!(s.quantile(0.99), 106_495);
+        assert_eq!(s.quantile(1.0), 106_495);
+        // Quantile estimates never undershoot the true quantile, and with
+        // linear sub-buckets they overshoot by at most one sub-bucket
+        // (1/8 of the octave) — a pure log2 histogram would report 127.
+        assert!(s.quantile(0.50) >= 100);
+        assert!(s.quantile(0.50) <= 100 + (1 << 6) / HISTOGRAM_SUBBUCKETS as u64);
         assert!(s.quantile(0.95) >= 100_000);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_tight_for_every_value() {
+        // The upper bound of a value's bucket is always >= the value and
+        // never overshoots by more than one sub-bucket width.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for sample in [v, v + v / 3, v + (v - 1).min(v / 2)] {
+                let i = bucket_of(sample);
+                let upper = bucket_upper_bound(i);
+                assert!(upper >= sample, "bucket {i} upper {upper} < {sample}");
+                let octave = 63 - sample.leading_zeros() as u64;
+                let sub_width = ((1u64 << octave) / HISTOGRAM_SUBBUCKETS as u64).max(1);
+                assert!(
+                    upper - sample < sub_width,
+                    "bucket {i} upper {upper} overshoots {sample} by >= {sub_width}"
+                );
+            }
+            v = v.wrapping_mul(3).max(v + 1);
+        }
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_reconcile() {
+        // Satellite: multi-thread stress — totals derived from the buckets
+        // must reconcile exactly after parallel `record` calls (the hot
+        // path is two relaxed atomic adds with no count cell to tear).
+        static H: LazyHistogram = LazyHistogram::new("test.metrics.stress");
+        H.reset();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // A spread of octaves, deterministic per thread.
+                        H.record((t * PER_THREAD + i) % 4096);
+                    }
+                });
+            }
+        });
+        let s = H.snapshot();
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        let expect_sum: u64 = (0..THREADS * PER_THREAD).map(|x| x % 4096).sum();
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(H.histogram().count(), s.count);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Prometheus text-format exposition of a metrics-registry snapshot.
+//!
+//! [`render_prometheus`] renders the whole registry in the Prometheus
+//! text exposition format (version 0.0.4): counters gain the conventional
+//! `_total` suffix, gauges render as-is, and histograms expand into
+//! cumulative `_bucket{le="…"}` series (one per non-empty bucket, plus the
+//! mandatory `+Inf`) with `_sum`/`_count`. Dot-separated registry names are
+//! sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset Prometheus requires,
+//! so `engine.recovery.retries` exposes as `engine_recovery_retries_total`.
+//!
+//! The renderer takes a snapshot slice rather than the live registry so
+//! deterministic snapshots can be golden-file tested; use
+//! [`render_registry`] for the live process state.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, registry, HistogramSnapshot, MetricValue};
+
+/// Sanitizes a dot-separated registry name into a Prometheus metric name.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            '0'..='9' => {
+                out.push('_');
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Formats a gauge value the way Prometheus expects (`NaN`/`+Inf`/`-Inf`
+/// spellings for the non-finite cases).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a registry snapshot (as produced by
+/// [`MetricsRegistry::snapshot`](crate::metrics::MetricsRegistry::snapshot))
+/// in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &[(&'static str, MetricValue)]) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        let name = sanitize_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name}_total counter");
+                let _ = writeln!(out, "{name}_total {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_value(*v));
+            }
+            MetricValue::Histogram(h) => render_histogram(&mut out, &name, h),
+        }
+    }
+    out
+}
+
+/// [`render_prometheus`] over the live process-wide registry.
+pub fn render_registry() -> String {
+    render_prometheus(&registry().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    /// A deterministic synthetic snapshot with every metric kind.
+    fn golden_snapshot() -> Vec<(&'static str, MetricValue)> {
+        let h = Histogram::default();
+        for _ in 0..3 {
+            h.record(100); // octave 6, sub 4: upper bound 103
+        }
+        h.record(0);
+        h.record(100_000); // octave 16, sub 4: upper bound 106495
+        vec![
+            ("engine.recovery.retries", MetricValue::Counter(42)),
+            ("load.inflight", MetricValue::Gauge(2.5)),
+            (
+                "load.latency_ns.fastid",
+                MetricValue::Histogram(h.snapshot()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn golden_file_pins_the_exposition_format() {
+        let got = render_prometheus(&golden_snapshot());
+        let want = include_str!("../testdata/prometheus.golden");
+        assert_eq!(
+            got, want,
+            "Prometheus exposition drifted from the golden file"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            sanitize_name("engine.recovery.retries"),
+            "engine_recovery_retries"
+        );
+        assert_eq!(sanitize_name("load.latency-ns/p99"), "load_latency_ns_p99");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn gauge_special_values_spell_like_prometheus() {
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let got = render_prometheus(&golden_snapshot());
+        let lines: Vec<&str> = got
+            .lines()
+            .filter(|l| l.starts_with("load_latency_ns_fastid_bucket"))
+            .collect();
+        // zero bucket (1), value-100 bucket (cum 4), value-100000 bucket
+        // (cum 5), then +Inf pinned at the total count.
+        assert_eq!(
+            lines,
+            vec![
+                "load_latency_ns_fastid_bucket{le=\"0\"} 1",
+                "load_latency_ns_fastid_bucket{le=\"103\"} 4",
+                "load_latency_ns_fastid_bucket{le=\"106495\"} 5",
+                "load_latency_ns_fastid_bucket{le=\"+Inf\"} 5",
+            ]
+        );
+        assert!(got.contains("load_latency_ns_fastid_sum 100300\n"));
+        assert!(got.contains("load_latency_ns_fastid_count 5\n"));
+    }
+
+    #[test]
+    fn live_registry_renders() {
+        registry().counter("test.prom.live").reset();
+        registry().counter("test.prom.live").add(3);
+        let text = render_registry();
+        assert!(text.contains("test_prom_live_total 3"));
+    }
+}

@@ -124,6 +124,32 @@ pub struct CounterSample {
     pub value: f64,
 }
 
+/// Query-grained trace context: a query id plus the tenant it belongs to.
+///
+/// A [`Tracer`] clone can carry a `QueryCtx` (see
+/// [`Tracer::with_query_ctx`]); every span recorded through that handle —
+/// including spans recorded by subsystems the handle is passed into, such
+/// as the simulated device or the recovery layer — is automatically tagged
+/// with `query_id`/`tenant` args, so faults, retries, and fallbacks in an
+/// exported timeline are attributable to the query that caused them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryCtx {
+    /// Stable per-stream query id.
+    pub query_id: u64,
+    /// Tenant label (multi-tenant attribution).
+    pub tenant: Cow<'static, str>,
+}
+
+impl QueryCtx {
+    /// A context for `query_id` under `tenant`.
+    pub fn new(query_id: u64, tenant: impl Into<Cow<'static, str>>) -> QueryCtx {
+        QueryCtx {
+            query_id,
+            tenant: tenant.into(),
+        }
+    }
+}
+
 /// A registered track.
 #[derive(Debug, Clone)]
 pub struct TrackInfo {
@@ -173,12 +199,16 @@ struct Shared {
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     shared: Option<Arc<Shared>>,
+    ctx: Option<Arc<QueryCtx>>,
 }
 
 impl Tracer {
     /// A disabled tracer: every method is a no-op (the zero-cost path).
     pub fn disabled() -> Tracer {
-        Tracer { shared: None }
+        Tracer {
+            shared: None,
+            ctx: None,
+        }
     }
 
     /// An enabled tracer collecting into a fresh shared buffer.
@@ -188,6 +218,31 @@ impl Tracer {
                 epoch: Instant::now(),
                 state: Mutex::new(TraceState::default()),
             })),
+            ctx: None,
+        }
+    }
+
+    /// A clone of this handle carrying `ctx`: spans recorded through the
+    /// clone (and through any subsystem the clone is handed to) gain
+    /// `query_id`/`tenant` args. The underlying buffer is shared, so the
+    /// tagged spans land in the same trace as everything else.
+    pub fn with_query_ctx(&self, ctx: QueryCtx) -> Tracer {
+        Tracer {
+            shared: self.shared.clone(),
+            ctx: Some(Arc::new(ctx)),
+        }
+    }
+
+    /// The query context this handle carries, if any.
+    pub fn query_ctx(&self) -> Option<&QueryCtx> {
+        self.ctx.as_deref()
+    }
+
+    /// Appends this handle's query-context args, if any.
+    fn tag(&self, args: &mut Vec<(&'static str, ArgValue)>) {
+        if let Some(ctx) = &self.ctx {
+            args.push(("query_id", ArgValue::U64(ctx.query_id)));
+            args.push(("tenant", ArgValue::Str(ctx.tenant.clone().into_owned())));
         }
     }
 
@@ -244,9 +299,10 @@ impl Tracer {
         name: impl Into<Cow<'static, str>>,
         start_ns: u64,
         end_ns: u64,
-        args: Vec<(&'static str, ArgValue)>,
+        mut args: Vec<(&'static str, ArgValue)>,
     ) {
         let Some(s) = &self.shared else { return };
+        self.tag(&mut args);
         let mut st = s.state.lock().unwrap();
         st.events.push(TraceEvent {
             track,
@@ -271,6 +327,8 @@ impl Tracer {
         let Some(s) = &self.shared else {
             return SpanId::NULL;
         };
+        let mut args = Vec::new();
+        self.tag(&mut args);
         let mut st = s.state.lock().unwrap();
         st.events.push(TraceEvent {
             track,
@@ -278,7 +336,7 @@ impl Tracer {
             cat,
             start_ns,
             end_ns: start_ns,
-            args: Vec::new(),
+            args,
         });
         SpanId(st.events.len()) // 1-based so NULL stays distinct
     }
@@ -375,6 +433,33 @@ mod tests {
         let t2 = t.clone();
         t2.span(tr, "task", "x", 1, 2);
         assert_eq!(t.snapshot().unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn query_ctx_tags_every_span_through_the_handle() {
+        let t = Tracer::enabled();
+        let tr = t.track("engine", TimeDomain::Virtual);
+        let q = t.with_query_ctx(QueryCtx::new(42, "tenant-a"));
+        assert_eq!(q.query_ctx().unwrap().query_id, 42);
+        assert!(t.query_ctx().is_none(), "ctx rides the clone, not the base");
+        q.span(tr, "kernel", "k", 0, 10);
+        q.span_with(tr, "run", "r", 0, 20, vec![("passes", 1u64.into())]);
+        let open = q.begin_span(tr, "retry", "backoff", 20);
+        q.end_span(open, 30);
+        t.span(tr, "kernel", "untagged", 30, 40);
+        let trace = t.snapshot().unwrap();
+        for ev in &trace.events[..3] {
+            assert!(
+                ev.args.contains(&("query_id", ArgValue::U64(42))),
+                "{:?} should carry the query id",
+                ev.name
+            );
+            assert!(ev
+                .args
+                .contains(&("tenant", ArgValue::Str("tenant-a".into()))));
+        }
+        assert_eq!(trace.events[1].args[0], ("passes", ArgValue::U64(1)));
+        assert!(trace.events[3].args.is_empty(), "base handle stays clean");
     }
 
     #[test]

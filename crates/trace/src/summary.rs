@@ -124,11 +124,12 @@ pub fn render_metrics(registry: &MetricsRegistry) -> String {
             MetricValue::Histogram(h) => {
                 let _ = writeln!(
                     out,
-                    "  {name} = count={} p50={} p95={} p99={} mean={:.1}",
+                    "  {name} = count={} p50={} p95={} p99={} p999={} mean={:.1}",
                     h.count,
                     h.quantile(0.50),
                     h.quantile(0.95),
                     h.quantile(0.99),
+                    h.quantile(0.999),
                     h.mean()
                 );
             }
@@ -188,7 +189,7 @@ mod tests {
         let h = reg.histogram("test.summary.histo");
         h.reset();
         for _ in 0..99 {
-            h.record(1000); // bucket 10: [512, 1023]
+            h.record(600); // octave 9 [512, 1024), sub-bucket 1: [576, 639]
         }
         h.record(1_000_000);
         let text = render_metrics(reg);
@@ -196,9 +197,12 @@ mod tests {
             .lines()
             .find(|l| l.contains("test.summary.histo"))
             .unwrap();
+        // A pure log2 histogram would pin both quantiles at 1023 (the whole
+        // octave); linear sub-buckets tighten them to one eighth of it.
         assert!(line.contains("count=100"), "{line}");
-        assert!(line.contains("p50=1023"), "{line}");
-        assert!(line.contains("p99=1023"), "{line}");
-        assert!(line.contains("mean=10990.0"), "{line}");
+        assert!(line.contains("p50=639"), "{line}");
+        assert!(line.contains("p99=639"), "{line}");
+        assert!(line.contains("p999=1048575"), "{line}");
+        assert!(line.contains("mean=10594.0"), "{line}");
     }
 }

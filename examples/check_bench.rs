@@ -9,9 +9,12 @@
 //! This example loads every snapshot in the repository root (or the paths
 //! given as arguments), diffs the latest snapshot against the previous one,
 //! and exits nonzero when any benchmark shared by both regressed more than
-//! 10% in `ns_per_iter`. Raw criterion-shim JSONL (one entry per line, as
-//! `CRITERION_SHIM_JSON` appends it) is accepted too, so a fresh bench run
-//! can be gated before being normalized.
+//! 10% in `ns_per_iter`. Entries may also carry optional `p50_ns` and
+//! `p99_ns` latency percentiles (the loadgen entries do, from PR 7 on);
+//! when a percentile is present in both snapshots it is regression-gated
+//! exactly like `ns_per_iter`. Raw criterion-shim JSONL (one entry per
+//! line, as `CRITERION_SHIM_JSON` appends it) is accepted too, so a fresh
+//! bench run can be gated before being normalized.
 //!
 //! ```text
 //! cargo run --release --example check_bench
@@ -26,18 +29,35 @@ use snp_trace::json::{self, Value};
 /// both snapshots.
 const MAX_REGRESSION: f64 = 0.10;
 
-/// One parsed snapshot: PR number and `id → ns_per_iter`.
+/// One benchmark's gated metrics. `ns_per_iter` is required; the latency
+/// percentiles are optional — loadgen entries carry them, kernel-model and
+/// microkernel entries do not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    ns_per_iter: f64,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
+}
+
+/// One parsed snapshot: PR number and `id → metrics`.
 struct Snapshot {
     pr: u32,
     path: String,
-    entries: BTreeMap<String, f64>,
+    entries: BTreeMap<String, Entry>,
 }
 
-fn entry_of(v: &Value) -> Option<(String, f64)> {
+fn entry_of(v: &Value) -> Option<(String, Entry)> {
     let obj = v.as_obj()?;
     let id = obj.get("id")?.as_str()?.to_string();
     let ns = obj.get("ns_per_iter")?.as_num()?;
-    Some((id, ns))
+    Some((
+        id,
+        Entry {
+            ns_per_iter: ns,
+            p50_ns: obj.get("p50_ns").and_then(Value::as_num),
+            p99_ns: obj.get("p99_ns").and_then(Value::as_num),
+        },
+    ))
 }
 
 /// Parses either the wrapped schema or raw criterion-shim JSONL.
@@ -122,27 +142,38 @@ fn select_pair(snaps: &mut Vec<Snapshot>) -> Result<(usize, usize, Vec<u32>), St
     Ok((snaps.len() - 2, snaps.len() - 1, gaps))
 }
 
-/// Diffs `latest` against `prev`, printing one line per shared id. Returns
-/// `(shared, regressions)`.
+/// Diffs `latest` against `prev`, printing one line per shared metric.
+/// A percentile is gated only when both snapshots recorded it. Returns
+/// `(shared ids, metric regressions)`.
 fn diff(prev: &Snapshot, latest: &Snapshot) -> (usize, usize) {
     let mut regressions = 0usize;
     let mut shared = 0usize;
-    for (id, &ns) in &latest.entries {
-        let Some(&base) = prev.entries.get(id) else {
+    for (id, e) in &latest.entries {
+        let Some(base) = prev.entries.get(id) else {
             continue;
         };
         shared += 1;
-        let delta = (ns - base) / base;
-        let flag = if delta > MAX_REGRESSION {
-            regressions += 1;
-            "  REGRESSION"
-        } else {
-            ""
-        };
-        println!(
-            "  {id}: {base:.1} -> {ns:.1} ns/iter ({:+.1}%){flag}",
-            delta * 100.0
-        );
+        let metrics = [
+            ("ns/iter", Some(base.ns_per_iter), Some(e.ns_per_iter)),
+            ("p50_ns", base.p50_ns, e.p50_ns),
+            ("p99_ns", base.p99_ns, e.p99_ns),
+        ];
+        for (name, b, n) in metrics {
+            let (Some(b), Some(n)) = (b, n) else {
+                continue;
+            };
+            let delta = (n - b) / b;
+            let flag = if delta > MAX_REGRESSION {
+                regressions += 1;
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "  {id} [{name}]: {b:.1} -> {n:.1} ({:+.1}%){flag}",
+                delta * 100.0
+            );
+        }
     }
     (shared, regressions)
 }
@@ -209,8 +240,25 @@ mod tests {
             path: format!("BENCH_pr{pr}.json"),
             entries: entries
                 .iter()
-                .map(|(id, ns)| (id.to_string(), *ns))
+                .map(|(id, ns)| {
+                    (
+                        id.to_string(),
+                        Entry {
+                            ns_per_iter: *ns,
+                            p50_ns: None,
+                            p99_ns: None,
+                        },
+                    )
+                })
                 .collect(),
+        }
+    }
+
+    fn lat(ns: f64, p50: f64, p99: f64) -> Entry {
+        Entry {
+            ns_per_iter: ns,
+            p50_ns: Some(p50),
+            p99_ns: Some(p99),
         }
     }
 
@@ -258,5 +306,39 @@ mod tests {
         assert_eq!(w.pr, 6);
         assert_eq!(r.pr, 6, "raw JSONL takes the PR from the file name");
         assert_eq!(w.entries, r.entries);
+    }
+
+    #[test]
+    fn latency_percentiles_parse_and_gate_like_ns_per_iter() {
+        let wrapped = concat!(
+            r#"{"schema_version":1,"pr":7,"entries":["#,
+            r#"{"id":"loadgen/ld","ns_per_iter":100.0,"p50_ns":50.0,"p99_ns":200.0}]}"#,
+        );
+        let s = parse_snapshot("BENCH_pr7.json", wrapped).unwrap();
+        assert_eq!(s.entries["loadgen/ld"], lat(100.0, 50.0, 200.0));
+
+        // p99 regresses 50% while ns_per_iter and p50 hold: one regression.
+        let mut prev = snap(6, &[]);
+        prev.entries
+            .insert("loadgen/ld".into(), lat(100.0, 50.0, 200.0));
+        let mut latest = snap(7, &[]);
+        latest
+            .entries
+            .insert("loadgen/ld".into(), lat(100.0, 50.0, 300.0));
+        let (shared, regressions) = diff(&prev, &latest);
+        assert_eq!((shared, regressions), (1, 1));
+    }
+
+    #[test]
+    fn missing_percentiles_are_not_gated() {
+        // The baseline has no percentiles (pre-PR-7 entry); the latest
+        // does. Nothing to compare them against — only ns/iter is gated.
+        let prev = snap(6, &[("loadgen/ld", 100.0)]);
+        let mut latest = snap(7, &[]);
+        latest
+            .entries
+            .insert("loadgen/ld".into(), lat(100.0, 50.0, 99_999.0));
+        let (shared, regressions) = diff(&prev, &latest);
+        assert_eq!((shared, regressions), (1, 0));
     }
 }

@@ -1,0 +1,100 @@
+//! Cross-crate acceptance tests for the query-grained telemetry layer:
+//! the seeded load generator, SLO evaluation, the query-attributed merged
+//! timeline, and the flight-recorder post-mortem path.
+
+use snp_gpu_model::devices;
+use snp_load::{run, saturation_sweep, FaultSpec, LoadConfig, Slo, SloPolicy, Template};
+
+fn base_cfg() -> LoadConfig {
+    let mut cfg = LoadConfig::new(
+        devices::titan_v(),
+        vec![
+            Template::Ld,
+            Template::FastId,
+            Template::FastIdTopK,
+            Template::Mixture,
+        ],
+    );
+    cfg.queries = 24;
+    cfg
+}
+
+#[test]
+fn seeded_sweep_json_is_byte_reproducible_with_per_algorithm_percentiles() {
+    let mut cfg = base_cfg();
+    cfg.record_timeline = false;
+    let a = saturation_sweep(&cfg, &[0.5, 1.0, 4.0]).to_json();
+    let b = saturation_sweep(&cfg, &[0.5, 1.0, 4.0]).to_json();
+    assert_eq!(a, b, "seeded sweep must render byte-identically");
+
+    let doc = snp_trace::json::parse(&a).expect("sweep report is valid JSON");
+    let points = doc.as_obj().unwrap()["points"].as_arr().unwrap();
+    assert_eq!(points.len(), 3);
+    for p in points {
+        let report = p.as_obj().unwrap()["report"].as_obj().unwrap();
+        let algs = report["algorithms"].as_arr().unwrap();
+        assert!(!algs.is_empty());
+        for a in algs {
+            let o = a.as_obj().unwrap();
+            for key in ["p50_ns", "p95_ns", "p99_ns"] {
+                assert!(o[key].as_num().is_some(), "algorithm entry missing {key}");
+            }
+        }
+    }
+}
+
+#[test]
+fn impossible_slo_breaches_and_is_reported() {
+    let mut cfg = base_cfg();
+    cfg.slo = SloPolicy {
+        per_algorithm: Vec::new(),
+        default: Slo {
+            p50_ns: 1,
+            p99_ns: 1,
+            error_budget: 0.5,
+        },
+    };
+    let report = run(&cfg);
+    assert!(report.breached, "1 ns objectives must breach");
+    assert!(report.to_json().contains("\"slo_breached\":true"));
+    assert!(
+        report.postmortem.is_some(),
+        "an SLO breach must dump the flight recorder"
+    );
+}
+
+#[test]
+fn merged_timeline_validates_and_attributes_every_query() {
+    let cfg = base_cfg();
+    let report = run(&cfg);
+    let timeline = report.timeline.as_ref().expect("run records a timeline");
+    let json = snp_trace::chrome::export_chrome_trace(timeline);
+    snp_trace::chrome::validate(&json).expect("merged timeline is a valid Chrome trace");
+    for qid in 0..cfg.queries as u64 {
+        assert!(
+            json.contains(&format!("\"query_id\":{qid}")),
+            "timeline lost query {qid}"
+        );
+    }
+}
+
+#[test]
+fn seeded_device_loss_dump_names_the_failing_query() {
+    let mut cfg = base_cfg();
+    cfg.fault = Some(FaultSpec {
+        profile_name: "loss@2".to_string(),
+        profile: snp_faults::FaultProfile {
+            device_loss_at: Some(2),
+            ..snp_faults::FaultProfile::loss()
+        },
+        at_query: Some(7),
+    });
+    let report = run(&cfg);
+    let pm = report.postmortem.as_ref().expect("device loss must dump");
+    snp_trace::chrome::validate(&pm.json).expect("post-mortem bundle is a valid Chrome trace");
+    assert!(pm.reason.contains("query 7"), "{}", pm.reason);
+    assert!(
+        pm.json.contains("\"query_id\":7"),
+        "dump spans must carry the failing query's id"
+    );
+}
