@@ -29,8 +29,13 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Option names that are boolean flags: they take no value token
+/// (`snpgpu lint all --deep`) and parse as `"true"`.
+const FLAG_KEYS: &[&str] = &["deep"];
+
 impl Args {
     /// Parses a token stream: `command --key value --key2 value2 …`.
+    /// Names in [`FLAG_KEYS`] are value-less boolean flags.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut it = tokens.into_iter().peekable();
@@ -39,9 +44,12 @@ impl Args {
                 if key.is_empty() {
                     return Err(ArgError("empty option name `--`".into()));
                 }
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("option --{key} is missing its value")))?;
+                let value = if FLAG_KEYS.contains(&key) {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| ArgError(format!("option --{key} is missing its value")))?
+                };
                 if args.options.insert(key.to_string(), value).is_some() {
                     return Err(ArgError(format!("option --{key} given twice")));
                 }
@@ -59,6 +67,11 @@ impl Args {
     /// A string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (a [`FLAG_KEYS`] name) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
     }
 
     /// A string option with a default.
@@ -203,6 +216,15 @@ mod tests {
         assert_eq!(a.get("device"), Some("all"));
         let none = Args::parse(toks("lint --device all")).unwrap();
         assert_eq!(none.positional, None);
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse(toks("lint all --deep --device all")).unwrap();
+        assert!(a.flag("deep"));
+        assert_eq!(a.get("device"), Some("all"));
+        let b = Args::parse(toks("lint all --device all")).unwrap();
+        assert!(!b.flag("deep"));
     }
 
     #[test]

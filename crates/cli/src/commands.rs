@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 use snp_bitmat::{reference_gamma, BitMatrix};
 use snp_core::{
     compare_op, config_for, Algorithm, CpuModel, EngineError, EngineOptions, ExecMode, FaultPlan,
-    FaultProfile, GpuEngine, KernelPlan, MixtureStrategy, RecoverySummary,
+    FaultProfile, GpuEngine, KernelPlan, Lowering, MixtureStrategy, RecoverySummary,
 };
 use snp_cpu::CpuEngine;
 use snp_gpu_model::config::ProblemShape;
@@ -45,10 +45,15 @@ COMMANDS:
                                run a workload with tracing on; write a Chrome
                                trace_event JSON timeline (open in Perfetto or
                                chrome://tracing) plus a text summary
-  lint      [ld|fastid|mixture|all] [--device D|all --json F]
+  lint      [ld|fastid|mixture|all] [--device D|all --json F --deep]
                                statically verify the command DAG (race
                                detection) and the planned kernel (ISA and
-                               capacity lints); nonzero findings fail
+                               capacity lints); nonzero findings fail.
+                               --deep adds the dataflow layer: trip-sensitive
+                               def-use (V110), dead writes (V111), live-range
+                               register pressure (V112), the static
+                               critical-path cost bound (V113), and
+                               scalar-vs-MMA cross-lowering checks (V114)
   chaos     [ld|fastid|mixture|all] [--device D|all --profile P|all --seed S --json F]
                                fault-injection matrix: run every algorithm x
                                device x fault-profile cell on a memory-shrunk
@@ -58,8 +63,8 @@ COMMANDS:
                                per-kernel hardware counters (FU utilization,
                                bank-conflict replays, achieved bandwidth,
                                occupancy), roofline classification, and the
-                               three-way analytical/macro/detailed drift
-                               table; any out-of-tolerance cell fails
+                               four-way analytic/macro/critpath/detailed
+                               drift table; any out-of-tolerance cell fails
   loadgen   [ld|fastid|mixture|all] [--device D --rate Q --queries N --seed S
             --arrival poisson|bursty --mode run|sweep --slo-p50-ms X
             --slo-p99-ms X --error-budget F --fault-profile P --fault-at Q
@@ -745,7 +750,8 @@ fn lint_shape(dev: &DeviceSpec) -> ProblemShape {
 }
 
 fn cmd_lint(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["device", "json"])?;
+    args.expect_only(&["device", "json", "deep"])?;
+    let deep = args.flag("deep");
     let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
     let devs = device_selection(args.get_or("device", "all"))?;
 
@@ -773,21 +779,56 @@ fn cmd_lint(args: &Args) -> Result<String, ArgError> {
             let mut report = run.verify_report.expect("verification was enabled");
             let op = compare_op(alg, mixture);
             let plan = KernelPlan::new(dev, &run.config, op, shape.m, shape.n, shape.k_words);
-            report.merge(snp_verify::lint_kernel(
-                dev,
-                &run.config,
-                &plan.facts(dev, shape.k_words),
-            ));
+            let facts = plan.facts(dev, shape.k_words);
+            let mut deep_json = String::new();
+            if deep {
+                report.merge(snp_verify::lint_kernel_deep(dev, &run.config, &facts));
+                // Cross-lowering consistency (V114): on matrix-unit devices
+                // whose plan actually lowers to MMA, the pinned scalar
+                // program of the same plan must describe the same work.
+                if plan.lowering.uses_matrix_unit() {
+                    let scalar = KernelPlan::with_lowering(
+                        dev,
+                        &run.config,
+                        op,
+                        shape.m,
+                        shape.n,
+                        shape.k_words,
+                        Lowering::Scalar,
+                    );
+                    report.merge(snp_verify::lint_cross_lowering(
+                        dev,
+                        &scalar.facts(dev, shape.k_words),
+                        &facts,
+                    ));
+                }
+                let df = snp_verify::Dataflow::analyze(&facts.program);
+                let cp = snp_verify::critical_path(dev, &facts.program);
+                deep_json = format!(
+                    ",\"deep\":{{\"max_live\":{},\"reg_count\":{},\"chain_cycles\":{},\
+                     \"peak_pipe_issue_cycles\":{},\"lower_bound_cycles\":{},\
+                     \"predicted_core_cycles\":{:.0}}}",
+                    df.pressure.max_live,
+                    df.pressure.reg_count,
+                    cp.chain_cycles,
+                    cp.pipe_issue_cycles.iter().copied().max().unwrap_or(0),
+                    cp.lower_bound_cycles(),
+                    cp.predicted_core_cycles(dev.n_clusters, facts.groups_per_core),
+                );
+            } else {
+                report.merge(snp_verify::lint_kernel(dev, &run.config, &facts));
+            }
             let label = format!("{} / {}", dev.name, alg.name());
             out.push_str(&report.render_text(&label));
             if report.has_blocking() {
                 blocking += 1;
             }
             json_targets.push(format!(
-                "{{\"device\":\"{}\",\"algorithm\":\"{}\",\"report\":{}}}",
+                "{{\"device\":\"{}\",\"algorithm\":\"{}\",\"report\":{}{}}}",
                 snp_verify::json_escape(&dev.name),
                 snp_verify::json_escape(alg.name()),
                 report.to_json(),
+                deep_json,
             ));
         }
     }
@@ -803,8 +844,13 @@ fn cmd_lint(args: &Args) -> Result<String, ArgError> {
     }
     let _ = writeln!(
         out,
-        "all {} target(s) verified: no races, no kernel lint findings",
-        devs.len() * algorithms.len()
+        "all {} target(s) verified: no races, no kernel lint findings{}",
+        devs.len() * algorithms.len(),
+        if deep {
+            " (deep dataflow rules included)"
+        } else {
+            ""
+        },
     );
     Ok(out)
 }
@@ -1011,9 +1057,11 @@ fn profile_cell_json(c: &snp_core::CellProfile) -> String {
             "\"matrix_unit_ridge\":{mur},",
             "\"compute_peak_word_ops_s\":{cpk:.1},\"memory_peak_bytes_s\":{mpk:.1},",
             "\"bound\":\"{bound}\"}},",
-            "\"drift\":{{\"analytic_ns\":{an:.1},\"macro_ns\":{mn:.1},\"detailed_ns\":{dn:.1},",
+            "\"drift\":{{\"analytic_ns\":{an:.1},\"macro_ns\":{mn:.1},",
+            "\"critpath_ns\":{cn:.1},\"detailed_ns\":{dn:.1},",
             "\"analytic_vs_macro\":{avm:.6},\"macro_vs_detailed\":{mvd:.6},",
-            "\"analytic_vs_detailed\":{avd:.6},\"within_tolerance\":{within}}}}}"
+            "\"analytic_vs_detailed\":{avd:.6},\"critpath_vs_detailed\":{cvd:.6},",
+            "\"within_tolerance\":{within}}}}}"
         ),
         device = snp_verify::json_escape(&c.device),
         alg = snp_verify::json_escape(algorithm_slug(c.algorithm)),
@@ -1044,10 +1092,12 @@ fn profile_cell_json(c: &snp_core::CellProfile) -> String {
         bound = c.roofline.bound.label(),
         an = c.drift.analytic_ns,
         mn = c.drift.macro_ns,
+        cn = c.drift.critpath_ns,
         dn = c.drift.detailed_ns,
         avm = c.drift.analytic_vs_macro,
         mvd = c.drift.macro_vs_detailed,
         avd = c.drift.analytic_vs_detailed,
+        cvd = c.drift.critpath_vs_detailed,
         within = c.drift.within_tolerance(),
     )
 }
@@ -1131,18 +1181,22 @@ fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
             let ok = cell.drift.within_tolerance();
             let _ = writeln!(
                 out,
-                "  drift: analytic {:.3} ms | macro {:.3} ms | detailed {:.3} ms",
+                "  drift: analytic {:.3} ms | macro {:.3} ms | critpath {:.3} ms | detailed {:.3} ms",
                 cell.drift.analytic_ns / 1e6,
                 cell.drift.macro_ns / 1e6,
+                cell.drift.critpath_ns / 1e6,
                 cell.drift.detailed_ns / 1e6
             );
             let _ = writeln!(
                 out,
-                "         analytic~macro {:.1}% (tol {:.0}%), macro~detailed {:.2}% (tol {:.0}%)  {}",
+                "         analytic~macro {:.1}% (tol {:.0}%), macro~detailed {:.2}% (tol {:.0}%), \
+                 critpath~detailed {:.2}% (tol {:.0}%)  {}",
                 cell.drift.analytic_vs_macro * 100.0,
                 cell.drift.analytic_tolerance * 100.0,
                 cell.drift.macro_vs_detailed * 100.0,
                 cell.drift.engine_tolerance * 100.0,
+                cell.drift.critpath_vs_detailed * 100.0,
+                cell.drift.critpath_tolerance * 100.0,
                 if ok { "OK" } else { "DRIFT" }
             );
             if !ok {
@@ -1159,11 +1213,12 @@ fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
     if let Some(path) = args.get("json") {
         let json = format!(
             "{{\"shape\":{{\"m\":{m},\"n\":{n},\"k_words\":{}}},\
-             \"tolerances\":{{\"analytic\":{},\"engine\":{}}},\
+             \"tolerances\":{{\"analytic\":{},\"engine\":{},\"critpath\":{}}},\
              \"cells\":[{}],\"drift_violations\":{violations}}}\n",
             shape.k_words,
             snp_core::ANALYTIC_DRIFT_TOLERANCE,
             snp_core::ENGINE_DRIFT_TOLERANCE,
+            snp_core::CRITPATH_DRIFT_TOLERANCE,
             cells.join(",")
         );
         std::fs::write(path, json)

@@ -1,0 +1,190 @@
+//! Seeded mutation tests for the deep dataflow rules: deleting a def
+//! (V110), orphaning a write (V111), and inflating a register's live range
+//! (V112) in a real paper-kernel program must each produce the expected
+//! diagnostic. The mutation site is chosen by a fixed-seed LCG over the
+//! eligible sites so the test is deterministic but not hand-pinned to one
+//! instruction index.
+
+use snp_core::{compare_op, config_for, Algorithm, KernelPlan, MixtureStrategy};
+use snp_gpu_model::config::ProblemShape;
+use snp_gpu_model::devices;
+use snp_gpu_sim::isa::{Program, Reg};
+use snp_verify::{lint_dataflow, PlanFacts, Severity};
+
+const SEED: u64 = 0x5eed_0008;
+
+fn lcg_pick(len: usize) -> usize {
+    assert!(len > 0, "no eligible mutation sites");
+    let x = SEED
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((x >> 33) % len as u64) as usize
+}
+
+/// The paper's LD kernel on GTX 980, sized past `k_c` so the k panel splits
+/// into multiple slabs (prologue/body block pairs) — the shape every
+/// cross-block dataflow mutation needs.
+fn gtx_ld_facts() -> PlanFacts {
+    let dev = devices::by_name("GTX 980").unwrap();
+    let shape = ProblemShape {
+        m: 2048,
+        n: 2048,
+        k_words: 1024,
+    };
+    let cfg = config_for(&dev, Algorithm::LinkageDisequilibrium, shape);
+    let op = compare_op(Algorithm::LinkageDisequilibrium, MixtureStrategy::Direct);
+    let plan = KernelPlan::new(&dev, &cfg, op, shape.m, shape.n, shape.k_words);
+    plan.facts(&dev, shape.k_words)
+}
+
+fn assert_clean(facts: &PlanFacts, dev_name: &str) {
+    let dev = devices::by_name(dev_name).unwrap();
+    let report = lint_dataflow(&dev, facts);
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity >= Severity::Warning),
+        "unmutated paper kernel must lint clean: {report:?}"
+    );
+}
+
+/// Sites where deleting the instruction orphans a register's block-local
+/// defs: the deleted instruction is the register's only def in its block,
+/// another instruction in the same block reads it (not as a pure
+/// self-accumulator), no earlier block defines it, and a later block does —
+/// exactly the shape whose first-trip reads become use-before-def.
+fn v110_sites(prog: &Program) -> Vec<(usize, usize, Reg)> {
+    let mut sites = Vec::new();
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        if !block.executes() {
+            continue;
+        }
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            let Some(r) = instr.dst else { continue };
+            let only_def_here = block
+                .instrs
+                .iter()
+                .enumerate()
+                .all(|(j, o)| j == ii || o.dst != Some(r));
+            let read_by_other = block
+                .instrs
+                .iter()
+                .any(|o| o.dst != Some(r) && o.srcs.contains(&r));
+            let earlier_def = prog.blocks[..bi]
+                .iter()
+                .filter(|b| b.executes())
+                .any(|b| b.instrs.iter().any(|o| o.dst == Some(r)));
+            let later_def = prog.blocks[bi + 1..]
+                .iter()
+                .filter(|b| b.executes())
+                .any(|b| b.instrs.iter().any(|o| o.dst == Some(r)));
+            if only_def_here && read_by_other && !earlier_def && later_def {
+                sites.push((bi, ii, r));
+            }
+        }
+    }
+    sites
+}
+
+#[test]
+fn deleting_a_def_is_detected_as_v110() {
+    let mut facts = gtx_ld_facts();
+    assert_clean(&facts, "GTX 980");
+
+    let sites = v110_sites(&facts.program);
+    let (bi, ii, reg) = sites[lcg_pick(sites.len())];
+    facts.program.blocks[bi].instrs.remove(ii);
+
+    let dev = devices::by_name("GTX 980").unwrap();
+    let report = lint_dataflow(&dev, &facts);
+    let hit = report
+        .with_code("V110-READ-BEFORE-WRITE")
+        .any(|d| d.severity == Severity::Error && d.message.contains(&format!("r{reg}")));
+    assert!(
+        hit,
+        "deleting the def of r{reg} at block {bi} instr {ii} must raise a V110 error: {report:?}"
+    );
+}
+
+#[test]
+fn orphaning_a_write_is_detected_as_v111() {
+    let mut facts = gtx_ld_facts();
+    assert_clean(&facts, "GTX 980");
+
+    // Redirect one arithmetic write to a fresh register nothing reads.
+    let fresh = facts.program.reg_count() as Reg;
+    let sites: Vec<(usize, usize)> = facts
+        .program
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.executes())
+        .flat_map(|(bi, b)| {
+            b.instrs
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.dst.is_some())
+                .map(move |(ii, _)| (bi, ii))
+        })
+        .collect();
+    let (bi, ii) = sites[lcg_pick(sites.len())];
+    facts.program.blocks[bi].instrs[ii].dst = Some(fresh);
+
+    let dev = devices::by_name("GTX 980").unwrap();
+    let report = lint_dataflow(&dev, &facts);
+    let hit = report
+        .with_code("V111-DEAD-WRITE")
+        .any(|d| d.severity == Severity::Warning && d.message.contains(&format!("r{fresh}")));
+    assert!(
+        hit,
+        "orphaning the write at block {bi} instr {ii} onto r{fresh} must raise a V111 \
+         dead-write warning: {report:?}"
+    );
+}
+
+#[test]
+fn inflating_live_ranges_is_detected_as_v112() {
+    // Vega 64's LD plan allocates more registers than one thread gets at
+    // the configured occupancy — the gap only stays benign while the *live*
+    // pressure fits. Stretch every register's live range to program end and
+    // the pressure must escalate to a warning.
+    let dev = devices::by_name("Vega 64").unwrap();
+    let shape = ProblemShape {
+        m: 64,
+        n: 4096,
+        k_words: 256,
+    };
+    let cfg = config_for(&dev, Algorithm::LinkageDisequilibrium, shape);
+    let op = compare_op(Algorithm::LinkageDisequilibrium, MixtureStrategy::Direct);
+    let plan = KernelPlan::new(&dev, &cfg, op, shape.m, shape.n, shape.k_words);
+    let mut facts = plan.facts(&dev, shape.k_words);
+    assert_clean(&facts, "Vega 64");
+
+    let reg_count = facts.program.reg_count();
+    let avail = dev.regs_per_thread_at_occupancy(facts.groups_per_core) as usize;
+    assert!(
+        reg_count > avail,
+        "precondition: the TC100 LD plan ({reg_count} regs) must over-allocate the \
+         {avail} registers available at {} groups",
+        facts.groups_per_core
+    );
+
+    // One appended store reading every register keeps them all live to the
+    // end of the program.
+    let all: Vec<Reg> = (0..reg_count as Reg).collect();
+    let last = facts.program.blocks.len() - 1;
+    facts.program.blocks[last]
+        .instrs
+        .push(snp_gpu_sim::isa::Instr::store_global(&all));
+
+    let report = lint_dataflow(&dev, &facts);
+    let hit = report
+        .with_code("V112-LIVE-PRESSURE")
+        .any(|d| d.severity == Severity::Warning);
+    assert!(
+        hit,
+        "inflating every live range past the {avail} available registers must raise a \
+         V112 pressure warning: {report:?}"
+    );
+}

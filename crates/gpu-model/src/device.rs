@@ -256,6 +256,26 @@ impl DeviceSpec {
         }
     }
 
+    /// Cycles from issue until the destination register of a `class`
+    /// instruction with `conflict_ways`-way bank serialization is ready, at
+    /// the full thread-group width: `max(latency, T_issue)` with
+    /// `T_issue = issue_cycles × conflict_ways`, and the shared-load latency
+    /// inflated by `(ways − 1) × issue_cycles` replays — exactly the
+    /// per-instruction completion delta the detailed engine charges, exposed
+    /// here so static analyses (the `snp-verify` critical-path bound) can
+    /// weight dependence edges without re-deriving engine semantics.
+    pub fn completion_cycles(&self, class: InstrClass, conflict_ways: u32) -> u64 {
+        let width = self.issue_cycles(class) as u64;
+        let ways = conflict_ways.max(1) as u64;
+        let t_issue = width * ways;
+        let latency = match class {
+            InstrClass::LoadShared => self.memory.shared_latency_cycles as u64 + (ways - 1) * width,
+            InstrClass::StoreGlobal | InstrClass::StoreShared => t_issue,
+            _ => self.result_latency(class) as u64,
+        };
+        latency.max(t_issue)
+    }
+
     /// Clock period in nanoseconds.
     pub fn cycle_ns(&self) -> f64 {
         1.0 / self.frequency_ghz

@@ -100,6 +100,13 @@ impl Block {
     pub fn dynamic_instrs(&self) -> u64 {
         self.trips as u64 * self.instrs.len() as u64
     }
+
+    /// Whether the block executes at all: the engines skip zero-trip and
+    /// empty blocks, and static analyses must do the same or they will
+    /// count definitions that never happen.
+    pub fn executes(&self) -> bool {
+        self.trips > 0 && !self.instrs.is_empty()
+    }
 }
 
 /// A program: blocks executed in order by every thread group.
@@ -154,6 +161,18 @@ impl Program {
     /// and admits programs that need one register more than the device has.
     pub fn reg_count(&self) -> usize {
         self.max_reg().map_or(0, |r| r as usize + 1)
+    }
+
+    /// Iterates every static instruction of every *executing* block in
+    /// program order, yielding `(block_index, instr_index, &Instr)`.
+    /// Zero-trip and empty blocks are skipped, matching the engines'
+    /// semantics — a definition inside a skipped block never happens.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (usize, usize, &Instr)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.executes())
+            .flat_map(|(bi, b)| b.instrs.iter().enumerate().map(move |(ii, i)| (bi, ii, i)))
     }
 
     /// Builds the §V-C dependent-chain microbenchmark: `iters` repetitions

@@ -1,0 +1,634 @@
+//! Latency-weighted static critical path and cross-lowering consistency
+//! (DESIGN.md §14).
+//!
+//! [`critical_path`] abstractly interprets a program against a device's
+//! timing: every register starts available at cycle 0 (the engines'
+//! implicit zero-initialization), and each instruction's result becomes
+//! available `completion_cycles(class, ways)` after its latest source —
+//! exactly the per-instruction delta the detailed engine charges, but with
+//! all structural hazards (pipe occupancy, scheduler width) relaxed. The
+//! resulting chain length, combined with the per-pipeline issue totals and
+//! the dynamic instruction count, is a *provable lower bound* on the
+//! detailed engine's cycles for a single-group launch:
+//!
+//! * the chain relaxation can only start instructions earlier, never later;
+//! * a pipeline serving `c` issue cycles of work is busy ≥ `c` cycles;
+//! * one group issues at most one instruction per cycle.
+//!
+//! Rule **V113** checks a plan's declared analytic cost against that bound
+//! and reports which blocks are latency-bound (`chain > issue`); the same
+//! structure also yields a macro-style multi-group prediction that
+//! `snpgpu profile` reconciles against the detailed simulation as a fourth
+//! drift column. Rule **V114** cross-checks the scalar and matrix-unit
+//! lowerings of one plan: same executed word-ops (up to one trip of
+//! fragment padding per k-loop) and the same memory-traffic class counts.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::lint::PlanFacts;
+use snp_gpu_model::{DeviceSpec, InstrClass};
+use snp_gpu_sim::isa::Program;
+use snp_gpu_sim::macro_engine::issue_cycles_per_trip;
+
+/// Past this many trips the chain walk stops iterating and extrapolates
+/// linearly from the per-trip steady-state delta (exact once two
+/// consecutive trips advance register availability identically).
+const EXACT_TRIPS: u32 = 4096;
+
+/// Critical-path facts of one executing block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPath {
+    /// Block index in the program.
+    pub block: usize,
+    /// Trips the block executes.
+    pub trips: u32,
+    /// Issue cycles one group places on the block's busiest pipeline over
+    /// all trips (the block's issue bound at one resident group).
+    pub issue_bound: u64,
+    /// Cycles the global dependence chain advances across the block
+    /// (latency-weighted, loop-carried edges included).
+    pub chain_span: u64,
+}
+
+impl BlockPath {
+    /// Whether the block is latency-bound at one resident group: its
+    /// dependence chain outweighs its busiest pipeline's issue work.
+    pub fn latency_bound(&self) -> bool {
+        self.chain_span > self.issue_bound
+    }
+}
+
+/// The static critical path of a program on a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CritPath {
+    /// Per executing block, in program order.
+    pub per_block: Vec<BlockPath>,
+    /// Length of the longest latency-weighted dependence chain through the
+    /// whole program (loop-carried and cross-block edges included).
+    pub chain_cycles: u64,
+    /// Per-pipeline issue cycles one group places over the whole program.
+    pub pipe_issue_cycles: Vec<u64>,
+    /// Dynamic instructions per group (one group issues at most one per
+    /// cycle, so this too lower-bounds the runtime).
+    pub dynamic_instrs: u64,
+}
+
+impl CritPath {
+    /// The provable single-group lower bound:
+    /// `max(chain, busiest pipe, dynamic instructions)`.
+    pub fn lower_bound_cycles(&self) -> u64 {
+        self.chain_cycles
+            .max(self.pipe_issue_cycles.iter().copied().max().unwrap_or(0))
+            .max(self.dynamic_instrs)
+    }
+
+    /// Macro-style core-cycle prediction at `groups` resident groups on a
+    /// device with `n_clusters` pipeline clusters: per block, the issue
+    /// bound scales with groups sharing each cluster's pipelines while the
+    /// dependence chain does not (extra groups hide latency, they do not
+    /// shorten chains), and the block takes whichever bound is larger.
+    pub fn predicted_core_cycles(&self, n_clusters: u32, groups: u32) -> f64 {
+        let clusters = n_clusters.min(groups).max(1) as f64;
+        let gpc = groups.max(1) as f64 / clusters;
+        self.per_block
+            .iter()
+            .map(|b| (gpc * b.issue_bound as f64).max(b.chain_span as f64))
+            .sum()
+    }
+}
+
+/// Computes the latency-weighted critical path of `prog` on `dev`.
+///
+/// Panics if the program issues a class `dev` has no pipeline for (gate on
+/// [`supports_program`] first; the V107 lint owns that diagnostic).
+pub fn critical_path(dev: &DeviceSpec, prog: &Program) -> CritPath {
+    let n_regs = prog.reg_count();
+    let mut avail = vec![0u64; n_regs];
+    let mut chain_end = 0u64;
+    let mut per_block = Vec::new();
+    let mut pipe_totals = vec![0u64; dev.pipelines.len()];
+
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        if !block.executes() {
+            continue;
+        }
+        let block_start = chain_end;
+        let per_trip = issue_cycles_per_trip(dev, block);
+        for (pipe, &c) in per_trip.iter().enumerate() {
+            pipe_totals[pipe] += c * block.trips as u64;
+        }
+
+        let mut trip = 0u32;
+        let mut prev_state: Option<(Vec<u64>, u64)> = None;
+        let mut prev_delta: Option<(Vec<u64>, u64)> = None;
+        while trip < block.trips {
+            for instr in &block.instrs {
+                let start = instr
+                    .srcs
+                    .iter()
+                    .map(|&s| avail[s as usize])
+                    .max()
+                    .unwrap_or(0);
+                let done = start + dev.completion_cycles(instr.class, instr.conflict_ways);
+                if let Some(d) = instr.dst {
+                    avail[d as usize] = done;
+                }
+                chain_end = chain_end.max(done);
+            }
+            trip += 1;
+            if block.trips <= EXACT_TRIPS {
+                continue;
+            }
+            // Steady-state extrapolation for very long loops: once two
+            // consecutive trips advance every register by the same delta,
+            // the remaining trips are that delta repeated.
+            let (pa, pe) = prev_state.take().unwrap_or_else(|| (vec![0; n_regs], 0));
+            let delta: Vec<u64> = avail.iter().zip(&pa).map(|(a, p)| a - p).collect();
+            let delta_end = chain_end - pe;
+            let steady = prev_delta
+                .as_ref()
+                .is_some_and(|(pd, pde)| *pd == delta && *pde == delta_end);
+            if steady || trip == EXACT_TRIPS {
+                let rem = (block.trips - trip) as u64;
+                for (a, d) in avail.iter_mut().zip(&delta) {
+                    *a += d * rem;
+                }
+                chain_end += delta_end * rem;
+                break;
+            }
+            prev_delta = Some((delta, delta_end));
+            prev_state = Some((avail.clone(), chain_end));
+        }
+
+        per_block.push(BlockPath {
+            block: bi,
+            trips: block.trips,
+            issue_bound: per_trip.iter().copied().max().unwrap_or(0) * block.trips as u64,
+            chain_span: chain_end - block_start,
+        });
+    }
+
+    CritPath {
+        per_block,
+        chain_cycles: chain_end,
+        pipe_issue_cycles: pipe_totals,
+        dynamic_instrs: prog.dynamic_instrs(),
+    }
+}
+
+/// Whether `dev` has a pipeline for every class `prog` issues — the
+/// precondition for [`critical_path`] (V107 reports the violation).
+pub fn supports_program(dev: &DeviceSpec, prog: &Program) -> bool {
+    prog.iter_instrs()
+        .all(|(_, _, i)| dev.pipeline_index_for(i.class).is_some())
+}
+
+/// Rule **V113-CRITPATH**: the declared analytic cost must not undercut the
+/// static critical-path lower bound for a single tile job, and the
+/// issue-vs-chain balance is reported so latency-bound kernels are visible
+/// before any simulation runs.
+pub fn lint_critpath(dev: &DeviceSpec, facts: &PlanFacts) -> Report {
+    let mut report = Report::default();
+    let prog = &facts.program;
+    if !supports_program(dev, prog) {
+        return report; // V107 owns the diagnostic; no pipeline timing exists.
+    }
+    let cp = critical_path(dev, prog);
+    let lb = cp.lower_bound_cycles();
+    if lb == 0 {
+        return report;
+    }
+    let peak_pipe = cp.pipe_issue_cycles.iter().copied().max().unwrap_or(0);
+    if facts.core_cycles < lb as f64 * 0.999 {
+        report.diagnostics.push(Diagnostic::new(
+            "V113-CRITPATH",
+            Severity::Error,
+            format!(
+                "declared {:.0} core cycles, but one tile job alone needs at least {} \
+                 (dependence chain {}, busiest-pipe issue {}, {} instructions)",
+                facts.core_cycles, lb, cp.chain_cycles, peak_pipe, cp.dynamic_instrs,
+            ),
+        ));
+    }
+    let latency_blocks: Vec<String> = cp
+        .per_block
+        .iter()
+        .filter(|b| b.latency_bound())
+        .map(|b| b.block.to_string())
+        .collect();
+    let balance = if latency_blocks.is_empty() {
+        "issue-bound in every block".to_string()
+    } else {
+        format!(
+            "latency-bound in block(s) {} at one resident group",
+            latency_blocks.join(", "),
+        )
+    };
+    report.diagnostics.push(Diagnostic::new(
+        "V113-CRITPATH",
+        Severity::Info,
+        format!(
+            "static critical path: {} cycle lower bound per job (chain {}, busiest-pipe \
+             issue {}); predicted {:.0} core cycles at {} resident groups; {}",
+            lb,
+            cp.chain_cycles,
+            peak_pipe,
+            cp.predicted_core_cycles(dev.n_clusters, facts.groups_per_core),
+            facts.groups_per_core,
+            balance,
+        ),
+    ));
+    report
+}
+
+/// Word-ops one thread group actually executes: `popc` counts one packed
+/// word per thread, `mma` retires a full fragment per instruction.
+fn executed_word_ops(dev: &DeviceSpec, prog: &Program) -> u128 {
+    let mma_ops = dev
+        .matrix_unit
+        .map_or(0, |mu| mu.word_ops_per_instr(dev.word_bits)) as u128;
+    prog.blocks
+        .iter()
+        .filter(|b| b.executes())
+        .map(|b| {
+            let per_trip: u128 = b
+                .instrs
+                .iter()
+                .map(|i| match i.class {
+                    InstrClass::Popc => dev.n_t as u128,
+                    InstrClass::Mma => mma_ops,
+                    _ => 0,
+                })
+                .sum();
+            per_trip * b.trips as u128
+        })
+        .sum()
+}
+
+/// Dynamic per-group instruction count of `class` in `prog`.
+fn dynamic_class_count(prog: &Program, class: InstrClass) -> u64 {
+    prog.dynamic_instrs_by_class()
+        .iter()
+        .find(|(c, _)| *c == class)
+        .map_or(0, |&(_, n)| n)
+}
+
+/// Per-trip static count of `class` summed over executing blocks — the
+/// per-class slack one loop-remainder trip can legitimately introduce
+/// between two lowerings of the same plan.
+fn one_trip_slack(prog: &Program, class: InstrClass) -> u64 {
+    prog.blocks
+        .iter()
+        .filter(|b| b.executes())
+        .map(|b| b.instrs.iter().filter(|i| i.class == class).count() as u64)
+        .sum()
+}
+
+/// Rule **V114-CROSS-LOWERING**: the scalar and matrix-unit tile programs
+/// of one plan must describe the same computation — equal logical word-ops,
+/// executed word-ops equal up to one trip of fragment padding per k-loop,
+/// and matching memory-traffic class counts (stores exactly; global loads
+/// within one loop-remainder trip per lowering; shared loads may only
+/// shrink under the fragment form's cooperative fetch, never grow).
+pub fn lint_cross_lowering(dev: &DeviceSpec, scalar: &PlanFacts, mma: &PlanFacts) -> Report {
+    let mut report = Report::default();
+    let mut err = |msg: String| {
+        report
+            .diagnostics
+            .push(Diagnostic::new("V114-CROSS-LOWERING", Severity::Error, msg));
+    };
+
+    if scalar.groups_per_core != mma.groups_per_core {
+        err(format!(
+            "lowerings disagree on geometry: {} vs {} groups per core",
+            scalar.groups_per_core, mma.groups_per_core,
+        ));
+        return report;
+    }
+    if (scalar.word_ops - mma.word_ops).abs() > 0.5 {
+        err(format!(
+            "lowerings declare different logical word-op totals: {:.0} (scalar) vs {:.0} (mma)",
+            scalar.word_ops, mma.word_ops,
+        ));
+    }
+
+    let s_exec = executed_word_ops(dev, &scalar.program);
+    let m_exec = executed_word_ops(dev, &mma.program);
+    let mma_per_instr = dev
+        .matrix_unit
+        .map_or(0, |mu| mu.word_ops_per_instr(dev.word_bits)) as u128;
+    // One remainder trip of mma padding per k-loop block is legitimate
+    // (trips = ceil(slab / frag_k_words)); anything beyond is dropped or
+    // duplicated work.
+    let padding: u128 = mma
+        .program
+        .blocks
+        .iter()
+        .filter(|b| b.executes() && b.trips > 1)
+        .map(|b| {
+            b.instrs
+                .iter()
+                .filter(|i| i.class == InstrClass::Mma)
+                .count() as u128
+                * mma_per_instr
+        })
+        .sum();
+    if m_exec < s_exec {
+        err(format!(
+            "mma lowering executes fewer word-ops per group than scalar: {m_exec} vs {s_exec} \
+             (dropped work)",
+        ));
+    } else if m_exec > s_exec + padding {
+        err(format!(
+            "mma lowering executes {m_exec} word-ops per group vs scalar {s_exec}, beyond the \
+             {padding} allowed by one fragment-padding trip per k-loop",
+        ));
+    }
+
+    for class in [InstrClass::StoreGlobal, InstrClass::StoreShared] {
+        let s = dynamic_class_count(&scalar.program, class);
+        let m = dynamic_class_count(&mma.program, class);
+        if s != m {
+            err(format!(
+                "lowerings disagree on {class} traffic: {s} (scalar) vs {m} (mma) \
+                 instructions per group",
+            ));
+        }
+    }
+    {
+        // The B panel streams through per-thread global loads in both
+        // lowerings, so ld.global counts must agree up to loop-remainder
+        // trips.
+        let class = InstrClass::LoadGlobal;
+        let s = dynamic_class_count(&scalar.program, class);
+        let m = dynamic_class_count(&mma.program, class);
+        let slack = one_trip_slack(&scalar.program, class) + one_trip_slack(&mma.program, class);
+        if s.abs_diff(m) > slack {
+            err(format!(
+                "lowerings disagree on {class} traffic: {s} (scalar) vs {m} (mma) \
+                 instructions per group (beyond the {slack} one-trip remainder slack)",
+            ));
+        }
+    }
+    {
+        // A-slab shared reads are NOT count-comparable: the scalar form
+        // broadcasts (every thread re-reads every A row it combines), while
+        // the fragment form fetches each word once per group, cooperatively.
+        // Fewer mma shared loads is therefore the expected shape; *more*
+        // would be phantom traffic.
+        let class = InstrClass::LoadShared;
+        let s = dynamic_class_count(&scalar.program, class);
+        let m = dynamic_class_count(&mma.program, class);
+        let slack = one_trip_slack(&scalar.program, class) + one_trip_slack(&mma.program, class);
+        if m > s + slack {
+            err(format!(
+                "mma lowering issues more {class} traffic than scalar: {m} vs {s} \
+                 instructions per group (beyond the {slack} one-trip remainder slack)",
+            ));
+        } else if m < s {
+            report.diagnostics.push(Diagnostic::new(
+                "V114-CROSS-LOWERING",
+                Severity::Info,
+                format!(
+                    "{class} traffic {m} (mma) vs {s} (scalar) instructions per group: \
+                     the fragment form fetches the A slab cooperatively instead of \
+                     per-thread broadcast",
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_gpu_model::{devices, WordOpKind};
+    use snp_gpu_sim::isa::{Block, Instr};
+    use snp_gpu_sim::simulate_core;
+
+    fn facts(program: Program, core_cycles: f64) -> PlanFacts {
+        PlanFacts {
+            program,
+            groups_per_core: 1,
+            core_cycles,
+            active_cores: 1,
+            word_ops: 0.0,
+            op_kind: WordOpKind::And,
+            uses_matrix_unit: false,
+        }
+    }
+
+    /// The pinned GTX 980 kernel of `profiler_counters.rs`. Hand-computed
+    /// (DESIGN.md §14): ld.global completes at 28; the 2-way shared load
+    /// adds max(24 + 4, 8) = 28 → 56; popc +6 → 62; the first add +6 → 68;
+    /// each further trip's add chains +6 → 68 + 9·6 = 122. Issue totals
+    /// [10, 0, 40, 84] peak at 84, dynamic instrs 31 → bound 122.
+    fn pinned_gtx_kernel() -> Program {
+        Program::new(vec![
+            Block::once(vec![Instr::load_global(0, &[])]),
+            Block::looped(
+                10,
+                vec![
+                    Instr::load_shared(1, &[0], 2),
+                    Instr::arith(InstrClass::Popc, 2, &[1]),
+                    Instr::arith(InstrClass::IntAdd, 3, &[3, 2]),
+                ],
+            ),
+        ])
+    }
+
+    /// The pinned TC100 MMA kernel of `mma_plan.rs`. Hand-computed:
+    /// ld.global 28; ld.shared +24 → 52; first mma +8 → 60, nine more
+    /// carried mma +8 each → 132; the add chains +4 → 136. Issue totals
+    /// [20, 0, 0, 44, 40] peak at 44, dynamic instrs 31 → bound 136.
+    fn pinned_mma_kernel() -> Program {
+        Program::new(vec![
+            Block::once(vec![Instr::load_global(0, &[])]),
+            Block::looped(
+                10,
+                vec![
+                    Instr::load_shared(1, &[0], 1),
+                    Instr::arith(InstrClass::Mma, 2, &[1, 0, 2]),
+                    Instr::arith(InstrClass::IntAdd, 3, &[3, 2]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn pinned_gtx_kernel_critical_path() {
+        let dev = devices::gtx_980();
+        let cp = critical_path(&dev, &pinned_gtx_kernel());
+        assert_eq!(cp.chain_cycles, 122);
+        assert_eq!(cp.pipe_issue_cycles, vec![10, 0, 40, 84]);
+        assert_eq!(cp.dynamic_instrs, 31);
+        assert_eq!(cp.lower_bound_cycles(), 122);
+        // once-block span: the load's completion (28); the loop carries the
+        // rest (122 − 28 = 94) and is latency-bound (94 > 84).
+        assert_eq!(cp.per_block[0].chain_span, 28);
+        assert_eq!(cp.per_block[1].chain_span, 94);
+        assert!(cp.per_block[1].latency_bound());
+    }
+
+    #[test]
+    fn pinned_mma_kernel_critical_path() {
+        let dev = devices::tc100();
+        let cp = critical_path(&dev, &pinned_mma_kernel());
+        assert_eq!(cp.chain_cycles, 136);
+        assert_eq!(cp.pipe_issue_cycles, vec![20, 0, 0, 44, 40]);
+        assert_eq!(cp.lower_bound_cycles(), 136);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_detailed_measurement() {
+        for prog in [pinned_gtx_kernel(), pinned_mma_kernel()] {
+            for dev in devices::all_gpus() {
+                if !supports_program(&dev, &prog) {
+                    continue;
+                }
+                let cp = critical_path(&dev, &prog);
+                let det = simulate_core(&dev, &prog, 1, 1_000_000).unwrap();
+                assert!(
+                    cp.lower_bound_cycles() <= det.cycles,
+                    "{}: bound {} > measured {}",
+                    dev.name,
+                    cp.lower_bound_cycles(),
+                    det.cycles,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_loop_extrapolation_matches_exact_iteration() {
+        let dev = devices::gtx_980();
+        // Same body, one trip count below the cap and one far above: the
+        // extrapolated chain must equal the closed form of the exact walk
+        // (per-trip delta 6 from the dependent add).
+        let body = vec![
+            Instr::load_shared(1, &[0], 1),
+            Instr::arith(InstrClass::Popc, 2, &[1]),
+            Instr::arith(InstrClass::IntAdd, 3, &[3, 2]),
+        ];
+        let short = Program::new(vec![Block::looped(EXACT_TRIPS, body.clone())]);
+        let long = Program::new(vec![Block::looped(EXACT_TRIPS * 4, body)]);
+        let cs = critical_path(&dev, &short);
+        let cl = critical_path(&dev, &long);
+        let per_trip = (cs.chain_cycles
+            - critical_path(
+                &dev,
+                &Program::new(vec![Block::looped(
+                    EXACT_TRIPS - 1,
+                    vec![
+                        Instr::load_shared(1, &[0], 1),
+                        Instr::arith(InstrClass::Popc, 2, &[1]),
+                        Instr::arith(InstrClass::IntAdd, 3, &[3, 2]),
+                    ],
+                )]),
+            )
+            .chain_cycles) as u64;
+        assert_eq!(
+            cl.chain_cycles,
+            cs.chain_cycles + per_trip * (EXACT_TRIPS as u64 * 3),
+        );
+    }
+
+    #[test]
+    fn undercut_cost_is_an_error_and_honest_cost_is_not() {
+        let dev = devices::gtx_980();
+        let prog = pinned_gtx_kernel();
+        let low = lint_critpath(&dev, &facts(prog.clone(), 100.0));
+        let d = low.with_code("V113-CRITPATH").next().unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(low.has_errors());
+        let ok = lint_critpath(&dev, &facts(prog, 130.0));
+        assert!(!ok.has_errors(), "{}", ok.render_text("t"));
+        // The Info summary is always present for a non-empty program.
+        assert_eq!(ok.with_code("V113-CRITPATH").count(), 1);
+    }
+
+    #[test]
+    fn unsupported_class_defers_to_v107() {
+        let dev = devices::gtx_980();
+        let prog = Program::new(vec![Block::once(vec![
+            Instr::load_global(0, &[]),
+            Instr::arith(InstrClass::Mma, 1, &[0, 0, 1]),
+        ])]);
+        assert!(!supports_program(&dev, &prog));
+        let report = lint_critpath(&dev, &facts(prog, 1.0));
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn cross_lowering_flags_dropped_and_phantom_work() {
+        let dev = devices::tc100();
+        let mu_ops = dev.matrix_unit.unwrap().word_ops_per_instr(dev.word_bits);
+        assert_eq!(mu_ops, 256);
+        // A scalar body popcounting 8 words/thread/trip and an mma body
+        // loading the same 8 registers but retiring one 256-word-op fragment
+        // per trip describe identical work over 32 trips:
+        // 8 · 32 threads · 32 trips = 256 · 32 trips = 8192 word-ops,
+        // with the same 8 global loads per trip.
+        let scalar_prog = Program::new(vec![Block::looped(
+            32,
+            (0..8)
+                .flat_map(|i| {
+                    [
+                        Instr::load_global(i, &[]),
+                        Instr::arith(InstrClass::Popc, 8 + i, &[i]),
+                    ]
+                })
+                .collect(),
+        )]);
+        let mma_prog = Program::new(vec![Block::looped(
+            32,
+            (0..8)
+                .map(|i| Instr::load_global(i, &[]))
+                .chain([Instr::arith(InstrClass::Mma, 8, &[0, 1, 8])])
+                .collect(),
+        )]);
+        assert_eq!(executed_word_ops(&dev, &scalar_prog), 8 * 32 * 32);
+        assert_eq!(executed_word_ops(&dev, &mma_prog), mu_ops as u128 * 32);
+        let s = facts(scalar_prog, 1.0);
+        let m = facts(mma_prog, 1.0);
+        let report = lint_cross_lowering(&dev, &s, &m);
+        assert!(
+            !report.has_errors(),
+            "consistent lowerings must pass: {}",
+            report.render_text("t")
+        );
+        // Dropping mma trips drops fragments' worth of work (and loads).
+        let mut dropped = m.clone();
+        dropped.program.blocks[0].trips = 16;
+        let report = lint_cross_lowering(&dev, &s, &dropped);
+        assert!(report.has_errors());
+        // Doubling the trips overshoots even the padding allowance.
+        let mut phantom = m.clone();
+        phantom.program.blocks[0].trips = 64;
+        let report = lint_cross_lowering(&dev, &s, &phantom);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn cross_lowering_flags_store_mismatch() {
+        let dev = devices::tc100();
+        let a = facts(
+            Program::new(vec![Block::once(vec![
+                Instr::load_global(0, &[]),
+                Instr::store_global(&[0]),
+            ])]),
+            1.0,
+        );
+        let mut b = a.clone();
+        b.program.blocks[0].instrs.push(Instr::store_global(&[0]));
+        let report = lint_cross_lowering(&dev, &a, &b);
+        assert!(report.has_errors());
+        let msg = &report
+            .with_code("V114-CROSS-LOWERING")
+            .next()
+            .unwrap()
+            .message;
+        assert!(msg.contains("st.global"), "{msg}");
+    }
+}

@@ -14,8 +14,16 @@
 //!   vs the architectural cap (`V102`), shared-memory capacity (`V103`),
 //!   bank-conflict degrees vs `N_b` (`V104`), degenerate blocks (`V105`)
 //!   and declared costs that beat the Eq. 4–7 peak model (`V106`).
+//! * [`lint_kernel_deep`] — the above plus the **dataflow /
+//!   abstract-interpretation layer** (DESIGN.md §14): trip-sensitive
+//!   reaching definitions with loop-carried edges, first-trip
+//!   read-before-write (`V110`), dead writes (`V111`), live-range register
+//!   pressure and the occupancy headroom renaming would unlock (`V112`),
+//!   a latency-weighted static critical-path lower bound reconciled
+//!   against the declared analytic cost (`V113`), and scalar-vs-MMA
+//!   cross-lowering consistency ([`lint_cross_lowering`], `V114`).
 //!
-//! Both return a [`Report`] of coded [`Diagnostic`]s; [`VerifyError`] wraps
+//! All return a [`Report`] of coded [`Diagnostic`]s; [`VerifyError`] wraps
 //! a failing report as a `std::error::Error` so gates compose with `?`.
 //!
 //! ```
@@ -38,10 +46,14 @@
 
 #![warn(missing_docs)]
 
+pub mod critpath;
+pub mod dataflow;
 pub mod diag;
 pub mod lint;
 pub mod race;
 
+pub use critpath::{critical_path, lint_critpath, lint_cross_lowering, supports_program, CritPath};
+pub use dataflow::{lint_dataflow, Dataflow, RegPressure};
 pub use diag::{json_escape, Diagnostic, Report, Severity, VerifyError};
-pub use lint::{lint_kernel, PlanFacts};
+pub use lint::{lint_kernel, lint_kernel_deep, PlanFacts};
 pub use race::verify_command_log;

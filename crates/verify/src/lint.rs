@@ -39,25 +39,23 @@ pub fn lint_kernel(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> R
     // V101: registers read somewhere but never defined anywhere. Loop-
     // carried registers (accumulators, induction values) legitimately read
     // their own previous value, so only never-written registers are flagged.
-    let mut read = vec![];
-    let mut written = vec![];
+    // Bitsets keyed by register index keep this linear in program size
+    // (`reg_count` bounds every index), and iterating the bitset in order
+    // keeps the diagnostics sorted by register.
+    let mut read = vec![false; prog.reg_count()];
+    let mut written = vec![false; prog.reg_count()];
     for block in &prog.blocks {
         for instr in &block.instrs {
             for &s in &instr.srcs {
-                if !read.contains(&s) {
-                    read.push(s);
-                }
+                read[s as usize] = true;
             }
             if let Some(d) = instr.dst {
-                if !written.contains(&d) {
-                    written.push(d);
-                }
+                written[d as usize] = true;
             }
         }
     }
-    read.sort_unstable();
-    for &r in &read {
-        if !written.contains(&r) {
+    for (r, (&rd, &wr)) in read.iter().zip(&written).enumerate() {
+        if rd && !wr {
             report.diagnostics.push(Diagnostic::new(
                 "V101-UNDEFINED-REG",
                 Severity::Error,
@@ -212,6 +210,19 @@ pub fn lint_kernel(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> R
         }
     }
 
+    report
+}
+
+/// The deep lint: every [`lint_kernel`] rule plus the dataflow layer
+/// (V110–V112, [`crate::dataflow::lint_dataflow`]) and the static
+/// critical-path reconciliation (V113, [`crate::critpath::lint_critpath`]).
+/// This is what `snpgpu lint --deep` runs per target; the cross-lowering
+/// rule (V114) needs *two* fact sets and lives in
+/// [`crate::critpath::lint_cross_lowering`].
+pub fn lint_kernel_deep(dev: &DeviceSpec, cfg: &KernelConfig, facts: &PlanFacts) -> Report {
+    let mut report = lint_kernel(dev, cfg, facts);
+    report.merge(crate::dataflow::lint_dataflow(dev, facts));
+    report.merge(crate::critpath::lint_critpath(dev, facts));
     report
 }
 
