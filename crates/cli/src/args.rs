@@ -30,8 +30,9 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags: they take no value token
-/// (`snpgpu lint all --deep`) and parse as `"true"`.
-const FLAG_KEYS: &[&str] = &["deep"];
+/// (`snpgpu lint all --deep`, `snpgpu loadgen --admission`) and parse as
+/// `"true"`.
+const FLAG_KEYS: &[&str] = &["deep", "admission"];
 
 impl Args {
     /// Parses a token stream: `command --key value --key2 value2 …`.

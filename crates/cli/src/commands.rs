@@ -66,16 +66,24 @@ COMMANDS:
                                four-way analytic/macro/critpath/detailed
                                drift table; any out-of-tolerance cell fails
   loadgen   [ld|fastid|mixture|all] [--device D --rate Q --queries N --seed S
-            --arrival poisson|bursty --mode run|sweep --slo-p50-ms X
+            --arrival poisson|bursty --mode run|sweep|chaos --slo-p50-ms X
             --slo-p99-ms X --error-budget F --fault-profile P --fault-at Q
-            --json F --trace F --flight F]
+            --admission --deadline-slack X --shed-budget F --queue-cap N
+            --flight-capacity N --json F --trace F --flight F]
                                replay a seeded open-loop query stream against
                                the engine, judge per-algorithm latency SLOs
                                (exit 6 on breach), write slo-report.json,
                                a query-attributed Chrome timeline, and a
-                               flight-recorder post-mortem; --mode sweep
-                               steps offered load and reports the
-                               latency-vs-throughput knee
+                               flight-recorder post-mortem; --admission turns
+                               on per-tenant quotas, deadline-aware (EDF +
+                               weighted-fair) scheduling, typed load shedding
+                               (exit 7 past the shed budget), and brownout
+                               degradation; --mode sweep steps offered load
+                               and reports the latency-vs-throughput knee;
+                               --mode chaos runs the combined overload+fault
+                               matrix (bursty 8x load, device loss mid-run,
+                               admission on) and fails on any silent
+                               corruption
   metrics   [ld|fastid|mixture|all] [--device D --seed S --queries N --out F]
                                run a small seeded load and dump the live
                                metrics registry in Prometheus text format
@@ -90,26 +98,51 @@ Devices: gtx-980, titan-v, vega-64, tc100 (case- and separator-insensitive).
 EXIT CODES: 0 success, 1 usage/planning error, 2 degraded success (device
 lost, finished on CPU), 3 command-stream hazard, 4 unrecovered device fault,
 5 silent corruption detected by the chaos oracle, 6 SLO breach reported by
-loadgen.";
+loadgen, 7 admission shed budget exceeded (see README \"Exit codes\").";
 
-/// Process exit codes — the CLI's error taxonomy (DESIGN.md §10). Hazards,
-/// typed device faults, degraded completions, and chaos-detected silent
-/// corruption are all distinguishable by scripts.
-pub mod exit_codes {
+/// The CLI's exit-code taxonomy (DESIGN.md §10, README "Exit codes") — one
+/// enum, one meaning per code. Hazards, typed device faults, degraded
+/// completions, chaos-detected silent corruption, SLO breaches, and
+/// admission shed-budget overruns are all distinguishable by scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExitCode {
     /// Clean success.
-    pub const OK: u8 = 0;
+    Ok = 0,
     /// Usage, planning, or I/O error.
-    pub const ERROR: u8 = 1;
+    Error = 1,
     /// The run completed but degraded (device lost, CPU fallback finished).
-    pub const DEGRADED: u8 = 2;
+    Degraded = 2,
     /// The race detector found an ordering hazard.
-    pub const HAZARD: u8 = 3;
+    Hazard = 3,
     /// A typed device fault survived all recovery attempts.
-    pub const FAULT: u8 = 4;
+    Fault = 4,
     /// The chaos oracle caught silently corrupted results.
-    pub const CORRUPTION: u8 = 5;
+    Corruption = 5,
     /// `loadgen` judged a latency objective or error budget breached.
-    pub const SLO_BREACH: u8 = 6;
+    SloBreach = 6,
+    /// Admission shed more of the offered load than the shed budget allows.
+    ShedBudgetExceeded = 7,
+}
+
+impl ExitCode {
+    /// The process exit status this code maps to.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Severity rank for combining overload-chaos cells: silent corruption
+    /// dominates, then a blown shed budget, then a latency breach. This is
+    /// deliberately *not* the numeric code order — corruption (5) outranks
+    /// shed-budget (7).
+    fn overload_severity(self) -> u8 {
+        match self {
+            ExitCode::Corruption => 3,
+            ExitCode::ShedBudgetExceeded => 2,
+            ExitCode::SloBreach => 1,
+            _ => 0,
+        }
+    }
 }
 
 /// A command's report text plus its process exit code.
@@ -117,8 +150,8 @@ pub mod exit_codes {
 pub struct CmdReport {
     /// Human-readable report for stdout.
     pub text: String,
-    /// Process exit code (see [`exit_codes`]).
-    pub exit: u8,
+    /// Process exit code (see [`ExitCode`]).
+    pub exit: ExitCode,
 }
 
 /// A command failure: printable message plus its exit code.
@@ -126,28 +159,28 @@ pub struct CmdReport {
 pub struct CliError {
     /// Message for stderr.
     pub message: String,
-    /// Process exit code (see [`exit_codes`]).
-    pub exit: u8,
+    /// Process exit code (see [`ExitCode`]).
+    pub exit: ExitCode,
 }
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
         CliError {
             message: e.to_string(),
-            exit: exit_codes::ERROR,
+            exit: ExitCode::Error,
         }
     }
 }
 
 /// Maps an engine error to its exit code: hazards, typed device faults, and
 /// everything else are distinct.
-fn engine_exit(e: &EngineError) -> u8 {
+fn engine_exit(e: &EngineError) -> ExitCode {
     if e.is_hazard() {
-        exit_codes::HAZARD
+        ExitCode::Hazard
     } else if e.device_fault().is_some() {
-        exit_codes::FAULT
+        ExitCode::Fault
     } else {
-        exit_codes::ERROR
+        ExitCode::Error
     }
 }
 
@@ -170,7 +203,7 @@ fn device_arg(args: &Args) -> Result<DeviceSpec, ArgError> {
 /// collapse to generic failure). Prefer [`run_full`] in binaries.
 pub fn run(args: &Args) -> Result<String, ArgError> {
     match run_full(args) {
-        Ok(report) if report.exit == exit_codes::OK || report.exit == exit_codes::DEGRADED => {
+        Ok(report) if report.exit == ExitCode::Ok || report.exit == ExitCode::Degraded => {
             Ok(report.text)
         }
         Ok(report) => Err(ArgError(report.text)),
@@ -183,7 +216,7 @@ pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
     let simple = |r: Result<String, ArgError>| -> Result<CmdReport, CliError> {
         Ok(CmdReport {
             text: r?,
-            exit: exit_codes::OK,
+            exit: ExitCode::Ok,
         })
     };
     match args.command.as_deref() {
@@ -202,7 +235,7 @@ pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
         Some("metrics") => simple(cmd_metrics(args)),
         Some(other) => Err(CliError {
             message: format!("unknown command {other:?}\n\n{USAGE}"),
-            exit: exit_codes::ERROR,
+            exit: ExitCode::Error,
         }),
         None => simple(Ok(USAGE.to_string())),
     }
@@ -357,12 +390,12 @@ fn fault_args(args: &Args) -> Result<Option<FaultPlan>, ArgError> {
 /// line when a plan was armed and downgrades the exit to `DEGRADED` when
 /// the run finished on the CPU fallback.
 fn finish_workload(mut text: String, recovery: Option<&RecoverySummary>) -> CmdReport {
-    let mut exit = exit_codes::OK;
+    let mut exit = ExitCode::Ok;
     if let Some(rec) = recovery {
         use std::fmt::Write as _;
         let _ = writeln!(text, "{}", rec.render_line());
         if rec.degraded() {
-            exit = exit_codes::DEGRADED;
+            exit = ExitCode::Degraded;
         }
     }
     CmdReport { text, exit }
@@ -990,11 +1023,11 @@ fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
         }
     }
     let exit = if corruptions > 0 {
-        exit_codes::CORRUPTION
+        ExitCode::Corruption
     } else if hazards > 0 {
-        exit_codes::HAZARD
+        ExitCode::Hazard
     } else {
-        exit_codes::OK
+        ExitCode::Ok
     };
     let _ = writeln!(
         out,
@@ -1010,7 +1043,7 @@ fn cmd_chaos(args: &Args) -> Result<CmdReport, CliError> {
             .map_err(|e| CliError::from(ArgError(format!("cannot write {path}: {e}"))))?;
         let _ = writeln!(out, "machine-readable report: {path}");
     }
-    if exit == exit_codes::OK {
+    if exit == ExitCode::Ok {
         let _ = writeln!(
             out,
             "no silent corruption: every fault was retried, detected, absorbed, or surfaced typed"
@@ -1226,9 +1259,9 @@ fn cmd_profile(args: &Args) -> Result<CmdReport, CliError> {
         let _ = writeln!(out, "machine-readable report: {path}");
     }
     let exit = if violations > 0 {
-        exit_codes::ERROR
+        ExitCode::Error
     } else {
-        exit_codes::OK
+        ExitCode::Ok
     };
     Ok(CmdReport { text: out, exit })
 }
@@ -1303,6 +1336,45 @@ fn loadgen_slo(args: &Args) -> Result<snp_load::SloPolicy, ArgError> {
     Ok(policy)
 }
 
+/// Parses the admission-control options. `--admission` switches the layer
+/// on; the tuning knobs require it (on the legacy FIFO path they would
+/// silently do nothing). `implied: true` is overload-chaos mode, where
+/// admission is always on and the shed budget defaults to a chaos-friendly
+/// 0.9 — under 8x overload, typed shedding *is* the correct behavior.
+fn loadgen_admission(args: &Args, implied: bool) -> Result<snp_load::AdmissionConfig, ArgError> {
+    if !args.flag("admission") && !implied {
+        for knob in ["deadline-slack", "shed-budget", "queue-cap"] {
+            if args.get(knob).is_some() {
+                return Err(ArgError(format!("--{knob} requires --admission")));
+            }
+        }
+        return Ok(snp_load::AdmissionConfig::disabled());
+    }
+    let mut adm = snp_load::AdmissionConfig::standard();
+    if implied {
+        adm.shed_budget = 0.9;
+    }
+    adm.deadline_slack = args.get_parse("deadline-slack", adm.deadline_slack)?;
+    adm.shed_budget = args.get_parse("shed-budget", adm.shed_budget)?;
+    adm.queue_cap = args.get_parse("queue-cap", adm.queue_cap)?;
+    if adm.deadline_slack.is_nan() || adm.deadline_slack <= 0.0 {
+        return Err(ArgError(format!(
+            "--deadline-slack must be positive, got {}",
+            adm.deadline_slack
+        )));
+    }
+    if adm.shed_budget.is_nan() || !(0.0..=1.0).contains(&adm.shed_budget) {
+        return Err(ArgError(format!(
+            "--shed-budget must be in [0, 1], got {}",
+            adm.shed_budget
+        )));
+    }
+    if adm.queue_cap == 0 {
+        return Err(ArgError("--queue-cap must be at least 1".into()));
+    }
+    Ok(adm)
+}
+
 /// Builds the load config shared by `loadgen` and `metrics`.
 fn loadgen_config(args: &Args, default_queries: usize) -> Result<snp_load::LoadConfig, ArgError> {
     let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
@@ -1325,7 +1397,22 @@ fn loadgen_config(args: &Args, default_queries: usize) -> Result<snp_load::LoadC
     cfg.arrival = arrival;
     cfg.fault = loadgen_fault(args)?;
     cfg.slo = loadgen_slo(args)?;
+    cfg.flight_capacity = args.get_parse("flight-capacity", cfg.flight_capacity)?;
+    if cfg.flight_capacity == 0 {
+        return Err(ArgError("--flight-capacity must be at least 1".into()));
+    }
     Ok(cfg)
+}
+
+/// Exit code for one loadgen run: silent corruption dominates, then a blown
+/// shed budget, then the latency SLOs.
+fn loadgen_exit(report: &snp_load::LoadReport) -> ExitCode {
+    match &report.admission {
+        Some(adm) if adm.corruptions > 0 => ExitCode::Corruption,
+        Some(adm) if adm.shed_budget_exceeded => ExitCode::ShedBudgetExceeded,
+        _ if report.breached => ExitCode::SloBreach,
+        _ => ExitCode::Ok,
+    }
 }
 
 fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
@@ -1341,6 +1428,11 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
         "error-budget",
         "fault-profile",
         "fault-at",
+        "admission",
+        "deadline-slack",
+        "shed-budget",
+        "queue-cap",
+        "flight-capacity",
         "json",
         "trace",
         "flight",
@@ -1352,7 +1444,8 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
     let mode = args.get_or("mode", "run");
     match mode {
         "run" => {
-            let cfg = loadgen_config(args, 64)?;
+            let mut cfg = loadgen_config(args, 64)?;
+            cfg.admission = loadgen_admission(args, false)?;
             let report = snp_load::run(&cfg);
             let mut text = report.render_text();
             if let Some(path) = args.get("json") {
@@ -1390,12 +1483,10 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
                     }
                 }
             }
-            let exit = if report.breached {
-                exit_codes::SLO_BREACH
-            } else {
-                exit_codes::OK
-            };
-            Ok(CmdReport { text, exit })
+            Ok(CmdReport {
+                text,
+                exit: loadgen_exit(&report),
+            })
         }
         "sweep" => {
             if args.get("trace").is_some() || args.get("flight").is_some() {
@@ -1403,7 +1494,8 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
                     "--trace/--flight are per-run artifacts; use --mode run".into(),
                 )));
             }
-            let cfg = loadgen_config(args, 48)?;
+            let mut cfg = loadgen_config(args, 48)?;
+            cfg.admission = loadgen_admission(args, false)?;
             let sweep = snp_load::saturation_sweep(&cfg, &snp_load::SWEEP_MULTIPLIERS);
             let mut text = sweep.render_text();
             if let Some(path) = args.get("json") {
@@ -1411,14 +1503,132 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
                 let _ = writeln!(text, "slo report: {path}");
             }
             let exit = if sweep.breached() {
-                exit_codes::SLO_BREACH
+                ExitCode::SloBreach
             } else {
-                exit_codes::OK
+                ExitCode::Ok
             };
             Ok(CmdReport { text, exit })
         }
+        "chaos" => {
+            if args.get("trace").is_some() || args.get("flight").is_some() {
+                return Err(CliError::from(ArgError(
+                    "--trace/--flight are per-run artifacts; use --mode run".into(),
+                )));
+            }
+            let algorithms = algorithm_selection(args.positional.as_deref().unwrap_or("all"))?;
+            let mut base = loadgen_config(args, 48)?;
+            base.admission = loadgen_admission(args, true)?;
+            // The combined-failure matrix: bursty arrivals at 8x the
+            // offered rate, plus a device loss mid-stream unless the caller
+            // pinned a different fault.
+            base.rate_qps *= 8.0;
+            base.arrival = snp_load::ArrivalKind::Bursty;
+            if base.fault.is_none() {
+                base.fault = Some(snp_load::FaultSpec {
+                    profile_name: "loss@2".to_string(),
+                    profile: FaultProfile {
+                        device_loss_at: Some(2),
+                        ..FaultProfile::none()
+                    },
+                    at_query: Some(base.queries / 3),
+                });
+            }
+            let fault = base.fault.as_ref().expect("chaos always arms a fault");
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "overload-chaos: {} cell(s) on {} — bursty arrivals at {:.0} q/s (8x), \
+                 fault {} at query {}, admission on (shed budget {:.0}%)",
+                algorithms.len(),
+                base.device.name,
+                base.rate_qps,
+                fault.profile_name,
+                fault.at_query.unwrap_or(0),
+                base.admission.shed_budget * 100.0,
+            );
+            let mut worst = ExitCode::Ok;
+            let mut cells: Vec<(&'static str, ExitCode, snp_load::LoadReport)> = Vec::new();
+            for &alg in &algorithms {
+                let mut cfg = base.clone();
+                cfg.templates = snp_load::templates_for(&[alg]);
+                let report = snp_load::run(&cfg);
+                let exit = loadgen_exit(&report);
+                if exit.overload_severity() > worst.overload_severity() {
+                    worst = exit;
+                }
+                {
+                    let adm = report
+                        .admission
+                        .as_ref()
+                        .expect("chaos runs with admission on");
+                    let ratio = if adm.tenant_goodput_ratio.is_finite() {
+                        format!("{:.2}", adm.tenant_goodput_ratio)
+                    } else {
+                        "inf (starved tenant)".to_string()
+                    };
+                    let _ = writeln!(
+                        text,
+                        "  cell {:<8} offered {:>3}, admitted {:>3}, shed {:>5.1}%, \
+                         goodput {:>8.1} q/s, tenant ratio {}, corruptions {}, \
+                         final tier {}, exit {}",
+                        algorithm_slug(alg),
+                        adm.offered,
+                        adm.admitted,
+                        adm.shed_fraction * 100.0,
+                        adm.goodput_qps,
+                        ratio,
+                        adm.corruptions,
+                        adm.final_tier.label(),
+                        exit.code(),
+                    );
+                }
+                cells.push((algorithm_slug(alg), exit, report));
+            }
+            let corruptions: usize = cells
+                .iter()
+                .map(|(_, _, r)| r.admission.as_ref().map_or(0, |a| a.corruptions))
+                .sum();
+            let _ = writeln!(
+                text,
+                "verdict: {} silent corruption(s) across {} cell(s), worst exit {}",
+                corruptions,
+                cells.len(),
+                worst.code(),
+            );
+            if let Some(path) = args.get("json") {
+                let mut json = String::new();
+                let _ = write!(
+                    json,
+                    "{{\"schema_version\":1,\"kind\":\"overload-chaos\",\
+                     \"device\":\"{}\",\"rate_qps\":{:.3},\"arrival\":\"bursty\",\
+                     \"fault_profile\":\"{}\",\"silent_corruptions\":{},\
+                     \"worst_exit\":{},\"cells\":[",
+                    base.device.name,
+                    base.rate_qps,
+                    fault.profile_name,
+                    corruptions,
+                    worst.code(),
+                );
+                for (i, (slug, exit, report)) in cells.iter().enumerate() {
+                    if i > 0 {
+                        json.push(',');
+                    }
+                    let _ = write!(
+                        json,
+                        "{{\"algorithm\":\"{}\",\"exit\":{},\"report\":{}}}",
+                        slug,
+                        exit.code(),
+                        report.to_json().trim_end(),
+                    );
+                }
+                json.push_str("]}\n");
+                write(path, &json)?;
+                let _ = writeln!(text, "admission report: {path}");
+            }
+            Ok(CmdReport { text, exit: worst })
+        }
         other => Err(CliError::from(ArgError(format!(
-            "unknown mode {other:?} (run|sweep)"
+            "unknown mode {other:?} (run|sweep|chaos)"
         )))),
     }
 }
@@ -1644,7 +1854,7 @@ mod tests {
         );
         let report =
             run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
-        assert_eq!(report.exit, exit_codes::OK);
+        assert_eq!(report.exit, ExitCode::Ok);
         let json = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         for key in ["\"cells\"", "\"outcome\"", "\"silent_corruptions\":0"] {
@@ -1663,7 +1873,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        assert_eq!(report.exit, exit_codes::DEGRADED);
+        assert_eq!(report.exit, ExitCode::Degraded);
         assert!(report.text.contains("DEVICE LOST"), "{}", report.text);
         // The degraded run still computes the right answer (CPU fallback).
         let clean = run_line("ld --device gtx-980").unwrap();
@@ -1693,7 +1903,7 @@ mod tests {
         let line = format!("loadgen ld --queries 12 --json {}", path.display());
         let report =
             run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
-        assert_eq!(report.exit, exit_codes::OK, "{}", report.text);
+        assert_eq!(report.exit, ExitCode::Ok, "{}", report.text);
         assert!(
             report.text.contains("loadgen: 12 queries"),
             "{}",
@@ -1719,7 +1929,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        assert_eq!(report.exit, exit_codes::SLO_BREACH, "{}", report.text);
+        assert_eq!(report.exit, ExitCode::SloBreach, "{}", report.text);
         assert!(report.text.contains("BREACH"), "{}", report.text);
     }
 
@@ -1768,5 +1978,83 @@ mod tests {
         assert!(out.contains("# TYPE load_latency_ns_ld histogram"), "{out}");
         assert!(out.contains("load_queries_total"), "{out}");
         assert!(out.contains("load_queue_wait_ns_bucket"), "{out}");
+        // Per-tenant latency series render with a tenant label, sharing
+        // one TYPE line per family.
+        assert!(
+            out.contains("load_tenant_latency_ns_count{tenant=\"casework\"}"),
+            "{out}"
+        );
+        assert!(
+            out.contains("load_tenant_latency_ns_count{tenant=\"research\"}"),
+            "{out}"
+        );
+        assert_eq!(
+            out.matches("# TYPE load_tenant_latency_ns histogram")
+                .count(),
+            1,
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn loadgen_admission_sheds_typed_and_respects_budget_exit() {
+        // Saturating bursty load with admission on: sheds are typed and the
+        // tiny shed budget flips the exit to 7 (SHED_BUDGET_EXCEEDED).
+        let report = run_full(
+            &Args::parse(
+                "loadgen ld --admission --rate 50000 --arrival bursty --queries 32 --shed-budget 0.05"
+                    .split_whitespace()
+                    .map(str::to_string),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.exit, ExitCode::ShedBudgetExceeded, "{}", report.text);
+        assert!(report.text.contains("OVER BUDGET"), "{}", report.text);
+        assert!(report.text.contains("tenant casework"), "{}", report.text);
+    }
+
+    #[test]
+    fn loadgen_admission_knobs_require_the_flag() {
+        let err = run_line("loadgen ld --shed-budget 0.5").unwrap_err();
+        assert!(err.to_string().contains("requires --admission"), "{err}");
+        let err = run_line("loadgen ld --admission --queue-cap 0").unwrap_err();
+        assert!(err.to_string().contains("--queue-cap"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_chaos_matrix_survives_overload_plus_device_loss() {
+        let path = std::env::temp_dir().join("snpgpu_test_overload_chaos.json");
+        let line = format!("loadgen all --mode chaos --json {}", path.display());
+        let report =
+            run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap()).unwrap();
+        assert_eq!(report.exit, ExitCode::Ok, "{}", report.text);
+        assert!(
+            report
+                .text
+                .contains("0 silent corruption(s) across 3 cell(s)"),
+            "{}",
+            report.text
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = snp_trace::json::parse(&json).expect("valid admission-report.json");
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["silent_corruptions"].as_num(), Some(0.0));
+        assert_eq!(obj["worst_exit"].as_num(), Some(0.0));
+        let cells = obj["cells"].as_arr().unwrap();
+        assert_eq!(cells.len(), 3);
+        for cell in cells {
+            let cell = cell.as_obj().unwrap();
+            let adm = cell["report"].as_obj().unwrap()["admission"]
+                .as_obj()
+                .unwrap();
+            assert_eq!(adm["corruptions"].as_num(), Some(0.0));
+            // No tenant starves: the goodput ratio stays finite and small.
+            let ratio = adm["tenant_goodput_ratio"]
+                .as_num()
+                .expect("ratio is finite");
+            assert!(ratio <= 2.0, "tenant goodput ratio {ratio} > 2");
+        }
     }
 }

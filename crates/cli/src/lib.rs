@@ -11,4 +11,4 @@ pub mod args;
 pub mod commands;
 
 pub use args::{ArgError, Args};
-pub use commands::{exit_codes, run, run_full, CliError, CmdReport, USAGE};
+pub use commands::{run, run_full, CliError, CmdReport, ExitCode, USAGE};

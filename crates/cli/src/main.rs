@@ -13,11 +13,11 @@ fn main() -> ExitCode {
     match snp_cli::run_full(&args) {
         Ok(report) => {
             println!("{}", report.text);
-            ExitCode::from(report.exit)
+            ExitCode::from(report.exit.code())
         }
         Err(e) => {
             eprintln!("snpgpu: {}", e.message);
-            ExitCode::from(e.exit)
+            ExitCode::from(e.exit.code())
         }
     }
 }

@@ -1,6 +1,6 @@
 //! `snp-load`: a deterministic, seedable open-loop load generator for the
-//! SNP engine, with latency SLOs, saturation sweeps, and flight-recorder
-//! post-mortems.
+//! SNP engine, with admission control, latency SLOs, saturation sweeps,
+//! and flight-recorder post-mortems.
 //!
 //! The paper's operational setting is interactive forensic search: what
 //! matters is per-query latency under concurrent load, not just kernel
@@ -10,31 +10,51 @@
 //!   simulator's virtual clock, fully determined by `(kind, rate, seed)`.
 //! * [`workload`] — query templates (LD scan, FastID identity search via
 //!   full-γ *and* streaming top-k readback, mixture analysis) over shared
-//!   seeded data sets, each executing in `ExecMode::Full`.
-//! * [`runner`] — the replay engine: a single-server FIFO queue in virtual
-//!   time, per-query [`snp_trace::QueryCtx`]-tagged tracers merged into one
-//!   Chrome timeline, a bounded [`snp_trace::FlightRecorder`] that dumps a
-//!   post-mortem on the first typed fault or SLO breach, and a saturation
-//!   sweep that steps offered load until the latency knee appears.
+//!   seeded data sets, each executing in `ExecMode::Full`, with brownout
+//!   service tiers and result digests for the silent-corruption oracle.
+//! * [`admission`] — per-tenant token-bucket quotas, SLO-derived deadlines,
+//!   typed shedding with a provable feasibility bound, and the hysteretic
+//!   brownout controller (full → reduced top-k → CPU-only).
+//! * [`scheduler`] — weighted fair queueing across tenants with
+//!   earliest-deadline-first dispatch within each tenant; runs in FIFO
+//!   policy mode when admission is disabled, reproducing the legacy
+//!   single-FIFO server byte-for-byte.
+//! * [`runner`] — the replay engine in virtual time, per-query
+//!   [`snp_trace::QueryCtx`]-tagged tracers merged into one Chrome
+//!   timeline, a bounded [`snp_trace::FlightRecorder`] that dumps a
+//!   post-mortem on the first typed fault, shed storm, or SLO breach, and a
+//!   saturation sweep that steps offered load until the latency knee
+//!   appears.
 //! * [`slo`] — per-algorithm latency objectives and error-budget burn,
 //!   judged on exact (not bucketed) percentiles.
 //! * [`report`] — byte-reproducible `slo-report.json` and text rendering.
 //!
 //! The arrival model, queue semantics, and SLO math are documented in
-//! `DESIGN.md` §13.
+//! `DESIGN.md` §13; the admission architecture in §15.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod arrival;
 pub mod report;
 pub mod runner;
+pub mod scheduler;
 pub mod slo;
 pub mod workload;
 
+pub use admission::{
+    AdmissionConfig, BrownoutConfig, BrownoutController, CostModel, ShedReason, TenantQuota, Tier,
+    TierTransition, TokenBucket,
+};
 pub use arrival::{arrival_times, ArrivalKind};
 pub use runner::{
-    run, saturation_sweep, FaultSpec, LoadConfig, LoadReport, Outcome, OutcomeCounts, Postmortem,
-    QueryRecord, SweepPoint, SweepReport, SWEEP_MULTIPLIERS,
+    run, saturation_sweep, AdmissionReport, FaultSpec, LoadConfig, LoadReport, Outcome,
+    OutcomeCounts, Postmortem, QueryRecord, SweepPoint, SweepReport, TenantReport,
+    SWEEP_MULTIPLIERS,
 };
+pub use scheduler::{QueuedQuery, Scheduler};
 pub use slo::{evaluate, percentile, Slo, SloOutcome, SloPolicy};
-pub use workload::{run_query, templates_for, ServiceReport, Template, WorkloadSet};
+pub use workload::{
+    cpu_service_ns, run_query, run_query_tier, templates_for, ServiceReport, Template, WorkloadSet,
+    REDUCED_TOPK,
+};

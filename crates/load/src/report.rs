@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use crate::runner::{LoadReport, SweepReport};
+use crate::runner::{AdmissionReport, LoadReport, SweepReport};
 use crate::slo::SloOutcome;
 
 fn escape(s: &str) -> String {
@@ -57,21 +57,87 @@ fn slo_json(o: &SloOutcome) -> String {
     )
 }
 
+fn admission_json(a: &AdmissionReport) -> String {
+    let ratio = if a.tenant_goodput_ratio.is_finite() {
+        format!("{:.3}", a.tenant_goodput_ratio)
+    } else {
+        "null".to_string()
+    };
+    let transitions: Vec<String> = a
+        .transitions
+        .iter()
+        .map(|t| format!("{{\"at_ns\":{},\"to\":\"{}\"}}", t.at_ns, t.to.label()))
+        .collect();
+    let tenants: Vec<String> = a
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{name}\",\"weight\":{weight:.3},\"offered\":{offered},",
+                    "\"admitted\":{admitted},\"shed\":{shed},\"completed\":{completed},",
+                    "\"goodput\":{goodput}}}"
+                ),
+                name = escape(t.name),
+                weight = t.weight,
+                offered = t.offered,
+                admitted = t.admitted,
+                shed = t.shed,
+                completed = t.completed,
+                goodput = t.goodput,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"offered\":{offered},\"admitted\":{admitted},",
+            "\"shed\":{{\"quota_exceeded\":{quota},\"queue_full\":{qfull},",
+            "\"deadline_unmeetable\":{dline},\"total\":{total}}},",
+            "\"shed_fraction\":{frac:.6},\"shed_budget_exceeded\":{over},",
+            "\"goodput\":{goodput},\"goodput_qps\":{gqps:.3},",
+            "\"tenant_goodput_ratio\":{ratio},\"corruptions\":{corr},",
+            "\"final_tier\":\"{tier}\",\"transitions\":[{transitions}],",
+            "\"tenants\":[{tenants}]}}"
+        ),
+        offered = a.offered,
+        admitted = a.admitted,
+        quota = a.shed_quota,
+        qfull = a.shed_queue_full,
+        dline = a.shed_deadline,
+        total = a.shed_quota + a.shed_queue_full + a.shed_deadline,
+        frac = a.shed_fraction,
+        over = a.shed_budget_exceeded,
+        goodput = a.goodput,
+        gqps = a.goodput_qps,
+        ratio = ratio,
+        corr = a.corruptions,
+        tier = a.final_tier.label(),
+        transitions = transitions.join(","),
+        tenants = tenants.join(","),
+    )
+}
+
 impl LoadReport {
     /// The `slo-report.json` document for a single run. Deterministic for
     /// a fixed config: no wall-clock content, fixed-precision floats.
     pub fn to_json(&self) -> String {
         let algorithms: Vec<String> = self.slo.iter().map(slo_json).collect();
+        let admission = match &self.admission {
+            Some(a) => admission_json(a),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
-                "{{\"schema_version\":1,\"tool\":\"snpgpu loadgen\",",
+                "{{\"schema_version\":2,\"tool\":\"snpgpu loadgen\",",
                 "\"device\":\"{device}\",\"seed\":{seed},\"arrival\":\"{arrival}\",",
                 "\"rate_qps\":{rate:.3},\"queries\":{queries},",
                 "\"fault_profile\":{fault},",
                 "\"duration_virtual_ns\":{dur},\"achieved_qps\":{aqps:.3},",
                 "\"overall\":{{\"p50_ns\":{p50},\"p99_ns\":{p99}}},",
                 "\"outcomes\":{{\"clean\":{clean},\"recovered\":{rec},\"degraded\":{deg},",
-                "\"fault\":{fault_n},\"error\":{err}}},",
+                "\"fault\":{fault_n},\"error\":{err},\"shed\":{shed}}},",
+                "\"admission\":{admission},",
+                "\"flight_dropped_spans\":{dropped},",
                 "\"algorithms\":[{algorithms}],",
                 "\"slo_breached\":{breached},",
                 "\"postmortem_reason\":{pm}}}\n"
@@ -91,6 +157,9 @@ impl LoadReport {
             deg = self.outcomes.degraded,
             fault_n = self.outcomes.fault,
             err = self.outcomes.error,
+            shed = self.outcomes.shed,
+            admission = admission,
+            dropped = self.flight_dropped_spans,
             algorithms = algorithms.join(","),
             breached = self.breached,
             pm = opt_str(&self.postmortem.as_ref().map(|p| p.reason.clone())),
@@ -122,13 +191,62 @@ impl LoadReport {
         );
         let _ = writeln!(
             out,
-            "outcomes: {} clean, {} recovered, {} degraded, {} fault, {} error",
+            "outcomes: {} clean, {} recovered, {} degraded, {} fault, {} error, {} shed",
             self.outcomes.clean,
             self.outcomes.recovered,
             self.outcomes.degraded,
             self.outcomes.fault,
-            self.outcomes.error
+            self.outcomes.error,
+            self.outcomes.shed
         );
+        if let Some(a) = &self.admission {
+            let _ = writeln!(
+                out,
+                "admission: {} offered, {} admitted, {} shed ({:.1}%){} [quota {}, queue {}, deadline {}]",
+                a.offered,
+                a.admitted,
+                a.offered - a.admitted,
+                a.shed_fraction * 100.0,
+                if a.shed_budget_exceeded {
+                    " OVER BUDGET"
+                } else {
+                    ""
+                },
+                a.shed_quota,
+                a.shed_queue_full,
+                a.shed_deadline
+            );
+            for t in &a.tenants {
+                let _ = writeln!(
+                    out,
+                    "  tenant {:<10} weight {:.1}: offered {:>3} admitted {:>3} shed {:>3} goodput {:>3}",
+                    t.name, t.weight, t.offered, t.admitted, t.shed, t.goodput
+                );
+            }
+            let ratio = if a.tenant_goodput_ratio.is_finite() {
+                format!("{:.2}", a.tenant_goodput_ratio)
+            } else {
+                "inf (starved tenant)".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "goodput {} ({:.0} q/s), tenant goodput ratio {}, corruptions {}",
+                a.goodput, a.goodput_qps, ratio, a.corruptions
+            );
+            let _ = writeln!(
+                out,
+                "brownout: final tier {}, {} transition(s)",
+                a.final_tier.label(),
+                a.transitions.len()
+            );
+        }
+        if self.flight_dropped_spans > 0 {
+            let _ = writeln!(
+                out,
+                "flight recorder dropped {} span(s) (raise --flight-capacity to keep more)",
+                self.flight_dropped_spans
+            );
+        }
         let _ = writeln!(
             out,
             "{:<9} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7} {:>6}  slo",
@@ -170,16 +288,31 @@ impl SweepReport {
                 let mut run_json = p.report.to_json();
                 // Embed without the trailing newline a bare run emits.
                 run_json.truncate(run_json.trim_end().len());
-                format!("{{\"rate_qps\":{:.3},\"report\":{}}}", p.rate_qps, run_json)
+                format!(
+                    "{{\"rate_qps\":{:.3},\"goodput_qps\":{:.3},\"report\":{}}}",
+                    p.rate_qps,
+                    p.goodput_qps(),
+                    run_json
+                )
             })
             .collect();
         let knee = match self.knee {
             Some(i) => format!("{:.3}", self.points[i].rate_qps),
             None => "null".to_string(),
         };
+        let retention = match self.goodput_retention() {
+            Some(r) => format!("{r:.6}"),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"schema_version\":1,\"tool\":\"snpgpu loadgen --sweep\",\"knee_rate_qps\":{knee},\"points\":[{}]}}\n",
-            points.join(","),
+            concat!(
+                "{{\"schema_version\":1,\"tool\":\"snpgpu loadgen --sweep\",",
+                "\"knee_rate_qps\":{knee},\"goodput_retention\":{retention},",
+                "\"points\":[{points}]}}\n"
+            ),
+            knee = knee,
+            retention = retention,
+            points = points.join(","),
         )
     }
 
@@ -193,18 +326,31 @@ impl SweepReport {
         );
         let _ = writeln!(
             out,
-            "{:>12} {:>12} {:>10} {:>10} {:>10} {:>7}  slo",
-            "offered q/s", "achieved q/s", "p50 ms", "p99 ms", "wait p99", "failed"
+            "{:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>7}  slo",
+            "offered q/s",
+            "achieved q/s",
+            "goodput q/s",
+            "shed %",
+            "p50 ms",
+            "p99 ms",
+            "wait p99",
+            "failed"
         );
         for (i, p) in self.points.iter().enumerate() {
             let r = &p.report;
             let failed: usize = r.slo.iter().map(|o| o.failed).sum();
             let wait_p99 = r.slo.iter().map(|o| o.queue_wait_p99_ns).max().unwrap_or(0);
+            let shed_pct = r
+                .admission
+                .as_ref()
+                .map_or(0.0, |a| a.shed_fraction * 100.0);
             let _ = writeln!(
                 out,
-                "{:>12.0} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>7}  {}{}",
+                "{:>12.0} {:>12.0} {:>12.0} {:>8.1} {:>10.3} {:>10.3} {:>10.3} {:>7}  {}{}",
                 p.rate_qps,
                 r.achieved_qps,
+                p.goodput_qps(),
+                shed_pct,
                 r.p50_all_ns as f64 / 1e6,
                 r.p99_all_ns as f64 / 1e6,
                 wait_p99 as f64 / 1e6,
@@ -215,6 +361,13 @@ impl SweepReport {
                 } else {
                     ""
                 }
+            );
+        }
+        if let Some(r) = self.goodput_retention() {
+            let _ = writeln!(
+                out,
+                "goodput past the knee stays within {:.1}% of the knee point",
+                (1.0 - r) * 100.0
             );
         }
         match self.knee {
@@ -258,7 +411,7 @@ mod tests {
         assert_eq!(a, b, "seeded run JSON must be byte-identical");
         let doc = snp_trace::json::parse(&a).expect("valid JSON");
         let obj = doc.as_obj().unwrap();
-        assert_eq!(obj["schema_version"].as_num(), Some(1.0));
+        assert_eq!(obj["schema_version"].as_num(), Some(2.0));
         let algs = obj["algorithms"].as_arr().unwrap();
         assert!(!algs.is_empty());
         for a in algs {
@@ -276,6 +429,29 @@ mod tests {
         let doc = snp_trace::json::parse(&json).expect("valid JSON");
         let obj = doc.as_obj().unwrap();
         assert_eq!(obj["points"].as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn admission_block_renders_in_json_and_text() {
+        use crate::admission::AdmissionConfig;
+        use crate::arrival::ArrivalKind;
+        let mut c = cfg();
+        c.queries = 32;
+        c.rate_qps = 100_000.0;
+        c.arrival = ArrivalKind::Bursty;
+        c.admission = AdmissionConfig::standard();
+        let r = run(&c);
+        let json = r.to_json();
+        let doc = snp_trace::json::parse(&json).expect("valid JSON");
+        let adm = doc.as_obj().unwrap()["admission"].as_obj().unwrap();
+        assert_eq!(adm["offered"].as_num(), Some(32.0));
+        let shed = adm["shed"].as_obj().unwrap();
+        assert!(shed["total"].as_num().is_some());
+        assert!(adm["final_tier"].as_str().is_some());
+        let text = r.render_text();
+        assert!(text.contains("admission:"), "{text}");
+        assert!(text.contains("tenant casework"), "{text}");
+        assert!(text.contains("brownout:"), "{text}");
     }
 
     #[test]

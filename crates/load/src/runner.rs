@@ -1,32 +1,51 @@
-//! The open-loop replay engine: arrivals → FIFO queue → GpuEngine runs,
-//! with per-query trace attribution, flight recording, and SLO judgment.
+//! The replay engine: arrivals → admission → two-level scheduler →
+//! GpuEngine runs, with per-query trace attribution, flight recording, and
+//! SLO judgment.
 //!
-//! The queue model is a single FIFO server on the simulator's virtual
-//! clock: query *i* starts at `max(arrival_i, done_{i-1})`, its service
-//! time is the engine's modeled end-to-end run time, and its end-to-end
-//! latency is `done_i − arrival_i`. That makes queue-wait — the quantity
-//! that explodes past the saturation knee — explicit rather than folded
-//! into the engine model.
+//! Dispatch runs through the [`Scheduler`] (WFQ across tenants, EDF within
+//! a tenant) on the simulator's virtual clock: the server picks its next
+//! query whenever it goes free, among everything that has arrived by then.
+//! With admission **disabled** (the default) the scheduler runs in FIFO
+//! policy mode and reproduces the original single-FIFO server exactly:
+//! query *i* starts at `max(arrival_i, done_{i-1})`, its service time is
+//! the engine's modeled end-to-end run time, and its end-to-end latency is
+//! `done_i − arrival_i`.
+//!
+//! With admission **enabled** every arrival passes the typed gates in
+//! [`crate::admission`] (token-bucket quota → queue cap → provable
+//! deadline feasibility), a hysteretic [`BrownoutController`] steps the
+//! service tier under pressure, and per-tenant goodput is accounted so
+//! fairness is measurable. Shed queries never touch the engine and are
+//! never silent: each carries its [`ShedReason`] in records, metrics, and
+//! the report.
 //!
 //! Every query runs with a fresh [`Tracer`] carrying its [`QueryCtx`], so
 //! each engine/device/recovery span in the merged timeline names the query
 //! that caused it. Per-query traces are merged onto the stream clock
 //! (shifted by the query's start instant) into one Chrome timeline and fed
-//! to a bounded [`FlightRecorder`]; the first typed device fault — or, at
-//! the end of the run, the first SLO breach — triggers a post-mortem dump.
+//! to a bounded [`FlightRecorder`]; the first typed device fault, a shed
+//! storm, or — at the end of the run — the first SLO breach triggers a
+//! post-mortem dump.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use snp_core::{EngineOptions, ExecMode, FaultPlan, FaultProfile, GpuEngine, MixtureStrategy};
 use snp_gpu_model::DeviceSpec;
 use snp_trace::{merge_into, FlightRecorder, QueryCtx, TimeDomain, Trace, Tracer};
 
+use crate::admission::{
+    AdmissionConfig, BrownoutController, CostModel, ShedReason, TenantQuota, Tier, TierTransition,
+    TokenBucket,
+};
 use crate::arrival::{arrival_times, ArrivalKind};
+use crate::scheduler::{QueuedQuery, Scheduler};
 use crate::slo::{evaluate, percentile, SloOutcome, SloPolicy};
-use crate::workload::{run_query, Template, WorkloadSet};
+use crate::workload::{run_query_tier, Template, WorkloadSet};
 
 /// Registry metrics the generator feeds (`snpgpu metrics` surfaces them).
 pub(crate) mod metrics {
-    use snp_trace::{LazyCounter, LazyHistogram};
+    use std::sync::Mutex;
+
+    use snp_trace::{registry, Histogram, LazyCounter, LazyHistogram};
 
     /// Queries replayed.
     pub static QUERIES: LazyCounter = LazyCounter::new("load.queries");
@@ -42,6 +61,19 @@ pub(crate) mod metrics {
     pub static LATENCY_MIXTURE: LazyHistogram = LazyHistogram::new("load.latency_ns.mixture");
     /// Time queries spent waiting for the server.
     pub static QUEUE_WAIT: LazyHistogram = LazyHistogram::new("load.queue_wait_ns");
+    /// Queries past every admission gate.
+    pub static ADMITTED: LazyCounter = LazyCounter::new("load.admission.admitted");
+    /// Queries shed at admission (all reasons).
+    pub static SHED: LazyCounter = LazyCounter::new("load.admission.shed");
+    /// Sheds: tenant over its token-bucket quota.
+    pub static SHED_QUOTA: LazyCounter = LazyCounter::new("load.admission.shed.quota_exceeded");
+    /// Sheds: queue-depth cap reached.
+    pub static SHED_QUEUE_FULL: LazyCounter = LazyCounter::new("load.admission.shed.queue_full");
+    /// Sheds: completion lower bound already past the deadline.
+    pub static SHED_DEADLINE: LazyCounter =
+        LazyCounter::new("load.admission.shed.deadline_unmeetable");
+    /// Brownout tier steps (either direction).
+    pub static BROWNOUT_TRANSITIONS: LazyCounter = LazyCounter::new("load.brownout.transitions");
 
     /// The latency histogram for an algorithm slug.
     pub fn latency_for(slug: &str) -> &'static LazyHistogram {
@@ -50,6 +82,23 @@ pub(crate) mod metrics {
             "fastid" => &LATENCY_FASTID,
             _ => &LATENCY_MIXTURE,
         }
+    }
+
+    /// Per-tenant end-to-end latency histograms. Registry names are
+    /// `&'static str`, so each distinct tenant label is interned once
+    /// (`name|tenant=<label>` — the Prometheus renderer turns the suffix
+    /// into a real `tenant` label).
+    pub fn tenant_latency(tenant: &str) -> &'static Histogram {
+        static INTERNED: Mutex<Vec<(String, &'static Histogram)>> = Mutex::new(Vec::new());
+        let mut interned = INTERNED.lock().unwrap();
+        if let Some((_, h)) = interned.iter().find(|(t, _)| t == tenant) {
+            return h;
+        }
+        let name: &'static str =
+            Box::leak(format!("load.tenant.latency_ns|tenant={tenant}").into_boxed_str());
+        let h = registry().histogram(name);
+        interned.push((tenant.to_string(), h));
+        h
     }
 }
 
@@ -87,6 +136,9 @@ pub struct LoadConfig {
     pub fault: Option<FaultSpec>,
     /// Latency objectives.
     pub slo: SloPolicy,
+    /// Admission control, quotas, and brownout (disabled by default —
+    /// the legacy FIFO semantics).
+    pub admission: AdmissionConfig,
     /// Spans retained by the flight recorder.
     pub flight_capacity: usize,
     /// Record per-query traces, the merged timeline, and the flight
@@ -107,6 +159,7 @@ impl LoadConfig {
             tenants: vec!["casework", "research"],
             fault: None,
             slo: SloPolicy::default(),
+            admission: AdmissionConfig::disabled(),
             flight_capacity: 256,
             record_timeline: true,
         }
@@ -126,6 +179,8 @@ pub enum Outcome {
     Fault(String),
     /// Any other engine error.
     Error(String),
+    /// Refused at admission, typed; the query never ran.
+    Shed(ShedReason),
 }
 
 impl Outcome {
@@ -137,12 +192,19 @@ impl Outcome {
             Outcome::Degraded => "degraded",
             Outcome::Fault(_) => "fault",
             Outcome::Error(_) => "error",
+            Outcome::Shed(_) => "shed",
         }
     }
 
-    /// Whether this outcome spends error budget.
+    /// Whether this outcome spends error budget. Shedding does not: it is
+    /// an intentional, typed refusal accounted by the shed budget instead.
     pub fn is_failure(&self) -> bool {
         matches!(self, Outcome::Fault(_) | Outcome::Error(_))
+    }
+
+    /// Whether the query was refused at admission.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Outcome::Shed(_))
     }
 }
 
@@ -157,16 +219,21 @@ pub struct QueryRecord {
     pub template: Template,
     /// Arrival instant (virtual ns since stream start).
     pub arrival_ns: u64,
-    /// Service start (after queueing).
+    /// Service start (after queueing; `= arrival_ns` for shed queries).
     pub start_ns: u64,
-    /// Modeled engine time (0 for failed queries).
+    /// Modeled engine time (0 for failed or shed queries).
     pub service_ns: u64,
     /// `start − arrival`.
     pub queue_wait_ns: u64,
-    /// `done − arrival`.
+    /// `done − arrival` (0 for shed queries).
     pub latency_ns: u64,
     /// Recovery retries this query needed.
     pub retries: u64,
+    /// Service tier the query ran at ([`Tier::Full`] when admission is
+    /// off; the tier in force at admission for shed queries).
+    pub tier: Tier,
+    /// Absolute deadline, when admission derived one.
+    pub deadline_ns: Option<u64>,
     /// How it ended.
     pub outcome: Outcome,
 }
@@ -184,15 +251,73 @@ pub struct OutcomeCounts {
     pub fault: usize,
     /// Queries ending in another engine error.
     pub error: usize,
+    /// Queries shed at admission.
+    pub shed: usize,
 }
 
 /// A post-mortem bundle dumped by the flight recorder.
 #[derive(Debug, Clone)]
 pub struct Postmortem {
-    /// Why it was dumped ("typed fault …" or "slo breach …").
+    /// Why it was dumped ("typed fault …", "shed storm …", "slo breach …").
     pub reason: String,
     /// The bundle: a valid Chrome trace with a `flightRecorder` header.
     pub json: String,
+}
+
+/// One tenant's admission and goodput accounting over a run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant label.
+    pub name: &'static str,
+    /// WFQ weight in force.
+    pub weight: f64,
+    /// Queries this tenant offered.
+    pub offered: usize,
+    /// Queries admitted.
+    pub admitted: usize,
+    /// Queries shed at admission.
+    pub shed: usize,
+    /// Queries that completed (any completion outcome).
+    pub completed: usize,
+    /// Queries that completed **within their deadline** — the goodput.
+    pub goodput: usize,
+}
+
+/// What the admission layer did over a run (present when enabled).
+#[derive(Debug, Clone)]
+pub struct AdmissionReport {
+    /// Queries offered to admission.
+    pub offered: usize,
+    /// Queries admitted (and therefore dispatched — an admitted query is
+    /// never shed later).
+    pub admitted: usize,
+    /// Queries shed, by gate.
+    pub shed_quota: usize,
+    /// Sheds at the queue-depth cap.
+    pub shed_queue_full: usize,
+    /// Sheds proven unable to meet their deadline.
+    pub shed_deadline: usize,
+    /// Total sheds / offered.
+    pub shed_fraction: f64,
+    /// Whether the shed fraction exceeded the configured shed budget
+    /// (drives exit code 7, `SHED_BUDGET_EXCEEDED`).
+    pub shed_budget_exceeded: bool,
+    /// Completions within deadline across tenants.
+    pub goodput: usize,
+    /// Goodput over the makespan (queries per virtual second).
+    pub goodput_qps: f64,
+    /// max/min per-tenant goodput among tenants that offered load
+    /// (1.0 = perfectly fair; `inf` when a tenant starved).
+    pub tenant_goodput_ratio: f64,
+    /// Engine-run completions whose result digest differed from the clean
+    /// calibration digest — silent corruptions (must be 0).
+    pub corruptions: usize,
+    /// Tier in force when the run ended.
+    pub final_tier: Tier,
+    /// Every brownout step, in order.
+    pub transitions: Vec<TierTransition>,
+    /// Per-tenant accounting.
+    pub tenants: Vec<TenantReport>,
 }
 
 /// Everything a load run produced.
@@ -212,28 +337,42 @@ pub struct LoadReport {
     pub records: Vec<QueryRecord>,
     /// Outcome class counts.
     pub outcomes: OutcomeCounts,
-    /// Per-algorithm SLO verdicts (order: ld, fastid, mixture).
+    /// Per-algorithm SLO verdicts over **accepted** queries (order: ld,
+    /// fastid, mixture).
     pub slo: Vec<SloOutcome>,
     /// Whether any algorithm breached its SLO.
     pub breached: bool,
     /// Stream makespan: the last completion instant (virtual ns).
     pub duration_ns: u64,
-    /// Overall p50 across all queries.
+    /// Overall p50 across accepted queries.
     pub p50_all_ns: u64,
-    /// Overall p99 across all queries.
+    /// Overall p99 across accepted queries.
     pub p99_all_ns: u64,
     /// Completed-query throughput over the makespan.
     pub achieved_qps: f64,
+    /// Admission accounting (present when admission was enabled).
+    pub admission: Option<AdmissionReport>,
+    /// Spans evicted from the flight-recorder ring during the run.
+    pub flight_dropped_spans: u64,
     /// Merged query-attributed Chrome timeline (when recorded).
     pub timeline: Option<Trace>,
-    /// Flight-recorder dump, triggered by the first typed fault or — at
-    /// end of run — the first SLO breach.
+    /// Flight-recorder dump, triggered by the first typed fault, a shed
+    /// storm, or — at end of run — the first SLO breach.
     pub postmortem: Option<Postmortem>,
 }
 
 /// Decorrelates per-query fault streams from the master seed.
 fn query_fault_seed(seed: u64, qid: u64) -> u64 {
     seed.wrapping_add((qid + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One pre-resolved arrival (template picks draw in arrival order, so the
+/// stream is identical whatever the dispatch policy does later).
+struct Planned {
+    qid: u64,
+    arrival_ns: u64,
+    template: Template,
+    tenant: usize,
 }
 
 /// Replays one seeded query stream. Deterministic: equal configs produce
@@ -244,6 +383,30 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
     let arrivals = arrival_times(cfg.arrival, cfg.rate_qps, cfg.queries, cfg.seed);
     let set = WorkloadSet::build(cfg.seed);
     let mut pick = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_D00D_F00D);
+    let planned: Vec<Planned> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(qid, &arrival_ns)| Planned {
+            qid: qid as u64,
+            arrival_ns,
+            template: cfg.templates[pick.random_range(0..cfg.templates.len())],
+            tenant: qid % cfg.tenants.len(),
+        })
+        .collect();
+
+    let admission = &cfg.admission;
+    let quotas: Vec<TenantQuota> = cfg.tenants.iter().map(|t| admission.quota_for(t)).collect();
+    let weights: Vec<f64> = quotas.iter().map(|q| q.weight).collect();
+    let mut buckets: Vec<TokenBucket> = quotas
+        .iter()
+        .map(|q| TokenBucket::new(q.rate_qps, q.burst))
+        .collect();
+    let cost = admission
+        .enabled
+        .then(|| CostModel::calibrate(&cfg.device, &set));
+    let mut brownout = BrownoutController::new(admission.brownout.clone());
+    let mut scheduler = Scheduler::new(&weights, !admission.enabled);
+
     let stream = if cfg.record_timeline {
         Tracer::enabled()
     } else {
@@ -256,13 +419,175 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
     let mut merged: Vec<(Trace, u64)> = Vec::new();
     let mut postmortem: Option<Postmortem> = None;
 
-    let mut server_free = 0u64;
-    let mut records = Vec::with_capacity(cfg.queries);
+    let n = planned.len();
+    let mut records: Vec<Option<QueryRecord>> = (0..n).map(|_| None).collect();
     let mut outcomes = OutcomeCounts::default();
-    for (qid, &arrival_ns) in arrivals.iter().enumerate() {
-        let qid = qid as u64;
-        let template = cfg.templates[pick.random_range(0..cfg.templates.len())];
-        let tenant = cfg.tenants[qid as usize % cfg.tenants.len()];
+    let mut tenant_reports: Vec<TenantReport> = cfg
+        .tenants
+        .iter()
+        .zip(&quotas)
+        .map(|(name, q)| TenantReport {
+            name,
+            weight: q.weight,
+            offered: 0,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            goodput: 0,
+        })
+        .collect();
+    let (mut shed_quota, mut shed_queue_full, mut shed_deadline) = (0usize, 0usize, 0usize);
+    let mut corruptions = 0usize;
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut consecutive_sheds = 0usize;
+
+    let mut server_free = 0u64;
+    let mut next = 0usize;
+    while next < n || !scheduler.is_empty() {
+        // The instant of the next dispatch decision: when the server goes
+        // free, or — with an empty queue — when the next query arrives.
+        let t = if scheduler.is_empty() {
+            server_free.max(planned[next].arrival_ns)
+        } else {
+            server_free
+        };
+
+        // Admission: every arrival at or before `t` gets its verdict at
+        // its own arrival instant, in arrival order.
+        while next < n && planned[next].arrival_ns <= t {
+            let p = &planned[next];
+            next += 1;
+            tenant_reports[p.tenant].offered += 1;
+            if !admission.enabled {
+                scheduler.push(QueuedQuery {
+                    seq: p.qid,
+                    tenant: p.tenant,
+                    template: p.template,
+                    arrival_ns: p.arrival_ns,
+                    deadline_ns: u64::MAX,
+                    est_ns: 0,
+                });
+                tenant_reports[p.tenant].admitted += 1;
+                continue;
+            }
+            let tier = brownout.tier();
+            let est_ns = cost
+                .as_ref()
+                .expect("cost model calibrated when admission is on")
+                .estimate_ns(p.template, tier);
+            let p99_objective = cfg.slo.for_algorithm(p.template.slug()).p99_ns;
+            let deadline_ns = p
+                .arrival_ns
+                .saturating_add((admission.deadline_slack * p99_objective as f64) as u64);
+            let verdict = if !buckets[p.tenant].try_take(p.arrival_ns) {
+                Some(ShedReason::QuotaExceeded)
+            } else if scheduler.len() >= admission.queue_cap {
+                Some(ShedReason::QueueFull)
+            } else {
+                // Provable lower bound on this query's completion: the
+                // server is busy until `server_free`, every queued
+                // same-tenant query with an earlier EDF key precedes it,
+                // and the calibrated estimate is a clean-run lower bound.
+                let backlog = scheduler.backlog_before(p.tenant, deadline_ns, p.qid);
+                let bound = p
+                    .arrival_ns
+                    .max(server_free)
+                    .saturating_add(backlog)
+                    .saturating_add(est_ns);
+                (bound > deadline_ns).then_some(ShedReason::DeadlineUnmeetable)
+            };
+            match verdict {
+                None => {
+                    scheduler.push(QueuedQuery {
+                        seq: p.qid,
+                        tenant: p.tenant,
+                        template: p.template,
+                        arrival_ns: p.arrival_ns,
+                        deadline_ns,
+                        est_ns,
+                    });
+                    tenant_reports[p.tenant].admitted += 1;
+                    metrics::ADMITTED.add(1);
+                    consecutive_sheds = 0;
+                }
+                Some(reason) => {
+                    metrics::QUERIES.add(1);
+                    metrics::SHED.add(1);
+                    match reason {
+                        ShedReason::QuotaExceeded => {
+                            shed_quota += 1;
+                            metrics::SHED_QUOTA.add(1);
+                        }
+                        ShedReason::QueueFull => {
+                            shed_queue_full += 1;
+                            metrics::SHED_QUEUE_FULL.add(1);
+                        }
+                        ShedReason::DeadlineUnmeetable => {
+                            shed_deadline += 1;
+                            metrics::SHED_DEADLINE.add(1);
+                        }
+                    }
+                    tenant_reports[p.tenant].shed += 1;
+                    outcomes.shed += 1;
+                    consecutive_sheds += 1;
+                    if let Some(track) = stream_track {
+                        stream.span_with(
+                            track,
+                            "shed",
+                            format!("q{} shed", p.qid),
+                            p.arrival_ns,
+                            p.arrival_ns,
+                            vec![
+                                ("query_id", p.qid.into()),
+                                ("tenant", cfg.tenants[p.tenant].into()),
+                                ("algorithm", p.template.slug().into()),
+                                ("shed_reason", reason.label().into()),
+                            ],
+                        );
+                    }
+                    if consecutive_sheds >= admission.storm_run && postmortem.is_none() {
+                        let reason_text = format!(
+                            "shed storm: {consecutive_sheds} consecutive sheds through query {} ({})",
+                            p.qid,
+                            reason.label()
+                        );
+                        let ctx = QueryCtx::new(p.qid, cfg.tenants[p.tenant]);
+                        postmortem = Some(Postmortem {
+                            json: recorder.postmortem(&reason_text, Some(&ctx)),
+                            reason: reason_text,
+                        });
+                    }
+                    records[p.qid as usize] = Some(QueryRecord {
+                        id: p.qid,
+                        tenant: cfg.tenants[p.tenant],
+                        template: p.template,
+                        arrival_ns: p.arrival_ns,
+                        start_ns: p.arrival_ns,
+                        service_ns: 0,
+                        queue_wait_ns: 0,
+                        latency_ns: 0,
+                        retries: 0,
+                        tier,
+                        deadline_ns: Some(deadline_ns),
+                        outcome: Outcome::Shed(reason),
+                    });
+                }
+            }
+        }
+
+        // Dispatch: the scheduler picks; the engine serves.
+        let Some(q) = scheduler.pop() else {
+            continue;
+        };
+        let qid = q.seq;
+        let tenant = cfg.tenants[q.tenant];
+        let template = q.template;
+        let tier = if admission.enabled {
+            brownout.tier()
+        } else {
+            Tier::Full
+        };
         let ctx = QueryCtx::new(qid, tenant);
         let tracer = if cfg.record_timeline {
             Tracer::enabled().with_query_ctx(ctx.clone())
@@ -287,7 +612,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             }
         }
 
-        let result = run_query(template, &engine, &set);
+        let result = run_query_tier(template, &engine, &set, tier);
         let (service_ns, retries, outcome) = match &result {
             Ok(sr) => {
                 let retries = sr.recovery.as_ref().map_or(0, |r| r.retries);
@@ -307,18 +632,20 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             },
         };
 
-        let start_ns = arrival_ns.max(server_free);
+        let start_ns = q.arrival_ns.max(t);
         let done_ns = start_ns + service_ns;
         server_free = done_ns;
-        let queue_wait_ns = start_ns - arrival_ns;
-        let latency_ns = done_ns - arrival_ns;
+        let queue_wait_ns = start_ns - q.arrival_ns;
+        let latency_ns = done_ns - q.arrival_ns;
 
         metrics::QUERIES.add(1);
         metrics::RETRIES.add(retries);
         if outcome.is_failure() {
             metrics::FAILURES.add(1);
+            failed += 1;
         }
         metrics::latency_for(template.slug()).record(latency_ns);
+        metrics::tenant_latency(tenant).record(latency_ns);
         metrics::QUEUE_WAIT.record(queue_wait_ns);
         match outcome {
             Outcome::Clean => outcomes.clean += 1,
@@ -326,6 +653,20 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             Outcome::Degraded => outcomes.degraded += 1,
             Outcome::Fault(_) => outcomes.fault += 1,
             Outcome::Error(_) => outcomes.error += 1,
+            Outcome::Shed(_) => unreachable!("shed queries are never dispatched"),
+        }
+        completed += 1;
+        tenant_reports[q.tenant].completed += 1;
+        if !outcome.is_failure() && done_ns <= q.deadline_ns {
+            tenant_reports[q.tenant].goodput += 1;
+        }
+        if let (Some(cost), Ok(sr)) = (&cost, &result) {
+            // Engine-run completions must reproduce the clean calibration
+            // digest — recovery guarantees results, so any drift here is a
+            // silent corruption.
+            if tier != Tier::CpuOnly && sr.digest != cost.expected_digest(template, tier) {
+                corruptions += 1;
+            }
         }
 
         if let Some(track) = stream_track {
@@ -333,13 +674,14 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
                 track,
                 "query",
                 format!("q{qid} {}", template.slug()),
-                arrival_ns,
+                q.arrival_ns,
                 done_ns,
                 vec![
                     ("query_id", qid.into()),
                     ("tenant", tenant.into()),
                     ("algorithm", template.slug().into()),
                     ("queue_wait_ns", queue_wait_ns.into()),
+                    ("tier", tier.label().into()),
                     ("outcome", outcome.label().into()),
                 ],
             );
@@ -370,26 +712,40 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             }
         }
 
-        records.push(QueryRecord {
+        records[qid as usize] = Some(QueryRecord {
             id: qid,
             tenant,
             template,
-            arrival_ns,
+            arrival_ns: q.arrival_ns,
             start_ns,
             service_ns,
             queue_wait_ns,
             latency_ns,
             retries,
+            tier,
+            deadline_ns: admission.enabled.then_some(q.deadline_ns),
             outcome,
         });
+
+        if admission.enabled {
+            let before = brownout.transitions().len();
+            brownout.observe(done_ns, scheduler.len(), brownout.burn(failed, completed));
+            let steps = brownout.transitions().len() - before;
+            metrics::BROWNOUT_TRANSITIONS.add(steps as u64);
+        }
     }
 
-    // Judge each algorithm against its objectives.
+    let records: Vec<QueryRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every planned query resolves to a record"))
+        .collect();
+
+    // Judge each algorithm against its objectives, over accepted queries.
     let mut slo = Vec::new();
     for slug in ["ld", "fastid", "mixture"] {
         let of_alg: Vec<&QueryRecord> = records
             .iter()
-            .filter(|r| r.template.slug() == slug)
+            .filter(|r| r.template.slug() == slug && !r.outcome.is_shed())
             .collect();
         if of_alg.is_empty() {
             continue;
@@ -432,14 +788,62 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
     } else {
         None
     };
+    let (flight_dropped_spans, _) = recorder.dropped();
 
-    let mut all_lat: Vec<u64> = records.iter().map(|r| r.latency_ns).collect();
+    let accepted: Vec<&QueryRecord> = records.iter().filter(|r| !r.outcome.is_shed()).collect();
+    let mut all_lat: Vec<u64> = accepted.iter().map(|r| r.latency_ns).collect();
     all_lat.sort_unstable();
-    let duration_ns = records
+    let duration_ns = accepted
         .iter()
         .map(|r| r.start_ns + r.service_ns)
         .max()
         .unwrap_or(0);
+
+    let admission_report = admission.enabled.then(|| {
+        let offered = records.len();
+        let shed = outcomes.shed;
+        let admitted = offered - shed;
+        let goodput: usize = tenant_reports.iter().map(|t| t.goodput).sum();
+        let shed_fraction = if offered == 0 {
+            0.0
+        } else {
+            shed as f64 / offered as f64
+        };
+        let rates: Vec<f64> = tenant_reports
+            .iter()
+            .filter(|t| t.offered > 0)
+            .map(|t| t.goodput as f64)
+            .collect();
+        let tenant_goodput_ratio = match (
+            rates.iter().cloned().fold(f64::NAN, f64::max),
+            rates.iter().cloned().fold(f64::NAN, f64::min),
+        ) {
+            (max, min) if min > 0.0 => max / min,
+            (max, _) if max > 0.0 => f64::INFINITY,
+            _ => 1.0,
+        };
+        AdmissionReport {
+            offered,
+            admitted,
+            shed_quota,
+            shed_queue_full,
+            shed_deadline,
+            shed_fraction,
+            shed_budget_exceeded: shed_fraction > admission.shed_budget,
+            goodput,
+            goodput_qps: if duration_ns == 0 {
+                0.0
+            } else {
+                goodput as f64 * 1e9 / duration_ns as f64
+            },
+            tenant_goodput_ratio,
+            corruptions,
+            final_tier: brownout.tier(),
+            transitions: brownout.transitions().to_vec(),
+            tenants: tenant_reports,
+        }
+    });
+
     LoadReport {
         device: cfg.device.name.clone(),
         arrival: cfg.arrival,
@@ -454,10 +858,12 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         achieved_qps: if duration_ns == 0 {
             0.0
         } else {
-            records.len() as f64 * 1e9 / duration_ns as f64
+            accepted.len() as f64 * 1e9 / duration_ns as f64
         },
         records,
         slo,
+        admission: admission_report,
+        flight_dropped_spans,
         timeline,
         postmortem,
     }
@@ -470,6 +876,17 @@ pub struct SweepPoint {
     pub rate_qps: f64,
     /// The full run report (timeline disabled for sweep points).
     pub report: LoadReport,
+}
+
+impl SweepPoint {
+    /// Goodput at this point: deadline-met completions per virtual second
+    /// under admission, completed throughput otherwise.
+    pub fn goodput_qps(&self) -> f64 {
+        match &self.report.admission {
+            Some(a) => a.goodput_qps,
+            None => self.report.achieved_qps,
+        }
+    }
 }
 
 /// A saturation sweep: the same seeded stream replayed at stepped offered
@@ -508,6 +925,25 @@ pub fn saturation_sweep(cfg: &LoadConfig, multipliers: &[f64]) -> SweepReport {
     SweepReport { points, knee }
 }
 
+impl SweepReport {
+    /// Minimum goodput of the points past the knee, as a fraction of the
+    /// knee point's goodput — the "stays up past saturation" figure.
+    /// `None` without a knee or without post-knee points.
+    pub fn goodput_retention(&self) -> Option<f64> {
+        let knee = self.knee?;
+        let at_knee = self.points[knee].goodput_qps();
+        if at_knee <= 0.0 {
+            return None;
+        }
+        self.points[knee..]
+            .iter()
+            .map(|p| p.goodput_qps() / at_knee)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +974,19 @@ mod tests {
             assert!(r.start_ns >= r.arrival_ns);
         }
         assert_eq!(a.p99_all_ns, b.p99_all_ns);
+    }
+
+    #[test]
+    fn disabled_admission_is_fifo_in_arrival_order() {
+        let report = run(&small_cfg());
+        assert!(report.admission.is_none());
+        let mut server_free = 0u64;
+        for r in &report.records {
+            assert_eq!(r.start_ns, r.arrival_ns.max(server_free), "q{}", r.id);
+            assert_eq!(r.tier, Tier::Full);
+            assert_eq!(r.deadline_ns, None);
+            server_free = r.start_ns + r.service_ns;
+        }
     }
 
     #[test]
@@ -597,5 +1046,116 @@ mod tests {
             "overload did not raise p99: {p99s:?}"
         );
         assert!(sweep.knee.is_some(), "no knee found: {p99s:?}");
+    }
+
+    #[test]
+    fn admission_sheds_typed_under_overload_and_never_sheds_admitted() {
+        let mut cfg = small_cfg();
+        cfg.queries = 48;
+        cfg.arrival = ArrivalKind::Bursty;
+        cfg.rate_qps = 200_000.0; // far past saturation
+        cfg.admission = AdmissionConfig {
+            queue_cap: 4,
+            ..AdmissionConfig::standard()
+        };
+        let report = run(&cfg);
+        let adm = report.admission.as_ref().expect("admission report");
+        assert!(adm.offered == 48);
+        assert!(outcome_counts_consistent(&report));
+        assert!(adm.shed_fraction > 0.0, "overload must shed");
+        // Typed, never silent: every shed names its gate.
+        for r in &report.records {
+            if let Outcome::Shed(reason) = &r.outcome {
+                assert!(!reason.label().is_empty());
+                assert_eq!(r.service_ns, 0);
+            }
+        }
+        // An admitted query always completes: admitted == completed.
+        assert_eq!(
+            adm.admitted,
+            report.outcomes.clean
+                + report.outcomes.recovered
+                + report.outcomes.degraded
+                + report.outcomes.fault
+                + report.outcomes.error
+        );
+        assert_eq!(adm.corruptions, 0, "clean run cannot corrupt");
+        // Accepted-query latency stays bounded by the queue cap: the SLO
+        // over accepted queries must hold even at this offered rate.
+        assert!(!report.breached, "{:?}", report.slo);
+    }
+
+    fn outcome_counts_consistent(report: &LoadReport) -> bool {
+        let o = &report.outcomes;
+        o.clean + o.recovered + o.degraded + o.fault + o.error + o.shed == report.records.len()
+    }
+
+    #[test]
+    fn fairness_holds_under_equal_weights() {
+        let mut cfg = small_cfg();
+        cfg.queries = 64;
+        cfg.arrival = ArrivalKind::Bursty;
+        cfg.rate_qps = 16_000.0;
+        cfg.admission = AdmissionConfig::standard();
+        let report = run(&cfg);
+        let adm = report.admission.unwrap();
+        assert!(
+            adm.tenant_goodput_ratio <= 2.0,
+            "tenant starved: ratio {} ({:?})",
+            adm.tenant_goodput_ratio,
+            adm.tenants
+        );
+    }
+
+    #[test]
+    fn brownout_steps_down_under_sustained_overload() {
+        let mut cfg = small_cfg();
+        cfg.queries = 96;
+        cfg.arrival = ArrivalKind::Bursty;
+        cfg.rate_qps = 64_000.0;
+        cfg.admission = AdmissionConfig {
+            brownout: crate::admission::BrownoutConfig {
+                high_water: 4,
+                low_water: 1,
+                dwell: 2,
+                ..Default::default()
+            },
+            queue_cap: 64,
+            ..AdmissionConfig::standard()
+        };
+        let report = run(&cfg);
+        let adm = report.admission.unwrap();
+        assert!(
+            !adm.transitions.is_empty(),
+            "sustained 32x overload must trip the brownout"
+        );
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.tier != Tier::Full && !r.outcome.is_shed()));
+    }
+
+    #[test]
+    fn shed_storm_dumps_the_flight_recorder() {
+        let mut cfg = small_cfg();
+        cfg.queries = 64;
+        cfg.arrival = ArrivalKind::Bursty;
+        cfg.rate_qps = 500_000.0;
+        cfg.admission = AdmissionConfig {
+            queue_cap: 2,
+            storm_run: 4,
+            shed_budget: 0.1,
+            ..AdmissionConfig::standard()
+        };
+        let report = run(&cfg);
+        let adm = report.admission.as_ref().unwrap();
+        assert!(
+            adm.shed_budget_exceeded,
+            "shed {} of {}",
+            adm.shed_fraction, adm.offered
+        );
+        let pm = report.postmortem.expect("storm must dump");
+        assert!(pm.reason.contains("shed storm"), "{}", pm.reason);
+        chrome::validate(&pm.json).expect("storm bundle is a valid Chrome trace");
     }
 }

@@ -7,17 +7,22 @@
 //! against them, so per-query cost is the engine's modeled service time,
 //! not data-generation time.
 
-use snp_bitmat::BitMatrix;
-use snp_core::{Algorithm, EngineError, GpuEngine, RecoverySummary, Timing};
+use snp_bitmat::{BitMatrix, CountMatrix};
+use snp_core::{
+    compare_op, word_op_kind, Algorithm, CpuModel, EngineError, GpuEngine, Match, MixtureStrategy,
+    RecoverySummary, Timing,
+};
 use snp_popgen::forensic::{
     generate_database, generate_mixtures, generate_queries, DatabaseConfig,
 };
 use snp_popgen::population::{generate_panel, PanelConfig};
 
+use crate::admission::Tier;
+
 /// One query kind. `FastIdTopK` shares the `fastid` algorithm slug with
 /// `FastId` — it is the same search routed through the streaming top-k
 /// readback path instead of the full-γ readback.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Template {
     /// LD self-comparison over the panel (Eq. 1).
     Ld,
@@ -129,9 +134,19 @@ pub struct ServiceReport {
     pub passes: usize,
     /// Recovery summary when the query ran the recovering path.
     pub recovery: Option<RecoverySummary>,
+    /// Order-independent FNV digest of the query's result (γ counts or
+    /// top-k match lists). Two runs of the same `(template, tier)` against
+    /// the same [`WorkloadSet`] must agree — a mismatch against the clean
+    /// calibration run is a silent corruption.
+    pub digest: u64,
 }
 
-fn service(timing: &Timing, passes: usize, recovery: Option<RecoverySummary>) -> ServiceReport {
+fn service(
+    timing: &Timing,
+    passes: usize,
+    recovery: Option<RecoverySummary>,
+    digest: u64,
+) -> ServiceReport {
     // A serving deployment opens its device once, so one-time runtime
     // initialization is not charged to individual queries: service time is
     // the post-init window (packing, transfers, kernels, recovery).
@@ -139,8 +154,45 @@ fn service(timing: &Timing, passes: usize, recovery: Option<RecoverySummary>) ->
         service_ns: timing.busy_ns(),
         passes,
         recovery,
+        digest,
     }
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+fn digest_gamma(gamma: &Option<CountMatrix>) -> u64 {
+    let Some(g) = gamma else { return 0 };
+    let mut h = fnv(FNV_OFFSET, g.rows() as u64);
+    h = fnv(h, g.cols() as u64);
+    for r in 0..g.rows() {
+        for &v in g.row(r) {
+            h = fnv(h, v as u64);
+        }
+    }
+    h
+}
+
+fn digest_matches(matches: &Option<Vec<Vec<Match>>>) -> u64 {
+    let Some(rows) = matches else { return 0 };
+    let mut h = fnv(FNV_OFFSET, rows.len() as u64);
+    for row in rows {
+        h = fnv(h, row.len() as u64);
+        for m in row {
+            h = fnv(h, m.profile as u64);
+            h = fnv(h, m.differences as u64);
+        }
+    }
+    h
+}
+
+/// Candidates kept per query when the brownout controller has stepped the
+/// service down to [`Tier::ReducedTopK`].
+pub const REDUCED_TOPK: usize = 2;
 
 /// Runs one query of this template on `engine` against `set`.
 pub fn run_query(
@@ -148,24 +200,111 @@ pub fn run_query(
     engine: &GpuEngine,
     set: &WorkloadSet,
 ) -> Result<ServiceReport, EngineError> {
+    run_query_tier(template, engine, set, Tier::Full)
+}
+
+/// Runs one query at a brownout service tier.
+///
+/// * [`Tier::Full`] — the template's native path.
+/// * [`Tier::ReducedTopK`] — both FastID readbacks are routed through the
+///   streaming top-k path with `k =` [`REDUCED_TOPK`] (cheaper readback,
+///   shorter candidate list); LD and mixture are unchanged.
+/// * [`Tier::CpuOnly`] — the engine is **not touched**: service time is the
+///   modeled CPU baseline of Fig. 6 for this template's shape, which keeps
+///   the tier available while the device is faulting.
+pub fn run_query_tier(
+    template: Template,
+    engine: &GpuEngine,
+    set: &WorkloadSet,
+    tier: Tier,
+) -> Result<ServiceReport, EngineError> {
+    if tier == Tier::CpuOnly {
+        return Ok(ServiceReport {
+            service_ns: cpu_service_ns(template, set),
+            passes: 1,
+            recovery: None,
+            digest: 0,
+        });
+    }
     match template {
         Template::Ld => {
             let r = engine.ld_self(&set.panel)?;
-            Ok(service(&r.timing, r.passes, r.recovery))
+            Ok(service(
+                &r.timing,
+                r.passes,
+                r.recovery,
+                digest_gamma(&r.gamma),
+            ))
+        }
+        Template::FastId if tier == Tier::ReducedTopK => {
+            let r =
+                engine.identity_search_topk(&set.fastid_queries, &set.fastid_db, REDUCED_TOPK)?;
+            Ok(service(
+                &r.timing,
+                r.passes,
+                r.recovery,
+                digest_matches(&r.matches),
+            ))
         }
         Template::FastId => {
             let r = engine.identity_search(&set.fastid_queries, &set.fastid_db)?;
-            Ok(service(&r.timing, r.passes, r.recovery))
+            Ok(service(
+                &r.timing,
+                r.passes,
+                r.recovery,
+                digest_gamma(&r.gamma),
+            ))
         }
         Template::FastIdTopK => {
-            let r = engine.identity_search_topk(&set.fastid_queries, &set.fastid_db, set.topk)?;
-            Ok(service(&r.timing, r.passes, r.recovery))
+            let k = if tier == Tier::ReducedTopK {
+                REDUCED_TOPK
+            } else {
+                set.topk
+            };
+            let r = engine.identity_search_topk(&set.fastid_queries, &set.fastid_db, k)?;
+            Ok(service(
+                &r.timing,
+                r.passes,
+                r.recovery,
+                digest_matches(&r.matches),
+            ))
         }
         Template::Mixture => {
             let r = engine.mixture_analysis(&set.mixture_refs, &set.mixture_matrix)?;
-            Ok(service(&r.timing, r.passes, r.recovery))
+            Ok(service(
+                &r.timing,
+                r.passes,
+                r.recovery,
+                digest_gamma(&r.gamma),
+            ))
         }
     }
+}
+
+/// Modeled service time of this template on the CPU baseline (the Xeon
+/// E5-2620 v2 of Fig. 6), used by the [`Tier::CpuOnly`] brownout tier.
+/// Deterministic and fault-immune: the model GPU is not involved at all.
+pub fn cpu_service_ns(template: Template, set: &WorkloadSet) -> u64 {
+    let model = CpuModel::ivy_bridge_workstation();
+    let kind = word_op_kind(compare_op(template.algorithm(), MixtureStrategy::Direct));
+    let ns = match template {
+        Template::Ld => {
+            model.time_ns_for_bits(kind, set.panel.rows(), set.panel.rows(), set.panel.cols())
+        }
+        Template::FastId | Template::FastIdTopK => model.time_ns_for_bits(
+            kind,
+            set.fastid_queries.rows(),
+            set.fastid_db.rows(),
+            set.fastid_db.cols(),
+        ),
+        Template::Mixture => model.time_ns_for_bits(
+            kind,
+            set.mixture_refs.rows(),
+            set.mixture_matrix.rows().max(1),
+            set.mixture_refs.cols(),
+        ),
+    };
+    (ns.max(1.0)) as u64
 }
 
 #[cfg(test)]

@@ -21,7 +21,13 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use crate::json;
+use crate::metrics::LazyCounter;
 use crate::span::{CounterSample, QueryCtx, Trace, TraceEvent, TrackId, TrackInfo};
+
+/// Spans evicted from any flight-recorder ring, process-wide. Exposed on
+/// the metrics registry so truncation is visible in `snpgpu metrics`
+/// output, not only in postmortem headers.
+static DROPPED_SPANS: LazyCounter = LazyCounter::new("trace.flight.dropped_spans");
 
 /// Merges `src` into `dst`, shifting every `src` timestamp forward by
 /// `shift_ns`. Tracks are matched by `(name, domain)` — a `src` track with
@@ -106,6 +112,7 @@ impl FlightRecorder {
             if st.events.len() == self.capacity {
                 st.events.pop_front();
                 st.dropped_events += 1;
+                DROPPED_SPANS.add(1);
             }
             st.events.push_back(ev);
         }

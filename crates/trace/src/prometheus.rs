@@ -8,6 +8,13 @@
 //! sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset Prometheus requires,
 //! so `engine.recovery.retries` exposes as `engine_recovery_retries_total`.
 //!
+//! Registry names may carry labels after a `|`: a name like
+//! `load.tenant.latency_ns|tenant=casework` renders as the
+//! `load_tenant_latency_ns` family with a `{tenant="casework"}` label set
+//! (composed with `le` on histogram buckets). Same-family labeled series
+//! are adjacent in the registry's sorted snapshot, so the renderer emits
+//! one `# TYPE` line per family, not per series.
+//!
 //! The renderer takes a snapshot slice rather than the live registry so
 //! deterministic snapshots can be golden-file tested; use
 //! [`render_registry`] for the live process state.
@@ -47,8 +54,65 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
-    let _ = writeln!(out, "# TYPE {name} histogram");
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Splits a registry name into its metric family and label set: everything
+/// after the first `|` is a comma-separated `key=value` list (e.g.
+/// `load.tenant.latency_ns|tenant=casework`). Tokens without `=` are
+/// ignored rather than guessed at.
+fn split_labels(name: &str) -> (&str, Vec<(String, String)>) {
+    match name.split_once('|') {
+        None => (name, Vec::new()),
+        Some((base, rest)) => (
+            base,
+            rest.split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (sanitize_name(k), escape_label_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Renders a label set as `{k="v",…}`, or nothing when empty.
+fn label_str(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Emits a `# TYPE` header unless it would repeat the one just emitted —
+/// labeled series of the same family are adjacent in the sorted snapshot
+/// and share a single header.
+fn emit_type(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    let line = format!("# TYPE {name} {kind}");
+    if *last != line {
+        let _ = writeln!(out, "{line}");
+        *last = line;
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    last_type: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    emit_type(out, last_type, name, "histogram");
+    // Buckets compose the series labels with `le` (conventionally last).
+    let bucket_labels = |le: String| {
+        let mut ls = labels.to_vec();
+        ls.push(("le".to_string(), le));
+        label_str(&ls)
+    };
     let mut cumulative = 0u64;
     for (i, &n) in h.buckets.iter().enumerate() {
         if n == 0 {
@@ -57,13 +121,18 @@ fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
         cumulative += n;
         let _ = writeln!(
             out,
-            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-            bucket_upper_bound(i)
+            "{name}_bucket{} {cumulative}",
+            bucket_labels(bucket_upper_bound(i).to_string())
         );
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-    let _ = writeln!(out, "{name}_sum {}", h.sum);
-    let _ = writeln!(out, "{name}_count {}", h.count);
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        bucket_labels("+Inf".to_string()),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", label_str(labels), h.sum);
+    let _ = writeln!(out, "{name}_count{} {}", label_str(labels), h.count);
 }
 
 /// Renders a registry snapshot (as produced by
@@ -71,18 +140,27 @@ fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
 /// in the Prometheus text exposition format.
 pub fn render_prometheus(snapshot: &[(&'static str, MetricValue)]) -> String {
     let mut out = String::new();
-    for (name, value) in snapshot {
-        let name = sanitize_name(name);
+    let mut last_type = String::new();
+    for (raw, value) in snapshot {
+        let (base, labels) = split_labels(raw);
+        let name = sanitize_name(base);
         match value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {name}_total counter");
-                let _ = writeln!(out, "{name}_total {v}");
+                emit_type(
+                    &mut out,
+                    &mut last_type,
+                    &format!("{name}_total"),
+                    "counter",
+                );
+                let _ = writeln!(out, "{name}_total{} {v}", label_str(&labels));
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
-                let _ = writeln!(out, "{name} {}", fmt_value(*v));
+                emit_type(&mut out, &mut last_type, &name, "gauge");
+                let _ = writeln!(out, "{name}{} {}", label_str(&labels), fmt_value(*v));
             }
-            MetricValue::Histogram(h) => render_histogram(&mut out, &name, h),
+            MetricValue::Histogram(h) => {
+                render_histogram(&mut out, &mut last_type, &name, &labels, h)
+            }
         }
     }
     out
@@ -98,7 +176,9 @@ mod tests {
     use super::*;
     use crate::metrics::Histogram;
 
-    /// A deterministic synthetic snapshot with every metric kind.
+    /// A deterministic synthetic snapshot with every metric kind, including
+    /// labeled per-tenant series (adjacent in sorted order, as in the real
+    /// registry).
     fn golden_snapshot() -> Vec<(&'static str, MetricValue)> {
         let h = Histogram::default();
         for _ in 0..3 {
@@ -106,6 +186,8 @@ mod tests {
         }
         h.record(0);
         h.record(100_000); // octave 16, sub 4: upper bound 106495
+        let t = Histogram::default();
+        t.record(100);
         vec![
             ("engine.recovery.retries", MetricValue::Counter(42)),
             ("load.inflight", MetricValue::Gauge(2.5)),
@@ -113,17 +195,71 @@ mod tests {
                 "load.latency_ns.fastid",
                 MetricValue::Histogram(h.snapshot()),
             ),
+            (
+                "load.tenant.latency_ns|tenant=casework",
+                MetricValue::Histogram(t.snapshot()),
+            ),
+            (
+                "load.tenant.latency_ns|tenant=research",
+                MetricValue::Histogram(t.snapshot()),
+            ),
         ]
     }
 
     #[test]
     fn golden_file_pins_the_exposition_format() {
         let got = render_prometheus(&golden_snapshot());
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/prometheus.golden"),
+                &got,
+            )
+            .unwrap();
+        }
         let want = include_str!("../testdata/prometheus.golden");
         assert_eq!(
             got, want,
-            "Prometheus exposition drifted from the golden file"
+            "Prometheus exposition drifted from the golden file \
+             (UPDATE_GOLDEN=1 regenerates)"
         );
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_and_compose_le() {
+        let got = render_prometheus(&golden_snapshot());
+        assert_eq!(
+            got.matches("# TYPE load_tenant_latency_ns histogram")
+                .count(),
+            1,
+            "labeled series of one family share a single TYPE line:\n{got}"
+        );
+        assert!(
+            got.contains("load_tenant_latency_ns_bucket{tenant=\"casework\",le=\"103\"} 1"),
+            "{got}"
+        );
+        assert!(
+            got.contains("load_tenant_latency_ns_bucket{tenant=\"research\",le=\"+Inf\"} 1"),
+            "{got}"
+        );
+        assert!(got.contains("load_tenant_latency_ns_sum{tenant=\"casework\"} 100"));
+        assert!(got.contains("load_tenant_latency_ns_count{tenant=\"research\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_bad_tokens_ignored() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let (base, labels) = split_labels("m|tenant=a,junk,k=v");
+        assert_eq!(base, "m");
+        assert_eq!(
+            labels,
+            vec![
+                ("tenant".to_string(), "a".to_string()),
+                ("k".to_string(), "v".to_string())
+            ]
+        );
+        let (plain, none) = split_labels("load.queries");
+        assert_eq!(plain, "load.queries");
+        assert!(none.is_empty());
     }
 
     #[test]
