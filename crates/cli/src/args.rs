@@ -32,7 +32,7 @@ impl std::error::Error for ArgError {}
 /// Option names that are boolean flags: they take no value token
 /// (`snpgpu lint all --deep`, `snpgpu loadgen --admission`) and parse as
 /// `"true"`.
-const FLAG_KEYS: &[&str] = &["deep", "admission"];
+const FLAG_KEYS: &[&str] = &["deep", "admission", "anatomy"];
 
 impl Args {
     /// Parses a token stream: `command --key value --key2 value2 …`.

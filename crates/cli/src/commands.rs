@@ -69,7 +69,7 @@ COMMANDS:
             --arrival poisson|bursty --mode run|sweep|chaos --slo-p50-ms X
             --slo-p99-ms X --error-budget F --fault-profile P --fault-at Q
             --admission --deadline-slack X --shed-budget F --queue-cap N
-            --flight-capacity N --json F --trace F --flight F]
+            --flight-capacity N --anatomy --json F --trace F --flight F]
                                replay a seeded open-loop query stream against
                                the engine, judge per-algorithm latency SLOs
                                (exit 6 on breach), write slo-report.json,
@@ -83,7 +83,20 @@ COMMANDS:
                                --mode chaos runs the combined overload+fault
                                matrix (bursty 8x load, device loss mid-run,
                                admission on) and fails on any silent
-                               corruption
+                               corruption; --anatomy appends the per-query
+                               latency-anatomy table (percentile bands x
+                               named critical-path segments) to the report
+  whatif    [ld|fastid|mixture|all] [--device D --rate Q --queries N --seed S
+            --arrival poisson|bursty --admission --deadline-slack X
+            --shed-budget F --queue-cap N
+            --perturb kernel:F,transfer:F,slack:F,sched --json F]
+                               causal what-if profiling: replay the same
+                               seeded stream once per perturbation with that
+                               component's virtual cost rescaled, rank the
+                               perturbations by accepted-p99 leverage, then
+                               confirm the winner with an independent replay
+                               under different observation settings (exit 1
+                               if prediction and replay disagree by over 5%)
   metrics   [ld|fastid|mixture|all] [--device D --seed S --queries N --out F]
                                run a small seeded load and dump the live
                                metrics registry in Prometheus text format
@@ -232,6 +245,7 @@ pub fn run_full(args: &Args) -> Result<CmdReport, CliError> {
         Some("chaos") => cmd_chaos(args),
         Some("profile") => cmd_profile(args),
         Some("loadgen") => cmd_loadgen(args),
+        Some("whatif") => cmd_whatif(args),
         Some("metrics") => simple(cmd_metrics(args)),
         Some(other) => Err(CliError {
             message: format!("unknown command {other:?}\n\n{USAGE}"),
@@ -1401,6 +1415,7 @@ fn loadgen_config(args: &Args, default_queries: usize) -> Result<snp_load::LoadC
     if cfg.flight_capacity == 0 {
         return Err(ArgError("--flight-capacity must be at least 1".into()));
     }
+    cfg.anatomy = args.flag("anatomy");
     Ok(cfg)
 }
 
@@ -1433,6 +1448,7 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
         "shed-budget",
         "queue-cap",
         "flight-capacity",
+        "anatomy",
         "json",
         "trace",
         "flight",
@@ -1631,6 +1647,49 @@ fn cmd_loadgen(args: &Args) -> Result<CmdReport, CliError> {
             "unknown mode {other:?} (run|sweep|chaos)"
         )))),
     }
+}
+
+fn cmd_whatif(args: &Args) -> Result<CmdReport, CliError> {
+    args.expect_only(&[
+        "device",
+        "rate",
+        "queries",
+        "seed",
+        "arrival",
+        "admission",
+        "deadline-slack",
+        "shed-budget",
+        "queue-cap",
+        "perturb",
+        "json",
+    ])?;
+    let mut cfg = loadgen_config(args, 24)?;
+    cfg.admission = loadgen_admission(args, false)?;
+    let perturbations = match args.get("perturb") {
+        None => snp_load::default_perturbations(),
+        Some(spec) => {
+            let mut ps = Vec::new();
+            for tok in spec.split(',') {
+                ps.push(snp_load::Perturbation::parse(tok.trim()).map_err(ArgError)?);
+            }
+            ps
+        }
+    };
+    let report = snp_load::run_whatif(&cfg, &perturbations);
+    let mut text = report.render_text();
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::from(ArgError(format!("cannot write {path}: {e}"))))?;
+        let _ = writeln!(text, "what-if report: {path}");
+    }
+    // A confirmation miss means observation perturbed virtual timing — an
+    // internal modeling error, not a property of the workload.
+    let exit = if report.confirmation.within_5_percent {
+        ExitCode::Ok
+    } else {
+        ExitCode::Error
+    };
+    Ok(CmdReport { text, exit })
 }
 
 fn cmd_metrics(args: &Args) -> Result<String, ArgError> {
@@ -2012,6 +2071,48 @@ mod tests {
         assert_eq!(report.exit, ExitCode::ShedBudgetExceeded, "{}", report.text);
         assert!(report.text.contains("OVER BUDGET"), "{}", report.text);
         assert!(report.text.contains("tenant casework"), "{}", report.text);
+    }
+
+    #[test]
+    fn loadgen_anatomy_appends_the_budget_table() {
+        let out = run_line("loadgen ld --anatomy --queries 12 --rate 4000").unwrap();
+        assert!(out.contains("latency anatomy"), "{out}");
+        assert!(out.contains("sched_queue"), "{out}");
+        assert!(out.contains("p99+"), "{out}");
+    }
+
+    #[test]
+    fn whatif_ranks_confirms_and_reproduces_byte_for_byte() {
+        let path = std::env::temp_dir().join("snpgpu_test_whatif.json");
+        let line = format!(
+            "whatif ld --queries 16 --rate 8000 --json {}",
+            path.display()
+        );
+        let run_once = || {
+            let report =
+                run_full(&Args::parse(line.split_whitespace().map(str::to_string)).unwrap())
+                    .unwrap();
+            assert_eq!(report.exit, ExitCode::Ok, "{}", report.text);
+            assert!(report.text.contains("within 5%"), "{}", report.text);
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let first = run_once();
+        let second = run_once();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(first, second, "seeded what-if JSON is byte-reproducible");
+        assert!(first.contains("\"tool\":\"snpgpu whatif\""), "{first}");
+        assert!(first.contains("\"within_5_percent\":true"), "{first}");
+    }
+
+    #[test]
+    fn whatif_rejects_malformed_perturbations() {
+        let err = run_line("whatif ld --perturb warp:2").unwrap_err();
+        assert!(
+            err.to_string().contains("unknown perturbation kind"),
+            "{err}"
+        );
+        let err = run_line("whatif ld --perturb kernel:zero").unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use snp_cpu::CpuEngine;
 use snp_faults::{checksum_words, DeviceFault, FaultKind, FaultOp, FaultPlan};
 use snp_gpu_model::config::{Algorithm, ProblemShape};
 use snp_gpu_model::{DeviceSpec, KernelConfig};
-use snp_gpu_sim::host::{BufferId, EventId, Gpu, QueueId, SimError};
+use snp_gpu_sim::host::{BufferId, CostScale, EventId, Gpu, QueueId, SimError};
 use snp_gpu_sim::{timing_cache_stats, KernelProfile};
 use snp_trace::{TimeDomain, Tracer};
 
@@ -62,6 +62,10 @@ pub struct EngineOptions {
     /// cloning them into the report is pure overhead for callers that only
     /// want timing or results.
     pub profile: bool,
+    /// Virtual-cost scale armed on every device the engine opens, for
+    /// Coz-style what-if replay (`snpgpu whatif`). The default identity
+    /// leaves all timing bit-exact.
+    pub cost_scale: CostScale,
 }
 
 impl Default for EngineOptions {
@@ -73,6 +77,7 @@ impl Default for EngineOptions {
             verify: cfg!(debug_assertions),
             recovery: RecoveryPolicy::default(),
             profile: false,
+            cost_scale: CostScale::default(),
         }
     }
 }
@@ -433,6 +438,7 @@ impl GpuEngine {
         }
         let full = self.options.mode == ExecMode::Full;
         let gpu = Gpu::with_tracer(self.spec.clone(), self.tracer.clone());
+        gpu.set_cost_scale(self.options.cost_scale);
         let init_ns = gpu.now_ns();
         let run_track = self.tracer.track("engine", TimeDomain::Virtual);
         let run_span =
@@ -782,6 +788,7 @@ impl GpuEngine {
         let policy = self.options.recovery;
         let drop_b_dep = faults.profile().drop_kernel_b_dep;
         let gpu = Gpu::with_tracer(self.spec.clone(), self.tracer.clone());
+        gpu.set_cost_scale(self.options.cost_scale);
         gpu.set_fault_plan(faults);
         let init_ns = gpu.now_ns();
         let run_track = self.tracer.track("engine", TimeDomain::Virtual);

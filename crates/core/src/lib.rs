@@ -59,5 +59,6 @@ pub use profile::{
 pub use recovery::{QueueHealth, RecoveryPolicy, RecoverySummary};
 pub use snp_faults::{DeviceFault, FaultKind, FaultPlan, FaultProfile, FaultStats};
 pub use snp_gpu_model::config::Algorithm;
+pub use snp_gpu_sim::host::CostScale;
 pub use streaming::{topk_of_row, Match, TopKReport};
 pub use tiling::{plan_passes, Chunk, PlanError, TilePlan};

@@ -114,6 +114,7 @@ impl GpuEngine {
         )?;
 
         let gpu = Gpu::with_tracer(self.spec().clone(), self.tracer().clone());
+        gpu.set_cost_scale(self.options().cost_scale);
         let tracer = self.tracer();
         let run_track = tracer.track("engine", snp_trace::TimeDomain::Virtual);
         let run_span = tracer.begin_span(run_track, "run", "run: streaming top-k", 0);
@@ -321,6 +322,7 @@ impl GpuEngine {
         let plan = plan_passes(self.spec(), &cfg, m, n, k_words, false)?;
 
         let gpu = Gpu::with_tracer(self.spec().clone(), self.tracer().clone());
+        gpu.set_cost_scale(self.options().cost_scale);
         gpu.set_fault_plan(faults);
         let init_ns = gpu.now_ns();
         let mut q_xfer = gpu.create_queue_labeled("transfer");

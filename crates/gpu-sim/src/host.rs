@@ -288,6 +288,7 @@ struct State {
     compute_free_ns: u64,
     detailed_cycle_budget: u64,
     faults: Option<FaultPlan>,
+    cost_scale: CostScale,
 }
 
 /// What an injected fault does to the command currently being enqueued
@@ -306,6 +307,63 @@ impl FaultEffect {
             FaultEffect::Stall(ns) => *ns,
             _ => 0,
         }
+    }
+}
+
+/// Virtual-cost scaling for what-if replay: multiplies every kernel and/or
+/// transfer duration the simulator charges, leaving functional behaviour,
+/// ordering, fault injection, and stall penalties untouched. A Coz-style
+/// "what if kernels were 20% faster" experiment is
+/// `CostScale { kernel: 0.8, ..Default::default() }`.
+///
+/// Host packing is deliberately *not* scalable here: packing time is
+/// charged on the host clock from the device spec by the engine, not by
+/// the simulator's command timing, so a pack scale would desynchronize the
+/// engine's timing reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostScale {
+    /// Multiplier on kernel execution durations.
+    pub kernel: f64,
+    /// Multiplier on host↔device transfer durations (writes, reads,
+    /// checksum readbacks, virtual transfers).
+    pub transfer: f64,
+}
+
+impl Default for CostScale {
+    fn default() -> Self {
+        CostScale {
+            kernel: 1.0,
+            transfer: 1.0,
+        }
+    }
+}
+
+impl CostScale {
+    /// Whether this scale is the identity (no perturbation).
+    pub fn is_identity(&self) -> bool {
+        self.kernel == 1.0 && self.transfer == 1.0
+    }
+
+    /// Applies `factor` to a duration. The identity factor returns the
+    /// input unchanged (bit-exact: default runs must stay byte-identical
+    /// to a build without scaling); otherwise rounds to the nearest ns
+    /// with a 1 ns floor so scaled commands still take time.
+    fn apply(factor: f64, ns: u64) -> u64 {
+        if factor == 1.0 {
+            ns
+        } else {
+            ((ns as f64 * factor).round() as u64).max(1)
+        }
+    }
+
+    /// Scales a kernel duration.
+    pub fn kernel_ns(&self, ns: u64) -> u64 {
+        Self::apply(self.kernel, ns)
+    }
+
+    /// Scales a transfer duration.
+    pub fn transfer_ns(&self, ns: u64) -> u64 {
+        Self::apply(self.transfer, ns)
     }
 }
 
@@ -359,6 +417,7 @@ impl Gpu {
                 compute_free_ns: init,
                 detailed_cycle_budget: 500_000_000,
                 faults: None,
+                cost_scale: CostScale::default(),
             }),
         }
     }
@@ -397,6 +456,13 @@ impl Gpu {
     /// fault bookkeeping runs.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         self.state.borrow_mut().faults = Some(plan);
+    }
+
+    /// Arms a virtual-cost scale for what-if replay: every subsequently
+    /// enqueued kernel and transfer is charged its scaled duration. The
+    /// default ([`CostScale::is_identity`]) leaves timing bit-exact.
+    pub fn set_cost_scale(&self, scale: CostScale) {
+        self.state.borrow_mut().cost_scale = scale;
     }
 
     /// Counts of faults injected so far (all zero when no plan is armed).
@@ -706,7 +772,10 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = data.len() as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
+        let end = start
+            + st.cost_scale
+                .transfer_ns(self.spec.transfer.transfer_ns(bytes))
+            + effect.stall_ns();
         st.link_free_ns = end;
         {
             let slot = st
@@ -767,7 +836,10 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = out.len() as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
+        let end = start
+            + st.cost_scale
+                .transfer_ns(self.spec.transfer.transfer_ns(bytes))
+            + effect.stall_ns();
         st.link_free_ns = end;
         {
             let slot = st
@@ -846,7 +918,9 @@ impl Gpu {
             .max(st.queues[queue.0].last_end_ns)
             .max(st.link_free_ns)
             .max(dep_end);
-        let end = start + self.spec.transfer.transfer_ns(8) + effect.stall_ns();
+        let end = start
+            + st.cost_scale.transfer_ns(self.spec.transfer.transfer_ns(8))
+            + effect.stall_ns();
         st.link_free_ns = end;
         let sum = {
             let slot = st
@@ -916,7 +990,7 @@ impl Gpu {
             .max(dep_end);
 
         let (kt, prof) = self.kernel_cost_time(&st, cost)?;
-        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
+        let end = start + st.cost_scale.kernel_ns(kt.total_ns.ceil() as u64) + effect.stall_ns();
         st.compute_free_ns = end;
 
         // Functional execution: temporarily move the write buffer out so the
@@ -999,7 +1073,10 @@ impl Gpu {
             .max(st.queues[queue.0].last_end_ns)
             .max(st.link_free_ns)
             .max(dep_end);
-        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
+        let end = start
+            + st.cost_scale
+                .transfer_ns(self.spec.transfer.transfer_ns(bytes))
+            + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -1043,7 +1120,10 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = words as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
+        let end = start
+            + st.cost_scale
+                .transfer_ns(self.spec.transfer.transfer_ns(bytes))
+            + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -1089,7 +1169,10 @@ impl Gpu {
             .max(st.link_free_ns)
             .max(dep_end);
         let bytes = words as u64 * 4;
-        let end = start + self.spec.transfer.transfer_ns(bytes) + effect.stall_ns();
+        let end = start
+            + st.cost_scale
+                .transfer_ns(self.spec.transfer.transfer_ns(bytes))
+            + effect.stall_ns();
         st.link_free_ns = end;
         Ok(self.record_event(
             &mut st,
@@ -1150,7 +1233,7 @@ impl Gpu {
             .max(st.compute_free_ns)
             .max(dep_end);
         let (kt, prof) = self.kernel_cost_time(&st, cost)?;
-        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
+        let end = start + st.cost_scale.kernel_ns(kt.total_ns.ceil() as u64) + effect.stall_ns();
         st.compute_free_ns = end;
         let ev = self.record_event(
             &mut st,
@@ -1216,7 +1299,7 @@ impl Gpu {
             .max(st.compute_free_ns)
             .max(dep_end);
         let (kt, prof) = self.kernel_cost_time(&st, cost)?;
-        let end = start + kt.total_ns.ceil() as u64 + effect.stall_ns();
+        let end = start + st.cost_scale.kernel_ns(kt.total_ns.ceil() as u64) + effect.stall_ns();
         st.compute_free_ns = end;
         let ev = self.record_event(
             &mut st,
@@ -1852,5 +1935,39 @@ mod tests {
         // Virtual buffers have nothing to sum.
         let v = g.create_virtual_buffer(16).unwrap();
         assert!(g.enqueue_checksum_read(q, v, 0, 16, &[]).is_err());
+    }
+
+    #[test]
+    fn cost_scale_rescales_kernel_and_transfer_durations() {
+        let durations = |scale: Option<CostScale>| {
+            let g = small_gpu();
+            if let Some(s) = scale {
+                g.set_cost_scale(s);
+            }
+            let q = g.create_queue();
+            let b = g.create_buffer(1024).unwrap();
+            let w = g.enqueue_write(q, b, 0, &[0u32; 1024], &[]).unwrap();
+            let cost = KernelCost::Analytic {
+                core_cycles: 1_000_000.0,
+                active_cores: 4,
+                traffic: Traffic::default(),
+            };
+            let k = g.enqueue_kernel(q, &cost, &[], b, &[w], |_, _| {}).unwrap();
+            g.finish_all();
+            (
+                g.event_profile(w).unwrap().duration_ns(),
+                g.event_profile(k).unwrap().duration_ns(),
+            )
+        };
+        let (w1, k1) = durations(None);
+        let (w2, k2) = durations(Some(CostScale {
+            kernel: 0.5,
+            transfer: 2.0,
+        }));
+        assert_eq!(w2, 2 * w1, "transfer doubled");
+        assert_eq!(k2, ((k1 as f64) * 0.5).round() as u64, "kernel halved");
+        // The identity scale is bit-exact with no scale at all.
+        assert_eq!(durations(Some(CostScale::default())), (w1, k1));
+        assert!(CostScale::default().is_identity());
     }
 }

@@ -51,8 +51,8 @@ pub mod profile;
 pub use cache::{analyze as analyze_memory, l2_bytes_for, MemoryAnalysis};
 pub use detailed::{simulate_core, simulate_core_width, DetailedResult, SimLimit};
 pub use host::{
-    BufferId, BufferRange, CommandKind, CommandLog, CommandRecord, EventId, EventProfile, Gpu,
-    KernelCost, QueueId, SimError,
+    BufferId, BufferRange, CommandKind, CommandLog, CommandRecord, CostScale, EventId,
+    EventProfile, Gpu, KernelCost, QueueId, SimError,
 };
 pub use isa::{Block, Instr, Program, Reg};
 pub use macro_engine::{

@@ -32,6 +32,7 @@
 //! (full scan → streaming top-k with reduced k → CPU-fallback) driven by
 //! queue depth and error-budget burn; see its docs for the exact rules.
 
+use snp_core::CostScale;
 use snp_gpu_model::DeviceSpec;
 
 use crate::workload::{cpu_service_ns, run_query_tier, Template, WorkloadSet};
@@ -381,12 +382,16 @@ const ALL_TEMPLATES: [Template; 4] = [
 
 impl CostModel {
     /// Runs each `(template, tier)` cell once, clean, against `device`.
-    pub fn calibrate(device: &DeviceSpec, set: &WorkloadSet) -> CostModel {
+    /// Calibration runs under `cost_scale` so that feasibility estimates
+    /// and corruption digests stay consistent with what-if replays whose
+    /// engine runs are scaled the same way.
+    pub fn calibrate(device: &DeviceSpec, set: &WorkloadSet, cost_scale: CostScale) -> CostModel {
         use snp_core::{EngineOptions, ExecMode, GpuEngine, MixtureStrategy};
         let engine = GpuEngine::new(device.clone()).with_options(EngineOptions {
             mode: ExecMode::Full,
             double_buffer: true,
             mixture: MixtureStrategy::Direct,
+            cost_scale,
             ..Default::default()
         });
         let mut entries = Vec::new();
@@ -483,7 +488,11 @@ mod tests {
     #[test]
     fn cost_model_estimates_are_positive_and_cpu_tier_is_slowest_free_path() {
         let set = WorkloadSet::build(42);
-        let model = CostModel::calibrate(&snp_gpu_model::devices::titan_v(), &set);
+        let model = CostModel::calibrate(
+            &snp_gpu_model::devices::titan_v(),
+            &set,
+            CostScale::default(),
+        );
         for template in ALL_TEMPLATES {
             for tier in [Tier::Full, Tier::ReducedTopK, Tier::CpuOnly] {
                 assert!(

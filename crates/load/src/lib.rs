@@ -35,16 +35,21 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod anatomy;
 pub mod arrival;
 pub mod report;
 pub mod runner;
 pub mod scheduler;
 pub mod slo;
+pub mod whatif;
 pub mod workload;
 
 pub use admission::{
     AdmissionConfig, BrownoutConfig, BrownoutController, CostModel, ShedReason, TenantQuota, Tier,
     TierTransition, TokenBucket,
+};
+pub use anatomy::{
+    decompose_query, AnatomyReport, BandAnatomy, QueryAnatomy, Segment, SEGMENT_COUNT,
 };
 pub use arrival::{arrival_times, ArrivalKind};
 pub use runner::{
@@ -54,6 +59,10 @@ pub use runner::{
 };
 pub use scheduler::{QueuedQuery, Scheduler};
 pub use slo::{evaluate, percentile, Slo, SloOutcome, SloPolicy};
+pub use snp_core::CostScale;
+pub use whatif::{
+    default_perturbations, run_whatif, Confirmation, Perturbation, WhatIfOutcome, WhatIfReport,
+};
 pub use workload::{
     cpu_service_ns, run_query, run_query_tier, templates_for, ServiceReport, Template, WorkloadSet,
     REDUCED_TOPK,

@@ -126,9 +126,13 @@ impl LoadReport {
             Some(a) => admission_json(a),
             None => "null".to_string(),
         };
+        let anatomy = match &self.anatomy {
+            Some(a) => a.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
-                "{{\"schema_version\":2,\"tool\":\"snpgpu loadgen\",",
+                "{{\"schema_version\":3,\"tool\":\"snpgpu loadgen\",",
                 "\"device\":\"{device}\",\"seed\":{seed},\"arrival\":\"{arrival}\",",
                 "\"rate_qps\":{rate:.3},\"queries\":{queries},",
                 "\"fault_profile\":{fault},",
@@ -137,6 +141,7 @@ impl LoadReport {
                 "\"outcomes\":{{\"clean\":{clean},\"recovered\":{rec},\"degraded\":{deg},",
                 "\"fault\":{fault_n},\"error\":{err},\"shed\":{shed}}},",
                 "\"admission\":{admission},",
+                "\"anatomy\":{anatomy},",
                 "\"flight_dropped_spans\":{dropped},",
                 "\"algorithms\":[{algorithms}],",
                 "\"slo_breached\":{breached},",
@@ -159,6 +164,7 @@ impl LoadReport {
             err = self.outcomes.error,
             shed = self.outcomes.shed,
             admission = admission,
+            anatomy = anatomy,
             dropped = self.flight_dropped_spans,
             algorithms = algorithms.join(","),
             breached = self.breached,
@@ -269,6 +275,9 @@ impl LoadReport {
             for r in &o.reasons {
                 let _ = writeln!(out, "          ! {r}");
             }
+        }
+        if let Some(anatomy) = &self.anatomy {
+            out.push_str(&anatomy.render_text());
         }
         if let Some(pm) = &self.postmortem {
             let _ = writeln!(out, "flight recorder dumped: {}", pm.reason);
@@ -411,7 +420,12 @@ mod tests {
         assert_eq!(a, b, "seeded run JSON must be byte-identical");
         let doc = snp_trace::json::parse(&a).expect("valid JSON");
         let obj = doc.as_obj().unwrap();
-        assert_eq!(obj["schema_version"].as_num(), Some(2.0));
+        assert_eq!(obj["schema_version"].as_num(), Some(3.0));
+        assert!(obj.contains_key("anatomy"), "schema v3 carries anatomy");
+        assert!(
+            obj["anatomy"].as_obj().is_none(),
+            "anatomy renders null when not requested"
+        );
         let algs = obj["algorithms"].as_arr().unwrap();
         assert!(!algs.is_empty());
         for a in algs {
@@ -452,6 +466,21 @@ mod tests {
         assert!(text.contains("admission:"), "{text}");
         assert!(text.contains("tenant casework"), "{text}");
         assert!(text.contains("brownout:"), "{text}");
+    }
+
+    #[test]
+    fn anatomy_block_renders_in_json_and_text() {
+        let mut c = cfg();
+        c.anatomy = true;
+        let r = run(&c);
+        let json = r.to_json();
+        let doc = snp_trace::json::parse(&json).expect("valid JSON");
+        let anatomy = doc.as_obj().unwrap()["anatomy"].as_obj().unwrap();
+        assert_eq!(anatomy["bands"].as_arr().unwrap().len(), 4);
+        assert!(anatomy["attributed_fraction"].as_num().unwrap() >= 0.95);
+        let text = r.render_text();
+        assert!(text.contains("latency anatomy"), "{text}");
+        assert!(text.contains("sched_queue"), "{text}");
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //! post-mortem dump.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
-use snp_core::{EngineOptions, ExecMode, FaultPlan, FaultProfile, GpuEngine, MixtureStrategy};
+use snp_core::{
+    CostScale, EngineOptions, ExecMode, FaultPlan, FaultProfile, GpuEngine, MixtureStrategy,
+};
 use snp_gpu_model::DeviceSpec;
 use snp_trace::{merge_into, FlightRecorder, QueryCtx, TimeDomain, Trace, Tracer};
 
@@ -36,6 +38,7 @@ use crate::admission::{
     AdmissionConfig, BrownoutController, CostModel, ShedReason, TenantQuota, Tier, TierTransition,
     TokenBucket,
 };
+use crate::anatomy::{decompose_query, AnatomyReport, QueryAnatomy};
 use crate::arrival::{arrival_times, ArrivalKind};
 use crate::scheduler::{QueuedQuery, Scheduler};
 use crate::slo::{evaluate, percentile, SloOutcome, SloPolicy};
@@ -144,6 +147,20 @@ pub struct LoadConfig {
     /// Record per-query traces, the merged timeline, and the flight
     /// recorder. Sweeps turn this off to keep points cheap.
     pub record_timeline: bool,
+    /// Decompose every accepted query's latency into named segments and
+    /// aggregate the percentile-band [`AnatomyReport`]. Independent of
+    /// `record_timeline`: anatomy keeps per-query traces alive only long
+    /// enough to attribute them, never retaining the merged timeline.
+    pub anatomy: bool,
+    /// Virtual-cost scale armed on every engine run **and** on the cost
+    /// model's calibration runs, so feasibility estimates track the scaled
+    /// world. Identity by default — `snpgpu whatif` sets this for causal
+    /// replay.
+    pub cost_scale: CostScale,
+    /// Scheduler policy override for what-if replay: `Some(true)` forces
+    /// strict arrival-order FIFO, `Some(false)` forces WFQ+EDF. `None`
+    /// keeps the default (FIFO exactly when admission is disabled).
+    pub scheduler_fifo: Option<bool>,
 }
 
 impl LoadConfig {
@@ -162,6 +179,9 @@ impl LoadConfig {
             admission: AdmissionConfig::disabled(),
             flight_capacity: 256,
             record_timeline: true,
+            anatomy: false,
+            cost_scale: CostScale::default(),
+            scheduler_fifo: None,
         }
     }
 }
@@ -352,6 +372,9 @@ pub struct LoadReport {
     pub achieved_qps: f64,
     /// Admission accounting (present when admission was enabled).
     pub admission: Option<AdmissionReport>,
+    /// Percentile-band latency anatomy over accepted queries (present when
+    /// [`LoadConfig::anatomy`] was set).
+    pub anatomy: Option<AnatomyReport>,
     /// Spans evicted from the flight-recorder ring during the run.
     pub flight_dropped_spans: u64,
     /// Merged query-attributed Chrome timeline (when recorded).
@@ -403,9 +426,10 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         .collect();
     let cost = admission
         .enabled
-        .then(|| CostModel::calibrate(&cfg.device, &set));
+        .then(|| CostModel::calibrate(&cfg.device, &set, cfg.cost_scale));
     let mut brownout = BrownoutController::new(admission.brownout.clone());
-    let mut scheduler = Scheduler::new(&weights, !admission.enabled);
+    let fifo = cfg.scheduler_fifo.unwrap_or(!admission.enabled);
+    let mut scheduler = Scheduler::new(&weights, fifo);
 
     let stream = if cfg.record_timeline {
         Tracer::enabled()
@@ -417,6 +441,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         .then(|| stream.track("loadgen · queries", TimeDomain::Virtual));
     let recorder = FlightRecorder::new(cfg.flight_capacity);
     let mut merged: Vec<(Trace, u64)> = Vec::new();
+    let mut anatomies: Vec<QueryAnatomy> = Vec::new();
     let mut postmortem: Option<Postmortem> = None;
 
     let n = planned.len();
@@ -589,7 +614,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             Tier::Full
         };
         let ctx = QueryCtx::new(qid, tenant);
-        let tracer = if cfg.record_timeline {
+        let tracer = if cfg.record_timeline || cfg.anatomy {
             Tracer::enabled().with_query_ctx(ctx.clone())
         } else {
             Tracer::disabled()
@@ -599,6 +624,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
                 mode: ExecMode::Full,
                 double_buffer: true,
                 mixture: MixtureStrategy::Direct,
+                cost_scale: cfg.cost_scale,
                 ..Default::default()
             })
             .with_tracer(tracer.clone());
@@ -644,8 +670,21 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             metrics::FAILURES.add(1);
             failed += 1;
         }
-        metrics::latency_for(template.slug()).record(latency_ns);
-        metrics::tenant_latency(tenant).record(latency_ns);
+        // Latency histograms carry an exemplar per hit bucket: the query
+        // id, tenant, and its stream-clock offset, so a p99 bucket links
+        // straight to the flight-recorder span that caused it.
+        metrics::latency_for(template.slug()).record_with_exemplar(
+            latency_ns,
+            qid,
+            Some(tenant),
+            start_ns,
+        );
+        metrics::tenant_latency(tenant).record_with_exemplar(
+            latency_ns,
+            qid,
+            Some(tenant),
+            start_ns,
+        );
         metrics::QUEUE_WAIT.record(queue_wait_ns);
         match outcome {
             Outcome::Clean => outcomes.clean += 1,
@@ -686,9 +725,21 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
                 ],
             );
         }
-        if let Some(trace) = tracer.snapshot() {
-            recorder.absorb(&trace, start_ns);
-            merged.push((trace, start_ns));
+        let trace = tracer.snapshot();
+        if cfg.anatomy {
+            anatomies.push(decompose_query(
+                qid,
+                queue_wait_ns,
+                service_ns,
+                tier,
+                trace.as_ref(),
+            ));
+        }
+        if cfg.record_timeline {
+            if let Some(trace) = trace {
+                recorder.absorb(&trace, start_ns);
+                merged.push((trace, start_ns));
+            }
         }
         if postmortem.is_none() {
             let device_lost = result
@@ -863,6 +914,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         records,
         slo,
         admission: admission_report,
+        anatomy: cfg.anatomy.then(|| AnatomyReport::aggregate(&anatomies)),
         flight_dropped_spans,
         timeline,
         postmortem,

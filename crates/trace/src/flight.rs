@@ -173,8 +173,9 @@ impl FlightRecorder {
             None => head.push_str(",\"query_id\":null,\"tenant\":null"),
         }
         head.push_str(&format!(
-            ",\"retained_spans\":{},\"dropped_spans\":{dropped_events},\
+            ",\"capacity\":{},\"retained_spans\":{},\"dropped_spans\":{dropped_events},\
              \"dropped_counters\":{dropped_counters}}},",
+            self.capacity,
             trace.events.len()
         ));
         let chrome = crate::chrome::export_chrome_trace(&trace);
@@ -189,6 +190,11 @@ mod tests {
     use super::*;
     use crate::span::{TimeDomain, Tracer};
 
+    /// Serialises the tests that evict spans: `DROPPED_SPANS` is
+    /// process-wide, so exact-count assertions need the drops of one test
+    /// at a time.
+    static DROP_LOCK: Mutex<()> = Mutex::new(());
+
     fn query_trace(query_id: u64, spans: usize) -> Trace {
         let t = Tracer::enabled().with_query_ctx(QueryCtx::new(query_id, "tenant-a"));
         let tr = t.track("engine", TimeDomain::Virtual);
@@ -202,6 +208,7 @@ mod tests {
 
     #[test]
     fn ring_retains_only_the_last_n_spans() {
+        let _guard = DROP_LOCK.lock().unwrap();
         let rec = FlightRecorder::new(4);
         rec.absorb(&query_trace(1, 3), 0);
         rec.absorb(&query_trace(2, 3), 100);
@@ -230,6 +237,7 @@ mod tests {
         let head = doc.as_obj().unwrap()["flightRecorder"].as_obj().unwrap();
         assert_eq!(head["query_id"].as_num(), Some(7.0));
         assert_eq!(head["reason"].as_str(), Some("typed fault: DeviceLoss"));
+        assert_eq!(head["capacity"].as_num(), Some(16.0));
         assert_eq!(head["retained_spans"].as_num(), Some(2.0));
         // Every retained span still carries the query attribution.
         assert!(bundle.contains("\"query_id\":7"));
@@ -242,6 +250,29 @@ mod tests {
         let bundle = rec.postmortem("slo breach", None);
         crate::chrome::validate(&bundle).expect("empty bundle validates");
         assert!(bundle.contains("\"query_id\":null"));
+    }
+
+    #[test]
+    fn dropped_spans_counter_matches_the_postmortem_header_under_pressure() {
+        let _guard = DROP_LOCK.lock().unwrap();
+        DROPPED_SPANS.reset();
+        let rec = FlightRecorder::new(3);
+        // 4 queries × 5 spans into a 3-slot ring: 17 evictions.
+        for q in 0..4 {
+            rec.absorb(&query_trace(q, 5), q * 1_000);
+        }
+        let bundle = rec.postmortem("shed storm", None);
+        let doc = json::parse(&bundle).unwrap();
+        let head = doc.as_obj().unwrap()["flightRecorder"].as_obj().unwrap();
+        assert_eq!(head["capacity"].as_num(), Some(3.0));
+        assert_eq!(head["retained_spans"].as_num(), Some(3.0));
+        assert_eq!(head["dropped_spans"].as_num(), Some(17.0));
+        assert_eq!(rec.dropped().0, 17);
+        assert_eq!(
+            DROPPED_SPANS.get(),
+            17,
+            "metrics counter agrees with the header"
+        );
     }
 
     #[test]

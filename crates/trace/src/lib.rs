@@ -34,8 +34,8 @@ pub mod summary;
 
 pub use flight::{merge_into, FlightRecorder};
 pub use metrics::{
-    bucket_upper_bound, registry, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter,
-    LazyHistogram, MetricValue, MetricsRegistry,
+    bucket_upper_bound, registry, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot,
+    LazyCounter, LazyHistogram, MetricValue, MetricsRegistry,
 };
 pub use prometheus::{render_prometheus, render_registry};
 pub use span::{

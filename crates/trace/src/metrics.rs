@@ -80,10 +80,17 @@ pub const HISTOGRAM_BUCKETS: usize = 1 + 64 * HISTOGRAM_SUBBUCKETS;
 /// latencies) can sample unconditionally. Quantiles are estimated from the
 /// bucket boundaries: `quantile` returns the inclusive upper bound of the
 /// bucket containing the requested rank.
+///
+/// Buckets may carry an **exemplar** — the identity of a sample that landed
+/// there ([`record_with_exemplar`](Self::record_with_exemplar)) — linking a
+/// tail bucket back to the query and trace offset that produced it.
+/// Exemplars live off the hot path behind a mutex; callers that never
+/// attach them pay nothing.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
+    exemplars: Mutex<BTreeMap<usize, Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -91,8 +98,25 @@ impl Default for Histogram {
         Histogram {
             buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
             sum: AtomicU64::new(0),
+            exemplars: Mutex::new(BTreeMap::new()),
         }
     }
+}
+
+/// The identity of one sample kept alongside its histogram bucket: enough
+/// to find the query in records, flight-recorder dumps, and the merged
+/// timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded sample value.
+    pub value: u64,
+    /// Stream-wide query id of the sample.
+    pub query_id: u64,
+    /// Tenant label, when the source is tenant-attributed.
+    pub tenant: Option<String>,
+    /// Stream-clock offset of the query (its start instant, virtual ns) —
+    /// where to seek in the trace timeline.
+    pub offset_ns: u64,
 }
 
 /// Bucket index of a sample: 0 for 0, otherwise the octave `floor(log2 v)`
@@ -143,6 +167,29 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Records one sample and attaches its identity as the exemplar of the
+    /// bucket it lands in (last writer wins, like the OpenMetrics
+    /// convention of keeping the most recent exemplar per bucket).
+    pub fn record_with_exemplar(
+        &self,
+        v: u64,
+        query_id: u64,
+        tenant: Option<&str>,
+        offset_ns: u64,
+    ) {
+        self.record(v);
+        let exemplar = Exemplar {
+            value: v,
+            query_id,
+            tenant: tenant.map(str::to_string),
+            offset_ns,
+        };
+        self.exemplars
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(bucket_of(v), exemplar);
+    }
+
     /// A consistent-enough copy for rendering (concurrent records may land
     /// in either side of the cut; totals are re-derived from the buckets).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -151,10 +198,18 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let exemplars: Vec<(usize, Exemplar)> = self
+            .exemplars
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(i, e)| (*i, e.clone()))
+            .collect();
         HistogramSnapshot {
             count: buckets.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
             buckets,
+            exemplars,
         }
     }
 
@@ -164,6 +219,10 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
         self.sum.store(0, Ordering::Relaxed);
+        self.exemplars
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -176,9 +235,19 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
     pub buckets: Vec<u64>,
+    /// Per-bucket exemplars, sorted by bucket index (sparse — only buckets
+    /// that ever received [`Histogram::record_with_exemplar`]).
+    pub exemplars: Vec<(usize, Exemplar)>,
 }
 
 impl HistogramSnapshot {
+    /// The exemplar attached to bucket `i`, if any.
+    pub fn exemplar_for(&self, i: usize) -> Option<&Exemplar> {
+        self.exemplars
+            .iter()
+            .find_map(|(b, e)| (*b == i).then_some(e))
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -401,6 +470,18 @@ impl LazyHistogram {
         self.histogram().record(v);
     }
 
+    /// Records one sample with its exemplar identity.
+    pub fn record_with_exemplar(
+        &self,
+        v: u64,
+        query_id: u64,
+        tenant: Option<&str>,
+        offset_ns: u64,
+    ) {
+        self.histogram()
+            .record_with_exemplar(v, query_id, tenant, offset_ns);
+    }
+
     /// A point-in-time copy.
     pub fn snapshot(&self) -> HistogramSnapshot {
         self.histogram().snapshot()
@@ -563,6 +644,31 @@ mod tests {
         assert_eq!(s.sum, expect_sum);
         assert_eq!(H.histogram().count(), s.count);
         assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn histogram_exemplars_track_the_last_sample_per_bucket() {
+        let h = Histogram::default();
+        h.record(50); // plain records never attach exemplars
+        h.record_with_exemplar(100, 7, Some("casework"), 1_000);
+        h.record_with_exemplar(101, 9, Some("research"), 2_000); // same bucket: wins
+        h.record_with_exemplar(100_000, 3, None, 5_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.exemplars.len(), 2, "one exemplar per hit bucket");
+        let tail = s.exemplar_for(bucket_of(100_000)).expect("tail exemplar");
+        assert_eq!(tail.query_id, 3);
+        assert_eq!(tail.tenant, None);
+        assert_eq!(tail.offset_ns, 5_000);
+        let body = s.exemplar_for(bucket_of(100)).expect("body exemplar");
+        assert_eq!(
+            (body.query_id, body.value),
+            (9, 101),
+            "last writer wins within a bucket"
+        );
+        assert_eq!(s.exemplar_for(bucket_of(50)), None);
+        h.reset();
+        assert!(h.snapshot().exemplars.is_empty(), "reset drops exemplars");
     }
 
     #[test]

@@ -119,9 +119,26 @@ fn render_histogram(
             continue;
         }
         cumulative += n;
+        // OpenMetrics-style exemplar suffix: `# {labels} value timestamp`,
+        // here carrying the query identity and its stream-clock offset so a
+        // tail bucket links straight to the flight-recorder span.
+        let exemplar = match h.exemplar_for(i) {
+            None => String::new(),
+            Some(e) => {
+                let tenant = e
+                    .tenant
+                    .as_deref()
+                    .map(|t| format!(",tenant=\"{}\"", escape_label_value(t)))
+                    .unwrap_or_default();
+                format!(
+                    " # {{query_id=\"{}\"{tenant}}} {} {}",
+                    e.query_id, e.value, e.offset_ns
+                )
+            }
+        };
         let _ = writeln!(
             out,
-            "{name}_bucket{} {cumulative}",
+            "{name}_bucket{} {cumulative}{exemplar}",
             bucket_labels(bucket_upper_bound(i).to_string())
         );
     }
@@ -185,7 +202,9 @@ mod tests {
             h.record(100); // octave 6, sub 4: upper bound 103
         }
         h.record(0);
-        h.record(100_000); // octave 16, sub 4: upper bound 106495
+        // Tail sample with an exemplar: the rendered bucket line links the
+        // p99 bucket to query 17 at stream offset 912000.
+        h.record_with_exemplar(100_000, 17, Some("casework"), 912_000); // upper bound 106495
         let t = Histogram::default();
         t.record(100);
         vec![
@@ -295,12 +314,27 @@ mod tests {
             vec![
                 "load_latency_ns_fastid_bucket{le=\"0\"} 1",
                 "load_latency_ns_fastid_bucket{le=\"103\"} 4",
-                "load_latency_ns_fastid_bucket{le=\"106495\"} 5",
+                "load_latency_ns_fastid_bucket{le=\"106495\"} 5 \
+                 # {query_id=\"17\",tenant=\"casework\"} 100000 912000",
                 "load_latency_ns_fastid_bucket{le=\"+Inf\"} 5",
             ]
         );
         assert!(got.contains("load_latency_ns_fastid_sum 100300\n"));
         assert!(got.contains("load_latency_ns_fastid_count 5\n"));
+    }
+
+    #[test]
+    fn exemplars_attach_only_to_their_bucket() {
+        let h = Histogram::default();
+        h.record(10);
+        h.record_with_exemplar(5_000, 3, None, 40);
+        let got =
+            render_prometheus(&[("load.latency_ns.ld", MetricValue::Histogram(h.snapshot()))]);
+        // Only the hit bucket carries the suffix; a missing tenant renders
+        // without a tenant label.
+        assert_eq!(got.matches(" # {").count(), 1, "{got}");
+        assert!(got.contains("} 2 # {query_id=\"3\"} 5000 40\n"), "{got}");
+        assert!(!got.contains("tenant="), "{got}");
     }
 
     #[test]

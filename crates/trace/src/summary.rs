@@ -97,6 +97,33 @@ pub fn render_summary(trace: &Trace) -> String {
             write_span(&mut out, ev, stack.len());
             stack.push(ev.end_ns);
         }
+        // Queue wait per track: simulator command spans carry their
+        // enqueue instant as a `queued_ns` arg, and the gap to the span's
+        // start is time the command sat in a device queue. Reported
+        // explicitly — folding it into a parent's self-time would hide
+        // exactly the contention a latency budget needs to name.
+        let (mut queue_wait_ns, mut queued_spans) = (0u64, 0usize);
+        for ev in trace
+            .events
+            .iter()
+            .filter(|e| e.track.index() as usize == idx)
+        {
+            if let Some(crate::span::ArgValue::U64(queued)) = ev
+                .args
+                .iter()
+                .find_map(|(k, v)| (*k == "queued_ns").then_some(v))
+            {
+                queue_wait_ns += ev.start_ns.saturating_sub(*queued);
+                queued_spans += 1;
+            }
+        }
+        if queued_spans > 0 {
+            let _ = writeln!(
+                out,
+                "  queue wait: {} across {queued_spans} queued span(s)",
+                fmt_ns(queue_wait_ns)
+            );
+        }
         let samples = trace
             .counters
             .iter()
@@ -161,6 +188,43 @@ mod tests {
         assert_eq!(depth_of("k0"), 2, "kernel nests inside the run span");
         assert_eq!(depth_of("read C"), 2);
         assert_eq!(depth_of("run 2"), 1, "disjoint span is a sibling");
+    }
+
+    #[test]
+    fn per_track_queue_wait_is_reported_not_folded_into_self_time() {
+        let t = Tracer::enabled();
+        let q0 = t.track("queue 0", TimeDomain::Virtual);
+        let host = t.track("host", TimeDomain::Virtual);
+        // Two commands enqueued at 0 and 10 but starting at 5 and 50:
+        // 5 + 40 = 45 ns of queue wait on this track.
+        t.span_with(q0, "kernel", "k0", 5, 30, vec![("queued_ns", 0u64.into())]);
+        t.span_with(
+            q0,
+            "transfer",
+            "read",
+            50,
+            80,
+            vec![("queued_ns", 10u64.into())],
+        );
+        // Host spans without a queued_ns arg contribute nothing.
+        t.span(host, "pack", "host pack", 0, 4);
+        let text = render_summary(&t.snapshot().unwrap());
+        let track0 = text
+            .lines()
+            .skip_while(|l| !l.starts_with("track 0"))
+            .take_while(|l| !l.starts_with("track 1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            track0.contains("queue wait: 45 ns across 2 queued span(s)"),
+            "{text}"
+        );
+        let track1 = text
+            .lines()
+            .skip_while(|l| !l.starts_with("track 1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!track1.contains("queue wait"), "{text}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn full_options() -> EngineOptions {
         verify: true,
         recovery: RecoveryPolicy::default(),
         profile: false,
+        cost_scale: snp_core::CostScale::default(),
     }
 }
 
